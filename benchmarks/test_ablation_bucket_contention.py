@@ -1,0 +1,87 @@
+"""Ablation: F-AGMS bucket contention vs WOR sampling rate (Section VII-D).
+
+The paper observed (its Fig 7) that past a 10% rate the join error *rose*
+again, attributing it to bucket contention: "as more data is sketched, the
+contention in buckets increases and this produces a wider variance".
+
+This bench probes that regime directly: the TPC-H join error as a function
+of the WOR rate at several bucket-to-distinct-key ratios.  **In this
+implementation the effect does not reproduce** — the error is monotone
+decreasing in the sampling rate at every contention level we probed (the
+variance added by extra collisions grows more slowly than the sampling
+noise removed).  What contention demonstrably does is raise the error
+*level* across all rates, which the bench asserts.  EXPERIMENTS.md records
+this as the one shape deviation from the paper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import estimate_join_size
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_trials
+from repro.sampling import WithoutReplacementSampler
+from repro.sketches import FagmsSketch
+from repro.streams.tpch import generate_tpch
+
+FRACTIONS = (0.05, 0.1, 0.3, 1.0)
+BUCKET_COUNTS = (200, 1_000, 4_000)
+TRIALS = 20
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate_tpch(scale_factor=20_000 / 1_500_000, seed=11)
+
+
+def _error_curve(tables, buckets):
+    f = tables.lineitem.frequency_vector()
+    g = tables.orders.frequency_vector()
+    truth = tables.exact_join_size()
+    curve = {}
+    for fraction in FRACTIONS:
+        sampler = WithoutReplacementSampler(fraction=fraction)
+
+        def trial(rng):
+            sketch_f = FagmsSketch(buckets, seed=int(rng.integers(2**63)))
+            sketch_g = sketch_f.copy_empty()
+            sample_f, info_f = sampler.sample_frequencies(f, rng)
+            sample_g, info_g = sampler.sample_frequencies(g, rng)
+            sketch_f.update_frequency_vector(sample_f)
+            sketch_g.update_frequency_vector(sample_g)
+            return estimate_join_size(sketch_f, info_f, sketch_g, info_g).value
+
+        curve[fraction] = run_trials(trial, truth, TRIALS, seed=13).mean_error
+    return curve
+
+
+def test_bucket_contention(benchmark, tables, save_result):
+    curves = {buckets: _error_curve(tables, buckets) for buckets in BUCKET_COUNTS}
+    benchmark.pedantic(
+        lambda: _error_curve(tables, BUCKET_COUNTS[0]), rounds=1, iterations=1
+    )
+    rows = [
+        (buckets, *(curves[buckets][fraction] for fraction in FRACTIONS))
+        for buckets in BUCKET_COUNTS
+    ]
+    save_result(
+        "ablation_bucket_contention",
+        format_table(
+            ("buckets",) + tuple(f"err@{fraction}" for fraction in FRACTIONS),
+            rows,
+            title=(
+                "[ablation §VII-D] TPC-H join error vs WOR rate under bucket "
+                f"contention ({tables.n_orders} distinct orderkeys)"
+            ),
+        ),
+    )
+    mean_curves = {
+        buckets: np.array([curves[buckets][fraction] for fraction in FRACTIONS])
+        for buckets in BUCKET_COUNTS
+    }
+    # Contention raises the error level at every rate...
+    assert np.all(mean_curves[200] > mean_curves[4_000])
+    # ...but (deviation from the paper's Fig 7) the curves stay monotone
+    # decreasing in the sampling rate in this implementation.
+    for buckets in BUCKET_COUNTS:
+        assert mean_curves[buckets][0] > mean_curves[buckets][-1]

@@ -1,0 +1,61 @@
+"""Ablation: tuple-domain vs frequency-domain sampling paths.
+
+The two paths are distribution-identical (tested statistically in the unit
+suite); this bench quantifies the Monte-Carlo speed argument for the
+frequency path that all experiment figures rely on.
+"""
+
+import time
+
+import pytest
+
+from repro.core import estimate_self_join_size, sketch_over_sample
+from repro.experiments.report import format_table
+from repro.sampling import BernoulliSampler
+from repro.sketches import FagmsSketch
+from repro.streams import zipf_relation
+
+TRIALS = 10
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return zipf_relation(400_000, 20_000, 1.0, seed=6)
+
+
+def _run_path(relation, path, seed) -> float:
+    sketch = FagmsSketch(1024, seed=seed)
+    info = sketch_over_sample(
+        relation, BernoulliSampler(0.1), sketch, seed=seed, path=path
+    )
+    return estimate_self_join_size(sketch, info).value
+
+
+def test_sampling_path_ablation(benchmark, relation, save_result):
+    timings = {}
+    for path in ("items", "frequency"):
+        relation.frequency_vector()  # pre-build the cache for fairness
+        start = time.perf_counter()
+        for seed in range(TRIALS):
+            _run_path(relation, path, seed)
+        timings[path] = (time.perf_counter() - start) / TRIALS
+    benchmark.pedantic(
+        lambda: _run_path(relation, "frequency", 0), rounds=3, iterations=1
+    )
+    save_result(
+        "ablation_sampling_paths",
+        format_table(
+            ("path", "seconds_per_trial", "speedup"),
+            [
+                ("items", timings["items"], 1.0),
+                (
+                    "frequency",
+                    timings["frequency"],
+                    timings["items"] / timings["frequency"],
+                ),
+            ],
+            title="[ablation] Monte-Carlo trial cost by sampling path "
+            f"({len(relation)} tuples, p=0.1)",
+        ),
+    )
+    assert timings["frequency"] < timings["items"]

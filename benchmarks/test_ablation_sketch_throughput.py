@@ -1,0 +1,58 @@
+"""Ablation: update throughput of AGMS vs F-AGMS at equal estimator count.
+
+The paper uses F-AGMS because one tuple touches one counter per row; a
+basic AGMS sketch with the same number of basic estimators touches *all*
+of them.  This bench quantifies that gap — the very gap load shedding
+(Section VI-A) exists to close when even F-AGMS updates are too slow.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.sketches import AgmsSketch, FagmsSketch
+from repro.streams import zipf_relation
+
+ESTIMATORS = 512  # AGMS rows == F-AGMS buckets
+STREAM = 100_000
+CHUNK = 8_192
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_relation(STREAM, 20_000, 1.0, seed=16)
+
+
+def _throughput(sketch, relation) -> float:
+    start = time.perf_counter()
+    for chunk in relation.chunks(CHUNK):
+        sketch.update(chunk)
+    return relation.keys.size / (time.perf_counter() - start)
+
+
+def test_sketch_update_throughput(benchmark, stream, save_result):
+    rates = {
+        "agms-512rows": min(
+            _throughput(AgmsSketch(ESTIMATORS, seed=1), stream) for _ in range(3)
+        ),
+        "fagms-512buckets": min(
+            _throughput(FagmsSketch(ESTIMATORS, rows=1, seed=1), stream)
+            for _ in range(3)
+        ),
+    }
+    benchmark.pedantic(
+        lambda: _throughput(FagmsSketch(ESTIMATORS, rows=1, seed=1), stream),
+        rounds=3,
+        iterations=1,
+    )
+    save_result(
+        "ablation_sketch_throughput",
+        format_table(
+            ("sketch", "Mtuples_per_s"),
+            [(name, rate / 1e6) for name, rate in sorted(rates.items())],
+            title=f"[ablation] update throughput at {ESTIMATORS} basic estimators",
+        ),
+    )
+    # F-AGMS must be dramatically faster at equal estimator count.
+    assert rates["fagms-512buckets"] > 5 * rates["agms-512rows"]

@@ -1,0 +1,30 @@
+"""Extended study 1: the Eq. 22 averaging floor.
+
+Over a fixed Bernoulli sample rate, growing the F-AGMS bucket count can
+reduce the error only down to the sampling-covariance floor — the shared
+sampling noise every basic estimator sees.  The bench measures the curve
+and checks it flattens at the theoretical floor.
+"""
+
+from repro.experiments.extended import ext1_error_vs_buckets
+
+
+def test_ext1(benchmark, scale, save_result):
+    # The floor comparison needs tighter Monte-Carlo statistics than the
+    # default small preset provides.
+    run_scale = scale.with_(trials=max(scale.trials, 60))
+    result = benchmark.pedantic(
+        lambda: ext1_error_vs_buckets(run_scale), rounds=1, iterations=1
+    )
+    save_result("ext1_averaging_floor", result.format())
+
+    errors = result.column("mean_rel_error")
+    floor = result.column("sampling_floor_1sigma")[0]
+    # Decreasing then flat:
+    assert errors[0] > errors[-1]
+    # The plateau sits near the floor: |err| of a ~normal estimator has
+    # mean ≈ 0.8σ, so the flat region should be within [0.5, 1.5]× 0.8·floor.
+    plateau = errors[-1]
+    assert 0.4 * 0.8 * floor < plateau < 1.8 * floor
+    # The last bucket doubling bought almost nothing (< 15% improvement).
+    assert errors[-1] > 0.85 * errors[-2]

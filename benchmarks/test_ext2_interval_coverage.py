@@ -1,0 +1,23 @@
+"""Extended study 2: empirical coverage of the theory-backed intervals.
+
+Runs the full sketch-over-sample pipeline for all three schemes and counts
+how often the Prop 10/12-based CLT interval contains the truth.  Coverage
+should sit near the nominal confidence for every scheme.
+"""
+
+from repro.experiments.extended import ext2_interval_coverage
+
+
+def test_ext2(benchmark, scale, save_result):
+    run_scale = scale.with_(trials=max(scale.trials, 60))
+    result = benchmark.pedantic(
+        lambda: ext2_interval_coverage(run_scale, confidence=0.95),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("ext2_interval_coverage", result.format())
+
+    for scheme, trials, coverage, nominal in result.rows:
+        # Binomial(trials, 0.95) fluctuation: allow ~4 standard errors.
+        slack = 4 * (nominal * (1 - nominal) / trials) ** 0.5
+        assert coverage >= nominal - slack - 0.02, (scheme, coverage)

@@ -1,0 +1,25 @@
+"""Figure 1: size-of-join variance decomposition vs skew (Bernoulli).
+
+Regenerates the paper's Fig 1 series: the relative contribution of the
+sampling / sketch / interaction variance terms as a function of the Zipf
+skew, for several sampling probabilities.  Expected shape: the interaction
+term dominates at low skew, the sketch term at high skew, and the sampling
+term is negligible throughout.
+"""
+
+from repro.experiments import fig1_join_variance_decomposition
+
+
+def test_fig1(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        lambda: fig1_join_variance_decomposition(scale), rounds=1, iterations=1
+    )
+    save_result("fig1", result.format())
+
+    # Shape assertions (the paper's qualitative claims).
+    for p in (0.1, 0.01):
+        rows = result.series(p)
+        low_skew = rows[0]  # skew 0
+        high_skew = rows[-1]  # highest skew
+        assert low_skew[4] > low_skew[2], "interaction should beat sampling at skew 0"
+        assert high_skew[3] > 0.5, "sketch term should dominate at high skew"

@@ -1,0 +1,21 @@
+"""Figure 2: self-join-size variance decomposition vs skew (Bernoulli).
+
+Expected shape: interaction dominates at low skew; the *sampling* term
+dominates for skewed data (unlike the join case of Fig 1).
+"""
+
+from repro.experiments import fig2_self_join_variance_decomposition
+
+
+def test_fig2(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        lambda: fig2_self_join_variance_decomposition(scale), rounds=1, iterations=1
+    )
+    save_result("fig2", result.format())
+
+    for p in (0.1, 0.01):
+        rows = result.series(p)
+        low_skew = rows[0]
+        high_skew = rows[-1]
+        assert low_skew[4] > low_skew[2], "interaction should beat sampling at skew 0"
+        assert high_skew[2] > 0.5, "sampling term should dominate at high skew"

@@ -1,0 +1,23 @@
+"""Figure 3: size-of-join relative error vs skew, Bernoulli sampling.
+
+Expected shape (Section VII-A): for moderate skew the error curves of the
+different sampling probabilities stay close to the full-sketch (p = 1)
+curve — the decrease in accuracy from sampling is small.
+"""
+
+from repro.experiments import fig3_join_error_bernoulli
+
+
+def test_fig3(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        lambda: fig3_join_error_bernoulli(scale), rounds=1, iterations=1
+    )
+    save_result("fig3", result.format())
+
+    skews = sorted({row[0] for row in result.rows})
+    moderate = [s for s in skews if 1.0 <= s <= 2.0]
+    for skew in moderate:
+        rows = {row[1]: row[2] for row in result.rows if row[0] == skew}
+        # p = 0.1 must not blow up relative to the plain sketch: allow a
+        # generous factor plus an absolute floor for Monte-Carlo noise.
+        assert rows[0.1] < max(10 * rows[1.0], 0.25), (skew, rows)

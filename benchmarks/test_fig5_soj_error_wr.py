@@ -1,0 +1,23 @@
+"""Figure 5: size-of-join error vs with-replacement sample fraction.
+
+Expected shape (Section VII-B): the error decreases with the sample size
+and stabilizes around a 0.1 fraction of the population — "sketching more
+samples does not provide any increase in the accuracy after a certain
+point".
+"""
+
+from repro.experiments import fig5_join_error_wr
+
+
+def test_fig5(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        lambda: fig5_join_error_wr(scale), rounds=1, iterations=1
+    )
+    save_result("fig5", result.format())
+
+    for skew in sorted({row[1] for row in result.rows}):
+        errors = {row[0]: row[2] for row in result.rows if row[1] == skew}
+        # decreasing from 1% to 10%
+        assert errors[0.01] > errors[0.1], (skew, errors)
+        # stabilized: 10% within a small factor of the full-fraction error
+        assert errors[0.1] < 6 * max(errors[1.0], 0.02), (skew, errors)

@@ -1,0 +1,19 @@
+"""Figure 6: self-join-size error vs with-replacement sample fraction.
+
+Same expected shape as Fig 5: decreasing error that stabilizes at around a
+0.1 sampling fraction.
+"""
+
+from repro.experiments import fig6_self_join_error_wr
+
+
+def test_fig6(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        lambda: fig6_self_join_error_wr(scale), rounds=1, iterations=1
+    )
+    save_result("fig6", result.format())
+
+    for skew in sorted({row[1] for row in result.rows}):
+        errors = {row[0]: row[2] for row in result.rows if row[1] == skew}
+        assert errors[0.01] > errors[0.1], (skew, errors)
+        assert errors[0.1] < 6 * max(errors[1.0], 0.02), (skew, errors)

@@ -1,0 +1,22 @@
+"""Figure 7: TPC-H lineitem ⋈ orders error vs WOR sampling rate.
+
+Expected shape (Section VII-C): large error at a 1% rate, dropping rapidly
+and stabilizing around 10%.  The paper additionally observed the error
+*rising* again past 10% (the F-AGMS bucket-contention effect of Section
+VII-D) at their bucket-to-key ratio; see
+``test_ablation_bucket_contention.py`` which probes that regime directly.
+"""
+
+from repro.experiments import fig7_join_error_wor_tpch
+
+
+def test_fig7(benchmark, scale, save_result):
+    result = benchmark.pedantic(
+        lambda: fig7_join_error_wor_tpch(scale), rounds=1, iterations=1
+    )
+    save_result("fig7", result.format())
+
+    errors = {row[0]: row[1] for row in result.rows}
+    assert errors[0.01] > errors[0.1], errors
+    # by 10% the estimate is usable
+    assert errors[0.1] < 0.5, errors

@@ -1,0 +1,71 @@
+"""Sustainable-rate study: shedding vs uncontrolled loss (Section VI-A).
+
+Simulates the queueing behaviour of a sketch pipeline under increasing
+arrival rates, with and without Bernoulli shedding.  The table regenerated
+here is the operational argument for the whole paper: past the no-shedding
+capacity, the unshedded pipeline loses tuples *uncontrollably* (unusable
+for estimation), while the shedding pipeline removes a *Bernoulli sample*
+(fully analyzable, Props 13–14) and stays stable up to ≈ 1/p times the
+original rate.
+"""
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.streams.arrival import (
+    ServiceModel,
+    poisson_arrivals,
+    simulate_backlog,
+    sustainable_rate,
+)
+
+MODEL = ServiceModel(filter_cost=0.05, sketch_cost=1.0)
+DURATION = 3_000.0
+RATE_MULTIPLES = (0.5, 1.5, 4.0, 8.0)
+KEEP_PROBABILITIES = (1.0, 0.2, 0.1)
+
+
+def _loss(rate, p, seed):
+    arrivals = poisson_arrivals(rate, DURATION, seed=seed)
+    result = simulate_backlog(arrivals, MODEL, p, buffer_capacity=256, seed=seed)
+    return result.loss_fraction
+
+
+@pytest.fixture(scope="module")
+def capacity():
+    return sustainable_rate(MODEL, 1.0)
+
+
+def test_sustainability(benchmark, capacity, save_result):
+    rows = []
+    losses = {}
+    for multiple in RATE_MULTIPLES:
+        rate = multiple * capacity
+        row = [multiple]
+        for p in KEEP_PROBABILITIES:
+            loss = _loss(rate, p, seed=17)
+            losses[(multiple, p)] = loss
+            row.append(loss)
+        rows.append(tuple(row))
+    benchmark.pedantic(
+        lambda: _loss(2 * capacity, 0.1, seed=18), rounds=1, iterations=1
+    )
+    save_result(
+        "sustainability",
+        format_table(
+            ("rate/capacity",) + tuple(f"loss@p={p}" for p in KEEP_PROBABILITIES),
+            rows,
+            title=(
+                "[§VI-A] uncontrolled loss fraction vs arrival rate "
+                f"(capacity at p=1: {capacity:.3f} tuples/unit)"
+            ),
+        ),
+    )
+    # Below capacity everything is fine.
+    assert losses[(0.5, 1.0)] == 0.0
+    # 4x over capacity: unshedded pipeline loses most tuples...
+    assert losses[(4.0, 1.0)] > 0.5
+    # ...while p=0.1 shedding (capacity ~7x) is still lossless.
+    assert losses[(4.0, 0.1)] < 0.01
+    # At 8x even p=0.1 starts losing, p=0.2 loses more: ordering holds.
+    assert losses[(8.0, 0.1)] <= losses[(8.0, 0.2)] <= losses[(8.0, 1.0)]

@@ -1,0 +1,64 @@
+"""Characterizing a generative model from i.i.d. samples (Section VI-B).
+
+Scenario (online data mining): a stream of i.i.d. samples arrives from an
+unknown finite population — say, user sessions drawn from a catalogue of
+items.  The stream is too long to store, so we sketch it and, with the WR
+corrections, estimate properties of the *population*:
+
+* its second frequency moment ``F₂``, and
+* its normalized form ``Σρᵢ²`` — the collision probability (Simpson
+  index), a standard concentration/diversity statistic.
+
+The demo consumes a growing number of samples and shows the estimate
+converging; per the paper's Figs 5–6, accuracy stabilizes once the sample
+is around 10% of the population size.
+
+Run:  python examples/iid_generative_model.py
+"""
+
+import numpy as np
+
+from repro import FagmsSketch, GenerativeModelEstimator, zipf_relation
+
+SEED = 99
+POPULATION_TUPLES = 500_000
+CATALOGUE = 20_000
+
+
+def main() -> None:
+    # The hidden population the generative model draws from.
+    population = zipf_relation(
+        POPULATION_TUPLES, CATALOGUE, skew=1.0, seed=SEED, name="catalogue"
+    )
+    probabilities = population.frequency_vector().probabilities()
+    true_f2 = population.self_join_size()
+    true_collision = float((probabilities**2).sum())
+    print(f"hidden population: {POPULATION_TUPLES:,} tuples over "
+          f"{CATALOGUE:,} items")
+    print(f"true F2 = {true_f2:,}   "
+          f"true collision probability = {true_collision:.3e}\n")
+
+    rng = np.random.default_rng(SEED + 1)
+    estimator = GenerativeModelEstimator(
+        POPULATION_TUPLES, FagmsSketch(4_096, seed=SEED + 2)
+    )
+
+    print(f"{'samples':>10}  {'fraction':>8}  {'F2 estimate':>14}  "
+          f"{'collision est.':>14}  {'rel.err':>8}")
+    consumed = 0
+    for target in (1_000, 5_000, 20_000, 50_000, 200_000, 500_000):
+        draw = rng.choice(population.keys, size=target - consumed, replace=True)
+        estimator.consume(draw)
+        consumed = target
+        estimate = estimator.self_join_size()
+        collision = estimator.second_moment_density()
+        error = abs(estimate - true_f2) / true_f2
+        print(f"{consumed:>10,}  {consumed / POPULATION_TUPLES:>8.1%}  "
+              f"{estimate:>14,.0f}  {collision:>14.3e}  {error:>8.2%}")
+
+    print("\nNote how the error stops improving once the sample reaches "
+          "~10% of the population — the paper's Figs 5-6 observation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Quickstart: sketch a 10% sample, estimate aggregates of the full stream.
+
+This is the paper's headline workflow in ~30 lines:
+
+1. generate a Zipf data stream,
+2. keep only 10% of it (Bernoulli sampling) and sketch the survivors,
+3. unbias the sketch estimates for the *full* stream,
+4. attach a theory-backed confidence interval.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BernoulliSampler,
+    FagmsSketch,
+    estimate_join_size,
+    estimate_self_join_size,
+    join_interval,
+    self_join_interval,
+    sketch_over_sample,
+    zipf_relation,
+)
+
+SEED = 2009
+
+
+def main() -> None:
+    # Two streams drawn independently from the same Zipf distribution
+    # (shuffle_values=False keeps their heavy hitters on the same values,
+    # giving a substantial join to estimate).
+    f = zipf_relation(
+        200_000, 10_000, skew=1.0, seed=SEED, name="F", shuffle_values=False
+    )
+    g = zipf_relation(
+        200_000, 10_000, skew=1.0, seed=SEED + 1, name="G", shuffle_values=False
+    )
+
+    sampler = BernoulliSampler(0.1)  # keep 1 tuple in 10
+    buckets = 2_000
+
+    # --- Self-join size (second frequency moment) of F -----------------
+    sketch = FagmsSketch(buckets, seed=SEED)
+    info = sketch_over_sample(f, sampler, sketch, seed=SEED + 2)
+    estimate = estimate_self_join_size(sketch, info)
+    interval = self_join_interval(
+        estimate, f.frequency_vector(), info, n=buckets
+    )
+    truth = f.self_join_size()
+    print("Self-join size of F")
+    print(f"  sampled {info.sample_size} of {info.population_size} tuples")
+    print(f"  estimate {estimate.value:,.0f}   true {truth:,}")
+    print(f"  relative error {abs(estimate.value - truth) / truth:.2%}")
+    print(f"  95% CI [{interval.low:,.0f}, {interval.high:,.0f}]"
+          f"  (covers truth: {interval.contains(truth)})")
+
+    # --- Size of join F ⋈ G --------------------------------------------
+    sketch_f = FagmsSketch(buckets, seed=SEED + 3)
+    sketch_g = sketch_f.copy_empty()  # shared hash families!
+    info_f = sketch_over_sample(f, sampler, sketch_f, seed=SEED + 4)
+    info_g = sketch_over_sample(g, sampler, sketch_g, seed=SEED + 5)
+    join_estimate = estimate_join_size(sketch_f, info_f, sketch_g, info_g)
+    join_ci = join_interval(
+        join_estimate,
+        f.frequency_vector(),
+        g.frequency_vector(),
+        info_f,
+        info_g,
+        n=buckets,
+    )
+    join_truth = f.join_size(g)
+    print("\nSize of join F ⋈ G")
+    print(f"  estimate {join_estimate.value:,.0f}   true {join_truth:,}")
+    print(f"  relative error "
+          f"{abs(join_estimate.value - join_truth) / join_truth:.2%}")
+    print(f"  95% CI [{join_ci.low:,.0f}, {join_ci.high:,.0f}]"
+          f"  (covers truth: {join_ci.contains(join_truth)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for environments whose setuptools predates PEP-660 editable installs.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-build-isolation`` (legacy path) on toolchains
+without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""Heavy hitters over sampled streams (extension feature).
+
+Count-Sketch (our F-AGMS) was originally designed for finding frequent
+items; combined with the paper's machinery it answers: *what are the heavy
+hitters of the full stream when only a sample was sketched?*  Point
+estimates from the sample scale by the same ``1/κ₁`` factor as the
+first-moment aggregates (``E[f′ᵢ] = κ₁ fᵢ`` for every scheme of the
+paper), so a sketch-over-sample supports frequency queries on the
+*pre-sampling* stream.
+
+The query model is candidate-based: callers supply the candidate key set
+(the whole domain for small domains, or an application shortlist — e.g.
+known customer IDs, observed sample keys).  A candidate-free heavy-hitter
+structure would need a hierarchy of sketches, which is outside the paper's
+scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..sampling.base import SampleInfo
+from ..sampling.unbiasing import _expectation_inverse
+from ..sketches.fagms import FagmsSketch
+
+__all__ = ["HeavyHitter", "estimate_frequencies", "heavy_hitters"]
+
+
+@dataclass(frozen=True)
+class HeavyHitter:
+    """One frequent item: key and its estimated full-stream frequency."""
+
+    key: int
+    estimate: float
+
+
+def estimate_frequencies(
+    sketch: FagmsSketch, info: SampleInfo, keys
+) -> np.ndarray:
+    """Unbiased full-stream frequency estimates for candidate *keys*.
+
+    *info* is the sampling draw that fed the sketch (from
+    :func:`repro.core.sketch_over_sample` or a shedder); pass a
+    ``p = 1`` Bernoulli info for an unsampled sketch.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    scale = float(_expectation_inverse(info))
+    return scale * sketch.estimate_frequencies(keys)
+
+
+def heavy_hitters(
+    sketch: FagmsSketch,
+    info: SampleInfo,
+    candidates,
+    *,
+    threshold: float,
+    top: int | None = None,
+) -> list[HeavyHitter]:
+    """Candidates whose estimated full-stream frequency exceeds *threshold*.
+
+    Results are sorted by estimated frequency, descending; *top* truncates
+    to the largest ``top`` survivors.  Callers choose the threshold in
+    full-stream units (e.g. ``0.01 * stream_length`` for 1%-heavy hitters).
+    """
+    if threshold < 0:
+        raise ConfigurationError(f"threshold must be >= 0, got {threshold}")
+    if top is not None and top < 1:
+        raise ConfigurationError(f"top must be >= 1, got {top}")
+    candidates = np.asarray(candidates, dtype=np.int64)
+    if candidates.size == 0:
+        return []
+    estimates = estimate_frequencies(sketch, info, candidates)
+    keep = estimates >= threshold
+    survivors = candidates[keep]
+    values = estimates[keep]
+    order = np.argsort(values)[::-1]
+    hitters = [
+        HeavyHitter(key=int(survivors[i]), estimate=float(values[i]))
+        for i in order
+    ]
+    if top is not None:
+        hitters = hitters[:top]
+    return hitters

@@ -1,0 +1,120 @@
+"""Estimating generative-model properties from i.i.d. sample streams.
+
+Section VI-B of the paper: the input stream *is* a with-replacement sample
+from a finite population of known size (a generative model), too large to
+store.  Sketch the stream with the standard update algorithm, then apply
+the WR corrections (Section V-C) at estimation time — the estimation, not
+the update, is what changes.
+
+:class:`GenerativeModelEstimator` supports both the finite-population view
+(estimates of ``Σᵢ fᵢ²`` and ``Σᵢ fᵢgᵢ`` of the population) and the
+infinite-population / density view the paper describes ("the frequencies
+… become densities"): :meth:`second_moment_density` estimates
+``Σᵢ ρᵢ²`` where ``ρᵢ = fᵢ/|F|`` — which stays finite as the population
+grows and equals the collision probability of the generative model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, InsufficientDataError
+from ..sampling.base import SampleInfo
+from ..sampling.unbiasing import join_scale, self_join_correction
+from ..sketches.base import Sketch
+
+__all__ = ["GenerativeModelEstimator"]
+
+
+class GenerativeModelEstimator:
+    """Sketch an i.i.d. stream; estimate properties of its source population.
+
+    Parameters
+    ----------
+    population_size:
+        The (known) size ``|F|`` of the finite population the stream
+        samples from.  The paper's WR analysis requires it; for the
+        density view it only needs to be correct up to the ratio used in
+        :meth:`second_moment_density`.
+    sketch:
+        The sketch that summarizes the stream.
+    """
+
+    __slots__ = ("population_size", "sketch", "_consumed")
+
+    def __init__(self, population_size: int, sketch: Sketch) -> None:
+        if population_size < 1:
+            raise ConfigurationError(
+                f"population_size must be >= 1, got {population_size}"
+            )
+        self.population_size = int(population_size)
+        self.sketch = sketch
+        self._consumed = 0
+
+    @property
+    def consumed(self) -> int:
+        """Number of i.i.d. samples consumed so far (``|F′|``)."""
+        return self._consumed
+
+    def consume(self, keys) -> None:
+        """Feed one chunk of the i.i.d. stream into the sketch."""
+        keys = np.asarray(keys)
+        self.sketch.update(keys)
+        self._consumed += int(keys.size)
+
+    def info(self) -> SampleInfo:
+        """WR draw metadata for the stream consumed so far."""
+        if self._consumed == 0:
+            raise InsufficientDataError("no samples have been consumed yet")
+        return SampleInfo(
+            scheme="with_replacement",
+            population_size=self.population_size,
+            sample_size=self._consumed,
+        )
+
+    # ------------------------------------------------------------------
+    # Population-level estimates
+    # ------------------------------------------------------------------
+
+    def self_join_size(self) -> float:
+        """Unbiased estimate of the population's ``F₂ = Σᵢ fᵢ²``.
+
+        Requires at least two consumed samples (the correction divides by
+        ``|F′| − 1``).
+        """
+        correction = self_join_correction(self.info())
+        return correction.apply(self.sketch.second_moment(), self._consumed)
+
+    def join_size(self, other: "GenerativeModelEstimator") -> float:
+        """Unbiased estimate of ``Σᵢ fᵢgᵢ`` between two populations.
+
+        Both estimators' sketches must share their random families (same
+        seed) — the usual sketch-compatibility requirement.
+        """
+        raw = self.sketch.inner_product(other.sketch)
+        return float(join_scale(self.info(), other.info())) * raw
+
+    # ------------------------------------------------------------------
+    # Density (infinite-population) view
+    # ------------------------------------------------------------------
+
+    def second_moment_density(self) -> float:
+        """Estimate of ``Σᵢ ρᵢ²`` — the model's collision probability.
+
+        This is the population ``F₂`` normalized by ``|F|²``; the paper
+        notes the WR analysis "straightforwardly extends to i.i.d. samples"
+        under exactly this normalization.
+        """
+        return self.self_join_size() / self.population_size**2
+
+    def join_density(self, other: "GenerativeModelEstimator") -> float:
+        """Estimate of ``Σᵢ ρᵢ σᵢ`` between two generative models."""
+        return self.join_size(other) / (
+            self.population_size * other.population_size
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GenerativeModelEstimator(population_size={self.population_size}, "
+            f"consumed={self._consumed})"
+        )

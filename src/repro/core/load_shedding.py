@@ -1,0 +1,160 @@
+"""Load shedding for sketches: Bernoulli sampling in front of the sketch.
+
+Section VI-A of the paper: when a stream is too fast to sketch every tuple,
+drop tuples with a Bernoulli filter and sketch only the survivors — the
+combined estimator analysis (Props 13–14) quantifies exactly how much
+accuracy a given shedding rate costs.
+
+The filter is implemented with *skip-ahead* sampling (ref [18]): instead of
+tossing a coin per tuple, the gaps between kept tuples are drawn from the
+geometric distribution, so the shedder does work proportional only to the
+kept tuples — which is what makes the end-to-end speed-up ``∝ 1/p`` real
+(benchmarked in ``benchmarks/test_update_speedup.py``).
+
+:class:`LoadShedder` is the stateful filter (usable on its own);
+:class:`SheddingSketcher` couples it with a sketch and exposes corrected,
+unbiased estimates of the *full-stream* aggregates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, InsufficientDataError
+from ..rng import SeedLike, as_generator
+from ..sampling.base import SampleInfo
+from ..sampling.bernoulli import bernoulli_skip_lengths
+from ..sampling.unbiasing import join_scale, self_join_correction
+from ..sketches.base import Sketch
+
+__all__ = ["LoadShedder", "SheddingSketcher"]
+
+
+class LoadShedder:
+    """Stateful Bernoulli(p) filter over a chunked stream, skip-ahead style.
+
+    The kept positions across the concatenation of all chunks are
+    distributed exactly as independent Bernoulli(p) selections; state
+    (the distance to the next kept tuple) carries across chunk boundaries.
+    """
+
+    __slots__ = ("p", "_rng", "_until_next", "_seen", "_kept")
+
+    def __init__(self, p: float, seed: SeedLike = None) -> None:
+        if not 0 < p <= 1:
+            raise ConfigurationError(f"shedding probability must be in (0, 1], got {p}")
+        self.p = float(p)
+        self._rng = as_generator(seed)
+        self._seen = 0
+        self._kept = 0
+        # Offset (within the upcoming stream) of the next kept tuple.
+        self._until_next = int(bernoulli_skip_lengths(self.p, 1, self._rng)[0])
+
+    @property
+    def seen(self) -> int:
+        """Total tuples that arrived."""
+        return self._seen
+
+    @property
+    def kept(self) -> int:
+        """Total tuples that survived shedding."""
+        return self._kept
+
+    def filter(self, keys) -> np.ndarray:
+        """Return the surviving tuples of one chunk, preserving order."""
+        keys = np.asarray(keys)
+        if keys.ndim != 1:
+            raise ConfigurationError(f"keys must be 1-D, got shape {keys.shape}")
+        length = keys.size
+        self._seen += length
+        if self.p == 1.0:
+            self._kept += length
+            return keys
+        positions = self._kept_positions(length)
+        self._kept += positions.size
+        return keys[positions]
+
+    def _kept_positions(self, length: int) -> np.ndarray:
+        """Positions kept within a chunk of *length*, advancing the state."""
+        collected: list[np.ndarray] = []
+        position = self._until_next
+        while position < length:
+            # Draw a batch of gaps sized to (over-)cover the rest of the chunk.
+            remaining = length - position
+            batch = max(16, int(remaining * self.p * 1.5) + 8)
+            gaps = bernoulli_skip_lengths(self.p, batch, self._rng)
+            steps = np.empty(batch, dtype=np.int64)
+            steps[0] = 0
+            np.cumsum(gaps[:-1] + 1, out=steps[1:])
+            positions = position + steps
+            inside = positions < length
+            collected.append(positions[inside])
+            if bool(inside.all()):
+                # Batch exhausted inside the chunk: continue from the last
+                # kept position plus its following gap.
+                position = int(positions[-1]) + 1 + int(
+                    bernoulli_skip_lengths(self.p, 1, self._rng)[0]
+                )
+            else:
+                position = int(positions[np.argmin(inside)])
+                break
+        self._until_next = position - length
+        if not collected:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(collected)
+
+    def info(self) -> SampleInfo:
+        """Bernoulli draw metadata for the stream consumed so far."""
+        if self._seen == 0:
+            raise InsufficientDataError("no tuples have been processed yet")
+        return SampleInfo(
+            scheme="bernoulli",
+            population_size=self._seen,
+            sample_size=self._kept,
+            probability=self.p,
+        )
+
+    def __repr__(self) -> str:
+        return f"LoadShedder(p={self.p}, seen={self._seen}, kept={self._kept})"
+
+
+class SheddingSketcher:
+    """A sketch fed through a Bernoulli load shedder (Section VI-A).
+
+    ``process()`` chunks of the raw stream; the estimates are unbiased for
+    the *full* stream despite only a ``p`` fraction being sketched.
+    """
+
+    __slots__ = ("sketch", "shedder")
+
+    def __init__(self, sketch: Sketch, p: float, seed: SeedLike = None) -> None:
+        self.sketch = sketch
+        self.shedder = LoadShedder(p, seed)
+
+    @property
+    def p(self) -> float:
+        """The shedding (keep) probability."""
+        return self.shedder.p
+
+    def process(self, keys) -> int:
+        """Consume one chunk of the raw stream; returns tuples sketched."""
+        kept = self.shedder.filter(keys)
+        self.sketch.update(kept)
+        return int(kept.size)
+
+    def info(self) -> SampleInfo:
+        """Draw metadata for the stream consumed so far."""
+        return self.shedder.info()
+
+    def self_join_size(self) -> float:
+        """Unbiased full-stream ``F₂`` estimate (Prop 14 estimator)."""
+        correction = self_join_correction(self.info())
+        return correction.apply(self.sketch.second_moment(), self.shedder.kept)
+
+    def join_size(self, other: "SheddingSketcher") -> float:
+        """Unbiased full-stream ``|F ⋈ G|`` estimate (Prop 13 estimator)."""
+        raw = self.sketch.inner_product(other.sketch)
+        return float(join_scale(self.info(), other.info())) * raw
+
+    def __repr__(self) -> str:
+        return f"SheddingSketcher(p={self.p}, sketch={self.sketch!r})"

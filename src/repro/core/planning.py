@@ -1,0 +1,149 @@
+"""Shedding-rate planning from the variance formulas (the paper's intro).
+
+The introduction motivates the whole analysis with: "The formulas
+resulting from such an analysis could be used to determine **how
+aggressive the load shedding can be** without a significant loss in the
+accuracy of the sketch over samples estimator."  This module is that tool.
+
+Given a workload profile (the frequency vector of a representative window
+of the stream), a sketch size, and an accuracy target, it computes the
+smallest Bernoulli keep-probability ``p`` whose *predicted* relative error
+meets the target — i.e. the largest admissible shedding rate.  The
+prediction is the exact combined variance (Props 13–14) pushed through
+the chosen tail bound.
+
+All of this runs before any data is shed: it is a planning computation on
+historical/profiled frequencies, exactly the use the paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError, EstimationError
+from ..frequency import FrequencyVector
+from ..sampling.moments import BernoulliMoments
+from ..variance.bounds import normal_quantile
+from ..variance.generic import combined_join_variance, combined_self_join_variance
+
+__all__ = ["SheddingPlan", "predict_relative_error", "plan_shedding_rate"]
+
+#: Smallest keep-probability the planner will ever recommend.
+MIN_KEEP_PROBABILITY = 1e-6
+
+
+@dataclass(frozen=True)
+class SheddingPlan:
+    """Result of a shedding-rate search.
+
+    Attributes
+    ----------
+    keep_probability:
+        The recommended Bernoulli ``p`` (smallest meeting the target).
+    predicted_error:
+        Predicted relative error at that ``p`` (same bound as requested).
+    speedup:
+        The sketch-update speed-up factor, ``1/p``.
+    target_error, confidence:
+        Echo of the request.
+    """
+
+    keep_probability: float
+    predicted_error: float
+    speedup: float
+    target_error: float
+    confidence: float
+
+
+def predict_relative_error(
+    f: FrequencyVector,
+    p: float,
+    n: int,
+    *,
+    g: Optional[FrequencyVector] = None,
+    confidence: float = 0.95,
+) -> float:
+    """Predicted relative error of the Bernoulli sketch-over-samples estimator.
+
+    ``z · sqrt(Var) / truth`` with the exact combined variance: the
+    half-width of the CLT interval at *confidence*, normalized by the true
+    aggregate.  Provide ``g`` for size of join; omit it for self-join size.
+    ``n`` is the number of averaged basic estimators (F-AGMS buckets).
+    """
+    if not 0 < p <= 1:
+        raise ConfigurationError(f"keep probability must be in (0, 1], got {p}")
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    model = BernoulliMoments(_as_fraction(p))
+    if g is not None:
+        truth = f.join_size(g)
+        if truth == 0:
+            raise EstimationError("cannot target relative error of an empty join")
+        scale = 1 / (_as_fraction(p) * _as_fraction(p))
+        variance = combined_join_variance(model, f, model, g, scale, n)
+    else:
+        truth = f.f2
+        if truth == 0:
+            raise EstimationError("cannot target relative error of an empty relation")
+        p_fraction = _as_fraction(p)
+        variance = combined_self_join_variance(
+            model,
+            f,
+            1 / p_fraction**2,
+            n,
+            correction=(1 - p_fraction) / p_fraction**2,
+        )
+    z = normal_quantile(0.5 + confidence / 2)
+    return z * math.sqrt(float(variance)) / float(truth)
+
+
+def plan_shedding_rate(
+    f: FrequencyVector,
+    target_error: float,
+    n: int,
+    *,
+    g: Optional[FrequencyVector] = None,
+    confidence: float = 0.95,
+    tolerance: float = 1e-3,
+) -> SheddingPlan:
+    """Smallest Bernoulli keep-probability meeting a relative-error target.
+
+    Binary-searches ``p`` over ``[MIN_KEEP_PROBABILITY, 1]`` using the
+    monotone predicted error.  Raises :class:`EstimationError` when even
+    ``p = 1`` (no shedding) misses the target — the sketch itself is then
+    the bottleneck and more buckets are needed, not less shedding.
+    """
+    if target_error <= 0:
+        raise ConfigurationError(f"target_error must be > 0, got {target_error}")
+    error_at_full = predict_relative_error(f, 1.0, n, g=g, confidence=confidence)
+    if error_at_full > target_error:
+        raise EstimationError(
+            f"target {target_error:.3g} unreachable: even without shedding the "
+            f"predicted error is {error_at_full:.3g}; increase the sketch size"
+        )
+    low, high = MIN_KEEP_PROBABILITY, 1.0
+    if predict_relative_error(f, low, n, g=g, confidence=confidence) <= target_error:
+        high = low
+    else:
+        while (high - low) / high > tolerance:
+            mid = math.sqrt(low * high)  # geometric bisection: p spans decades
+            if predict_relative_error(f, mid, n, g=g, confidence=confidence) <= target_error:
+                high = mid
+            else:
+                low = mid
+    p = high
+    return SheddingPlan(
+        keep_probability=p,
+        predicted_error=predict_relative_error(f, p, n, g=g, confidence=confidence),
+        speedup=1.0 / p,
+        target_error=target_error,
+        confidence=confidence,
+    )
+
+
+def _as_fraction(p: float):
+    from fractions import Fraction
+
+    return Fraction(p).limit_denominator(10**12)

@@ -1,0 +1,32 @@
+"""Online-aggregation engine substrate (Section VI-C of the paper).
+
+An online-aggregation engine scans relations in random order and keeps the
+user updated with progressively refining estimates; the prefix of a
+random-order scan is a without-replacement sample of the scanned fraction.
+The paper's proposal: sketch the tuples *as they are scanned* and use the
+WOR corrections (Section V-D) to turn the sketch into statistics — second
+frequency moments, join-size correlations — "essentially for free".
+
+:class:`~repro.engine.online_aggregation.OnlineSelfJoinAggregator` and
+:class:`~repro.engine.online_aggregation.OnlineJoinAggregator` implement
+exactly that scan loop and yield a
+:class:`~repro.engine.online_aggregation.ProgressivePoint` per checkpoint.
+"""
+
+from .online_aggregation import (
+    OnlineJoinAggregator,
+    OnlineSelfJoinAggregator,
+    ProgressivePoint,
+)
+from .scan import run_lockstep_scan
+from .statistics import OnlineStatisticsEngine, ScanState, StatisticsSnapshot
+
+__all__ = [
+    "ProgressivePoint",
+    "OnlineSelfJoinAggregator",
+    "OnlineJoinAggregator",
+    "OnlineStatisticsEngine",
+    "ScanState",
+    "StatisticsSnapshot",
+    "run_lockstep_scan",
+]

@@ -1,0 +1,62 @@
+"""Scan driver: run relations through the statistics engine with checkpoints.
+
+:class:`~repro.engine.statistics.OnlineStatisticsEngine` is deliberately
+passive (callers push chunks); this module adds the loop an online
+aggregation engine actually runs — scan all registered relations in
+lockstep fractions, snapshotting the statistics at checkpoints::
+
+    engine = OnlineStatisticsEngine(buckets=4096, seed=7)
+    for snapshot in run_lockstep_scan(
+        engine,
+        {"lineitem": tables.lineitem, "orders": tables.orders},
+        checkpoints=(0.01, 0.1, 0.5, 1.0),
+    ):
+        decide_something(snapshot)
+
+Relations are registered automatically; their arrival order must already
+be random (the WOR-prefix premise).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from ..errors import ConfigurationError
+from ..streams.base import Relation
+from .online_aggregation import DEFAULT_CHECKPOINTS, _validate_checkpoints
+from .statistics import OnlineStatisticsEngine, StatisticsSnapshot
+
+__all__ = ["run_lockstep_scan"]
+
+
+def run_lockstep_scan(
+    engine: OnlineStatisticsEngine,
+    relations: Mapping[str, Relation],
+    *,
+    checkpoints: Sequence[float] = DEFAULT_CHECKPOINTS,
+) -> Iterator[StatisticsSnapshot]:
+    """Scan every relation to each checkpoint fraction, yielding snapshots.
+
+    At checkpoint ``x`` every relation has had an ``x`` fraction of its
+    tuples consumed (ripple-join-style lockstep).  Relations not yet
+    registered with *engine* are registered with their exact cardinality.
+    """
+    if not relations:
+        raise ConfigurationError("at least one relation is required")
+    fractions = _validate_checkpoints(checkpoints)
+    for name, relation in relations.items():
+        if name not in engine.relations:
+            engine.register(name, len(relation))
+        elif engine.fraction_scanned(name) > 0:
+            raise ConfigurationError(
+                f"relation {name!r} was already partially scanned; "
+                "run_lockstep_scan needs a fresh engine registration"
+            )
+    scanned = {name: 0 for name in relations}
+    for fraction in fractions:
+        for name, relation in relations.items():
+            target = min(len(relation), max(1, int(round(fraction * len(relation)))))
+            if target > scanned[name]:
+                engine.consume(name, relation.keys[scanned[name] : target])
+                scanned[name] = target
+        yield engine.snapshot()

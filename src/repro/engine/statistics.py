@@ -1,0 +1,228 @@
+"""A sketch-backed statistics engine for online aggregation (Section VI-C).
+
+The paper's vision: while an online-aggregation engine scans its relations
+in random order, it sketches every tuple it passes ("essentially for free"
+on spare cores) and the sketches provide — at any moment of the scan —
+unbiased estimates of the statistics the engine's decisions need:
+
+* the second frequency moment of any scanned column, and
+* the size of join (correlation) between any *pair* of scanned columns.
+
+:class:`OnlineStatisticsEngine` is that component.  All registered
+relations share one set of hash/ξ families, so every pair is joinable; the
+WOR corrections use each relation's scanned-fraction, so relations may be
+scanned at different speeds and statistics stay unbiased throughout.
+
+Usage::
+
+    engine = OnlineStatisticsEngine(buckets=4096, seed=7)
+    engine.register("lineitem", total_tuples=6_000_000)
+    engine.register("orders",   total_tuples=1_500_000)
+    for chunk in lineitem_scan:
+        engine.consume("lineitem", chunk)
+        ...
+    engine.self_join_size("lineitem")     # F2 estimate, any time
+    engine.join_size("lineitem", "orders")
+    engine.snapshot()                     # everything at once
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, InsufficientDataError
+from ..rng import SeedLike, as_seed_sequence
+from ..sampling.base import SampleInfo
+from ..sampling.unbiasing import join_scale, self_join_correction
+from ..sketches.fagms import FagmsSketch
+
+__all__ = ["OnlineStatisticsEngine", "ScanState", "StatisticsSnapshot"]
+
+
+@dataclass
+class ScanState:
+    """Progress of one registered relation's scan."""
+
+    name: str
+    total_tuples: int
+    sketch: FagmsSketch
+    scanned: int = 0
+
+    @property
+    def fraction(self) -> float:
+        """Scanned fraction of the relation."""
+        return self.scanned / self.total_tuples if self.total_tuples else 0.0
+
+    def info(self) -> SampleInfo:
+        """The WOR draw metadata of the scanned prefix."""
+        return SampleInfo(
+            scheme="without_replacement",
+            population_size=self.total_tuples,
+            sample_size=self.scanned,
+        )
+
+
+@dataclass(frozen=True)
+class StatisticsSnapshot:
+    """All statistics available at one moment of the scan."""
+
+    fractions: dict
+    self_join_sizes: dict
+    join_sizes: dict
+
+    def __repr__(self) -> str:
+        scanned = ", ".join(
+            f"{name}={fraction:.0%}" for name, fraction in self.fractions.items()
+        )
+        return f"StatisticsSnapshot({scanned})"
+
+
+class OnlineStatisticsEngine:
+    """Maintains sketch statistics over concurrently scanned relations.
+
+    Parameters
+    ----------
+    buckets, rows:
+        F-AGMS shape shared by every relation's sketch.
+    seed:
+        One seed for all sketches — required so cross-relation inner
+        products are meaningful.
+    """
+
+    def __init__(
+        self,
+        buckets: int = 4096,
+        rows: int = 1,
+        seed: SeedLike = None,
+    ) -> None:
+        self._template = FagmsSketch(
+            buckets, rows, as_seed_sequence(seed)
+        )
+        self._relations: dict[str, ScanState] = {}
+
+    # ------------------------------------------------------------------
+    # Registration and scanning
+    # ------------------------------------------------------------------
+
+    def register(self, name: str, total_tuples: int) -> None:
+        """Register a relation before scanning it.
+
+        ``total_tuples`` must be known (online aggregation scans stored
+        relations whose cardinality the catalog provides).
+        """
+        if not name:
+            raise ConfigurationError("relation name must be non-empty")
+        if name in self._relations:
+            raise ConfigurationError(f"relation {name!r} already registered")
+        if total_tuples < 2:
+            raise ConfigurationError(
+                f"relation {name!r} needs at least 2 tuples, got {total_tuples}"
+            )
+        self._relations[name] = ScanState(
+            name=name,
+            total_tuples=total_tuples,
+            sketch=self._template.copy_empty(),
+        )
+
+    @property
+    def relations(self) -> tuple[str, ...]:
+        """Names of registered relations."""
+        return tuple(self._relations)
+
+    def _state(self, name: str) -> ScanState:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown relation {name!r}; registered: {self.relations}"
+            ) from None
+
+    def consume(self, name: str, keys) -> None:
+        """Feed the next chunk of *name*'s random-order scan."""
+        state = self._state(name)
+        keys = np.asarray(keys)
+        if state.scanned + keys.size > state.total_tuples:
+            raise ConfigurationError(
+                f"scan of {name!r} overflows its declared cardinality "
+                f"({state.total_tuples})"
+            )
+        state.sketch.update(keys)
+        state.scanned += int(keys.size)
+
+    def fraction_scanned(self, name: str) -> float:
+        """Scanned fraction of a relation."""
+        return self._state(name).fraction
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def self_join_size(self, name: str) -> float:
+        """Current unbiased ``F₂`` estimate for *name*'s scanned column."""
+        state = self._state(name)
+        if state.scanned < 2:
+            raise InsufficientDataError(
+                f"need at least 2 scanned tuples of {name!r} to unbias F2"
+            )
+        correction = self_join_correction(state.info())
+        return correction.apply(state.sketch.second_moment(), state.scanned)
+
+    def join_size(self, name_a: str, name_b: str) -> float:
+        """Current unbiased ``|A ⋈ B|`` estimate between two scans."""
+        state_a = self._state(name_a)
+        state_b = self._state(name_b)
+        if name_a == name_b:
+            raise ConfigurationError(
+                "join_size needs two distinct relations; use self_join_size "
+                "for a relation with itself"
+            )
+        if state_a.scanned < 1 or state_b.scanned < 1:
+            raise InsufficientDataError(
+                "both relations need scanned tuples before a join estimate"
+            )
+        raw = state_a.sketch.inner_product(state_b.sketch)
+        return float(join_scale(state_a.info(), state_b.info())) * raw
+
+    def snapshot(self) -> StatisticsSnapshot:
+        """Every currently-computable statistic.
+
+        Relations with fewer than 2 scanned tuples are omitted from the
+        self-join map; pairs with an unscanned member are omitted from the
+        join map.
+        """
+        fractions = {name: s.fraction for name, s in self._relations.items()}
+        self_joins = {}
+        for name, state in self._relations.items():
+            if state.scanned >= 2:
+                self_joins[name] = self.self_join_size(name)
+        joins = {}
+        names = list(self._relations)
+        for i, name_a in enumerate(names):
+            for name_b in names[i + 1 :]:
+                if (
+                    self._relations[name_a].scanned
+                    and self._relations[name_b].scanned
+                ):
+                    joins[(name_a, name_b)] = self.join_size(name_a, name_b)
+        return StatisticsSnapshot(
+            fractions=fractions,
+            self_join_sizes=self_joins,
+            join_sizes=joins,
+        )
+
+    # ------------------------------------------------------------------
+
+    def memory_footprint(self) -> int:
+        """Bytes of counter state across all registered relations."""
+        return sum(
+            state.sketch._state().nbytes for state in self._relations.values()
+        )
+
+    def __repr__(self) -> str:
+        scans = ", ".join(
+            f"{name}:{state.fraction:.0%}"
+            for name, state in self._relations.items()
+        )
+        return f"OnlineStatisticsEngine({scans or 'no relations'})"

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting genuine programming errors (``TypeError`` from misuse of the
+Python API, ``KeyboardInterrupt``, ...) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "DomainError",
+    "EstimationError",
+    "InsufficientDataError",
+    "IncompatibleSketchError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A component was constructed with invalid parameters.
+
+    Examples: a Bernoulli sampler with ``p`` outside ``(0, 1]``, a sketch
+    with a non-positive number of buckets, a Zipf generator with a negative
+    skew coefficient.
+    """
+
+
+class DomainError(ReproError, ValueError):
+    """A stream item or frequency vector lies outside the configured domain.
+
+    Sketches and frequency vectors are defined over a finite integer domain
+    ``[0, domain_size)``; feeding a key outside that range is a caller bug
+    that would silently corrupt estimates if allowed through.
+    """
+
+
+class EstimationError(ReproError, RuntimeError):
+    """An estimate could not be produced from the current state."""
+
+
+class InsufficientDataError(EstimationError):
+    """Not enough data has been observed to produce the requested estimate.
+
+    Raised, for example, when asking a without-replacement estimator for an
+    unbiased self-join size with a sample of fewer than two tuples (the
+    unbiasing correction divides by ``|F'| - 1``).
+    """
+
+
+class IncompatibleSketchError(ReproError, ValueError):
+    """Two sketches cannot be combined.
+
+    Sketches may only be merged or multiplied (for size-of-join estimation)
+    when they share the same shape *and* the same random seeds, i.e. the same
+    underlying hash/ξ families.
+    """

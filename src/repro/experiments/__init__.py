@@ -1,0 +1,66 @@
+"""Experiment harness: regenerate every figure of the paper's Section VII.
+
+The paper's evaluation has eight figures (no numbered tables):
+
+===  ==================================================================
+Fig  What it shows
+===  ==================================================================
+1    variance decomposition, size of join, Bernoulli, vs skew
+2    variance decomposition, self-join size, Bernoulli, vs skew
+3    relative error, size of join, Bernoulli, vs skew (several p)
+4    relative error, self-join size, Bernoulli, vs skew (several p)
+5    relative error, size of join, WR, vs sample fraction
+6    relative error, self-join size, WR, vs sample fraction
+7    relative error, size of join lineitem⋈orders (TPC-H), WOR, vs rate
+8    relative error, F₂ of lineitem.l_orderkey (TPC-H), WOR, vs rate
+===  ==================================================================
+
+Each ``figN_*`` function in :mod:`~repro.experiments.figures` returns a
+:class:`~repro.experiments.report.FigureResult` whose ``format()`` prints
+the same series the paper plots.  Scales default to laptop-friendly values
+(see :class:`~repro.experiments.config.ExperimentScale`); pass
+``ExperimentScale.paper()`` to approach the paper's sizes.
+"""
+
+from .config import ExperimentScale
+from .figures import (
+    fig1_join_variance_decomposition,
+    fig2_self_join_variance_decomposition,
+    fig3_join_error_bernoulli,
+    fig4_self_join_error_bernoulli,
+    fig5_join_error_wr,
+    fig6_self_join_error_wr,
+    fig7_join_error_wor_tpch,
+    fig8_self_join_error_wor_tpch,
+)
+from .extended import (
+    ext1_error_vs_buckets,
+    ext2_interval_coverage,
+    ext3_theory_vs_monte_carlo,
+)
+from .replication import replicate
+from .report import FigureResult, format_table
+from .runner import TrialStats, relative_error, run_trials
+from .sweeps import error_sweep
+
+__all__ = [
+    "error_sweep",
+    "replicate",
+    "ext1_error_vs_buckets",
+    "ext2_interval_coverage",
+    "ext3_theory_vs_monte_carlo",
+    "ExperimentScale",
+    "TrialStats",
+    "run_trials",
+    "relative_error",
+    "FigureResult",
+    "format_table",
+    "fig1_join_variance_decomposition",
+    "fig2_self_join_variance_decomposition",
+    "fig3_join_error_bernoulli",
+    "fig4_self_join_error_bernoulli",
+    "fig5_join_error_wr",
+    "fig6_self_join_error_wr",
+    "fig7_join_error_wor_tpch",
+    "fig8_self_join_error_wor_tpch",
+]

@@ -1,0 +1,12 @@
+"""``python -m repro.experiments`` — regenerate the paper's figures."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (| head …).
+        sys.exit(0)

@@ -1,0 +1,134 @@
+"""Command-line entry point for regenerating the paper's figures.
+
+Usage (any of)::
+
+    python -m repro.experiments fig3
+    python -m repro.experiments fig7 --scale default
+    python -m repro.experiments all --scale small --csv-dir results/
+    python -m repro.experiments fig5 --out fig5.txt --csv fig5.csv
+
+Figures are printed as aligned text tables (the same series the paper
+plots); ``--csv``/``--csv-dir`` additionally write machine-readable data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from .config import ExperimentScale
+from .extended import (
+    ext1_error_vs_buckets,
+    ext2_interval_coverage,
+    ext3_theory_vs_monte_carlo,
+)
+from .figures import (
+    fig1_join_variance_decomposition,
+    fig2_self_join_variance_decomposition,
+    fig3_join_error_bernoulli,
+    fig4_self_join_error_bernoulli,
+    fig5_join_error_wr,
+    fig6_self_join_error_wr,
+    fig7_join_error_wor_tpch,
+    fig8_self_join_error_wor_tpch,
+)
+from .report import FigureResult
+
+__all__ = ["main", "FIGURES"]
+
+FIGURES: dict[str, Callable[[ExperimentScale], FigureResult]] = {
+    "fig1": fig1_join_variance_decomposition,
+    "fig2": fig2_self_join_variance_decomposition,
+    "fig3": fig3_join_error_bernoulli,
+    "fig4": fig4_self_join_error_bernoulli,
+    "fig5": fig5_join_error_wr,
+    "fig6": fig6_self_join_error_wr,
+    "fig7": fig7_join_error_wor_tpch,
+    "fig8": fig8_self_join_error_wor_tpch,
+    "ext1": ext1_error_vs_buckets,
+    "ext2": ext2_interval_coverage,
+    "ext3": ext3_theory_vs_monte_carlo,
+}
+
+_SCALES = {
+    "small": ExperimentScale.small,
+    "default": ExperimentScale.default,
+    "paper": ExperimentScale.paper,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate figures of 'Sketching Sampled Data Streams'.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=[*FIGURES, "all"],
+        help="which figure to regenerate ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=tuple(_SCALES),
+        default="small",
+        help="experiment scale preset (default: small)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the root seed"
+    )
+    parser.add_argument(
+        "--trials", type=int, default=None, help="override the trial count"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="also write the text table(s) to this file",
+    )
+    parser.add_argument(
+        "--csv", type=Path, default=None, help="write one figure's data as CSV"
+    )
+    parser.add_argument(
+        "--csv-dir",
+        type=Path,
+        default=None,
+        help="write every generated figure's data as CSV into this directory",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    scale = _SCALES[args.scale]()
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.trials is not None:
+        overrides["trials"] = args.trials
+    if overrides:
+        scale = scale.with_(**overrides)
+
+    names = list(FIGURES) if args.figure == "all" else [args.figure]
+    if args.csv is not None and len(names) != 1:
+        print("--csv applies to a single figure; use --csv-dir for 'all'",
+              file=sys.stderr)
+        return 2
+
+    outputs = []
+    for name in names:
+        result = FIGURES[name](scale)
+        text = result.format()
+        print(text)
+        print()
+        outputs.append(text)
+        if args.csv is not None:
+            result.save_csv(args.csv)
+        if args.csv_dir is not None:
+            args.csv_dir.mkdir(parents=True, exist_ok=True)
+            result.save_csv(args.csv_dir / f"{name}.csv")
+    if args.out is not None:
+        args.out.write_text("\n\n".join(outputs) + "\n")
+    return 0

@@ -1,0 +1,91 @@
+"""Scaling knobs for the experiment harness.
+
+The paper's experiments run at 10⁷–10⁸ tuples over a 10⁶-value domain with
+5,000–10,000 sketch buckets and ≥100 trials — hours of laptop time in pure
+Python.  All experiment functions therefore take an
+:class:`ExperimentScale` and three presets are provided:
+
+* :meth:`ExperimentScale.small` — seconds; used by the test-suite and the
+  default for ``pytest benchmarks/``;
+* :meth:`ExperimentScale.default` — a couple of minutes; enough for every
+  qualitative shape the paper reports (EXPERIMENTS.md was produced at this
+  scale);
+* :meth:`ExperimentScale.paper` — the paper's sizes (slow; provided for
+  completeness).
+
+The shapes under study are scale-free in the regimes plotted: what matters
+is the *ratio* of buckets to distinct values and the sampling fractions,
+both preserved across presets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+
+__all__ = ["ExperimentScale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size parameters shared by all experiments.
+
+    Attributes
+    ----------
+    n_tuples:
+        Stream length per synthetic relation.
+    domain_size:
+        Attribute domain size ``|I|``.
+    buckets:
+        F-AGMS buckets (the paper's "number of averaged basic estimators").
+    trials:
+        Independent repetitions averaged into each reported error.
+    tpch_orders:
+        Orders generated for the TPC-H experiments (Figs 7–8).
+    seed:
+        Root seed; every trial derives an independent substream.
+    """
+
+    n_tuples: int = 100_000
+    domain_size: int = 10_000
+    buckets: int = 1_000
+    trials: int = 30
+    tpch_orders: int = 20_000
+    seed: int = 20090329  # ICDE 2009 begins
+
+    def __post_init__(self) -> None:
+        for field in ("n_tuples", "domain_size", "buckets", "trials", "tpch_orders"):
+            if getattr(self, field) < 1:
+                raise ConfigurationError(f"{field} must be >= 1")
+
+    @classmethod
+    def small(cls) -> "ExperimentScale":
+        """Seconds-scale preset for tests and quick benchmark runs."""
+        return cls(
+            n_tuples=20_000,
+            domain_size=2_000,
+            buckets=500,
+            trials=10,
+            tpch_orders=4_000,
+        )
+
+    @classmethod
+    def default(cls) -> "ExperimentScale":
+        """Minutes-scale preset; reproduces every qualitative shape."""
+        return cls()
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        """The paper's sizes (10⁷ tuples, 10⁶ domain, 5,000 buckets)."""
+        return cls(
+            n_tuples=10_000_000,
+            domain_size=1_000_000,
+            buckets=5_000,
+            trials=100,
+            tpch_orders=1_500_000,
+        )
+
+    def with_(self, **overrides) -> "ExperimentScale":
+        """A copy with some fields replaced."""
+        return replace(self, **overrides)

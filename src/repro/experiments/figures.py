@@ -1,0 +1,453 @@
+"""Builders that regenerate each of the paper's eight figures.
+
+Every function returns a :class:`~repro.experiments.report.FigureResult`
+whose rows are the series the corresponding figure plots.  Figures 1–2 are
+analytic (exact variance decomposition, no randomness beyond the data
+draw); Figures 3–8 are Monte Carlo over independent trials, exactly like
+Section VII: F-AGMS sketches, the frequency-domain sampling fast path, and
+mean relative error across trials.
+
+Default sweep parameters mirror the paper (skews 0–5, sampling rates down
+to 0.001, sample fractions 1%–100%); the data sizes come from the
+:class:`~repro.experiments.config.ExperimentScale` argument.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.estimators import estimate_join_size, estimate_self_join_size
+from ..errors import ConfigurationError
+from ..frequency import FrequencyVector
+from ..rng import as_seed_sequence
+from ..sampling.base import SampleInfo, Sampler
+from ..sampling.bernoulli import BernoulliSampler
+from ..sampling.with_replacement import WithReplacementSampler
+from ..sampling.without_replacement import WithoutReplacementSampler
+from ..sketches.fagms import FagmsSketch
+from ..streams.synthetic import zipf_frequency_vector
+from ..streams.tpch import generate_tpch
+from ..variance.decomposition import decompose_combined_variance
+from .config import ExperimentScale
+from .report import FigureResult
+from .runner import run_trials
+
+__all__ = [
+    "fig1_join_variance_decomposition",
+    "fig2_self_join_variance_decomposition",
+    "fig3_join_error_bernoulli",
+    "fig4_self_join_error_bernoulli",
+    "fig5_join_error_wr",
+    "fig6_self_join_error_wr",
+    "fig7_join_error_wor_tpch",
+    "fig8_self_join_error_wor_tpch",
+]
+
+DEFAULT_SKEWS = (0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0)
+DEFAULT_PROBABILITIES = (1.0, 0.1, 0.01, 0.001)
+DECOMPOSITION_PROBABILITIES = (0.1, 0.01, 0.001)
+DEFAULT_FRACTIONS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0)
+WR_SKEWS = (0.5, 1.0)
+
+
+def _scale_or_default(scale: Optional[ExperimentScale]) -> ExperimentScale:
+    return scale if scale is not None else ExperimentScale.default()
+
+
+def _zipf_pair(
+    scale: ExperimentScale, skew: float, tag: int, *, aligned: bool
+) -> tuple[FrequencyVector, FrequencyVector]:
+    """Two independently drawn Zipf frequency vectors (F and G).
+
+    The paper states only that "the tuples in the two relations are
+    generated completely independent"; that leaves the rank→value mapping
+    ambiguous, and the two readings reproduce different figures:
+
+    * ``aligned=False`` — each relation gets its own random rank→value
+      permutation, so heavy hitters land on unrelated values and the join
+      is small.  This is the configuration under which the paper's Fig 1
+      claims hold exactly (the sketch variance dominates the join variance
+      at any sampling rate, the interaction term dominates at low skew).
+    * ``aligned=True`` — both relations use the identity mapping (value =
+      frequency rank), giving a large Zipf-correlated join.  This is the
+      configuration under which the Monte-Carlo error magnitudes of
+      Figs 3/5 are moderate and the "sampling rate barely matters" claim
+      is visible at laptop scale.
+
+    See EXPERIMENTS.md ("join-pair convention") for the full discussion.
+    """
+    root = as_seed_sequence(scale.seed + tag)
+    for seed_f, seed_g in zip(root.spawn(40)[::2], root.spawn(40)[1::2]):
+        f = zipf_frequency_vector(
+            scale.n_tuples,
+            scale.domain_size,
+            skew,
+            seed=seed_f,
+            shuffle_values=not aligned,
+        )
+        g = zipf_frequency_vector(
+            scale.n_tuples,
+            scale.domain_size,
+            skew,
+            seed=seed_g,
+            shuffle_values=not aligned,
+        )
+        # At small scales and very high skew, two independently permuted
+        # relations can miss each other entirely; every consumer needs a
+        # non-empty join, so redraw (rare) empty-join pairs.
+        if f.join_size(g) > 0:
+            return f, g
+    raise ConfigurationError(
+        f"could not draw a Zipf pair with a non-empty join at skew {skew}; "
+        "increase n_tuples or domain_size"
+    )
+
+
+def _zipf_single(scale: ExperimentScale, skew: float, tag: int) -> FrequencyVector:
+    root = as_seed_sequence(scale.seed + tag)
+    return zipf_frequency_vector(
+        scale.n_tuples,
+        scale.domain_size,
+        skew,
+        seed=root.spawn(1)[0],
+        shuffle_values=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# Monte-Carlo trial closures
+# ----------------------------------------------------------------------
+
+
+def _join_trial(
+    f: FrequencyVector,
+    g: FrequencyVector,
+    sampler_f: Sampler,
+    sampler_g: Sampler,
+    buckets: int,
+):
+    """One sketch-over-samples join estimate, fully driven by a trial RNG."""
+
+    def run(rng: np.random.Generator) -> float:
+        sketch_f = FagmsSketch(buckets, seed=int(rng.integers(2**63)))
+        sketch_g = sketch_f.copy_empty()
+        sample_f, info_f = sampler_f.sample_frequencies(f, rng)
+        sample_g, info_g = sampler_g.sample_frequencies(g, rng)
+        sketch_f.update_frequency_vector(sample_f)
+        sketch_g.update_frequency_vector(sample_g)
+        return estimate_join_size(sketch_f, info_f, sketch_g, info_g).value
+
+    return run
+
+
+def _self_join_trial(f: FrequencyVector, sampler: Sampler, buckets: int):
+    """One sketch-over-samples self-join estimate."""
+
+    def run(rng: np.random.Generator) -> float:
+        sketch = FagmsSketch(buckets, seed=int(rng.integers(2**63)))
+        sample, info = sampler.sample_frequencies(f, rng)
+        sketch.update_frequency_vector(sample)
+        return estimate_self_join_size(sketch, info).value
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Figures 1–2: analytic variance decomposition (Bernoulli)
+# ----------------------------------------------------------------------
+
+
+def fig1_join_variance_decomposition(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    skews: Sequence[float] = DEFAULT_SKEWS,
+    probabilities: Sequence[float] = DECOMPOSITION_PROBABILITIES,
+) -> FigureResult:
+    """Fig 1: relative contribution of the three variance terms (join).
+
+    Exact evaluation of Prop 13's decomposition on Zipf data; the paper's
+    qualitative claims: the interaction term dominates at low skew, the
+    sketch term at high skew.
+    """
+    scale = _scale_or_default(scale)
+    rows = []
+    for skew in skews:
+        f, g = _zipf_pair(scale, skew, tag=1, aligned=False)
+        for p in probabilities:
+            info = SampleInfo(
+                scheme="bernoulli",
+                population_size=f.total,
+                sample_size=max(1, int(round(p * f.total))),
+                probability=p,
+            )
+            parts = decompose_combined_variance(
+                f, info, scale.buckets, g=g, info_g=info
+            )
+            s_sampling, s_sketch, s_interaction = parts.shares()
+            rows.append((skew, p, s_sampling, s_sketch, s_interaction))
+    return FigureResult(
+        figure="Fig 1",
+        title="Size-of-join variance decomposition (Bernoulli)",
+        columns=("skew", "p", "sampling_share", "sketch_share", "interaction_share"),
+        rows=tuple(rows),
+        parameters={
+            "n_tuples": scale.n_tuples,
+            "domain": scale.domain_size,
+            "n(buckets)": scale.buckets,
+        },
+    )
+
+
+def fig2_self_join_variance_decomposition(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    skews: Sequence[float] = DEFAULT_SKEWS,
+    probabilities: Sequence[float] = DECOMPOSITION_PROBABILITIES,
+) -> FigureResult:
+    """Fig 2: relative contribution of the three variance terms (self-join).
+
+    Exact evaluation of Prop 14's decomposition; the paper: the sampling
+    term dominates for skewed data.
+    """
+    scale = _scale_or_default(scale)
+    rows = []
+    for skew in skews:
+        f = _zipf_single(scale, skew, tag=2)
+        for p in probabilities:
+            info = SampleInfo(
+                scheme="bernoulli",
+                population_size=f.total,
+                sample_size=max(1, int(round(p * f.total))),
+                probability=p,
+            )
+            parts = decompose_combined_variance(f, info, scale.buckets)
+            s_sampling, s_sketch, s_interaction = parts.shares()
+            rows.append((skew, p, s_sampling, s_sketch, s_interaction))
+    return FigureResult(
+        figure="Fig 2",
+        title="Self-join size variance decomposition (Bernoulli)",
+        columns=("skew", "p", "sampling_share", "sketch_share", "interaction_share"),
+        rows=tuple(rows),
+        parameters={
+            "n_tuples": scale.n_tuples,
+            "domain": scale.domain_size,
+            "n(buckets)": scale.buckets,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 3–4: Bernoulli sampling, error vs skew
+# ----------------------------------------------------------------------
+
+
+def fig3_join_error_bernoulli(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    skews: Sequence[float] = DEFAULT_SKEWS,
+    probabilities: Sequence[float] = DEFAULT_PROBABILITIES,
+) -> FigureResult:
+    """Fig 3: size-of-join relative error vs skew, Bernoulli sampling.
+
+    ``p = 1.0`` is the plain sketch baseline.  The paper's shape: curves
+    for all p essentially coincide up to skew ≈ 3.
+    """
+    scale = _scale_or_default(scale)
+    rows = []
+    for skew in skews:
+        f, g = _zipf_pair(scale, skew, tag=3, aligned=True)
+        truth = f.join_size(g)
+        for p in probabilities:
+            trial = _join_trial(f, g, BernoulliSampler(p), BernoulliSampler(p), scale.buckets)
+            stats = run_trials(trial, truth, scale.trials, seed=scale.seed + 31)
+            rows.append((skew, p, stats.mean_error, stats.median_error))
+    return FigureResult(
+        figure="Fig 3",
+        title="Size-of-join relative error vs skew (Bernoulli)",
+        columns=("skew", "p", "mean_rel_error", "median_rel_error"),
+        rows=tuple(rows),
+        parameters=_mc_parameters(scale),
+    )
+
+
+def fig4_self_join_error_bernoulli(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    skews: Sequence[float] = DEFAULT_SKEWS,
+    probabilities: Sequence[float] = DEFAULT_PROBABILITIES,
+) -> FigureResult:
+    """Fig 4: self-join relative error vs skew, Bernoulli sampling.
+
+    The paper's shape: curves coincide up to skew ≈ 1; sampling hurts for
+    high skew.
+    """
+    scale = _scale_or_default(scale)
+    rows = []
+    for skew in skews:
+        f = _zipf_single(scale, skew, tag=4)
+        truth = f.self_join_size()
+        for p in probabilities:
+            trial = _self_join_trial(f, BernoulliSampler(p), scale.buckets)
+            stats = run_trials(trial, truth, scale.trials, seed=scale.seed + 41)
+            rows.append((skew, p, stats.mean_error, stats.median_error))
+    return FigureResult(
+        figure="Fig 4",
+        title="Self-join size relative error vs skew (Bernoulli)",
+        columns=("skew", "p", "mean_rel_error", "median_rel_error"),
+        rows=tuple(rows),
+        parameters=_mc_parameters(scale),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 5–6: sampling with replacement, error vs sample fraction
+# ----------------------------------------------------------------------
+
+
+def fig5_join_error_wr(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    skews: Sequence[float] = WR_SKEWS,
+) -> FigureResult:
+    """Fig 5: size-of-join error vs WR sample fraction.
+
+    The paper's shape: error decreases with the fraction and stabilizes at
+    around 10% of the population size.
+    """
+    scale = _scale_or_default(scale)
+    rows = []
+    for skew in skews:
+        f, g = _zipf_pair(scale, skew, tag=5, aligned=True)
+        truth = f.join_size(g)
+        for fraction in fractions:
+            sampler = WithReplacementSampler(fraction=fraction)
+            trial = _join_trial(f, g, sampler, sampler, scale.buckets)
+            stats = run_trials(trial, truth, scale.trials, seed=scale.seed + 51)
+            rows.append((fraction, skew, stats.mean_error, stats.median_error))
+    return FigureResult(
+        figure="Fig 5",
+        title="Size-of-join relative error vs sample fraction (WR)",
+        columns=("fraction", "skew", "mean_rel_error", "median_rel_error"),
+        rows=tuple(rows),
+        parameters=_mc_parameters(scale),
+    )
+
+
+def fig6_self_join_error_wr(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    skews: Sequence[float] = WR_SKEWS,
+) -> FigureResult:
+    """Fig 6: self-join error vs WR sample fraction (same shape as Fig 5)."""
+    scale = _scale_or_default(scale)
+    rows = []
+    for skew in skews:
+        f = _zipf_single(scale, skew, tag=6)
+        truth = f.self_join_size()
+        for fraction in fractions:
+            sampler = WithReplacementSampler(fraction=fraction)
+            trial = _self_join_trial(f, sampler, scale.buckets)
+            stats = run_trials(trial, truth, scale.trials, seed=scale.seed + 61)
+            rows.append((fraction, skew, stats.mean_error, stats.median_error))
+    return FigureResult(
+        figure="Fig 6",
+        title="Self-join size relative error vs sample fraction (WR)",
+        columns=("fraction", "skew", "mean_rel_error", "median_rel_error"),
+        rows=tuple(rows),
+        parameters=_mc_parameters(scale),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 7–8: sampling without replacement on TPC-H
+# ----------------------------------------------------------------------
+
+
+def fig7_join_error_wor_tpch(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+) -> FigureResult:
+    """Fig 7: ``lineitem ⋈ orders`` error vs WOR sampling rate (TPC-H).
+
+    The paper's (surprising) shape: smallest error around a 10% rate, then
+    *increasing* with the rate — an F-AGMS bucket-contention effect
+    (Section VII-D).
+    """
+    scale = _scale_or_default(scale)
+    tables = generate_tpch(
+        scale_factor=scale.tpch_orders / 1_500_000,
+        seed=scale.seed + 70,
+    )
+    f = tables.lineitem.frequency_vector()
+    g = tables.orders.frequency_vector()
+    truth = tables.exact_join_size()
+    rows = []
+    for fraction in fractions:
+        sampler = WithoutReplacementSampler(fraction=fraction)
+        trial = _join_trial(f, g, sampler, sampler, scale.buckets)
+        stats = run_trials(trial, truth, scale.trials, seed=scale.seed + 71)
+        rows.append((fraction, stats.mean_error, stats.median_error))
+    return FigureResult(
+        figure="Fig 7",
+        title="TPC-H lineitem ⋈ orders relative error vs sampling rate (WOR)",
+        columns=("fraction", "mean_rel_error", "median_rel_error"),
+        rows=tuple(rows),
+        parameters=_tpch_parameters(scale, tables.n_lineitems, tables.n_orders),
+    )
+
+
+def fig8_self_join_error_wor_tpch(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+) -> FigureResult:
+    """Fig 8: F₂ of ``lineitem.l_orderkey`` vs WOR sampling rate (TPC-H).
+
+    The paper's shape: error decreases and stabilizes for rates ≥ 10%.
+    """
+    scale = _scale_or_default(scale)
+    tables = generate_tpch(
+        scale_factor=scale.tpch_orders / 1_500_000,
+        seed=scale.seed + 80,
+    )
+    f = tables.lineitem.frequency_vector()
+    truth = tables.exact_lineitem_f2()
+    rows = []
+    for fraction in fractions:
+        sampler = WithoutReplacementSampler(fraction=fraction)
+        trial = _self_join_trial(f, sampler, scale.buckets)
+        stats = run_trials(trial, truth, scale.trials, seed=scale.seed + 81)
+        rows.append((fraction, stats.mean_error, stats.median_error))
+    return FigureResult(
+        figure="Fig 8",
+        title="TPC-H F2(l_orderkey) relative error vs sampling rate (WOR)",
+        columns=("fraction", "mean_rel_error", "median_rel_error"),
+        rows=tuple(rows),
+        parameters=_tpch_parameters(scale, tables.n_lineitems, tables.n_orders),
+    )
+
+
+# ----------------------------------------------------------------------
+
+
+def _mc_parameters(scale: ExperimentScale) -> dict:
+    return {
+        "n_tuples": scale.n_tuples,
+        "domain": scale.domain_size,
+        "buckets": scale.buckets,
+        "trials": scale.trials,
+    }
+
+
+def _tpch_parameters(scale: ExperimentScale, lineitems: int, orders: int) -> dict:
+    return {
+        "lineitem": lineitems,
+        "orders": orders,
+        "buckets": scale.buckets,
+        "trials": scale.trials,
+    }

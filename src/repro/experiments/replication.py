@@ -1,0 +1,109 @@
+"""Cross-seed replication: how stable are a figure's numbers?
+
+A single harness run reports Monte-Carlo means under one root seed; a
+reviewer's first question is how much those numbers move under a different
+seed.  :func:`replicate` answers it: run any figure builder under several
+root seeds and report, per (row-key, numeric column), the across-seed mean
+and spread.
+
+Works with every builder in :mod:`~repro.experiments.figures` and
+:mod:`~repro.experiments.extended` because they all key their rows on the
+leading non-measured columns and take the seed from the
+:class:`~repro.experiments.config.ExperimentScale`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .config import ExperimentScale
+from .report import FigureResult
+
+__all__ = ["replicate"]
+
+#: Columns treated as measurements (replicated); all earlier columns are
+#: treated as the row key.
+_MEASURE_PREFIXES = (
+    "mean_",
+    "median_",
+    "std_",
+    "sampling_",
+    "sketch_",
+    "interaction_",
+    "coverage",
+    "empirical_",
+    "theoretical_",
+    "ratio",
+)
+
+
+def _is_measure(column: str) -> bool:
+    return any(column.startswith(prefix) for prefix in _MEASURE_PREFIXES)
+
+
+def replicate(
+    builder: Callable[[ExperimentScale], FigureResult],
+    scale: ExperimentScale,
+    seeds: Sequence[int],
+) -> FigureResult:
+    """Run *builder* under each root seed; report across-seed mean ± std.
+
+    Returns a :class:`FigureResult` whose rows are the union of the
+    builders' row keys, with each measured column replaced by
+    ``<column>_mean`` and ``<column>_std`` across seeds.
+    """
+    if len(seeds) < 2:
+        raise ConfigurationError("replication needs at least 2 seeds")
+    results = [builder(scale.with_(seed=int(seed))) for seed in seeds]
+    columns = results[0].columns
+    for result in results[1:]:
+        if result.columns != columns:
+            raise ConfigurationError(
+                "builder returned differing column sets across seeds"
+            )
+    key_width = 0
+    while key_width < len(columns) and not _is_measure(columns[key_width]):
+        key_width += 1
+    if key_width == len(columns):
+        raise ConfigurationError(
+            f"no measured columns recognized in {columns}"
+        )
+    measures = columns[key_width:]
+
+    collected: dict[tuple, list[tuple]] = {}
+    order: list[tuple] = []
+    for result in results:
+        for row in result.rows:
+            key = row[:key_width]
+            if key not in collected:
+                collected[key] = []
+                order.append(key)
+            collected[key].append(row[key_width:])
+
+    out_rows = []
+    for key in order:
+        values = np.asarray(collected[key], dtype=np.float64)
+        if values.shape[0] != len(seeds):
+            raise ConfigurationError(
+                f"row key {key} missing from some seeds' results"
+            )
+        row: list = list(key)
+        for j in range(values.shape[1]):
+            row.append(float(values[:, j].mean()))
+            row.append(float(values[:, j].std(ddof=1)))
+        out_rows.append(tuple(row))
+
+    out_columns = list(columns[:key_width])
+    for measure in measures:
+        out_columns += [f"{measure}_mean", f"{measure}_std"]
+    base = results[0]
+    return FigureResult(
+        figure=f"{base.figure} ×{len(seeds)} seeds",
+        title=f"{base.title} — cross-seed replication",
+        columns=tuple(out_columns),
+        rows=tuple(out_rows),
+        parameters={**base.parameters, "seeds": len(seeds)},
+    )

@@ -1,0 +1,121 @@
+"""Tabular reporting of experiment results.
+
+The benchmarks regenerate the paper's figures as *text tables*: one row per
+(x, series) point with the same axes the paper plots.  A
+:class:`FigureResult` carries the table plus enough metadata to render it;
+:func:`format_table` does plain fixed-width alignment so results read well
+in terminal output and in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["FigureResult", "format_table"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    columns: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Fixed-width text table with right-aligned numeric columns."""
+    if not columns:
+        raise ConfigurationError("a table needs at least one column")
+    rendered = [[_format_cell(value) for value in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(columns):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match {len(columns)} columns"
+            )
+    widths = [
+        max(len(str(column)), *(len(row[i]) for row in rendered), 1)
+        if rendered
+        else len(str(column))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).rjust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """The regenerated data behind one of the paper's figures."""
+
+    figure: str
+    title: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple, ...]
+    notes: str = ""
+    parameters: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Render the figure data as an aligned text table."""
+        header = f"[{self.figure}] {self.title}"
+        if self.parameters:
+            params = ", ".join(f"{k}={v}" for k, v in sorted(self.parameters.items()))
+            header += f"\n({params})"
+        body = format_table(self.columns, self.rows, title=header)
+        if self.notes:
+            body += f"\n{self.notes}"
+        return body
+
+    def series(self, series_value) -> list[tuple]:
+        """Rows belonging to one series (matching the second column)."""
+        return [row for row in self.rows if row[1] == series_value]
+
+    def column(self, name: str) -> list:
+        """All values of the named column, in row order."""
+        try:
+            index = self.columns.index(name)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"unknown column {name!r}; available: {self.columns}"
+            ) from exc
+        return [row[index] for row in self.rows]
+
+    def to_markdown(self) -> str:
+        """The figure data as a GitHub-flavoured markdown table."""
+        header = "| " + " | ".join(str(c) for c in self.columns) + " |"
+        rule = "|" + "|".join("---" for _ in self.columns) + "|"
+        lines = [f"**{self.figure}** — {self.title}", "", header, rule]
+        for row in self.rows:
+            lines.append("| " + " | ".join(_format_cell(v) for v in row) + " |")
+        if self.notes:
+            lines += ["", f"*{self.notes}*"]
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """The figure data as CSV (header row + one line per point)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def save_csv(self, path) -> None:
+        """Write :meth:`to_csv` output to *path*."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_csv())

@@ -1,0 +1,87 @@
+"""Monte-Carlo trial runner and error statistics.
+
+The paper reports ``|estimate − truth| / truth`` averaged over at least 100
+independent experiments.  :func:`run_trials` executes a caller-supplied
+estimator closure under independent seeds and collects exactly that
+statistic (plus medians and spread, which the discussion sections use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, spawn
+
+__all__ = ["TrialStats", "run_trials", "relative_error"]
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """The paper's error metric ``|estimate − truth| / truth``."""
+    if truth == 0:
+        raise ConfigurationError("relative error undefined for a zero true value")
+    return abs(estimate - truth) / abs(truth)
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Relative-error statistics across independent trials."""
+
+    errors: np.ndarray
+    truth: float
+
+    @property
+    def trials(self) -> int:
+        """Number of trials."""
+        return int(self.errors.size)
+
+    @property
+    def mean_error(self) -> float:
+        """Mean relative error (the paper's reported statistic)."""
+        return float(self.errors.mean())
+
+    @property
+    def median_error(self) -> float:
+        """Median relative error (robust companion statistic)."""
+        return float(np.median(self.errors))
+
+    @property
+    def std_error(self) -> float:
+        """Standard deviation of the relative error across trials."""
+        return float(self.errors.std(ddof=1)) if self.errors.size > 1 else 0.0
+
+    @property
+    def max_error(self) -> float:
+        """Worst relative error observed."""
+        return float(self.errors.max())
+
+    def __repr__(self) -> str:
+        return (
+            f"TrialStats(trials={self.trials}, mean={self.mean_error:.4g}, "
+            f"median={self.median_error:.4g}, max={self.max_error:.4g})"
+        )
+
+
+def run_trials(
+    estimator: Callable[[np.random.Generator], float],
+    truth: float,
+    trials: int,
+    seed: SeedLike = None,
+) -> TrialStats:
+    """Run *estimator* under *trials* independent seeds.
+
+    *estimator* receives a fresh :class:`numpy.random.Generator` per trial
+    (driving both the sampling draw and the sketch families) and returns a
+    point estimate; the relative error of each is recorded.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    seeds = spawn(seed, trials)
+    errors = np.empty(trials, dtype=np.float64)
+    for index, child in enumerate(seeds):
+        estimate = estimator(np.random.default_rng(child))
+        errors[index] = relative_error(estimate, truth)
+    return TrialStats(errors=errors, truth=float(truth))

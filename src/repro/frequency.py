@@ -1,0 +1,278 @@
+"""Frequency-domain representation of streaming relations.
+
+The analysis in the paper (Sections II–V) is carried out entirely in the
+*frequency domain*: a single-attribute relation ``F`` over an integer domain
+``I = [0, domain_size)`` is identified with its frequency vector ``f`` where
+``f_i`` counts the tuples with attribute value ``i``.  Every aggregate the
+paper studies is a polynomial in the entries of one or two frequency
+vectors:
+
+* size of join        ``|F ⋈ G| = Σᵢ fᵢ gᵢ``                 (Eq. 1)
+* self-join size      ``F₂(F)  = Σᵢ fᵢ²``
+* the variance formulas (Props 3–16) are combinations of *power sums*
+  ``Σᵢ fᵢᵃ`` and *cross power sums* ``Σᵢ fᵢᵃ gᵢᵇ``.
+
+:class:`FrequencyVector` wraps a dense ``numpy`` integer array and provides
+those quantities exactly (as Python ints, so no overflow for the large
+moments that appear with skewed data).  It is the lingua franca between the
+stream generators, the samplers, the sketches, and the variance calculators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .errors import DomainError
+
+__all__ = ["FrequencyVector", "cross_power_sum"]
+
+
+def _as_int(value) -> int:
+    """Convert a numpy scalar/array-sum to an exact Python int."""
+    return int(value)
+
+
+class FrequencyVector:
+    """Exact frequency vector of a relation over ``[0, domain_size)``.
+
+    Instances are immutable by convention: all arithmetic helpers return new
+    objects or plain numbers and the underlying array should not be modified
+    (it is exposed read-only through :attr:`counts`).
+
+    Parameters
+    ----------
+    counts:
+        Non-negative integer array of length ``domain_size``; ``counts[i]``
+        is the multiplicity of domain value ``i``.
+    copy:
+        Copy the input array (default) so later caller-side mutation cannot
+        corrupt the vector.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts, *, copy: bool = True) -> None:
+        array = np.asarray(counts)
+        if array.ndim != 1:
+            raise DomainError(f"frequency vector must be 1-D, got shape {array.shape}")
+        if not np.issubdtype(array.dtype, np.integer):
+            if not np.all(array == np.floor(array)):
+                raise DomainError("frequency counts must be integers")
+            array = array.astype(np.int64)
+        elif copy:
+            array = array.copy()
+        if array.size and int(array.min()) < 0:
+            raise DomainError("frequency counts must be non-negative")
+        array = array.astype(np.int64, copy=False)
+        array.setflags(write=False)
+        self._counts = array
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_items(cls, items: Iterable[int], domain_size: int) -> "FrequencyVector":
+        """Build the frequency vector of a stream of keys.
+
+        Raises :class:`DomainError` if any key falls outside
+        ``[0, domain_size)``.
+        """
+        keys = np.asarray(list(items) if not isinstance(items, np.ndarray) else items)
+        if keys.size == 0:
+            return cls(np.zeros(domain_size, dtype=np.int64), copy=False)
+        if not np.issubdtype(keys.dtype, np.integer):
+            raise DomainError("stream keys must be integers")
+        lo, hi = int(keys.min()), int(keys.max())
+        if lo < 0 or hi >= domain_size:
+            raise DomainError(
+                f"stream key out of domain [0, {domain_size}): saw range [{lo}, {hi}]"
+            )
+        counts = np.bincount(keys, minlength=domain_size).astype(np.int64)
+        return cls(counts, copy=False)
+
+    @classmethod
+    def zeros(cls, domain_size: int) -> "FrequencyVector":
+        """The empty relation over ``[0, domain_size)``."""
+        return cls(np.zeros(domain_size, dtype=np.int64), copy=False)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def counts(self) -> np.ndarray:
+        """The underlying (read-only) ``int64`` array of multiplicities."""
+        return self._counts
+
+    @property
+    def domain_size(self) -> int:
+        """Size of the value domain ``|I|``."""
+        return self._counts.size
+
+    @property
+    def total(self) -> int:
+        """Number of tuples in the relation, ``|F| = Σᵢ fᵢ`` (a.k.a. F₁)."""
+        return _as_int(self._counts.sum(dtype=object))
+
+    @property
+    def support_size(self) -> int:
+        """Number of distinct values present, ``F₀``."""
+        return int(np.count_nonzero(self._counts))
+
+    def __len__(self) -> int:
+        return self._counts.size
+
+    def __getitem__(self, i: int) -> int:
+        return int(self._counts[i])
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(c) for c in self._counts)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FrequencyVector):
+            return NotImplemented
+        return self._counts.size == other._counts.size and bool(
+            np.array_equal(self._counts, other._counts)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._counts.size, self._counts.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"FrequencyVector(domain_size={self.domain_size}, total={self.total}, "
+            f"support={self.support_size})"
+        )
+
+    # ------------------------------------------------------------------
+    # Power sums / frequency moments
+    # ------------------------------------------------------------------
+
+    def power_sum(self, order: int) -> int:
+        """Exact power sum ``Σᵢ fᵢ^order`` as a Python int.
+
+        ``power_sum(0)`` counts *all* domain points (including absent ones)
+        only when every count is positive; following the streaming
+        literature we define it as the support size ``F₀`` instead.
+        """
+        if order < 0:
+            raise ValueError(f"power-sum order must be non-negative, got {order}")
+        if order == 0:
+            return self.support_size
+        if order == 1:
+            return self.total
+        # Work on the support only and in Python-int space for exactness:
+        # with skewed data f_i^4 overflows int64 easily.
+        support = self._counts[self._counts > 0]
+        if order <= 3 and support.size and int(support.max()) < 2 ** (63 // order) - 1:
+            return _as_int((support.astype(np.int64) ** order).sum(dtype=object))
+        return sum(int(c) ** order for c in support)
+
+    @property
+    def f1(self) -> int:
+        """First frequency moment ``Σ fᵢ`` (stream length)."""
+        return self.power_sum(1)
+
+    @property
+    def f2(self) -> int:
+        """Second frequency moment ``Σ fᵢ²`` (self-join size)."""
+        return self.power_sum(2)
+
+    @property
+    def f3(self) -> int:
+        """Third frequency moment ``Σ fᵢ³``."""
+        return self.power_sum(3)
+
+    @property
+    def f4(self) -> int:
+        """Fourth frequency moment ``Σ fᵢ⁴``."""
+        return self.power_sum(4)
+
+    def self_join_size(self) -> int:
+        """Exact self-join size ``|F ⋈ F| = F₂`` (ground truth for F₂)."""
+        return self.f2
+
+    # ------------------------------------------------------------------
+    # Cross moments with another vector
+    # ------------------------------------------------------------------
+
+    def _check_compatible(self, other: "FrequencyVector") -> None:
+        if self.domain_size != other.domain_size:
+            raise DomainError(
+                "frequency vectors defined over different domains: "
+                f"{self.domain_size} vs {other.domain_size}"
+            )
+
+    def join_size(self, other: "FrequencyVector") -> int:
+        """Exact size of join ``Σᵢ fᵢ gᵢ`` (ground truth for ``|F ⋈ G|``)."""
+        return self.cross_power_sum(other, 1, 1)
+
+    def cross_power_sum(self, other: "FrequencyVector", a: int, b: int) -> int:
+        """Exact ``Σᵢ fᵢᵃ gᵢᵇ`` as a Python int."""
+        self._check_compatible(other)
+        return cross_power_sum(self._counts, other._counts, a, b)
+
+    # ------------------------------------------------------------------
+    # Derived vectors
+    # ------------------------------------------------------------------
+
+    def scaled(self, factor: int) -> "FrequencyVector":
+        """Frequency vector with every count multiplied by ``factor >= 0``."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return FrequencyVector(self._counts * np.int64(factor), copy=False)
+
+    def __add__(self, other: "FrequencyVector") -> "FrequencyVector":
+        """Union (multiset sum) of two relations over the same domain."""
+        if not isinstance(other, FrequencyVector):
+            return NotImplemented
+        self._check_compatible(other)
+        return FrequencyVector(self._counts + other._counts, copy=False)
+
+    def probabilities(self) -> np.ndarray:
+        """Relative frequencies ``fᵢ / |F|`` as float64 (density view, §V)."""
+        total = self.total
+        if total == 0:
+            raise DomainError("empty relation has no probability normalization")
+        return self._counts / float(total)
+
+    def to_items(self) -> np.ndarray:
+        """Expand back to a sorted array of keys (one per tuple).
+
+        Memory is proportional to the number of tuples; intended for tests
+        and small relations.
+        """
+        return np.repeat(np.arange(self.domain_size, dtype=np.int64), self._counts)
+
+
+def cross_power_sum(f: np.ndarray, g: np.ndarray, a: int, b: int) -> int:
+    """Exact ``Σᵢ fᵢᵃ gᵢᵇ`` over two equal-length integer arrays.
+
+    Computed on the intersection support only (terms with ``fᵢ = 0`` or
+    ``gᵢ = 0`` vanish for ``a, b >= 1``) and in Python-int space when there
+    is any risk of ``int64`` overflow.
+    """
+    if a < 0 or b < 0:
+        raise ValueError("cross power-sum orders must be non-negative")
+    if a == 0 and b == 0:
+        return int(f.size)
+    if a == 0:
+        return cross_power_sum(g, f, b, 0)
+    if b == 0:
+        support = f[f > 0]
+        return sum(int(c) ** a for c in support) if a > 2 else _as_int(
+            (support.astype(object) ** a).sum()
+        )
+    mask = (f > 0) & (g > 0)
+    fs = f[mask]
+    gs = g[mask]
+    if fs.size == 0:
+        return 0
+    # Safe fast path: all factors small enough that the product fits int64.
+    max_bits = a * int(fs.max()).bit_length() + b * int(gs.max()).bit_length()
+    if max_bits < 62:
+        return _as_int((fs**a * gs**b).sum(dtype=object))
+    return sum(int(x) ** a * int(y) ** b for x, y in zip(fs.tolist(), gs.tolist()))

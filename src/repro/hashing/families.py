@@ -1,0 +1,151 @@
+"""k-wise independent polynomial hash families over a Mersenne prime.
+
+The classic construction: pick a prime ``p`` and random coefficients
+``a₀ … a_{k-1}`` with ``a_{k-1} ≠ 0``; then
+
+    h(x) = (a_{k-1} x^{k-1} + … + a₁ x + a₀) mod p
+
+is a k-wise independent family over ``[0, p)``.  We use the Mersenne prime
+``p = 2³¹ − 1`` so that a product of two residues fits comfortably in
+``uint64`` and the whole evaluation (Horner's rule) vectorizes over numpy
+arrays without resorting to 128-bit arithmetic.
+
+Keys must therefore lie in ``[0, 2³¹ − 1)`` — far larger than any domain the
+paper's experiments use (``|I| = 10⁶``).  ``MERSENNE_P61`` is exported for
+callers that need a larger key space and accept scalar (object-dtype)
+arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, DomainError
+from ..rng import SeedLike, as_generator
+
+__all__ = ["MERSENNE_P31", "MERSENNE_P61", "PolynomialHashFamily", "BucketHashFamily"]
+
+MERSENNE_P31 = 2**31 - 1
+MERSENNE_P61 = 2**61 - 1
+
+_P = np.uint64(MERSENNE_P31)
+
+
+def _check_keys(keys: np.ndarray) -> np.ndarray:
+    keys = np.asarray(keys)
+    if keys.ndim != 1:
+        raise DomainError(f"keys must be a 1-D array, got shape {keys.shape}")
+    if keys.size == 0:
+        return keys.astype(np.uint64)
+    if not np.issubdtype(keys.dtype, np.integer):
+        raise DomainError("hash keys must be integers")
+    lo = int(keys.min())
+    hi = int(keys.max())
+    if lo < 0 or hi >= MERSENNE_P31:
+        raise DomainError(
+            f"hash keys must lie in [0, {MERSENNE_P31}), saw range [{lo}, {hi}]"
+        )
+    return keys.astype(np.uint64)
+
+
+class PolynomialHashFamily:
+    """``rows`` independent k-wise hash functions ``h: [0, p) → [0, p)``.
+
+    Parameters
+    ----------
+    k:
+        Independence level; the polynomial has degree ``k - 1``.  ``k = 2``
+        gives the universal family used for bucket selection, ``k = 4`` the
+        family AGMS sketches need.
+    rows:
+        Number of independent functions drawn from the family.  Evaluation
+        returns one output row per function.
+    seed:
+        Seed for drawing the coefficients (see :mod:`repro.rng`).
+    """
+
+    __slots__ = ("k", "rows", "_coefficients")
+
+    def __init__(self, k: int, rows: int, seed: SeedLike = None) -> None:
+        if k < 1:
+            raise ConfigurationError(f"independence level k must be >= 1, got {k}")
+        if rows < 1:
+            raise ConfigurationError(f"rows must be >= 1, got {rows}")
+        rng = as_generator(seed)
+        coefficients = rng.integers(0, MERSENNE_P31, size=(rows, k), dtype=np.uint64)
+        if k > 1:
+            # Leading coefficient must be non-zero for full degree.
+            lead = coefficients[:, 0]
+            zero = lead == 0
+            while np.any(zero):
+                lead[zero] = rng.integers(0, MERSENNE_P31, size=int(zero.sum()), dtype=np.uint64)
+                zero = lead == 0
+        self.k = k
+        self.rows = rows
+        self._coefficients = coefficients
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """The ``(rows, k)`` coefficient matrix (read-mostly, for tests)."""
+        return self._coefficients
+
+    def __call__(self, keys) -> np.ndarray:
+        """Evaluate every row on *keys*; returns ``(rows, len(keys)) uint64``.
+
+        Values are uniform over ``[0, p)`` and k-wise independent across
+        distinct keys within each row; rows are mutually independent.
+        """
+        x = _check_keys(keys)
+        out = np.empty((self.rows, x.size), dtype=np.uint64)
+        for r in range(self.rows):
+            out[r] = self._evaluate_row(r, x)
+        return out
+
+    def evaluate_row(self, row: int, keys) -> np.ndarray:
+        """Evaluate a single row on *keys*; returns ``(len(keys),) uint64``."""
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range [0, {self.rows})")
+        return self._evaluate_row(row, _check_keys(keys))
+
+    def _evaluate_row(self, row: int, x: np.ndarray) -> np.ndarray:
+        # Horner's rule mod p.  All residues are < 2³¹ so every product of
+        # two residues fits in uint64 before reduction.
+        acc = np.full(x.shape, self._coefficients[row, 0], dtype=np.uint64)
+        for j in range(1, self.k):
+            acc = (acc * x + self._coefficients[row, j]) % _P
+        return acc
+
+
+class BucketHashFamily:
+    """``rows`` independent 2-universal functions ``h: keys → [0, buckets)``.
+
+    This is the bucket-selection hash of F-AGMS / Count-Sketch: within each
+    row, keys are spread over ``buckets`` cells.  Built on a pairwise
+    (``k = 2``) polynomial family followed by a ``mod buckets`` reduction;
+    the composition remains 2-universal up to the usual ``O(buckets / p)``
+    deviation from uniformity, negligible for ``buckets ≪ 2³¹``.
+    """
+
+    __slots__ = ("buckets", "rows", "_family")
+
+    def __init__(self, buckets: int, rows: int, seed: SeedLike = None) -> None:
+        if buckets < 1:
+            raise ConfigurationError(f"buckets must be >= 1, got {buckets}")
+        if buckets > MERSENNE_P31 // 4:
+            raise ConfigurationError(
+                f"buckets={buckets} too close to the hash prime; "
+                "uniformity would degrade"
+            )
+        self.buckets = buckets
+        self.rows = rows
+        self._family = PolynomialHashFamily(2, rows, seed)
+
+    def __call__(self, keys) -> np.ndarray:
+        """Bucket index per row: ``(rows, len(keys))`` in ``[0, buckets)``."""
+        values = self._family(keys)
+        return (values % np.uint64(self.buckets)).astype(np.int64)
+
+    def evaluate_row(self, row: int, keys) -> np.ndarray:
+        """Bucket index of a single row: ``(len(keys),)`` in ``[0, buckets)``."""
+        values = self._family.evaluate_row(row, keys)
+        return (values % np.uint64(self.buckets)).astype(np.int64)

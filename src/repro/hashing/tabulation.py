@@ -1,0 +1,131 @@
+"""Tabulation hashing — a third ±1/value family for the ablation suite.
+
+Simple tabulation (Zobrist hashing): split the key into ``c`` characters
+of ``bits_per_char`` bits, look each up in its own table of random words,
+XOR the results.  Pătraşcu & Thorup showed that despite being only 3-wise
+independent, simple tabulation behaves like a fully random function for
+many algorithms — the same empirical story as EH3 for sketches.
+
+Included as substrate completeness (the paper's ref [17] studies the
+generator choice): :class:`TabulationSignFamily` plugs into nothing by
+default but mirrors the :class:`~repro.hashing.signs.SignFamily` interface
+so it can be dropped into a custom sketch or compared in benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, DomainError
+from ..rng import SeedLike, as_generator
+from .signs import SignFamily
+
+__all__ = ["TabulationHashFamily", "TabulationSignFamily"]
+
+
+class TabulationHashFamily:
+    """``rows`` simple-tabulation hash functions ``h: [0, 2^key_bits) → uint64``."""
+
+    __slots__ = ("rows", "key_bits", "bits_per_char", "_tables")
+
+    def __init__(
+        self,
+        rows: int,
+        seed: SeedLike = None,
+        *,
+        key_bits: int = 32,
+        bits_per_char: int = 8,
+    ) -> None:
+        if rows < 1:
+            raise ConfigurationError(f"rows must be >= 1, got {rows}")
+        if not 1 <= bits_per_char <= 16:
+            raise ConfigurationError(
+                f"bits_per_char must be in [1, 16], got {bits_per_char}"
+            )
+        if key_bits < 1 or key_bits % bits_per_char:
+            raise ConfigurationError(
+                f"key_bits ({key_bits}) must be a positive multiple of "
+                f"bits_per_char ({bits_per_char})"
+            )
+        rng = as_generator(seed)
+        self.rows = rows
+        self.key_bits = key_bits
+        self.bits_per_char = bits_per_char
+        characters = key_bits // bits_per_char
+        self._tables = rng.integers(
+            0,
+            2**63,
+            size=(rows, characters, 2**bits_per_char),
+            dtype=np.uint64,
+        )
+
+    @property
+    def characters(self) -> int:
+        """Number of key characters (table lookups per hash)."""
+        return self._tables.shape[1]
+
+    def _check_keys(self, keys) -> np.ndarray:
+        x = np.asarray(keys)
+        if x.ndim != 1:
+            raise DomainError(f"keys must be 1-D, got shape {x.shape}")
+        if x.size == 0:
+            return x.astype(np.uint64)
+        if not np.issubdtype(x.dtype, np.integer):
+            raise DomainError("tabulation keys must be integers")
+        lo, hi = int(x.min()), int(x.max())
+        if lo < 0 or hi >= 2**self.key_bits:
+            raise DomainError(
+                f"tabulation keys must lie in [0, 2^{self.key_bits}), "
+                f"saw range [{lo}, {hi}]"
+            )
+        return x.astype(np.uint64)
+
+    def evaluate_row(self, row: int, keys) -> np.ndarray:
+        """Hash one row; returns ``(len(keys),) uint64``."""
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range [0, {self.rows})")
+        x = self._check_keys(keys)
+        mask = np.uint64(2**self.bits_per_char - 1)
+        shift = np.uint64(self.bits_per_char)
+        out = np.zeros(x.shape, dtype=np.uint64)
+        work = x.copy()
+        for character in range(self.characters):
+            out ^= self._tables[row, character][work & mask]
+            work >>= shift
+        return out
+
+    def __call__(self, keys) -> np.ndarray:
+        """Hash every row; returns ``(rows, len(keys)) uint64``."""
+        x = self._check_keys(keys)
+        out = np.empty((self.rows, x.size), dtype=np.uint64)
+        for row in range(self.rows):
+            out[row] = self.evaluate_row(row, x)
+        return out
+
+
+class TabulationSignFamily(SignFamily):
+    """±1 family from simple tabulation (3-wise independent)."""
+
+    __slots__ = ("rows", "_family")
+
+    def __init__(
+        self,
+        rows: int,
+        seed: SeedLike = None,
+        *,
+        key_bits: int = 32,
+        bits_per_char: int = 8,
+    ) -> None:
+        self.rows = rows
+        self._family = TabulationHashFamily(
+            rows, seed, key_bits=key_bits, bits_per_char=bits_per_char
+        )
+
+    def __call__(self, keys) -> np.ndarray:
+        values = self._family(keys)
+        return ((values & np.uint64(1)).astype(np.int8) << 1) - np.int8(1)
+
+    def evaluate_row(self, row: int, keys) -> np.ndarray:
+        self._check_row(row)
+        values = self._family.evaluate_row(row, keys)
+        return ((values & np.uint64(1)).astype(np.int8) << 1) - np.int8(1)

@@ -1,0 +1,68 @@
+"""Random-number utilities shared across the library.
+
+Everything random in :mod:`repro` — samplers, sketch hash families, data
+generators, Monte-Carlo harnesses — is seeded through this module so that
+experiments are reproducible end to end.  The conventions are:
+
+* Public constructors accept ``seed`` as either ``None`` (fresh OS entropy),
+  an ``int``, a :class:`numpy.random.SeedSequence`, or an already-built
+  :class:`numpy.random.Generator`; :func:`as_generator` normalizes them.
+* Components that need several independent random substreams (e.g. one per
+  sketch row) derive them with :func:`spawn`, which uses numpy's
+  ``SeedSequence.spawn`` mechanism and therefore guarantees statistical
+  independence between substreams regardless of the root seed.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["SeedLike", "as_generator", "as_seed_sequence", "spawn", "derive_seed"]
+
+#: Anything acceptable as a ``seed=`` argument throughout the library.
+SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Normalize *seed* into a :class:`numpy.random.Generator`.
+
+    A ``Generator`` passed in is returned unchanged (shared state), which
+    lets callers thread a single generator through a whole experiment.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def as_seed_sequence(seed: SeedLike = None) -> np.random.SeedSequence:
+    """Normalize *seed* into a :class:`numpy.random.SeedSequence`.
+
+    Generators cannot be converted back into seed sequences; callers that
+    need spawnable entropy should pass ``None``/``int``/``SeedSequence``.
+    A ``Generator`` input is accepted by drawing a fresh 64-bit seed from it,
+    preserving reproducibility of the overall experiment.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(int(seed.integers(0, 2**63)))
+    return np.random.SeedSequence(seed)
+
+
+def spawn(seed: SeedLike, n: int) -> list[np.random.SeedSequence]:
+    """Derive *n* statistically independent child seed sequences from *seed*."""
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of seeds: {n}")
+    return as_seed_sequence(seed).spawn(n)
+
+
+def derive_seed(seed: SeedLike, *, index: int = 0) -> int:
+    """Derive a deterministic 63-bit integer seed from *seed*.
+
+    Used when an integer seed must be stored (e.g. in a sketch's metadata for
+    compatibility checks) rather than a live generator object.
+    """
+    children = as_seed_sequence(seed).spawn(index + 1)
+    return int(children[index].generate_state(1, dtype=np.uint64)[0] >> np.uint64(1))

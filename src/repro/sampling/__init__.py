@@ -1,0 +1,56 @@
+"""Sampling substrate: the three sampling schemes of the paper.
+
+Section III analyzes three sampling processes, each with a known
+distribution for the sample frequency random variables ``f′ᵢ``:
+
+* :class:`BernoulliSampler` — every tuple kept independently with
+  probability ``p``; ``f′ᵢ ~ Binomial(fᵢ, p)``.  This is the load-shedding
+  scheme (Section VI-A); :func:`bernoulli_skip_lengths` implements the
+  skip-ahead variant (ref [18]) that does work only for kept tuples.
+* :class:`WithReplacementSampler` — fixed-size uniform draw with
+  replacement; ``(f′ᵢ)`` is multinomial.  Models i.i.d. samples from a
+  generative model (Section VI-B).
+* :class:`WithoutReplacementSampler` — fixed-size uniform subset;
+  ``(f′ᵢ)`` is multivariate hypergeometric.  Models online-aggregation
+  prefix scans (Section VI-C).  :class:`ReservoirSampler` is the streaming
+  one-pass equivalent.
+
+Each sampler offers two equivalent-by-distribution paths:
+
+* ``sample_items(keys, seed)`` — tuple-domain sampling of an actual key
+  array (what a streaming system executes);
+* ``sample_frequencies(fv, seed)`` — frequency-domain sampling: draw the
+  vector ``(f′ᵢ)`` directly from its known distribution.  Orders of
+  magnitude faster for Monte-Carlo experiments; the equivalence is tested.
+
+:mod:`~repro.sampling.moments` provides the exact factorial moments of the
+frequency variables — the "moment generating function" machinery the
+paper's generic analysis (Props 1–2, 9–12) is built on.
+"""
+
+from .base import SampleInfo, Sampler
+from .bernoulli import BernoulliSampler, bernoulli_skip_lengths
+from .coefficients import SamplingCoefficients
+from .moments import (
+    BernoulliMoments,
+    SamplingMomentModel,
+    WithReplacementMoments,
+    WithoutReplacementMoments,
+)
+from .with_replacement import WithReplacementSampler
+from .without_replacement import ReservoirSampler, WithoutReplacementSampler
+
+__all__ = [
+    "Sampler",
+    "SampleInfo",
+    "SamplingCoefficients",
+    "BernoulliSampler",
+    "bernoulli_skip_lengths",
+    "WithReplacementSampler",
+    "WithoutReplacementSampler",
+    "ReservoirSampler",
+    "SamplingMomentModel",
+    "BernoulliMoments",
+    "WithReplacementMoments",
+    "WithoutReplacementMoments",
+]

@@ -1,0 +1,133 @@
+"""Sampler interface shared by the three sampling schemes.
+
+A :class:`Sampler` turns a relation (tuple stream or frequency vector) into
+a random sample plus a :class:`SampleInfo` record describing the draw.  The
+``SampleInfo`` carries everything downstream estimators need to unbias an
+aggregate computed over the sample: the scheme name, the population and
+sample sizes, and (for Bernoulli) the inclusion probability.
+
+The two sampling paths — tuple domain and frequency domain — produce
+samples with *identical distributions* (that is the frequency-domain
+insight of Section III); the frequency path simply skips materializing the
+sampled tuples.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..frequency import FrequencyVector
+from ..rng import SeedLike
+from .coefficients import SamplingCoefficients
+
+__all__ = ["SampleInfo", "Sampler"]
+
+_SCHEMES = ("bernoulli", "with_replacement", "without_replacement")
+
+
+@dataclass(frozen=True)
+class SampleInfo:
+    """Metadata of one executed sampling draw.
+
+    Attributes
+    ----------
+    scheme:
+        ``"bernoulli"``, ``"with_replacement"``, or ``"without_replacement"``.
+    population_size:
+        ``|F|`` — tuples in the base relation.
+    sample_size:
+        ``|F′|`` — tuples in the sample.  For Bernoulli this is the
+        *realized* (random) size; for the fixed-size schemes it is exact.
+    probability:
+        Bernoulli inclusion probability ``p``; ``None`` for the fixed-size
+        schemes.
+    """
+
+    scheme: str
+    population_size: int
+    sample_size: int
+    probability: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.scheme not in _SCHEMES:
+            raise ConfigurationError(
+                f"unknown sampling scheme {self.scheme!r}; expected {_SCHEMES}"
+            )
+        if self.population_size < 0 or self.sample_size < 0:
+            raise ConfigurationError("sizes must be non-negative")
+        if self.scheme == "bernoulli":
+            if self.probability is None or not 0 < self.probability <= 1:
+                raise ConfigurationError(
+                    f"Bernoulli info needs probability in (0, 1], "
+                    f"got {self.probability}"
+                )
+        elif self.probability is not None:
+            raise ConfigurationError(
+                f"probability only applies to Bernoulli sampling, "
+                f"got {self.probability} for {self.scheme}"
+            )
+        if (
+            self.scheme == "without_replacement"
+            and self.sample_size > self.population_size
+        ):
+            raise ConfigurationError(
+                "a without-replacement sample cannot exceed the population: "
+                f"{self.sample_size} > {self.population_size}"
+            )
+
+    @property
+    def fraction(self) -> float:
+        """Realized sampling fraction ``|F′|/|F|``."""
+        if self.population_size == 0:
+            return 0.0
+        return self.sample_size / self.population_size
+
+    def coefficients(self) -> SamplingCoefficients:
+        """Exact α-coefficients (Eq. 8) of this draw."""
+        return SamplingCoefficients(self.sample_size, self.population_size)
+
+
+class Sampler(abc.ABC):
+    """Abstract sampling scheme.
+
+    Concrete samplers are stateless value objects (the randomness comes in
+    through the per-call ``seed``), so one sampler can be reused across
+    Monte-Carlo trials with independent seeds.
+    """
+
+    #: Scheme name matching :attr:`SampleInfo.scheme`.
+    scheme: str
+
+    @abc.abstractmethod
+    def sample_items(
+        self, keys: np.ndarray, seed: SeedLike = None
+    ) -> tuple[np.ndarray, SampleInfo]:
+        """Sample from an array of tuple keys.
+
+        Returns the sampled keys (tuple domain) and the draw metadata.
+        """
+
+    @abc.abstractmethod
+    def sample_frequencies(
+        self, frequencies: FrequencyVector, seed: SeedLike = None
+    ) -> tuple[FrequencyVector, SampleInfo]:
+        """Draw the sample frequency vector ``(f′ᵢ)`` directly.
+
+        Distribution-identical to :meth:`sample_items` followed by counting,
+        but ``O(domain)`` instead of ``O(tuples)``.
+        """
+
+    def resolve_size(self, population_size: int) -> int:
+        """Fixed sample size for a given population (fixed-size schemes).
+
+        Bernoulli sampling has no fixed size; its sampler overrides this to
+        raise.
+        """
+        raise ConfigurationError(
+            f"{self.scheme} sampling does not have a fixed sample size"
+        )

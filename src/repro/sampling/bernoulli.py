@@ -1,0 +1,101 @@
+"""Bernoulli sampling — the load-shedding scheme (Sections III-B, VI-A).
+
+Each tuple is kept independently with probability ``p``; the sample
+frequency of value ``i`` is ``f′ᵢ ~ Binomial(fᵢ, p)``, independent across
+values.  The realized sample size is random — which, as the paper notes, is
+irrelevant when the sample is immediately sketched rather than stored.
+
+Two tuple-domain implementations are provided:
+
+* the textbook per-tuple coin toss (:meth:`BernoulliSampler.sample_items`),
+  vectorized over the whole batch;
+* skip-ahead sampling (:func:`bernoulli_skip_lengths`, ref [18] — Olken's
+  thesis): draw the *gaps between kept tuples* from the geometric
+  distribution, so the work done is proportional to the number of kept
+  tuples, not the stream length.  This is what makes sketching-over-
+  Bernoulli-samples a genuine ``1/p`` speed-up (Section VI-A); the
+  streaming wrapper lives in :class:`repro.core.load_shedding.LoadShedder`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..frequency import FrequencyVector
+from ..rng import SeedLike, as_generator
+from .base import SampleInfo, Sampler
+
+__all__ = ["BernoulliSampler", "bernoulli_skip_lengths"]
+
+
+class BernoulliSampler(Sampler):
+    """Keep each tuple independently with probability ``p ∈ (0, 1]``."""
+
+    scheme = "bernoulli"
+
+    __slots__ = ("p",)
+
+    def __init__(self, p: float) -> None:
+        if not 0 < p <= 1:
+            raise ConfigurationError(f"Bernoulli p must be in (0, 1], got {p}")
+        self.p = float(p)
+
+    def sample_items(
+        self, keys: np.ndarray, seed: SeedLike = None
+    ) -> tuple[np.ndarray, SampleInfo]:
+        keys = np.asarray(keys)
+        rng = as_generator(seed)
+        mask = rng.random(keys.size) < self.p
+        sampled = keys[mask]
+        info = SampleInfo(
+            scheme=self.scheme,
+            population_size=int(keys.size),
+            sample_size=int(sampled.size),
+            probability=self.p,
+        )
+        return sampled, info
+
+    def sample_frequencies(
+        self, frequencies: FrequencyVector, seed: SeedLike = None
+    ) -> tuple[FrequencyVector, SampleInfo]:
+        rng = as_generator(seed)
+        sampled_counts = rng.binomial(frequencies.counts, self.p)
+        sample = FrequencyVector(sampled_counts.astype(np.int64), copy=False)
+        info = SampleInfo(
+            scheme=self.scheme,
+            population_size=frequencies.total,
+            sample_size=sample.total,
+            probability=self.p,
+        )
+        return sample, info
+
+    def __repr__(self) -> str:
+        return f"BernoulliSampler(p={self.p})"
+
+
+def bernoulli_skip_lengths(
+    p: float, count: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Gaps between consecutive kept tuples of a Bernoulli(p) process.
+
+    Returns *count* independent draws of the number of tuples to skip
+    before the next kept tuple (0 means the next tuple is kept).  If the
+    last kept tuple had stream position ``t``, the next kept tuple has
+    position ``t + 1 + gap``.
+
+    The gap is geometric: ``P(gap = k) = (1 − p)ᵏ p``.  Sampling the gaps
+    instead of tossing a coin per tuple makes the sampler's work
+    proportional to the kept tuples only — the prerequisite for the
+    ``1/p`` sketching speed-up of Section VI-A.
+    """
+    if not 0 < p <= 1:
+        raise ConfigurationError(f"Bernoulli p must be in (0, 1], got {p}")
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}")
+    if p == 1.0:
+        return np.zeros(count, dtype=np.int64)
+    rng = as_generator(seed)
+    # numpy's geometric counts trials to first success (support {1, 2, ...});
+    # the skip length is that minus one.
+    return rng.geometric(p, size=count).astype(np.int64) - 1

@@ -1,0 +1,82 @@
+"""The sampling-fraction coefficients of Eq. 8.
+
+The paper's variance formulas for fixed-size sampling are written in terms
+of small variations of the sampling fraction::
+
+    α  = |F′| / |F|          β  = |G′| / |G|
+    α₁ = (|F′| − 1)/(|F| − 1)   β₁ = (|G′| − 1)/(|G| − 1)
+    α₂ = (|F′| − 1)/|F|         β₂ = (|G′| − 1)/|G|
+
+:class:`SamplingCoefficients` bundles them as exact
+:class:`fractions.Fraction` values so closed-form variance formulas can be
+evaluated with zero rounding error (and compared *exactly* against the
+generic moment-based evaluator in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..errors import ConfigurationError
+
+__all__ = ["SamplingCoefficients"]
+
+
+@dataclass(frozen=True)
+class SamplingCoefficients:
+    """Exact α-coefficients for a fixed-size sample of a population.
+
+    Parameters
+    ----------
+    sample_size:
+        ``|F′|`` — number of tuples drawn (with or without replacement).
+    population_size:
+        ``|F|`` — number of tuples in the base relation.
+    """
+
+    sample_size: int
+    population_size: int
+
+    def __post_init__(self) -> None:
+        if self.population_size < 1:
+            raise ConfigurationError(
+                f"population_size must be >= 1, got {self.population_size}"
+            )
+        if self.sample_size < 1:
+            raise ConfigurationError(
+                f"sample_size must be >= 1, got {self.sample_size}"
+            )
+
+    @property
+    def alpha(self) -> Fraction:
+        """``α = |F′|/|F|`` — the sampling fraction."""
+        return Fraction(self.sample_size, self.population_size)
+
+    @property
+    def alpha1(self) -> Fraction:
+        """``α₁ = (|F′|−1)/(|F|−1)`` (WOR pair-inclusion ratio).
+
+        Undefined for a population of a single tuple; that degenerate case
+        is rejected with :class:`ConfigurationError`.
+        """
+        if self.population_size == 1:
+            raise ConfigurationError(
+                "alpha1 is undefined for a population of size 1"
+            )
+        return Fraction(self.sample_size - 1, self.population_size - 1)
+
+    @property
+    def alpha2(self) -> Fraction:
+        """``α₂ = (|F′|−1)/|F|`` (WR pair-draw ratio)."""
+        return Fraction(self.sample_size - 1, self.population_size)
+
+    def as_floats(self) -> tuple[float, float, float]:
+        """``(α, α₁, α₂)`` as floats, for numeric pipelines."""
+        return float(self.alpha), float(self.alpha1), float(self.alpha2)
+
+    def __repr__(self) -> str:
+        return (
+            f"SamplingCoefficients(sample_size={self.sample_size}, "
+            f"population_size={self.population_size})"
+        )

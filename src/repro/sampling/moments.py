@@ -1,0 +1,305 @@
+"""Exact moments of the sample frequency random variables.
+
+The paper's generic analysis (Props 1–2 and 9–12) expresses every variance
+in terms of moments ``E[f′ᵢ]``, ``E[f′ᵢ f′ⱼ]``, ``E[f′ᵢ² f′ⱼ²]``, … of the
+sample frequencies, which "can be derived from the moment generating
+function corresponding to the sampling process" (Section III-A).  This
+module is that machinery, in a form that makes all three schemes uniform.
+
+**The product-form factorial-moment identity.**  For all three sampling
+schemes, the joint *falling-factorial* moments of the sample frequencies at
+distinct domain points factorize::
+
+    E[(f′ᵢ)₍ₐ₎ · (f′ⱼ)₍ᵦ₎]  =  κ_{a+b} · u_a(fᵢ) · u_b(fⱼ)       (i ≠ j)
+    E[(f′ᵢ)₍ₐ₎]             =  κ_a · u_a(fᵢ)
+
+where ``(x)₍ₖ₎ = x(x−1)…(x−k+1)`` is the falling factorial and the pair
+``(κ, u)`` characterizes the scheme:
+
+=====================  =======================  ======================
+scheme                 κ_k                      u_a(f)
+=====================  =======================  ======================
+Bernoulli(p)           p^k                      (f)₍ₐ₎
+with replacement       (m)₍ₖ₎ / N^k             f^a
+without replacement    (m)₍ₖ₎ / (N)₍ₖ₎          (f)₍ₐ₎
+=====================  =======================  ======================
+
+(``m`` = sample size, ``N`` = population size.)  Raw moments follow by the
+Stirling expansion ``x^r = Σ_k S(r,k) (x)₍ₖ₎``.  Every formula in
+:mod:`repro.variance` is evaluated through this one identity, which is why
+a single generic evaluator covers all three schemes — and why the closed
+forms printed in the paper can be cross-checked *exactly* (the κ are
+rational, the u integral, so every moment is a :class:`~fractions.Fraction`).
+
+All array-returning methods support two numeric modes:
+
+* ``exact=True`` — object arrays of Python ints / Fractions, zero rounding
+  (used by tests and the analytic figures at exactness-critical points);
+* ``exact=False`` — float64 arrays (fast path for large domains).
+"""
+
+from __future__ import annotations
+
+import abc
+from fractions import Fraction
+from typing import Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "STIRLING_SECOND",
+    "falling_factorial",
+    "falling_factorial_array",
+    "power_array",
+    "SamplingMomentModel",
+    "BernoulliMoments",
+    "WithReplacementMoments",
+    "WithoutReplacementMoments",
+]
+
+#: Stirling numbers of the second kind S(r, k) for r up to 4:
+#: x^r = Σ_k S(r, k) · (x)₍ₖ₎.
+STIRLING_SECOND: dict[int, dict[int, int]] = {
+    0: {0: 1},
+    1: {1: 1},
+    2: {1: 1, 2: 1},
+    3: {1: 1, 2: 3, 3: 1},
+    4: {1: 1, 2: 7, 3: 6, 4: 1},
+}
+
+Number = Union[Fraction, float]
+
+
+def falling_factorial(x: int, k: int) -> int:
+    """``(x)₍ₖ₎ = x (x−1) … (x−k+1)`` for integer ``x`` (0 for k > x ≥ 0)."""
+    if k < 0:
+        raise ConfigurationError(f"falling-factorial order must be >= 0, got {k}")
+    result = 1
+    for j in range(k):
+        result *= x - j
+    return result
+
+
+def falling_factorial_array(counts: np.ndarray, a: int, exact: bool) -> np.ndarray:
+    """Vectorized ``(fᵢ)₍ₐ₎`` over an integer count array."""
+    if a == 0:
+        dtype = object if exact else np.float64
+        return np.ones(counts.shape, dtype=dtype)
+    base = counts.astype(object) if exact else counts.astype(np.float64)
+    result = base.copy()
+    for j in range(1, a):
+        result = result * (base - j)
+    return result
+
+
+def power_array(counts: np.ndarray, a: int, exact: bool) -> np.ndarray:
+    """Vectorized ``fᵢᵃ`` over an integer count array."""
+    if a == 0:
+        dtype = object if exact else np.float64
+        return np.ones(counts.shape, dtype=dtype)
+    base = counts.astype(object) if exact else counts.astype(np.float64)
+    return base**a
+
+
+class SamplingMomentModel(abc.ABC):
+    """Product-form factorial moments of one sampling scheme.
+
+    Instances are bound to the scheme *parameters* (``p`` or ``m, N``) but
+    not to a particular frequency vector; all array methods take the base
+    frequency counts as an argument.
+    """
+
+    #: Scheme name (matches :class:`repro.sampling.base.SampleInfo.scheme`).
+    scheme: str
+
+    #: Highest factorial-moment order any variance formula needs.
+    MAX_ORDER = 4
+
+    @abc.abstractmethod
+    def kappa(self, k: int) -> Fraction:
+        """The scheme coefficient ``κ_k`` (exact rational)."""
+
+    @abc.abstractmethod
+    def u_array(self, counts: np.ndarray, a: int, *, exact: bool = False) -> np.ndarray:
+        """The scheme's ``u_a(fᵢ)`` array (falling factorial or power)."""
+
+    # ------------------------------------------------------------------
+    # Raw moments via the Stirling expansion
+    # ------------------------------------------------------------------
+
+    def kappa_number(self, k: int, *, exact: bool = False) -> Number:
+        """``κ_k`` as Fraction (exact) or float."""
+        value = self.kappa(k)
+        return value if exact else float(value)
+
+    def raw_moment_array(
+        self, counts: np.ndarray, r: int, *, exact: bool = False
+    ) -> np.ndarray:
+        """Array of ``E[f′ᵢ^r]`` for ``r ∈ {1, …, 4}``.
+
+        ``E[f′ᵢ^r] = Σ_k S(r, k) κ_k u_k(fᵢ)`` by the Stirling expansion.
+        """
+        if r not in STIRLING_SECOND or r == 0:
+            raise ConfigurationError(f"raw moment order must be in 1..4, got {r}")
+        total = None
+        for k, stirling in STIRLING_SECOND[r].items():
+            term = self.u_array(counts, k, exact=exact) * (
+                stirling * self.kappa_number(k, exact=exact)
+            )
+            total = term if total is None else total + term
+        return total
+
+    def sum_raw_moment(self, counts: np.ndarray, r: int, *, exact: bool = False) -> Number:
+        """``Σᵢ E[f′ᵢ^r]`` over the whole domain."""
+        values = self.raw_moment_array(counts, r, exact=exact)
+        total = values.sum()
+        return total if exact else float(total)
+
+    def expectation_scale(self, *, exact: bool = False) -> Number:
+        """``κ₁`` — the factor with ``E[f′ᵢ] = κ₁ fᵢ`` (p, α, or α)."""
+        return self.kappa_number(1, exact=exact)
+
+    # ------------------------------------------------------------------
+    # Joint raw moments at distinct indices
+    # ------------------------------------------------------------------
+
+    def joint_raw_moment_terms(
+        self, a: int, b: int
+    ) -> list[tuple[Fraction, int, int]]:
+        """Decompose ``E[f′ᵢᵃ f′ⱼᵇ]`` (i ≠ j) into ``Σ coeff · u_k(fᵢ) u_l(fⱼ)``.
+
+        Returns ``[(coeff, k, l), …]`` with
+        ``coeff = S(a, k) · S(b, l) · κ_{k+l}``.  The off-diagonal double
+        sums in the variance formulas reduce to power sums through this
+        decomposition.
+        """
+        if a not in STIRLING_SECOND or b not in STIRLING_SECOND:
+            raise ConfigurationError(f"joint moment orders must be in 0..4: ({a},{b})")
+        terms: list[tuple[Fraction, int, int]] = []
+        for k, sa in STIRLING_SECOND[a].items():
+            for l, sb in STIRLING_SECOND[b].items():
+                terms.append((Fraction(sa * sb) * self.kappa(k + l), k, l))
+        return terms
+
+    def offdiag_joint_sum(
+        self, counts: np.ndarray, a: int, b: int, *, exact: bool = False
+    ) -> Number:
+        """``Σ_{i ≠ j} E[f′ᵢᵃ f′ⱼᵇ]`` over one relation's base counts.
+
+        Uses ``Σ_{i≠j} u_k(fᵢ) u_l(fⱼ) = (Σ u_k)(Σ u_l) − Σ u_k u_l`` so
+        the double sum costs ``O(domain)``.
+        """
+        total: Number = Fraction(0) if exact else 0.0
+        cache: dict[int, np.ndarray] = {}
+
+        def u(order: int) -> np.ndarray:
+            if order not in cache:
+                cache[order] = self.u_array(counts, order, exact=exact)
+            return cache[order]
+
+        for coeff, k, l in self.joint_raw_moment_terms(a, b):
+            coeff_n: Number = coeff if exact else float(coeff)
+            uk, ul = u(k), u(l)
+            pair_sum = uk.sum() * ul.sum() - (uk * ul).sum()
+            total = total + coeff_n * pair_sum
+        return total if exact else float(total)
+
+
+class BernoulliMoments(SamplingMomentModel):
+    """Moments of ``f′ᵢ ~ Binomial(fᵢ, p)`` (independent across values)."""
+
+    scheme = "bernoulli"
+
+    __slots__ = ("p",)
+
+    def __init__(self, p: Union[float, Fraction]) -> None:
+        p = Fraction(p)
+        if not 0 < p <= 1:
+            raise ConfigurationError(f"Bernoulli p must be in (0, 1], got {p}")
+        self.p = p
+
+    def kappa(self, k: int) -> Fraction:
+        return self.p**k
+
+    def u_array(self, counts: np.ndarray, a: int, *, exact: bool = False) -> np.ndarray:
+        return falling_factorial_array(counts, a, exact)
+
+    def __repr__(self) -> str:
+        return f"BernoulliMoments(p={self.p})"
+
+
+class _FixedSizeMoments(SamplingMomentModel):
+    """Shared parameter handling for the two fixed-size schemes."""
+
+    __slots__ = ("sample_size", "population_size")
+
+    def __init__(self, sample_size: int, population_size: int) -> None:
+        if population_size < 1:
+            raise ConfigurationError(
+                f"population_size must be >= 1, got {population_size}"
+            )
+        if sample_size < 1:
+            raise ConfigurationError(f"sample_size must be >= 1, got {sample_size}")
+        self.sample_size = int(sample_size)
+        self.population_size = int(population_size)
+
+
+class WithReplacementMoments(_FixedSizeMoments):
+    """Moments of the multinomial sample frequencies (WR sampling).
+
+    ``κ_k = (m)₍ₖ₎ / N^k`` and ``u_a(f) = f^a``.
+    """
+
+    scheme = "with_replacement"
+
+    def kappa(self, k: int) -> Fraction:
+        return Fraction(
+            falling_factorial(self.sample_size, k), self.population_size**k
+        )
+
+    def u_array(self, counts: np.ndarray, a: int, *, exact: bool = False) -> np.ndarray:
+        return power_array(counts, a, exact)
+
+    def __repr__(self) -> str:
+        return (
+            f"WithReplacementMoments(sample_size={self.sample_size}, "
+            f"population_size={self.population_size})"
+        )
+
+
+class WithoutReplacementMoments(_FixedSizeMoments):
+    """Moments of the multivariate-hypergeometric frequencies (WOR sampling).
+
+    ``κ_k = (m)₍ₖ₎ / (N)₍ₖ₎`` and ``u_a(f) = (f)₍ₐ₎``.  Requires
+    ``m ≤ N``; moments of order ``k > m`` or ``k > N`` vanish naturally via
+    the falling factorials.
+    """
+
+    scheme = "without_replacement"
+
+    def __init__(self, sample_size: int, population_size: int) -> None:
+        super().__init__(sample_size, population_size)
+        if sample_size > population_size:
+            raise ConfigurationError(
+                f"WOR sample size {sample_size} exceeds population "
+                f"{population_size}"
+            )
+
+    def kappa(self, k: int) -> Fraction:
+        denominator = falling_factorial(self.population_size, k)
+        if denominator == 0:
+            # Population smaller than the moment order: the factorial moment
+            # E[(f'_i)_(k)] is 0 anyway because u_k vanishes; κ is arbitrary.
+            return Fraction(0)
+        return Fraction(falling_factorial(self.sample_size, k), denominator)
+
+    def u_array(self, counts: np.ndarray, a: int, *, exact: bool = False) -> np.ndarray:
+        return falling_factorial_array(counts, a, exact)
+
+    def __repr__(self) -> str:
+        return (
+            f"WithoutReplacementMoments(sample_size={self.sample_size}, "
+            f"population_size={self.population_size})"
+        )

@@ -1,0 +1,93 @@
+"""Sampling with replacement (Sections III-D, VI-B).
+
+A fixed number ``m`` of tuples is drawn uniformly at random from the base
+relation, independently, with replacement.  The vector of sample
+frequencies ``(f′ᵢ)`` is multinomial with ``m`` trials and cell
+probabilities ``fᵢ/|F|``.  This is also the model of an i.i.d. stream from
+a generative model over a finite population (Section VI-B): the stream *is*
+the WR sample.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..frequency import FrequencyVector
+from ..rng import SeedLike, as_generator
+from .base import SampleInfo, Sampler
+
+__all__ = ["WithReplacementSampler"]
+
+
+class WithReplacementSampler(Sampler):
+    """Uniform fixed-size sample drawn with replacement.
+
+    Exactly one of *size* and *fraction* must be given:
+
+    * ``size=m`` draws exactly ``m`` tuples regardless of population size;
+    * ``fraction=x`` draws ``round(x · |F|)`` tuples (at least 1).  With
+      replacement the fraction may exceed 1 — the paper's Figs 5–6 sweep it
+      up to the population size and beyond.
+    """
+
+    scheme = "with_replacement"
+
+    __slots__ = ("size", "fraction")
+
+    def __init__(
+        self, *, size: Optional[int] = None, fraction: Optional[float] = None
+    ) -> None:
+        if (size is None) == (fraction is None):
+            raise ConfigurationError("specify exactly one of size= or fraction=")
+        if size is not None and size < 1:
+            raise ConfigurationError(f"sample size must be >= 1, got {size}")
+        if fraction is not None and fraction <= 0:
+            raise ConfigurationError(f"fraction must be > 0, got {fraction}")
+        self.size = size
+        self.fraction = fraction
+
+    def resolve_size(self, population_size: int) -> int:
+        """Number of draws for a population of *population_size* tuples."""
+        if population_size < 1:
+            raise ConfigurationError("cannot sample from an empty relation")
+        if self.size is not None:
+            return self.size
+        return max(1, int(round(self.fraction * population_size)))
+
+    def sample_items(
+        self, keys: np.ndarray, seed: SeedLike = None
+    ) -> tuple[np.ndarray, SampleInfo]:
+        keys = np.asarray(keys)
+        m = self.resolve_size(keys.size)
+        rng = as_generator(seed)
+        indices = rng.integers(0, keys.size, size=m)
+        sampled = keys[indices]
+        info = SampleInfo(
+            scheme=self.scheme,
+            population_size=int(keys.size),
+            sample_size=m,
+        )
+        return sampled, info
+
+    def sample_frequencies(
+        self, frequencies: FrequencyVector, seed: SeedLike = None
+    ) -> tuple[FrequencyVector, SampleInfo]:
+        population = frequencies.total
+        m = self.resolve_size(population)
+        rng = as_generator(seed)
+        counts = rng.multinomial(m, frequencies.probabilities())
+        sample = FrequencyVector(counts.astype(np.int64), copy=False)
+        info = SampleInfo(
+            scheme=self.scheme,
+            population_size=population,
+            sample_size=m,
+        )
+        return sample, info
+
+    def __repr__(self) -> str:
+        if self.size is not None:
+            return f"WithReplacementSampler(size={self.size})"
+        return f"WithReplacementSampler(fraction={self.fraction})"

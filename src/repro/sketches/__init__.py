@@ -1,0 +1,45 @@
+"""Sketch substrate: AGMS, F-AGMS (Count-Sketch), and Count-Min.
+
+Sketches summarize *all* tuples of a stream into a small array of counters
+using random hash/±1 families (Section IV of the paper).  The two families
+the paper analyzes and uses:
+
+* :class:`AgmsSketch` — the basic AGMS (a.k.a. tug-of-war / AMS) sketch of
+  refs [1], [2]: ``rows`` independent ±1 counters, estimates combined by
+  averaging (optionally median-of-means).  Every tuple touches every
+  counter, so update cost is ``O(rows)``.
+* :class:`FagmsSketch` — the Fast-AGMS sketch of refs [3], [4] (identical
+  to Count-Sketch): ``rows × buckets`` counters; each tuple touches one
+  bucket per row, so update cost is ``O(rows)`` with ``rows`` small (the
+  paper: 1 row of 5,000–10,000 buckets, "equivalent to averaging 5,000 or
+  10,000 basic estimators"); row estimates combined by the median.
+* :class:`CountMinSketch` — included for comparison/ablation: same bucket
+  layout but non-negative counters and an upper-bound join estimate.
+
+All sketches are *linear*: ``sketch(F ∪ G) = sketch(F) + sketch(G)`` when
+built with the same seeds — exposed as :meth:`merge`.  Two sketches built
+with the same seed share their hash/ξ families and can be combined with
+:func:`join_size`; :func:`self_join_size` estimates ``F₂``.
+"""
+
+from .agms import AgmsSketch
+from .base import Sketch, join_size, self_join_size
+from .countmin import CountMinSketch
+from .fagms import FagmsSketch
+from .diagnostics import ContentionReport, bucket_occupancy, contention_report, row_spread
+from .serialization import load_sketch, save_sketch
+
+__all__ = [
+    "Sketch",
+    "AgmsSketch",
+    "FagmsSketch",
+    "CountMinSketch",
+    "join_size",
+    "self_join_size",
+    "save_sketch",
+    "load_sketch",
+    "bucket_occupancy",
+    "ContentionReport",
+    "contention_report",
+    "row_spread",
+]

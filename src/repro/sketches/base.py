@@ -1,0 +1,175 @@
+"""Common sketch interface and the top-level estimation entry points.
+
+Every sketch in the library implements :class:`Sketch`:
+
+* ``update(keys, weights=None)`` — vectorized insertion of a batch of
+  stream keys (weights default to +1 per tuple; negative weights implement
+  deletions, since all our sketches are linear);
+* ``update_frequency_vector(fv)`` — fast path that inserts a whole
+  frequency vector at once (equivalent to inserting every tuple, but
+  ``O(support)`` instead of ``O(tuples)``);
+* ``merge(other)`` — linearity: add a compatible sketch in place;
+* ``second_moment()`` — the sketch's estimate of ``Σᵢ fᵢ²`` of whatever
+  was inserted;
+* ``inner_product(other)`` — the sketch's estimate of ``Σᵢ fᵢ gᵢ`` against
+  a compatible sketch of another stream.
+
+Compatibility means: same class, same shape, and the same ``seed`` (hence
+identical hash/ξ families) — checked by :meth:`Sketch.check_compatible`.
+The free functions :func:`join_size` and :func:`self_join_size` are thin
+readable wrappers used throughout examples and experiments.
+
+Note the estimates returned here are estimates over *whatever was
+inserted*.  When the inserted stream is a sample, the unbiasing corrections
+of the paper (Section V) live in :mod:`repro.core.corrections`, not here —
+sketches are agnostic about how their input was produced.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..errors import DomainError, IncompatibleSketchError
+from ..frequency import FrequencyVector
+
+__all__ = ["Sketch", "join_size", "self_join_size"]
+
+
+class Sketch(abc.ABC):
+    """Abstract base class for linear stream sketches."""
+
+    #: Number of independent basic estimators (rows) in the sketch.
+    rows: int
+    #: Integer seed identifying the random families (for compatibility).
+    seed_id: int
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def update(self, keys, weights=None) -> None:
+        """Insert a batch of stream keys.
+
+        Parameters
+        ----------
+        keys:
+            1-D integer array of domain values, one per tuple.
+        weights:
+            Optional per-tuple weights (default +1 each).  Integer or float;
+            negative values delete.
+        """
+
+    def update_one(self, key: int, weight: float = 1.0) -> None:
+        """Insert a single tuple (convenience wrapper over :meth:`update`)."""
+        self.update(np.asarray([key], dtype=np.int64), np.asarray([weight]))
+
+    def update_frequency_vector(self, frequencies: FrequencyVector) -> None:
+        """Insert an entire frequency vector in one shot.
+
+        Exactly equivalent to inserting every tuple individually (sketches
+        are linear), but costs ``O(support size)``.
+        """
+        support = np.flatnonzero(frequencies.counts)
+        if support.size == 0:
+            return
+        self.update(support, frequencies.counts[support])
+
+    # ------------------------------------------------------------------
+    # Estimates
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def second_moment(self) -> float:
+        """Estimate ``Σᵢ fᵢ²`` of the inserted stream."""
+
+    @abc.abstractmethod
+    def inner_product(self, other: "Sketch") -> float:
+        """Estimate ``Σᵢ fᵢ gᵢ`` between this sketch's stream and *other*'s."""
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def copy_empty(self) -> "Sketch":
+        """A fresh zeroed sketch sharing this sketch's families and shape."""
+
+    @abc.abstractmethod
+    def _state(self) -> np.ndarray:
+        """The counter array (mutable reference, internal)."""
+
+    def copy(self) -> "Sketch":
+        """Deep copy (same families, duplicated counters)."""
+        clone = self.copy_empty()
+        clone._state()[...] = self._state()
+        return clone
+
+    def clear(self) -> None:
+        """Reset all counters to zero."""
+        self._state()[...] = 0
+
+    def merge(self, other: "Sketch") -> None:
+        """Add *other* into this sketch in place (multiset union of streams)."""
+        self.check_compatible(other)
+        self._state()[...] += other._state()
+
+    def check_compatible(self, other: "Sketch") -> None:
+        """Raise unless *other* shares this sketch's type, shape, and seeds."""
+        if type(self) is not type(other):
+            raise IncompatibleSketchError(
+                f"cannot combine {type(self).__name__} with {type(other).__name__}"
+            )
+        if self._state().shape != other._state().shape:
+            raise IncompatibleSketchError(
+                f"sketch shapes differ: {self._state().shape} vs "
+                f"{other._state().shape}"
+            )
+        if self.seed_id != other.seed_id:
+            raise IncompatibleSketchError(
+                "sketches were built with different seeds (different random "
+                "families); estimates across them are meaningless"
+            )
+
+    # ------------------------------------------------------------------
+    # Shared validation helper
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _normalize_batch(keys, weights) -> tuple[np.ndarray, Optional[np.ndarray]]:
+        keys = np.asarray(keys)
+        if keys.ndim != 1:
+            raise DomainError(f"keys must be 1-D, got shape {keys.shape}")
+        if keys.size and not np.issubdtype(keys.dtype, np.integer):
+            raise DomainError("sketch keys must be integers")
+        keys = keys.astype(np.int64, copy=False)
+        if weights is None:
+            return keys, None
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != keys.shape:
+            raise DomainError(
+                f"weights shape {weights.shape} does not match keys {keys.shape}"
+            )
+        return keys, weights
+
+
+def join_size(sketch_f: Sketch, sketch_g: Sketch) -> float:
+    """Estimate ``|F ⋈ G| = Σᵢ fᵢ gᵢ`` from two compatible sketches.
+
+    This is the *plain* sketch estimator (Prop 7 for AGMS).  If the sketched
+    streams are samples, apply the scaling correction from
+    :mod:`repro.core.corrections` to the returned value.
+    """
+    return sketch_f.inner_product(sketch_g)
+
+
+def self_join_size(sketch: Sketch) -> float:
+    """Estimate the second frequency moment ``F₂ = Σᵢ fᵢ²`` from a sketch.
+
+    This is the plain sketch estimator (Prop 8 for AGMS); see
+    :func:`join_size` about sampled inputs.
+    """
+    return sketch.second_moment()

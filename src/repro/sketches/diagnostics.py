@@ -1,0 +1,99 @@
+"""Sketch introspection: occupancy, contention, and estimate spread.
+
+Section VII-D attributes F-AGMS's occasional misbehaviour to *bucket
+contention* — many heavy keys colliding in a bucket widen the estimate
+distribution.  These helpers make that mechanism observable on a live
+sketch, so an operator (or the ablation benches) can tell whether a sketch
+is sized sanely for its key set:
+
+* :func:`bucket_occupancy` — distinct-key count per bucket for a given key
+  universe (needs the keys: the sketch itself stores only sums);
+* :func:`contention_report` — summary statistics of the occupancy and the
+  expected heavy-pair collision mass;
+* :func:`row_spread` — relative spread of the per-row basic estimates, a
+  data-free health signal (a wildly disagreeing row set means the bucket
+  count is too small for the stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .fagms import FagmsSketch
+
+__all__ = ["bucket_occupancy", "ContentionReport", "contention_report", "row_spread"]
+
+
+def bucket_occupancy(sketch: FagmsSketch, keys, row: int = 0) -> np.ndarray:
+    """Distinct-key count per bucket of one row, for the given key set.
+
+    *keys* should be the distinct keys that were (or would be) inserted;
+    duplicates are counted once.
+    """
+    keys = np.unique(np.asarray(keys, dtype=np.int64))
+    buckets = sketch._bucket_hash.evaluate_row(row, keys)
+    return np.bincount(buckets, minlength=sketch.buckets)
+
+
+@dataclass(frozen=True)
+class ContentionReport:
+    """Bucket-contention summary for one sketch row and key universe."""
+
+    buckets: int
+    distinct_keys: int
+    max_occupancy: int
+    mean_occupancy: float
+    empty_buckets: int
+    collision_pairs: int
+
+    @property
+    def load_factor(self) -> float:
+        """Distinct keys per bucket (the primary sizing ratio)."""
+        return self.distinct_keys / self.buckets
+
+    def __repr__(self) -> str:
+        return (
+            f"ContentionReport(load={self.load_factor:.2f}, "
+            f"max={self.max_occupancy}, empty={self.empty_buckets}, "
+            f"collision_pairs={self.collision_pairs})"
+        )
+
+
+def contention_report(sketch: FagmsSketch, keys, row: int = 0) -> ContentionReport:
+    """Summarize how contended one row of the sketch is for *keys*.
+
+    ``collision_pairs`` counts unordered key pairs sharing a bucket — the
+    number of cross-terms polluting that row's estimates; it grows
+    quadratically once the load factor passes 1.
+    """
+    occupancy = bucket_occupancy(sketch, keys, row)
+    distinct = int(occupancy.sum())
+    pairs = int((occupancy * (occupancy - 1) // 2).sum())
+    return ContentionReport(
+        buckets=sketch.buckets,
+        distinct_keys=distinct,
+        max_occupancy=int(occupancy.max(initial=0)),
+        mean_occupancy=float(occupancy.mean()) if occupancy.size else 0.0,
+        empty_buckets=int((occupancy == 0).sum()),
+        collision_pairs=pairs,
+    )
+
+
+def row_spread(sketch: FagmsSketch) -> float:
+    """Relative disagreement of the per-row self-join estimates.
+
+    ``(max − min) / median`` over the row estimates.  Requires at least
+    two rows; values well above ~1 indicate the bucket count is too small
+    for the sketched stream (heavy contention), values near 0 indicate a
+    comfortable configuration.  Data-free: uses only the sketch state.
+    """
+    if sketch.rows < 2:
+        raise ConfigurationError("row_spread needs a sketch with >= 2 rows")
+    estimates = sketch.row_second_moments()
+    median = float(np.median(estimates))
+    if median == 0:
+        return 0.0
+    return float((estimates.max() - estimates.min()) / median)

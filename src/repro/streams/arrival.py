@@ -1,0 +1,188 @@
+"""Arrival-process simulation: when is a stream "too fast to sketch"?
+
+The paper's motivation (Sections I, VI-A) is operational: sketch updates
+take time, streams arrive at given rates, and when the arrival rate
+exceeds the service rate the system must shed load or drop tuples
+uncontrollably.  We cannot ship the "networking equipment with billions of
+tuples per second"; this module simulates the queueing behaviour so the
+claim becomes measurable:
+
+* :func:`poisson_arrivals` — a Poisson arrival process at a target rate;
+* :class:`ServiceModel` — per-tuple costs: every arrival pays the filter
+  cost (the skip-ahead shedder's amortized per-tuple work), kept tuples
+  additionally pay the sketch-update cost;
+* :func:`simulate_backlog` — single-server queue with a finite buffer:
+  tuples that arrive to a full buffer are *lost* (uncontrolled drops, the
+  failure mode shedding exists to prevent);
+* :func:`sustainable_rate` — the analytic capacity ``1/(t_filter +
+  p·t_sketch)``, the rate below which the queue is stable.
+
+The point the simulation makes (``benchmarks/test_sustainability.py``):
+with shedding at probability ``p``, the sustainable rate grows ≈ ``1/p``
+once the sketch cost dominates — and unlike uncontrolled drops, what the
+shedder removes is a *Bernoulli sample*, so estimates stay unbiased with
+known error (the whole point of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, as_generator
+
+__all__ = [
+    "poisson_arrivals",
+    "ServiceModel",
+    "SimulationResult",
+    "simulate_backlog",
+    "sustainable_rate",
+]
+
+
+def poisson_arrivals(
+    rate: float, duration: float, seed: SeedLike = None
+) -> np.ndarray:
+    """Arrival timestamps of a Poisson process on ``[0, duration)``.
+
+    *rate* is in tuples per unit time.  Returns a sorted float64 array.
+    """
+    if rate <= 0:
+        raise ConfigurationError(f"rate must be > 0, got {rate}")
+    if duration <= 0:
+        raise ConfigurationError(f"duration must be > 0, got {duration}")
+    rng = as_generator(seed)
+    count = rng.poisson(rate * duration)
+    return np.sort(rng.uniform(0.0, duration, size=count))
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Per-tuple service costs of the shedder + sketch pipeline.
+
+    ``filter_cost`` is paid by *every* arriving tuple (amortized skip-ahead
+    bookkeeping — small); ``sketch_cost`` is paid only by kept tuples
+    (hashing + counter update — the dominant term).  Units are arbitrary
+    but must match the arrival timestamps.
+    """
+
+    filter_cost: float
+    sketch_cost: float
+
+    def __post_init__(self) -> None:
+        if self.filter_cost < 0 or self.sketch_cost <= 0:
+            raise ConfigurationError(
+                "filter_cost must be >= 0 and sketch_cost > 0"
+            )
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one queue simulation."""
+
+    arrivals: int
+    sketched: int
+    shed: int
+    lost: int
+    max_backlog: int
+    busy_time: float
+    duration: float
+
+    @property
+    def loss_fraction(self) -> float:
+        """Uncontrolled drops as a fraction of arrivals."""
+        return self.lost / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of time the server was busy."""
+        return self.busy_time / self.duration if self.duration else 0.0
+
+
+def sustainable_rate(model: ServiceModel, keep_probability: float) -> float:
+    """Analytic stable-queue capacity: ``1 / (t_filter + p·t_sketch)``."""
+    if not 0 < keep_probability <= 1:
+        raise ConfigurationError(
+            f"keep probability must be in (0, 1], got {keep_probability}"
+        )
+    return 1.0 / (model.filter_cost + keep_probability * model.sketch_cost)
+
+
+def simulate_backlog(
+    arrivals: np.ndarray,
+    model: ServiceModel,
+    keep_probability: float,
+    *,
+    buffer_capacity: int = 1024,
+    seed: SeedLike = None,
+) -> SimulationResult:
+    """Single-server FIFO queue with a finite buffer and Bernoulli shedding.
+
+    Every arriving tuple that finds the buffer full is **lost** (never
+    enters the pipeline).  Buffered tuples pay the filter cost; those the
+    shedder keeps also pay the sketch cost.  Returns counts, the peak
+    backlog, and server busy time.
+    """
+    if not 0 < keep_probability <= 1:
+        raise ConfigurationError(
+            f"keep probability must be in (0, 1], got {keep_probability}"
+        )
+    if buffer_capacity < 1:
+        raise ConfigurationError(
+            f"buffer_capacity must be >= 1, got {buffer_capacity}"
+        )
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    if arrivals.size and np.any(np.diff(arrivals) < 0):
+        raise ConfigurationError("arrival times must be sorted")
+    rng = as_generator(seed)
+    kept_mask = rng.random(arrivals.size) < keep_probability
+    service_times = np.where(
+        kept_mask, model.filter_cost + model.sketch_cost, model.filter_cost
+    )
+
+    # Event-driven pass: server_free marks when the server finishes its
+    # current backlog.  The backlog (tuples admitted but not yet finished)
+    # is tracked by comparing each arrival against recorded finish times.
+    finish_times = np.empty(arrivals.size, dtype=np.float64)
+    admitted = np.zeros(arrivals.size, dtype=bool)
+    server_free = 0.0
+    admitted_count = 0
+    lost = 0
+    max_backlog = 0
+    busy_time = 0.0
+    head = 0  # index of the oldest admitted-but-unfinished tuple
+    admitted_finish: list[float] = []
+    for index in range(arrivals.size):
+        now = arrivals[index]
+        # Retire finished tuples from the backlog window.
+        while head < len(admitted_finish) and admitted_finish[head] <= now:
+            head += 1
+        backlog = len(admitted_finish) - head
+        if backlog >= buffer_capacity:
+            lost += 1
+            continue
+        start = max(now, server_free)
+        server_free = start + service_times[index]
+        busy_time += service_times[index]
+        admitted_finish.append(server_free)
+        finish_times[admitted_count] = server_free
+        admitted[index] = True
+        admitted_count += 1
+        max_backlog = max(max_backlog, backlog + 1)
+
+    sketched = int((kept_mask & admitted).sum())
+    shed = admitted_count - sketched
+    duration = float(
+        max(arrivals[-1] if arrivals.size else 0.0, server_free)
+    )
+    return SimulationResult(
+        arrivals=int(arrivals.size),
+        sketched=sketched,
+        shed=shed,
+        lost=lost,
+        max_backlog=max_backlog,
+        busy_time=float(busy_time),
+        duration=duration,
+    )

@@ -1,0 +1,184 @@
+"""In-memory streaming relations.
+
+A :class:`Relation` is the materialized form of a single-attribute data
+stream: an array of integer keys over a finite domain.  It is deliberately
+simple — the paper's setting is one join attribute per relation — but it
+carries everything the rest of the library needs:
+
+* the tuple-domain view (:attr:`Relation.keys`) consumed by streaming
+  samplers and sketch ``update`` paths;
+* the frequency-domain view (:meth:`Relation.frequency_vector`) consumed by
+  the variance formulas and the fast Monte-Carlo paths;
+* random-order scans (:meth:`Relation.shuffled`, :func:`iter_chunks`) which
+  are the substrate of online aggregation (Section VI-C): a prefix of a
+  random-order scan is exactly a without-replacement sample.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError, DomainError
+from ..frequency import FrequencyVector
+from ..rng import SeedLike, as_generator
+
+__all__ = ["Relation", "iter_chunks"]
+
+
+class Relation:
+    """A single-attribute relation over the integer domain ``[0, domain_size)``.
+
+    Parameters
+    ----------
+    keys:
+        1-D integer array; one entry per tuple (the value of the join
+        attribute).  Order matters: it is the stream arrival order.
+    domain_size:
+        Size of the attribute domain.  Defaults to ``max(keys) + 1``.
+    name:
+        Optional label used in reports (e.g. ``"lineitem"``).
+    """
+
+    __slots__ = ("_keys", "_domain_size", "name", "_frequency_cache")
+
+    def __init__(
+        self,
+        keys,
+        domain_size: Optional[int] = None,
+        *,
+        name: str = "",
+        copy: bool = True,
+    ) -> None:
+        array = np.asarray(keys)
+        if array.ndim != 1:
+            raise DomainError(f"relation keys must be 1-D, got shape {array.shape}")
+        if array.size and not np.issubdtype(array.dtype, np.integer):
+            raise DomainError("relation keys must be integers")
+        array = array.astype(np.int64, copy=copy)
+        if array.size:
+            lo, hi = int(array.min()), int(array.max())
+            if lo < 0:
+                raise DomainError(f"relation keys must be non-negative, saw {lo}")
+            if domain_size is None:
+                domain_size = hi + 1
+            elif hi >= domain_size:
+                raise DomainError(
+                    f"key {hi} outside declared domain [0, {domain_size})"
+                )
+        elif domain_size is None:
+            domain_size = 0
+        if domain_size < 0:
+            raise ConfigurationError(f"domain_size must be >= 0, got {domain_size}")
+        array.setflags(write=False)
+        self._keys = array
+        self._domain_size = int(domain_size)
+        self.name = name
+        self._frequency_cache: Optional[FrequencyVector] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_frequency_vector(
+        cls,
+        frequencies: FrequencyVector,
+        *,
+        name: str = "",
+        shuffle: bool = False,
+        seed: SeedLike = None,
+    ) -> "Relation":
+        """Materialize a relation with exactly the given frequencies.
+
+        With ``shuffle=False`` tuples arrive sorted by key; with
+        ``shuffle=True`` arrival order is a uniform random permutation
+        (the precondition for prefix-scan = WOR-sample in Section VI-C).
+        """
+        keys = frequencies.to_items()
+        if shuffle:
+            as_generator(seed).shuffle(keys)
+        relation = cls(keys, frequencies.domain_size, name=name, copy=False)
+        relation._frequency_cache = frequencies
+        return relation
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @property
+    def keys(self) -> np.ndarray:
+        """Read-only ``int64`` array of tuple keys in arrival order."""
+        return self._keys
+
+    @property
+    def domain_size(self) -> int:
+        """Size of the attribute domain ``|I|``."""
+        return self._domain_size
+
+    def __len__(self) -> int:
+        return self._keys.size
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"Relation({label and label + ', '}tuples={len(self)}, "
+            f"domain_size={self._domain_size})"
+        )
+
+    def frequency_vector(self) -> FrequencyVector:
+        """The exact frequency vector of the relation (cached)."""
+        if self._frequency_cache is None:
+            self._frequency_cache = FrequencyVector.from_items(
+                self._keys, self._domain_size
+            )
+        return self._frequency_cache
+
+    # Convenience ground-truth accessors ------------------------------
+
+    def self_join_size(self) -> int:
+        """Exact ``F₂ = Σ fᵢ²`` of this relation."""
+        return self.frequency_vector().self_join_size()
+
+    def join_size(self, other: "Relation") -> int:
+        """Exact ``|self ⋈ other| = Σ fᵢ gᵢ``."""
+        if self._domain_size != other._domain_size:
+            raise DomainError(
+                "join requires matching domains: "
+                f"{self._domain_size} vs {other._domain_size}"
+            )
+        return self.frequency_vector().join_size(other.frequency_vector())
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+
+    def shuffled(self, seed: SeedLike = None) -> "Relation":
+        """A copy of this relation with tuples in uniform random order."""
+        keys = self._keys.copy()
+        as_generator(seed).shuffle(keys)
+        relation = Relation(keys, self._domain_size, name=self.name, copy=False)
+        relation._frequency_cache = self._frequency_cache
+        return relation
+
+    def prefix(self, count: int) -> "Relation":
+        """The first *count* tuples in arrival order (a WOR sample when the
+        arrival order is a uniform random permutation)."""
+        if not 0 <= count <= len(self):
+            raise ConfigurationError(
+                f"prefix length {count} out of range [0, {len(self)}]"
+            )
+        return Relation(self._keys[:count], self._domain_size, name=self.name)
+
+    def chunks(self, chunk_size: int) -> Iterator[np.ndarray]:
+        """Iterate over the keys in contiguous chunks of *chunk_size*."""
+        return iter_chunks(self._keys, chunk_size)
+
+
+def iter_chunks(keys: np.ndarray, chunk_size: int) -> Iterator[np.ndarray]:
+    """Yield contiguous slices of *keys* with at most *chunk_size* entries."""
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    for start in range(0, keys.size, chunk_size):
+        yield keys[start : start + chunk_size]

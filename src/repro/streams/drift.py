@@ -1,0 +1,116 @@
+"""Distribution-drift generators for monitoring scenarios.
+
+The windowed-monitoring extension (``repro.core.windows``) and the drift
+example need streams whose key distribution *changes*; these generators
+produce the standard shapes:
+
+* :func:`shifted_zipf_relation` — the same Zipf profile translated within
+  the key space (a "key-space rotation": same traffic volume and shape,
+  different identities — the classic cache-busting / re-sharding event);
+* :func:`mixture_relation` — an interpolation between two distributions
+  (gradual drift: a fraction ``weight`` of tuples come from the new
+  distribution);
+* :func:`drifting_stream` — a multi-phase concatenation with per-phase
+  specs, for end-to-end monitor tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, as_generator
+from .base import Relation
+from .synthetic import ZipfDistribution
+
+__all__ = ["shifted_zipf_relation", "mixture_relation", "drifting_stream"]
+
+
+def shifted_zipf_relation(
+    n_tuples: int,
+    domain_size: int,
+    skew: float,
+    *,
+    shift: int,
+    seed: SeedLike = None,
+    name: str = "",
+) -> Relation:
+    """A Zipf relation whose rank→value mapping is rotated by *shift*.
+
+    Rank ``r`` maps to value ``(r + shift) mod domain_size``, so two
+    relations with different shifts have identical frequency *profiles*
+    but (for ``shift`` larger than the heavy-hitter span) nearly disjoint
+    heavy keys — maximal drift at constant volume.
+    """
+    if not 0 <= shift < domain_size:
+        raise ConfigurationError(
+            f"shift must be in [0, {domain_size}), got {shift}"
+        )
+    rng = as_generator(seed)
+    distribution = ZipfDistribution(domain_size, skew, shuffle_values=False)
+    ranks = distribution.sample(n_tuples, rng)
+    keys = (ranks + np.int64(shift)) % np.int64(domain_size)
+    return Relation(keys, domain_size, name=name, copy=False)
+
+
+def mixture_relation(
+    n_tuples: int,
+    old: ZipfDistribution,
+    new: ZipfDistribution,
+    weight: float,
+    *,
+    seed: SeedLike = None,
+    name: str = "",
+) -> Relation:
+    """Tuples drawn from ``(1−weight)·old + weight·new``.
+
+    Both distributions must share a domain.  ``weight = 0`` is pure old
+    traffic, ``weight = 1`` pure new — sweeping it simulates gradual
+    drift.
+    """
+    if not 0 <= weight <= 1:
+        raise ConfigurationError(f"weight must be in [0, 1], got {weight}")
+    if old.domain_size != new.domain_size:
+        raise ConfigurationError(
+            "mixture components must share a domain: "
+            f"{old.domain_size} vs {new.domain_size}"
+        )
+    rng = as_generator(seed)
+    from_new = int(rng.binomial(n_tuples, weight))
+    keys = np.concatenate(
+        [
+            old.sample(n_tuples - from_new, rng),
+            new.sample(from_new, rng),
+        ]
+    )
+    rng.shuffle(keys)
+    return Relation(keys, old.domain_size, name=name, copy=False)
+
+
+def drifting_stream(
+    phases: Sequence[tuple[int, ZipfDistribution]],
+    *,
+    seed: SeedLike = None,
+    name: str = "",
+) -> Relation:
+    """Concatenate phases of ``(n_tuples, distribution)`` into one stream.
+
+    Phase boundaries are where a windowed monitor should flag drift; all
+    distributions must share a domain.
+    """
+    if not phases:
+        raise ConfigurationError("at least one phase is required")
+    domain = phases[0][1].domain_size
+    for _, distribution in phases:
+        if distribution.domain_size != domain:
+            raise ConfigurationError("all phases must share a domain")
+    rng = as_generator(seed)
+    chunks = []
+    for n_tuples, distribution in phases:
+        if n_tuples < 0:
+            raise ConfigurationError(f"phase length must be >= 0, got {n_tuples}")
+        chunks.append(distribution.sample(n_tuples, rng))
+    keys = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+    return Relation(keys, domain, name=name, copy=False)

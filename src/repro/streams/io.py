@@ -1,0 +1,157 @@
+"""File-backed streams: spill relations to disk, re-stream them in chunks.
+
+Streaming systems rarely hold their input in memory; this module provides
+the minimal disk substrate the examples and larger-than-memory experiments
+need:
+
+* :func:`write_stream` — append key chunks to a binary stream file;
+* :func:`read_stream` — iterate a stream file in bounded-memory chunks
+  (the shape every consumer in this library accepts);
+* :func:`stream_to_relation` — materialize a (small enough) stream file.
+
+Format: a tiny fixed header (magic, version, domain size) followed by raw
+little-endian ``int64`` keys.  The format is append-friendly: concatenating
+the key sections of two files over the same domain is a valid stream.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError, DomainError
+from .base import Relation
+
+__all__ = ["write_stream", "read_stream", "stream_to_relation", "stream_length"]
+
+_MAGIC = b"RPRS"
+_VERSION = 1
+_HEADER = struct.Struct("<4sIQ")  # magic, version, domain_size
+
+PathLike = Union[str, Path]
+
+
+def write_stream(
+    path: PathLike,
+    chunks: Iterable[np.ndarray],
+    domain_size: int,
+    *,
+    append: bool = False,
+) -> int:
+    """Write key chunks to a stream file; returns the tuples written.
+
+    With ``append=True`` the file must already exist with a matching
+    domain; new keys are appended after the existing ones.
+    """
+    if domain_size < 1:
+        raise ConfigurationError(f"domain_size must be >= 1, got {domain_size}")
+    path = Path(path)
+    if append:
+        existing = _read_header(path)
+        if existing != domain_size:
+            raise DomainError(
+                f"cannot append domain {domain_size} keys to a stream over "
+                f"domain {existing}"
+            )
+        handle = path.open("ab")
+    else:
+        handle = path.open("wb")
+        handle.write(_HEADER.pack(_MAGIC, _VERSION, domain_size))
+    written = 0
+    with handle:
+        for chunk in chunks:
+            keys = np.ascontiguousarray(chunk, dtype="<i8")
+            if keys.ndim != 1:
+                raise DomainError(f"chunks must be 1-D, got shape {keys.shape}")
+            if keys.size:
+                lo, hi = int(keys.min()), int(keys.max())
+                if lo < 0 or hi >= domain_size:
+                    raise DomainError(
+                        f"key out of domain [0, {domain_size}): "
+                        f"range [{lo}, {hi}]"
+                    )
+            handle.write(keys.tobytes())
+            written += keys.size
+    return written
+
+
+def _read_header(path: Path) -> int:
+    with path.open("rb") as handle:
+        raw = handle.read(_HEADER.size)
+    if len(raw) != _HEADER.size:
+        raise ConfigurationError(f"{path} is not a stream file (truncated header)")
+    magic, version, domain_size = _HEADER.unpack(raw)
+    if magic != _MAGIC:
+        raise ConfigurationError(f"{path} is not a stream file (bad magic)")
+    if version != _VERSION:
+        raise ConfigurationError(
+            f"unsupported stream file version {version} in {path}"
+        )
+    return int(domain_size)
+
+
+def stream_length(path: PathLike) -> int:
+    """Number of tuples stored in a stream file (O(1), from the file size)."""
+    path = Path(path)
+    _read_header(path)
+    payload = path.stat().st_size - _HEADER.size
+    if payload % 8:
+        raise ConfigurationError(f"{path} has a truncated key section")
+    return payload // 8
+
+
+def read_stream(
+    path: PathLike, chunk_size: int = 65_536
+) -> Iterator[np.ndarray]:
+    """Iterate a stream file's keys in chunks of at most *chunk_size*.
+
+    The first yielded object is preceded by header validation; use
+    :func:`stream_domain_size` to learn the domain before consuming.
+    """
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    path = Path(path)
+    _read_header(path)
+    with path.open("rb") as handle:
+        handle.seek(_HEADER.size)
+        while True:
+            raw = handle.read(8 * chunk_size)
+            if not raw:
+                return
+            if len(raw) % 8:
+                raise ConfigurationError(f"{path} has a truncated key section")
+            yield np.frombuffer(raw, dtype="<i8").astype(np.int64)
+
+
+def stream_domain_size(path: PathLike) -> int:
+    """The domain size recorded in a stream file's header."""
+    return _read_header(Path(path))
+
+
+def stream_to_relation(
+    path: PathLike, *, name: str = "", max_tuples: Optional[int] = None
+) -> Relation:
+    """Materialize a stream file as an in-memory :class:`Relation`.
+
+    Refuses files longer than *max_tuples* when given — a guard for
+    accidentally materializing larger-than-memory streams.
+    """
+    path = Path(path)
+    domain_size = _read_header(path)
+    length = stream_length(path)
+    if max_tuples is not None and length > max_tuples:
+        raise ConfigurationError(
+            f"stream holds {length} tuples, above the max_tuples={max_tuples} "
+            "guard; consume it with read_stream() instead"
+        )
+    chunks = list(read_stream(path))
+    keys = (
+        np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+    )
+    return Relation(keys, domain_size, name=name, copy=False)
+
+
+__all__.append("stream_domain_size")

@@ -1,0 +1,244 @@
+"""Synthetic Zipfian data generators.
+
+The paper's synthetic experiments (Section VII) use streams "generated from
+a Zipfian distribution with the coefficient ranging between 0 (uniform) and
+5 (skewed)" over a domain of 10⁶ values.  This module reproduces that
+workload generator at any scale:
+
+* :class:`ZipfDistribution` — the distribution object: probabilities,
+  random tuple draws, random or deterministic ("expected") frequency
+  vectors;
+* :func:`zipf_relation` / :func:`uniform_relation` — materialized relations
+  for end-to-end runs;
+* :func:`zipf_frequency_vector` — deterministic frequency vectors used by
+  the analytic variance figures (Figs 1–2), where no randomness in the data
+  is wanted.
+
+A note on value/rank assignment: a plain Zipf generator puts the heaviest
+frequency on value 0, the next on value 1, and so on.  Real data has no such
+correlation between a value's magnitude and its frequency, and hash-based
+sketches do not care, but to keep the generator honest ``shuffle_values=True``
+(default) applies a random permutation of the domain to decorrelate them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..frequency import FrequencyVector
+from ..rng import SeedLike, as_generator
+from .base import Relation
+
+__all__ = [
+    "ZipfDistribution",
+    "zipf_relation",
+    "zipf_frequency_vector",
+    "uniform_relation",
+]
+
+
+class ZipfDistribution:
+    """Zipfian distribution over ``[0, domain_size)`` with skew ``z >= 0``.
+
+    ``P(rank r) ∝ 1 / (r + 1)^z`` for ranks ``r = 0 … domain_size − 1``.
+    ``z = 0`` is the uniform distribution; larger ``z`` concentrates mass on
+    a few heavy hitters (the paper sweeps ``z`` up to 5).
+
+    Parameters
+    ----------
+    domain_size:
+        Number of distinct values.
+    skew:
+        Zipf coefficient ``z``.
+    shuffle_values:
+        Apply a random permutation mapping ranks to domain values so value
+        identity is independent of frequency rank.
+    seed:
+        Seed for the value permutation only (draws take their own RNG).
+    """
+
+    __slots__ = ("domain_size", "skew", "_probabilities", "_permutation")
+
+    def __init__(
+        self,
+        domain_size: int,
+        skew: float,
+        *,
+        shuffle_values: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        if domain_size < 1:
+            raise ConfigurationError(f"domain_size must be >= 1, got {domain_size}")
+        if skew < 0:
+            raise ConfigurationError(f"Zipf skew must be >= 0, got {skew}")
+        self.domain_size = int(domain_size)
+        self.skew = float(skew)
+        ranks = np.arange(1, domain_size + 1, dtype=np.float64)
+        weights = ranks ** (-self.skew)
+        self._probabilities = weights / weights.sum()
+        if shuffle_values:
+            self._permutation = as_generator(seed).permutation(domain_size)
+        else:
+            self._permutation = None
+
+    # ------------------------------------------------------------------
+
+    def probabilities(self) -> np.ndarray:
+        """Probability of each domain *value* (after any permutation)."""
+        if self._permutation is None:
+            return self._probabilities.copy()
+        out = np.empty_like(self._probabilities)
+        out[self._permutation] = self._probabilities
+        return out
+
+    def sample(self, n_tuples: int, seed: SeedLike = None) -> np.ndarray:
+        """Draw *n_tuples* i.i.d. keys; returns an ``int64`` array.
+
+        Implemented as a multinomial draw over ranks followed by expansion
+        and shuffling — equivalent in distribution to ``n_tuples``
+        independent categorical draws but far faster for large streams.
+        """
+        if n_tuples < 0:
+            raise ConfigurationError(f"n_tuples must be >= 0, got {n_tuples}")
+        rng = as_generator(seed)
+        counts = rng.multinomial(n_tuples, self._probabilities)
+        ranks = np.repeat(np.arange(self.domain_size, dtype=np.int64), counts)
+        rng.shuffle(ranks)
+        return self._ranks_to_values(ranks)
+
+    def frequency_vector(
+        self, n_tuples: int, seed: SeedLike = None
+    ) -> FrequencyVector:
+        """A random frequency vector of an *n_tuples*-tuple i.i.d. stream."""
+        rng = as_generator(seed)
+        counts = rng.multinomial(n_tuples, self._probabilities)
+        return FrequencyVector(self._permute_counts(counts), copy=False)
+
+    def expected_frequency_vector(self, n_tuples: int) -> FrequencyVector:
+        """Deterministic frequencies: ``n·pᵢ`` rounded, preserving the total.
+
+        Used for the analytic variance figures (Figs 1–2) where the paper
+        evaluates formulas on a fixed Zipf frequency profile.  Largest-
+        remainder rounding keeps ``Σ fᵢ = n_tuples`` exactly.
+        """
+        if n_tuples < 0:
+            raise ConfigurationError(f"n_tuples must be >= 0, got {n_tuples}")
+        exact = self._probabilities * n_tuples
+        floors = np.floor(exact).astype(np.int64)
+        deficit = int(n_tuples - floors.sum())
+        if deficit > 0:
+            remainders = exact - floors
+            top = np.argsort(remainders)[::-1][:deficit]
+            floors[top] += 1
+        return FrequencyVector(self._permute_counts(floors), copy=False)
+
+    # ------------------------------------------------------------------
+
+    def _ranks_to_values(self, ranks: np.ndarray) -> np.ndarray:
+        if self._permutation is None:
+            return ranks
+        return self._permutation[ranks]
+
+    def _permute_counts(self, counts: np.ndarray) -> np.ndarray:
+        if self._permutation is None:
+            return counts.astype(np.int64, copy=False)
+        out = np.zeros(self.domain_size, dtype=np.int64)
+        out[self._permutation] = counts
+        return out
+
+    def __repr__(self) -> str:
+        return f"ZipfDistribution(domain_size={self.domain_size}, skew={self.skew})"
+
+
+def zipf_relation(
+    n_tuples: int,
+    domain_size: int,
+    skew: float,
+    *,
+    seed: SeedLike = None,
+    shuffle_values: bool = True,
+    name: str = "",
+) -> Relation:
+    """Generate a Zipfian relation (the paper's synthetic workload).
+
+    A single *seed* drives both the value permutation and the draws, so the
+    call is fully reproducible.
+    """
+    rng = as_generator(seed)
+    distribution = ZipfDistribution(
+        domain_size, skew, shuffle_values=shuffle_values, seed=rng
+    )
+    keys = distribution.sample(n_tuples, rng)
+    return Relation(keys, domain_size, name=name, copy=False)
+
+
+def zipf_frequency_vector(
+    n_tuples: int,
+    domain_size: int,
+    skew: float,
+    *,
+    seed: SeedLike = None,
+    expected: bool = False,
+    shuffle_values: bool = True,
+) -> FrequencyVector:
+    """Zipf frequency vector, random (default) or deterministic-expected.
+
+    ``shuffle_values=False`` keeps the rank→value identity mapping — two
+    vectors drawn this way have their heavy hitters on the *same* values,
+    which is the paper's size-of-join setup (independently drawn streams
+    from the same Zipf distribution).  The deterministic (``expected``)
+    variant never permutes values: the variance formulas are symmetric in
+    the domain, so permutation is irrelevant there.
+    """
+    if expected:
+        distribution = ZipfDistribution(domain_size, skew, shuffle_values=False)
+        return distribution.expected_frequency_vector(n_tuples)
+    rng = as_generator(seed)
+    distribution = ZipfDistribution(
+        domain_size, skew, shuffle_values=shuffle_values, seed=rng
+    )
+    return distribution.frequency_vector(n_tuples, rng)
+
+
+def uniform_relation(
+    n_tuples: int,
+    domain_size: int,
+    *,
+    seed: SeedLike = None,
+    name: str = "",
+) -> Relation:
+    """Uniform relation — the ``skew = 0`` corner of the Zipf sweep."""
+    rng = as_generator(seed)
+    keys = rng.integers(0, domain_size, size=n_tuples, dtype=np.int64)
+    return Relation(keys, domain_size, name=name, copy=False)
+
+
+def make_join_pair(
+    n_tuples: int,
+    domain_size: int,
+    skew: float,
+    *,
+    seed: SeedLike = None,
+    name_f: str = "F",
+    name_g: str = "G",
+) -> tuple[Relation, Relation]:
+    """Two *independently generated* Zipf relations over a shared domain.
+
+    Matches the paper's size-of-join setup: "the tuples in the two relations
+    are generated completely independent" — including independent value
+    permutations, so heavy hitters of F and G land on different values.
+    """
+    rng = as_generator(seed)
+    f = zipf_relation(
+        n_tuples, domain_size, skew, seed=rng, shuffle_values=True, name=name_f
+    )
+    g = zipf_relation(
+        n_tuples, domain_size, skew, seed=rng, shuffle_values=True, name=name_g
+    )
+    return f, g
+
+
+__all__.append("make_join_pair")

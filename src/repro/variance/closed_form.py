@@ -1,0 +1,221 @@
+"""Literal transcriptions of the paper's combined-variance closed forms.
+
+Props 13–16 (Eqs. 25–28) give, per sampling scheme, the variance of the
+*average* of ``n`` sketch-over-samples basic estimators.  This module
+transcribes them symbol for symbol, with the double sums
+``Σᵢ Σ_{j≠i} fᵢᵃ gⱼᵇ`` reduced to power sums via
+``Σ_{i≠j} fᵢᵃgⱼᵇ = (Σᵢfᵢᵃ)(Σⱼgⱼᵇ) − Σᵢfᵢᵃgᵢᵇ``.
+
+The same quantities are computed by the independent generic evaluator in
+:mod:`repro.variance.generic`; the test-suite asserts exact (rational)
+agreement between the two, which validates both the transcription and the
+generic machinery.  All functions return :class:`fractions.Fraction`.
+
+**Errata.**  Two of the printed formulas contain typos, detected by exact
+enumeration of the sampling distribution (see
+``tests/test_variance_identities.py``) and confirmed by Monte Carlo:
+
+* Eq. 26 (Prop 14): the interaction bracket is printed with a ``1/n``
+  prefactor; the correct prefactor is ``2/n`` (matching the sketch term's
+  ``2/n``).
+* Eq. 10 (Prop 5) and Eq. 27 (Prop 15): the printed coefficients
+  ``|F|αβ₂`` and ``|G|α₂β`` of the ``Σ fᵢgᵢ²`` / ``Σ fᵢ²gᵢ`` terms carry
+  spurious size factors; dimensional analysis against the Bernoulli/WOR
+  formulas and the exact checks give ``β₂`` and ``α₂``.
+
+This module implements the *corrected* formulas (each function's docstring
+restates its erratum); the experiments are unaffected because they use the
+generic evaluator, but the corrected closed forms document the actual
+structure of the result.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+from ..errors import ConfigurationError
+from ..frequency import FrequencyVector
+from ..sampling.coefficients import SamplingCoefficients
+
+__all__ = [
+    "bernoulli_combined_join_variance",
+    "bernoulli_combined_self_join_variance",
+    "wr_combined_join_variance",
+    "wor_combined_join_variance",
+]
+
+NumberLike = Union[int, float, Fraction]
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise ConfigurationError(f"averaged estimator count must be >= 1, got {n}")
+
+
+def bernoulli_combined_join_variance(
+    f: FrequencyVector,
+    g: FrequencyVector,
+    p: NumberLike,
+    q: NumberLike,
+    n: int,
+) -> Fraction:
+    """Prop 13 / Eq. 25: size-of-join over Bernoulli samples, ``n`` averages.
+
+    Estimator: ``X = (1/pq) Σᵢ f′ᵢξᵢ · Σⱼ g′ⱼξⱼ``, averaged over ``n``
+    independent ξ families sharing one sample of each relation.
+    """
+    _check_n(n)
+    p = Fraction(p)
+    q = Fraction(q)
+    fg = f.join_size(g)
+    fg2 = f.cross_power_sum(g, 1, 2)
+    f2g = f.cross_power_sum(g, 2, 1)
+    f2g2 = f.cross_power_sum(g, 2, 2)
+    f1, g1 = f.f1, g.f1
+    f2, g2 = f.f2, g.f2
+
+    cp = (1 - p) / p
+    cq = (1 - q) / q
+    cpq = (1 - p) * (1 - q) / (p * q)
+
+    sampling = cp * fg2 + cq * f2g + cpq * fg
+    sketch = Fraction(f2 * g2 + fg * fg - 2 * f2g2, n)
+    interaction = (
+        cp * (f1 * g2 - fg2)
+        + cq * (f2 * g1 - f2g)
+        + cpq * (f1 * g1 - fg)
+    ) / n
+    return sampling + sketch + interaction
+
+
+def bernoulli_combined_self_join_variance(
+    f: FrequencyVector, p: NumberLike, n: int
+) -> Fraction:
+    """Prop 14 / Eq. 26: self-join size over a Bernoulli sample, ``n`` averages.
+
+    Estimator: ``X = (1/p²)(Σᵢ f′ᵢξᵢ)² − ((1−p)/p²) Σᵢ f′ᵢ`` (sketch part
+    averaged over ``n`` ξ families; the additive correction is computed
+    once from the shared sample).
+
+    **Erratum:** the paper prints the interaction bracket with a ``1/n``
+    prefactor; exact enumeration of the binomial sampling distribution
+    shows it must be ``2/n`` (see the module docstring).  The corrected
+    prefactor is used here.
+    """
+    _check_n(n)
+    p = Fraction(p)
+    f1, f2, f3, f4 = f.f1, f.f2, f.f3, f.f4
+
+    sampling = (1 - p) / p**3 * (
+        4 * p**2 * f3 + 2 * p * (1 - 3 * p) * f2 - p * (2 - 3 * p) * f1
+    )
+    sketch = Fraction(2 * (f2 * f2 - f4), n)
+    off_ff = f1 * f1 - f2  # Σ_{i≠j} fᵢfⱼ
+    off_f2f = f2 * f1 - f3  # Σ_{i≠j} fᵢ²fⱼ
+    interaction = (
+        Fraction(2, n)
+        * ((1 - p) ** 2 / p**2 * off_ff + 2 * (1 - p) / p * off_f2f)
+    )
+    return sampling + sketch + interaction
+
+
+def wr_combined_join_variance(
+    f: FrequencyVector,
+    g: FrequencyVector,
+    coeff_f: SamplingCoefficients,
+    coeff_g: SamplingCoefficients,
+    n: int,
+) -> Fraction:
+    """Prop 15 / Eq. 27: size-of-join over WR samples, ``n`` averages.
+
+    **Erratum:** the paper prints the ``Σfᵢgᵢ²`` and ``Σfᵢ²gᵢ``
+    coefficients as ``|F|αβ₂`` and ``|G|α₂β`` (in both the sampling and
+    interaction brackets); the exact checks give ``β₂`` and ``α₂`` — which
+    also restores dimensional consistency with the Bernoulli (Eq. 25) and
+    WOR (Eq. 28) formulas.  The corrected coefficients are used here (and
+    in :func:`repro.variance.sampling.wr_join_variance` for Eq. 10, which
+    shares the typo).
+    """
+    _check_n(n)
+    alpha, beta = coeff_f.alpha, coeff_g.alpha
+    alpha2, beta2 = coeff_f.alpha2, coeff_g.alpha2
+    fg = f.join_size(g)
+    fg2 = f.cross_power_sum(g, 1, 2)
+    f2g = f.cross_power_sum(g, 2, 1)
+    f2g2 = f.cross_power_sum(g, 2, 2)
+    f1, g1 = f.f1, g.f1
+    f2, g2 = f.f2, g.f2
+
+    sampling = (
+        1
+        / (alpha * beta)
+        * (
+            fg
+            + beta2 * fg2
+            + alpha2 * f2g
+            + (alpha2 * beta2 - alpha * beta) * fg * fg
+        )
+    )
+    sketch = (
+        Fraction(1, n)
+        * (alpha2 / alpha)
+        * (beta2 / beta)
+        * (f2 * g2 + fg * fg - 2 * f2g2)
+    )
+    interaction = (
+        Fraction(1, n)
+        / (alpha * beta)
+        * (
+            (f1 * g1 - fg)
+            + beta2 * (f1 * g2 - fg2)
+            + alpha2 * (f2 * g1 - f2g)
+        )
+    )
+    return sampling + sketch + interaction
+
+
+def wor_combined_join_variance(
+    f: FrequencyVector,
+    g: FrequencyVector,
+    coeff_f: SamplingCoefficients,
+    coeff_g: SamplingCoefficients,
+    n: int,
+) -> Fraction:
+    """Prop 16 / Eq. 28: size-of-join over WOR samples, ``n`` averages."""
+    _check_n(n)
+    alpha, beta = coeff_f.alpha, coeff_g.alpha
+    alpha1, beta1 = coeff_f.alpha1, coeff_g.alpha1
+    fg = f.join_size(g)
+    fg2 = f.cross_power_sum(g, 1, 2)
+    f2g = f.cross_power_sum(g, 2, 1)
+    f2g2 = f.cross_power_sum(g, 2, 2)
+    f1, g1 = f.f1, g.f1
+    f2, g2 = f.f2, g.f2
+
+    sampling = (
+        1
+        / (alpha * beta)
+        * (
+            (1 - alpha1) * (1 - beta1) * fg
+            + (1 - alpha1) * beta1 * fg2
+            + alpha1 * (1 - beta1) * f2g
+            + (alpha1 * beta1 - alpha * beta) * fg * fg
+        )
+    )
+    sketch = (
+        Fraction(1, n)
+        * (alpha1 / alpha)
+        * (beta1 / beta)
+        * (f2 * g2 + fg * fg - 2 * f2g2)
+    )
+    interaction = (
+        Fraction(1, n)
+        / (alpha * beta)
+        * (
+            (1 - alpha1) * (1 - beta1) * (f1 * g1 - fg)
+            + (1 - alpha1) * beta1 * (f1 * g2 - fg2)
+            + alpha1 * (1 - beta1) * (f2 * g1 - f2g)
+        )
+    )
+    return sampling + sketch + interaction

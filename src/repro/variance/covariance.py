@@ -1,0 +1,123 @@
+"""Covariance between basic estimators sharing one sample (Eq. 22).
+
+Section V-A: when ``n`` basic sketch estimators are averaged over the
+*same* sample, they are correlated — each pair shares the sampling noise —
+so the averaging law is
+
+    Var[(1/n) Σ Xₖ] = (1/n) [ Var[Xₖ] + (n−1)·Cov[Xₖ, Xₗ] ]      (Eq. 22)
+
+Comparing with Props 11–12 identifies the pairwise covariance exactly: it
+is the *sampling-only* variance of the scaled estimator (the part of the
+noise all ξ families see identically)::
+
+    Cov[Xₖ, Xₗ] = Var_sampling              (k ≠ l)
+
+This module exposes that identity as first-class API — both directions of
+Eq. 22 — so users can reason about how much averaging can possibly help:
+the averaged variance converges to the covariance floor, never below it.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional, Union
+
+from ..errors import ConfigurationError
+from ..frequency import FrequencyVector
+from ..sampling.moments import SamplingMomentModel
+from .generic import (
+    combined_join_variance,
+    combined_self_join_variance,
+    sampling_join_variance,
+    sampling_self_join_variance,
+)
+
+__all__ = [
+    "averaged_variance",
+    "basic_join_covariance",
+    "basic_self_join_covariance",
+    "averaging_floor_ratio",
+]
+
+Number = Union[Fraction, float]
+NumberLike = Union[int, float, Fraction]
+
+
+def averaged_variance(basic_variance: Number, covariance: Number, n: int) -> Number:
+    """Eq. 22: variance of the average of ``n`` correlated basic estimators."""
+    if n < 1:
+        raise ConfigurationError(f"averaged estimator count must be >= 1, got {n}")
+    return (basic_variance + (n - 1) * covariance) / n
+
+
+def basic_join_covariance(
+    model_f: SamplingMomentModel,
+    f: FrequencyVector,
+    model_g: SamplingMomentModel,
+    g: FrequencyVector,
+    scale: NumberLike,
+    *,
+    exact: bool = False,
+) -> Number:
+    """``Cov[Xₖ, Xₗ]`` for two basic join estimators over a shared sample.
+
+    Equals the sampling-only variance (Prop 1): conditional on the sample,
+    distinct ξ families are independent, so all shared noise is sampling
+    noise.
+    """
+    return sampling_join_variance(model_f, f, model_g, g, scale, exact=exact)
+
+
+def basic_self_join_covariance(
+    model: SamplingMomentModel,
+    f: FrequencyVector,
+    scale: NumberLike,
+    *,
+    correction: NumberLike = 0,
+    exact: bool = False,
+) -> Number:
+    """``Cov[Xₖ, Xₗ]`` for two basic self-join estimators over one sample.
+
+    The (possibly random) additive correction is shared by all basic
+    estimators, so it contributes to every pairwise covariance exactly as
+    it does to the sampling-only variance.
+    """
+    return sampling_self_join_variance(
+        model, f, scale, correction=correction, exact=exact
+    )
+
+
+def averaging_floor_ratio(
+    model_f: SamplingMomentModel,
+    f: FrequencyVector,
+    scale: NumberLike,
+    n: int,
+    *,
+    model_g: Optional[SamplingMomentModel] = None,
+    g: Optional[FrequencyVector] = None,
+    correction: NumberLike = 0,
+) -> float:
+    """How close ``n`` averages already are to the covariance floor.
+
+    Returns ``Var_avg(n) / Cov`` — the factor by which the averaged
+    variance still exceeds its ``n → ∞`` limit.  A value near 1 means
+    more averaging (more buckets) is wasted: the sampling noise dominates
+    and only a larger sample can help.  Returns ``inf`` when the floor is
+    zero (e.g. a full WOR scan, where averaging keeps helping
+    indefinitely).
+    """
+    if (model_g is None) != (g is None):
+        raise ConfigurationError("provide both model_g and g, or neither")
+    if g is not None:
+        variance = combined_join_variance(model_f, f, model_g, g, scale, n)
+        floor = basic_join_covariance(model_f, f, model_g, g, scale)
+    else:
+        variance = combined_self_join_variance(
+            model_f, f, scale, n, correction=correction
+        )
+        floor = basic_self_join_covariance(
+            model_f, f, scale, correction=correction
+        )
+    if float(floor) == 0.0:
+        return float("inf")
+    return float(variance) / float(floor)

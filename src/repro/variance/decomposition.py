@@ -1,0 +1,144 @@
+"""Decomposition of the combined variance into its three components.
+
+The paper's key structural result (Section V-E): the variance of the
+averaged sketch-over-samples estimator always splits as::
+
+    Var = Var_sampling  +  (1/n)·Var_sketch  +  (1/n)·Var_interaction
+
+where ``Var_sampling`` is the variance of the sampling-only estimator
+(Props 3–6), ``Var_sketch`` the variance of one basic sketch estimator over
+the *full* data (Props 7–8), and the interaction term is what makes the
+combined analysis necessary — "the error of the sketch over samples
+estimator is not simply the sum of the errors of the two individual
+estimators".
+
+Figures 1 and 2 plot the *relative contribution* of the three terms as a
+function of data skew; :func:`decompose_combined_variance` computes exactly
+that, for any scheme, by combining the generic evaluator (total and
+sampling parts) with the closed-form sketch variance — so the interaction
+term is obtained by exact subtraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..frequency import FrequencyVector
+from ..sampling.base import SampleInfo
+from ..sampling.unbiasing import join_scale, self_join_correction
+from .generic import (
+    combined_join_variance,
+    combined_self_join_variance,
+    moment_model_for,
+)
+from .sketch import agms_join_variance, agms_self_join_variance
+
+__all__ = ["VarianceDecomposition", "decompose_combined_variance"]
+
+
+@dataclass(frozen=True)
+class VarianceDecomposition:
+    """The three additive components of a combined-estimator variance.
+
+    ``sketch`` and ``interaction`` are stored *after* division by the
+    averaged-estimator count ``n``, i.e. the three attributes sum to the
+    total variance of the averaged estimator.
+    """
+
+    sampling: float
+    sketch: float
+    interaction: float
+
+    @property
+    def total(self) -> float:
+        """Total variance of the averaged combined estimator."""
+        return self.sampling + self.sketch + self.interaction
+
+    def shares(self) -> tuple[float, float, float]:
+        """Relative contributions ``(sampling, sketch, interaction)``.
+
+        Figures 1–2 plot exactly these.  Returns zeros for a zero total
+        (e.g. an empty relation).
+        """
+        total = self.total
+        if total == 0:
+            return (0.0, 0.0, 0.0)
+        return (
+            self.sampling / total,
+            self.sketch / total,
+            self.interaction / total,
+        )
+
+    @property
+    def dominant(self) -> str:
+        """Name of the largest component."""
+        values = {
+            "sampling": self.sampling,
+            "sketch": self.sketch,
+            "interaction": self.interaction,
+        }
+        return max(values, key=values.get)
+
+    def __repr__(self) -> str:
+        s1, s2, s3 = self.shares()
+        return (
+            f"VarianceDecomposition(sampling={self.sampling:.4g} [{s1:.1%}], "
+            f"sketch={self.sketch:.4g} [{s2:.1%}], "
+            f"interaction={self.interaction:.4g} [{s3:.1%}])"
+        )
+
+
+def decompose_combined_variance(
+    f: FrequencyVector,
+    info_f: SampleInfo,
+    n: int,
+    *,
+    g: Optional[FrequencyVector] = None,
+    info_g: Optional[SampleInfo] = None,
+) -> VarianceDecomposition:
+    """Split the averaged combined-estimator variance into its three terms.
+
+    With only ``f``/``info_f`` given this is the self-join decomposition
+    (Fig 2); providing ``g``/``info_g`` switches to size of join (Fig 1).
+    ``n`` is the number of averaged basic sketch estimators.
+
+    The sampling and total parts come from the exact generic evaluator; the
+    sketch part is the closed-form full-data AGMS variance divided by
+    ``n``; the interaction term is the exact remainder.
+    """
+    if n < 1:
+        raise ConfigurationError(f"averaged estimator count must be >= 1, got {n}")
+    if (g is None) != (info_g is None):
+        raise ConfigurationError("provide both g and info_g, or neither")
+
+    if g is not None:
+        model_f = moment_model_for(info_f)
+        model_g = moment_model_for(info_g)
+        scale = join_scale(info_f, info_g)
+        total = combined_join_variance(model_f, f, model_g, g, scale, n)
+        sampling = combined_join_variance(model_f, f, model_g, g, scale, None)
+        sketch = agms_join_variance(f, g) / n
+    else:
+        model_f = moment_model_for(info_f)
+        correction = self_join_correction(info_f)
+        total = combined_self_join_variance(
+            model_f,
+            f,
+            correction.scale,
+            n,
+            correction=correction.random_coefficient,
+        )
+        sampling = combined_self_join_variance(
+            model_f,
+            f,
+            correction.scale,
+            None,
+            correction=correction.random_coefficient,
+        )
+        sketch = agms_self_join_variance(f) / n
+    interaction = float(total) - float(sampling) - float(sketch)
+    return VarianceDecomposition(
+        sampling=float(sampling), sketch=float(sketch), interaction=interaction
+    )

@@ -1,0 +1,311 @@
+"""Generic moment-based evaluation of the paper's estimator moments.
+
+This module implements the *generic* analysis of the paper — Props 1–2
+(sampling only) and Props 9–12 (sketches over samples) — by plugging the
+exact factorial moments of :mod:`repro.sampling.moments` into the generic
+formulas.  It therefore works uniformly for all three sampling schemes and
+produces, among others, the formulas the paper *omits* for space (the WR
+and WOR self-join variances).
+
+Notation used below (one relation; the join case doubles it):
+
+* ``scale`` — the multiplicative unbiasing constant ``C``;
+* ``n`` — number of averaged basic sketch estimators; ``n=None`` means *no
+  sketch at all* (the exact sample aggregate), which coincides with the
+  ``n → ∞`` limit of Props 11–12 — averaging infinitely many sketch
+  estimators leaves exactly the sampling uncertainty;
+* ``correction`` — the coefficient ``c`` of the additive unbiasing term for
+  self-join estimators of the form ``Y = C·X − c·Σᵢ f′ᵢ``.  For Bernoulli
+  sampling ``c = (1−p)/p²`` and ``Σᵢ f′ᵢ`` is *random*, so it contributes
+  variance and covariance terms the printed Prop 14 includes; for WR/WOR
+  the additive correction is a constant (the sample size is fixed) and
+  ``c = 0`` should be passed.
+
+With ``exact=True`` every input is converted to exact rational arithmetic
+and the returned value is a :class:`fractions.Fraction` — this is how the
+test-suite proves the printed closed forms (Props 13–16) and this generic
+evaluator agree *exactly*.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional, Union
+
+from ..errors import ConfigurationError
+from ..frequency import FrequencyVector
+from ..sampling.base import SampleInfo
+from ..sampling.moments import (
+    BernoulliMoments,
+    SamplingMomentModel,
+    WithReplacementMoments,
+    WithoutReplacementMoments,
+)
+
+__all__ = [
+    "moment_model_for",
+    "sampling_join_variance",
+    "sampling_self_join_variance",
+    "combined_join_expectation",
+    "combined_join_variance",
+    "combined_self_join_expectation",
+    "combined_self_join_variance",
+]
+
+Number = Union[Fraction, float]
+NumberLike = Union[int, float, Fraction]
+
+
+def moment_model_for(info: SampleInfo) -> SamplingMomentModel:
+    """The factorial-moment model matching an executed sampling draw."""
+    if info.scheme == "bernoulli":
+        from ..sampling.unbiasing import _probability_fraction
+
+        return BernoulliMoments(_probability_fraction(info.probability))
+    if info.scheme == "with_replacement":
+        return WithReplacementMoments(info.sample_size, info.population_size)
+    if info.scheme == "without_replacement":
+        return WithoutReplacementMoments(info.sample_size, info.population_size)
+    raise ConfigurationError(f"unknown sampling scheme {info.scheme!r}")
+
+
+def _as_number(value: NumberLike, exact: bool) -> Number:
+    return Fraction(value) if exact else float(value)
+
+
+def _check_n(n: Optional[int]) -> None:
+    if n is not None and n < 1:
+        raise ConfigurationError(f"averaged estimator count must be >= 1, got {n}")
+
+
+# ----------------------------------------------------------------------
+# Size of join
+# ----------------------------------------------------------------------
+
+
+def _join_building_blocks(
+    model_f: SamplingMomentModel,
+    f: FrequencyVector,
+    model_g: SamplingMomentModel,
+    g: FrequencyVector,
+    exact: bool,
+):
+    """The four sums every join-variance formula is made of.
+
+    Returns ``(a_tilde, big_b, prod_e2, diag_d)`` where::
+
+        a_tilde = Σᵢ E[f′ᵢ] E[g′ᵢ]                      (the expectation core)
+        big_b   = Σᵢ Σⱼ E[f′ᵢf′ⱼ] E[g′ᵢg′ⱼ]
+        prod_e2 = (Σᵢ E[f′ᵢ²]) · (Σⱼ E[g′ⱼ²])
+        diag_d  = Σᵢ E[f′ᵢ²] E[g′ᵢ²]
+    """
+    fg = f.join_size(g)
+    f2g2 = f.cross_power_sum(g, 2, 2)
+    kappa1 = model_f.kappa_number(1, exact=exact) * model_g.kappa_number(
+        1, exact=exact
+    )
+    a_tilde = kappa1 * fg
+
+    e2_f = model_f.raw_moment_array(f.counts, 2, exact=exact)
+    e2_g = model_g.raw_moment_array(g.counts, 2, exact=exact)
+    diag_d = (e2_f * e2_g).sum()
+    sum_e2_f = e2_f.sum()
+    sum_e2_g = e2_g.sum()
+    if not exact:
+        diag_d = float(diag_d)
+        sum_e2_f = float(sum_e2_f)
+        sum_e2_g = float(sum_e2_g)
+    kappa2 = model_f.kappa_number(2, exact=exact) * model_g.kappa_number(
+        2, exact=exact
+    )
+    big_b = diag_d + kappa2 * (fg * fg - f2g2)
+    return a_tilde, big_b, sum_e2_f * sum_e2_g, diag_d
+
+
+def combined_join_expectation(
+    model_f: SamplingMomentModel,
+    f: FrequencyVector,
+    model_g: SamplingMomentModel,
+    g: FrequencyVector,
+    scale: NumberLike,
+    *,
+    exact: bool = False,
+) -> Number:
+    """``E[X]`` of the (sketched or not) scaled join estimator (Props 1, 9).
+
+    ``E[X] = C Σᵢ E[f′ᵢ]E[g′ᵢ] = C κ₁(f) κ₁(g) Σᵢ fᵢgᵢ`` — unbiased exactly
+    when ``C = 1/(κ₁(f)κ₁(g))``.
+    """
+    scale_n = _as_number(scale, exact)
+    kappa1 = model_f.kappa_number(1, exact=exact) * model_g.kappa_number(
+        1, exact=exact
+    )
+    return scale_n * kappa1 * f.join_size(g)
+
+
+def combined_join_variance(
+    model_f: SamplingMomentModel,
+    f: FrequencyVector,
+    model_g: SamplingMomentModel,
+    g: FrequencyVector,
+    scale: NumberLike,
+    n: Optional[int],
+    *,
+    exact: bool = False,
+) -> Number:
+    """Variance of the sketch-over-samples join estimator (Props 9 & 11).
+
+    ``n`` is the number of averaged basic sketch estimators (``n=1`` gives
+    Prop 9 exactly); ``n=None`` drops the sketch entirely and returns the
+    sampling-only variance of Prop 1.
+    """
+    _check_n(n)
+    scale_n = _as_number(scale, exact)
+    a_tilde, big_b, prod_e2, diag_d = _join_building_blocks(
+        model_f, f, model_g, g, exact
+    )
+    sampling_part = big_b - a_tilde * a_tilde
+    if n is None:
+        return scale_n * scale_n * sampling_part
+    inv_n = Fraction(1, n) if exact else 1.0 / n
+    sketch_part = inv_n * (prod_e2 + big_b - 2 * diag_d)
+    return scale_n * scale_n * (sampling_part + sketch_part)
+
+
+def sampling_join_variance(
+    model_f: SamplingMomentModel,
+    f: FrequencyVector,
+    model_g: SamplingMomentModel,
+    g: FrequencyVector,
+    scale: NumberLike,
+    *,
+    exact: bool = False,
+) -> Number:
+    """Variance of the sampling-only join estimator (Prop 1)."""
+    return combined_join_variance(model_f, f, model_g, g, scale, None, exact=exact)
+
+
+# ----------------------------------------------------------------------
+# Self-join size
+# ----------------------------------------------------------------------
+
+
+def _self_join_building_blocks(
+    model: SamplingMomentModel, f: FrequencyVector, exact: bool
+):
+    """Returns ``(a2, big_q, e4)``::
+
+        a2    = Σᵢ E[f′ᵢ²]
+        big_q = Σᵢ Σⱼ E[f′ᵢ² f′ⱼ²]
+        e4    = Σᵢ E[f′ᵢ⁴]
+    """
+    a2 = model.sum_raw_moment(f.counts, 2, exact=exact)
+    e4 = model.sum_raw_moment(f.counts, 4, exact=exact)
+    big_q = e4 + model.offdiag_joint_sum(f.counts, 2, 2, exact=exact)
+    return a2, big_q, e4
+
+
+def _correction_terms(
+    model: SamplingMomentModel, f: FrequencyVector, exact: bool
+):
+    """Moments of the random correction ``L = Σᵢ f′ᵢ`` (Bernoulli only).
+
+    Returns ``(var_l, cross)`` where ``cross = E[(Σᵢ f′ᵢ²)·L]``.
+    """
+    kappa1 = model.kappa_number(1, exact=exact)
+    e_l = kappa1 * f.total
+    e_l2 = model.sum_raw_moment(f.counts, 2, exact=exact) + model.offdiag_joint_sum(
+        f.counts, 1, 1, exact=exact
+    )
+    var_l = e_l2 - e_l * e_l
+    cross = model.sum_raw_moment(f.counts, 3, exact=exact) + model.offdiag_joint_sum(
+        f.counts, 2, 1, exact=exact
+    )
+    return var_l, cross
+
+
+def combined_self_join_expectation(
+    model: SamplingMomentModel,
+    f: FrequencyVector,
+    scale: NumberLike,
+    *,
+    correction: NumberLike = 0,
+    constant: NumberLike = 0,
+    exact: bool = False,
+) -> Number:
+    """``E[Y]`` of ``Y = C·X − c·Σᵢf′ᵢ − constant`` (Props 2, 10).
+
+    ``X`` is the (sketched or exact) sample self-join aggregate with
+    ``E[X] = Σᵢ E[f′ᵢ²]``; ``c`` (*correction*) multiplies the random term
+    ``Σᵢ f′ᵢ``; *constant* is a deterministic subtraction (the WR/WOR
+    corrections).
+    """
+    scale_n = _as_number(scale, exact)
+    a2 = model.sum_raw_moment(f.counts, 2, exact=exact)
+    value = scale_n * a2
+    c = _as_number(correction, exact)
+    if c:
+        value = value - c * model.kappa_number(1, exact=exact) * f.total
+    const = _as_number(constant, exact)
+    return value - const
+
+
+def combined_self_join_variance(
+    model: SamplingMomentModel,
+    f: FrequencyVector,
+    scale: NumberLike,
+    n: Optional[int],
+    *,
+    correction: NumberLike = 0,
+    exact: bool = False,
+) -> Number:
+    """Variance of the self-join estimator ``Y = C·X̄ − c·Σᵢf′ᵢ`` (Props 10, 12).
+
+    ``X̄`` is the average of ``n`` basic sketch estimators over one shared
+    sample (``n=1`` gives Prop 10; ``n=None`` gives the sampling-only
+    Prop 2).  The random-correction variance/covariance contributions are
+    included whenever ``correction != 0``::
+
+        Var[Y] = Var[C·X̄] + c²·Var[L] − 2·C·c·Cov[X̄/C·C, L]
+
+    with ``Cov[X̄, L] = E[(Σf′ᵢ²)·L] − E[Σf′ᵢ²]·E[L]`` — identical for every
+    averaged count ``n`` because each basic sketch estimator has
+    ``E_ξ[Sₖ²] = Σᵢ f′ᵢ²`` conditionally on the sample.
+    """
+    _check_n(n)
+    scale_n = _as_number(scale, exact)
+    a2, big_q, e4 = _self_join_building_blocks(model, f, exact)
+    sampling_part = big_q - a2 * a2
+    if n is None:
+        variance = scale_n * scale_n * sampling_part
+    else:
+        inv_n = Fraction(2, n) if exact else 2.0 / n
+        variance = scale_n * scale_n * (sampling_part + inv_n * (big_q - e4))
+    c = _as_number(correction, exact)
+    if c:
+        var_l, cross = _correction_terms(model, f, exact)
+        e_l = model.kappa_number(1, exact=exact) * f.total
+        covariance = scale_n * (cross - a2 * e_l)
+        variance = variance + c * c * var_l - 2 * c * covariance
+    return variance
+
+
+def sampling_self_join_variance(
+    model: SamplingMomentModel,
+    f: FrequencyVector,
+    scale: NumberLike,
+    *,
+    correction: NumberLike = 0,
+    exact: bool = False,
+) -> Number:
+    """Variance of the sampling-only self-join estimator (Prop 2).
+
+    Covers the WR and WOR self-join variances the paper omits: pass the
+    scheme's moment model with ``scale = 1/(αα₂)`` or ``1/(αα₁)`` and
+    ``correction = 0`` (their additive corrections are deterministic), or
+    the Bernoulli model with ``scale = 1/p²``, ``correction = (1−p)/p²``
+    to recover Prop 4 / Eq. 7 exactly.
+    """
+    return combined_self_join_variance(
+        model, f, scale, None, correction=correction, exact=exact
+    )

@@ -1,0 +1,119 @@
+"""Closed-form variances of the sampling-only estimators (Props 3–6).
+
+These are the paper's Section III results: the variance of the *scaled
+sample aggregate* (no sketch involved) for each sampling scheme.  They are
+both baselines in their own right and the first component of the combined
+variance decomposition (Figs 1–2).
+
+All formulas are transcribed literally from the paper and evaluated with
+exact rational arithmetic (:class:`fractions.Fraction`); pass the result
+through ``float()`` for numeric pipelines.  The self-join variances for WR
+and WOR sampling are not printed in the paper ("omitted due to lack of
+space"); obtain them from :func:`repro.variance.generic.
+sampling_self_join_variance`, which evaluates the generic Prop 2 with the
+exact distribution moments.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+from ..frequency import FrequencyVector
+from ..sampling.coefficients import SamplingCoefficients
+
+__all__ = [
+    "bernoulli_join_variance",
+    "bernoulli_self_join_variance",
+    "wr_join_variance",
+    "wor_join_variance",
+]
+
+NumberLike = Union[int, float, Fraction]
+
+
+def bernoulli_join_variance(
+    f: FrequencyVector, g: FrequencyVector, p: NumberLike, q: NumberLike
+) -> Fraction:
+    """Variance of ``X = (1/pq) Σ f′ᵢg′ᵢ`` over Bernoulli samples (Eq. 6).
+
+    ``p`` and ``q`` are the Bernoulli inclusion probabilities of the F- and
+    G-samples.
+    """
+    p = Fraction(p)
+    q = Fraction(q)
+    fg2 = f.cross_power_sum(g, 1, 2)
+    f2g = f.cross_power_sum(g, 2, 1)
+    fg = f.join_size(g)
+    return (
+        (1 - p) / p * fg2
+        + (1 - q) / q * f2g
+        + (1 - p) * (1 - q) / (p * q) * fg
+    )
+
+
+def bernoulli_self_join_variance(f: FrequencyVector, p: NumberLike) -> Fraction:
+    """Variance of the unbiased Bernoulli self-join estimator (Eq. 7).
+
+    The estimator is ``X = (1/p²) Σ f′ᵢ² − ((1−p)/p²) Σ f′ᵢ``.
+    """
+    p = Fraction(p)
+    return (1 - p) / p**3 * (
+        4 * p**2 * f.f3
+        + 2 * p * (1 - 3 * p) * f.f2
+        - p * (2 - 3 * p) * f.f1
+    )
+
+
+def wr_join_variance(
+    f: FrequencyVector,
+    g: FrequencyVector,
+    coeff_f: SamplingCoefficients,
+    coeff_g: SamplingCoefficients,
+) -> Fraction:
+    """Variance of ``X = (1/αβ) Σ f′ᵢg′ᵢ`` over WR samples (Eq. 10).
+
+    **Erratum:** the paper prints the ``Σfᵢgᵢ²``/``Σfᵢ²gᵢ`` coefficients
+    as ``|F|αβ₂``/``|G|α₂β``; exact enumeration and Monte Carlo give
+    ``β₂``/``α₂`` (see :mod:`repro.variance.closed_form`).  The corrected
+    coefficients are used here.
+    """
+    alpha, beta = coeff_f.alpha, coeff_g.alpha
+    alpha2, beta2 = coeff_f.alpha2, coeff_g.alpha2
+    fg = f.join_size(g)
+    fg2 = f.cross_power_sum(g, 1, 2)
+    f2g = f.cross_power_sum(g, 2, 1)
+    return (
+        1
+        / (alpha * beta)
+        * (
+            fg
+            + beta2 * fg2
+            + alpha2 * f2g
+            + (alpha2 * beta2 - alpha * beta) * fg * fg
+        )
+    )
+
+
+def wor_join_variance(
+    f: FrequencyVector,
+    g: FrequencyVector,
+    coeff_f: SamplingCoefficients,
+    coeff_g: SamplingCoefficients,
+) -> Fraction:
+    """Variance of ``X = (1/αβ) Σ f′ᵢg′ᵢ`` over WOR samples (Eq. 11)."""
+    alpha, beta = coeff_f.alpha, coeff_g.alpha
+    alpha1, beta1 = coeff_f.alpha1, coeff_g.alpha1
+    fg = f.join_size(g)
+    fg2 = f.cross_power_sum(g, 1, 2)
+    f2g = f.cross_power_sum(g, 2, 1)
+    return (
+        1
+        / (alpha * beta)
+        * (
+            (1 - alpha1) * (1 - beta1) * fg
+            + (1 - alpha1) * beta1 * fg2
+            + alpha1 * (1 - beta1) * f2g
+            + (alpha1 * beta1 - alpha * beta) * fg * fg
+        )
+    )

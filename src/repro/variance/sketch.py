@@ -1,0 +1,62 @@
+"""Variance of the plain AGMS sketch estimators (Props 7–8).
+
+For sketches computed over the *entire* stream:
+
+* size of join (Eq. 14)::
+
+      Var[S_F · S_G] = F₂(f) · F₂(g) + (Σᵢ fᵢgᵢ)² − 2 Σᵢ fᵢ²gᵢ²
+
+* self-join size (Eq. 16)::
+
+      Var[S²] = 2 [ F₂(f)² − F₄(f) ]
+
+Averaging ``n`` independent basic estimators divides the variance by ``n``
+(Section IV) — for full-stream sketches only; over samples the covariance
+term of Props 11–12 applies instead.
+
+All inputs are exact integer frequency vectors, so the results are exact
+Python ints.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..frequency import FrequencyVector
+
+__all__ = [
+    "agms_join_variance",
+    "agms_self_join_variance",
+    "averaged_agms_join_variance",
+    "averaged_agms_self_join_variance",
+]
+
+
+def agms_join_variance(f: FrequencyVector, g: FrequencyVector) -> int:
+    """Variance of one basic AGMS size-of-join estimator (Eq. 14)."""
+    join = f.join_size(g)
+    return f.f2 * g.f2 + join * join - 2 * f.cross_power_sum(g, 2, 2)
+
+
+def agms_self_join_variance(f: FrequencyVector) -> int:
+    """Variance of one basic AGMS self-join estimator (Eq. 16)."""
+    f2 = f.f2
+    return 2 * (f2 * f2 - f.f4)
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise ConfigurationError(f"number of averaged estimators must be >= 1, got {n}")
+
+
+def averaged_agms_join_variance(
+    f: FrequencyVector, g: FrequencyVector, n: int
+) -> float:
+    """Variance of the average of *n* independent basic join estimators."""
+    _check_n(n)
+    return agms_join_variance(f, g) / n
+
+
+def averaged_agms_self_join_variance(f: FrequencyVector, n: int) -> float:
+    """Variance of the average of *n* independent basic self-join estimators."""
+    _check_n(n)
+    return agms_self_join_variance(f) / n

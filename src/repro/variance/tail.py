@@ -1,0 +1,80 @@
+"""(ε, δ) sizing for sketch estimators — the classic AGMS guarantees.
+
+The paper reports variances; turning a variance into a probabilistic
+guarantee is standard (Section II).  This module packages the classic
+sizing rules so users can dimension sketches from accuracy targets:
+
+* **mean combining** (Chebyshev): averaging ``n`` basic estimators gives
+  ``P(|X − µ| ≥ ε·µ) ≤ Var_basic / (n ε² µ²)`` — solve for ``n``;
+* **median-of-means** (Chernoff): groups of size ``8·Var_basic/(ε²µ²)``
+  and ``O(log 1/δ)`` groups give failure probability ``δ`` with
+  exponentially better dependence on ``δ``.
+
+These are *a-priori* sizing rules using the worst-case AGMS variance
+bounds ``Var[S²] ≤ 2·F₂²`` and ``Var[S_F·S_G] ≤ 2·F₂(f)·F₂(g)``; real
+(especially F-AGMS) behaviour is typically much better — the sizing is a
+safe upper bound, not a prediction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["SketchSizing", "mean_rows_needed", "median_of_means_sizing"]
+
+
+def _validate(epsilon: float, delta: float) -> None:
+    if not 0 < epsilon:
+        raise ConfigurationError(f"epsilon must be > 0, got {epsilon}")
+    if not 0 < delta < 1:
+        raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
+
+
+def mean_rows_needed(epsilon: float, delta: float) -> int:
+    """Rows for a mean-combined AGMS sketch meeting ``(ε, δ)`` on F₂.
+
+    Uses ``Var[S²] ≤ 2·F₂²`` and Chebyshev:
+    ``n ≥ 2 / (ε² δ)``.  The ``1/δ`` dependence is the price of plain
+    averaging — compare :func:`median_of_means_sizing`.
+    """
+    _validate(epsilon, delta)
+    return math.ceil(2.0 / (epsilon**2 * delta))
+
+
+@dataclass(frozen=True)
+class SketchSizing:
+    """A concrete (rows, groups) configuration meeting an (ε, δ) target."""
+
+    rows: int
+    groups: int
+    epsilon: float
+    delta: float
+
+    @property
+    def rows_per_group(self) -> int:
+        """Basic estimators averaged inside each group."""
+        return self.rows // self.groups
+
+
+def median_of_means_sizing(epsilon: float, delta: float) -> SketchSizing:
+    """Median-of-means configuration meeting ``(ε, δ)`` on F₂.
+
+    Standard analysis: group averages of ``s = ⌈16/ε²⌉`` basic estimators
+    land within ``ε·µ`` of the mean with probability ≥ 3/4 (Chebyshev with
+    ``Var ≤ 2F₂²``); the median of ``g = ⌈8·ln(1/δ)⌉`` groups then fails
+    with probability at most ``δ`` (Chernoff).  Total rows: ``s·g``.
+    """
+    _validate(epsilon, delta)
+    per_group = math.ceil(16.0 / epsilon**2)
+    groups = max(1, math.ceil(8.0 * math.log(1.0 / delta)))
+    if groups % 2 == 0:
+        groups += 1  # an odd group count makes the median unambiguous
+    return SketchSizing(
+        rows=per_group * groups,
+        groups=groups,
+        epsilon=epsilon,
+        delta=delta,
+    )

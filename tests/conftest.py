@@ -1,0 +1,53 @@
+"""Shared fixtures for the test-suite.
+
+Conventions:
+
+* all statistical tests use fixed seeds and generous tolerances, so the
+  suite is fully deterministic;
+* ``small_f`` / ``small_g`` are tiny exact frequency vectors used by the
+  exact (rational-arithmetic) identity tests;
+* ``zipf_f`` / ``zipf_g`` are mid-sized realistic vectors for estimator
+  behaviour tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frequency import FrequencyVector
+from repro.streams.synthetic import zipf_frequency_vector
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic per-test random generator."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def small_f() -> FrequencyVector:
+    """A tiny frequency vector with repeated, zero and distinct counts."""
+    return FrequencyVector(np.array([3, 0, 1, 4, 0, 2, 2, 5]))
+
+
+@pytest.fixture
+def small_g() -> FrequencyVector:
+    """A second tiny vector over the same domain as ``small_f``."""
+    return FrequencyVector(np.array([1, 2, 0, 3, 1, 0, 4, 2]))
+
+
+@pytest.fixture
+def zipf_f() -> FrequencyVector:
+    """A mid-size Zipf(1.0) frequency vector (identity value mapping)."""
+    return zipf_frequency_vector(
+        20_000, 1_000, 1.0, seed=11, shuffle_values=False
+    )
+
+
+@pytest.fixture
+def zipf_g() -> FrequencyVector:
+    """An independently drawn Zipf(1.0) vector over the same domain."""
+    return zipf_frequency_vector(
+        20_000, 1_000, 1.0, seed=12, shuffle_values=False
+    )

@@ -1,0 +1,87 @@
+"""Property tests of the variance decomposition invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frequency import FrequencyVector
+from repro.sampling.base import SampleInfo
+from repro.variance.decomposition import decompose_combined_variance
+
+counts_arrays = st.lists(
+    st.integers(min_value=0, max_value=10), min_size=2, max_size=12
+).map(lambda values: np.array(values, dtype=np.int64))
+
+probabilities = st.floats(min_value=0.05, max_value=1.0)
+n_averages = st.integers(min_value=1, max_value=200)
+
+
+def _nonempty(counts):
+    if counts.sum() < 2:
+        counts = counts.copy()
+        counts[0] = 2
+    return FrequencyVector(counts)
+
+
+def _bernoulli_info(fv, p):
+    return SampleInfo(
+        "bernoulli", fv.total, max(1, int(p * fv.total)), probability=p
+    )
+
+
+@given(counts_arrays, probabilities, n_averages)
+@settings(max_examples=40, deadline=None)
+def test_self_join_terms_nonnegative_and_shares_sum_to_one(counts, p, n):
+    f = _nonempty(counts)
+    parts = decompose_combined_variance(f, _bernoulli_info(f, p), n)
+    assert parts.sampling >= -1e-9
+    assert parts.sketch >= 0
+    total = parts.total
+    if total > 0:
+        shares = parts.shares()
+        assert abs(sum(shares) - 1.0) < 1e-9
+        # Interaction can't be more negative than rounding noise relative
+        # to the other terms (it is a sum of non-negative off-diagonal
+        # moment products for Bernoulli sampling).
+        assert parts.interaction >= -1e-6 * max(total, 1.0)
+
+
+@given(counts_arrays, probabilities, n_averages)
+@settings(max_examples=30, deadline=None)
+def test_join_decomposition_consistency(counts, p, n):
+    f = _nonempty(counts)
+    rng = np.random.default_rng(counts.size)
+    g = _nonempty(rng.integers(0, 10, size=counts.size))
+    info_f = _bernoulli_info(f, p)
+    info_g = _bernoulli_info(g, p)
+    parts = decompose_combined_variance(f, info_f, n, g=g, info_g=info_g)
+    assert parts.total >= -1e-9
+    assert parts.sketch >= 0
+    assert parts.sampling >= -1e-9
+
+
+@given(counts_arrays, probabilities)
+@settings(max_examples=30, deadline=None)
+def test_more_averaging_shifts_share_toward_sampling(counts, p):
+    """Growing n shrinks the sketch+interaction terms, so the sampling
+    share is non-decreasing in n (whenever the total stays positive)."""
+    f = _nonempty(counts)
+    info = _bernoulli_info(f, p)
+    small_n = decompose_combined_variance(f, info, 2)
+    large_n = decompose_combined_variance(f, info, 128)
+    if small_n.total > 0 and large_n.total > 0:
+        assert large_n.shares()[0] >= small_n.shares()[0] - 1e-9
+
+
+@given(counts_arrays, n_averages)
+@settings(max_examples=30, deadline=None)
+def test_full_sample_leaves_only_sketch_variance(counts, n):
+    f = _nonempty(counts)
+    info = SampleInfo("bernoulli", f.total, f.total, probability=1.0)
+    parts = decompose_combined_variance(f, info, n)
+    assert parts.sampling == 0
+    assert abs(parts.interaction) < 1e-9 * max(parts.total, 1.0) + 1e-9
+    # With p = 1 the combined estimator IS the plain sketch: the total
+    # variance equals the sketch term (up to float subtraction noise).
+    assert parts.total == pytest.approx(parts.sketch, rel=1e-9, abs=1e-9)

@@ -1,0 +1,78 @@
+"""Property-based tests of the frequency-domain toolkit."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frequency import FrequencyVector
+
+counts_arrays = st.lists(
+    st.integers(min_value=0, max_value=50), min_size=1, max_size=30
+).map(lambda values: np.array(values, dtype=np.int64))
+
+
+@given(counts_arrays)
+def test_round_trip_through_items(counts):
+    fv = FrequencyVector(counts)
+    assert FrequencyVector.from_items(fv.to_items(), fv.domain_size) == fv
+
+
+@given(counts_arrays)
+def test_power_sum_monotone_in_order_for_counts_ge_one(counts):
+    fv = FrequencyVector(counts)
+    # For counts >= 1 per present value: f^k <= f^(k+1), so sums are ordered.
+    assert fv.f1 <= fv.f2 <= fv.f3 <= fv.f4
+
+
+@given(counts_arrays)
+def test_cauchy_schwarz_on_join(counts):
+    rng = np.random.default_rng(int(counts.sum()) + counts.size)
+    other = FrequencyVector(rng.integers(0, 50, size=counts.size))
+    fv = FrequencyVector(counts)
+    # (Σ f g)² <= Σf² Σg²
+    assert fv.join_size(other) ** 2 <= fv.f2 * other.f2
+
+
+@given(counts_arrays)
+def test_self_join_bounds(counts):
+    fv = FrequencyVector(counts)
+    total = fv.total
+    support = fv.support_size
+    # F₁²/F₀ <= F₂ <= F₁² (Cauchy-Schwarz / trivial bound)
+    if support:
+        assert fv.f2 * support >= total * total
+    assert fv.f2 <= total * total or total <= 1
+
+
+@given(counts_arrays, counts_arrays)
+def test_addition_is_linear_in_totals(a, b):
+    size = min(a.size, b.size)
+    fa = FrequencyVector(a[:size])
+    fb = FrequencyVector(b[:size])
+    combined = fa + fb
+    assert combined.total == fa.total + fb.total
+    assert combined.domain_size == size
+
+
+@given(counts_arrays, st.integers(min_value=0, max_value=9))
+def test_scaling_scales_moments(counts, factor):
+    fv = FrequencyVector(counts)
+    scaled = fv.scaled(factor)
+    assert scaled.f1 == factor * fv.f1
+    assert scaled.f2 == factor**2 * fv.f2
+    assert scaled.f4 == factor**4 * fv.f4
+
+
+@given(counts_arrays, st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3))
+@settings(max_examples=50)
+def test_cross_power_sum_symmetry(counts, a, b):
+    rng = np.random.default_rng(counts.size)
+    other = FrequencyVector(rng.integers(0, 50, size=counts.size))
+    fv = FrequencyVector(counts)
+    assert fv.cross_power_sum(other, a, b) == other.cross_power_sum(fv, b, a)
+
+
+@given(counts_arrays)
+def test_join_with_self_is_f2(counts):
+    fv = FrequencyVector(counts)
+    assert fv.join_size(fv) == fv.f2

@@ -1,0 +1,95 @@
+"""Property-based tests of the factorial-moment models."""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.moments import (
+    BernoulliMoments,
+    WithReplacementMoments,
+    WithoutReplacementMoments,
+    falling_factorial,
+)
+
+counts_arrays = st.lists(
+    st.integers(min_value=0, max_value=15), min_size=1, max_size=10
+).map(lambda values: np.array(values, dtype=np.int64))
+
+probabilities = st.fractions(min_value=Fraction(1, 50), max_value=1)
+
+
+def _models(counts, p, sample_size):
+    total = max(1, int(counts.sum()))
+    m = max(1, min(sample_size, total))
+    return [
+        BernoulliMoments(p),
+        WithReplacementMoments(m, total),
+        WithoutReplacementMoments(m, total),
+    ]
+
+
+@given(counts_arrays, probabilities, st.integers(min_value=1, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_kappa_decreasing_in_order(counts, p, sample_size):
+    """κ_k is non-increasing in k for every scheme (κ_k ∈ [0, 1])."""
+    for model in _models(counts, p, sample_size):
+        kappas = [model.kappa(k) for k in range(1, 5)]
+        assert all(0 <= kappa <= 1 for kappa in kappas)
+        assert all(a >= b for a, b in zip(kappas, kappas[1:]))
+
+
+@given(counts_arrays, probabilities, st.integers(min_value=1, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_first_moment_is_scaled_count_sum(counts, p, sample_size):
+    for model in _models(counts, p, sample_size):
+        expected = model.kappa(1) * int(counts.sum())
+        assert model.sum_raw_moment(counts, 1, exact=True) == expected
+
+
+@given(counts_arrays, probabilities, st.integers(min_value=2, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_second_moment_at_least_squared_mean_per_value(counts, p, sample_size):
+    """E[X²] >= E[X]² per domain value (Jensen)."""
+    for model in _models(counts, p, sample_size):
+        e1 = model.raw_moment_array(counts, 1, exact=True)
+        e2 = model.raw_moment_array(counts, 2, exact=True)
+        assert np.all(e2 >= e1 * e1)
+
+
+@given(counts_arrays, probabilities, st.integers(min_value=1, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_moments_vanish_outside_support(counts, p, sample_size):
+    for model in _models(counts, p, sample_size):
+        for order in (1, 2, 3, 4):
+            values = model.raw_moment_array(counts, order, exact=True)
+            assert np.all(values[counts == 0] == 0)
+
+
+@given(counts_arrays, probabilities, st.integers(min_value=1, max_value=20))
+@settings(max_examples=30, deadline=None)
+def test_offdiag_sum_symmetry(counts, p, sample_size):
+    for model in _models(counts, p, sample_size):
+        assert model.offdiag_joint_sum(
+            counts, 2, 1, exact=True
+        ) == model.offdiag_joint_sum(counts, 1, 2, exact=True)
+
+
+@given(st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=6))
+def test_falling_factorial_recurrence(x, k):
+    if k > 0:
+        assert falling_factorial(x, k) == falling_factorial(x, k - 1) * (x - k + 1)
+
+
+@given(counts_arrays)
+@settings(max_examples=40, deadline=None)
+def test_full_wor_sample_moments_are_deterministic(counts):
+    """Sampling the whole population WOR: f' = f, so E[f'^r] = f^r."""
+    total = int(counts.sum())
+    if total == 0:
+        return
+    model = WithoutReplacementMoments(total, total)
+    for order in (1, 2, 3, 4):
+        expected = int((counts.astype(object) ** order).sum())
+        assert model.sum_raw_moment(counts, order, exact=True) == expected

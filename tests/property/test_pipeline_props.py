@@ -1,0 +1,94 @@
+"""Property-based tests of streaming pipeline components.
+
+Covers the stateful pieces: the skip-ahead load shedder, the reservoir,
+file-backed streams, and sketch serialization.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LoadShedder
+from repro.sampling import ReservoirSampler
+from repro.sketches import FagmsSketch, load_sketch, save_sketch
+from repro.streams.io import read_stream, stream_length, write_stream
+
+key_arrays = st.lists(
+    st.integers(min_value=0, max_value=99), min_size=0, max_size=200
+).map(lambda values: np.array(values, dtype=np.int64))
+
+seeds = st.integers(min_value=0, max_value=2**31)
+probabilities = st.floats(min_value=0.05, max_value=1.0)
+chunk_plans = st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=6)
+
+
+def _chunks(keys, sizes):
+    out = []
+    start = 0
+    for size in sizes:
+        out.append(keys[start : start + size])
+        start += size
+    if start < keys.size:
+        out.append(keys[start:])
+    return out
+
+
+@given(key_arrays, probabilities, seeds, chunk_plans)
+@settings(max_examples=40, deadline=None)
+def test_shedder_output_is_ordered_subsequence(keys, p, seed, sizes):
+    shedder = LoadShedder(p, seed=seed)
+    kept = [shedder.filter(chunk) for chunk in _chunks(keys, sizes)]
+    flat = np.concatenate(kept) if kept else np.empty(0, dtype=np.int64)
+    assert shedder.seen == keys.size
+    assert shedder.kept == flat.size
+    assert flat.size <= keys.size
+    # Every kept run is a subsequence of its chunk: total multiset subset.
+    kept_sorted = np.sort(flat)
+    keys_sorted = np.sort(keys)
+    # subsequence of a multiset: every kept value count <= original count
+    kept_values, kept_counts = np.unique(kept_sorted, return_counts=True)
+    for value, count in zip(kept_values, kept_counts):
+        assert count <= int((keys_sorted == value).sum())
+
+
+@given(key_arrays, seeds, st.integers(min_value=1, max_value=30), chunk_plans)
+@settings(max_examples=40, deadline=None)
+def test_reservoir_size_invariant(keys, seed, capacity, sizes):
+    reservoir = ReservoirSampler(capacity, seed=seed)
+    for chunk in _chunks(keys, sizes):
+        reservoir.extend(chunk)
+    sample = reservoir.sample()
+    assert sample.size == min(capacity, keys.size)
+    assert reservoir.seen == keys.size
+    if keys.size:
+        assert set(sample.tolist()) <= set(keys.tolist())
+
+
+@given(key_arrays, chunk_plans)
+@settings(max_examples=40, deadline=None)
+def test_stream_file_round_trip(tmp_path_factory, keys, sizes):
+    path = tmp_path_factory.mktemp("streams") / "s.rprs"
+    write_stream(path, _chunks(keys, sizes), 100)
+    assert stream_length(path) == keys.size
+    back = (
+        np.concatenate(list(read_stream(path, chunk_size=7)))
+        if keys.size
+        else np.empty(0, dtype=np.int64)
+    )
+    assert np.array_equal(back, keys)
+
+
+@given(key_arrays, seeds)
+@settings(max_examples=25, deadline=None)
+def test_serialization_round_trip_property(tmp_path_factory, keys, seed):
+    path = tmp_path_factory.mktemp("sketches") / "sk.npz"
+    sketch = FagmsSketch(buckets=16, rows=2, seed=seed)
+    sketch.update(keys)
+    save_sketch(sketch, path)
+    loaded = load_sketch(path)
+    assert np.array_equal(loaded._state(), sketch._state())
+    # Post-load updates agree (families reconstructed).
+    more = np.arange(10)
+    sketch.update(more)
+    loaded.update(more)
+    assert np.array_equal(loaded._state(), sketch._state())

@@ -1,0 +1,87 @@
+"""Property test: the O(1) power-sum evaluator is exactly the generic one."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frequency import FrequencyVector
+from repro.sampling.base import SampleInfo
+from repro.sampling.unbiasing import join_scale, self_join_correction
+from repro.variance.generic import (
+    combined_join_variance,
+    combined_self_join_variance,
+    moment_model_for,
+)
+from repro.variance.powersum import (
+    FrequencyProfile,
+    JoinProfile,
+    join_variance_from_profile,
+    self_join_variance_from_profile,
+)
+
+counts_arrays = st.lists(
+    st.integers(min_value=0, max_value=10), min_size=2, max_size=12
+).map(lambda values: np.array(values, dtype=np.int64))
+
+
+def _nonempty(counts):
+    if counts.sum() < 2:
+        counts = counts.copy()
+        counts[0] = 2
+    return FrequencyVector(counts)
+
+
+def _info(scheme, total, data):
+    if scheme == "bernoulli":
+        p = data.draw(st.floats(min_value=0.05, max_value=1.0))
+        return SampleInfo(scheme, total, max(1, total // 2), probability=p)
+    size = data.draw(st.integers(min_value=2, max_value=total))
+    return SampleInfo(scheme, total, size)
+
+
+SCHEMES = ("bernoulli", "with_replacement", "without_replacement")
+
+
+@given(counts_arrays, st.sampled_from(SCHEMES), st.integers(1, 30), st.data())
+@settings(max_examples=40, deadline=None)
+def test_self_join_profile_identity(counts, scheme, n, data):
+    f = _nonempty(counts)
+    info = _info(scheme, f.total, data)
+    profile = FrequencyProfile.from_vector(f)
+    correction = self_join_correction(info)
+    expected = combined_self_join_variance(
+        moment_model_for(info),
+        f,
+        correction.scale,
+        n,
+        correction=correction.random_coefficient,
+        exact=True,
+    )
+    assert self_join_variance_from_profile(profile, info, n) == expected
+
+
+@given(
+    counts_arrays,
+    st.sampled_from(SCHEMES),
+    st.sampled_from(SCHEMES),
+    st.integers(1, 30),
+    st.data(),
+)
+@settings(max_examples=30, deadline=None)
+def test_join_profile_identity(counts, scheme_f, scheme_g, n, data):
+    f = _nonempty(counts)
+    rng = np.random.default_rng(counts.size)
+    g = _nonempty(rng.integers(0, 10, size=counts.size))
+    info_f = _info(scheme_f, f.total, data)
+    info_g = _info(scheme_g, g.total, data)
+    profile = JoinProfile.from_vectors(f, g)
+    expected = combined_join_variance(
+        moment_model_for(info_f),
+        f,
+        moment_model_for(info_g),
+        g,
+        join_scale(info_f, info_g),
+        n,
+        exact=True,
+    )
+    assert join_variance_from_profile(profile, info_f, info_g, n) == expected

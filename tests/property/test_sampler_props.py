@@ -1,0 +1,92 @@
+"""Property-based tests of sampler invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frequency import FrequencyVector
+from repro.sampling import (
+    BernoulliSampler,
+    WithReplacementSampler,
+    WithoutReplacementSampler,
+)
+
+counts_arrays = st.lists(
+    st.integers(min_value=0, max_value=20), min_size=1, max_size=16
+).map(lambda values: np.array(values, dtype=np.int64))
+
+seeds = st.integers(min_value=0, max_value=2**31)
+probabilities = st.floats(min_value=0.05, max_value=1.0)
+
+
+def _nonempty(counts):
+    if counts.sum() == 0:
+        counts = counts.copy()
+        counts[0] = 1
+    return FrequencyVector(counts)
+
+
+@given(counts_arrays, probabilities, seeds)
+@settings(max_examples=40, deadline=None)
+def test_bernoulli_sample_dominated_by_base(counts, p, seed):
+    fv = _nonempty(counts)
+    sample, info = BernoulliSampler(p).sample_frequencies(fv, seed)
+    assert np.all(sample.counts <= fv.counts)
+    assert info.sample_size == sample.total
+    assert info.population_size == fv.total
+
+
+@given(counts_arrays, seeds, st.data())
+@settings(max_examples=40, deadline=None)
+def test_wor_sample_dominated_and_exact_size(counts, seed, data):
+    fv = _nonempty(counts)
+    size = data.draw(st.integers(min_value=1, max_value=fv.total))
+    sample, info = WithoutReplacementSampler(size=size).sample_frequencies(fv, seed)
+    assert sample.total == size
+    assert np.all(sample.counts <= fv.counts)
+    assert info.fraction <= 1.0
+
+
+@given(counts_arrays, seeds, st.integers(min_value=1, max_value=60))
+@settings(max_examples=40, deadline=None)
+def test_wr_sample_support_within_base(counts, seed, size):
+    fv = _nonempty(counts)
+    sample, info = WithReplacementSampler(size=size).sample_frequencies(fv, seed)
+    assert sample.total == size
+    # WR can only draw values present in the base relation.
+    assert np.all((sample.counts > 0) <= (fv.counts > 0))
+    assert info.sample_size == size
+
+
+@given(counts_arrays, probabilities, seeds)
+@settings(max_examples=40, deadline=None)
+def test_item_and_frequency_paths_share_info_semantics(counts, p, seed):
+    fv = _nonempty(counts)
+    keys = fv.to_items()
+    sampler = BernoulliSampler(p)
+    _, info_items = sampler.sample_items(keys, seed)
+    _, info_freq = sampler.sample_frequencies(fv, seed)
+    assert info_items.scheme == info_freq.scheme == "bernoulli"
+    assert info_items.population_size == info_freq.population_size == fv.total
+
+
+@given(counts_arrays, seeds)
+@settings(max_examples=40, deadline=None)
+def test_full_wor_sample_is_identity(counts, seed):
+    fv = _nonempty(counts)
+    sample, _ = WithoutReplacementSampler(fraction=1.0).sample_frequencies(fv, seed)
+    assert sample == fv
+
+
+@given(counts_arrays, seeds)
+@settings(max_examples=40, deadline=None)
+def test_samplers_are_deterministic_given_seed(counts, seed):
+    fv = _nonempty(counts)
+    for sampler in (
+        BernoulliSampler(0.5),
+        WithReplacementSampler(size=5),
+        WithoutReplacementSampler(size=min(5, fv.total)),
+    ):
+        a, _ = sampler.sample_frequencies(fv, seed)
+        b, _ = sampler.sample_frequencies(fv, seed)
+        assert a == b

@@ -1,0 +1,103 @@
+"""Property-based tests of sketch invariants (linearity, exactness)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frequency import FrequencyVector
+from repro.sketches import AgmsSketch, CountMinSketch, FagmsSketch
+
+counts_arrays = st.lists(
+    st.integers(min_value=0, max_value=20), min_size=1, max_size=16
+).map(lambda values: np.array(values, dtype=np.int64))
+
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+def _sketch_pair(cls, seed, **kwargs):
+    a = cls(seed=seed, **kwargs)
+    return a, a.copy_empty()
+
+
+SKETCH_FACTORIES = [
+    lambda seed: AgmsSketch(rows=5, seed=seed),
+    lambda seed: FagmsSketch(buckets=8, rows=2, seed=seed),
+    lambda seed: CountMinSketch(buckets=8, rows=2, seed=seed),
+]
+
+
+@given(counts_arrays, counts_arrays, seeds)
+@settings(max_examples=30, deadline=None)
+def test_merge_equals_union_for_all_sketches(a, b, seed):
+    size = min(a.size, b.size)
+    fa, fb = FrequencyVector(a[:size]), FrequencyVector(b[:size])
+    for factory in SKETCH_FACTORIES:
+        one = factory(seed)
+        two = one.copy_empty()
+        union = one.copy_empty()
+        one.update_frequency_vector(fa)
+        two.update_frequency_vector(fb)
+        union.update_frequency_vector(fa + fb)
+        one.merge(two)
+        assert np.allclose(one._state(), union._state())
+
+
+@given(counts_arrays, seeds)
+@settings(max_examples=30, deadline=None)
+def test_insert_then_delete_leaves_empty_sketch(counts, seed):
+    fv = FrequencyVector(counts)
+    for factory in SKETCH_FACTORIES:
+        sketch = factory(seed)
+        support = np.flatnonzero(fv.counts)
+        if support.size == 0:
+            continue
+        weights = fv.counts[support].astype(np.float64)
+        sketch.update(support, weights)
+        sketch.update(support, -weights)
+        assert np.allclose(sketch._state(), 0.0)
+
+
+@given(counts_arrays, seeds)
+@settings(max_examples=30, deadline=None)
+def test_frequency_and_item_updates_agree(counts, seed):
+    fv = FrequencyVector(counts)
+    for factory in SKETCH_FACTORIES:
+        by_items = factory(seed)
+        by_vector = by_items.copy_empty()
+        by_items.update(fv.to_items())
+        by_vector.update_frequency_vector(fv)
+        assert np.allclose(by_items._state(), by_vector._state())
+
+
+@given(counts_arrays, seeds)
+@settings(max_examples=30, deadline=None)
+def test_agms_single_value_estimates_exact(counts, seed):
+    """A relation concentrated on one value is estimated exactly by AGMS:
+    S = ±f so S² = f² with zero variance."""
+    if counts.sum() == 0:
+        return
+    single = np.zeros_like(counts)
+    single[int(np.argmax(counts))] = counts.max()
+    fv = FrequencyVector(single)
+    sketch = AgmsSketch(rows=3, seed=seed)
+    sketch.update_frequency_vector(fv)
+    assert sketch.second_moment() == float(fv.f2)
+
+
+@given(counts_arrays, seeds)
+@settings(max_examples=30, deadline=None)
+def test_fagms_row_estimates_bounded_below_by_zero(counts, seed):
+    fv = FrequencyVector(counts)
+    sketch = FagmsSketch(buckets=4, rows=3, seed=seed)
+    sketch.update_frequency_vector(fv)
+    assert np.all(sketch.row_second_moments() >= 0)
+
+
+@given(counts_arrays, seeds)
+@settings(max_examples=30, deadline=None)
+def test_countmin_point_estimates_dominate_counts(counts, seed):
+    fv = FrequencyVector(counts)
+    sketch = CountMinSketch(buckets=4, rows=2, seed=seed)
+    sketch.update_frequency_vector(fv)
+    for key in range(fv.domain_size):
+        assert sketch.point_estimate(key) >= fv[key]

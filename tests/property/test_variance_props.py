@@ -1,0 +1,162 @@
+"""Property-based tests of the variance theory.
+
+The central property: for random frequency vectors, random sampling
+parameters, and random averaging counts, the paper's closed forms and the
+generic moment evaluator agree *exactly* as rationals — i.e. the identity
+holds over the whole input space, not just at hand-picked points.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frequency import FrequencyVector
+from repro.sampling.coefficients import SamplingCoefficients
+from repro.sampling.moments import (
+    BernoulliMoments,
+    WithReplacementMoments,
+    WithoutReplacementMoments,
+)
+from repro.variance import closed_form as closed
+from repro.variance import generic
+from repro.variance import sampling as sampling_var
+
+counts_arrays = st.lists(
+    st.integers(min_value=0, max_value=12), min_size=2, max_size=12
+).map(lambda values: np.array(values, dtype=np.int64))
+
+probabilities = st.fractions(min_value=Fraction(1, 100), max_value=1)
+n_averages = st.integers(min_value=1, max_value=50)
+
+
+def _nonempty(counts):
+    if counts.sum() == 0:
+        counts = counts.copy()
+        counts[0] = 1
+    return FrequencyVector(counts)
+
+
+@given(counts_arrays, counts_arrays, probabilities, probabilities, n_averages)
+@settings(max_examples=40, deadline=None)
+def test_bernoulli_join_identity(a, b, p, q, n):
+    size = min(a.size, b.size)
+    f, g = _nonempty(a[:size]), _nonempty(b[:size])
+    model_f, model_g = BernoulliMoments(p), BernoulliMoments(q)
+    assert closed.bernoulli_combined_join_variance(
+        f, g, p, q, n
+    ) == generic.combined_join_variance(
+        model_f, f, model_g, g, 1 / (p * q), n, exact=True
+    )
+
+
+@given(counts_arrays, probabilities, n_averages)
+@settings(max_examples=40, deadline=None)
+def test_bernoulli_self_join_identity(a, p, n):
+    f = _nonempty(a)
+    model = BernoulliMoments(p)
+    assert closed.bernoulli_combined_self_join_variance(
+        f, p, n
+    ) == generic.combined_self_join_variance(
+        model, f, 1 / p**2, n, correction=(1 - p) / p**2, exact=True
+    )
+
+
+@given(counts_arrays, counts_arrays, st.data())
+@settings(max_examples=30, deadline=None)
+def test_fixed_size_join_identities(a, b, data):
+    size = min(a.size, b.size)
+    f, g = _nonempty(a[:size]), _nonempty(b[:size])
+    m_f = data.draw(st.integers(min_value=2, max_value=max(2, f.total)))
+    m_g = data.draw(st.integers(min_value=2, max_value=max(2, g.total)))
+    m_f = min(m_f, f.total) if f.total >= 2 else 2
+    m_g = min(m_g, g.total) if g.total >= 2 else 2
+    if f.total < 2 or g.total < 2:
+        return
+    n = data.draw(n_averages)
+    coeff_f = SamplingCoefficients(m_f, f.total)
+    coeff_g = SamplingCoefficients(m_g, g.total)
+    scale = 1 / (coeff_f.alpha * coeff_g.alpha)
+    # WR
+    assert closed.wr_combined_join_variance(
+        f, g, coeff_f, coeff_g, n
+    ) == generic.combined_join_variance(
+        WithReplacementMoments(m_f, f.total),
+        f,
+        WithReplacementMoments(m_g, g.total),
+        g,
+        scale,
+        n,
+        exact=True,
+    )
+    # WOR
+    assert closed.wor_combined_join_variance(
+        f, g, coeff_f, coeff_g, n
+    ) == generic.combined_join_variance(
+        WithoutReplacementMoments(m_f, f.total),
+        f,
+        WithoutReplacementMoments(m_g, g.total),
+        g,
+        scale,
+        n,
+        exact=True,
+    )
+
+
+@given(counts_arrays, probabilities, probabilities)
+@settings(max_examples=40, deadline=None)
+def test_sampling_only_identities(a, p, q):
+    f = _nonempty(a)
+    rng = np.random.default_rng(f.domain_size)
+    g = _nonempty(rng.integers(0, 12, size=f.domain_size))
+    assert sampling_var.bernoulli_join_variance(
+        f, g, p, q
+    ) == generic.sampling_join_variance(
+        BernoulliMoments(p), f, BernoulliMoments(q), g, 1 / (p * q), exact=True
+    )
+    assert sampling_var.bernoulli_self_join_variance(
+        f, p
+    ) == generic.sampling_self_join_variance(
+        BernoulliMoments(p), f, 1 / p**2, correction=(1 - p) / p**2, exact=True
+    )
+
+
+@given(counts_arrays, probabilities, n_averages)
+@settings(max_examples=40, deadline=None)
+def test_variances_are_non_negative(a, p, n):
+    f = _nonempty(a)
+    model = BernoulliMoments(p)
+    assert closed.bernoulli_combined_self_join_variance(f, p, n) >= 0
+    assert generic.sampling_self_join_variance(
+        model, f, 1 / p**2, correction=(1 - p) / p**2, exact=True
+    ) >= 0
+
+
+@given(counts_arrays, probabilities)
+@settings(max_examples=40, deadline=None)
+def test_expectations_unbiased_for_any_input(a, p):
+    f = _nonempty(a)
+    model = BernoulliMoments(p)
+    assert (
+        generic.combined_self_join_expectation(
+            model, f, 1 / p**2, correction=(1 - p) / p**2, exact=True
+        )
+        == f.f2
+    )
+
+
+@given(counts_arrays, probabilities, n_averages)
+@settings(max_examples=30, deadline=None)
+def test_averaging_never_increases_variance(a, p, n):
+    f = _nonempty(a)
+    model = BernoulliMoments(p)
+    scale = 1 / p**2
+    c = (1 - p) / p**2
+    v_n = generic.combined_self_join_variance(
+        model, f, scale, n, correction=c, exact=True
+    )
+    v_2n = generic.combined_self_join_variance(
+        model, f, scale, 2 * n, correction=c, exact=True
+    )
+    assert v_2n <= v_n

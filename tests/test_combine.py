@@ -1,0 +1,54 @@
+"""Estimate-combining strategies (mean / median / median-of-means)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sketches._combine import combine_estimates, validate_combine
+
+
+def test_mean():
+    assert combine_estimates(np.array([1.0, 2.0, 6.0]), "mean") == pytest.approx(3.0)
+
+
+def test_median_odd_and_even():
+    assert combine_estimates(np.array([5.0, 1.0, 3.0]), "median") == 3.0
+    assert combine_estimates(np.array([1.0, 3.0]), "median") == 2.0
+
+
+def test_median_of_means():
+    values = np.array([1.0, 3.0, 10.0, 20.0, 100.0, 200.0])
+    # groups of 2 -> means [2, 15, 150] -> median 15
+    assert combine_estimates(values, "median-of-means", groups=3) == 15.0
+
+
+def test_median_of_means_robust_to_one_bad_group():
+    values = np.array([10.0, 10.0, 10.0, 10.0, 1e9, 1e9])
+    assert combine_estimates(values, "median-of-means", groups=3) == 10.0
+
+
+def test_validate_rejects_unknown_method():
+    with pytest.raises(ConfigurationError):
+        validate_combine("harmonic", 4, 1)
+
+
+def test_validate_rejects_indivisible_groups():
+    with pytest.raises(ConfigurationError):
+        validate_combine("median-of-means", 10, 3)
+
+
+def test_validate_rejects_groups_without_mom():
+    with pytest.raises(ConfigurationError):
+        validate_combine("median", 10, 2)
+
+
+def test_validate_rejects_nonpositive_groups():
+    with pytest.raises(ConfigurationError):
+        validate_combine("mean", 10, 0)
+
+
+def test_combine_rejects_empty_or_2d():
+    with pytest.raises(ConfigurationError):
+        combine_estimates(np.array([]), "mean")
+    with pytest.raises(ConfigurationError):
+        combine_estimates(np.ones((2, 2)), "mean")

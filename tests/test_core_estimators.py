@@ -1,0 +1,188 @@
+"""The sketch-over-sample workflow: paths, corrections, intervals."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    estimate_join_size,
+    estimate_self_join_size,
+    join_interval,
+    self_join_interval,
+    sketch_over_sample,
+)
+from repro.errors import ConfigurationError
+from repro.frequency import FrequencyVector
+from repro.sampling import (
+    BernoulliSampler,
+    WithReplacementSampler,
+    WithoutReplacementSampler,
+)
+from repro.sketches import FagmsSketch
+from repro.streams import Relation, zipf_relation
+
+
+@pytest.fixture
+def relation():
+    return zipf_relation(30_000, 2_000, skew=1.0, seed=5)
+
+
+class TestSketchOverSample:
+    def test_items_path_returns_info(self, relation):
+        sketch = FagmsSketch(512, seed=1)
+        info = sketch_over_sample(relation, BernoulliSampler(0.2), sketch, seed=2)
+        assert info.scheme == "bernoulli"
+        assert info.population_size == len(relation)
+        assert 0 < info.sample_size < len(relation)
+        assert np.abs(sketch.counters).sum() > 0
+
+    def test_frequency_path_on_relation(self, relation):
+        sketch = FagmsSketch(512, seed=1)
+        info = sketch_over_sample(
+            relation, WithoutReplacementSampler(fraction=0.1), sketch,
+            seed=2, path="frequency",
+        )
+        assert info.sample_size == pytest.approx(0.1 * len(relation), rel=0.01)
+
+    def test_frequency_vector_source(self, relation):
+        fv = relation.frequency_vector()
+        sketch = FagmsSketch(512, seed=1)
+        info = sketch_over_sample(fv, WithReplacementSampler(size=500), sketch, seed=3)
+        assert info.sample_size == 500
+
+    def test_items_path_rejected_for_frequency_vector(self, relation):
+        fv = relation.frequency_vector()
+        sketch = FagmsSketch(512, seed=1)
+        with pytest.raises(ConfigurationError):
+            sketch_over_sample(fv, BernoulliSampler(0.5), sketch, path="items")
+
+    def test_unknown_path_and_source(self, relation):
+        sketch = FagmsSketch(512, seed=1)
+        with pytest.raises(ConfigurationError):
+            sketch_over_sample(relation, BernoulliSampler(0.5), sketch, path="magic")
+        with pytest.raises(ConfigurationError):
+            sketch_over_sample([1, 2, 3], BernoulliSampler(0.5), sketch)
+
+    def test_both_paths_give_comparable_estimates(self, relation):
+        truth = relation.self_join_size()
+        for path in ("items", "frequency"):
+            sketch = FagmsSketch(1024, seed=7)
+            info = sketch_over_sample(
+                relation, BernoulliSampler(0.3), sketch, seed=11, path=path
+            )
+            estimate = estimate_self_join_size(sketch, info)
+            assert estimate.value == pytest.approx(truth, rel=0.4)
+
+
+class TestEstimates:
+    def test_join_estimate_fields(self):
+        # Aligned Zipf pair: large, stably-estimable join.
+        f = zipf_relation(30_000, 2_000, 1.0, seed=5, shuffle_values=False)
+        g = zipf_relation(30_000, 2_000, 1.0, seed=6, shuffle_values=False)
+        sketch_f = FagmsSketch(1024, seed=4)
+        sketch_g = sketch_f.copy_empty()
+        info_f = sketch_over_sample(f, BernoulliSampler(0.5), sketch_f, seed=1)
+        info_g = sketch_over_sample(g, BernoulliSampler(0.25), sketch_g, seed=2)
+        estimate = estimate_join_size(sketch_f, info_f, sketch_g, info_g)
+        assert estimate.scale == pytest.approx(1 / (0.5 * 0.25))
+        assert estimate.value == pytest.approx(
+            estimate.scale * estimate.raw_sketch_estimate
+        )
+        truth = f.join_size(g)
+        assert estimate.value == pytest.approx(truth, rel=0.5)
+
+    def test_self_join_estimate_all_schemes(self, relation):
+        truth = relation.self_join_size()
+        samplers = [
+            BernoulliSampler(0.2),
+            WithReplacementSampler(fraction=0.2),
+            WithoutReplacementSampler(fraction=0.2),
+        ]
+        for sampler in samplers:
+            sketch = FagmsSketch(1024, seed=13)
+            info = sketch_over_sample(relation, sampler, sketch, seed=17)
+            estimate = estimate_self_join_size(sketch, info)
+            assert estimate.value == pytest.approx(truth, rel=0.4), sampler
+
+    def test_full_sample_equals_plain_sketch(self, relation):
+        """p=1 Bernoulli: the combined estimator IS the plain sketch."""
+        sampled = FagmsSketch(512, seed=3)
+        info = sketch_over_sample(relation, BernoulliSampler(1.0), sampled, seed=1)
+        plain = FagmsSketch(512, seed=3)
+        plain.update(relation.keys)
+        estimate = estimate_self_join_size(sampled, info)
+        assert estimate.value == pytest.approx(plain.second_moment())
+
+
+class TestIntervals:
+    def test_join_interval_contains_truth_typically(self, relation):
+        other = zipf_relation(30_000, 2_000, skew=1.0, seed=6)
+        truth = relation.join_size(other)
+        hits = 0
+        for seed in range(10):
+            sketch_f = FagmsSketch(512, seed=100 + seed)
+            sketch_g = sketch_f.copy_empty()
+            info_f = sketch_over_sample(
+                relation, BernoulliSampler(0.3), sketch_f, seed=seed
+            )
+            info_g = sketch_over_sample(
+                other, BernoulliSampler(0.3), sketch_g, seed=1000 + seed
+            )
+            estimate = estimate_join_size(sketch_f, info_f, sketch_g, info_g)
+            interval = join_interval(
+                estimate,
+                relation.frequency_vector(),
+                other.frequency_vector(),
+                info_f,
+                info_g,
+                n=512,
+                confidence=0.95,
+            )
+            hits += interval.contains(truth)
+        assert hits >= 8  # 95% nominal; allow slack for 10 draws
+
+    def test_self_join_interval_contains_truth_typically(self, relation):
+        truth = relation.self_join_size()
+        fv = relation.frequency_vector()
+        hits = 0
+        for seed in range(10):
+            sketch = FagmsSketch(512, seed=200 + seed)
+            info = sketch_over_sample(
+                relation, WithoutReplacementSampler(fraction=0.2), sketch, seed=seed
+            )
+            estimate = estimate_self_join_size(sketch, info)
+            interval = self_join_interval(estimate, fv, info, n=512)
+            hits += interval.contains(truth)
+        assert hits >= 8
+
+    def test_interval_accepts_float_estimate(self, relation):
+        fv = relation.frequency_vector()
+        sketch = FagmsSketch(512, seed=5)
+        info = sketch_over_sample(relation, BernoulliSampler(0.5), sketch, seed=5)
+        interval = self_join_interval(123.0, fv, info, n=512)
+        assert interval.estimate == 123.0
+
+    def test_interval_method_validation(self, relation):
+        fv = relation.frequency_vector()
+        sketch = FagmsSketch(512, seed=5)
+        info = sketch_over_sample(relation, BernoulliSampler(0.5), sketch, seed=5)
+        with pytest.raises(ConfigurationError):
+            self_join_interval(1.0, fv, info, n=512, method="bootstrap")
+        chebyshev = self_join_interval(1.0, fv, info, n=512, method="chebyshev")
+        clt = self_join_interval(1.0, fv, info, n=512, method="clt")
+        assert chebyshev.half_width > clt.half_width
+
+
+def test_empty_relation_handling():
+    empty = Relation([], domain_size=16)
+    sketch = FagmsSketch(64, seed=1)
+    info = sketch_over_sample(empty, BernoulliSampler(0.5), sketch, seed=1)
+    assert info.sample_size == 0
+    estimate = estimate_self_join_size(sketch, info)
+    assert estimate.value == 0.0
+
+
+def test_frequency_vector_zero_counts():
+    fv = FrequencyVector.zeros(16)
+    sketch = FagmsSketch(64, seed=1)
+    info = sketch_over_sample(fv, BernoulliSampler(0.5), sketch, seed=1)
+    assert estimate_self_join_size(sketch, info).value == 0.0

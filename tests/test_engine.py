@@ -1,0 +1,156 @@
+"""Online aggregation: scan mechanics, convergence, intervals."""
+
+import numpy as np
+import pytest
+
+from repro.engine import OnlineJoinAggregator, OnlineSelfJoinAggregator
+from repro.engine.online_aggregation import _checkpoint_counts, _validate_checkpoints
+from repro.errors import ConfigurationError
+from repro.sketches import FagmsSketch
+from repro.streams import generate_tpch, zipf_relation
+
+
+@pytest.fixture
+def shuffled_relation():
+    return zipf_relation(20_000, 1_000, skew=0.8, seed=40).shuffled(seed=41)
+
+
+class TestCheckpointHelpers:
+    def test_validate_sorts_and_dedups(self):
+        assert _validate_checkpoints([0.5, 0.1, 0.5]) == [0.1, 0.5]
+
+    def test_validate_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            _validate_checkpoints([0.0, 0.5])
+        with pytest.raises(ConfigurationError):
+            _validate_checkpoints([0.5, 1.5])
+        with pytest.raises(ConfigurationError):
+            _validate_checkpoints([])
+
+    def test_counts(self):
+        assert _checkpoint_counts([0.1, 1.0], 100) == [10, 100]
+        assert _checkpoint_counts([0.001], 100) == [1]
+
+
+class TestSelfJoinAggregator:
+    def test_yields_one_point_per_checkpoint(self, shuffled_relation):
+        aggregator = OnlineSelfJoinAggregator(
+            shuffled_relation,
+            FagmsSketch(512, seed=1),
+            checkpoints=(0.1, 0.5, 1.0),
+        )
+        points = list(aggregator.run())
+        assert [point.fraction for point in points] == [0.1, 0.5, 1.0]
+        assert points[-1].tuples_scanned == len(shuffled_relation)
+
+    def test_estimates_converge_to_plain_sketch(self, shuffled_relation):
+        sketch = FagmsSketch(512, seed=2)
+        aggregator = OnlineSelfJoinAggregator(
+            shuffled_relation, sketch, checkpoints=(0.1, 1.0)
+        )
+        final = list(aggregator.run())[-1]
+        plain = FagmsSketch(512, seed=2)
+        plain.update(shuffled_relation.keys)
+        assert final.estimate == pytest.approx(plain.second_moment())
+
+    def test_estimates_reasonable_at_ten_percent(self, shuffled_relation):
+        truth = shuffled_relation.self_join_size()
+        aggregator = OnlineSelfJoinAggregator(
+            shuffled_relation, FagmsSketch(1024, seed=3), checkpoints=(0.1,)
+        )
+        point = next(iter(aggregator.run()))
+        assert point.estimate == pytest.approx(truth, rel=0.4)
+
+    def test_intervals_present_with_true_frequencies(self, shuffled_relation):
+        aggregator = OnlineSelfJoinAggregator(
+            shuffled_relation,
+            FagmsSketch(512, seed=4),
+            checkpoints=(0.2, 1.0),
+            true_frequencies=shuffled_relation.frequency_vector(),
+        )
+        points = list(aggregator.run())
+        assert all(point.interval is not None for point in points)
+        # Interval width shrinks as more data is scanned.
+        assert points[-1].interval.half_width < points[0].interval.half_width
+
+    def test_intervals_absent_without_true_frequencies(self, shuffled_relation):
+        aggregator = OnlineSelfJoinAggregator(
+            shuffled_relation, FagmsSketch(256, seed=5), checkpoints=(0.5,)
+        )
+        assert next(iter(aggregator.run())).interval is None
+
+    def test_rejects_tiny_relation(self):
+        from repro.streams import Relation
+
+        with pytest.raises(ConfigurationError):
+            OnlineSelfJoinAggregator(Relation([1]), FagmsSketch(16, seed=1))
+
+    @pytest.mark.statistical
+    def test_interval_coverage(self):
+        relation = zipf_relation(5_000, 500, 0.8, seed=50)
+        truth = relation.self_join_size()
+        fv = relation.frequency_vector()
+        hits = total = 0
+        for seed in range(15):
+            shuffled = relation.shuffled(seed=seed)
+            aggregator = OnlineSelfJoinAggregator(
+                shuffled,
+                FagmsSketch(256, seed=700 + seed),
+                checkpoints=(0.1, 0.3),
+                true_frequencies=fv,
+                confidence=0.95,
+            )
+            for point in aggregator.run():
+                hits += point.interval.contains(truth)
+                total += 1
+        assert hits / total >= 0.8
+
+
+class TestJoinAggregator:
+    def test_lockstep_scan_on_tpch(self):
+        tables = generate_tpch(scale_factor=0.004, seed=60)
+        truth = tables.exact_join_size()
+        sketch = FagmsSketch(1024, seed=6)
+        aggregator = OnlineJoinAggregator(
+            tables.lineitem,
+            tables.orders,
+            sketch,
+            sketch.copy_empty(),
+            checkpoints=(0.1, 0.5, 1.0),
+            true_frequencies=(
+                tables.lineitem.frequency_vector(),
+                tables.orders.frequency_vector(),
+            ),
+        )
+        points = list(aggregator.run())
+        assert len(points) == 3
+        final = points[-1]
+        assert final.estimate == pytest.approx(truth, rel=0.25)
+        assert all(point.interval is not None for point in points)
+
+    def test_domain_mismatch_rejected(self):
+        f = zipf_relation(100, 50, 0.5, seed=1)
+        g = zipf_relation(100, 60, 0.5, seed=2)
+        sketch = FagmsSketch(64, seed=1)
+        with pytest.raises(ConfigurationError):
+            OnlineJoinAggregator(f, g, sketch, sketch.copy_empty())
+
+    def test_incompatible_sketches_rejected(self):
+        f = zipf_relation(100, 50, 0.5, seed=1)
+        g = zipf_relation(100, 50, 0.5, seed=2)
+        from repro.errors import IncompatibleSketchError
+
+        with pytest.raises(IncompatibleSketchError):
+            OnlineJoinAggregator(
+                f, g, FagmsSketch(64, seed=1), FagmsSketch(64, seed=2)
+            )
+
+    def test_scanned_counts_scale_with_relation_sizes(self):
+        f = zipf_relation(1_000, 100, 0.5, seed=3)
+        g = zipf_relation(500, 100, 0.5, seed=4)
+        sketch = FagmsSketch(64, seed=5)
+        aggregator = OnlineJoinAggregator(
+            f, g, sketch, sketch.copy_empty(), checkpoints=(0.5,)
+        )
+        point = next(iter(aggregator.run()))
+        assert point.tuples_scanned == 500 + 250

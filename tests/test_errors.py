@@ -1,0 +1,40 @@
+"""The exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DomainError,
+    EstimationError,
+    IncompatibleSketchError,
+    InsufficientDataError,
+    ReproError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc in (
+        ConfigurationError,
+        DomainError,
+        EstimationError,
+        InsufficientDataError,
+        IncompatibleSketchError,
+    ):
+        assert issubclass(exc, ReproError)
+
+
+def test_value_errors_are_also_value_errors():
+    # Callers that catch ValueError for bad parameters keep working.
+    assert issubclass(ConfigurationError, ValueError)
+    assert issubclass(DomainError, ValueError)
+    assert issubclass(IncompatibleSketchError, ValueError)
+
+
+def test_insufficient_data_is_estimation_error():
+    assert issubclass(InsufficientDataError, EstimationError)
+    assert issubclass(EstimationError, RuntimeError)
+
+
+def test_catching_base_class_catches_all():
+    with pytest.raises(ReproError):
+        raise InsufficientDataError("not enough tuples")

@@ -1,0 +1,72 @@
+"""The experiments CLI and CSV export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments.cli import FIGURES, main
+from repro.experiments.figures import fig2_self_join_variance_decomposition
+from repro.experiments.config import ExperimentScale
+
+
+def _tiny_args(extra):
+    return ["--scale", "small", "--trials", "3", *extra]
+
+
+def test_figure_registry_complete():
+    expected = [f"fig{i}" for i in range(1, 9)] + ["ext1", "ext2", "ext3"]
+    assert sorted(FIGURES) == sorted(expected)
+
+
+def test_single_figure_to_stdout(capsys):
+    assert main(["fig2", *_tiny_args([])]) == 0
+    out = capsys.readouterr().out
+    assert "[Fig 2]" in out
+    assert "sampling_share" in out
+
+
+def test_out_file(tmp_path, capsys):
+    out_file = tmp_path / "fig2.txt"
+    assert main(["fig2", *_tiny_args(["--out", str(out_file)])]) == 0
+    capsys.readouterr()
+    assert "[Fig 2]" in out_file.read_text()
+
+
+def test_csv_export(tmp_path, capsys):
+    csv_file = tmp_path / "fig2.csv"
+    assert main(["fig2", *_tiny_args(["--csv", str(csv_file)])]) == 0
+    capsys.readouterr()
+    rows = list(csv.reader(io.StringIO(csv_file.read_text())))
+    assert rows[0] == ["skew", "p", "sampling_share", "sketch_share", "interaction_share"]
+    assert len(rows) > 1
+
+
+def test_csv_rejected_for_all(tmp_path, capsys):
+    code = main(["all", *_tiny_args(["--csv", str(tmp_path / "x.csv")])])
+    capsys.readouterr()
+    assert code == 2
+
+
+def test_seed_override_changes_results(capsys):
+    main(["fig4", "--scale", "small", "--trials", "3", "--seed", "1"])
+    first = capsys.readouterr().out
+    main(["fig4", "--scale", "small", "--trials", "3", "--seed", "2"])
+    second = capsys.readouterr().out
+    assert first != second
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_figure_result_csv_round_trip():
+    scale = ExperimentScale.small().with_(trials=3)
+    result = fig2_self_join_variance_decomposition(
+        scale, skews=(0.0,), probabilities=(0.1,)
+    )
+    parsed = list(csv.reader(io.StringIO(result.to_csv())))
+    assert parsed[0] == list(result.columns)
+    assert len(parsed) == 1 + len(result.rows)
+    assert float(parsed[1][0]) == result.rows[0][0]

@@ -1,0 +1,67 @@
+"""Extended studies (averaging floor, interval coverage) — structure tests.
+
+The statistical shape assertions run in the benchmark suite at higher
+trial counts; here we test structure, determinism, and basic sanity at
+tiny scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    ext1_error_vs_buckets,
+    ext2_interval_coverage,
+)
+
+SCALE = ExperimentScale.small().with_(trials=5)
+
+
+class TestExt1:
+    def test_structure(self):
+        result = ext1_error_vs_buckets(SCALE, buckets_sweep=(32, 128))
+        assert result.figure == "Ext 1"
+        assert len(result.rows) == 2
+        assert result.columns[-1] == "sampling_floor_1sigma"
+
+    def test_floor_constant_across_rows(self):
+        result = ext1_error_vs_buckets(SCALE, buckets_sweep=(32, 128, 512))
+        floors = result.column("sampling_floor_1sigma")
+        assert len(set(floors)) == 1
+        assert floors[0] > 0
+
+    def test_floor_scales_with_rate(self):
+        loose = ext1_error_vs_buckets(SCALE, buckets_sweep=(32,), p=0.02)
+        tight = ext1_error_vs_buckets(SCALE, buckets_sweep=(32,), p=0.5)
+        assert loose.column("sampling_floor_1sigma")[0] > tight.column(
+            "sampling_floor_1sigma"
+        )[0]
+
+    def test_deterministic(self):
+        a = ext1_error_vs_buckets(SCALE, buckets_sweep=(64,))
+        b = ext1_error_vs_buckets(SCALE, buckets_sweep=(64,))
+        assert a.rows == b.rows
+
+
+class TestExt2:
+    def test_structure(self):
+        result = ext2_interval_coverage(SCALE)
+        assert result.figure == "Ext 2"
+        schemes = result.column("scheme")
+        assert schemes == [
+            "bernoulli",
+            "with_replacement",
+            "without_replacement",
+        ]
+        for coverage in result.column("coverage"):
+            assert 0.0 <= coverage <= 1.0
+
+    def test_respects_confidence_argument(self):
+        result = ext2_interval_coverage(SCALE, confidence=0.5)
+        assert result.column("nominal") == [0.5, 0.5, 0.5]
+
+    @pytest.mark.statistical
+    def test_coverage_close_to_nominal_at_moderate_trials(self):
+        scale = ExperimentScale.small().with_(trials=40)
+        result = ext2_interval_coverage(scale, confidence=0.9)
+        for coverage in result.column("coverage"):
+            assert coverage >= 0.7

@@ -1,0 +1,132 @@
+"""Figure builders: structure, determinism, and the paper's shape claims.
+
+Shapes are asserted at a reduced-but-meaningful scale (seconds, fixed
+seeds); the benchmark suite regenerates the full tables.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ExperimentScale,
+    fig1_join_variance_decomposition,
+    fig2_self_join_variance_decomposition,
+    fig3_join_error_bernoulli,
+    fig4_self_join_error_bernoulli,
+    fig5_join_error_wr,
+    fig6_self_join_error_wr,
+    fig7_join_error_wor_tpch,
+    fig8_self_join_error_wor_tpch,
+)
+
+SCALE = ExperimentScale.small()
+
+
+def test_scale_presets_and_override():
+    assert ExperimentScale.small().n_tuples < ExperimentScale.default().n_tuples
+    assert ExperimentScale.paper().buckets == 5_000
+    bigger = SCALE.with_(trials=99)
+    assert bigger.trials == 99
+    assert bigger.n_tuples == SCALE.n_tuples
+    with pytest.raises(ConfigurationError):
+        ExperimentScale(trials=0)
+
+
+class TestFig1:
+    def test_structure_and_shares_sum_to_one(self):
+        result = fig1_join_variance_decomposition(
+            SCALE, skews=(0.0, 1.0), probabilities=(0.1,)
+        )
+        assert result.figure == "Fig 1"
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert sum(row[2:]) == pytest.approx(1.0)
+
+    def test_paper_shape(self):
+        """Interaction dominates at skew 0; sketch dominates at skew 2."""
+        result = fig1_join_variance_decomposition(
+            SCALE, skews=(0.0, 2.0), probabilities=(0.01,)
+        )
+        low_skew = result.rows[0]
+        high_skew = result.rows[1]
+        assert low_skew[4] > low_skew[2] and low_skew[4] > low_skew[3]
+        assert high_skew[3] > 0.8
+
+
+class TestFig2:
+    def test_paper_shape(self):
+        """Sampling term dominates the self-join variance at high skew."""
+        result = fig2_self_join_variance_decomposition(
+            SCALE, skews=(0.0, 2.0), probabilities=(0.01,)
+        )
+        low_skew, high_skew = result.rows
+        assert low_skew[4] > 0.4  # interaction significant at skew 0
+        assert high_skew[2] > 0.5  # sampling dominates at skew 2
+
+
+class TestFig3:
+    def test_structure(self):
+        result = fig3_join_error_bernoulli(
+            SCALE, skews=(1.0,), probabilities=(1.0, 0.1)
+        )
+        assert result.columns[2] == "mean_rel_error"
+        assert len(result.rows) == 2
+
+    def test_paper_shape_sampling_rate_insensitive_at_moderate_skew(self):
+        """p=0.1 costs little accuracy vs p=1 for skewed joins."""
+        result = fig3_join_error_bernoulli(
+            SCALE.with_(trials=15), skews=(1.0,), probabilities=(1.0, 0.1)
+        )
+        full = result.series(1.0)[0][2]
+        sampled = result.series(0.1)[0][2]
+        assert sampled < max(5 * full, 0.2)
+
+
+class TestFig4:
+    def test_paper_shape_error_drops_with_skew_for_full_sketch(self):
+        result = fig4_self_join_error_bernoulli(
+            SCALE, skews=(0.0, 2.0), probabilities=(1.0,)
+        )
+        errors = result.column("mean_rel_error")
+        assert errors[1] < errors[0]
+
+
+class TestFig5And6:
+    def test_error_decreases_then_stabilizes(self):
+        result = fig6_self_join_error_wr(
+            SCALE.with_(trials=15), fractions=(0.01, 0.1, 1.0), skews=(1.0,)
+        )
+        errors = result.column("mean_rel_error")
+        assert errors[0] > errors[1]  # 1% worse than 10%
+        # 10% is already within a small factor of the full-sample error
+        assert errors[1] < 6 * max(errors[2], 0.02)
+
+    def test_fig5_runs_and_has_series_per_skew(self):
+        result = fig5_join_error_wr(
+            SCALE.with_(trials=5), fractions=(0.1, 1.0), skews=(0.5, 1.0)
+        )
+        assert len(result.rows) == 4
+        assert len(result.series(0.5)) == 2
+
+
+class TestFig7And8:
+    def test_fig8_error_decreases_with_rate(self):
+        result = fig8_self_join_error_wor_tpch(
+            SCALE.with_(trials=10), fractions=(0.01, 0.1, 1.0)
+        )
+        errors = result.column("mean_rel_error")
+        assert errors[0] > errors[1] > 0
+        assert errors[1] < 4 * max(errors[2], 0.02)
+
+    def test_fig7_parameters_record_tpch_sizes(self):
+        result = fig7_join_error_wor_tpch(
+            SCALE.with_(trials=3, tpch_orders=2_000), fractions=(0.1,)
+        )
+        assert result.parameters["orders"] == 2_000
+        assert result.parameters["lineitem"] > 2_000
+
+
+def test_figures_are_deterministic():
+    a = fig4_self_join_error_bernoulli(SCALE, skews=(1.0,), probabilities=(0.1,))
+    b = fig4_self_join_error_bernoulli(SCALE, skews=(1.0,), probabilities=(0.1,))
+    assert a.rows == b.rows

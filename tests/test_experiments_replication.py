@@ -1,0 +1,72 @@
+"""Cross-seed replication meta-runner (+ markdown export)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import ExperimentScale, fig2_self_join_variance_decomposition
+from repro.experiments.figures import fig4_self_join_error_bernoulli
+from repro.experiments.replication import replicate
+
+SCALE = ExperimentScale.small().with_(trials=4)
+
+
+def _fig4_tiny(scale):
+    return fig4_self_join_error_bernoulli(
+        scale, skews=(1.0,), probabilities=(0.1,)
+    )
+
+
+def test_replicate_structure():
+    result = replicate(_fig4_tiny, SCALE, seeds=(1, 2, 3))
+    assert "×3 seeds" in result.figure
+    assert result.columns[:2] == ("skew", "p")
+    assert "mean_rel_error_mean" in result.columns
+    assert "mean_rel_error_std" in result.columns
+    assert len(result.rows) == 1
+
+
+def test_replicate_statistics_are_cross_seed():
+    result = replicate(_fig4_tiny, SCALE, seeds=(1, 2, 3, 4))
+    row = result.rows[0]
+    mean_index = result.columns.index("mean_rel_error_mean")
+    std_index = result.columns.index("mean_rel_error_std")
+    assert row[mean_index] > 0
+    assert row[std_index] >= 0
+
+
+def test_replicate_detects_seed_sensitivity():
+    """Individual-seed values differ; the std must reflect that."""
+    singles = [
+        _fig4_tiny(SCALE.with_(seed=s)).rows[0][2] for s in (1, 2, 3, 4)
+    ]
+    assert len(set(singles)) > 1
+    result = replicate(_fig4_tiny, SCALE, seeds=(1, 2, 3, 4))
+    std_index = result.columns.index("mean_rel_error_std")
+    assert result.rows[0][std_index] > 0
+
+
+def test_replicate_decomposition_builder():
+    def builder(scale):
+        return fig2_self_join_variance_decomposition(
+            scale, skews=(0.0, 2.0), probabilities=(0.1,)
+        )
+
+    result = replicate(builder, SCALE, seeds=(5, 6))
+    assert len(result.rows) == 2
+    assert "sampling_share_mean" in result.columns
+
+
+def test_replicate_validation():
+    with pytest.raises(ConfigurationError):
+        replicate(_fig4_tiny, SCALE, seeds=(1,))
+
+
+def test_markdown_export():
+    result = _fig4_tiny(SCALE)
+    markdown = result.to_markdown()
+    assert markdown.startswith("**Fig 4**")
+    assert "| skew | p |" in markdown
+    lines = markdown.splitlines()
+    rule_lines = [line for line in lines if line and set(line) <= {"|", "-"}]
+    assert len(rule_lines) == 1
+    assert rule_lines[0].count("---") == 4  # one per column

@@ -1,0 +1,64 @@
+"""FigureResult and table formatting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import FigureResult, format_table
+
+
+def test_format_table_alignment():
+    table = format_table(
+        ("x", "value"), [(1, 0.5), (10, 0.25)], title="demo"
+    )
+    lines = table.splitlines()
+    assert lines[0] == "demo"
+    assert "x" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_table_handles_extreme_floats():
+    table = format_table(("v",), [(1e-9,), (1e9,), (0.0,)])
+    assert "e-09" in table
+    assert "e+09" in table
+
+
+def test_format_table_validation():
+    with pytest.raises(ConfigurationError):
+        format_table((), [])
+    with pytest.raises(ConfigurationError):
+        format_table(("a", "b"), [(1,)])
+
+
+def test_format_table_empty_rows():
+    table = format_table(("a", "b"), [])
+    assert "a" in table and "b" in table
+
+
+@pytest.fixture
+def result():
+    return FigureResult(
+        figure="Fig X",
+        title="demo figure",
+        columns=("x", "series", "value"),
+        rows=((1, "a", 0.5), (2, "a", 0.25), (1, "b", 0.7)),
+        notes="a note",
+        parameters={"trials": 3},
+    )
+
+
+def test_figure_result_format(result):
+    text = result.format()
+    assert "[Fig X] demo figure" in text
+    assert "trials=3" in text
+    assert "a note" in text
+
+
+def test_figure_result_series(result):
+    assert result.series("a") == [(1, "a", 0.5), (2, "a", 0.25)]
+    assert result.series("missing") == []
+
+
+def test_figure_result_column(result):
+    assert result.column("value") == [0.5, 0.25, 0.7]
+    with pytest.raises(ConfigurationError):
+        result.column("nope")

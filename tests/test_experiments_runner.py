@@ -1,0 +1,62 @@
+"""Trial runner and error statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import TrialStats, relative_error, run_trials
+
+
+def test_relative_error():
+    assert relative_error(110, 100) == pytest.approx(0.1)
+    assert relative_error(90, 100) == pytest.approx(0.1)
+    assert relative_error(-50, -100) == pytest.approx(0.5)
+    with pytest.raises(ConfigurationError):
+        relative_error(1, 0)
+
+
+def test_run_trials_counts_and_determinism():
+    def estimator(rng):
+        return 100 + rng.normal(0, 10)
+
+    a = run_trials(estimator, 100, trials=20, seed=5)
+    b = run_trials(estimator, 100, trials=20, seed=5)
+    assert a.trials == 20
+    assert np.array_equal(a.errors, b.errors)
+
+
+def test_run_trials_independent_seeds():
+    values = []
+
+    def estimator(rng):
+        value = rng.random()
+        values.append(value)
+        return 1 + value
+
+    run_trials(estimator, 1.0, trials=10, seed=3)
+    assert len(set(values)) == 10
+
+
+def test_run_trials_rejects_zero_trials():
+    with pytest.raises(ConfigurationError):
+        run_trials(lambda rng: 1.0, 1.0, trials=0)
+
+
+def test_stats_properties():
+    stats = TrialStats(errors=np.array([0.1, 0.2, 0.3, 1.0]), truth=50.0)
+    assert stats.trials == 4
+    assert stats.mean_error == pytest.approx(0.4)
+    assert stats.median_error == pytest.approx(0.25)
+    assert stats.max_error == pytest.approx(1.0)
+    assert stats.std_error == pytest.approx(np.std([0.1, 0.2, 0.3, 1.0], ddof=1))
+
+
+def test_stats_single_trial_std():
+    stats = TrialStats(errors=np.array([0.5]), truth=1.0)
+    assert stats.std_error == 0.0
+
+
+def test_exact_estimator_has_zero_error():
+    stats = run_trials(lambda rng: 42.0, 42.0, trials=5, seed=1)
+    assert stats.mean_error == 0.0
+    assert stats.max_error == 0.0

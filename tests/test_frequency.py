@@ -1,0 +1,153 @@
+"""FrequencyVector: construction, moments, cross moments, exactness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.frequency import FrequencyVector, cross_power_sum
+
+
+class TestConstruction:
+    def test_from_counts(self):
+        fv = FrequencyVector([1, 0, 2])
+        assert fv.domain_size == 3
+        assert fv.total == 3
+        assert fv.support_size == 2
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(DomainError):
+            FrequencyVector([1, -1, 2])
+
+    def test_rejects_non_integer_counts(self):
+        with pytest.raises(DomainError):
+            FrequencyVector([1.5, 2.0])
+
+    def test_accepts_integral_floats(self):
+        fv = FrequencyVector(np.array([1.0, 2.0]))
+        assert fv[0] == 1 and fv[1] == 2
+
+    def test_rejects_2d(self):
+        with pytest.raises(DomainError):
+            FrequencyVector(np.ones((2, 2), dtype=np.int64))
+
+    def test_from_items(self):
+        fv = FrequencyVector.from_items([0, 2, 2, 1, 2], domain_size=4)
+        assert list(fv) == [1, 1, 3, 0]
+
+    def test_from_items_empty(self):
+        fv = FrequencyVector.from_items([], domain_size=5)
+        assert fv.total == 0
+        assert fv.domain_size == 5
+
+    def test_from_items_out_of_domain(self):
+        with pytest.raises(DomainError):
+            FrequencyVector.from_items([0, 5], domain_size=5)
+        with pytest.raises(DomainError):
+            FrequencyVector.from_items([-1], domain_size=5)
+
+    def test_counts_are_read_only(self):
+        fv = FrequencyVector([1, 2])
+        with pytest.raises(ValueError):
+            fv.counts[0] = 9
+
+    def test_input_copy_protects_against_mutation(self):
+        raw = np.array([1, 2, 3])
+        fv = FrequencyVector(raw)
+        raw[0] = 99
+        assert fv[0] == 1
+
+    def test_zeros(self):
+        fv = FrequencyVector.zeros(4)
+        assert fv.total == 0 and fv.domain_size == 4
+
+
+class TestMoments:
+    def test_power_sums_small(self, small_f):
+        counts = list(small_f)
+        for order in range(1, 5):
+            assert small_f.power_sum(order) == sum(c**order for c in counts)
+
+    def test_power_sum_zero_is_support(self, small_f):
+        assert small_f.power_sum(0) == small_f.support_size
+
+    def test_power_sum_rejects_negative_order(self, small_f):
+        with pytest.raises(ValueError):
+            small_f.power_sum(-1)
+
+    def test_f_properties(self, small_f):
+        assert small_f.f1 == small_f.power_sum(1)
+        assert small_f.f2 == small_f.power_sum(2)
+        assert small_f.f3 == small_f.power_sum(3)
+        assert small_f.f4 == small_f.power_sum(4)
+
+    def test_no_overflow_on_large_counts(self):
+        big = 2**40
+        fv = FrequencyVector(np.array([big, big]))
+        assert fv.f4 == 2 * big**4  # would overflow int64 by far
+
+    def test_self_join_size(self, small_f):
+        assert small_f.self_join_size() == small_f.f2
+
+
+class TestCrossMoments:
+    def test_join_size(self, small_f, small_g):
+        expected = sum(a * b for a, b in zip(small_f, small_g))
+        assert small_f.join_size(small_g) == expected
+
+    def test_cross_power_sum_orders(self, small_f, small_g):
+        for a in range(3):
+            for b in range(3):
+                expected = sum(
+                    x**a * y**b for x, y in zip(small_f, small_g)
+                )
+                if a == 0 and b == 0:
+                    expected = small_f.domain_size
+                elif a == 0:
+                    expected = sum(y**b for y in small_g if y > 0) if b else expected
+                elif b == 0:
+                    expected = sum(x**a for x in small_f if x > 0)
+                assert small_f.cross_power_sum(small_g, a, b) == expected
+
+    def test_cross_power_sum_mismatched_domains(self):
+        f = FrequencyVector([1, 2])
+        g = FrequencyVector([1, 2, 3])
+        with pytest.raises(DomainError):
+            f.join_size(g)
+
+    def test_cross_power_sum_large_values_exact(self):
+        big = 2**31
+        f = np.array([big, big])
+        g = np.array([big, 1])
+        assert cross_power_sum(f, g, 2, 2) == big**2 * big**2 + big**2
+        assert cross_power_sum(f, g, 1, 1) == big * big + big
+
+
+class TestDerivedVectors:
+    def test_add(self, small_f, small_g):
+        total = small_f + small_g
+        assert list(total) == [a + b for a, b in zip(small_f, small_g)]
+
+    def test_scaled(self, small_f):
+        doubled = small_f.scaled(2)
+        assert list(doubled) == [2 * c for c in small_f]
+        with pytest.raises(ValueError):
+            small_f.scaled(-1)
+
+    def test_probabilities_sum_to_one(self, small_f):
+        probabilities = small_f.probabilities()
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_probabilities_of_empty_raise(self):
+        with pytest.raises(DomainError):
+            FrequencyVector.zeros(3).probabilities()
+
+    def test_to_items_round_trip(self, small_f):
+        items = small_f.to_items()
+        back = FrequencyVector.from_items(items, small_f.domain_size)
+        assert back == small_f
+
+    def test_equality_and_hash(self, small_f):
+        clone = FrequencyVector(small_f.counts)
+        assert clone == small_f
+        assert hash(clone) == hash(small_f)
+        assert small_f != FrequencyVector.zeros(small_f.domain_size)

@@ -1,0 +1,113 @@
+"""Polynomial hash families: ranges, determinism, statistical uniformity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DomainError
+from repro.hashing import MERSENNE_P31, BucketHashFamily, PolynomialHashFamily
+
+
+class TestPolynomialHashFamily:
+    def test_output_shape_and_range(self):
+        family = PolynomialHashFamily(4, rows=3, seed=1)
+        values = family(np.arange(100))
+        assert values.shape == (3, 100)
+        assert values.max() < MERSENNE_P31
+
+    def test_deterministic_given_seed(self):
+        keys = np.arange(50)
+        a = PolynomialHashFamily(2, 2, seed=5)(keys)
+        b = PolynomialHashFamily(2, 2, seed=5)(keys)
+        assert np.array_equal(a, b)
+
+    def test_rows_differ(self):
+        family = PolynomialHashFamily(2, 2, seed=5)
+        values = family(np.arange(1000))
+        assert not np.array_equal(values[0], values[1])
+
+    def test_evaluate_row_matches_call(self):
+        family = PolynomialHashFamily(3, 4, seed=9)
+        keys = np.arange(64)
+        full = family(keys)
+        for row in range(4):
+            assert np.array_equal(family.evaluate_row(row, keys), full[row])
+
+    def test_evaluate_row_out_of_range(self):
+        family = PolynomialHashFamily(2, 2, seed=5)
+        with pytest.raises(IndexError):
+            family.evaluate_row(2, np.arange(4))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PolynomialHashFamily(0, 1)
+        with pytest.raises(ConfigurationError):
+            PolynomialHashFamily(2, 0)
+
+    def test_rejects_out_of_range_keys(self):
+        family = PolynomialHashFamily(2, 1, seed=1)
+        with pytest.raises(DomainError):
+            family(np.array([-1]))
+        with pytest.raises(DomainError):
+            family(np.array([MERSENNE_P31]))
+        with pytest.raises(DomainError):
+            family(np.array([[1, 2]]))
+        with pytest.raises(DomainError):
+            family(np.array([0.5]))
+
+    def test_empty_keys(self):
+        family = PolynomialHashFamily(2, 2, seed=1)
+        assert family(np.array([], dtype=np.int64)).shape == (2, 0)
+
+    def test_leading_coefficient_nonzero(self):
+        family = PolynomialHashFamily(4, rows=200, seed=3)
+        assert np.all(family.coefficients[:, 0] != 0)
+
+    def test_matches_direct_polynomial(self):
+        family = PolynomialHashFamily(3, 1, seed=13)
+        a2, a1, a0 = (int(c) for c in family.coefficients[0])
+        keys = np.array([0, 1, 12345, 10**6])
+        expected = [
+            ((a2 * x + a1) * x + a0) % MERSENNE_P31 for x in keys.tolist()
+        ]
+        assert family.evaluate_row(0, keys).tolist() == expected
+
+    def test_pairwise_uniformity_chi_square(self):
+        # 2-universal family should spread sequential keys uniformly.
+        family = PolynomialHashFamily(2, 1, seed=77)
+        values = family.evaluate_row(0, np.arange(20_000))
+        bins = (values % np.uint64(16)).astype(int)
+        counts = np.bincount(bins, minlength=16)
+        expected = 20_000 / 16
+        chi2 = ((counts - expected) ** 2 / expected).sum()
+        # 15 dof; 99.9th percentile ~ 37.7
+        assert chi2 < 45
+
+
+class TestBucketHashFamily:
+    def test_range(self):
+        family = BucketHashFamily(buckets=10, rows=3, seed=2)
+        buckets = family(np.arange(1000))
+        assert buckets.min() >= 0
+        assert buckets.max() < 10
+        assert buckets.dtype == np.int64
+
+    def test_single_row_matches_call(self):
+        family = BucketHashFamily(buckets=7, rows=2, seed=4)
+        keys = np.arange(100)
+        full = family(keys)
+        assert np.array_equal(family.evaluate_row(1, keys), full[1])
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ConfigurationError):
+            BucketHashFamily(0, 1)
+        with pytest.raises(ConfigurationError):
+            BucketHashFamily(MERSENNE_P31, 1)
+
+    def test_bucket_balance(self):
+        family = BucketHashFamily(buckets=64, rows=1, seed=8)
+        buckets = family.evaluate_row(0, np.arange(64 * 500))
+        counts = np.bincount(buckets, minlength=64)
+        expected = 500
+        chi2 = ((counts - expected) ** 2 / expected).sum()
+        # 63 dof; 99.9th percentile ~ 103
+        assert chi2 < 120

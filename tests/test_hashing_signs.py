@@ -1,0 +1,118 @@
+"""±1 families: values, balance, and k-wise independence (empirically)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DomainError
+from repro.hashing import EH3SignFamily, FourWiseSignFamily
+
+FAMILIES = [FourWiseSignFamily, EH3SignFamily]
+
+
+@pytest.mark.parametrize("family_cls", FAMILIES)
+class TestSignFamilyContract:
+    def test_values_are_plus_minus_one(self, family_cls):
+        family = family_cls(rows=3, seed=1)
+        signs = family(np.arange(500))
+        assert signs.shape == (3, 500)
+        assert set(np.unique(signs)) <= {-1, 1}
+
+    def test_deterministic(self, family_cls):
+        keys = np.arange(100)
+        assert np.array_equal(
+            family_cls(2, seed=9)(keys), family_cls(2, seed=9)(keys)
+        )
+
+    def test_evaluate_row_matches_call(self, family_cls):
+        family = family_cls(rows=4, seed=5)
+        keys = np.arange(50)
+        full = family(keys)
+        for row in range(4):
+            assert np.array_equal(family.evaluate_row(row, keys), full[row])
+
+    def test_row_out_of_range(self, family_cls):
+        family = family_cls(rows=2, seed=5)
+        with pytest.raises(IndexError):
+            family.evaluate_row(5, np.arange(3))
+
+    def test_rejects_zero_rows(self, family_cls):
+        with pytest.raises(ConfigurationError):
+            family_cls(rows=0)
+
+    def test_rejects_negative_keys(self, family_cls):
+        family = family_cls(rows=1, seed=1)
+        with pytest.raises(DomainError):
+            family(np.array([-3]))
+
+    def test_roughly_balanced(self, family_cls):
+        family = family_cls(rows=1, seed=31)
+        signs = family.evaluate_row(0, np.arange(20_000)).astype(np.float64)
+        # mean should be within ~5 standard errors of 0
+        assert abs(signs.mean()) < 5 / np.sqrt(20_000)
+
+    def test_rows_decorrelated(self, family_cls):
+        family = family_cls(rows=2, seed=17)
+        signs = family(np.arange(20_000)).astype(np.float64)
+        correlation = (signs[0] * signs[1]).mean()
+        assert abs(correlation) < 5 / np.sqrt(20_000)
+
+
+def _empirical_kwise_bias(family, k: int, n_keys: int) -> float:
+    """Max |E[ξ_{i1}···ξ_{ik}]| over random k-subsets, across many rows.
+
+    For a k-wise independent family the product expectation over *rows* is
+    0 for distinct keys; the empirical mean over R rows has standard error
+    1/sqrt(R).
+    """
+    rows = family.rows
+    keys = np.arange(n_keys)
+    signs = family(keys).astype(np.float64)  # (rows, n_keys)
+    rng = np.random.default_rng(1234)
+    worst = 0.0
+    for _ in range(30):
+        subset = rng.choice(n_keys, size=k, replace=False)
+        product = np.ones(rows)
+        for key in subset:
+            product *= signs[:, key]
+        worst = max(worst, abs(product.mean()))
+    return worst
+
+
+def test_fourwise_family_is_4wise_unbiased():
+    family = FourWiseSignFamily(rows=4000, seed=5)
+    for k in (1, 2, 3, 4):
+        assert _empirical_kwise_bias(family, k, 40) < 6 / np.sqrt(4000)
+
+
+def test_eh3_family_is_3wise_unbiased():
+    family = EH3SignFamily(rows=4000, seed=6)
+    for k in (1, 2, 3):
+        assert _empirical_kwise_bias(family, k, 40) < 6 / np.sqrt(4000)
+
+
+def test_eh3_exact_three_wise_over_small_seed_space():
+    """Exhaustive check of EH3 3-wise independence over all seeds (4 bits).
+
+    With ``bits=4`` the seed space is s0 ∈ {0,1} × S ∈ [0,16): averaging the
+    product ξ(i)ξ(j)ξ(k) over *all* seeds must give exactly 0 for distinct
+    keys — that is the definition of (exact) 3-wise independence for a
+    ±1 family with zero means.
+    """
+    keys = np.arange(16)
+    products = {}
+    total = np.zeros((16, 16, 16))
+    for s0 in (0, 1):
+        for s in range(16):
+            family = EH3SignFamily(rows=1, bits=4)
+            # Overwrite the random seed with the enumerated one.
+            family._s0[0] = s0
+            family._seeds[0] = s
+            signs = family.evaluate_row(0, keys).astype(np.int64)
+            total += (
+                signs[:, None, None] * signs[None, :, None] * signs[None, None, :]
+            )
+    for i, j, k in itertools.combinations(range(16), 3):
+        assert total[i, j, k] == 0, (i, j, k)
+    _ = products

@@ -1,0 +1,158 @@
+"""Point queries and heavy hitters over (sampled) F-AGMS sketches."""
+
+import numpy as np
+import pytest
+
+from repro.core import sketch_over_sample
+from repro.core.heavy_hitters import (
+    HeavyHitter,
+    estimate_frequencies,
+    heavy_hitters,
+)
+from repro.errors import ConfigurationError
+from repro.frequency import FrequencyVector
+from repro.sampling import BernoulliSampler, SampleInfo
+from repro.sketches import FagmsSketch
+from repro.streams import zipf_relation
+
+
+def _full_info(total):
+    return SampleInfo("bernoulli", total, total, probability=1.0)
+
+
+class TestPointEstimates:
+    def test_single_key_no_collision_is_exact(self):
+        fv = FrequencyVector(np.array([0, 9, 0]))
+        sketch = FagmsSketch(buckets=128, rows=3, seed=1)
+        sketch.update_frequency_vector(fv)
+        assert sketch.point_estimate(1) == pytest.approx(9.0)
+        # Other keys: near zero (collisions with key 1 possible but rare).
+        assert abs(sketch.point_estimate(0)) <= 9.0
+
+    @pytest.mark.statistical
+    def test_point_estimates_unbiased(self):
+        fv = FrequencyVector(np.array([30, 5, 0, 12, 7, 1, 0, 20]))
+        trials = 1500
+        estimates = np.zeros((trials, 8))
+        for t in range(trials):
+            sketch = FagmsSketch(buckets=4, rows=1, seed=5_000 + t)
+            sketch.update_frequency_vector(fv)
+            estimates[t] = sketch.estimate_frequencies(np.arange(8))
+        means = estimates.mean(axis=0)
+        spread = estimates.std(axis=0) / np.sqrt(trials)
+        for key in range(8):
+            assert abs(means[key] - fv[key]) < 5 * max(spread[key], 1e-9)
+
+    def test_median_over_rows_reduces_error(self):
+        relation = zipf_relation(50_000, 2_000, 1.2, seed=2, shuffle_values=False)
+        fv = relation.frequency_vector()
+        keys = np.arange(50)
+        one_row = FagmsSketch(buckets=256, rows=1, seed=3)
+        five_rows = FagmsSketch(buckets=256, rows=5, seed=3)
+        one_row.update_frequency_vector(fv)
+        five_rows.update_frequency_vector(fv)
+        err1 = np.abs(one_row.estimate_frequencies(keys) - fv.counts[keys]).mean()
+        err5 = np.abs(five_rows.estimate_frequencies(keys) - fv.counts[keys]).mean()
+        assert err5 < err1
+
+
+class TestAgmsPointEstimates:
+    def test_single_value_exact(self):
+        from repro.sketches import AgmsSketch
+
+        fv = FrequencyVector(np.array([0, 13, 0]))
+        sketch = AgmsSketch(rows=9, seed=21)
+        sketch.update_frequency_vector(fv)
+        # With a single-value stream, ξ(key)·S = ξ(key)²·13 = 13 per row.
+        assert sketch.point_estimate(1) == pytest.approx(13.0)
+
+    @pytest.mark.statistical
+    def test_unbiased(self):
+        from repro.sketches import AgmsSketch
+
+        fv = FrequencyVector(np.array([30, 5, 0, 12]))
+        trials = 1200
+        estimates = np.zeros((trials, 4))
+        for t in range(trials):
+            sketch = AgmsSketch(rows=1, seed=30_000 + t)
+            sketch.update_frequency_vector(fv)
+            estimates[t] = sketch.estimate_frequencies(np.arange(4))
+        means = estimates.mean(axis=0)
+        spread = estimates.std(axis=0) / np.sqrt(trials)
+        for key in range(4):
+            assert abs(means[key] - fv[key]) < 5 * max(spread[key], 1e-9)
+
+    def test_noisier_than_fagms_at_equal_budget(self):
+        from repro.sketches import AgmsSketch
+
+        relation = zipf_relation(30_000, 1_000, 1.0, seed=22)
+        fv = relation.frequency_vector()
+        keys = np.arange(30)
+        agms = AgmsSketch(rows=256, seed=23)
+        fagms = FagmsSketch(buckets=256, rows=1, seed=23)
+        agms.update_frequency_vector(fv)
+        fagms.update_frequency_vector(fv)
+        agms_err = np.abs(agms.estimate_frequencies(keys) - fv.counts[keys]).mean()
+        fagms_err = np.abs(
+            fagms.estimate_frequencies(keys) - fv.counts[keys]
+        ).mean()
+        assert fagms_err < agms_err
+
+
+class TestSampledFrequencies:
+    def test_scaling_for_sampled_sketch(self):
+        relation = zipf_relation(100_000, 2_000, 1.5, seed=4, shuffle_values=False)
+        fv = relation.frequency_vector()
+        sketch = FagmsSketch(buckets=4096, rows=3, seed=5)
+        info = sketch_over_sample(relation, BernoulliSampler(0.1), sketch, seed=6)
+        top_keys = np.argsort(fv.counts)[::-1][:5].astype(np.int64)
+        estimates = estimate_frequencies(sketch, info, top_keys)
+        for key, estimate in zip(top_keys, estimates):
+            assert estimate == pytest.approx(fv[int(key)], rel=0.25)
+
+    def test_full_info_is_identity_scaling(self):
+        fv = FrequencyVector(np.array([0, 50, 0, 0]))
+        sketch = FagmsSketch(buckets=64, rows=3, seed=7)
+        sketch.update_frequency_vector(fv)
+        estimates = estimate_frequencies(sketch, _full_info(fv.total), [1])
+        assert estimates[0] == pytest.approx(50.0)
+
+
+class TestHeavyHitters:
+    def test_finds_true_heavy_hitters(self):
+        relation = zipf_relation(100_000, 5_000, 1.5, seed=8, shuffle_values=False)
+        fv = relation.frequency_vector()
+        sketch = FagmsSketch(buckets=4096, rows=3, seed=9)
+        info = sketch_over_sample(relation, BernoulliSampler(0.2), sketch, seed=10)
+        threshold = 0.01 * len(relation)  # 1%-heavy
+        true_heavy = set(np.flatnonzero(fv.counts >= threshold).tolist())
+        found = heavy_hitters(
+            sketch, info, np.arange(5_000), threshold=threshold
+        )
+        found_keys = {h.key for h in found}
+        # All true heavy hitters found; few spurious ones.
+        assert true_heavy <= found_keys
+        assert len(found_keys - true_heavy) <= max(2, len(true_heavy))
+
+    def test_sorted_descending_and_top(self):
+        fv = FrequencyVector(np.array([100, 0, 50, 0, 200]))
+        sketch = FagmsSketch(buckets=256, rows=3, seed=11)
+        sketch.update_frequency_vector(fv)
+        info = _full_info(fv.total)
+        found = heavy_hitters(sketch, info, np.arange(5), threshold=10)
+        assert [h.key for h in found] == [4, 0, 2]
+        top2 = heavy_hitters(sketch, info, np.arange(5), threshold=10, top=2)
+        assert [h.key for h in top2] == [4, 0]
+        assert isinstance(found[0], HeavyHitter)
+
+    def test_empty_candidates(self):
+        sketch = FagmsSketch(buckets=8, rows=1, seed=12)
+        assert heavy_hitters(sketch, _full_info(1), [], threshold=1) == []
+
+    def test_validation(self):
+        sketch = FagmsSketch(buckets=8, rows=1, seed=13)
+        info = _full_info(10)
+        with pytest.raises(ConfigurationError):
+            heavy_hitters(sketch, info, [1], threshold=-1)
+        with pytest.raises(ConfigurationError):
+            heavy_hitters(sketch, info, [1], threshold=1, top=0)

@@ -1,0 +1,115 @@
+"""Generative-model (i.i.d. stream) estimation — Section VI-B."""
+
+import numpy as np
+import pytest
+
+from repro.core import GenerativeModelEstimator
+from repro.errors import ConfigurationError, InsufficientDataError
+from repro.sketches import FagmsSketch
+from repro.streams import zipf_relation
+
+
+@pytest.fixture
+def population():
+    return zipf_relation(20_000, 1_000, skew=1.0, seed=30)
+
+
+def _iid_stream(population, size, seed):
+    rng = np.random.default_rng(seed)
+    return rng.choice(population.keys, size=size, replace=True)
+
+
+def test_rejects_bad_population_size():
+    with pytest.raises(ConfigurationError):
+        GenerativeModelEstimator(0, FagmsSketch(16, seed=1))
+
+
+def test_info_requires_consumption(population):
+    estimator = GenerativeModelEstimator(len(population), FagmsSketch(64, seed=1))
+    with pytest.raises(InsufficientDataError):
+        estimator.info()
+
+
+def test_info_fields(population):
+    estimator = GenerativeModelEstimator(len(population), FagmsSketch(64, seed=1))
+    estimator.consume(_iid_stream(population, 500, 1))
+    info = estimator.info()
+    assert info.scheme == "with_replacement"
+    assert info.population_size == len(population)
+    assert info.sample_size == 500
+    assert estimator.consumed == 500
+
+
+def test_consumption_accumulates(population):
+    estimator = GenerativeModelEstimator(len(population), FagmsSketch(64, seed=1))
+    estimator.consume(_iid_stream(population, 300, 1))
+    estimator.consume(_iid_stream(population, 200, 2))
+    assert estimator.consumed == 500
+
+
+def test_self_join_needs_two_samples(population):
+    estimator = GenerativeModelEstimator(len(population), FagmsSketch(64, seed=1))
+    estimator.consume(_iid_stream(population, 1, 1))
+    with pytest.raises(InsufficientDataError):
+        estimator.self_join_size()
+
+
+def test_self_join_estimate_close(population):
+    estimator = GenerativeModelEstimator(len(population), FagmsSketch(2048, seed=2))
+    estimator.consume(_iid_stream(population, 5_000, 3))
+    truth = population.self_join_size()
+    assert estimator.self_join_size() == pytest.approx(truth, rel=0.35)
+
+
+def test_join_estimate_between_models():
+    population_f = zipf_relation(20_000, 1_000, 1.0, seed=31, shuffle_values=False)
+    population_g = zipf_relation(20_000, 1_000, 1.0, seed=32, shuffle_values=False)
+    sketch = FagmsSketch(2048, seed=3)
+    estimator_f = GenerativeModelEstimator(len(population_f), sketch)
+    estimator_g = GenerativeModelEstimator(len(population_g), sketch.copy_empty())
+    estimator_f.consume(_iid_stream(population_f, 5_000, 4))
+    estimator_g.consume(_iid_stream(population_g, 4_000, 5))
+    truth = population_f.join_size(population_g)
+    assert estimator_f.join_size(estimator_g) == pytest.approx(truth, rel=0.5)
+
+
+def test_density_views(population):
+    estimator = GenerativeModelEstimator(len(population), FagmsSketch(2048, seed=6))
+    estimator.consume(_iid_stream(population, 5_000, 7))
+    n = len(population)
+    assert estimator.second_moment_density() == pytest.approx(
+        estimator.self_join_size() / n**2
+    )
+    other = GenerativeModelEstimator(
+        len(population), FagmsSketch(2048, seed=6)
+    )
+    other.consume(_iid_stream(population, 5_000, 8))
+    assert estimator.join_density(other) == pytest.approx(
+        estimator.join_size(other) / n**2
+    )
+
+
+def test_density_estimates_collision_probability(population):
+    """Σρᵢ² is the probability two i.i.d. draws collide — check empirically."""
+    estimator = GenerativeModelEstimator(len(population), FagmsSketch(4096, seed=9))
+    estimator.consume(_iid_stream(population, 20_000, 10))
+    probabilities = population.frequency_vector().probabilities()
+    true_collision = float((probabilities**2).sum())
+    assert estimator.second_moment_density() == pytest.approx(
+        true_collision, rel=0.3
+    )
+
+
+@pytest.mark.statistical
+def test_estimator_unbiased_over_trials(population):
+    truth = population.self_join_size()
+    estimates = []
+    for seed in range(50):
+        estimator = GenerativeModelEstimator(
+            len(population), FagmsSketch(512, seed=4000 + seed)
+        )
+        estimator.consume(_iid_stream(population, 2_000, 900 + seed))
+        estimates.append(estimator.self_join_size())
+    mean = np.mean(estimates)
+    standard_error = np.std(estimates) / np.sqrt(len(estimates))
+    assert abs(mean - truth) < 5 * standard_error

@@ -1,0 +1,101 @@
+"""Shedding-rate planner: monotonicity, targets, empirical validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import plan_shedding_rate, predict_relative_error
+from repro.errors import ConfigurationError, EstimationError
+from repro.frequency import FrequencyVector
+from repro.streams.synthetic import zipf_frequency_vector
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return zipf_frequency_vector(50_000, 2_000, 1.0, seed=80, shuffle_values=False)
+
+
+class TestPrediction:
+    def test_error_monotone_in_p(self, workload):
+        errors = [
+            predict_relative_error(workload, p, 1000)
+            for p in (0.001, 0.01, 0.1, 1.0)
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_error_monotone_in_n(self, workload):
+        errors = [
+            predict_relative_error(workload, 0.1, n) for n in (100, 1_000, 10_000)
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_join_mode(self, workload):
+        other = zipf_frequency_vector(
+            50_000, 2_000, 1.0, seed=81, shuffle_values=False
+        )
+        error = predict_relative_error(workload, 0.1, 1000, g=other)
+        assert 0 < error < 1
+
+    def test_validation(self, workload):
+        with pytest.raises(ConfigurationError):
+            predict_relative_error(workload, 0.0, 1000)
+        with pytest.raises(ConfigurationError):
+            predict_relative_error(workload, 0.5, 0)
+        with pytest.raises(EstimationError):
+            predict_relative_error(FrequencyVector.zeros(4), 0.5, 10)
+
+
+class TestPlanner:
+    def test_plan_meets_target(self, workload):
+        plan = plan_shedding_rate(workload, target_error=0.1, n=1000)
+        assert plan.predicted_error <= 0.1
+        assert 0 < plan.keep_probability <= 1
+        assert plan.speedup == pytest.approx(1 / plan.keep_probability)
+
+    def test_plan_is_nearly_tight(self, workload):
+        """A slightly smaller p than recommended should miss the target."""
+        plan = plan_shedding_rate(workload, target_error=0.1, n=1000)
+        if plan.keep_probability > 2e-6:
+            worse = predict_relative_error(
+                workload, plan.keep_probability * 0.8, 1000
+            )
+            assert worse > 0.1 * 0.95
+
+    def test_looser_target_allows_more_shedding(self, workload):
+        tight = plan_shedding_rate(workload, target_error=0.08, n=1000)
+        loose = plan_shedding_rate(workload, target_error=0.3, n=1000)
+        assert loose.keep_probability < tight.keep_probability
+        assert loose.speedup > tight.speedup
+
+    def test_unreachable_target_raises(self, workload):
+        with pytest.raises(EstimationError):
+            plan_shedding_rate(workload, target_error=1e-9, n=10)
+
+    def test_bad_target_rejected(self, workload):
+        with pytest.raises(ConfigurationError):
+            plan_shedding_rate(workload, target_error=0.0, n=100)
+
+    @pytest.mark.statistical
+    def test_plan_holds_empirically(self, workload):
+        """Run the real pipeline at the planned rate: the observed error
+        should violate the (confidence-level) target rarely."""
+        from repro.core import estimate_self_join_size, sketch_over_sample
+        from repro.sampling import BernoulliSampler
+        from repro.sketches import FagmsSketch
+
+        n = 1000
+        plan = plan_shedding_rate(
+            workload, target_error=0.1, n=n, confidence=0.95
+        )
+        truth = workload.f2
+        violations = 0
+        trials = 40
+        for seed in range(trials):
+            sketch = FagmsSketch(n, seed=600 + seed)
+            info = sketch_over_sample(
+                workload, BernoulliSampler(plan.keep_probability), sketch, seed=seed
+            )
+            estimate = estimate_self_join_size(sketch, info).value
+            if abs(estimate - truth) / truth > 0.1:
+                violations += 1
+        # 95% confidence → ~5% violations expected; allow up to 15%.
+        assert violations <= 6

@@ -1,0 +1,80 @@
+"""SampleInfo validation and the coefficients dataclass."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sampling import SampleInfo, SamplingCoefficients
+
+
+class TestSampleInfo:
+    def test_bernoulli_requires_probability(self):
+        with pytest.raises(ConfigurationError):
+            SampleInfo("bernoulli", 100, 10)
+        with pytest.raises(ConfigurationError):
+            SampleInfo("bernoulli", 100, 10, probability=0.0)
+        with pytest.raises(ConfigurationError):
+            SampleInfo("bernoulli", 100, 10, probability=1.2)
+        info = SampleInfo("bernoulli", 100, 10, probability=0.1)
+        assert info.fraction == pytest.approx(0.1)
+
+    def test_fixed_size_rejects_probability(self):
+        with pytest.raises(ConfigurationError):
+            SampleInfo("with_replacement", 100, 10, probability=0.1)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            SampleInfo("stratified", 100, 10)
+
+    def test_negative_sizes(self):
+        with pytest.raises(ConfigurationError):
+            SampleInfo("with_replacement", -1, 5)
+
+    def test_wor_cannot_exceed_population(self):
+        with pytest.raises(ConfigurationError):
+            SampleInfo("without_replacement", 10, 11)
+        # WR may exceed (replacement)
+        SampleInfo("with_replacement", 10, 11)
+
+    def test_fraction_of_empty_population(self):
+        info = SampleInfo("with_replacement", 0, 0)
+        assert info.fraction == 0.0
+
+    def test_coefficients_round_trip(self):
+        info = SampleInfo("without_replacement", 100, 10)
+        coefficients = info.coefficients()
+        assert coefficients.sample_size == 10
+        assert coefficients.population_size == 100
+
+
+class TestSamplingCoefficients:
+    def test_exact_values(self):
+        c = SamplingCoefficients(sample_size=10, population_size=40)
+        assert c.alpha == Fraction(1, 4)
+        assert c.alpha1 == Fraction(9, 39)
+        assert c.alpha2 == Fraction(9, 40)
+
+    def test_full_sample(self):
+        c = SamplingCoefficients(40, 40)
+        assert c.alpha == 1
+        assert c.alpha1 == 1
+        assert c.alpha2 == Fraction(39, 40)
+
+    def test_as_floats(self):
+        c = SamplingCoefficients(10, 40)
+        alpha, alpha1, alpha2 = c.as_floats()
+        assert alpha == pytest.approx(0.25)
+        assert alpha1 == pytest.approx(9 / 39)
+        assert alpha2 == pytest.approx(0.225)
+
+    def test_alpha1_undefined_for_singleton_population(self):
+        c = SamplingCoefficients(1, 1)
+        with pytest.raises(ConfigurationError):
+            _ = c.alpha1
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            SamplingCoefficients(0, 10)
+        with pytest.raises(ConfigurationError):
+            SamplingCoefficients(1, 0)

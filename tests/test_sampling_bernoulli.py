@@ -1,0 +1,103 @@
+"""Bernoulli sampler: both paths, skip-lengths, statistical behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.frequency import FrequencyVector
+from repro.sampling import BernoulliSampler, bernoulli_skip_lengths
+
+
+def test_rejects_bad_probability():
+    for p in (0.0, -0.1, 1.5):
+        with pytest.raises(ConfigurationError):
+            BernoulliSampler(p)
+
+
+def test_p_one_keeps_everything():
+    sampler = BernoulliSampler(1.0)
+    keys = np.arange(100)
+    sampled, info = sampler.sample_items(keys, seed=1)
+    assert np.array_equal(sampled, keys)
+    assert info.sample_size == 100
+    fv = FrequencyVector([3, 1, 2])
+    sample, info = sampler.sample_frequencies(fv, seed=1)
+    assert sample == fv
+
+
+def test_info_fields(rng):
+    sampler = BernoulliSampler(0.25)
+    sampled, info = sampler.sample_items(np.arange(1000), rng)
+    assert info.scheme == "bernoulli"
+    assert info.population_size == 1000
+    assert info.sample_size == sampled.size
+    assert info.probability == 0.25
+
+
+def test_sample_items_subset_preserving_order(rng):
+    keys = np.arange(1000) * 3
+    sampled, _ = BernoulliSampler(0.3).sample_items(keys, rng)
+    assert np.all(np.diff(sampled) > 0)  # order preserved
+    assert np.all(sampled % 3 == 0)
+
+
+def test_sample_frequencies_bounded_by_base(rng):
+    fv = FrequencyVector(rng.integers(0, 20, size=50))
+    sample, _ = BernoulliSampler(0.4).sample_frequencies(fv, rng)
+    assert np.all(sample.counts <= fv.counts)
+
+
+@pytest.mark.statistical
+def test_sample_size_concentration():
+    sampler = BernoulliSampler(0.2)
+    sizes = [
+        sampler.sample_items(np.arange(5000), seed=s)[1].sample_size
+        for s in range(50)
+    ]
+    # Binomial(5000, 0.2): mean 1000, sd ~28; mean of 50 draws within 5 SE.
+    assert abs(np.mean(sizes) - 1000) < 5 * 28 / np.sqrt(50)
+
+
+@pytest.mark.statistical
+def test_frequency_path_matches_item_path_distribution():
+    """Both sampling paths give the same (binomial) per-value distribution."""
+    fv = FrequencyVector([200, 100, 50])
+    relation_keys = fv.to_items()
+    sampler = BernoulliSampler(0.3)
+    trials = 400
+    items_means = np.zeros(3)
+    freq_means = np.zeros(3)
+    for s in range(trials):
+        sampled, _ = sampler.sample_items(relation_keys, seed=1000 + s)
+        items_means += np.bincount(sampled, minlength=3)
+        sample, _ = sampler.sample_frequencies(fv, seed=2000 + s)
+        freq_means += sample.counts
+    items_means /= trials
+    freq_means /= trials
+    expected = 0.3 * fv.counts
+    assert np.allclose(items_means, expected, rtol=0.1)
+    assert np.allclose(freq_means, expected, rtol=0.1)
+
+
+class TestSkipLengths:
+    def test_p_one_gives_zero_gaps(self):
+        assert np.all(bernoulli_skip_lengths(1.0, 10, seed=1) == 0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            bernoulli_skip_lengths(0.0, 5)
+        with pytest.raises(ConfigurationError):
+            bernoulli_skip_lengths(0.5, -1)
+
+    def test_gap_support(self):
+        gaps = bernoulli_skip_lengths(0.5, 1000, seed=2)
+        assert gaps.min() >= 0
+
+    @pytest.mark.statistical
+    def test_gap_distribution_geometric(self):
+        p = 0.25
+        gaps = bernoulli_skip_lengths(p, 100_000, seed=3)
+        # E[gap] = (1-p)/p = 3
+        assert np.mean(gaps) == pytest.approx((1 - p) / p, rel=0.05)
+        # P(gap = 0) = p
+        assert np.mean(gaps == 0) == pytest.approx(p, abs=0.01)

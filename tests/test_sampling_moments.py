@@ -1,0 +1,225 @@
+"""Factorial-moment machinery vs. brute-force enumeration.
+
+These tests are the backbone of the reproduction's correctness: they verify
+the product-form factorial-moment identity (module docstring of
+``repro.sampling.moments``) against *exact enumeration* of the three
+sampling distributions on tiny inputs.
+"""
+
+from fractions import Fraction
+from itertools import product
+from math import comb, factorial
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.frequency import FrequencyVector
+from repro.sampling.moments import (
+    BernoulliMoments,
+    WithReplacementMoments,
+    WithoutReplacementMoments,
+    falling_factorial,
+    falling_factorial_array,
+    power_array,
+)
+
+COUNTS = np.array([2, 1, 3])
+FV = FrequencyVector(COUNTS)
+
+
+# ----------------------------------------------------------------------
+# Exact enumerations of the three sampling distributions
+# ----------------------------------------------------------------------
+
+
+def enumerate_bernoulli(counts, p):
+    """All sample-frequency outcomes with exact probabilities."""
+    for combo in product(*[range(c + 1) for c in counts]):
+        probability = Fraction(1)
+        for total, kept in zip(counts, combo):
+            probability *= comb(total, kept) * p**kept * (1 - p) ** (total - kept)
+        yield np.array(combo), probability
+
+
+def enumerate_multinomial(counts, m):
+    """All WR sample-frequency outcomes for sample size m."""
+    total = int(sum(counts))
+    for combo in product(*[range(m + 1) for _ in counts]):
+        if sum(combo) != m:
+            continue
+        probability = Fraction(factorial(m))
+        for count, kept in zip(counts, combo):
+            probability *= Fraction(count, total) ** kept / factorial(kept)
+        yield np.array(combo), probability
+
+
+def enumerate_hypergeometric(counts, m):
+    """All WOR sample-frequency outcomes for sample size m."""
+    total = int(sum(counts))
+    denominator = comb(total, m)
+    for combo in product(*[range(min(c, m) + 1) for c in counts]):
+        if sum(combo) != m:
+            continue
+        numerator = 1
+        for count, kept in zip(counts, combo):
+            numerator *= comb(count, kept)
+        yield np.array(combo), Fraction(numerator, denominator)
+
+
+def expectation(states, fn):
+    return sum(probability * fn(sample) for sample, probability in states)
+
+
+MODELS_AND_ENUMERATIONS = [
+    (
+        BernoulliMoments(Fraction(1, 3)),
+        list(enumerate_bernoulli(COUNTS, Fraction(1, 3))),
+    ),
+    (
+        WithReplacementMoments(4, int(COUNTS.sum())),
+        list(enumerate_multinomial(COUNTS, 4)),
+    ),
+    (
+        WithoutReplacementMoments(4, int(COUNTS.sum())),
+        list(enumerate_hypergeometric(COUNTS, 4)),
+    ),
+]
+
+
+@pytest.mark.parametrize("model,states", MODELS_AND_ENUMERATIONS)
+class TestAgainstEnumeration:
+    def test_probabilities_sum_to_one(self, model, states):
+        assert sum(probability for _, probability in states) == 1
+
+    def test_raw_moments(self, model, states):
+        for order in (1, 2, 3, 4):
+            truth = expectation(
+                states, lambda s, r=order: sum(int(x) ** r for x in s)
+            )
+            computed = model.sum_raw_moment(COUNTS, order, exact=True)
+            assert computed == truth, f"order {order}"
+
+    def test_marginal_factorial_moments(self, model, states):
+        for order in (1, 2, 3, 4):
+            for index in range(COUNTS.size):
+                truth = expectation(
+                    states,
+                    lambda s, i=index, k=order: falling_factorial(int(s[i]), k),
+                )
+                u = model.u_array(COUNTS, order, exact=True)[index]
+                assert model.kappa(order) * u == truth, (order, index)
+
+    def test_joint_factorial_moments_product_form(self, model, states):
+        """E[(f'_i)_(a) (f'_j)_(b)] = κ_{a+b} u_a(f_i) u_b(f_j) for i≠j."""
+        for a in (1, 2):
+            for b in (1, 2):
+                for i in range(COUNTS.size):
+                    for j in range(COUNTS.size):
+                        if i == j:
+                            continue
+                        truth = expectation(
+                            states,
+                            lambda s, i=i, j=j, a=a, b=b: falling_factorial(
+                                int(s[i]), a
+                            )
+                            * falling_factorial(int(s[j]), b),
+                        )
+                        ua = model.u_array(COUNTS, a, exact=True)[i]
+                        ub = model.u_array(COUNTS, b, exact=True)[j]
+                        assert model.kappa(a + b) * ua * ub == truth
+
+    def test_offdiag_joint_sums(self, model, states):
+        for a, b in ((1, 1), (2, 1), (2, 2)):
+            truth = expectation(
+                states,
+                lambda s, a=a, b=b: sum(
+                    int(s[i]) ** a * int(s[j]) ** b
+                    for i in range(s.size)
+                    for j in range(s.size)
+                    if i != j
+                ),
+            )
+            assert model.offdiag_joint_sum(COUNTS, a, b, exact=True) == truth
+
+
+# ----------------------------------------------------------------------
+# Utility functions
+# ----------------------------------------------------------------------
+
+
+class TestUtilities:
+    def test_falling_factorial_values(self):
+        assert falling_factorial(5, 0) == 1
+        assert falling_factorial(5, 1) == 5
+        assert falling_factorial(5, 3) == 60
+        assert falling_factorial(2, 3) == 0  # vanishes past x
+        with pytest.raises(ConfigurationError):
+            falling_factorial(5, -1)
+
+    def test_falling_factorial_array_both_modes(self):
+        counts = np.array([0, 1, 4])
+        exact = falling_factorial_array(counts, 2, exact=True)
+        assert exact.tolist() == [0, 0, 12]
+        floats = falling_factorial_array(counts, 2, exact=False)
+        assert floats.tolist() == [0.0, 0.0, 12.0]
+
+    def test_power_array_both_modes(self):
+        counts = np.array([0, 2, 3])
+        assert power_array(counts, 3, exact=True).tolist() == [0, 8, 27]
+        assert power_array(counts, 0, exact=False).tolist() == [1.0, 1.0, 1.0]
+
+    def test_float_mode_matches_exact_mode(self):
+        model = WithoutReplacementMoments(4, int(COUNTS.sum()))
+        for order in (1, 2, 3, 4):
+            exact = float(model.sum_raw_moment(COUNTS, order, exact=True))
+            floats = model.sum_raw_moment(COUNTS, order, exact=False)
+            assert floats == pytest.approx(exact, rel=1e-12)
+        for a, b in ((1, 1), (2, 2)):
+            exact = float(model.offdiag_joint_sum(COUNTS, a, b, exact=True))
+            floats = model.offdiag_joint_sum(COUNTS, a, b, exact=False)
+            assert floats == pytest.approx(exact, rel=1e-12)
+
+
+class TestParameterValidation:
+    def test_bernoulli_bounds(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliMoments(0)
+        with pytest.raises(ConfigurationError):
+            BernoulliMoments(Fraction(3, 2))
+
+    def test_fixed_size_bounds(self):
+        with pytest.raises(ConfigurationError):
+            WithReplacementMoments(0, 10)
+        with pytest.raises(ConfigurationError):
+            WithReplacementMoments(5, 0)
+        with pytest.raises(ConfigurationError):
+            WithoutReplacementMoments(11, 10)
+
+    def test_raw_moment_order_bounds(self):
+        model = BernoulliMoments(Fraction(1, 2))
+        with pytest.raises(ConfigurationError):
+            model.raw_moment_array(COUNTS, 5)
+        with pytest.raises(ConfigurationError):
+            model.raw_moment_array(COUNTS, 0)
+
+    def test_expectation_scale(self):
+        assert BernoulliMoments(Fraction(1, 4)).expectation_scale(
+            exact=True
+        ) == Fraction(1, 4)
+        assert WithReplacementMoments(5, 20).expectation_scale(
+            exact=True
+        ) == Fraction(1, 4)
+        assert WithoutReplacementMoments(5, 20).expectation_scale(
+            exact=True
+        ) == Fraction(1, 4)
+
+    def test_wor_kappa_zero_when_population_too_small(self):
+        model = WithoutReplacementMoments(2, 2)
+        assert model.kappa(3) == 0
+
+    def test_fv_matches_counts_api(self):
+        """Moment models accept the raw counts of a FrequencyVector."""
+        model = BernoulliMoments(Fraction(1, 2))
+        direct = model.sum_raw_moment(FV.counts, 2, exact=True)
+        assert direct == model.sum_raw_moment(COUNTS, 2, exact=True)

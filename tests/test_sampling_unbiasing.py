@@ -1,0 +1,137 @@
+"""Unbiasing corrections: scales, additive terms, and exact unbiasedness."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ConfigurationError, InsufficientDataError
+from repro.sampling import SampleInfo
+from repro.sampling.moments import (
+    BernoulliMoments,
+    WithReplacementMoments,
+    WithoutReplacementMoments,
+)
+from repro.sampling.unbiasing import join_scale, self_join_correction
+from repro.variance.generic import combined_self_join_expectation
+
+
+def test_join_scale_bernoulli():
+    info_f = SampleInfo("bernoulli", 100, 10, probability=0.25)
+    info_g = SampleInfo("bernoulli", 100, 50, probability=0.5)
+    assert join_scale(info_f, info_g) == Fraction(8)
+
+
+def test_join_scale_fixed_size():
+    info_f = SampleInfo("with_replacement", 100, 10)
+    info_g = SampleInfo("without_replacement", 200, 40)
+    assert join_scale(info_f, info_g) == Fraction(10) * Fraction(5)
+
+
+def test_join_scale_mixed_schemes_compose():
+    info_f = SampleInfo("bernoulli", 100, 20, probability=0.2)
+    info_g = SampleInfo("without_replacement", 100, 25)
+    assert join_scale(info_f, info_g) == Fraction(5) * Fraction(4)
+
+
+def test_join_scale_rejects_empty_fixed_sample():
+    info = SampleInfo("with_replacement", 100, 0)
+    with pytest.raises(InsufficientDataError):
+        join_scale(info, info)
+
+
+class TestSelfJoinCorrection:
+    def test_bernoulli_form(self):
+        info = SampleInfo("bernoulli", 100, 30, probability=0.5)
+        correction = self_join_correction(info)
+        assert correction.scale == 4
+        assert correction.random_coefficient == 2
+        assert correction.constant == 0
+
+    def test_wr_form(self):
+        info = SampleInfo("with_replacement", 40, 10)
+        correction = self_join_correction(info)
+        # scale = 1/(α α₂) = 1/((10/40)(9/40)); constant = N/α₂ = 40/(9/40)
+        assert correction.scale == Fraction(1600, 90)
+        assert correction.random_coefficient == 0
+        assert correction.constant == Fraction(1600, 9)
+
+    def test_wor_form(self):
+        info = SampleInfo("without_replacement", 40, 10)
+        correction = self_join_correction(info)
+        alpha = Fraction(10, 40)
+        alpha1 = Fraction(9, 39)
+        assert correction.scale == 1 / (alpha * alpha1)
+        assert correction.constant == (1 - alpha1) / alpha1 * 40
+
+    def test_fixed_size_needs_two_tuples(self):
+        with pytest.raises(InsufficientDataError):
+            self_join_correction(SampleInfo("with_replacement", 40, 1))
+        with pytest.raises(InsufficientDataError):
+            self_join_correction(SampleInfo("without_replacement", 40, 1))
+
+    def test_bernoulli_allows_tiny_samples(self):
+        # Bernoulli corrections don't divide by |F'| - 1.
+        correction = self_join_correction(
+            SampleInfo("bernoulli", 40, 0, probability=0.01)
+        )
+        assert correction.scale == 10_000
+
+    def test_apply(self):
+        info = SampleInfo("bernoulli", 100, 30, probability=0.5)
+        correction = self_join_correction(info)
+        assert correction.apply(raw_estimate=10.0, sample_size=30) == pytest.approx(
+            4 * 10 - 2 * 30
+        )
+
+
+class TestExactUnbiasedness:
+    """E[corrected estimator] == true aggregate, via the moment models."""
+
+    def test_bernoulli(self, small_f):
+        p = Fraction(2, 7)
+        info = SampleInfo("bernoulli", small_f.total, 3, probability=float(p))
+        correction = self_join_correction(info)
+        model = BernoulliMoments(Fraction(correction.scale) ** Fraction(-1, 2))
+        # Build the model from p directly to stay exact:
+        model = BernoulliMoments(p)
+        expected = combined_self_join_expectation(
+            model,
+            small_f,
+            1 / p**2,
+            correction=(1 - p) / p**2,
+            exact=True,
+        )
+        assert expected == small_f.f2
+
+    def test_wr(self, small_f):
+        info = SampleInfo("with_replacement", small_f.total, 5)
+        correction = self_join_correction(info)
+        model = WithReplacementMoments(5, small_f.total)
+        expected = combined_self_join_expectation(
+            model,
+            small_f,
+            correction.scale,
+            constant=correction.constant,
+            exact=True,
+        )
+        assert expected == small_f.f2
+
+    def test_wor(self, small_f):
+        info = SampleInfo("without_replacement", small_f.total, 5)
+        correction = self_join_correction(info)
+        model = WithoutReplacementMoments(5, small_f.total)
+        expected = combined_self_join_expectation(
+            model,
+            small_f,
+            correction.scale,
+            constant=correction.constant,
+            exact=True,
+        )
+        assert expected == small_f.f2
+
+
+def test_unknown_scheme_rejected():
+    info = SampleInfo("with_replacement", 10, 5)
+    object.__setattr__(info, "scheme", "bogus")
+    with pytest.raises(ConfigurationError):
+        self_join_correction(info)

@@ -1,0 +1,117 @@
+"""Without-replacement sampler and the streaming reservoir."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, InsufficientDataError
+from repro.frequency import FrequencyVector
+from repro.sampling import ReservoirSampler, WithoutReplacementSampler
+
+
+class TestWithoutReplacementSampler:
+    def test_requires_exactly_one_of_size_fraction(self):
+        with pytest.raises(ConfigurationError):
+            WithoutReplacementSampler()
+        with pytest.raises(ConfigurationError):
+            WithoutReplacementSampler(size=2, fraction=0.1)
+
+    def test_rejects_fraction_above_one(self):
+        with pytest.raises(ConfigurationError):
+            WithoutReplacementSampler(fraction=1.5)
+
+    def test_size_cannot_exceed_population(self):
+        sampler = WithoutReplacementSampler(size=10)
+        with pytest.raises(ConfigurationError):
+            sampler.resolve_size(5)
+
+    def test_full_fraction_returns_whole_population(self, rng):
+        keys = np.arange(20)
+        sampled, info = WithoutReplacementSampler(fraction=1.0).sample_items(keys, rng)
+        assert sorted(sampled.tolist()) == keys.tolist()
+        assert info.sample_size == 20
+
+    def test_sample_items_distinct_positions(self, rng):
+        keys = np.arange(100)  # distinct values: multiset sample must be distinct
+        sampled, _ = WithoutReplacementSampler(size=30).sample_items(keys, rng)
+        assert np.unique(sampled).size == 30
+
+    def test_sample_frequencies_bounded_and_exact_total(self, rng):
+        fv = FrequencyVector([5, 0, 7, 3])
+        sample, info = WithoutReplacementSampler(size=6).sample_frequencies(fv, rng)
+        assert sample.total == 6
+        assert np.all(sample.counts <= fv.counts)
+        assert info.scheme == "without_replacement"
+
+    @pytest.mark.statistical
+    def test_frequency_path_is_hypergeometric(self):
+        fv = FrequencyVector([60, 30, 10])
+        sampler = WithoutReplacementSampler(size=50)
+        trials = 2000
+        draws = np.array(
+            [sampler.sample_frequencies(fv, seed=s)[0].counts for s in range(trials)]
+        )
+        n, total = 50, 100
+        expected_mean = n * fv.counts / total
+        finite = (total - n) / (total - 1)
+        expected_var = (
+            n * (fv.counts / total) * (1 - fv.counts / total) * finite
+        )
+        assert np.allclose(draws.mean(axis=0), expected_mean, rtol=0.05)
+        assert np.allclose(draws.var(axis=0), expected_var, rtol=0.2)
+
+
+class TestReservoirSampler:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ReservoirSampler(0)
+
+    def test_holds_everything_below_capacity(self):
+        reservoir = ReservoirSampler(10, seed=1)
+        reservoir.extend([3, 1, 4])
+        assert sorted(reservoir.sample().tolist()) == [1, 3, 4]
+        assert reservoir.seen == 3
+
+    def test_capacity_bound(self):
+        reservoir = ReservoirSampler(5, seed=2)
+        reservoir.extend(np.arange(100))
+        assert reservoir.sample().size == 5
+        assert reservoir.seen == 100
+
+    def test_sample_is_subset_of_stream(self):
+        reservoir = ReservoirSampler(8, seed=3)
+        stream = np.arange(1000) * 2
+        for chunk in np.array_split(stream, 7):
+            reservoir.extend(chunk)
+        assert set(reservoir.sample().tolist()) <= set(stream.tolist())
+
+    def test_info(self):
+        reservoir = ReservoirSampler(5, seed=4)
+        with pytest.raises(InsufficientDataError):
+            reservoir.info()
+        reservoir.extend(np.arange(50))
+        info = reservoir.info()
+        assert info.scheme == "without_replacement"
+        assert info.population_size == 50
+        assert info.sample_size == 5
+
+    def test_rejects_2d_chunk(self):
+        with pytest.raises(ConfigurationError):
+            ReservoirSampler(3).extend(np.ones((2, 2), dtype=np.int64))
+
+    @pytest.mark.statistical
+    def test_uniform_inclusion_probability(self):
+        """Every stream position is retained with probability k/n."""
+        k, n, trials = 10, 100, 3000
+        inclusion = np.zeros(n)
+        for s in range(trials):
+            reservoir = ReservoirSampler(k, seed=s)
+            # feed positions 0..n-1 in uneven chunks to stress chunk logic
+            reservoir.extend(np.arange(0, 37))
+            reservoir.extend(np.arange(37, 41))
+            reservoir.extend(np.arange(41, 100))
+            for kept in reservoir.sample():
+                inclusion[kept] += 1
+        inclusion /= trials
+        expected = k / n
+        standard_error = np.sqrt(expected * (1 - expected) / trials)
+        assert np.all(np.abs(inclusion - expected) < 6 * standard_error)

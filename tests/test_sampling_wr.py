@@ -1,0 +1,86 @@
+"""With-replacement sampler: sizes, multinomial distribution, both paths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.frequency import FrequencyVector
+from repro.sampling import WithReplacementSampler
+
+
+def test_requires_exactly_one_of_size_fraction():
+    with pytest.raises(ConfigurationError):
+        WithReplacementSampler()
+    with pytest.raises(ConfigurationError):
+        WithReplacementSampler(size=5, fraction=0.5)
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ConfigurationError):
+        WithReplacementSampler(size=0)
+    with pytest.raises(ConfigurationError):
+        WithReplacementSampler(fraction=0.0)
+
+
+def test_resolve_size():
+    assert WithReplacementSampler(size=7).resolve_size(100) == 7
+    assert WithReplacementSampler(fraction=0.1).resolve_size(100) == 10
+    assert WithReplacementSampler(fraction=1e-9).resolve_size(100) == 1
+    # WR fractions may exceed 1 (paper's Figs 5-6 sweep beyond the population)
+    assert WithReplacementSampler(fraction=2.0).resolve_size(100) == 200
+    with pytest.raises(ConfigurationError):
+        WithReplacementSampler(size=5).resolve_size(0)
+
+
+def test_sample_items_exact_size_and_membership(rng):
+    keys = np.array([10, 20, 30])
+    sampled, info = WithReplacementSampler(size=50).sample_items(keys, rng)
+    assert sampled.size == 50
+    assert set(sampled.tolist()) <= {10, 20, 30}
+    assert info.scheme == "with_replacement"
+    assert info.sample_size == 50
+    assert info.population_size == 3
+
+
+def test_replacement_allows_oversampling(rng):
+    keys = np.array([5])
+    sampled, _ = WithReplacementSampler(size=10).sample_items(keys, rng)
+    assert np.all(sampled == 5)
+    assert sampled.size == 10
+
+
+def test_sample_frequencies_total_is_sample_size(rng):
+    fv = FrequencyVector([7, 3, 5])
+    sample, info = WithReplacementSampler(size=9).sample_frequencies(fv, rng)
+    assert sample.total == 9
+    assert info.population_size == 15
+
+
+@pytest.mark.statistical
+def test_frequency_path_is_multinomial():
+    """E[f'_i] = m f_i / N and Var matches the multinomial."""
+    fv = FrequencyVector([60, 30, 10])
+    sampler = WithReplacementSampler(size=50)
+    trials = 2000
+    draws = np.array(
+        [sampler.sample_frequencies(fv, seed=s)[0].counts for s in range(trials)]
+    )
+    probabilities = fv.counts / 100
+    expected_mean = 50 * probabilities
+    expected_var = 50 * probabilities * (1 - probabilities)
+    assert np.allclose(draws.mean(axis=0), expected_mean, rtol=0.05)
+    assert np.allclose(draws.var(axis=0), expected_var, rtol=0.2)
+
+
+@pytest.mark.statistical
+def test_item_path_matches_frequency_path():
+    fv = FrequencyVector([60, 30, 10])
+    keys = fv.to_items()
+    sampler = WithReplacementSampler(size=40)
+    trials = 1000
+    item_counts = np.zeros(3)
+    for s in range(trials):
+        sampled, _ = sampler.sample_items(keys, seed=s)
+        item_counts += np.bincount(sampled, minlength=3)
+    item_counts /= trials
+    assert np.allclose(item_counts, 40 * fv.counts / 100, rtol=0.08)

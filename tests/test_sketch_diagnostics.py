@@ -1,0 +1,73 @@
+"""Sketch diagnostics: occupancy, contention, row spread."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sketches import FagmsSketch
+from repro.sketches.diagnostics import (
+    bucket_occupancy,
+    contention_report,
+    row_spread,
+)
+from repro.streams import zipf_relation
+
+
+def test_occupancy_counts_distinct_keys_once():
+    sketch = FagmsSketch(buckets=8, rows=1, seed=1)
+    occupancy = bucket_occupancy(sketch, np.array([3, 3, 3, 5]))
+    assert occupancy.sum() == 2  # two distinct keys
+    assert occupancy.size == 8
+
+
+def test_occupancy_matches_hash_assignment():
+    sketch = FagmsSketch(buckets=16, rows=2, seed=2)
+    keys = np.arange(40)
+    for row in (0, 1):
+        occupancy = bucket_occupancy(sketch, keys, row=row)
+        buckets = sketch._bucket_hash.evaluate_row(row, keys)
+        assert np.array_equal(occupancy, np.bincount(buckets, minlength=16))
+
+
+class TestContentionReport:
+    def test_counts(self):
+        sketch = FagmsSketch(buckets=4, rows=1, seed=3)
+        report = contention_report(sketch, np.arange(12))
+        assert report.distinct_keys == 12
+        assert report.buckets == 4
+        assert report.load_factor == pytest.approx(3.0)
+        assert report.mean_occupancy == pytest.approx(3.0)
+        # Σ occupancy = 12 split over 4 buckets; pairs depends on split but
+        # is minimized at 3+3+3+3 (12 pairs) and maximized at 12+0+0+0 (66).
+        assert 12 <= report.collision_pairs <= 66
+
+    def test_no_contention_when_buckets_dominate(self):
+        sketch = FagmsSketch(buckets=4096, rows=1, seed=4)
+        report = contention_report(sketch, np.arange(20))
+        assert report.max_occupancy <= 2
+        assert report.collision_pairs <= 2
+        assert report.load_factor < 0.01
+
+    def test_collision_pairs_grow_with_load(self):
+        keys = np.arange(2_000)
+        small = contention_report(FagmsSketch(64, rows=1, seed=5), keys)
+        large = contention_report(FagmsSketch(4_096, rows=1, seed=5), keys)
+        assert small.collision_pairs > 20 * large.collision_pairs
+
+
+class TestRowSpread:
+    def test_requires_two_rows(self):
+        with pytest.raises(ConfigurationError):
+            row_spread(FagmsSketch(buckets=8, rows=1, seed=6))
+
+    def test_zero_for_empty_sketch(self):
+        assert row_spread(FagmsSketch(buckets=8, rows=3, seed=7)) == 0.0
+
+    def test_spread_shrinks_with_buckets(self):
+        relation = zipf_relation(30_000, 3_000, 1.0, seed=8)
+        spreads = {}
+        for buckets in (16, 2_048):
+            sketch = FagmsSketch(buckets=buckets, rows=5, seed=9)
+            sketch.update(relation.keys)
+            spreads[buckets] = row_spread(sketch)
+        assert spreads[2_048] < spreads[16]

@@ -1,0 +1,162 @@
+"""AGMS sketch: exactness of counters, unbiasedness, variance, merging."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, IncompatibleSketchError
+from repro.frequency import FrequencyVector
+from repro.sketches import AgmsSketch, join_size, self_join_size
+from repro.variance.sketch import agms_join_variance, agms_self_join_variance
+
+
+def test_counter_matches_definition():
+    """S = Σᵢ fᵢ ξᵢ exactly (Eq. 12)."""
+    sketch = AgmsSketch(rows=5, seed=3)
+    keys = np.array([1, 4, 4, 2, 1, 1])
+    sketch.update(keys)
+    signs = sketch._signs(np.arange(5))
+    fv = FrequencyVector.from_items(keys, 5)
+    expected = signs.astype(np.float64) @ fv.counts.astype(np.float64)
+    assert np.allclose(sketch.counters, expected)
+
+
+def test_update_frequency_vector_equals_item_updates():
+    fv = FrequencyVector([2, 0, 3, 1])
+    a = AgmsSketch(rows=7, seed=11)
+    b = a.copy_empty()
+    a.update(fv.to_items())
+    b.update_frequency_vector(fv)
+    assert np.allclose(a.counters, b.counters)
+
+
+def test_weighted_update_and_deletion():
+    sketch = AgmsSketch(rows=4, seed=2)
+    sketch.update(np.array([0, 1]), np.array([2.0, 5.0]))
+    sketch.update(np.array([0, 1]), np.array([-2.0, -5.0]))
+    assert np.allclose(sketch.counters, 0.0)
+
+
+def test_update_one():
+    a = AgmsSketch(rows=3, seed=6)
+    b = a.copy_empty()
+    a.update_one(2)
+    a.update_one(2)
+    b.update(np.array([2, 2]))
+    assert np.allclose(a.counters, b.counters)
+
+
+def test_merge_is_linear():
+    fv1 = FrequencyVector([1, 2, 0, 1])
+    fv2 = FrequencyVector([0, 1, 3, 2])
+    a = AgmsSketch(rows=6, seed=4)
+    b = a.copy_empty()
+    combined = a.copy_empty()
+    a.update_frequency_vector(fv1)
+    b.update_frequency_vector(fv2)
+    combined.update_frequency_vector(fv1 + fv2)
+    a.merge(b)
+    assert np.allclose(a.counters, combined.counters)
+
+
+def test_merge_requires_same_seed():
+    a = AgmsSketch(rows=3, seed=1)
+    b = AgmsSketch(rows=3, seed=2)
+    with pytest.raises(IncompatibleSketchError):
+        a.merge(b)
+
+
+def test_inner_product_requires_same_shape():
+    a = AgmsSketch(rows=3, seed=1)
+    b = AgmsSketch(rows=4, seed=1)
+    with pytest.raises(IncompatibleSketchError):
+        a.row_inner_products(b)
+
+
+def test_copy_and_clear():
+    sketch = AgmsSketch(rows=3, seed=5)
+    sketch.update(np.array([1, 1, 0]))
+    clone = sketch.copy()
+    assert np.allclose(clone.counters, sketch.counters)
+    clone.clear()
+    assert np.allclose(clone.counters, 0.0)
+    assert not np.allclose(sketch.counters, 0.0)
+
+
+@pytest.mark.statistical
+def test_self_join_unbiased_and_variance(small_f):
+    """Prop 8: E[S²] = F₂ and Var[S²] = 2(F₂² − F₄) over ξ draws."""
+    trials = 3000
+    estimates = np.empty(trials)
+    for t in range(trials):
+        sketch = AgmsSketch(rows=1, seed=1000 + t)
+        sketch.update_frequency_vector(small_f)
+        estimates[t] = sketch.second_moment()
+    truth = small_f.f2
+    theoretical_var = agms_self_join_variance(small_f)
+    standard_error = np.sqrt(theoretical_var / trials)
+    assert abs(estimates.mean() - truth) < 5 * standard_error
+    assert estimates.var() == pytest.approx(theoretical_var, rel=0.25)
+
+
+@pytest.mark.statistical
+def test_join_unbiased_and_variance(small_f, small_g):
+    """Prop 7: E[S·T] = Σfᵢgᵢ and Eq. 14 variance over ξ draws."""
+    trials = 3000
+    estimates = np.empty(trials)
+    for t in range(trials):
+        sketch_f = AgmsSketch(rows=1, seed=5000 + t)
+        sketch_g = sketch_f.copy_empty()
+        sketch_f.update_frequency_vector(small_f)
+        sketch_g.update_frequency_vector(small_g)
+        estimates[t] = join_size(sketch_f, sketch_g)
+    truth = small_f.join_size(small_g)
+    theoretical_var = agms_join_variance(small_f, small_g)
+    standard_error = np.sqrt(theoretical_var / trials)
+    assert abs(estimates.mean() - truth) < 5 * standard_error
+    assert estimates.var() == pytest.approx(theoretical_var, rel=0.25)
+
+
+def test_averaging_reduces_spread(zipf_f):
+    truth = zipf_f.f2
+    few = [
+        _estimate_f2(zipf_f, rows=2, seed=s) for s in range(40)
+    ]
+    many = [
+        _estimate_f2(zipf_f, rows=64, seed=s) for s in range(40)
+    ]
+    err_few = np.mean([abs(e - truth) / truth for e in few])
+    err_many = np.mean([abs(e - truth) / truth for e in many])
+    assert err_many < err_few
+
+
+def _estimate_f2(fv, rows, seed):
+    sketch = AgmsSketch(rows=rows, seed=seed)
+    sketch.update_frequency_vector(fv)
+    return self_join_size(sketch)
+
+
+def test_median_of_means_configuration():
+    sketch = AgmsSketch(rows=12, seed=1, combine="median-of-means", groups=3)
+    sketch.update(np.array([0, 0, 1]))
+    assert sketch.second_moment() >= 0
+    with pytest.raises(ConfigurationError):
+        AgmsSketch(rows=10, combine="median-of-means", groups=3)
+    with pytest.raises(ConfigurationError):
+        AgmsSketch(rows=10, combine="mean", groups=2)
+    with pytest.raises(ConfigurationError):
+        AgmsSketch(rows=10, combine="bogus")
+
+
+def test_eh3_sign_family_variant_works():
+    fv = FrequencyVector([3, 1, 0, 2])
+    sketch = AgmsSketch(rows=200, seed=8, sign_family="eh3")
+    sketch.update_frequency_vector(fv)
+    assert sketch.second_moment() == pytest.approx(fv.f2, rel=0.8)
+    with pytest.raises(ConfigurationError):
+        AgmsSketch(rows=2, sign_family="nope")
+
+
+def test_empty_update_is_noop():
+    sketch = AgmsSketch(rows=3, seed=1)
+    sketch.update(np.array([], dtype=np.int64))
+    assert np.allclose(sketch.counters, 0.0)

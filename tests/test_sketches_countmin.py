@@ -1,0 +1,66 @@
+"""Count-Min: upper-bound semantics and explicit F₂ refusal."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, EstimationError
+from repro.frequency import FrequencyVector
+from repro.sketches import CountMinSketch
+
+
+def test_point_estimates_upper_bound_true_frequencies():
+    fv = FrequencyVector(np.array([5, 0, 3, 7, 1, 0, 2, 4]))
+    sketch = CountMinSketch(buckets=4, rows=3, seed=2)
+    sketch.update_frequency_vector(fv)
+    for key, true_count in enumerate(fv):
+        assert sketch.point_estimate(key) >= true_count
+
+
+def test_point_estimate_exact_when_no_collisions():
+    fv = FrequencyVector(np.array([5, 0, 3]))
+    sketch = CountMinSketch(buckets=512, rows=3, seed=3)
+    sketch.update_frequency_vector(fv)
+    for key, true_count in enumerate(fv):
+        assert sketch.point_estimate(key) == pytest.approx(true_count)
+
+
+def test_inner_product_upper_bounds_join_size(zipf_f, zipf_g):
+    sketch_f = CountMinSketch(buckets=256, rows=3, seed=5)
+    sketch_g = sketch_f.copy_empty()
+    sketch_f.update_frequency_vector(zipf_f)
+    sketch_g.update_frequency_vector(zipf_g)
+    assert sketch_f.inner_product(sketch_g) >= zipf_f.join_size(zipf_g)
+
+
+def test_second_moment_refused():
+    sketch = CountMinSketch(buckets=8, rows=2, seed=1)
+    with pytest.raises(EstimationError):
+        sketch.second_moment()
+
+
+def test_merge_linearity():
+    fv1 = FrequencyVector([1, 2, 0])
+    fv2 = FrequencyVector([0, 1, 3])
+    a = CountMinSketch(buckets=8, rows=2, seed=4)
+    b = a.copy_empty()
+    combined = a.copy_empty()
+    a.update_frequency_vector(fv1)
+    b.update_frequency_vector(fv2)
+    combined.update_frequency_vector(fv1 + fv2)
+    a.merge(b)
+    assert np.allclose(a.counters, combined.counters)
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ConfigurationError):
+        CountMinSketch(buckets=0)
+    with pytest.raises(ConfigurationError):
+        CountMinSketch(buckets=4, rows=0)
+
+
+def test_inner_product_type_check():
+    from repro.sketches import AgmsSketch
+
+    sketch = CountMinSketch(buckets=8, rows=2, seed=1)
+    with pytest.raises(TypeError):
+        sketch.inner_product(AgmsSketch(rows=2, seed=1))

@@ -1,0 +1,132 @@
+"""F-AGMS (Count-Sketch): structure, linearity, estimation quality."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, IncompatibleSketchError
+from repro.frequency import FrequencyVector
+from repro.sketches import AgmsSketch, FagmsSketch, join_size, self_join_size
+
+
+def test_counters_shape_and_single_touch_per_row():
+    sketch = FagmsSketch(buckets=16, rows=3, seed=1)
+    sketch.update(np.array([5]))
+    # Exactly one counter per row is touched, with value ±1.
+    touched = np.abs(sketch.counters).sum(axis=1)
+    assert np.allclose(touched, 1.0)
+
+
+def test_counter_placement_matches_hashes():
+    sketch = FagmsSketch(buckets=8, rows=2, seed=3)
+    keys = np.array([2, 2, 7])
+    sketch.update(keys)
+    for row in range(2):
+        buckets = sketch._bucket_hash.evaluate_row(row, np.array([2, 7]))
+        signs = sketch._signs.evaluate_row(row, np.array([2, 7]))
+        expected = np.zeros(8)
+        expected[buckets[0]] += 2 * signs[0]
+        expected[buckets[1]] += signs[1]
+        assert np.allclose(sketch.counters[row], expected)
+
+
+def test_update_frequency_vector_equals_item_updates():
+    fv = FrequencyVector([2, 0, 3, 1, 4])
+    a = FagmsSketch(buckets=32, rows=2, seed=11)
+    b = a.copy_empty()
+    a.update(fv.to_items())
+    b.update_frequency_vector(fv)
+    assert np.allclose(a.counters, b.counters)
+
+
+def test_merge_is_linear():
+    fv1 = FrequencyVector([1, 2, 0, 1])
+    fv2 = FrequencyVector([0, 1, 3, 2])
+    a = FagmsSketch(buckets=16, rows=2, seed=4)
+    b = a.copy_empty()
+    combined = a.copy_empty()
+    a.update_frequency_vector(fv1)
+    b.update_frequency_vector(fv2)
+    combined.update_frequency_vector(fv1 + fv2)
+    a.merge(b)
+    assert np.allclose(a.counters, combined.counters)
+
+
+def test_incompatible_merges_and_products():
+    a = FagmsSketch(buckets=16, rows=2, seed=4)
+    b = FagmsSketch(buckets=16, rows=2, seed=5)
+    with pytest.raises(IncompatibleSketchError):
+        a.merge(b)
+    with pytest.raises(IncompatibleSketchError):
+        a.row_inner_products(b)
+    agms = AgmsSketch(rows=2, seed=4)
+    with pytest.raises(IncompatibleSketchError):
+        a.merge(agms)
+    with pytest.raises(TypeError):
+        a.inner_product(agms)
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ConfigurationError):
+        FagmsSketch(buckets=0)
+    with pytest.raises(ConfigurationError):
+        FagmsSketch(buckets=8, rows=0)
+    with pytest.raises(ConfigurationError):
+        FagmsSketch(buckets=8, sign_family="nope")
+
+
+@pytest.mark.statistical
+def test_second_moment_unbiased(small_f):
+    """Each F-AGMS row's Σ_b counter² is unbiased for F₂."""
+    trials = 2000
+    estimates = np.empty(trials)
+    for t in range(trials):
+        sketch = FagmsSketch(buckets=4, rows=1, seed=9000 + t)
+        sketch.update_frequency_vector(small_f)
+        estimates[t] = sketch.second_moment()
+    truth = small_f.f2
+    spread = estimates.std() / np.sqrt(trials)
+    assert abs(estimates.mean() - truth) < 5 * max(spread, 1e-9)
+
+
+@pytest.mark.statistical
+def test_inner_product_unbiased(small_f, small_g):
+    trials = 2000
+    estimates = np.empty(trials)
+    for t in range(trials):
+        sketch_f = FagmsSketch(buckets=4, rows=1, seed=12_000 + t)
+        sketch_g = sketch_f.copy_empty()
+        sketch_f.update_frequency_vector(small_f)
+        sketch_g.update_frequency_vector(small_g)
+        estimates[t] = join_size(sketch_f, sketch_g)
+    truth = small_f.join_size(small_g)
+    spread = estimates.std() / np.sqrt(trials)
+    assert abs(estimates.mean() - truth) < 5 * max(spread, 1e-9)
+
+
+def test_accuracy_improves_with_buckets(zipf_f):
+    truth = zipf_f.f2
+    errors = {}
+    for buckets in (8, 512):
+        estimates = []
+        for seed in range(30):
+            sketch = FagmsSketch(buckets=buckets, rows=1, seed=seed)
+            sketch.update_frequency_vector(zipf_f)
+            estimates.append(self_join_size(sketch))
+        errors[buckets] = np.mean([abs(e - truth) / truth for e in estimates])
+    assert errors[512] < errors[8]
+
+
+def test_large_bucket_count_is_nearly_exact_for_sparse_data():
+    """With far more buckets than distinct keys, F₂ is near-exact."""
+    fv = FrequencyVector.from_items(np.arange(20), 20)
+    sketch = FagmsSketch(buckets=4096, rows=1, seed=7)
+    sketch.update_frequency_vector(fv)
+    # 20 distinct keys in 4096 buckets: collisions unlikely, estimate ≈ 20.
+    assert sketch.second_moment() == pytest.approx(20, abs=4)
+
+
+def test_median_combining_over_rows(zipf_f):
+    sketch = FagmsSketch(buckets=64, rows=5, seed=21)
+    sketch.update_frequency_vector(zipf_f)
+    rows = sketch.row_second_moments()
+    assert sketch.second_moment() == pytest.approx(float(np.median(rows)))

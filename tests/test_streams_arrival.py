@@ -1,0 +1,107 @@
+"""Arrival-process simulation: queueing behaviour under shedding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams.arrival import (
+    ServiceModel,
+    poisson_arrivals,
+    simulate_backlog,
+    sustainable_rate,
+)
+
+MODEL = ServiceModel(filter_cost=0.1, sketch_cost=1.0)
+
+
+class TestPoissonArrivals:
+    def test_sorted_within_duration(self):
+        arrivals = poisson_arrivals(100.0, 10.0, seed=1)
+        assert np.all(np.diff(arrivals) >= 0)
+        assert arrivals.min() >= 0 and arrivals.max() < 10.0
+
+    @pytest.mark.statistical
+    def test_mean_count(self):
+        counts = [poisson_arrivals(50.0, 10.0, seed=s).size for s in range(40)]
+        # Poisson(500): sd ~22; mean of 40 within 5 SE.
+        assert abs(np.mean(counts) - 500) < 5 * 22 / np.sqrt(40)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals(0, 1)
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals(1, 0)
+
+
+class TestServiceModel:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServiceModel(filter_cost=-1, sketch_cost=1)
+        with pytest.raises(ConfigurationError):
+            ServiceModel(filter_cost=0, sketch_cost=0)
+
+    def test_sustainable_rate(self):
+        assert sustainable_rate(MODEL, 1.0) == pytest.approx(1 / 1.1)
+        assert sustainable_rate(MODEL, 0.1) == pytest.approx(1 / 0.2)
+        with pytest.raises(ConfigurationError):
+            sustainable_rate(MODEL, 0.0)
+
+    def test_shedding_raises_capacity_toward_filter_limit(self):
+        # As p -> 0 the capacity approaches 1/filter_cost.
+        assert sustainable_rate(MODEL, 0.001) == pytest.approx(
+            1 / (0.1 + 0.001), rel=1e-9
+        )
+
+
+class TestSimulation:
+    def test_underloaded_queue_loses_nothing(self):
+        rate = 0.5 * sustainable_rate(MODEL, 1.0)
+        arrivals = poisson_arrivals(rate, 2_000.0, seed=2)
+        result = simulate_backlog(arrivals, MODEL, 1.0, seed=3)
+        assert result.lost == 0
+        assert result.loss_fraction == 0.0
+        assert result.sketched == result.arrivals
+        assert result.utilization == pytest.approx(0.5, abs=0.1)
+
+    def test_overloaded_queue_loses_tuples(self):
+        rate = 3.0 * sustainable_rate(MODEL, 1.0)
+        arrivals = poisson_arrivals(rate, 2_000.0, seed=4)
+        result = simulate_backlog(
+            arrivals, MODEL, 1.0, buffer_capacity=64, seed=5
+        )
+        assert result.loss_fraction > 0.4
+        assert result.max_backlog == 64
+
+    def test_shedding_rescues_an_overloaded_stream(self):
+        """A stream 3x over capacity at p=1 is comfortably sustainable at
+        p=0.1 — the §VI-A story in queueing terms."""
+        rate = 3.0 * sustainable_rate(MODEL, 1.0)
+        arrivals = poisson_arrivals(rate, 2_000.0, seed=6)
+        overloaded = simulate_backlog(arrivals, MODEL, 1.0, seed=7)
+        shedding = simulate_backlog(arrivals, MODEL, 0.1, seed=7)
+        assert overloaded.loss_fraction > 0.3
+        assert shedding.loss_fraction < 0.01
+        assert shedding.shed > 0  # controlled, analyzable removal
+        assert shedding.sketched < shedding.arrivals
+
+    def test_accounting_adds_up(self):
+        arrivals = poisson_arrivals(5.0, 100.0, seed=8)
+        result = simulate_backlog(
+            arrivals, MODEL, 0.5, buffer_capacity=4, seed=9
+        )
+        assert result.sketched + result.shed + result.lost == result.arrivals
+        assert 0 <= result.utilization <= 1
+
+    def test_validation(self):
+        arrivals = np.array([0.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            simulate_backlog(arrivals, MODEL, 0.0)
+        with pytest.raises(ConfigurationError):
+            simulate_backlog(arrivals, MODEL, 0.5, buffer_capacity=0)
+        with pytest.raises(ConfigurationError):
+            simulate_backlog(np.array([1.0, 0.5]), MODEL, 0.5)
+
+    def test_empty_arrivals(self):
+        result = simulate_backlog(np.array([]), MODEL, 0.5, seed=1)
+        assert result.arrivals == 0
+        assert result.loss_fraction == 0.0

@@ -1,0 +1,107 @@
+"""Relation: construction, views, ground truth, scans."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DomainError
+from repro.frequency import FrequencyVector
+from repro.streams import Relation, iter_chunks
+
+
+class TestConstruction:
+    def test_infers_domain(self):
+        relation = Relation([3, 1, 3])
+        assert relation.domain_size == 4
+        assert len(relation) == 3
+
+    def test_explicit_domain_validated(self):
+        with pytest.raises(DomainError):
+            Relation([5], domain_size=5)
+
+    def test_rejects_negative_keys(self):
+        with pytest.raises(DomainError):
+            Relation([-1])
+
+    def test_rejects_float_keys(self):
+        with pytest.raises(DomainError):
+            Relation(np.array([1.5]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(DomainError):
+            Relation(np.ones((2, 2), dtype=np.int64))
+
+    def test_empty_relation(self):
+        relation = Relation([], domain_size=10)
+        assert len(relation) == 0
+        assert relation.frequency_vector().total == 0
+
+    def test_keys_read_only(self):
+        relation = Relation([1, 2])
+        with pytest.raises(ValueError):
+            relation.keys[0] = 0
+
+    def test_from_frequency_vector_round_trip(self):
+        fv = FrequencyVector([2, 0, 3])
+        relation = Relation.from_frequency_vector(fv)
+        assert relation.frequency_vector() == fv
+        assert list(relation.keys) == [0, 0, 2, 2, 2]
+
+    def test_from_frequency_vector_shuffled(self):
+        fv = FrequencyVector([5, 5, 5])
+        relation = Relation.from_frequency_vector(fv, shuffle=True, seed=1)
+        assert relation.frequency_vector() == fv
+        assert sorted(relation.keys.tolist()) == sorted(fv.to_items().tolist())
+
+
+class TestGroundTruth:
+    def test_self_join_size(self):
+        relation = Relation([0, 0, 1, 2, 2, 2])
+        assert relation.self_join_size() == 4 + 1 + 9
+
+    def test_join_size(self):
+        f = Relation([0, 0, 1], domain_size=3)
+        g = Relation([0, 2, 2], domain_size=3)
+        assert f.join_size(g) == 2  # value 0: 2*1
+
+    def test_join_size_domain_mismatch(self):
+        with pytest.raises(DomainError):
+            Relation([0], domain_size=2).join_size(Relation([0], domain_size=3))
+
+    def test_frequency_vector_cached(self):
+        relation = Relation([1, 1, 0])
+        assert relation.frequency_vector() is relation.frequency_vector()
+
+
+class TestScans:
+    def test_shuffled_preserves_multiset(self):
+        relation = Relation(np.arange(100) % 7)
+        shuffled = relation.shuffled(seed=3)
+        assert sorted(shuffled.keys.tolist()) == sorted(relation.keys.tolist())
+        assert shuffled.domain_size == relation.domain_size
+        assert not np.array_equal(shuffled.keys, relation.keys)
+
+    def test_shuffled_deterministic(self):
+        relation = Relation(np.arange(50))
+        a = relation.shuffled(seed=9).keys
+        b = relation.shuffled(seed=9).keys
+        assert np.array_equal(a, b)
+
+    def test_prefix(self):
+        relation = Relation([4, 2, 0, 1])
+        prefix = relation.prefix(2)
+        assert list(prefix.keys) == [4, 2]
+        assert prefix.domain_size == relation.domain_size
+        with pytest.raises(ConfigurationError):
+            relation.prefix(5)
+        with pytest.raises(ConfigurationError):
+            relation.prefix(-1)
+
+    def test_chunks_cover_stream(self):
+        relation = Relation(np.arange(10))
+        chunks = list(relation.chunks(3))
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+        assert np.array_equal(np.concatenate(chunks), relation.keys)
+
+    def test_iter_chunks_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            list(iter_chunks(np.arange(5), 0))

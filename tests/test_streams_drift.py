@@ -1,0 +1,102 @@
+"""Drift generators: shifted, mixture, multi-phase streams."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams import ZipfDistribution
+from repro.streams.drift import (
+    drifting_stream,
+    mixture_relation,
+    shifted_zipf_relation,
+)
+
+
+class TestShiftedZipf:
+    def test_same_profile_different_keys(self):
+        base = shifted_zipf_relation(20_000, 1_000, 1.5, shift=0, seed=1)
+        moved = shifted_zipf_relation(20_000, 1_000, 1.5, shift=500, seed=1)
+        base_counts = np.sort(base.frequency_vector().counts)
+        moved_counts = np.sort(moved.frequency_vector().counts)
+        # Identical sorted count profiles (same seed, rotated mapping).
+        assert np.array_equal(base_counts, moved_counts)
+        # But tiny overlap: heavy hitters moved away.
+        assert base.join_size(moved) < 0.2 * base.self_join_size()
+
+    def test_shift_wraps_domain(self):
+        relation = shifted_zipf_relation(1_000, 50, 1.0, shift=49, seed=2)
+        assert relation.keys.max() < 50
+
+    def test_shift_validation(self):
+        with pytest.raises(ConfigurationError):
+            shifted_zipf_relation(100, 50, 1.0, shift=50)
+        with pytest.raises(ConfigurationError):
+            shifted_zipf_relation(100, 50, 1.0, shift=-1)
+
+
+class TestMixture:
+    def test_endpoints(self):
+        old = ZipfDistribution(100, 2.0, shuffle_values=False)
+        new = ZipfDistribution(100, 0.0, shuffle_values=False)
+        pure_old = mixture_relation(5_000, old, new, weight=0.0, seed=3)
+        pure_new = mixture_relation(5_000, old, new, weight=1.0, seed=3)
+        # Zipf(2) concentrates mass; uniform does not.
+        assert pure_old.self_join_size() > 3 * pure_new.self_join_size()
+
+    def test_intermediate_weight_interpolates(self):
+        old = ZipfDistribution(100, 2.0, shuffle_values=False)
+        new = ZipfDistribution(100, 0.0, shuffle_values=False)
+        f2 = {
+            w: mixture_relation(20_000, old, new, weight=w, seed=4).self_join_size()
+            for w in (0.0, 0.5, 1.0)
+        }
+        assert f2[0.0] > f2[0.5] > f2[1.0]
+
+    def test_validation(self):
+        old = ZipfDistribution(100, 1.0)
+        new = ZipfDistribution(200, 1.0)
+        with pytest.raises(ConfigurationError):
+            mixture_relation(10, old, new, weight=0.5)
+        same = ZipfDistribution(100, 1.0)
+        with pytest.raises(ConfigurationError):
+            mixture_relation(10, old, same, weight=1.5)
+
+    def test_total_count(self):
+        old = ZipfDistribution(10, 1.0, shuffle_values=False)
+        new = ZipfDistribution(10, 0.0, shuffle_values=False)
+        assert len(mixture_relation(777, old, new, weight=0.3, seed=5)) == 777
+
+
+class TestDriftingStream:
+    def test_phase_lengths(self):
+        a = ZipfDistribution(50, 1.0, shuffle_values=False)
+        b = ZipfDistribution(50, 0.0, shuffle_values=False)
+        stream = drifting_stream([(100, a), (200, b), (50, a)], seed=6)
+        assert len(stream) == 350
+        assert stream.domain_size == 50
+
+    def test_phase_boundary_visible_to_monitor(self):
+        """A tumbling monitor flags the phase switch as drift."""
+        from repro.core.windows import TumblingWindowSketcher
+
+        heavy_low = ZipfDistribution(2_000, 1.5, shuffle_values=False)
+        heavy_high = ZipfDistribution(2_000, 1.5, shuffle_values=False, seed=1)
+        # Rotate the second phase's identity by building shifted keys:
+        stream_a = drifting_stream([(20_000, heavy_low)], seed=7)
+        stream_b = shifted_zipf_relation(20_000, 2_000, 1.5, shift=1_000, seed=8)
+        keys = np.concatenate([stream_a.keys, stream_b.keys])
+        monitor = TumblingWindowSketcher(20_000, buckets=2_048, seed=9)
+        monitor.process(keys)
+        drift = monitor.drift()
+        assert drift is not None and drift < 0.5
+        _ = heavy_high
+
+    def test_validation(self):
+        a = ZipfDistribution(50, 1.0)
+        b = ZipfDistribution(60, 1.0)
+        with pytest.raises(ConfigurationError):
+            drifting_stream([])
+        with pytest.raises(ConfigurationError):
+            drifting_stream([(10, a), (10, b)])
+        with pytest.raises(ConfigurationError):
+            drifting_stream([(-5, a)])

@@ -1,0 +1,111 @@
+"""Zipf generators: distribution shape, determinism, scale invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams import (
+    ZipfDistribution,
+    uniform_relation,
+    zipf_frequency_vector,
+    zipf_relation,
+)
+from repro.streams.synthetic import make_join_pair
+
+
+class TestZipfDistribution:
+    def test_probabilities_sum_to_one(self):
+        dist = ZipfDistribution(100, 1.2, shuffle_values=False)
+        assert dist.probabilities().sum() == pytest.approx(1.0)
+
+    def test_zero_skew_is_uniform(self):
+        dist = ZipfDistribution(50, 0.0, shuffle_values=False)
+        assert np.allclose(dist.probabilities(), 1 / 50)
+
+    def test_probabilities_follow_power_law(self):
+        dist = ZipfDistribution(100, 2.0, shuffle_values=False)
+        probabilities = dist.probabilities()
+        # p(r) / p(2r) = (2r/r)^z = 4 for z = 2
+        assert probabilities[0] / probabilities[1] == pytest.approx(4.0)
+        assert probabilities[1] / probabilities[3] == pytest.approx(4.0)
+
+    def test_shuffle_permutes_probabilities(self):
+        plain = ZipfDistribution(64, 1.5, shuffle_values=False).probabilities()
+        shuffled = ZipfDistribution(64, 1.5, shuffle_values=True, seed=5).probabilities()
+        assert sorted(plain) == pytest.approx(sorted(shuffled))
+        assert not np.allclose(plain, shuffled)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ZipfDistribution(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ZipfDistribution(10, -0.5)
+
+    def test_sample_length_and_domain(self):
+        dist = ZipfDistribution(30, 1.0, shuffle_values=False)
+        keys = dist.sample(5000, seed=2)
+        assert keys.size == 5000
+        assert keys.min() >= 0 and keys.max() < 30
+
+    def test_sample_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ZipfDistribution(10, 1.0).sample(-1)
+
+    def test_frequency_vector_total(self):
+        dist = ZipfDistribution(30, 1.0, shuffle_values=False)
+        fv = dist.frequency_vector(777, seed=3)
+        assert fv.total == 777
+
+    def test_expected_frequency_vector_exact_total_and_monotone(self):
+        dist = ZipfDistribution(40, 1.3, shuffle_values=False)
+        fv = dist.expected_frequency_vector(12_345)
+        assert fv.total == 12_345
+        counts = np.asarray(list(fv))
+        assert np.all(np.diff(counts) <= 0)  # decreasing by rank
+
+    @pytest.mark.statistical
+    def test_empirical_frequencies_match_probabilities(self):
+        dist = ZipfDistribution(10, 1.0, shuffle_values=False)
+        fv = dist.frequency_vector(200_000, seed=4)
+        empirical = np.asarray(list(fv)) / 200_000
+        assert np.allclose(empirical, dist.probabilities(), atol=0.01)
+
+
+class TestRelationGenerators:
+    def test_zipf_relation_shape(self):
+        relation = zipf_relation(1000, 100, 1.0, seed=1)
+        assert len(relation) == 1000
+        assert relation.domain_size == 100
+
+    def test_zipf_relation_deterministic(self):
+        a = zipf_relation(500, 50, 0.8, seed=6).keys
+        b = zipf_relation(500, 50, 0.8, seed=6).keys
+        assert np.array_equal(a, b)
+
+    def test_zipf_frequency_vector_variants(self):
+        expected = zipf_frequency_vector(1000, 100, 1.0, expected=True)
+        assert expected.total == 1000
+        aligned = zipf_frequency_vector(1000, 100, 1.0, seed=2, shuffle_values=False)
+        assert aligned.total == 1000
+        shuffled = zipf_frequency_vector(1000, 100, 1.0, seed=2, shuffle_values=True)
+        assert shuffled.total == 1000
+
+    def test_aligned_vectors_correlate_more_than_shuffled(self):
+        f1 = zipf_frequency_vector(50_000, 500, 2.0, seed=1, shuffle_values=False)
+        f2 = zipf_frequency_vector(50_000, 500, 2.0, seed=2, shuffle_values=False)
+        s1 = zipf_frequency_vector(50_000, 500, 2.0, seed=3, shuffle_values=True)
+        s2 = zipf_frequency_vector(50_000, 500, 2.0, seed=4, shuffle_values=True)
+        assert f1.join_size(f2) > 10 * s1.join_size(s2)
+
+    def test_uniform_relation(self):
+        relation = uniform_relation(5000, 25, seed=9)
+        counts = relation.frequency_vector().counts
+        assert counts.sum() == 5000
+        # Uniform: each value near 200.
+        assert counts.min() > 100 and counts.max() < 320
+
+    def test_make_join_pair_independent(self):
+        f, g = make_join_pair(1000, 100, 1.0, seed=4)
+        assert len(f) == len(g) == 1000
+        assert f.domain_size == g.domain_size == 100
+        assert not np.array_equal(f.keys, g.keys)

@@ -1,0 +1,87 @@
+"""TPC-H dbgen-lite: structural properties the experiments rely on."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams import generate_tpch
+from repro.streams.tpch import MAX_LINES_PER_ORDER, _sparse_orderkeys
+
+
+def test_order_counts_scale_with_factor():
+    tables = generate_tpch(scale_factor=0.001, seed=1)
+    assert tables.n_orders == 1500
+    tables2 = generate_tpch(scale_factor=0.002, seed=1)
+    assert tables2.n_orders == 3000
+
+
+def test_orders_per_sf_override():
+    tables = generate_tpch(scale_factor=1.0, orders_per_sf=1000, seed=1)
+    assert tables.n_orders == 1000
+
+
+def test_orderkeys_unique_and_sparse():
+    tables = generate_tpch(scale_factor=0.001, seed=2, shuffle=False)
+    keys = np.sort(tables.orders.keys)
+    assert np.unique(keys).size == keys.size
+    # dbgen pattern: keys 0-7 of each 32-block, 8-31 skipped.
+    assert np.all((keys % 32) < 8)
+
+
+def test_sparse_orderkeys_pattern():
+    keys = _sparse_orderkeys(10)
+    assert keys.tolist() == [0, 1, 2, 3, 4, 5, 6, 7, 32, 33]
+
+
+def test_lineitem_multiplicities_in_range():
+    tables = generate_tpch(scale_factor=0.002, seed=3)
+    counts = tables.lineitem.frequency_vector().counts
+    present = counts[counts > 0]
+    assert present.min() >= 1
+    assert present.max() <= MAX_LINES_PER_ORDER
+    assert present.size == tables.n_orders  # every order has lineitems
+
+
+def test_foreign_key_join_size_is_lineitem_count():
+    tables = generate_tpch(scale_factor=0.002, seed=4)
+    assert tables.exact_join_size() == tables.n_lineitems
+
+
+def test_lineitem_f2_matches_multiplicities():
+    tables = generate_tpch(scale_factor=0.001, seed=5)
+    counts = tables.lineitem.frequency_vector().counts
+    assert tables.exact_lineitem_f2() == int((counts.astype(np.int64) ** 2).sum())
+
+
+def test_mean_lines_per_order_near_four():
+    tables = generate_tpch(scale_factor=0.01, seed=6)
+    mean_lines = tables.n_lineitems / tables.n_orders
+    assert 3.7 < mean_lines < 4.3  # E[U{1..7}] = 4
+
+
+def test_shuffle_randomizes_order():
+    shuffled = generate_tpch(scale_factor=0.001, seed=7, shuffle=True)
+    plain = generate_tpch(scale_factor=0.001, seed=7, shuffle=False)
+    assert not np.array_equal(shuffled.lineitem.keys, plain.lineitem.keys)
+    assert sorted(shuffled.lineitem.keys.tolist()) == sorted(
+        plain.lineitem.keys.tolist()
+    )
+
+
+def test_deterministic_given_seed():
+    a = generate_tpch(scale_factor=0.001, seed=8)
+    b = generate_tpch(scale_factor=0.001, seed=8)
+    assert np.array_equal(a.lineitem.keys, b.lineitem.keys)
+    assert np.array_equal(a.orders.keys, b.orders.keys)
+
+
+def test_shared_domain():
+    tables = generate_tpch(scale_factor=0.001, seed=9)
+    assert tables.orders.domain_size == tables.lineitem.domain_size
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ConfigurationError):
+        generate_tpch(scale_factor=0)
+    with pytest.raises(ConfigurationError):
+        generate_tpch(scale_factor=1, orders_per_sf=0)

@@ -1,0 +1,105 @@
+"""Turnstile semantics: sketches under insertions *and* deletions.
+
+All sketches in the library are linear, so negative weights implement
+deletions exactly.  These tests pin the turnstile contract down for the
+AGMS-family sketches (where unbiased estimation survives deletions) and
+exercise realistic insert/delete workloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frequency import FrequencyVector
+from repro.sketches import AgmsSketch, FagmsSketch, join_size, self_join_size
+from repro.streams import zipf_relation
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda seed: AgmsSketch(rows=200, seed=seed),
+        lambda seed: FagmsSketch(buckets=512, rows=1, seed=seed),
+    ],
+    ids=["agms", "fagms"],
+)
+class TestTurnstile:
+    def test_net_frequencies_determine_state(self, factory, rng):
+        """Any insert/delete interleaving with the same net effect gives
+        the same counters."""
+        inserts = rng.integers(0, 50, size=400)
+        deletes = inserts[rng.random(400) < 0.4]
+        direct = factory(1)
+        direct.update(inserts)
+        direct.update(deletes, -np.ones(deletes.size))
+
+        net = np.bincount(inserts, minlength=50) - np.bincount(
+            deletes, minlength=50
+        )
+        by_net = factory(1)
+        support = np.flatnonzero(net)
+        by_net.update(support, net[support].astype(np.float64))
+        assert np.allclose(direct._state(), by_net._state())
+
+    def test_estimates_track_net_multiset(self, factory, rng):
+        relation = zipf_relation(20_000, 1_000, 1.0, seed=2)
+        sketch = factory(3)
+        sketch.update(relation.keys)
+        # Delete a random half of the tuples.
+        mask = rng.random(len(relation)) < 0.5
+        deleted = relation.keys[mask]
+        sketch.update(deleted, -np.ones(deleted.size))
+        remaining = FrequencyVector.from_items(relation.keys[~mask], 1_000)
+        assert self_join_size(sketch) == pytest.approx(remaining.f2, rel=0.25)
+
+    def test_full_deletion_gives_zero(self, factory, rng):
+        keys = rng.integers(0, 30, size=500)
+        sketch = factory(4)
+        sketch.update(keys)
+        sketch.update(keys, -np.ones(keys.size))
+        assert self_join_size(sketch) == pytest.approx(0.0, abs=1e-9)
+
+    def test_fractional_weights(self, factory, rng):
+        """Weighted streams (SUM-style aggregates) work through the same
+        path: the sketch estimates Σᵢ wᵢ² for per-key weight totals."""
+        keys = np.arange(20)
+        weights = rng.random(20) * 10
+        sketch = factory(5)
+        sketch.update(keys, weights)
+        truth = float((weights**2).sum())
+        assert self_join_size(sketch) == pytest.approx(truth, rel=0.5)
+
+
+def test_turnstile_join_between_updated_streams(rng):
+    """Join estimation remains unbiased after deletions on both sides."""
+    domain = 500
+    f_keys = rng.integers(0, domain, size=10_000)
+    g_keys = rng.integers(0, domain, size=10_000)
+    f_delete = f_keys[: 3_000]
+    g_delete = g_keys[: 5_000]
+
+    sketch_f = FagmsSketch(1_024, seed=6)
+    sketch_g = sketch_f.copy_empty()
+    sketch_f.update(f_keys)
+    sketch_f.update(f_delete, -np.ones(f_delete.size))
+    sketch_g.update(g_keys)
+    sketch_g.update(g_delete, -np.ones(g_delete.size))
+
+    f_net = FrequencyVector.from_items(f_keys[3_000:], domain)
+    g_net = FrequencyVector.from_items(g_keys[5_000:], domain)
+    truth = f_net.join_size(g_net)
+    assert join_size(sketch_f, sketch_g) == pytest.approx(truth, rel=0.25)
+
+
+def test_merge_with_negated_sketch_is_difference(rng):
+    """sketch(A) − sketch(B) summarizes the signed difference A − B."""
+    domain = 100
+    a_keys = rng.integers(0, domain, size=2_000)
+    b_keys = a_keys[:1_200]  # B ⊂ A
+    sketch_a = FagmsSketch(512, seed=7)
+    sketch_b = sketch_a.copy_empty()
+    sketch_a.update(a_keys)
+    sketch_b.update(b_keys)
+    sketch_b._state()[...] *= -1
+    sketch_a.merge(sketch_b)
+    remaining = FrequencyVector.from_items(a_keys[1_200:], domain)
+    assert sketch_a.second_moment() == pytest.approx(remaining.f2, rel=0.3)

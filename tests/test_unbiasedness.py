@@ -1,0 +1,102 @@
+"""End-to-end statistical unbiasedness of every estimator pipeline.
+
+These tests run the *real* pipeline — tuple/frequency sampling, real F-AGMS
+sketches, the shipped corrections — many times and check that the mean
+estimate converges to the exact aggregate within Monte-Carlo tolerance.
+They complement the exact-expectation tests (which prove unbiasedness
+analytically) by exercising the actual code paths end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_join_size, estimate_self_join_size, sketch_over_sample
+from repro.sampling import (
+    BernoulliSampler,
+    WithReplacementSampler,
+    WithoutReplacementSampler,
+)
+from repro.sketches import FagmsSketch
+from repro.streams.synthetic import zipf_frequency_vector
+
+pytestmark = pytest.mark.statistical
+
+F = zipf_frequency_vector(5_000, 400, 1.0, seed=70, shuffle_values=False)
+G = zipf_frequency_vector(5_000, 400, 1.0, seed=71, shuffle_values=False)
+
+SAMPLERS = [
+    BernoulliSampler(0.3),
+    WithReplacementSampler(fraction=0.3),
+    WithoutReplacementSampler(fraction=0.3),
+]
+
+TRIALS = 150
+BUCKETS = 256
+
+
+def _mean_within_tolerance(estimates, truth):
+    estimates = np.asarray(estimates)
+    standard_error = estimates.std(ddof=1) / np.sqrt(estimates.size)
+    assert abs(estimates.mean() - truth) < 5 * max(standard_error, 1e-9), (
+        f"mean {estimates.mean():.1f} vs truth {truth} "
+        f"(5·SE = {5 * standard_error:.1f})"
+    )
+
+
+@pytest.mark.parametrize("sampler", SAMPLERS, ids=lambda s: s.scheme)
+def test_self_join_pipeline_unbiased(sampler):
+    truth = F.self_join_size()
+    estimates = []
+    for seed in range(TRIALS):
+        sketch = FagmsSketch(BUCKETS, seed=10_000 + seed)
+        info = sketch_over_sample(F, sampler, sketch, seed=seed)
+        estimates.append(estimate_self_join_size(sketch, info).value)
+    _mean_within_tolerance(estimates, truth)
+
+
+@pytest.mark.parametrize("sampler", SAMPLERS, ids=lambda s: s.scheme)
+def test_join_pipeline_unbiased(sampler):
+    truth = F.join_size(G)
+    estimates = []
+    for seed in range(TRIALS):
+        sketch_f = FagmsSketch(BUCKETS, seed=20_000 + seed)
+        sketch_g = sketch_f.copy_empty()
+        info_f = sketch_over_sample(F, sampler, sketch_f, seed=2 * seed)
+        info_g = sketch_over_sample(G, sampler, sketch_g, seed=2 * seed + 1)
+        estimates.append(
+            estimate_join_size(sketch_f, info_f, sketch_g, info_g).value
+        )
+    _mean_within_tolerance(estimates, truth)
+
+
+def test_mixed_scheme_join_unbiased():
+    """Bernoulli-sampled F joined with WOR-sampled G."""
+    truth = F.join_size(G)
+    estimates = []
+    for seed in range(TRIALS):
+        sketch_f = FagmsSketch(BUCKETS, seed=30_000 + seed)
+        sketch_g = sketch_f.copy_empty()
+        info_f = sketch_over_sample(F, BernoulliSampler(0.4), sketch_f, seed=3 * seed)
+        info_g = sketch_over_sample(
+            G, WithoutReplacementSampler(fraction=0.25), sketch_g, seed=3 * seed + 1
+        )
+        estimates.append(
+            estimate_join_size(sketch_f, info_f, sketch_g, info_g).value
+        )
+    _mean_within_tolerance(estimates, truth)
+
+
+def test_item_path_pipeline_unbiased():
+    """Tuple-domain sampling (the streaming path) is unbiased too."""
+    from repro.streams import Relation
+
+    relation = Relation.from_frequency_vector(F, shuffle=True, seed=1)
+    truth = F.self_join_size()
+    estimates = []
+    for seed in range(TRIALS):
+        sketch = FagmsSketch(BUCKETS, seed=40_000 + seed)
+        info = sketch_over_sample(
+            relation, BernoulliSampler(0.3), sketch, seed=seed, path="items"
+        )
+        estimates.append(estimate_self_join_size(sketch, info).value)
+    _mean_within_tolerance(estimates, truth)

@@ -1,0 +1,122 @@
+"""Eq. 22: the covariance between basic estimators over a shared sample."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sampling.moments import BernoulliMoments, WithoutReplacementMoments
+from repro.variance.covariance import (
+    averaged_variance,
+    averaging_floor_ratio,
+    basic_join_covariance,
+    basic_self_join_covariance,
+)
+from repro.variance.generic import (
+    combined_join_variance,
+    combined_self_join_variance,
+)
+
+P = Fraction(1, 3)
+
+
+def test_eq22_reconstructs_prop11_exactly(small_f, small_g):
+    """Var_basic and Cov plugged into Eq. 22 give Prop 11 for every n."""
+    model = BernoulliMoments(P)
+    scale = 1 / (P * P)
+    basic = combined_join_variance(
+        model, small_f, model, small_g, scale, 1, exact=True
+    )
+    covariance = basic_join_covariance(
+        model, small_f, model, small_g, scale, exact=True
+    )
+    for n in (1, 2, 7, 100):
+        direct = combined_join_variance(
+            model, small_f, model, small_g, scale, n, exact=True
+        )
+        assert averaged_variance(basic, covariance, n) == direct
+
+
+def test_eq22_reconstructs_prop12_with_correction(small_f):
+    model = BernoulliMoments(P)
+    scale = 1 / P**2
+    c = (1 - P) / P**2
+    basic = combined_self_join_variance(
+        model, small_f, scale, 1, correction=c, exact=True
+    )
+    covariance = basic_self_join_covariance(
+        model, small_f, scale, correction=c, exact=True
+    )
+    for n in (1, 3, 50):
+        direct = combined_self_join_variance(
+            model, small_f, scale, n, correction=c, exact=True
+        )
+        assert averaged_variance(basic, covariance, n) == direct
+
+
+def test_covariance_is_nonnegative_and_below_basic_variance(small_f, small_g):
+    model = BernoulliMoments(P)
+    scale = 1 / (P * P)
+    basic = combined_join_variance(
+        model, small_f, model, small_g, scale, 1, exact=True
+    )
+    covariance = basic_join_covariance(
+        model, small_f, model, small_g, scale, exact=True
+    )
+    assert 0 <= covariance <= basic
+
+
+def test_averaged_variance_rejects_bad_n():
+    with pytest.raises(ConfigurationError):
+        averaged_variance(1.0, 0.5, 0)
+
+
+def test_floor_ratio_decreases_toward_one(small_f):
+    model = BernoulliMoments(P)
+    scale = 1 / P**2
+    c = (1 - P) / P**2
+    ratios = [
+        averaging_floor_ratio(model, small_f, scale, n, correction=c)
+        for n in (1, 10, 1000)
+    ]
+    assert ratios[0] > ratios[1] > ratios[2] >= 1.0
+    assert ratios[2] == pytest.approx(1.0, rel=0.05)
+
+
+def test_floor_ratio_infinite_for_full_wor_scan(small_f):
+    """A full WOR scan has zero sampling variance: no covariance floor."""
+    total = small_f.total
+    model = WithoutReplacementMoments(total, total)
+    ratio = averaging_floor_ratio(model, small_f, 1, 10)
+    assert ratio == float("inf")
+
+
+def test_floor_ratio_argument_validation(small_f, small_g):
+    model = BernoulliMoments(P)
+    with pytest.raises(ConfigurationError):
+        averaging_floor_ratio(model, small_f, 1, 5, g=small_g)  # missing model_g
+
+
+@pytest.mark.statistical
+def test_covariance_matches_monte_carlo(small_f):
+    """Empirical Cov between two ξ families over one shared Bernoulli sample."""
+    rng = np.random.default_rng(17)
+    p = 1 / 3
+    scale = 1 / p**2
+    trials = 40_000
+    samples = rng.binomial(small_f.counts, p, size=(trials, small_f.domain_size))
+    # Conditional on the sample, E_ξ[S²] = Σf'²; two independent ξ families
+    # have conditional covariance 0, so Cov[X_k, X_l] = Var_s[scale·Σf'²-cL].
+    c = (1 - p) / p**2
+    sum2 = (samples.astype(np.float64) ** 2).sum(axis=1)
+    length = samples.sum(axis=1)
+    conditional_mean = scale * sum2 - c * length
+    empirical = conditional_mean.var()
+    model = BernoulliMoments(Fraction(1, 3))
+    theoretical = float(
+        basic_self_join_covariance(
+            model, small_f, Fraction(9), correction=Fraction(6), exact=True
+        )
+    )
+    assert empirical == pytest.approx(theoretical, rel=0.05)

@@ -1,0 +1,149 @@
+"""Variance decomposition: the three terms sum exactly and behave as the
+paper describes (Figures 1-2 claims)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sampling import SampleInfo
+from repro.sampling.moments import BernoulliMoments
+from repro.streams.synthetic import zipf_frequency_vector
+from repro.variance.decomposition import (
+    VarianceDecomposition,
+    decompose_combined_variance,
+)
+from repro.variance.generic import combined_join_variance, combined_self_join_variance
+from repro.variance.sampling import bernoulli_self_join_variance
+from repro.variance.sketch import agms_self_join_variance
+
+
+def _bernoulli_info(fv, p):
+    return SampleInfo(
+        scheme="bernoulli",
+        population_size=fv.total,
+        sample_size=max(1, int(p * fv.total)),
+        probability=p,
+    )
+
+
+class TestDataclass:
+    def test_total_and_shares(self):
+        parts = VarianceDecomposition(sampling=1.0, sketch=2.0, interaction=1.0)
+        assert parts.total == 4.0
+        assert parts.shares() == (0.25, 0.5, 0.25)
+        assert parts.dominant == "sketch"
+
+    def test_zero_total(self):
+        parts = VarianceDecomposition(0.0, 0.0, 0.0)
+        assert parts.shares() == (0.0, 0.0, 0.0)
+
+
+class TestSelfJoinDecomposition:
+    def test_terms_sum_to_total(self, small_f):
+        info = _bernoulli_info(small_f, 0.25)
+        n = 4
+        parts = decompose_combined_variance(small_f, info, n)
+        from fractions import Fraction
+
+        p = Fraction(1, 4)
+        total = combined_self_join_variance(
+            BernoulliMoments(p), small_f, 1 / p**2, n, correction=(1 - p) / p**2,
+            exact=True,
+        )
+        assert parts.total == pytest.approx(float(total), rel=1e-9)
+
+    def test_sampling_term_matches_prop4(self, small_f):
+        from fractions import Fraction
+
+        info = _bernoulli_info(small_f, 0.25)
+        parts = decompose_combined_variance(small_f, info, 8)
+        expected = float(bernoulli_self_join_variance(small_f, Fraction(1, 4)))
+        assert parts.sampling == pytest.approx(expected, rel=1e-9)
+
+    def test_sketch_term_matches_prop8_over_n(self, small_f):
+        info = _bernoulli_info(small_f, 0.25)
+        n = 8
+        parts = decompose_combined_variance(small_f, info, n)
+        assert parts.sketch == pytest.approx(
+            agms_self_join_variance(small_f) / n, rel=1e-12
+        )
+
+    def test_all_terms_non_negative(self, zipf_f):
+        info = _bernoulli_info(zipf_f, 0.1)
+        parts = decompose_combined_variance(zipf_f, info, 100)
+        assert parts.sampling >= 0
+        assert parts.sketch >= 0
+        assert parts.interaction >= -1e-6 * parts.total
+
+
+class TestJoinDecomposition:
+    def test_terms_sum_to_total(self, small_f, small_g):
+        from fractions import Fraction
+
+        info_f = _bernoulli_info(small_f, 0.5)
+        info_g = _bernoulli_info(small_g, 0.5)
+        n = 3
+        parts = decompose_combined_variance(
+            small_f, info_f, n, g=small_g, info_g=info_g
+        )
+        p = Fraction(1, 2)
+        total = combined_join_variance(
+            BernoulliMoments(p),
+            small_f,
+            BernoulliMoments(p),
+            small_g,
+            1 / (p * p),
+            n,
+            exact=True,
+        )
+        assert parts.total == pytest.approx(float(total), rel=1e-9)
+
+    def test_requires_both_g_and_info(self, small_f, small_g):
+        info = _bernoulli_info(small_f, 0.5)
+        with pytest.raises(ConfigurationError):
+            decompose_combined_variance(small_f, info, 2, g=small_g)
+
+    def test_rejects_bad_n(self, small_f):
+        with pytest.raises(ConfigurationError):
+            decompose_combined_variance(small_f, _bernoulli_info(small_f, 0.5), 0)
+
+
+class TestPaperClaims:
+    """Section V-B discussion, as seen in Figures 1-2."""
+
+    def test_interaction_dominates_for_uniform_data(self):
+        fv = zipf_frequency_vector(50_000, 5_000, 0.0, expected=True)
+        info = _bernoulli_info(fv, 0.01)
+        parts = decompose_combined_variance(fv, info, 1000)
+        assert parts.dominant == "interaction"
+
+    def test_sampling_dominates_self_join_for_skewed_data(self):
+        fv = zipf_frequency_vector(50_000, 5_000, 2.0, expected=True)
+        info = _bernoulli_info(fv, 0.01)
+        parts = decompose_combined_variance(fv, info, 1000)
+        assert parts.dominant == "sampling"
+
+    def test_sketch_dominates_join_for_skewed_independent_data(self):
+        """Fig 1's claim: for independently generated skewed relations the
+        sketch variance accounts for almost the whole join variance,
+        irrespective of the sampling probability."""
+        f = zipf_frequency_vector(50_000, 5_000, 2.0, seed=1, shuffle_values=True)
+        g = zipf_frequency_vector(50_000, 5_000, 2.0, seed=2, shuffle_values=True)
+        for p in (0.1, 0.01):
+            info_f = _bernoulli_info(f, p)
+            info_g = _bernoulli_info(g, p)
+            parts = decompose_combined_variance(f, info_f, 1000, g=g, info_g=info_g)
+            assert parts.dominant == "sketch"
+            assert parts.shares()[1] > 0.6
+
+    def test_wor_full_scan_has_zero_sampling_variance(self, small_f):
+        info = SampleInfo(
+            scheme="without_replacement",
+            population_size=small_f.total,
+            sample_size=small_f.total,
+        )
+        parts = decompose_combined_variance(small_f, info, 10)
+        assert parts.sampling == pytest.approx(0.0, abs=1e-9)
+        # At a full scan the combined estimator *is* the plain sketch:
+        assert parts.total == pytest.approx(
+            agms_self_join_variance(small_f) / 10, rel=1e-9
+        )

@@ -1,0 +1,160 @@
+"""Generic evaluator API: modes, limits, validation, model dispatch."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sampling import SampleInfo
+from repro.sampling.moments import (
+    BernoulliMoments,
+    WithReplacementMoments,
+    WithoutReplacementMoments,
+)
+from repro.variance.generic import (
+    combined_join_expectation,
+    combined_join_variance,
+    combined_self_join_expectation,
+    combined_self_join_variance,
+    moment_model_for,
+    sampling_join_variance,
+    sampling_self_join_variance,
+)
+
+P = Fraction(1, 4)
+
+
+class TestModelDispatch:
+    def test_bernoulli(self):
+        info = SampleInfo("bernoulli", 100, 25, probability=0.25)
+        model = moment_model_for(info)
+        assert isinstance(model, BernoulliMoments)
+        assert model.p == Fraction(1, 4)
+
+    def test_wr(self):
+        info = SampleInfo("with_replacement", 100, 25)
+        model = moment_model_for(info)
+        assert isinstance(model, WithReplacementMoments)
+        assert model.sample_size == 25
+
+    def test_wor(self):
+        info = SampleInfo("without_replacement", 100, 25)
+        assert isinstance(moment_model_for(info), WithoutReplacementMoments)
+
+    def test_unknown(self):
+        info = SampleInfo("with_replacement", 100, 25)
+        object.__setattr__(info, "scheme", "bogus")
+        with pytest.raises(ConfigurationError):
+            moment_model_for(info)
+
+
+class TestModes:
+    def test_float_mode_matches_exact(self, small_f, small_g):
+        model_f, model_g = BernoulliMoments(P), BernoulliMoments(P)
+        scale = 1 / (P * P)
+        for n in (None, 1, 7):
+            exact = combined_join_variance(
+                model_f, small_f, model_g, small_g, scale, n, exact=True
+            )
+            floats = combined_join_variance(
+                model_f, small_f, model_g, small_g, float(scale), n, exact=False
+            )
+            assert floats == pytest.approx(float(exact), rel=1e-10)
+
+    def test_self_join_float_mode_matches_exact(self, small_f):
+        model = BernoulliMoments(P)
+        scale = 1 / P**2
+        c = (1 - P) / P**2
+        exact = combined_self_join_variance(
+            model, small_f, scale, 3, correction=c, exact=True
+        )
+        floats = combined_self_join_variance(
+            model, small_f, float(scale), 3, correction=float(c), exact=False
+        )
+        assert floats == pytest.approx(float(exact), rel=1e-10)
+
+
+class TestLimitsAndValidation:
+    def test_variance_decreases_with_n(self, small_f, small_g):
+        model = BernoulliMoments(P)
+        scale = 1 / (P * P)
+        variances = [
+            float(
+                combined_join_variance(
+                    model, small_f, model, small_g, scale, n, exact=True
+                )
+            )
+            for n in (1, 4, 64)
+        ]
+        assert variances[0] > variances[1] > variances[2]
+
+    def test_sampling_variance_is_lower_bound(self, small_f, small_g):
+        model = BernoulliMoments(P)
+        scale = 1 / (P * P)
+        sampling_only = float(
+            sampling_join_variance(model, small_f, model, small_g, scale, exact=True)
+        )
+        with_sketch = float(
+            combined_join_variance(
+                model, small_f, model, small_g, scale, 1000, exact=True
+            )
+        )
+        assert with_sketch > sampling_only
+
+    def test_rejects_nonpositive_n(self, small_f, small_g):
+        model = BernoulliMoments(P)
+        with pytest.raises(ConfigurationError):
+            combined_join_variance(model, small_f, model, small_g, 1, 0)
+        with pytest.raises(ConfigurationError):
+            combined_self_join_variance(model, small_f, 1, -3)
+
+    def test_full_bernoulli_sample_reduces_to_sketch_variance(self, small_f):
+        """p=1: sampling contributes nothing; Prop 12 -> Eq 16 / n."""
+        from repro.variance.sketch import agms_self_join_variance
+
+        model = BernoulliMoments(Fraction(1))
+        n = 5
+        variance = combined_self_join_variance(model, small_f, 1, n, exact=True)
+        assert variance == Fraction(agms_self_join_variance(small_f), n)
+
+    def test_full_wor_sample_reduces_to_sketch_variance(self, small_f, small_g):
+        from repro.variance.sketch import agms_join_variance
+
+        total_f, total_g = small_f.total, small_g.total
+        model_f = WithoutReplacementMoments(total_f, total_f)
+        model_g = WithoutReplacementMoments(total_g, total_g)
+        n = 3
+        variance = combined_join_variance(
+            model_f, small_f, model_g, small_g, 1, n, exact=True
+        )
+        assert variance == Fraction(agms_join_variance(small_f, small_g), n)
+
+
+class TestExpectations:
+    def test_join_expectation_unbiased_with_inverse_scale(self, small_f, small_g):
+        model = BernoulliMoments(P)
+        scale = 1 / (P * P)
+        assert combined_join_expectation(
+            model, small_f, model, small_g, scale, exact=True
+        ) == small_f.join_size(small_g)
+
+    def test_join_expectation_biased_without_scale(self, small_f, small_g):
+        model = BernoulliMoments(P)
+        value = combined_join_expectation(
+            model, small_f, model, small_g, 1, exact=True
+        )
+        assert value == P * P * small_f.join_size(small_g)
+
+    def test_self_join_expectation_with_constant(self, small_f):
+        model = WithReplacementMoments(6, small_f.total)
+        from repro.sampling.coefficients import SamplingCoefficients
+
+        coefficients = SamplingCoefficients(6, small_f.total)
+        scale = 1 / (coefficients.alpha * coefficients.alpha2)
+        constant = small_f.total / coefficients.alpha2
+        assert (
+            combined_self_join_expectation(
+                model, small_f, scale, constant=constant, exact=True
+            )
+            == small_f.f2
+        )

@@ -1,0 +1,318 @@
+"""The flagship correctness suite: three independent computations agree.
+
+For every sampling scheme and both aggregates we verify the chain
+
+    closed form (Props 3-6, 13-16, errata-corrected)
+        == generic moment evaluator (Props 1-2, 9-12)
+        == exact enumeration of the sampling distribution
+        ≈ Monte Carlo of the actual estimator
+
+The closed-form/generic comparisons are **exact rational identities** over
+randomized inputs; the enumeration check pins both to ground truth on tiny
+inputs; Monte Carlo closes the loop against the real estimator pipeline.
+"""
+
+from fractions import Fraction
+from itertools import product
+from math import comb
+
+import numpy as np
+import pytest
+
+from repro.frequency import FrequencyVector
+from repro.sampling.coefficients import SamplingCoefficients
+from repro.sampling.moments import (
+    BernoulliMoments,
+    WithReplacementMoments,
+    WithoutReplacementMoments,
+)
+from repro.variance import closed_form as closed
+from repro.variance import generic
+from repro.variance import sampling as sampling_var
+
+
+def random_vectors(seed, domain=10, high=7):
+    rng = np.random.default_rng(seed)
+    f = FrequencyVector(rng.integers(0, high, size=domain))
+    g = FrequencyVector(rng.integers(0, high, size=domain))
+    return f, g
+
+
+SEEDS = [0, 1, 2, 3]
+P = Fraction(1, 3)
+Q = Fraction(2, 5)
+N_AVG = 5
+
+
+# ----------------------------------------------------------------------
+# Closed form == generic (exact rational identities)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_bernoulli_join_closed_equals_generic(seed):
+    f, g = random_vectors(seed)
+    model_f, model_g = BernoulliMoments(P), BernoulliMoments(Q)
+    for n in (1, 2, N_AVG, 100):
+        assert closed.bernoulli_combined_join_variance(
+            f, g, P, Q, n
+        ) == generic.combined_join_variance(
+            model_f, f, model_g, g, 1 / (P * Q), n, exact=True
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_bernoulli_self_join_closed_equals_generic(seed):
+    f, _ = random_vectors(seed)
+    model = BernoulliMoments(P)
+    correction = (1 - P) / P**2
+    for n in (1, 2, N_AVG):
+        assert closed.bernoulli_combined_self_join_variance(
+            f, P, n
+        ) == generic.combined_self_join_variance(
+            model, f, 1 / P**2, n, correction=correction, exact=True
+        )
+
+
+def _fixed_size_setup(f, g):
+    size_f = max(2, f.total // 3)
+    size_g = max(2, g.total // 4)
+    return (
+        SamplingCoefficients(size_f, f.total),
+        SamplingCoefficients(size_g, g.total),
+        size_f,
+        size_g,
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_wr_join_closed_equals_generic(seed):
+    f, g = random_vectors(seed)
+    coeff_f, coeff_g, size_f, size_g = _fixed_size_setup(f, g)
+    model_f = WithReplacementMoments(size_f, f.total)
+    model_g = WithReplacementMoments(size_g, g.total)
+    scale = 1 / (coeff_f.alpha * coeff_g.alpha)
+    for n in (1, N_AVG):
+        assert closed.wr_combined_join_variance(
+            f, g, coeff_f, coeff_g, n
+        ) == generic.combined_join_variance(model_f, f, model_g, g, scale, n, exact=True)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_wor_join_closed_equals_generic(seed):
+    f, g = random_vectors(seed)
+    coeff_f, coeff_g, size_f, size_g = _fixed_size_setup(f, g)
+    model_f = WithoutReplacementMoments(size_f, f.total)
+    model_g = WithoutReplacementMoments(size_g, g.total)
+    scale = 1 / (coeff_f.alpha * coeff_g.alpha)
+    for n in (1, N_AVG):
+        assert closed.wor_combined_join_variance(
+            f, g, coeff_f, coeff_g, n
+        ) == generic.combined_join_variance(model_f, f, model_g, g, scale, n, exact=True)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sampling_only_closed_equals_generic(seed):
+    f, g = random_vectors(seed)
+    coeff_f, coeff_g, size_f, size_g = _fixed_size_setup(f, g)
+    scale = 1 / (coeff_f.alpha * coeff_g.alpha)
+    # Eq. 6
+    assert sampling_var.bernoulli_join_variance(
+        f, g, P, Q
+    ) == generic.sampling_join_variance(
+        BernoulliMoments(P), f, BernoulliMoments(Q), g, 1 / (P * Q), exact=True
+    )
+    # Eq. 7
+    assert sampling_var.bernoulli_self_join_variance(
+        f, P
+    ) == generic.sampling_self_join_variance(
+        BernoulliMoments(P), f, 1 / P**2, correction=(1 - P) / P**2, exact=True
+    )
+    # Eq. 10 (errata-corrected)
+    assert sampling_var.wr_join_variance(
+        f, g, coeff_f, coeff_g
+    ) == generic.sampling_join_variance(
+        WithReplacementMoments(size_f, f.total),
+        f,
+        WithReplacementMoments(size_g, g.total),
+        g,
+        scale,
+        exact=True,
+    )
+    # Eq. 11
+    assert sampling_var.wor_join_variance(
+        f, g, coeff_f, coeff_g
+    ) == generic.sampling_join_variance(
+        WithoutReplacementMoments(size_f, f.total),
+        f,
+        WithoutReplacementMoments(size_g, g.total),
+        g,
+        scale,
+        exact=True,
+    )
+
+
+def test_prop9_is_prop11_at_n_one(small_f, small_g):
+    model_f, model_g = BernoulliMoments(P), BernoulliMoments(Q)
+    scale = 1 / (P * Q)
+    v1 = generic.combined_join_variance(model_f, small_f, model_g, small_g, scale, 1, exact=True)
+    a, b, prod_e2, d = generic._join_building_blocks(
+        model_f, small_f, model_g, small_g, True
+    )
+    prop9 = scale**2 * (prod_e2 + 2 * b - 2 * d - a * a)
+    assert v1 == prop9
+
+
+def test_sampling_variance_is_infinite_averaging_limit(small_f, small_g):
+    """Prop 11 at n→∞ leaves exactly the Prop 1 sampling variance."""
+    model_f, model_g = BernoulliMoments(P), BernoulliMoments(Q)
+    scale = 1 / (P * Q)
+    sampling_only = generic.sampling_join_variance(
+        model_f, small_f, model_g, small_g, scale, exact=True
+    )
+    huge_n = generic.combined_join_variance(
+        model_f, small_f, model_g, small_g, scale, 10**12, exact=True
+    )
+    assert abs(float(huge_n) - float(sampling_only)) < 1e-6 * float(sampling_only)
+
+
+# ----------------------------------------------------------------------
+# Exact enumeration pins the generic evaluator to ground truth
+# ----------------------------------------------------------------------
+
+
+def _binomial_states(counts, p):
+    for combo in product(*[range(c + 1) for c in counts]):
+        probability = Fraction(1)
+        for total, kept in zip(counts, combo):
+            probability *= comb(total, kept) * p**kept * (1 - p) ** (total - kept)
+        yield np.array(combo), probability
+
+
+def test_bernoulli_self_join_combined_variance_by_enumeration():
+    """Full estimator variance (sketch + sampling + correction) vs truth.
+
+    Decisive for the Eq. 26 erratum: Var_ξ[S²|sample] is the exact AGMS
+    conditional variance, so no sketch simulation noise enters.
+    """
+    counts = np.array([2, 1, 3])
+    f = FrequencyVector(counts)
+    p = Fraction(1, 3)
+    n = 3
+    scale = 1 / p**2
+    c = (1 - p) / p**2
+    states = list(_binomial_states(counts, p))
+
+    def conditional_mean(sample):
+        return scale * sum(int(x) ** 2 for x in sample) - c * int(sample.sum())
+
+    def conditional_variance(sample):
+        sum2 = sum(int(x) ** 2 for x in sample)
+        sum4 = sum(int(x) ** 4 for x in sample)
+        return scale**2 * Fraction(2, n) * (sum2**2 - sum4)
+
+    mean = sum(pr * conditional_mean(s) for s, pr in states)
+    truth = sum(
+        pr * (conditional_variance(s) + conditional_mean(s) ** 2)
+        for s, pr in states
+    ) - mean**2
+    assert mean == f.f2  # unbiased
+    model = BernoulliMoments(p)
+    assert (
+        generic.combined_self_join_variance(
+            model, f, scale, n, correction=c, exact=True
+        )
+        == truth
+    )
+    assert closed.bernoulli_combined_self_join_variance(f, p, n) == truth
+
+
+def test_bernoulli_join_combined_variance_by_enumeration():
+    counts_f = np.array([2, 1])
+    counts_g = np.array([1, 2])
+    f, g = FrequencyVector(counts_f), FrequencyVector(counts_g)
+    p, q = Fraction(1, 2), Fraction(1, 3)
+    n = 2
+    scale = 1 / (p * q)
+    states_f = list(_binomial_states(counts_f, p))
+    states_g = list(_binomial_states(counts_g, q))
+
+    mean = Fraction(0)
+    second = Fraction(0)
+    for sample_f, prob_f in states_f:
+        for sample_g, prob_g in states_g:
+            pr = prob_f * prob_g
+            inner = sum(int(a) * int(b) for a, b in zip(sample_f, sample_g))
+            f2 = sum(int(a) ** 2 for a in sample_f)
+            g2 = sum(int(b) ** 2 for b in sample_g)
+            f2g2 = sum(int(a) ** 2 * int(b) ** 2 for a, b in zip(sample_f, sample_g))
+            conditional_var = Fraction(1, n) * (f2 * g2 + inner**2 - 2 * f2g2)
+            mean += pr * scale * inner
+            second += pr * (scale**2 * (conditional_var + inner**2))
+    truth = second - mean**2
+    assert mean == f.join_size(g)
+    model_f, model_g = BernoulliMoments(p), BernoulliMoments(q)
+    assert (
+        generic.combined_join_variance(model_f, f, model_g, g, scale, n, exact=True)
+        == truth
+    )
+    assert closed.bernoulli_combined_join_variance(f, g, p, q, n) == truth
+
+
+# ----------------------------------------------------------------------
+# Monte Carlo closes the loop against the real estimator pipeline
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.statistical
+def test_wr_join_variance_monte_carlo():
+    rng = np.random.default_rng(7)
+    f = FrequencyVector(rng.integers(0, 8, size=12))
+    g = FrequencyVector(rng.integers(0, 8, size=12))
+    size_f, size_g = max(2, f.total // 3), max(2, g.total // 4)
+    a, b = size_f / f.total, size_g / g.total
+    trials = 200_000
+    fs = rng.multinomial(size_f, f.counts / f.total, size=trials)
+    gs = rng.multinomial(size_g, g.counts / g.total, size=trials)
+    estimates = (fs * gs).sum(axis=1) / (a * b)
+    theoretical = float(
+        generic.sampling_join_variance(
+            WithReplacementMoments(size_f, f.total),
+            f,
+            WithReplacementMoments(size_g, g.total),
+            g,
+            Fraction(1) / (Fraction(size_f, f.total) * Fraction(size_g, g.total)),
+            exact=True,
+        )
+    )
+    assert estimates.mean() == pytest.approx(f.join_size(g), rel=0.02)
+    assert estimates.var() == pytest.approx(theoretical, rel=0.05)
+
+
+@pytest.mark.statistical
+def test_wor_self_join_variance_monte_carlo():
+    rng = np.random.default_rng(8)
+    f = FrequencyVector(rng.integers(0, 8, size=10))
+    size = max(2, f.total // 2)
+    coefficients = SamplingCoefficients(size, f.total)
+    alpha, alpha1 = coefficients.alpha, coefficients.alpha1
+    scale = float(1 / (alpha * alpha1))
+    constant = float((1 - alpha1) / alpha1 * f.total)
+    trials = 200_000
+    draws = np.array(
+        [
+            rng.multivariate_hypergeometric(f.counts, size, method="marginals")
+            for _ in range(trials)
+        ]
+    )
+    estimates = scale * (draws.astype(np.float64) ** 2).sum(axis=1) - constant
+    theoretical = float(
+        generic.sampling_self_join_variance(
+            WithoutReplacementMoments(size, f.total),
+            f,
+            1 / (alpha * alpha1),
+            exact=True,
+        )
+    )
+    assert estimates.mean() == pytest.approx(f.f2, rel=0.02)
+    assert estimates.var() == pytest.approx(theoretical, rel=0.05)

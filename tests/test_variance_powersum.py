@@ -1,0 +1,134 @@
+"""O(1) power-sum variance evaluation == O(domain) generic evaluation."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.frequency import FrequencyVector
+from repro.sampling.base import SampleInfo
+from repro.sampling.unbiasing import self_join_correction
+from repro.variance.generic import combined_self_join_variance, moment_model_for
+from repro.variance.powersum import (
+    FrequencyProfile,
+    self_join_variance_from_profile,
+)
+
+
+def _infos(total):
+    m = max(2, total // 3)
+    return [
+        SampleInfo("bernoulli", total, m, probability=0.25),
+        SampleInfo("with_replacement", total, m),
+        SampleInfo("without_replacement", total, m),
+    ]
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_profile_variance_equals_generic(seed):
+    rng = np.random.default_rng(seed)
+    f = FrequencyVector(rng.integers(0, 9, size=15))
+    profile = FrequencyProfile.from_vector(f)
+    for info in _infos(f.total):
+        model = moment_model_for(info)
+        correction = self_join_correction(info)
+        for n in (None, 1, 8):
+            expected = combined_self_join_variance(
+                model,
+                f,
+                correction.scale,
+                n,
+                correction=correction.random_coefficient,
+                exact=True,
+            )
+            actual = self_join_variance_from_profile(profile, info, n)
+            assert actual == expected, (info.scheme, n)
+
+
+def test_profile_from_vector(small_f):
+    profile = FrequencyProfile.from_vector(small_f)
+    assert (profile.p1, profile.p2, profile.p3, profile.p4) == (
+        small_f.f1,
+        small_f.f2,
+        small_f.f3,
+        small_f.f4,
+    )
+
+
+def test_profile_validation():
+    with pytest.raises(ConfigurationError):
+        FrequencyProfile(p1=-1, p2=0, p3=0, p4=0)
+    profile = FrequencyProfile(p1=3, p2=5, p3=9, p4=17)
+    with pytest.raises(ConfigurationError):
+        profile.power(5)
+
+
+def test_n_validation(small_f):
+    profile = FrequencyProfile.from_vector(small_f)
+    info = SampleInfo("with_replacement", small_f.total, 5)
+    with pytest.raises(ConfigurationError):
+        self_join_variance_from_profile(profile, info, 0)
+
+
+def test_profile_only_needs_four_numbers():
+    """Two different vectors with identical P1..P4 give identical variances."""
+    a = FrequencyVector(np.array([3, 1, 2, 0, 0]))
+    b = FrequencyVector(np.array([0, 2, 0, 1, 3]))  # same multiset of counts
+    assert FrequencyProfile.from_vector(a) == FrequencyProfile.from_vector(b)
+    info = SampleInfo("bernoulli", a.total, 2, probability=0.5)
+    va = self_join_variance_from_profile(FrequencyProfile.from_vector(a), info, 4)
+    vb = self_join_variance_from_profile(FrequencyProfile.from_vector(b), info, 4)
+    assert va == vb
+
+
+def test_exact_rationals_returned(small_f):
+    profile = FrequencyProfile.from_vector(small_f)
+    info = SampleInfo("bernoulli", small_f.total, 4, probability=0.25)
+    value = self_join_variance_from_profile(profile, info, 3)
+    assert isinstance(value, Fraction)
+
+
+class TestJoinProfile:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_join_profile_variance_equals_generic(self, seed):
+        from repro.sampling.unbiasing import join_scale
+        from repro.variance.generic import combined_join_variance
+        from repro.variance.powersum import JoinProfile, join_variance_from_profile
+
+        rng = np.random.default_rng(100 + seed)
+        f = FrequencyVector(rng.integers(0, 9, size=15))
+        g = FrequencyVector(rng.integers(0, 9, size=15))
+        profile = JoinProfile.from_vectors(f, g)
+        for info_f in _infos(f.total):
+            for info_g in _infos(g.total):
+                expected_scale = join_scale(info_f, info_g)
+                for n in (None, 1, 8):
+                    expected = combined_join_variance(
+                        moment_model_for(info_f),
+                        f,
+                        moment_model_for(info_g),
+                        g,
+                        expected_scale,
+                        n,
+                        exact=True,
+                    )
+                    actual = join_variance_from_profile(profile, info_f, info_g, n)
+                    assert actual == expected, (info_f.scheme, info_g.scheme, n)
+
+    def test_from_vectors(self, small_f, small_g):
+        from repro.variance.powersum import JoinProfile
+
+        profile = JoinProfile.from_vectors(small_f, small_g)
+        assert profile.fg == small_f.join_size(small_g)
+        assert profile.f2g2 == small_f.cross_power_sum(small_g, 2, 2)
+
+    def test_validation(self):
+        from repro.variance.powersum import JoinProfile, join_variance_from_profile
+
+        with pytest.raises(ConfigurationError):
+            JoinProfile(-1, 0, 0, 0, 0, 0, 0, 0)
+        profile = JoinProfile(1, 1, 1, 1, 1, 1, 1, 1)
+        info = SampleInfo("with_replacement", 10, 5)
+        with pytest.raises(ConfigurationError):
+            join_variance_from_profile(profile, info, info, 0)

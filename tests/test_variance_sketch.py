@@ -1,0 +1,62 @@
+"""AGMS variance closed forms (Props 7–8) and averaging."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.frequency import FrequencyVector
+from repro.variance.sketch import (
+    agms_join_variance,
+    agms_self_join_variance,
+    averaged_agms_join_variance,
+    averaged_agms_self_join_variance,
+)
+
+
+def test_join_variance_formula(small_f, small_g):
+    f2 = small_f.f2
+    g2 = small_g.f2
+    join = small_f.join_size(small_g)
+    f2g2 = small_f.cross_power_sum(small_g, 2, 2)
+    assert agms_join_variance(small_f, small_g) == f2 * g2 + join**2 - 2 * f2g2
+
+
+def test_self_join_variance_formula(small_f):
+    assert agms_self_join_variance(small_f) == 2 * (small_f.f2 ** 2 - small_f.f4)
+
+
+def test_self_join_variance_zero_for_single_value():
+    """One distinct value: S² = f² exactly, variance 0."""
+    fv = FrequencyVector([0, 7, 0])
+    assert agms_self_join_variance(fv) == 0
+
+
+def test_join_variance_zero_for_single_shared_value():
+    f = FrequencyVector([3, 0])
+    g = FrequencyVector([5, 0])
+    assert agms_join_variance(f, g) == 0
+
+
+def test_variance_non_negative(zipf_f, zipf_g):
+    assert agms_join_variance(zipf_f, zipf_g) >= 0
+    assert agms_self_join_variance(zipf_f) >= 0
+
+
+def test_averaging_divides_by_n(small_f, small_g):
+    base = agms_join_variance(small_f, small_g)
+    assert averaged_agms_join_variance(small_f, small_g, 4) == pytest.approx(base / 4)
+    base2 = agms_self_join_variance(small_f)
+    assert averaged_agms_self_join_variance(small_f, 10) == pytest.approx(base2 / 10)
+
+
+def test_averaging_rejects_bad_n(small_f, small_g):
+    with pytest.raises(ConfigurationError):
+        averaged_agms_join_variance(small_f, small_g, 0)
+    with pytest.raises(ConfigurationError):
+        averaged_agms_self_join_variance(small_f, -1)
+
+
+def test_exactness_no_overflow():
+    big = 2**33
+    fv = FrequencyVector([big, big, big])
+    expected = 2 * ((3 * big**2) ** 2 - 3 * big**4)
+    assert agms_self_join_variance(fv) == expected

@@ -1,0 +1,84 @@
+"""(ε, δ) sizing rules."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.variance.tail import (
+    SketchSizing,
+    mean_rows_needed,
+    median_of_means_sizing,
+)
+
+
+class TestMeanSizing:
+    def test_formula(self):
+        assert mean_rows_needed(0.1, 0.05) == math.ceil(2 / (0.01 * 0.05))
+
+    def test_monotonicity(self):
+        assert mean_rows_needed(0.05, 0.1) > mean_rows_needed(0.1, 0.1)
+        assert mean_rows_needed(0.1, 0.01) > mean_rows_needed(0.1, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mean_rows_needed(0.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            mean_rows_needed(0.1, 0.0)
+        with pytest.raises(ConfigurationError):
+            mean_rows_needed(0.1, 1.0)
+
+
+class TestMedianOfMeansSizing:
+    def test_structure(self):
+        sizing = median_of_means_sizing(0.1, 0.01)
+        assert isinstance(sizing, SketchSizing)
+        assert sizing.rows == sizing.groups * sizing.rows_per_group
+        assert sizing.groups % 2 == 1
+
+    def test_delta_dependence_is_logarithmic(self):
+        mild = median_of_means_sizing(0.1, 0.1)
+        strict = median_of_means_sizing(0.1, 1e-6)
+        # 10^5 tighter delta costs well under 10^5 more rows.
+        assert strict.rows < 20 * mild.rows
+
+    def test_beats_mean_sizing_for_tiny_delta(self):
+        epsilon, delta = 0.1, 1e-6
+        assert median_of_means_sizing(epsilon, delta).rows < mean_rows_needed(
+            epsilon, delta
+        )
+
+    def test_configuration_is_valid_for_agms(self):
+        from repro.sketches import AgmsSketch
+
+        sizing = median_of_means_sizing(0.5, 0.1)
+        sketch = AgmsSketch(
+            sizing.rows, seed=1, combine="median-of-means", groups=sizing.groups
+        )
+        assert sketch.rows == sizing.rows
+
+    @pytest.mark.statistical
+    def test_guarantee_holds_empirically(self):
+        """The sized sketch meets its (ε, δ) promise on adversarial-ish data."""
+        import numpy as np
+
+        from repro.frequency import FrequencyVector
+        from repro.sketches import AgmsSketch
+
+        epsilon, delta = 0.4, 0.2
+        sizing = median_of_means_sizing(epsilon, delta)
+        fv = FrequencyVector(np.array([7, 7, 7, 7, 7, 7, 7, 7]))  # worst-ish F2/F4
+        truth = fv.f2
+        failures = 0
+        trials = 60
+        for seed in range(trials):
+            sketch = AgmsSketch(
+                sizing.rows,
+                seed=seed,
+                combine="median-of-means",
+                groups=sizing.groups,
+            )
+            sketch.update_frequency_vector(fv)
+            if abs(sketch.second_moment() - truth) > epsilon * truth:
+                failures += 1
+        assert failures / trials <= delta

@@ -1,0 +1,127 @@
+"""Tumbling-window sketching."""
+
+import numpy as np
+import pytest
+
+from repro.core.windows import TumblingWindowSketcher, window_join_size
+from repro.errors import ConfigurationError, InsufficientDataError
+from repro.frequency import FrequencyVector
+from repro.streams import zipf_relation
+
+
+class TestWindowMechanics:
+    def test_windows_close_every_window_size_tuples(self):
+        sketcher = TumblingWindowSketcher(100, buckets=64, seed=1)
+        closed = sketcher.process(np.arange(250) % 64)
+        assert len(closed) == 2
+        assert sketcher.current_fill == 50
+        assert [w.index for w in closed] == [0, 1]
+        assert all(w.tuples == 100 for w in closed)
+
+    def test_windows_close_across_chunks(self):
+        sketcher = TumblingWindowSketcher(100, buckets=64, seed=2)
+        total_closed = []
+        for chunk in np.array_split(np.arange(1_000) % 64, 13):
+            total_closed.extend(sketcher.process(chunk))
+        assert len(total_closed) == 10
+        assert sketcher.current_fill == 0
+
+    def test_keep_last_eviction(self):
+        sketcher = TumblingWindowSketcher(10, buckets=16, keep_last=3, seed=3)
+        sketcher.process(np.arange(100) % 16)
+        assert len(sketcher.closed_windows) == 3
+        assert [w.index for w in sketcher.closed_windows] == [7, 8, 9]
+
+    def test_latest_requires_closed_window(self):
+        sketcher = TumblingWindowSketcher(100, buckets=16, seed=4)
+        with pytest.raises(InsufficientDataError):
+            sketcher.latest()
+        sketcher.process(np.arange(100) % 16)
+        assert sketcher.latest().index == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TumblingWindowSketcher(0, buckets=16)
+        with pytest.raises(ConfigurationError):
+            TumblingWindowSketcher(10, buckets=16, keep_last=0)
+        sketcher = TumblingWindowSketcher(10, buckets=16, seed=5)
+        with pytest.raises(ConfigurationError):
+            sketcher.process(np.ones((2, 2), dtype=np.int64))
+
+
+class TestWindowEstimates:
+    def test_per_window_f2_accurate_without_shedding(self):
+        relation = zipf_relation(30_000, 1_000, 1.0, seed=6)
+        window = 10_000
+        sketcher = TumblingWindowSketcher(window, buckets=2048, p=1.0, seed=7)
+        closed = sketcher.process(relation.keys)
+        assert len(closed) == 3
+        for i, summary in enumerate(closed):
+            truth = FrequencyVector.from_items(
+                relation.keys[i * window : (i + 1) * window], 1_000
+            ).f2
+            assert summary.self_join_size() == pytest.approx(truth, rel=0.15)
+
+    def test_per_window_f2_with_shedding(self):
+        relation = zipf_relation(40_000, 1_000, 1.0, seed=8)
+        window = 20_000
+        sketcher = TumblingWindowSketcher(window, buckets=2048, p=0.2, seed=9)
+        closed = sketcher.process(relation.keys)
+        for i, summary in enumerate(closed):
+            truth = FrequencyVector.from_items(
+                relation.keys[i * window : (i + 1) * window], 1_000
+            ).f2
+            assert summary.self_join_size() == pytest.approx(truth, rel=0.35)
+            assert summary.info.sample_size < window  # shedding happened
+
+    def test_cross_window_join_similarity(self):
+        """Same-distribution windows look similar; disjoint ones don't."""
+        rng = np.random.default_rng(10)
+        zipf_keys = zipf_relation(40_000, 500, 1.2, seed=11, shuffle_values=False)
+        window = 20_000
+        sketcher = TumblingWindowSketcher(window, buckets=2048, p=1.0, seed=12)
+        closed = sketcher.process(zipf_keys.keys)
+        similar = window_join_size(closed[0], closed[1])
+        # Shifted-domain second stream: no overlap with the first window.
+        disjoint_keys = zipf_keys.keys[:window] + 500
+        sketcher2 = TumblingWindowSketcher(window, buckets=2048, p=1.0, seed=12)
+        closed2 = sketcher2.process(
+            np.concatenate([zipf_keys.keys[:window], disjoint_keys])
+        )
+        dissimilar = window_join_size(closed2[0], closed2[1])
+        assert similar > 10 * abs(dissimilar)
+        _ = rng
+
+    def test_merged_summary_sliding_view(self):
+        """The merged summary over k panes estimates the union's F2."""
+        relation = zipf_relation(30_000, 1_000, 1.0, seed=15)
+        window = 10_000
+        sketcher = TumblingWindowSketcher(window, buckets=2048, p=0.3, seed=16)
+        sketcher.process(relation.keys)
+        merged = sketcher.merged_summary(last=3)
+        truth = relation.self_join_size()  # union of all 3 windows
+        assert merged.tuples == 30_000
+        assert merged.self_join_size() == pytest.approx(truth, rel=0.3)
+        # A 2-window view covers the last two windows only.
+        partial = sketcher.merged_summary(last=2)
+        partial_truth = FrequencyVector.from_items(
+            relation.keys[window:], 1_000
+        ).f2
+        assert partial.self_join_size() == pytest.approx(partial_truth, rel=0.3)
+
+    def test_merged_summary_validation(self):
+        sketcher = TumblingWindowSketcher(10, buckets=16, seed=17)
+        with pytest.raises(ConfigurationError):
+            sketcher.merged_summary(last=0)
+        with pytest.raises(InsufficientDataError):
+            sketcher.merged_summary(last=1)
+
+    def test_drift_metric(self):
+        keys = zipf_relation(30_000, 500, 1.2, seed=13, shuffle_values=False)
+        sketcher = TumblingWindowSketcher(10_000, buckets=2048, p=0.5, seed=14)
+        assert sketcher.drift() is None
+        sketcher.process(keys.keys)
+        drift = sketcher.drift()
+        assert drift is not None
+        # Stationary traffic: similarity near 1.
+        assert drift == pytest.approx(1.0, abs=0.25)
