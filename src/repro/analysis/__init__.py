@@ -1,0 +1,66 @@
+"""Repo-specific static analysis: the invariants the runtime never checks.
+
+This package is a self-contained AST-based checker for the reproduction's
+correctness invariants (see ``docs/STATIC_ANALYSIS.md``):
+
+========  =================  ====================================================
+Code      Name               Invariant
+========  =================  ====================================================
+REP001    determinism        randomness flows through :mod:`repro.rng` only
+REP002    dtype-safety       power sums/accumulators promote to int64/float64
+REP003    api-consistency    ``__all__`` is real; public defs documented
+REP004    float-equality     no bare ``==``/``!=`` on float expressions
+REP005    estimator-contract sketches implement the full interface and call
+                             ``check_compatible`` before cross-sketch estimates
+========  =================  ====================================================
+
+Run it with ``python -m repro.analysis [paths]`` (or the installed
+``repro-analysis`` script); the tier-1 test suite also executes it over
+``src`` and ``tests`` so a violation fails CI.
+"""
+
+from __future__ import annotations
+
+from .config import AnalysisConfig, RuleConfig, load_config, path_matches
+from .engine import (
+    AnalysisResult,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    discover_files,
+    parse_suppressions,
+)
+from .registry import (
+    RULE_REGISTRY,
+    FileContext,
+    Finding,
+    Rule,
+    Severity,
+    all_rules,
+    get_rule,
+)
+from .reporters import REPORT_SCHEMA_VERSION, render_json, render_text
+from . import rules as _rules  # noqa: F401  — registers the REP rules
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "FileContext",
+    "Finding",
+    "REPORT_SCHEMA_VERSION",
+    "RULE_REGISTRY",
+    "Rule",
+    "RuleConfig",
+    "Severity",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "discover_files",
+    "get_rule",
+    "load_config",
+    "parse_suppressions",
+    "path_matches",
+    "render_json",
+    "render_text",
+]

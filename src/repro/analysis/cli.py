@@ -1,0 +1,117 @@
+"""Command-line entry point: ``python -m repro.analysis`` / ``repro-analysis``.
+
+Exit codes: 0 clean tree, 1 findings reported, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .config import load_config
+from .engine import analyze_paths
+from .registry import RULE_REGISTRY, all_rules
+from .reporters import render_json, render_text
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-analysis`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-analysis",
+        description=(
+            "Repo-specific AST invariant checker: determinism (REP001), "
+            "dtype safety (REP002), API consistency (REP003), float "
+            "equality (REP004), estimator contract (REP005)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to check (default: paths from "
+        "[tool.repro.analysis] in pyproject.toml)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="project root containing pyproject.toml (default: cwd)",
+    )
+    parser.add_argument(
+        "-f",
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="include suppression counts"
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(
+            f"{rule.code}  {rule.name:<20} [{rule.default_severity.value}] "
+            f"{rule.description}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the checker; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    select = None
+    if args.select:
+        select = {code.strip().upper() for code in args.select.split(",")}
+        unknown = select - set(RULE_REGISTRY)
+        # Rules register on config load; pre-load so the check is accurate.
+        if unknown:
+            load_config(Path(args.root))
+            unknown = select - set(RULE_REGISTRY)
+        if unknown:
+            parser.error(f"unknown rule code(s): {sorted(unknown)}")
+
+    root = Path(args.root)
+    if not root.is_dir():
+        parser.error(f"--root {args.root!r} is not a directory")
+
+    # A typo'd path must not pass green: "checked 0 file(s)" from a CI line
+    # like `repro-analysis scr tests` would silently disable enforcement.
+    for raw in args.paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if not path.exists():
+            parser.error(f"path {raw!r} does not exist under root {args.root!r}")
+
+    result = analyze_paths(paths=args.paths or None, root=root, select=select)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

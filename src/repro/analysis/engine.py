@@ -1,0 +1,197 @@
+"""Analysis driver: file discovery, suppressions, and rule dispatch.
+
+Suppression syntax
+------------------
+Append a comment to the offending line::
+
+    rng = np.random.default_rng()          # repro: noqa(REP001)
+    x = a.sum() == b.sum()                 # repro: noqa(REP002, REP004)
+    anything_goes()                        # repro: noqa
+
+``# repro: noqa`` with no argument suppresses every rule on that line; the
+parenthesized form suppresses only the listed codes.  Suppressions are
+per-line (matched against the finding's reported line).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .config import AnalysisConfig, load_config
+from .registry import FileContext, Finding, Severity, all_rules
+
+__all__ = [
+    "AnalysisResult",
+    "analyze_source",
+    "analyze_file",
+    "analyze_paths",
+    "discover_files",
+    "parse_suppressions",
+]
+
+_NOQA_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*\(\s*(?P<codes>[A-Z0-9,\s]*?)\s*\))?",
+    re.IGNORECASE,
+)
+
+
+@dataclasses.dataclass
+class AnalysisResult:
+    """Findings plus bookkeeping from one analyzer run."""
+
+    findings: list
+    files_checked: int
+    suppressed: int = 0
+
+    @property
+    def errors(self) -> list:
+        """Findings at :attr:`Severity.ERROR`."""
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean / 1 findings — what the CLI and CI key off."""
+        return 1 if self.findings else 0
+
+
+def parse_suppressions(source: str) -> dict:
+    """Map line number -> set of suppressed codes (empty set = all rules)."""
+    suppressions: dict[int, set] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_PATTERN.search(line)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            suppressions[lineno] = set()
+        else:
+            suppressions[lineno] = {
+                code.strip().upper() for code in codes.split(",") if code.strip()
+            }
+    return suppressions
+
+
+def _is_suppressed(finding: Finding, suppressions: dict) -> bool:
+    codes = suppressions.get(finding.line)
+    if codes is None:
+        return False
+    return not codes or finding.code in codes
+
+
+def analyze_source(
+    source: str,
+    rel_path: str,
+    config: Optional[AnalysisConfig] = None,
+    select: Optional[Iterable[str]] = None,
+) -> AnalysisResult:
+    """Analyze one in-memory source file (the unit tests' entry point)."""
+    config = config or AnalysisConfig()
+    selected = set(select) if select is not None else None
+    try:
+        base_ctx = FileContext.from_source(source, rel_path)
+        suppressions = parse_suppressions(source)
+        findings: list[Finding] = []
+        suppressed = 0
+        for rule in all_rules():
+            if selected is not None and rule.code not in selected:
+                continue
+            rule_config = config.rule_config(rule.code)
+            # Fall back to rule defaults when the config carries no paths
+            # (e.g. a bare AnalysisConfig built in tests).
+            include = rule_config.include or rule.default_include
+            exclude = rule_config.exclude or rule.default_exclude
+            effective = dataclasses.replace(
+                rule_config, include=include, exclude=exclude
+            )
+            if not effective.applies_to(rel_path):
+                continue
+            ctx = dataclasses.replace(base_ctx, options=rule_config.options)
+            severity = config.severity_for(rule.code)
+            for finding in rule.check(ctx):
+                finding = dataclasses.replace(finding, severity=severity)
+                if _is_suppressed(finding, suppressions):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+        findings.sort()
+        return AnalysisResult(
+            findings=findings, files_checked=1, suppressed=suppressed
+        )
+    except SyntaxError as exc:
+        finding = Finding(
+            path=rel_path,
+            line=exc.lineno or 1,
+            column=(exc.offset or 1) - 1,
+            code="REP000",
+            message=f"file does not parse: {exc.msg}",
+            severity=Severity.ERROR,
+        )
+        return AnalysisResult(findings=[finding], files_checked=1)
+
+
+def analyze_file(
+    path: Path,
+    root: Path,
+    config: Optional[AnalysisConfig] = None,
+    select: Optional[Iterable[str]] = None,
+) -> AnalysisResult:
+    """Analyze one on-disk file, reporting paths relative to *root*."""
+    rel_path = path.resolve().relative_to(root.resolve()).as_posix()
+    source = path.read_text(encoding="utf-8")
+    return analyze_source(source, rel_path, config=config, select=select)
+
+
+def discover_files(
+    paths: Iterable[Path], root: Path, exclude: Iterable[str]
+) -> list:
+    """Expand *paths* into the sorted list of ``.py`` files to analyze."""
+    from .config import path_matches
+
+    files: set[Path] = set()
+    root = root.resolve()
+    for path in paths:
+        path = Path(path)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_file() and path.suffix == ".py":
+            files.add(path.resolve())
+        elif path.is_dir():
+            files.update(p.resolve() for p in path.rglob("*.py"))
+    kept = []
+    for path in sorted(files):
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            continue  # outside the analysis root
+        if not path_matches(rel, exclude):
+            kept.append(path)
+    return kept
+
+
+def analyze_paths(
+    paths: Optional[Iterable] = None,
+    root: Optional[Path] = None,
+    config: Optional[AnalysisConfig] = None,
+    select: Optional[Iterable[str]] = None,
+) -> AnalysisResult:
+    """Analyze a tree: the library entry point behind the CLI and tests."""
+    root = Path(root) if root is not None else Path.cwd()
+    if config is None:
+        config = load_config(root)
+    targets = [Path(p) for p in paths] if paths else list(config.paths)
+    files = discover_files(targets, root, config.exclude)
+    findings: list[Finding] = []
+    files_checked = 0
+    suppressed = 0
+    for path in files:
+        result = analyze_file(path, root, config=config, select=select)
+        findings.extend(result.findings)
+        files_checked += result.files_checked
+        suppressed += result.suppressed
+    findings.sort()
+    return AnalysisResult(
+        findings=findings, files_checked=files_checked, suppressed=suppressed
+    )

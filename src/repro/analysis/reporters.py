@@ -1,0 +1,56 @@
+"""Text and JSON renderings of an :class:`AnalysisResult`.
+
+The JSON form is *stable*: findings sorted by (path, line, column, code),
+keys emitted in a fixed order, counts included — so CI diffs and the
+reporter tests can compare output byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import AnalysisResult
+from .registry import Severity
+
+__all__ = ["render_text", "render_json", "REPORT_SCHEMA_VERSION"]
+
+#: Bumped whenever the JSON layout changes shape.
+REPORT_SCHEMA_VERSION = 1
+
+
+def render_text(result: AnalysisResult, verbose: bool = False) -> str:
+    """Human-oriented ``path:line:col: CODE [severity] message`` listing."""
+    lines = [
+        f"{finding.location()}: {finding.code} "
+        f"[{finding.severity.value}] {finding.message}"
+        for finding in result.findings
+    ]
+    errors = len(result.errors)
+    warnings = len(result.findings) - errors
+    summary = (
+        f"checked {result.files_checked} file(s): "
+        f"{errors} error(s), {warnings} warning(s)"
+    )
+    if verbose or result.suppressed:
+        summary += f", {result.suppressed} suppressed"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Stable machine-oriented report (see module docstring)."""
+    payload = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "counts": {
+            "error": sum(
+                1 for f in result.findings if f.severity is Severity.ERROR
+            ),
+            "warning": sum(
+                1 for f in result.findings if f.severity is Severity.WARNING
+            ),
+        },
+        "findings": [finding.to_dict() for finding in sorted(result.findings)],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,21 @@
+"""The repo-specific invariant rules.
+
+Importing this package registers every rule with
+:data:`repro.analysis.registry.RULE_REGISTRY`.
+"""
+
+from __future__ import annotations
+
+from .api_consistency import ApiConsistencyRule
+from .determinism import DeterminismRule
+from .dtype_safety import DtypeSafetyRule
+from .estimator_contract import EstimatorContractRule
+from .float_equality import FloatEqualityRule
+
+__all__ = [
+    "ApiConsistencyRule",
+    "DeterminismRule",
+    "DtypeSafetyRule",
+    "EstimatorContractRule",
+    "FloatEqualityRule",
+]

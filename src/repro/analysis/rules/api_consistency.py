@@ -1,0 +1,172 @@
+"""REP003 — ``__all__`` is the public API and it must be real.
+
+The reproduction's modules document the paper mapping in their public
+surface: experiments import estimators by name, and docs/API.md is
+generated from the same names.  This rule keeps ``__all__`` honest:
+
+* every name exported via ``__all__`` must actually be defined (or
+  imported) at module top level — a stale entry breaks ``import *`` and
+  the docs build;
+* every *public* top-level function/class must be listed in ``__all__``
+  (or renamed with a leading underscore) so the API surface is explicit;
+* every public top-level function/class must carry a docstring — the
+  paper-to-code mapping lives in them.
+
+Modules without ``__all__`` are only held to the docstring requirement.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..registry import FileContext, Finding, Rule, register_rule
+from .common import has_docstring, iter_top_level_defs, string_list_literal
+
+__all__ = ["ApiConsistencyRule"]
+
+
+def _is_dunder_all_target(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id == "__all__"
+
+
+def _find_dunder_all(tree: ast.Module) -> tuple[Optional[ast.stmt], Optional[list]]:
+    """The ``__all__`` assignment node and its full static entry list.
+
+    Follows the common mutation idioms — ``__all__.append("x")``,
+    ``__all__.extend([...])``, ``__all__ += [...]`` — so modules that grow
+    their export list after the definitions are not misread.  Returns
+    ``(node, None)`` when any contribution is dynamic (a computed value):
+    the rule then skips the export checks rather than guessing.
+    """
+    anchor: Optional[ast.stmt] = None
+    exported: list[str] = []
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            _is_dunder_all_target(t) for t in node.targets
+        ):
+            entries = string_list_literal(node.value)
+            if entries is None:
+                return node, None
+            anchor, exported = node, list(entries)
+        elif isinstance(node, ast.AnnAssign) and _is_dunder_all_target(node.target):
+            if node.value is None:
+                continue
+            entries = string_list_literal(node.value)
+            if entries is None:
+                return node, None
+            anchor, exported = node, list(entries)
+        elif isinstance(node, ast.AugAssign) and _is_dunder_all_target(node.target):
+            entries = string_list_literal(node.value)
+            if entries is None:
+                return anchor or node, None
+            exported.extend(entries)
+        elif (
+            isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+            and _is_dunder_all_target(node.value.func.value)
+            and node.value.func.attr in {"append", "extend"}
+            and node.value.args
+        ):
+            argument = node.value.args[0]
+            if node.value.func.attr == "append":
+                if not (
+                    isinstance(argument, ast.Constant)
+                    and isinstance(argument.value, str)
+                ):
+                    return anchor or node, None
+                exported.append(argument.value)
+            else:
+                entries = string_list_literal(argument)
+                if entries is None:
+                    return anchor or node, None
+                exported.extend(entries)
+    if anchor is None:
+        return None, None
+    return anchor, exported
+
+
+def _top_level_bindings(tree: ast.Module) -> set:
+    """Every name bound at module top level (defs, assigns, imports)."""
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # Common guarded-definition idioms (TYPE_CHECKING, optional deps).
+            for sub in ast.walk(node):
+                if isinstance(
+                    sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    names.add(sub.name)
+                elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    for alias in sub.names:
+                        if alias.name != "*":
+                            names.add(alias.asname or alias.name.split(".")[0])
+    return names
+
+
+@register_rule
+class ApiConsistencyRule(Rule):
+    """Keep ``__all__``, public defs, and docstrings in sync."""
+
+    code = "REP003"
+    name = "api-consistency"
+    description = (
+        "__all__ entries must exist; public top-level defs must be "
+        "exported in __all__ and carry docstrings"
+    )
+    default_include = ("src",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        all_node, exported = _find_dunder_all(ctx.tree)
+        bindings = _top_level_bindings(ctx.tree)
+        has_star_import = any(
+            isinstance(node, ast.ImportFrom)
+            and any(alias.name == "*" for alias in node.names)
+            for node in ctx.tree.body
+        )
+
+        if exported is not None and not has_star_import:
+            for name in exported:
+                if name not in bindings:
+                    yield self.finding(
+                        ctx,
+                        all_node,
+                        f"__all__ exports {name!r} but the module never "
+                        "defines or imports it",
+                    )
+
+        for node in iter_top_level_defs(ctx.tree):
+            if node.name.startswith("_"):
+                continue
+            if exported is not None and node.name not in exported:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"public {type(node).__name__.replace('Def', '').lower()} "
+                    f"{node.name!r} is not listed in __all__; export it or "
+                    "rename it with a leading underscore",
+                )
+            if not has_docstring(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"public {node.name!r} has no docstring; the paper-to-"
+                    "code mapping is documented in docstrings",
+                )

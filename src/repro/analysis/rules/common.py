@@ -1,0 +1,109 @@
+"""Shared AST utilities for the invariant rules.
+
+The central primitive is :class:`ImportTable` + :func:`qualified_name`,
+which together resolve an attribute/call expression like
+``np.random.default_rng(...)`` to its canonical dotted name
+``numpy.random.default_rng`` regardless of how the module was imported
+(``import numpy as np``, ``from numpy import random``,
+``from numpy.random import default_rng``, …).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+__all__ = [
+    "ImportTable",
+    "qualified_name",
+    "walk_with_parents",
+    "iter_top_level_defs",
+    "string_list_literal",
+    "has_docstring",
+]
+
+
+class ImportTable:
+    """Maps local names to the canonical dotted paths they were bound to."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # ``import a.b.c`` binds ``a`` to package ``a`` unless
+                    # aliased, in which case the alias means the full path.
+                    target = alias.name if alias.asname else local
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative imports resolve within repro itself
+                    module = "." * node.level + (node.module or "")
+                else:
+                    module = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{module}.{alias.name}"
+
+    def resolve(self, dotted: str) -> str:
+        """Canonicalize a source-level dotted name via the import aliases."""
+        head, _, rest = dotted.partition(".")
+        base = self.aliases.get(head, head)
+        return f"{base}.{rest}" if rest else base
+
+
+def qualified_name(
+    node: ast.AST, imports: Optional[ImportTable] = None
+) -> Optional[str]:
+    """Dotted name of a ``Name``/``Attribute`` chain, else ``None``.
+
+    With *imports*, the head segment is canonicalized through the file's
+    import aliases.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    dotted = ".".join(reversed(parts))
+    return imports.resolve(dotted) if imports else dotted
+
+
+def walk_with_parents(tree: ast.AST) -> Iterator[tuple[ast.AST, ast.AST]]:
+    """Yield ``(node, parent)`` pairs over the whole tree."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            yield child, parent
+
+
+def iter_top_level_defs(
+    tree: ast.Module,
+) -> Iterator[ast.stmt]:
+    """Top-level function/class definitions (including async functions)."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            yield node
+
+
+def string_list_literal(node: ast.expr) -> Optional[list[str]]:
+    """The string entries of a list/tuple literal, or ``None`` if dynamic."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    values: list[str] = []
+    for element in node.elts:
+        if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+            return None
+        values.append(element.value)
+    return values
+
+
+def has_docstring(node: ast.AST) -> bool:
+    """Whether a module/def/class node carries a docstring."""
+    try:
+        return ast.get_docstring(node, clean=False) is not None
+    except TypeError:  # pragma: no cover - non-docstring node kinds
+        return False

@@ -1,0 +1,149 @@
+"""REP005 — sketch subclasses must honor the :class:`Sketch` contract.
+
+Estimates across sketches are only meaningful when both sides share hash/ξ
+families (same seed) and shape — the whole point of
+``Sketch.check_compatible``.  A subclass that implements ``inner_product``
+or overrides ``merge`` without (transitively) calling ``check_compatible``
+silently produces garbage join estimates when handed a foreign sketch.
+The rule also requires the full abstract interface so a partially-
+implemented sketch fails review rather than failing at runtime.
+
+The transitive part matters in practice: ``AgmsSketch.inner_product``
+delegates to ``row_inner_products``, which performs the check — so the
+rule builds a small per-class ``self.*`` call graph and asks whether
+``check_compatible`` is reachable from the override.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..registry import FileContext, Finding, Rule, register_rule
+
+__all__ = ["EstimatorContractRule"]
+
+_REQUIRED_METHODS = (
+    "update",
+    "second_moment",
+    "inner_product",
+    "copy_empty",
+    "_state",
+)
+
+_CHECKED_METHODS = ("inner_product", "merge")
+
+
+def _base_names(cls: ast.ClassDef) -> set:
+    names: set[str] = set()
+    for base in cls.bases:
+        if isinstance(base, ast.Attribute):
+            names.add(base.attr)
+        elif isinstance(base, ast.Name):
+            names.add(base.id)
+    return names
+
+
+def _self_calls(func: ast.FunctionDef) -> set:
+    """Methods invoked as ``self.<name>(...)``, plus ``super:<name>`` markers."""
+    called: set[str] = set()
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        receiver = node.func.value
+        if isinstance(receiver, ast.Name) and receiver.id == "self":
+            called.add(node.func.attr)
+        elif (
+            isinstance(receiver, ast.Call)
+            and isinstance(receiver.func, ast.Name)
+            and receiver.func.id == "super"
+        ):
+            called.add(f"super:{node.func.attr}")
+    return called
+
+
+#: Callees that terminate the search: the check itself, or a delegation to a
+#: base-class method that performs it (Sketch.merge / Sketch.check_compatible).
+_SATISFYING_CALLEES = {
+    "check_compatible",
+    "super:check_compatible",
+    "super:merge",
+    "super:inner_product",
+}
+
+
+def _reaches_check(start: str, call_graph: dict) -> bool:
+    """Whether ``check_compatible`` is reachable from *start* in the class."""
+    seen: set[str] = set()
+    frontier = [start]
+    while frontier:
+        current = frontier.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        for callee in call_graph.get(current, set()):
+            if callee in _SATISFYING_CALLEES:
+                return True
+            if not callee.startswith("super:"):
+                frontier.append(callee)
+    return False
+
+
+@register_rule
+class EstimatorContractRule(Rule):
+    """Enforce the Sketch interface and compatibility checks."""
+
+    code = "REP005"
+    name = "estimator-contract"
+    description = (
+        "Sketch subclasses must implement the full interface and route "
+        "inner_product/merge through check_compatible"
+    )
+    default_include = ("src",)
+    default_exclude = ("src/repro/sketches/base.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        base_class = ctx.options.get("base_class", "Sketch")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name == base_class or base_class not in _base_names(node):
+                continue
+            methods = {
+                item.name: item
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            is_abstract = any(
+                isinstance(dec, ast.Name)
+                and dec.id in {"abstractmethod", "ABC"}
+                for method in methods.values()
+                for dec in method.decorator_list
+            ) or "ABC" in _base_names(node)
+            if not is_abstract:
+                for required in _REQUIRED_METHODS:
+                    if required not in methods:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"sketch class {node.name!r} does not implement "
+                            f"{required!r} from the Sketch interface "
+                            "(sketches/base.py)",
+                        )
+
+            call_graph = {
+                name: _self_calls(method) for name, method in methods.items()
+            }
+            for checked in _CHECKED_METHODS:
+                method = methods.get(checked)
+                if method is None:
+                    continue  # inherited implementation already checks
+                if not _reaches_check(checked, call_graph):
+                    yield self.finding(
+                        ctx,
+                        method,
+                        f"{node.name}.{checked} never calls "
+                        "check_compatible (directly or via a helper); "
+                        "estimates across incompatible sketches are "
+                        "meaningless",
+                    )

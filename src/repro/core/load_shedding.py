@@ -67,7 +67,7 @@ class LoadShedder:
             raise ConfigurationError(f"keys must be 1-D, got shape {keys.shape}")
         length = keys.size
         self._seen += length
-        if self.p == 1.0:
+        if self.p >= 1.0:
             self._kept += length
             return keys
         positions = self._kept_positions(length)

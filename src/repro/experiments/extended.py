@@ -29,7 +29,7 @@ from ..core.estimators import (
     self_join_interval,
     sketch_over_sample,
 )
-from ..rng import as_seed_sequence
+from ..rng import as_generator, as_seed_sequence
 from ..sampling.base import SampleInfo, Sampler
 from ..sampling.bernoulli import BernoulliSampler
 from ..sampling.unbiasing import self_join_correction
@@ -157,7 +157,7 @@ def ext2_interval_coverage(
         hits = 0
         seeds = as_seed_sequence(scale.seed + 93).spawn(trials)
         for index, child in enumerate(seeds):
-            rng = np.random.default_rng(child)
+            rng = as_generator(child)
             sketch = FagmsSketch(scale.buckets, seed=int(rng.integers(2**63)))
             info = sketch_over_sample(workload, sampler, sketch, seed=rng)
             estimate = estimate_self_join_size(sketch, info)
@@ -225,7 +225,7 @@ def ext3_theory_vs_monte_carlo(
         seeds = as_seed_sequence(scale.seed + 95).spawn(trials)
         info = None
         for index, child in enumerate(seeds):
-            rng = np.random.default_rng(child)
+            rng = as_generator(child)
             sketch = FagmsSketch(scale.buckets, seed=int(rng.integers(2**63)))
             info = sketch_over_sample(workload, sampler, sketch, seed=rng)
             estimates[index] = estimate_self_join_size(sketch, info).value

@@ -14,7 +14,7 @@ from typing import Callable
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..rng import SeedLike, spawn
+from ..rng import SeedLike, as_generator, spawn
 
 __all__ = ["TrialStats", "run_trials", "relative_error"]
 
@@ -82,6 +82,6 @@ def run_trials(
     seeds = spawn(seed, trials)
     errors = np.empty(trials, dtype=np.float64)
     for index, child in enumerate(seeds):
-        estimate = estimator(np.random.default_rng(child))
+        estimate = estimator(as_generator(child))
         errors[index] = relative_error(estimate, truth)
     return TrialStats(errors=errors, truth=float(truth))

@@ -264,7 +264,7 @@ def cross_power_sum(f: np.ndarray, g: np.ndarray, a: int, b: int) -> int:
     if b == 0:
         support = f[f > 0]
         return sum(int(c) ** a for c in support) if a > 2 else _as_int(
-            (support.astype(object) ** a).sum()
+            (support.astype(object) ** a).sum(dtype=object)
         )
     mask = (f > 0) & (g > 0)
     fs = f[mask]

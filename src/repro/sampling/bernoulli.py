@@ -93,7 +93,7 @@ def bernoulli_skip_lengths(
         raise ConfigurationError(f"Bernoulli p must be in (0, 1], got {p}")
     if count < 0:
         raise ConfigurationError(f"count must be >= 0, got {count}")
-    if p == 1.0:
+    if p >= 1.0:
         return np.zeros(count, dtype=np.int64)
     rng = as_generator(seed)
     # numpy's geometric counts trials to first success (support {1, 2, ...});

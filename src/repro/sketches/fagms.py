@@ -120,7 +120,7 @@ class FagmsSketch(Sketch):
 
     def row_second_moments(self) -> np.ndarray:
         """Per-row self-join estimates ``Σ_b counter²`` (before combining)."""
-        return (self._counters**2).sum(axis=1)
+        return (self._counters**2).sum(axis=1, dtype=np.float64)
 
     def row_inner_products(self, other: "FagmsSketch") -> np.ndarray:
         """Per-row join estimates ``Σ_b S_F·S_G`` (before combining)."""

@@ -23,8 +23,6 @@ sketches do not care, but to keep the generator honest ``shuffle_values=True``
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from ..errors import ConfigurationError

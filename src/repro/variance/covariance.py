@@ -118,6 +118,8 @@ def averaging_floor_ratio(
         floor = basic_self_join_covariance(
             model_f, f, scale, correction=correction
         )
-    if float(floor) == 0.0:
+    # Exact zero is meaningful here: floor is float(Fraction) and a zero
+    # covariance floor must map to an infinite ratio, not a fuzzy band.
+    if float(floor) == 0.0:  # repro: noqa(REP004)
         return float("inf")
     return float(variance) / float(floor)

@@ -1,0 +1,28 @@
+"""Helpers for the invariant-checker tests.
+
+``run_rule`` analyzes an in-memory snippet with exactly one rule selected
+and returns the surviving findings; ``rel_path`` defaults to a location
+inside ``src/repro`` so the rule's default include patterns apply just as
+they would on the real tree.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_source
+
+
+@pytest.fixture
+def run_rule():
+    """``run_rule(source, code, rel_path=...) -> list[Finding]``."""
+
+    def runner(source: str, code: str, rel_path: str = "src/repro/snippet.py"):
+        result = analyze_source(
+            textwrap.dedent(source), rel_path, select={code}
+        )
+        return result.findings
+
+    return runner

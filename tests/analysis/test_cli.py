@@ -1,0 +1,94 @@
+"""The ``python -m repro.analysis`` / ``repro-analysis`` command line."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _write(tmp_path: Path, rel: str, source: str) -> None:
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+
+
+@pytest.fixture
+def bad_tree(tmp_path: Path) -> Path:
+    _write(
+        tmp_path,
+        "src/repro/offender.py",
+        "import numpy as np\nrng = np.random.default_rng(0)\n",
+    )
+    return tmp_path
+
+
+class TestMain:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/fine.py", "import numpy as np\n")
+        assert main(["--root", str(tmp_path), "src"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, bad_tree, capsys):
+        assert main(["--root", str(bad_tree), "src"]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out
+        assert "src/repro/offender.py:2:" in out
+
+    def test_json_format(self, bad_tree, capsys):
+        assert main(["--root", str(bad_tree), "-f", "json", "src"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["error"] == 1
+
+    def test_select_limits_rules(self, bad_tree, capsys):
+        assert main(["--root", str(bad_tree), "--select", "REP004", "src"]) == 0
+        capsys.readouterr()
+
+    def test_unknown_rule_code_is_usage_error(self, bad_tree, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--root", str(bad_tree), "--select", "REP999", "src"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_nonexistent_path_is_usage_error(self, bad_tree, capsys):
+        # A typo'd path in a CI line must not silently check 0 files.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--root", str(bad_tree), "srk"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert code in out
+
+    def test_syntax_error_reported_as_rep000(self, tmp_path, capsys):
+        _write(tmp_path, "src/repro/broken.py", "def broken(:\n")
+        assert main(["--root", str(tmp_path), "src"]) == 1
+        assert "REP000" in capsys.readouterr().out
+
+
+class TestModuleInvocation:
+    def test_python_dash_m_runs(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [str(REPO_ROOT / "src"), env.get("PYTHONPATH")])
+        )
+        process = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--list-rules"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=env,
+        )
+        assert process.returncode == 0
+        assert "REP001" in process.stdout

@@ -1,0 +1,67 @@
+"""Text and JSON reporter output, including byte-stability of the JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import (
+    REPORT_SCHEMA_VERSION,
+    analyze_source,
+    render_json,
+    render_text,
+)
+
+BAD_SOURCE = (
+    "import numpy as np\n"
+    "rng = np.random.default_rng(1)\n"
+    "other = np.random.default_rng(2)\n"
+)
+
+
+def _result():
+    return analyze_source(BAD_SOURCE, "src/repro/snippet.py", select={"REP001"})
+
+
+class TestTextReporter:
+    def test_locations_and_summary(self):
+        text = render_text(_result())
+        lines = text.splitlines()
+        assert lines[0].startswith("src/repro/snippet.py:2:")
+        assert "REP001" in lines[0]
+        assert "[error]" in lines[0]
+        assert lines[-1] == "checked 1 file(s): 2 error(s), 0 warning(s)"
+
+    def test_clean_result_is_summary_only(self):
+        result = analyze_source(
+            "import numpy as np\n", "src/repro/snippet.py", select={"REP001"}
+        )
+        assert render_text(result) == "checked 1 file(s): 0 error(s), 0 warning(s)"
+
+
+class TestJsonReporter:
+    def test_output_is_byte_stable_across_runs(self):
+        assert render_json(_result()) == render_json(_result())
+
+    def test_schema(self):
+        payload = json.loads(render_json(_result()))
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION
+        assert payload["files_checked"] == 1
+        assert payload["counts"] == {"error": 2, "warning": 0}
+        assert [f["line"] for f in payload["findings"]] == [2, 3]
+        first = payload["findings"][0]
+        assert set(first) == {
+            "path",
+            "line",
+            "column",
+            "code",
+            "message",
+            "severity",
+        }
+        assert first["code"] == "REP001"
+        assert first["severity"] == "error"
+
+    def test_findings_sorted_by_location(self):
+        # Order in must not matter: the reporter re-sorts findings.
+        payload = json.loads(render_json(_result()))
+        locations = [(f["path"], f["line"], f["column"]) for f in payload["findings"]]
+        assert locations == sorted(locations)

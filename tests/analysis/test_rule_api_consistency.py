@@ -1,0 +1,134 @@
+"""REP003 fixtures: honest ``__all__`` lists and documented public defs."""
+
+from __future__ import annotations
+
+
+class TestRep003Triggers:
+    def test_stale_dunder_all_entry_is_flagged(self, run_rule):
+        findings = run_rule(
+            '''
+            """Module."""
+
+            __all__ = ["exists", "ghost"]
+
+
+            def exists():
+                """Here."""
+            ''',
+            "REP003",
+        )
+        assert len(findings) == 1
+        assert "ghost" in findings[0].message
+
+    def test_unexported_public_def_is_flagged(self, run_rule):
+        findings = run_rule(
+            '''
+            """Module."""
+
+            __all__ = ["listed"]
+
+
+            def listed():
+                """Here."""
+
+
+            def unlisted():
+                """Public but not exported."""
+            ''',
+            "REP003",
+        )
+        assert len(findings) == 1
+        assert "unlisted" in findings[0].message
+
+    def test_missing_docstring_is_flagged(self, run_rule):
+        findings = run_rule(
+            '''
+            """Module."""
+
+            __all__ = ["bare"]
+
+
+            def bare():
+                return 1
+            ''',
+            "REP003",
+        )
+        assert len(findings) == 1
+        assert "docstring" in findings[0].message
+
+
+class TestRep003Passes:
+    def test_consistent_module_is_clean(self, run_rule):
+        findings = run_rule(
+            '''
+            """Module."""
+
+            __all__ = ["Thing", "make_thing", "DEFAULT"]
+
+            DEFAULT = 3
+
+
+            class Thing:
+                """A thing."""
+
+
+            def make_thing():
+                """Build a thing."""
+
+
+            def _helper():
+                return None
+            ''',
+            "REP003",
+        )
+        assert findings == []
+
+    def test_dunder_all_append_idiom_is_understood(self, run_rule):
+        # streams/io.py and streams/synthetic.py grow __all__ after the
+        # definitions; the rule must follow append/extend/+=.
+        findings = run_rule(
+            '''
+            """Module."""
+
+            __all__ = ["first"]
+
+
+            def first():
+                """One."""
+
+
+            __all__.append("second")
+            __all__.extend(["third"])
+            __all__ += ["fourth"]
+
+
+            def second():
+                """Two."""
+
+
+            def third():
+                """Three."""
+
+
+            def fourth():
+                """Four."""
+            ''',
+            "REP003",
+        )
+        assert findings == []
+
+    def test_dynamic_dunder_all_skips_export_checks(self, run_rule):
+        findings = run_rule(
+            '''
+            """Module."""
+
+            _names = ["a", "b"]
+            __all__ = list(_names)
+
+
+            def documented():
+                """Docstring present, so only export checks could fire."""
+            ''',
+            "REP003",
+        )
+        assert findings == []

@@ -1,0 +1,122 @@
+"""REP001 fixtures: ad-hoc RNG construction vs the repro.rng discipline."""
+
+from __future__ import annotations
+
+
+class TestRep001Triggers:
+    def test_default_rng_call_is_flagged(self, run_rule):
+        findings = run_rule(
+            """
+            import numpy as np
+
+            def sample():
+                rng = np.random.default_rng(42)
+                return rng.normal()
+            """,
+            "REP001",
+        )
+        assert [f.code for f in findings] == ["REP001"]
+        assert "default_rng" in findings[0].message
+
+    def test_aliased_from_import_is_resolved(self, run_rule):
+        findings = run_rule(
+            """
+            from numpy.random import default_rng as make_rng
+
+            rng = make_rng(7)
+            """,
+            "REP001",
+        )
+        assert len(findings) == 1
+
+    def test_legacy_global_draw_is_flagged(self, run_rule):
+        findings = run_rule(
+            """
+            import numpy as np
+
+            noise = np.random.normal(size=10)
+            """,
+            "REP001",
+        )
+        assert len(findings) == 1
+        assert "legacy global-state" in findings[0].message
+
+    def test_stdlib_random_is_flagged(self, run_rule):
+        findings = run_rule(
+            """
+            import random
+
+            random.seed(1)
+            value = random.random()
+            """,
+            "REP001",
+        )
+        assert len(findings) == 2
+
+    def test_numpy_seed_and_randomstate_are_flagged(self, run_rule):
+        findings = run_rule(
+            """
+            import numpy as np
+
+            np.random.seed(0)
+            state = np.random.RandomState(0)
+            """,
+            "REP001",
+        )
+        assert len(findings) == 2
+
+
+class TestRep001Passes:
+    def test_as_generator_threading_is_clean(self, run_rule):
+        findings = run_rule(
+            """
+            from repro.rng import as_generator, spawn
+
+            def sample(seed=None):
+                rng = as_generator(seed)
+                children = spawn(seed, 4)
+                return rng.normal(), children
+            """,
+            "REP001",
+        )
+        assert findings == []
+
+    def test_generator_type_annotation_is_clean(self, run_rule):
+        # Referencing the Generator *type* (annotations, isinstance) is
+        # legitimate; only constructing one is banned.
+        findings = run_rule(
+            """
+            import numpy as np
+
+            def run(rng: np.random.Generator) -> float:
+                assert isinstance(rng, np.random.Generator)
+                return float(rng.normal())
+            """,
+            "REP001",
+        )
+        assert findings == []
+
+    def test_rng_module_itself_is_exempt(self, run_rule):
+        findings = run_rule(
+            """
+            import numpy as np
+
+            def as_generator(seed=None):
+                return np.random.default_rng(seed)
+            """,
+            "REP001",
+            rel_path="src/repro/rng.py",
+        )
+        assert findings == []
+
+    def test_tests_are_exempt_by_default(self, run_rule):
+        findings = run_rule(
+            """
+            import numpy as np
+
+            rng = np.random.default_rng(0)
+            """,
+            "REP001",
+            rel_path="tests/test_something.py",
+        )
+        assert findings == []

@@ -1,0 +1,108 @@
+"""REP002 fixtures: narrow dtypes and implicit-dtype power-sum reductions."""
+
+from __future__ import annotations
+
+VARIANCE_PATH = "src/repro/variance/snippet.py"
+
+
+class TestRep002Triggers:
+    def test_narrow_dtype_constructor_is_flagged(self, run_rule):
+        findings = run_rule(
+            """
+            import numpy as np
+
+            counters = np.zeros(16, dtype=np.int32)
+            """,
+            "REP002",
+            rel_path=VARIANCE_PATH,
+        )
+        assert len(findings) == 1
+        assert "int32" in findings[0].message
+
+    def test_narrow_dtype_string_and_astype_are_flagged(self, run_rule):
+        findings = run_rule(
+            """
+            import numpy as np
+
+            a = np.asarray([1, 2], dtype="float32")
+            b = a.astype(np.int16)
+            """,
+            "REP002",
+            rel_path=VARIANCE_PATH,
+        )
+        assert len(findings) == 2
+
+    def test_power_sum_without_dtype_is_flagged(self, run_rule):
+        findings = run_rule(
+            """
+            import numpy as np
+
+            def f2(counts):
+                return (counts ** 2).sum()
+            """,
+            "REP002",
+            rel_path=VARIANCE_PATH,
+        )
+        assert len(findings) == 1
+        assert "dtype" in findings[0].message
+
+    def test_np_sum_over_power_is_flagged(self, run_rule):
+        findings = run_rule(
+            """
+            import numpy as np
+
+            def f4(counts):
+                return np.sum(counts ** 4)
+            """,
+            "REP002",
+            rel_path=VARIANCE_PATH,
+        )
+        assert len(findings) == 1
+
+
+class TestRep002Passes:
+    def test_explicit_wide_dtypes_are_clean(self, run_rule):
+        findings = run_rule(
+            """
+            import numpy as np
+
+            counters = np.zeros(16, dtype=np.float64)
+            exact = np.zeros(16, dtype=np.int64)
+
+            def f2(counts):
+                return (counts ** 2).sum(dtype=object)
+
+            def f3(counts):
+                return np.sum(counts.astype(np.int64) ** 3, dtype=np.int64)
+            """,
+            "REP002",
+            rel_path=VARIANCE_PATH,
+        )
+        assert findings == []
+
+    def test_plain_sum_without_power_is_clean(self, run_rule):
+        findings = run_rule(
+            """
+            import numpy as np
+
+            def total(counts):
+                return counts.sum()
+            """,
+            "REP002",
+            rel_path=VARIANCE_PATH,
+        )
+        assert findings == []
+
+    def test_rule_is_scoped_to_numeric_modules(self, run_rule):
+        # The same pattern outside frequency/variance/sketches/sampling is
+        # not the rule's business.
+        findings = run_rule(
+            """
+            import numpy as np
+
+            x = np.zeros(4, dtype=np.int32)
+            """,
+            "REP002",
+            rel_path="src/repro/streams/snippet.py",
+        )
+        assert findings == []

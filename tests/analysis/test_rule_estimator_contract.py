@@ -1,0 +1,170 @@
+"""REP005 fixtures: the Sketch interface and check_compatible discipline."""
+
+from __future__ import annotations
+
+SKETCH_PATH = "src/repro/sketches/snippet.py"
+
+# Indented to sit inside the 12-space-indented snippet strings below (so
+# textwrap.dedent in the run_rule fixture leaves it one class-body level in).
+FULL_INTERFACE = '''
+                def update(self, keys, weights=None):
+                    """Insert."""
+
+                def second_moment(self):
+                    """F2 estimate."""
+                    return 0.0
+
+                def copy_empty(self):
+                    """Fresh clone."""
+                    return type(self)()
+
+                def _state(self):
+                    return self._counters
+'''
+
+
+class TestRep005Triggers:
+    def test_missing_interface_methods_are_flagged(self, run_rule):
+        findings = run_rule(
+            '''
+            from .base import Sketch
+
+
+            class HalfSketch(Sketch):
+                """Implements almost nothing."""
+
+                def update(self, keys, weights=None):
+                    """Insert."""
+            ''',
+            "REP005",
+            rel_path=SKETCH_PATH,
+        )
+        missing = {f.message.split("'")[3] for f in findings}
+        assert missing == {"second_moment", "inner_product", "copy_empty", "_state"}
+
+    def test_inner_product_without_check_compatible_is_flagged(self, run_rule):
+        findings = run_rule(
+            f'''
+            from .base import Sketch
+
+
+            class RudeSketch(Sketch):
+                """Skips the compatibility check."""
+            {FULL_INTERFACE}
+                def inner_product(self, other):
+                    """Estimate without checking seeds — bug."""
+                    return float((self._counters * other._counters).sum())
+            ''',
+            "REP005",
+            rel_path=SKETCH_PATH,
+        )
+        assert len(findings) == 1
+        assert "check_compatible" in findings[0].message
+
+    def test_merge_override_without_check_is_flagged(self, run_rule):
+        findings = run_rule(
+            f'''
+            from .base import Sketch
+
+
+            class SloppySketch(Sketch):
+                """Overrides merge without re-checking."""
+            {FULL_INTERFACE}
+                def inner_product(self, other):
+                    """Checked path."""
+                    self.check_compatible(other)
+                    return 0.0
+
+                def merge(self, other):
+                    """Unchecked merge — bug."""
+                    self._counters += other._counters
+            ''',
+            "REP005",
+            rel_path=SKETCH_PATH,
+        )
+        assert len(findings) == 1
+        assert "merge" in findings[0].message
+
+
+class TestRep005Passes:
+    def test_direct_check_is_clean(self, run_rule):
+        findings = run_rule(
+            f'''
+            from .base import Sketch
+
+
+            class PoliteSketch(Sketch):
+                """Checks before estimating."""
+            {FULL_INTERFACE}
+                def inner_product(self, other):
+                    """Checked."""
+                    self.check_compatible(other)
+                    return 0.0
+            ''',
+            "REP005",
+            rel_path=SKETCH_PATH,
+        )
+        assert findings == []
+
+    def test_transitive_check_through_helper_is_clean(self, run_rule):
+        # AgmsSketch.inner_product delegates to row_inner_products, which
+        # performs the check — the rule must follow the self-call graph.
+        findings = run_rule(
+            f'''
+            from .base import Sketch
+
+
+            class DelegatingSketch(Sketch):
+                """Checks inside a helper."""
+            {FULL_INTERFACE}
+                def row_inner_products(self, other):
+                    """Per-row estimates (checked)."""
+                    self.check_compatible(other)
+                    return self._counters * other._counters
+
+                def inner_product(self, other):
+                    """Combined estimate."""
+                    return float(self.row_inner_products(other).mean())
+            ''',
+            "REP005",
+            rel_path=SKETCH_PATH,
+        )
+        assert findings == []
+
+    def test_super_delegation_is_clean(self, run_rule):
+        findings = run_rule(
+            f'''
+            from .base import Sketch
+
+
+            class AuditingSketch(Sketch):
+                """Wraps merge with bookkeeping."""
+            {FULL_INTERFACE}
+                def inner_product(self, other):
+                    """Checked."""
+                    self.check_compatible(other)
+                    return 0.0
+
+                def merge(self, other):
+                    """Count merges, delegate the checked add."""
+                    self.merges += 1
+                    super().merge(other)
+            ''',
+            "REP005",
+            rel_path=SKETCH_PATH,
+        )
+        assert findings == []
+
+    def test_unrelated_class_is_ignored(self, run_rule):
+        findings = run_rule(
+            '''
+            class Reporter:
+                """Not a sketch at all."""
+
+                def render(self):
+                    """Render."""
+            ''',
+            "REP005",
+            rel_path=SKETCH_PATH,
+        )
+        assert findings == []

@@ -1,0 +1,87 @@
+"""REP004 fixtures: exact equality on float-typed expressions."""
+
+from __future__ import annotations
+
+
+class TestRep004Triggers:
+    def test_float_literal_comparison_is_flagged(self, run_rule):
+        findings = run_rule(
+            """
+            def check(p):
+                return p == 1.0
+            """,
+            "REP004",
+        )
+        assert len(findings) == 1
+        assert "'=='" in findings[0].message
+
+    def test_division_result_comparison_is_flagged(self, run_rule):
+        findings = run_rule(
+            """
+            def check(a, b, c):
+                return a / b != c
+            """,
+            "REP004",
+        )
+        assert len(findings) == 1
+
+    def test_float_call_comparison_is_flagged(self, run_rule):
+        findings = run_rule(
+            """
+            import math
+
+            def check(variance, floor):
+                return float(variance) == math.sqrt(floor)
+            """,
+            "REP004",
+        )
+        assert len(findings) == 1
+
+    def test_chained_comparison_is_inspected_per_pair(self, run_rule):
+        findings = run_rule(
+            """
+            def check(a, b):
+                return 0.0 == a == b
+            """,
+            "REP004",
+        )
+        assert len(findings) >= 1
+
+
+class TestRep004Passes:
+    def test_integer_and_ordering_comparisons_are_clean(self, run_rule):
+        findings = run_rule(
+            """
+            def check(n, p, truth):
+                if n == 0:
+                    return False
+                if p >= 1.0:
+                    return True
+                return truth <= 0.5
+            """,
+            "REP004",
+        )
+        assert findings == []
+
+    def test_isclose_is_the_blessed_spelling(self, run_rule):
+        findings = run_rule(
+            """
+            import math
+
+            def check(a, b):
+                return math.isclose(a / b, 1.0)
+            """,
+            "REP004",
+        )
+        assert findings == []
+
+    def test_tests_are_exempt_by_default(self, run_rule):
+        findings = run_rule(
+            """
+            def test_exact():
+                assert 0.5 == compute()
+            """,
+            "REP004",
+            rel_path="tests/test_exact.py",
+        )
+        assert findings == []

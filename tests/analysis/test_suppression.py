@@ -1,0 +1,68 @@
+"""The ``# repro: noqa`` suppression comment, end to end."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_source, parse_suppressions
+
+BAD_LINE = "rng = np.random.default_rng(3)"
+
+
+def _analyze(body: str, **kwargs):
+    source = "import numpy as np\n\n" + textwrap.dedent(body)
+    return analyze_source(source, "src/repro/snippet.py", **kwargs)
+
+
+class TestParse:
+    def test_blanket_and_scoped_forms(self):
+        source = textwrap.dedent(
+            """
+            a = 1  # repro: noqa
+            b = 2  # repro: noqa(REP001)
+            c = 3  # repro: noqa(REP001, REP004)
+            d = 4  # unrelated comment
+            """
+        )
+        suppressions = parse_suppressions(source)
+        assert suppressions[2] == set()
+        assert suppressions[3] == {"REP001"}
+        assert suppressions[4] == {"REP001", "REP004"}
+        assert 5 not in suppressions
+
+    def test_case_insensitive_codes(self):
+        suppressions = parse_suppressions("x = 1  # repro: noqa(rep001)\n")
+        assert suppressions[1] == {"REP001"}
+
+
+class TestSuppressionBehavior:
+    def test_finding_without_noqa_fires(self):
+        result = _analyze(BAD_LINE, select={"REP001"})
+        assert len(result.findings) == 1
+        assert result.suppressed == 0
+
+    def test_matching_code_suppresses(self):
+        result = _analyze(
+            BAD_LINE + "  # repro: noqa(REP001)", select={"REP001"}
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_blanket_noqa_suppresses(self):
+        result = _analyze(BAD_LINE + "  # repro: noqa", select={"REP001"})
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_wrong_code_does_not_suppress(self):
+        result = _analyze(
+            BAD_LINE + "  # repro: noqa(REP004)", select={"REP001"}
+        )
+        assert len(result.findings) == 1
+        assert result.suppressed == 0
+
+    def test_noqa_is_line_scoped(self):
+        result = _analyze(
+            "safe = 1  # repro: noqa(REP001)\n" + BAD_LINE,
+            select={"REP001"},
+        )
+        assert len(result.findings) == 1

@@ -1,6 +1,5 @@
 """Online aggregation: scan mechanics, convergence, intervals."""
 
-import numpy as np
 import pytest
 
 from repro.engine import OnlineJoinAggregator, OnlineSelfJoinAggregator

@@ -1,6 +1,5 @@
 """Shedding-rate planner: monotonicity, targets, empirical validation."""
 
-import numpy as np
 import pytest
 
 from repro.core import plan_shedding_rate, predict_relative_error

@@ -18,7 +18,6 @@ from repro.variance.generic import (
     combined_self_join_variance,
     moment_model_for,
     sampling_join_variance,
-    sampling_self_join_variance,
 )
 
 P = Fraction(1, 4)
