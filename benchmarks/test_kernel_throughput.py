@@ -1,0 +1,114 @@
+"""Kernel-layer throughput: tuples/sec per sketch and backend.
+
+Measures bulk-update throughput for each sketch through every available
+kernel backend and writes both a human-readable table and the
+machine-readable ``benchmarks/results/BENCH_kernels.json`` baseline
+(records of ``{sketch, batch, backend, tuples_per_sec}``) that
+``docs/PERFORMANCE.md`` explains how to read.
+
+The ``smoke`` test is the CI perf gate: tiny batches, asserting the
+default numpy backend never regresses below 0.8× the legacy reference
+path.  The full matrix is for humans and the committed baseline.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import format_table
+from repro.kernels import native_available, use_backend
+from repro.sketches import AgmsSketch, CountMinSketch, FagmsSketch
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SKETCHES = {
+    "fagms": lambda seed: FagmsSketch(1024, 1, seed=seed),
+    "countmin": lambda seed: CountMinSketch(1024, 3, seed=seed),
+    "agms": lambda seed: AgmsSketch(16, seed=seed),
+}
+
+BACKENDS = ["reference", "numpy"] + (["native"] if native_available() else [])
+
+
+def _throughput(factory, backend, batch, reps=5, seed=7):
+    """Best-of-*reps* tuples/sec for repeated bulk updates of one batch."""
+    keys = np.random.default_rng(3).integers(
+        0, 2**31 - 2, size=batch, dtype=np.int64
+    )
+    with use_backend(backend):
+        sketch = factory(seed)
+        sketch.update(keys[: min(batch, 128)])  # warm caches and lazy builds
+        best = float("inf")
+        for _ in range(reps):
+            start = time.perf_counter()
+            sketch.update(keys)
+            best = min(best, time.perf_counter() - start)
+    return batch / best
+
+
+def test_kernel_throughput_matrix(save_result):
+    batch = 65_536
+    records = []
+    for sketch_name, factory in SKETCHES.items():
+        for backend in BACKENDS:
+            records.append(
+                {
+                    "sketch": sketch_name,
+                    "batch": batch,
+                    "backend": backend,
+                    "tuples_per_sec": round(_throughput(factory, backend, batch)),
+                }
+            )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_kernels.json").write_text(
+        json.dumps(records, indent=2) + "\n"
+    )
+
+    by_key = {(r["sketch"], r["backend"]): r["tuples_per_sec"] for r in records}
+    rows = [
+        (
+            sketch_name,
+            backend,
+            by_key[sketch_name, backend] / 1e6,
+            by_key[sketch_name, backend] / by_key[sketch_name, "reference"],
+        )
+        for sketch_name in SKETCHES
+        for backend in BACKENDS
+    ]
+    save_result(
+        "kernel_throughput",
+        format_table(
+            ("sketch", "backend", "Mtuples/s", "vs_reference"),
+            rows,
+            title=f"Kernel backend throughput (batch={batch})",
+        ),
+    )
+
+    # The fused numpy path must beat per-row add.at for every sketch at
+    # bulk batch sizes; the compiled path must beat numpy for F-AGMS.
+    for sketch_name in SKETCHES:
+        assert by_key[sketch_name, "numpy"] > by_key[sketch_name, "reference"]
+    if "native" in BACKENDS:
+        assert by_key["fagms", "native"] > by_key["fagms", "numpy"]
+
+
+@pytest.mark.parametrize("sketch_name", sorted(SKETCHES))
+def test_kernel_smoke(sketch_name):
+    """CI perf smoke: the default backend keeps up with the legacy path.
+
+    Small batches and a generous 0.8× floor — this is a regression trip
+    wire for accidental slow paths (e.g. a dtype promotion sneaking into
+    the hot loop), not a performance benchmark.
+    """
+    factory = SKETCHES[sketch_name]
+    batch = 8_192
+    fused = _throughput(factory, "numpy", batch, reps=7)
+    legacy = _throughput(factory, "reference", batch, reps=7)
+    assert fused >= 0.8 * legacy, (
+        f"{sketch_name}: numpy backend {fused:.0f} tuples/s fell below "
+        f"0.8x the reference path {legacy:.0f} tuples/s"
+    )

@@ -137,9 +137,14 @@ class SheddingSketcher:
         return self.shedder.p
 
     def process(self, keys) -> int:
-        """Consume one chunk of the raw stream; returns tuples sketched."""
+        """Consume one chunk of the raw stream; returns tuples sketched.
+
+        Chunks whose survivors are empty (common at aggressive shedding
+        rates with small chunks) skip the sketch's kernel path entirely.
+        """
         kept = self.shedder.filter(keys)
-        self.sketch.update(kept)
+        if kept.size:
+            self.sketch.update(kept)
         return int(kept.size)
 
     def info(self) -> SampleInfo:

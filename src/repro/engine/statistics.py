@@ -140,7 +140,12 @@ class OnlineStatisticsEngine:
             ) from None
 
     def consume(self, name: str, keys) -> None:
-        """Feed the next chunk of *name*'s random-order scan."""
+        """Feed the next chunk of *name*'s random-order scan.
+
+        Updates run through the row-batched :mod:`repro.kernels` path,
+        so chunked scanning costs one fused accumulation per chunk;
+        empty chunks are accepted and skipped outright.
+        """
         state = self._state(name)
         keys = np.asarray(keys)
         if state.scanned + keys.size > state.total_tuples:
@@ -148,8 +153,9 @@ class OnlineStatisticsEngine:
                 f"scan of {name!r} overflows its declared cardinality "
                 f"({state.total_tuples})"
             )
-        state.sketch.update(keys)
-        state.scanned += int(keys.size)
+        if keys.size:
+            state.sketch.update(keys)
+            state.scanned += int(keys.size)
 
     def fraction_scanned(self, name: str) -> float:
         """Scanned fraction of a relation."""

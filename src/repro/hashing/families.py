@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigurationError, DomainError
+from ..kernels import get_backend
 from ..rng import SeedLike, as_generator
 
 __all__ = ["MERSENNE_P31", "MERSENNE_P61", "PolynomialHashFamily", "BucketHashFamily"]
@@ -29,6 +30,116 @@ MERSENNE_P31 = 2**31 - 1
 MERSENNE_P61 = 2**61 - 1
 
 _P = np.uint64(MERSENNE_P31)
+_SHIFT31 = np.uint64(31)
+
+
+def _fold31(acc: np.ndarray, scratch: np.ndarray) -> None:
+    """One lazy Mersenne fold in place: ``acc ← (acc & p) + (acc >> 31)``.
+
+    The fold preserves the residue class mod ``p = 2³¹ − 1`` (because
+    ``2³¹ ≡ 1``) while shrinking the value, and costs three cheap
+    vectorized integer ops instead of a 64-bit division.
+    """
+    np.right_shift(acc, _SHIFT31, out=scratch)
+    acc &= _P
+    acc += scratch
+
+
+def _reduce31(acc: np.ndarray, scratch: np.ndarray, bound: int) -> None:
+    """Exact residue mod ``p`` in place, given ``acc ≤ bound``.
+
+    Folds only while the worst-case bound demands it, then applies the
+    unsigned-underflow trick ``min(acc, acc − p)`` — valid once
+    ``acc < 2p`` — as the final conditional subtract (for ``acc < p``
+    the subtraction wraps to a huge value, so the minimum picks ``acc``
+    unchanged).
+    """
+    while bound > 2 * MERSENNE_P31 - 1:
+        _fold31(acc, scratch)
+        bound = (2**31 - 1) + bound // 2**31
+    np.subtract(acc, _P, out=scratch)
+    np.minimum(acc, scratch, out=acc)
+
+
+def _horner_all(coefficients: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Evaluate every row's polynomial mod ``p`` in one vectorized pass.
+
+    Lazily-reduced Horner: between iterations the accumulator is only
+    *folded* (congruent mod ``p``, not canonical), and a Python-side
+    worst-case bound proves each ``acc·x + c`` stays below ``2⁶⁴``; a
+    second fold is inserted on the rare iterations where one would not
+    suffice (degree ≥ 4).  The final :func:`_reduce31` restores the
+    canonical residue, so the output is bit-identical to the per-row
+    exact-reduction path of :meth:`PolynomialHashFamily.evaluate_row`.
+    """
+    rows, k = coefficients.shape
+    acc = np.empty((rows, x.size), dtype=np.uint64)
+    acc[...] = coefficients[:, :1]
+    if x.size == 0 or k == 1:
+        return acc
+    scratch = np.empty_like(acc)
+    bound = MERSENNE_P31 - 1  # worst case: acc <= bound, tracked exactly
+    for j in range(1, k):
+        value_bound = (bound + 1) * (MERSENNE_P31 - 1)
+        assert value_bound < 2**64  # loop invariant keeps the product safe
+        acc *= x
+        acc += coefficients[:, j : j + 1]
+        _fold31(acc, scratch)
+        bound = (2**31 - 1) + value_bound // 2**31
+        if j < k - 1 and (bound + 1) * (MERSENNE_P31 - 1) >= 2**64:
+            _fold31(acc, scratch)
+            bound = (2**31 - 1) + bound // 2**31
+    _reduce31(acc, scratch, bound)
+    return acc
+
+
+def _bucket_all(coefficients: np.ndarray, x: np.ndarray, buckets: int) -> np.ndarray:
+    """Vectorized bucket reduction of every row's hash: ``(rows, n) int64``.
+
+    On top of :func:`_horner_all`, the ``mod buckets`` step avoids the
+    slow unsigned 64-bit division — an in-place mask plus a free
+    ``view(int64)`` reinterpretation when ``buckets`` is a power of two
+    (residues are < 2³¹ so the bit pattern is unchanged), 32-bit
+    division otherwise (hash values and bucket counts both fit in int32
+    by construction).
+    """
+    values = _horner_all(coefficients, x)
+    if buckets & (buckets - 1) == 0:
+        values &= np.uint64(buckets - 1)
+        return values.view(np.int64)
+    reduced = values.astype(np.int32) % np.int32(buckets)
+    return reduced.astype(np.int64)
+
+
+def _poly_rows_reference(coefficients: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Per-row exact-reduction Horner — the pre-kernel reference path.
+
+    Semantically identical to :func:`_horner_all` (the equivalence tests
+    pin them to each other bit for bit); kept as the behavioural
+    baseline the ``"reference"`` kernel backend dispatches to.
+    """
+    rows, k = coefficients.shape
+    out = np.empty((rows, x.size), dtype=np.uint64)
+    for row in range(rows):
+        acc = np.full(x.shape, coefficients[row, 0], dtype=np.uint64)
+        for j in range(1, k):
+            acc = (acc * x + coefficients[row, j]) % _P
+        out[row] = acc
+    return out
+
+
+def _as_uint64(keys: np.ndarray) -> np.ndarray:
+    """Reinterpret validated non-negative keys as uint64 without a copy.
+
+    Values have already been range-checked, so for 64-bit inputs the bit
+    pattern is the value and a ``view`` is exact; narrower dtypes pay
+    the widening copy.
+    """
+    if keys.dtype == np.uint64:
+        return keys
+    if keys.dtype == np.int64:
+        return keys.view(np.uint64)
+    return keys.astype(np.uint64)
 
 
 def _check_keys(keys: np.ndarray) -> np.ndarray:
@@ -45,7 +156,7 @@ def _check_keys(keys: np.ndarray) -> np.ndarray:
         raise DomainError(
             f"hash keys must lie in [0, {MERSENNE_P31}), saw range [{lo}, {hi}]"
         )
-    return keys.astype(np.uint64)
+    return _as_uint64(keys)
 
 
 class PolynomialHashFamily:
@@ -95,11 +206,19 @@ class PolynomialHashFamily:
         Values are uniform over ``[0, p)`` and k-wise independent across
         distinct keys within each row; rows are mutually independent.
         """
-        x = _check_keys(keys)
-        out = np.empty((self.rows, x.size), dtype=np.uint64)
-        for r in range(self.rows):
-            out[r] = self._evaluate_row(r, x)
-        return out
+        return self.evaluate_all(keys)
+
+    def evaluate_all(self, keys) -> np.ndarray:
+        """Row-batched evaluation: ``(rows, len(keys)) uint64`` in one pass.
+
+        Bit-identical to stacking :meth:`evaluate_row` over every row,
+        but dispatched through the active kernel backend: the default
+        numpy backend runs a single vectorized lazily-reduced Horner
+        pass over the whole ``(rows, n)`` matrix — no Python-level row
+        loop and no 64-bit divisions (see :func:`_horner_all`) — and a
+        compiled backend fuses the loop entirely.
+        """
+        return get_backend().polynomial_mod_p(self._coefficients, _check_keys(keys))
 
     def evaluate_row(self, row: int, keys) -> np.ndarray:
         """Evaluate a single row on *keys*; returns ``(len(keys),) uint64``."""
@@ -142,8 +261,19 @@ class BucketHashFamily:
 
     def __call__(self, keys) -> np.ndarray:
         """Bucket index per row: ``(rows, len(keys))`` in ``[0, buckets)``."""
-        values = self._family(keys)
-        return (values % np.uint64(self.buckets)).astype(np.int64)
+        return self.evaluate_all(keys)
+
+    def evaluate_all(self, keys) -> np.ndarray:
+        """Row-batched bucket indices: ``(rows, len(keys)) int64`` in one pass.
+
+        Bit-identical to stacking :meth:`evaluate_row`; dispatched
+        through the active kernel backend so the polynomial pass and the
+        ``mod buckets`` reduction run fused (see :func:`_bucket_all` for
+        the numpy path).
+        """
+        return get_backend().bucket_indices(
+            self._family.coefficients, _check_keys(keys), self.buckets
+        )
 
     def evaluate_row(self, row: int, keys) -> np.ndarray:
         """Bucket index of a single row: ``(len(keys),)`` in ``[0, buckets)``."""

@@ -32,22 +32,34 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigurationError, DomainError
+from ..kernels import get_backend
 from ..rng import SeedLike, as_generator
-from .families import MERSENNE_P31, PolynomialHashFamily
+from .families import MERSENNE_P31, PolynomialHashFamily, _as_uint64, _check_keys
 
 __all__ = ["SignFamily", "FourWiseSignFamily", "EH3SignFamily"]
+
+
+def _parity_signs(values: np.ndarray) -> np.ndarray:
+    """Map hash values to ±1 via the parity bit: ``2·(v & 1) − 1`` as int8."""
+    return ((values & np.uint64(1)).astype(np.int8) << 1) - np.int8(1)
 
 
 class SignFamily:
     """Abstract interface of a ±1 family.
 
-    Subclasses implement :meth:`__call__` and :meth:`evaluate_row`; the
-    shared :attr:`rows` attribute is the number of independent ξ functions.
+    Subclasses implement :meth:`evaluate_all` (row-batched, the path the
+    sketch kernels use) and :meth:`evaluate_row`; calling the family is
+    an alias for :meth:`evaluate_all`.  The shared :attr:`rows`
+    attribute is the number of independent ξ functions.
     """
 
     rows: int
 
-    def __call__(self, keys) -> np.ndarray:  # pragma: no cover - interface
+    def __call__(self, keys) -> np.ndarray:
+        """ξ values for every row: ``(rows, len(keys)) int8`` of ±1."""
+        return self.evaluate_all(keys)
+
+    def evaluate_all(self, keys) -> np.ndarray:  # pragma: no cover - interface
         raise NotImplementedError
 
     def evaluate_row(self, row: int, keys) -> np.ndarray:  # pragma: no cover
@@ -69,16 +81,21 @@ class FourWiseSignFamily(SignFamily):
         self.rows = rows
         self._family = PolynomialHashFamily(4, rows, seed)
 
-    def __call__(self, keys) -> np.ndarray:
-        """ξ values for every row: ``(rows, len(keys)) int8`` of ±1."""
-        values = self._family(keys)
-        return ((values & np.uint64(1)).astype(np.int8) << 1) - np.int8(1)
+    def evaluate_all(self, keys) -> np.ndarray:
+        """ξ values for every row: ``(rows, len(keys)) int8`` of ±1.
+
+        One polynomial pass over all rows, dispatched through the
+        active kernel backend so the Horner loop and the parity map run
+        fused (bit-identical to stacking :meth:`evaluate_row`).
+        """
+        return get_backend().parity_signs(
+            self._family.coefficients, _check_keys(keys)
+        )
 
     def evaluate_row(self, row: int, keys) -> np.ndarray:
         """ξ values of one row: ``(len(keys),) int8`` of ±1."""
         self._check_row(row)
-        values = self._family.evaluate_row(row, keys)
-        return ((values & np.uint64(1)).astype(np.int8) << 1) - np.int8(1)
+        return _parity_signs(self._family.evaluate_row(row, keys))
 
 
 class EH3SignFamily(SignFamily):
@@ -115,7 +132,7 @@ class EH3SignFamily(SignFamily):
             raise DomainError(
                 f"EH3 keys must lie in [0, 2^{self.bits}), saw range [{lo}, {hi}]"
             )
-        return x.astype(np.uint64)
+        return _as_uint64(x)
 
     @staticmethod
     def _nonlinear_parity(x: np.ndarray) -> np.ndarray:
@@ -125,14 +142,21 @@ class EH3SignFamily(SignFamily):
         pairs = even_bits & odd_bits
         return np.bitwise_count(pairs).astype(np.uint64) & np.uint64(1)
 
-    def __call__(self, keys) -> np.ndarray:
-        """ξ values for every row: ``(rows, len(keys)) int8`` of ±1."""
+    def evaluate_all(self, keys) -> np.ndarray:
+        """ξ values for every row: ``(rows, len(keys)) int8`` of ±1.
+
+        One broadcast bit-trick pass over all rows (bit-identical to
+        stacking :meth:`evaluate_row`): the GF(2) inner products of all
+        row seeds against all keys are popcounted as a ``(rows, n)``
+        matrix, and the shared nonlinear term is computed once.
+        """
         x = self._check_keys(keys)
-        out = np.empty((self.rows, x.size), dtype=np.int8)
         nonlinear = self._nonlinear_parity(x)
-        for r in range(self.rows):
-            out[r] = self._row_signs(r, x, nonlinear)
-        return out
+        linear = np.bitwise_count(
+            x[None, :] & self._seeds[:, None]
+        ).astype(np.uint64) & np.uint64(1)
+        bit = self._s0[:, None] ^ linear ^ nonlinear[None, :]
+        return (bit.astype(np.int8) << 1) - np.int8(1)
 
     def evaluate_row(self, row: int, keys) -> np.ndarray:
         """ξ values of one row: ``(len(keys),) int8`` of ±1."""

@@ -96,10 +96,24 @@ class TabulationHashFamily:
 
     def __call__(self, keys) -> np.ndarray:
         """Hash every row; returns ``(rows, len(keys)) uint64``."""
+        return self.evaluate_all(keys)
+
+    def evaluate_all(self, keys) -> np.ndarray:
+        """Row-batched hashing: ``(rows, len(keys)) uint64`` in one pass.
+
+        Bit-identical to stacking :meth:`evaluate_row`; each character's
+        lookup gathers from every row's table at once via advanced
+        indexing instead of looping rows in Python.
+        """
         x = self._check_keys(keys)
-        out = np.empty((self.rows, x.size), dtype=np.uint64)
-        for row in range(self.rows):
-            out[row] = self.evaluate_row(row, x)
+        mask = np.uint64(2**self.bits_per_char - 1)
+        shift = np.uint64(self.bits_per_char)
+        out = np.zeros((self.rows, x.size), dtype=np.uint64)
+        work = x.copy()
+        row_index = np.arange(self.rows)[:, None]
+        for character in range(self.characters):
+            out ^= self._tables[row_index, character, (work & mask)[None, :]]
+            work >>= shift
         return out
 
 
@@ -121,11 +135,13 @@ class TabulationSignFamily(SignFamily):
             rows, seed, key_bits=key_bits, bits_per_char=bits_per_char
         )
 
-    def __call__(self, keys) -> np.ndarray:
-        values = self._family(keys)
+    def evaluate_all(self, keys) -> np.ndarray:
+        """ξ values for every row: ``(rows, len(keys)) int8`` of ±1."""
+        values = self._family.evaluate_all(keys)
         return ((values & np.uint64(1)).astype(np.int8) << 1) - np.int8(1)
 
     def evaluate_row(self, row: int, keys) -> np.ndarray:
+        """ξ values of one row: ``(len(keys),) int8`` of ±1."""
         self._check_row(row)
         values = self._family.evaluate_row(row, keys)
         return ((values & np.uint64(1)).astype(np.int8) << 1) - np.int8(1)

@@ -1,0 +1,190 @@
+"""The kernel-backend dispatch seam.
+
+A :class:`KernelBackend` bundles the accumulation primitives every sketch
+update path routes through.  Exactly one backend is *active* at a time;
+sketches fetch it per call with :func:`get_backend` (cheap — a module
+attribute read), so switching backends affects all sketches immediately
+and needs no per-sketch plumbing.
+
+Selection, in priority order:
+
+1. an explicit :func:`set_backend` / :func:`use_backend` call;
+2. the ``REPRO_KERNEL_BACKEND`` environment variable, read once on the
+   first :func:`get_backend` call;
+3. the ``"numpy"`` default.
+
+New backends (e.g. a numba- or C-compiled one) call
+:func:`register_backend` at import time and become selectable by name.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "KernelBackend",
+    "available_backends",
+    "backend_name",
+    "get_backend",
+    "register_backend",
+    "set_backend",
+    "use_backend",
+]
+
+#: Environment variable naming the backend to activate on first use.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+
+class KernelBackend(abc.ABC):
+    """Accumulation primitives shared by every sketch update path.
+
+    Shape conventions (one row per basic estimator):
+
+    * ``counters`` — ``(rows, buckets)`` float64, mutated in place;
+    * ``indices`` — ``(rows, n)`` int64 bucket index per row and tuple;
+    * ``signs`` — ``(rows, n)`` int8 of ±1;
+    * ``weights`` — ``(n,)`` float64 per-tuple weights, or ``None`` for
+      the unweighted (+1 per tuple) fast path.
+    """
+
+    #: Registry key; subclasses override.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def scatter_add(
+        self,
+        counters: np.ndarray,
+        indices: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> None:
+        """Add ``weights`` (or +1 per tuple) into ``counters[row, indices[row]]``."""
+
+    @abc.abstractmethod
+    def signed_scatter_add(
+        self,
+        counters: np.ndarray,
+        indices: np.ndarray,
+        signs: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> None:
+        """Add ``signs * weights`` (or just ``signs``) into the indexed counters."""
+
+    @abc.abstractmethod
+    def gather(self, counters: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Read ``counters[row, indices[row]]``; returns ``(rows, n)`` float64."""
+
+    @abc.abstractmethod
+    def sign_sum(self, signs: np.ndarray) -> np.ndarray:
+        """Per-row sum of a ±1 matrix as float64 — the unweighted AGMS delta."""
+
+    @abc.abstractmethod
+    def sign_dot(
+        self,
+        signs: np.ndarray,
+        weights: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-row ``signs @ weights`` as float64 — the weighted AGMS delta.
+
+        ``out``, when given, is a preallocated ``(rows,)`` float64 buffer
+        the product is written into (and returned), so steady-state
+        updates allocate nothing but the float view of ``signs``.
+        """
+
+    # ------------------------------------------------------------------
+    # Hashing stage.  The polynomial families in :mod:`repro.hashing`
+    # route their row-batched evaluation through these hooks, so a
+    # compiled backend can fuse the whole Horner loop into one pass.
+    # The base implementations delegate to the vectorized numpy helpers
+    # (lazy imports: hashing imports this module at load time).
+    # ------------------------------------------------------------------
+
+    def polynomial_mod_p(
+        self, coefficients: np.ndarray, keys: np.ndarray
+    ) -> np.ndarray:
+        """Evaluate each row's polynomial mod ``2³¹ − 1`` on *keys*.
+
+        ``coefficients`` is the ``(rows, k)`` uint64 matrix of a
+        :class:`~repro.hashing.families.PolynomialHashFamily`; ``keys``
+        is a checked ``(n,)`` uint64 array.  Returns the canonical
+        ``(rows, n)`` uint64 residues — every backend must produce
+        bit-identical values here.
+        """
+        from ..hashing.families import _horner_all
+
+        return _horner_all(coefficients, keys)
+
+    def bucket_indices(
+        self, coefficients: np.ndarray, keys: np.ndarray, buckets: int
+    ) -> np.ndarray:
+        """Bucket index per row and key: ``(rows, n)`` int64 in ``[0, buckets)``."""
+        from ..hashing.families import _bucket_all
+
+        return _bucket_all(coefficients, keys, buckets)
+
+    def parity_signs(
+        self, coefficients: np.ndarray, keys: np.ndarray
+    ) -> np.ndarray:
+        """±1 parity of each row's polynomial hash: ``(rows, n)`` int8."""
+        from ..hashing.families import _horner_all
+        from ..hashing.signs import _parity_signs
+
+        return _parity_signs(_horner_all(coefficients, keys))
+
+
+_REGISTRY: dict = {}
+_active: Optional[KernelBackend] = None
+
+
+def register_backend(backend: KernelBackend) -> None:
+    """Make *backend* selectable by its :attr:`~KernelBackend.name`."""
+    _REGISTRY[backend.name] = backend
+
+
+def available_backends() -> tuple:
+    """Names of every registered backend, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def set_backend(name: str) -> KernelBackend:
+    """Activate the backend registered under *name* and return it."""
+    global _active
+    try:
+        _active = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown kernel backend {name!r}; "
+            f"available: {available_backends()}"
+        ) from None
+    return _active
+
+
+def get_backend() -> KernelBackend:
+    """The active backend (resolving ``REPRO_KERNEL_BACKEND`` on first use)."""
+    if _active is None:
+        return set_backend(os.environ.get(BACKEND_ENV_VAR, "numpy"))
+    return _active
+
+
+def backend_name() -> str:
+    """Name of the active backend."""
+    return get_backend().name
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[KernelBackend]:
+    """Context manager activating *name*, restoring the previous backend after."""
+    previous = get_backend()
+    backend = set_backend(name)
+    try:
+        yield backend
+    finally:
+        set_backend(previous.name)

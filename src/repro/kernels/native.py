@@ -1,0 +1,425 @@
+"""The native kernel backend: a small C library compiled on demand.
+
+The numpy backend is bound by memory traffic — the lazily-reduced Horner
+evaluation is ~8 full passes over the batch for the bucket hash and ~21
+for the 4-wise sign hash, each reading and writing a ``(rows, n)``
+uint64 matrix.  This backend fuses every one of those passes into a
+single loop per primitive: hash, reduce, and emit in registers, touching
+each key once.  On a single core that is worth another ~3× over the
+vectorized numpy path for F-AGMS updates.
+
+The library is built lazily, at most once per process, from the C source
+embedded below: the source is written to a private temporary directory
+and compiled with the system C compiler (``$CC`` or ``cc``) into a
+shared object loaded through :mod:`ctypes`.  Nothing is cached across
+processes and no artifacts touch the working tree.  If no compiler is
+available the build fails softly: the backend stays registered (so it is
+listed and produces a clear :class:`~repro.errors.ConfigurationError`
+when activated) and :func:`native_available` reports ``False`` so tests
+and benchmarks can skip it.
+
+Bit-identity: the C code computes the *canonical* residue mod
+``p = 2³¹ − 1`` with the same fold-and-subtract schedule the numpy path
+uses, buckets with the same power-of-two mask (and Lemire's exact
+mul-shift modulus otherwise), and accumulates scatter deltas element by
+element in stream order — the same order as the reference backend's
+``np.add.at`` — so counters match the other backends bit for bit, for
+*any* weights, not just integer-valued ones.
+
+Only the polynomial (fourwise/bucket) hashing primitives are compiled;
+EH3 and tabulation sign families keep their vectorized numpy paths,
+which this backend inherits from :class:`NumpyKernelBackend`.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import subprocess
+import tempfile
+from ctypes import POINTER, c_double, c_int8, c_int64, c_uint64
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .backend import register_backend
+from .numpy_backend import NumpyKernelBackend
+
+__all__ = ["NativeKernelBackend", "native_available", "native_build_error"]
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+#define P31 2147483647ULL /* the Mersenne prime 2^31 - 1 */
+
+/* One lazy fold: congruent mod P31 (2^31 = 1 mod P31), shrinks the value. */
+static inline uint64_t fold31(uint64_t v) {
+    return (v & P31) + (v >> 31);
+}
+
+/* Canonical residue from a lazily-folded value < 2^34. */
+static inline uint64_t canon31(uint64_t v) {
+    v = fold31(fold31(v));
+    return v >= P31 ? v - P31 : v;
+}
+
+/* One Horner step with a single fold.  Entering with acc < 3 * 2^32 the
+ * product acc * x + c stays below 2^64 (x < 2^31) and the fold returns
+ * a value < 2^31 + acc/2 + 1 — so for polynomials up to degree 3
+ * (k <= 4, all the sketch families) one fold per step suffices. */
+static inline uint64_t step31(uint64_t acc, uint64_t x, uint64_t c) {
+    return fold31(acc * x + c);
+}
+
+/* Fully-unrolled single-fold Horner for the small k the hash families
+ * use (bucket hashes are k=2, fourwise signs k=4): straight-line code,
+ * so the compiler can vectorize the key loop (8-wide vpmullq with
+ * AVX-512DQ). */
+static inline uint64_t horner31_k2(const uint64_t *c, uint64_t x) {
+    return canon31(step31(c[0], x, c[1]));
+}
+static inline uint64_t horner31_k3(const uint64_t *c, uint64_t x) {
+    return canon31(step31(step31(c[0], x, c[1]), x, c[2]));
+}
+static inline uint64_t horner31_k4(const uint64_t *c, uint64_t x) {
+    return canon31(step31(step31(step31(c[0], x, c[1]), x, c[2]), x, c[3]));
+}
+
+/* Generic degree: two folds per step keep the accumulator bounded for
+ * any k (invariant: acc <= 2^31 + 3 at the top of each iteration). */
+static inline uint64_t horner31_gen(const uint64_t *c, int64_t k, uint64_t x) {
+    uint64_t acc = c[0];
+    int64_t j;
+    for (j = 1; j < k; j++) {
+        acc = fold31(fold31(acc * x + c[j]));
+    }
+    return canon31(acc);
+}
+
+/* One row's polynomial over a block of keys, dispatched once on k. */
+static void poly_block(const uint64_t *c, int64_t k, const uint64_t *keys,
+                       int64_t n, uint64_t *out) {
+    int64_t i;
+    switch (k) {
+    case 1:
+        for (i = 0; i < n; i++) out[i] = c[0];
+        break;
+    case 2:
+        for (i = 0; i < n; i++) out[i] = horner31_k2(c, keys[i]);
+        break;
+    case 3:
+        for (i = 0; i < n; i++) out[i] = horner31_k3(c, keys[i]);
+        break;
+    case 4:
+        for (i = 0; i < n; i++) out[i] = horner31_k4(c, keys[i]);
+        break;
+    default:
+        for (i = 0; i < n; i++) out[i] = horner31_gen(c, k, keys[i]);
+    }
+}
+
+void repro_poly_mod_p(const uint64_t *coeffs, int64_t rows, int64_t k,
+                      const uint64_t *keys, int64_t n, uint64_t *out) {
+    int64_t r;
+    for (r = 0; r < rows; r++) {
+        poly_block(coeffs + r * k, k, keys, n, out + r * n);
+    }
+}
+
+/* Hash values land in an L1-resident scratch block, the cheap post-op
+ * (mask / modulus / parity) streams out of it. */
+#define BLOCK 2048
+
+void repro_bucket_indices(const uint64_t *coeffs, int64_t rows, int64_t k,
+                          const uint64_t *keys, int64_t n, int64_t buckets,
+                          int64_t *out) {
+    uint64_t buf[BLOCK];
+    uint64_t b = (uint64_t)buckets;
+    int64_t r, i, start;
+    int pow2 = (b & (b - 1)) == 0;
+    uint64_t mask = b - 1;
+    /* Lemire's exact mul-shift modulus: for 32-bit h and b,
+     * h % b == (uint64)(((__uint128_t)(h * M) * b) >> 64)
+     * with M = 2^64 / b rounded up.  Both operands are < 2^31. */
+    uint64_t M = UINT64_MAX / b + 1;
+    for (r = 0; r < rows; r++) {
+        const uint64_t *c = coeffs + r * k;
+        int64_t *o = out + r * n;
+        for (start = 0; start < n; start += BLOCK) {
+            int64_t m = n - start < BLOCK ? n - start : BLOCK;
+            poly_block(c, k, keys + start, m, buf);
+            if (pow2) {
+                for (i = 0; i < m; i++) o[start + i] = (int64_t)(buf[i] & mask);
+            } else {
+                for (i = 0; i < m; i++) {
+                    uint64_t low = buf[i] * M;
+                    o[start + i] =
+                        (int64_t)((uint64_t)(((__uint128_t)low * b) >> 64));
+                }
+            }
+        }
+    }
+}
+
+void repro_parity_signs(const uint64_t *coeffs, int64_t rows, int64_t k,
+                        const uint64_t *keys, int64_t n, int8_t *out) {
+    uint64_t buf[BLOCK];
+    int64_t r, i, start;
+    for (r = 0; r < rows; r++) {
+        const uint64_t *c = coeffs + r * k;
+        int8_t *o = out + r * n;
+        for (start = 0; start < n; start += BLOCK) {
+            int64_t m = n - start < BLOCK ? n - start : BLOCK;
+            poly_block(c, k, keys + start, m, buf);
+            for (i = 0; i < m; i++) {
+                o[start + i] = (int8_t)(((buf[i] & 1) << 1) - 1);
+            }
+        }
+    }
+}
+
+void repro_scatter(double *counters, int64_t rows, int64_t buckets,
+                   const int64_t *indices, int64_t n, const double *weights) {
+    int64_t r, i;
+    for (r = 0; r < rows; r++) {
+        double *c = counters + r * buckets;
+        const int64_t *idx = indices + r * n;
+        if (weights) {
+            for (i = 0; i < n; i++) c[idx[i]] += weights[i];
+        } else {
+            for (i = 0; i < n; i++) c[idx[i]] += 1.0;
+        }
+    }
+}
+
+void repro_signed_scatter(double *counters, int64_t rows, int64_t buckets,
+                          const int64_t *indices, const int8_t *signs,
+                          int64_t n, const double *weights) {
+    int64_t r, i;
+    for (r = 0; r < rows; r++) {
+        double *c = counters + r * buckets;
+        const int64_t *idx = indices + r * n;
+        const int8_t *s = signs + r * n;
+        if (weights) {
+            for (i = 0; i < n; i++) c[idx[i]] += (double)s[i] * weights[i];
+        } else {
+            for (i = 0; i < n; i++) c[idx[i]] += (double)s[i];
+        }
+    }
+}
+"""
+
+_U64P = POINTER(c_uint64)
+_I64P = POINTER(c_int64)
+_I8P = POINTER(c_int8)
+_F64P = POINTER(c_double)
+
+_lib: Optional[ctypes.CDLL] = None
+_build_error: Optional[str] = None
+
+
+def _declare(lib: ctypes.CDLL) -> None:
+    """Attach argtypes so ctypes checks the call signatures."""
+    lib.repro_poly_mod_p.argtypes = [_U64P, c_int64, c_int64, _U64P, c_int64, _U64P]
+    lib.repro_poly_mod_p.restype = None
+    lib.repro_bucket_indices.argtypes = [
+        _U64P, c_int64, c_int64, _U64P, c_int64, c_int64, _I64P,
+    ]
+    lib.repro_bucket_indices.restype = None
+    lib.repro_parity_signs.argtypes = [_U64P, c_int64, c_int64, _U64P, c_int64, _I8P]
+    lib.repro_parity_signs.restype = None
+    lib.repro_scatter.argtypes = [_F64P, c_int64, c_int64, _I64P, c_int64, _F64P]
+    lib.repro_scatter.restype = None
+    lib.repro_signed_scatter.argtypes = [
+        _F64P, c_int64, c_int64, _I64P, _I8P, c_int64, _F64P,
+    ]
+    lib.repro_signed_scatter.restype = None
+
+
+def _build() -> ctypes.CDLL:
+    """Compile the embedded C source into a private temp dir and load it."""
+    build_dir = Path(tempfile.mkdtemp(prefix="repro-kernels-"))
+    source = build_dir / "repro_kernels.c"
+    source.write_text(_C_SOURCE)
+    shared = build_dir / "repro_kernels.so"
+    compiler = os.environ.get("CC", "cc")
+    base = [compiler, "-O3", "-fPIC", "-shared", "-o", str(shared), str(source)]
+    # -march=native lets the compiler vectorize the straight-line Horner
+    # loops (8-wide 64-bit multiplies with AVX-512DQ); retry portably if
+    # the local toolchain rejects it.
+    proc = subprocess.run(base[:1] + ["-march=native"] + base[1:],
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        proc = subprocess.run(base, capture_output=True, text=True)
+    if proc.returncode != 0:
+        detail = proc.stderr.strip() or proc.stdout.strip() or "no diagnostics"
+        raise OSError(f"{' '.join(base)} failed: {detail}")
+    lib = ctypes.CDLL(str(shared))
+    _declare(lib)
+    return lib
+
+
+def _library() -> ctypes.CDLL:
+    """The compiled library, building it on first use (once per process)."""
+    global _lib, _build_error
+    if _lib is None and _build_error is None:
+        try:
+            _lib = _build()
+        except OSError as exc:
+            _build_error = str(exc)
+    if _lib is None:
+        raise ConfigurationError(
+            f"native kernel backend unavailable: {_build_error}"
+        )
+    return _lib
+
+
+def native_available() -> bool:
+    """Whether the compiled backend can be built and loaded on this machine."""
+    try:
+        _library()
+    except ConfigurationError:
+        return False
+    return True
+
+
+def native_build_error() -> Optional[str]:
+    """The build failure message, or ``None`` if the library loaded."""
+    try:
+        _library()
+    except ConfigurationError:
+        return _build_error
+    return None
+
+
+def _u64(array: np.ndarray):
+    return array.ctypes.data_as(_U64P)
+
+
+def _counter_pointer(counters: np.ndarray):
+    """Pointer to the counter matrix, which the C side mutates in place."""
+    if not counters.flags.c_contiguous:
+        raise ConfigurationError(
+            "native backend needs C-contiguous counters; got a strided view"
+        )
+    return counters.ctypes.data_as(_F64P)
+
+
+class NativeKernelBackend(NumpyKernelBackend):
+    """Compiled single-pass hashing and scatter primitives.
+
+    Inherits the numpy implementations for everything it does not
+    accelerate (gather, AGMS sign reductions, EH3/tabulation families).
+    Activate with ``set_backend("native")`` or
+    ``REPRO_KERNEL_BACKEND=native``; activation raises
+    :class:`~repro.errors.ConfigurationError` when no C compiler is
+    available (see :func:`native_available`).
+    """
+
+    name = "native"
+
+    # REP002 note: the uint64/int8 buffers below are hash values and ±1
+    # signs, never accumulators — counters stay float64 throughout.
+
+    def polynomial_mod_p(
+        self, coefficients: np.ndarray, keys: np.ndarray
+    ) -> np.ndarray:
+        """Fused Horner over all rows in one C pass."""
+        rows, k = coefficients.shape
+        out = np.empty((rows, keys.size), dtype=np.uint64)
+        if keys.size:
+            _library().repro_poly_mod_p(
+                _u64(np.ascontiguousarray(coefficients)),
+                rows,
+                k,
+                _u64(np.ascontiguousarray(keys)),
+                keys.size,
+                _u64(out),
+            )
+        return out
+
+    def bucket_indices(
+        self, coefficients: np.ndarray, keys: np.ndarray, buckets: int
+    ) -> np.ndarray:
+        """Fused Horner + ``mod buckets`` in one C pass."""
+        rows, k = coefficients.shape
+        out = np.empty((rows, keys.size), dtype=np.int64)
+        if keys.size:
+            _library().repro_bucket_indices(
+                _u64(np.ascontiguousarray(coefficients)),
+                rows,
+                k,
+                _u64(np.ascontiguousarray(keys)),
+                keys.size,
+                buckets,
+                out.ctypes.data_as(_I64P),
+            )
+        return out
+
+    def parity_signs(
+        self, coefficients: np.ndarray, keys: np.ndarray
+    ) -> np.ndarray:
+        """Fused Horner + parity map in one C pass."""
+        rows, k = coefficients.shape
+        out = np.empty((rows, keys.size), dtype=np.int8)
+        if keys.size:
+            _library().repro_parity_signs(
+                _u64(np.ascontiguousarray(coefficients)),
+                rows,
+                k,
+                _u64(np.ascontiguousarray(keys)),
+                keys.size,
+                out.ctypes.data_as(_I8P),
+            )
+        return out
+
+    def scatter_add(
+        self,
+        counters: np.ndarray,
+        indices: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> None:
+        """Element-wise accumulation in stream order (same as ``np.add.at``)."""
+        rows, buckets = counters.shape
+        n = indices.shape[1]
+        if n == 0:
+            return
+        _library().repro_scatter(
+            _counter_pointer(counters),
+            rows,
+            buckets,
+            np.ascontiguousarray(indices).ctypes.data_as(_I64P),
+            n,
+            None
+            if weights is None
+            else np.ascontiguousarray(weights).ctypes.data_as(_F64P),
+        )
+
+    def signed_scatter_add(
+        self,
+        counters: np.ndarray,
+        indices: np.ndarray,
+        signs: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> None:
+        """Element-wise signed accumulation in stream order."""
+        rows, buckets = counters.shape
+        n = indices.shape[1]
+        if n == 0:
+            return
+        _library().repro_signed_scatter(
+            _counter_pointer(counters),
+            rows,
+            buckets,
+            np.ascontiguousarray(indices).ctypes.data_as(_I64P),
+            np.ascontiguousarray(signs).ctypes.data_as(_I8P),
+            n,
+            None
+            if weights is None
+            else np.ascontiguousarray(weights).ctypes.data_as(_F64P),
+        )
+
+
+register_backend(NativeKernelBackend())

@@ -1,0 +1,111 @@
+"""The reference kernel backend: per-row ``np.add.at`` accumulation.
+
+This is the accumulation path the sketches used before the kernel layer
+existed, preserved verbatim behind the backend seam.  It exists for two
+reasons:
+
+* **equivalence** — ``tests/test_kernels.py`` drives identical updates
+  through both backends and asserts the counter matrices are exactly
+  equal, which pins the fused backend to the legacy semantics;
+* **benchmarking** — ``benchmarks/test_kernel_throughput.py`` reports
+  the fused backend's throughput relative to this one, and the CI perf
+  smoke fails if the fused path ever regresses below it.
+
+Activate with ``set_backend("reference")`` or
+``REPRO_KERNEL_BACKEND=reference``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .backend import KernelBackend, register_backend
+
+__all__ = ["ReferenceKernelBackend"]
+
+
+class ReferenceKernelBackend(KernelBackend):
+    """Legacy per-row ``np.add.at`` accumulation (behavioural baseline)."""
+
+    name = "reference"
+
+    def scatter_add(
+        self,
+        counters: np.ndarray,
+        indices: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> None:
+        """Row-by-row ``np.add.at``, exactly as the pre-kernel sketches did."""
+        n = indices.shape[1]
+        if n == 0:
+            return
+        for row in range(counters.shape[0]):
+            deltas = np.ones(n) if weights is None else weights
+            np.add.at(counters[row], indices[row], deltas)
+
+    def signed_scatter_add(
+        self,
+        counters: np.ndarray,
+        indices: np.ndarray,
+        signs: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> None:
+        """Row-by-row sign conversion and ``np.add.at``."""
+        if indices.shape[1] == 0:
+            return
+        for row in range(counters.shape[0]):
+            row_signs = signs[row].astype(np.float64)
+            deltas = row_signs if weights is None else row_signs * weights
+            np.add.at(counters[row], indices[row], deltas)
+
+    def gather(self, counters: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Row-by-row fancy indexing."""
+        out = np.empty(indices.shape, dtype=np.float64)
+        for row in range(counters.shape[0]):
+            out[row] = counters[row, indices[row]]
+        return out
+
+    def sign_sum(self, signs: np.ndarray) -> np.ndarray:
+        """Row sums of the ±1 matrix with an explicit float64 accumulator."""
+        return signs.sum(axis=1, dtype=np.float64)
+
+    def sign_dot(
+        self,
+        signs: np.ndarray,
+        weights: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """The legacy ``signs.astype(float64) @ weights`` expression."""
+        result = signs.astype(np.float64) @ weights
+        if out is None:
+            return result
+        out[...] = result
+        return out
+
+    def polynomial_mod_p(
+        self, coefficients: np.ndarray, keys: np.ndarray
+    ) -> np.ndarray:
+        """Per-row exact-reduction Horner, as the pre-kernel families ran it."""
+        from ..hashing.families import _poly_rows_reference
+
+        return _poly_rows_reference(coefficients, keys)
+
+    def bucket_indices(
+        self, coefficients: np.ndarray, keys: np.ndarray, buckets: int
+    ) -> np.ndarray:
+        """Per-row hash followed by the legacy unsigned ``mod buckets``."""
+        values = self.polynomial_mod_p(coefficients, keys)
+        return (values % np.uint64(buckets)).astype(np.int64)
+
+    def parity_signs(
+        self, coefficients: np.ndarray, keys: np.ndarray
+    ) -> np.ndarray:
+        """Per-row hash followed by the parity map."""
+        from ..hashing.signs import _parity_signs
+
+        return _parity_signs(self.polynomial_mod_p(coefficients, keys))
+
+
+register_backend(ReferenceKernelBackend())

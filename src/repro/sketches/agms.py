@@ -22,6 +22,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..hashing import EH3SignFamily, FourWiseSignFamily, SignFamily
+from ..kernels import get_backend
 from ..rng import SeedLike, as_seed_sequence, derive_seed
 from ._combine import combine_estimates, validate_combine
 from .base import Sketch
@@ -61,6 +62,7 @@ class AgmsSketch(Sketch):
         "groups",
         "_counters",
         "_signs",
+        "_scratch",
     )
 
     def __init__(
@@ -90,6 +92,7 @@ class AgmsSketch(Sketch):
         self.groups = groups
         self._signs: SignFamily = _SIGN_FAMILIES[sign_family](rows, root.spawn(1)[0])
         self._counters = np.zeros(rows, dtype=np.float64)
+        self._scratch = np.empty(rows, dtype=np.float64)
 
     # ------------------------------------------------------------------
 
@@ -102,11 +105,14 @@ class AgmsSketch(Sketch):
         keys, weights = self._normalize_batch(keys, weights)
         if keys.size == 0:
             return
-        signs = self._signs(keys)  # (rows, n) of ±1
+        signs = self._signs.evaluate_all(keys)  # (rows, n) of ±1
+        backend = get_backend()
         if weights is None:
-            self._counters += signs.sum(axis=1, dtype=np.float64)
+            self._counters += backend.sign_sum(signs)
         else:
-            self._counters += signs.astype(np.float64) @ weights
+            # One matmul into the preallocated buffer — no per-chunk
+            # temporary beyond the float view of the signs.
+            self._counters += backend.sign_dot(signs, weights, out=self._scratch)
 
     # ------------------------------------------------------------------
 
@@ -164,6 +170,7 @@ class AgmsSketch(Sketch):
         clone.groups = self.groups
         clone._signs = self._signs  # immutable family, safe to share
         clone._counters = np.zeros(self.rows, dtype=np.float64)
+        clone._scratch = np.empty(self.rows, dtype=np.float64)
         return clone
 
     def _state(self) -> np.ndarray:

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..errors import ConfigurationError, EstimationError
 from ..hashing import BucketHashFamily
+from ..kernels import get_backend
 from ..rng import SeedLike, as_seed_sequence, derive_seed
 from .base import Sketch
 
@@ -68,21 +69,16 @@ class CountMinSketch(Sketch):
         keys, weights = self._normalize_batch(keys, weights)
         if keys.size == 0:
             return
-        for row in range(self.rows):
-            buckets = self._bucket_hash.evaluate_row(row, keys)
-            deltas = np.ones(keys.size) if weights is None else weights
-            np.add.at(self._counters[row], buckets, deltas)
+        indices = self._bucket_hash.evaluate_all(keys)
+        get_backend().scatter_add(self._counters, indices, weights)
 
     # ------------------------------------------------------------------
 
     def point_estimate(self, key: int) -> float:
         """Upper-bound estimate of the frequency of *key* (min over rows)."""
         keys = np.asarray([key], dtype=np.int64)
-        estimates = [
-            self._counters[row, self._bucket_hash.evaluate_row(row, keys)[0]]
-            for row in range(self.rows)
-        ]
-        return float(min(estimates))
+        indices = self._bucket_hash.evaluate_all(keys)
+        return float(get_backend().gather(self._counters, indices).min())
 
     def inner_product(self, other: Sketch) -> float:
         """Upper-bound estimate of ``Σᵢ fᵢ gᵢ`` (min over rows)."""

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..hashing import BucketHashFamily, EH3SignFamily, FourWiseSignFamily, SignFamily
+from ..kernels import get_backend
 from ..rng import SeedLike, as_seed_sequence, derive_seed
 from ._combine import combine_estimates, validate_combine
 from .base import Sketch
@@ -110,11 +111,9 @@ class FagmsSketch(Sketch):
         keys, weights = self._normalize_batch(keys, weights)
         if keys.size == 0:
             return
-        for row in range(self.rows):
-            buckets = self._bucket_hash.evaluate_row(row, keys)
-            signs = self._signs.evaluate_row(row, keys).astype(np.float64)
-            deltas = signs if weights is None else signs * weights
-            np.add.at(self._counters[row], buckets, deltas)
+        indices = self._bucket_hash.evaluate_all(keys)
+        signs = self._signs.evaluate_all(keys)
+        get_backend().signed_scatter_add(self._counters, indices, signs, weights)
 
     # ------------------------------------------------------------------
 
@@ -151,12 +150,10 @@ class FagmsSketch(Sketch):
         guarantee w.h.p.
         """
         keys = np.asarray(keys, dtype=np.int64)
-        estimates = np.empty((self.rows, keys.size), dtype=np.float64)
-        for row in range(self.rows):
-            buckets = self._bucket_hash.evaluate_row(row, keys)
-            signs = self._signs.evaluate_row(row, keys).astype(np.float64)
-            estimates[row] = signs * self._counters[row, buckets]
-        return np.median(estimates, axis=0)
+        indices = self._bucket_hash.evaluate_all(keys)
+        signs = self._signs.evaluate_all(keys)
+        gathered = get_backend().gather(self._counters, indices)
+        return np.median(signs * gathered, axis=0)
 
     def point_estimate(self, key: int) -> float:
         """Unbiased estimate of a single key's frequency (median over rows)."""
