@@ -27,6 +27,7 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.variance` — exact estimator expectation/variance theory
 * :mod:`repro.core` — the paper's combined estimators and applications
 * :mod:`repro.engine` — online aggregation
+* :mod:`repro.resilience` — fault-tolerant streaming runtime
 * :mod:`repro.experiments` — harness regenerating Figs 1–8
 """
 
@@ -49,12 +50,27 @@ from .core import (
 )
 from .engine import OnlineJoinAggregator, OnlineSelfJoinAggregator, ProgressivePoint
 from .errors import (
+    BadRecordError,
+    CheckpointError,
     ConfigurationError,
     DomainError,
     EstimationError,
     IncompatibleSketchError,
     InsufficientDataError,
     ReproError,
+    RetryExhaustedError,
+    SerializationError,
+    StreamIntegrityError,
+)
+from .resilience import (
+    AdaptiveSheddingSketcher,
+    ChaosInjector,
+    CheckpointManager,
+    ChunkEnvelope,
+    InputHardener,
+    LoadGovernor,
+    SimulatedCrash,
+    StreamRuntime,
 )
 from .frequency import FrequencyVector
 from .sampling import (
@@ -104,6 +120,11 @@ __all__ = [
     "EstimationError",
     "InsufficientDataError",
     "IncompatibleSketchError",
+    "SerializationError",
+    "CheckpointError",
+    "StreamIntegrityError",
+    "BadRecordError",
+    "RetryExhaustedError",
     # data substrate
     "FrequencyVector",
     "Relation",
@@ -150,6 +171,15 @@ __all__ = [
     "ProgressivePoint",
     "OnlineSelfJoinAggregator",
     "OnlineJoinAggregator",
+    # resilience
+    "AdaptiveSheddingSketcher",
+    "LoadGovernor",
+    "InputHardener",
+    "CheckpointManager",
+    "ChunkEnvelope",
+    "StreamRuntime",
+    "ChaosInjector",
+    "SimulatedCrash",
     # variance / bounds
     "ConfidenceInterval",
     "chebyshev_interval",

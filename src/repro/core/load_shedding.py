@@ -60,6 +60,47 @@ class LoadShedder:
         """Total tuples that survived shedding."""
         return self._kept
 
+    def set_p(self, p: float) -> None:
+        """Change the keep-probability at a chunk boundary.
+
+        The carried skip-state (the pending gap to the next kept tuple)
+        was drawn under the *old* rate, so it cannot simply be kept: the
+        gap is redrawn from Geometric(p) — by memorylessness the kept
+        positions from this boundary onward are then distributed exactly
+        as a fresh Bernoulli(p) process.  An invalid *p* is rejected
+        *before* any state is touched, so a failed update never corrupts
+        the carried skip-state.
+        """
+        if not 0 < p <= 1:
+            raise ConfigurationError(f"shedding probability must be in (0, 1], got {p}")
+        self.p = float(p)
+        self._until_next = int(bernoulli_skip_lengths(self.p, 1, self._rng)[0])
+
+    def state(self) -> dict:
+        """JSON-serializable snapshot of the full filter state.
+
+        Captures the rate, the seen/kept tallies, the carried skip-state,
+        and the underlying bit-generator state, so :meth:`restore` resumes
+        the kept-position sequence *bit-identically*.
+        """
+        return {
+            "p": self.p,
+            "seen": self._seen,
+            "kept": self._kept,
+            "until_next": self._until_next,
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "LoadShedder":
+        """Rebuild a shedder from a :meth:`state` snapshot."""
+        shedder = cls(state["p"])
+        shedder._rng.bit_generator.state = state["rng_state"]
+        shedder._seen = int(state["seen"])
+        shedder._kept = int(state["kept"])
+        shedder._until_next = int(state["until_next"])
+        return shedder
+
     def filter(self, keys) -> np.ndarray:
         """Return the surviving tuples of one chunk, preserving order."""
         keys = np.asarray(keys)

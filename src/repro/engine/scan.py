@@ -15,13 +15,21 @@ lockstep fractions, snapshotting the statistics at checkpoints::
 
 Relations are registered automatically; their arrival order must already
 be random (the WOR-prefix premise).
+
+With ``checkpoint_dir`` set, the engine's full state (template header,
+per-relation counters and scan cursors) is durably snapshotted through
+:class:`~repro.resilience.checkpoint.CheckpointManager` after every
+yielded fraction; ``resume=True`` then restarts a killed scan from the
+newest intact snapshot, re-yielding only the remaining fractions with
+statistics bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
 from typing import Iterator, Mapping, Sequence
 
-from ..errors import ConfigurationError
+from ..errors import CheckpointError, ConfigurationError
+from ..resilience.checkpoint import CheckpointManager
 from ..streams.base import Relation
 from .online_aggregation import DEFAULT_CHECKPOINTS, _validate_checkpoints
 from .statistics import OnlineStatisticsEngine, StatisticsSnapshot
@@ -34,29 +42,81 @@ def run_lockstep_scan(
     relations: Mapping[str, Relation],
     *,
     checkpoints: Sequence[float] = DEFAULT_CHECKPOINTS,
+    checkpoint_dir=None,
+    keep_checkpoints: int = 2,
+    resume: bool = False,
 ) -> Iterator[StatisticsSnapshot]:
     """Scan every relation to each checkpoint fraction, yielding snapshots.
 
     At checkpoint ``x`` every relation has had an ``x`` fraction of its
     tuples consumed (ripple-join-style lockstep).  Relations not yet
     registered with *engine* are registered with their exact cardinality.
+
+    *checkpoint_dir* enables durable snapshots (one after each yielded
+    fraction).  With ``resume=True`` the scan restarts from the newest
+    intact snapshot in that directory: the passed *engine* is rewound to
+    the checkpointed state (it must be freshly constructed — its sketch
+    template is replaced by the checkpointed one so the hash families
+    match), already-completed fractions are not re-yielded, and every
+    relation's cardinality is validated against the snapshot.  When no
+    usable snapshot exists the scan simply starts from the beginning.
     """
     if not relations:
         raise ConfigurationError("at least one relation is required")
+    if resume and checkpoint_dir is None:
+        raise ConfigurationError("resume=True needs a checkpoint_dir")
     fractions = _validate_checkpoints(checkpoints)
-    for name, relation in relations.items():
-        if name not in engine.relations:
-            engine.register(name, len(relation))
-        elif engine.fraction_scanned(name) > 0:
-            raise ConfigurationError(
-                f"relation {name!r} was already partially scanned; "
-                "run_lockstep_scan needs a fresh engine registration"
+    manager = (
+        None
+        if checkpoint_dir is None
+        else CheckpointManager(checkpoint_dir, keep=keep_checkpoints)
+    )
+    completed = 0
+    if resume and manager is not None:
+        snapshot = manager.latest()
+        if snapshot is not None:
+            restored = OnlineStatisticsEngine.from_checkpoint_state(
+                snapshot.state, snapshot.arrays
             )
-    scanned = {name: 0 for name in relations}
-    for fraction in fractions:
+            if set(restored.relations) != set(relations):
+                raise CheckpointError(
+                    f"checkpointed scan covers relations "
+                    f"{sorted(restored.relations)}, caller supplied "
+                    f"{sorted(relations)}"
+                )
+            for name, relation in relations.items():
+                recorded = restored._relations[name].total_tuples
+                if recorded != len(relation):
+                    raise CheckpointError(
+                        f"relation {name!r} has {len(relation)} tuples but the "
+                        f"checkpoint recorded {recorded}"
+                    )
+            engine._template = restored._template
+            engine._relations = restored._relations
+            completed = snapshot.position
+            if completed > len(fractions):
+                raise CheckpointError(
+                    f"checkpoint completed {completed} fractions but only "
+                    f"{len(fractions)} were requested"
+                )
+    if completed == 0:
+        for name, relation in relations.items():
+            if name not in engine.relations:
+                engine.register(name, len(relation))
+            elif engine.fraction_scanned(name) > 0:
+                raise ConfigurationError(
+                    f"relation {name!r} was already partially scanned; "
+                    "run_lockstep_scan needs a fresh engine registration"
+                )
+    scanned = {name: engine._relations[name].scanned for name in relations}
+    for index in range(completed, len(fractions)):
+        fraction = fractions[index]
         for name, relation in relations.items():
             target = min(len(relation), max(1, int(round(fraction * len(relation)))))
             if target > scanned[name]:
                 engine.consume(name, relation.keys[scanned[name] : target])
                 scanned[name] = target
+        if manager is not None:
+            state, arrays = engine.checkpoint_state()
+            manager.save(position=index + 1, state=state, arrays=arrays)
         yield engine.snapshot()

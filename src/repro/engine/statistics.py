@@ -32,11 +32,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ConfigurationError, InsufficientDataError
+from ..errors import CheckpointError, ConfigurationError, InsufficientDataError
 from ..rng import SeedLike, as_seed_sequence
 from ..sampling.base import SampleInfo
 from ..sampling.unbiasing import join_scale, self_join_correction
 from ..sketches.fagms import FagmsSketch
+from ..sketches.serialization import build_sketch, expected_state_shape, sketch_header
 
 __all__ = ["OnlineStatisticsEngine", "ScanState", "StatisticsSnapshot"]
 
@@ -217,6 +218,87 @@ class OnlineStatisticsEngine:
             self_join_sizes=self_joins,
             join_sizes=joins,
         )
+
+    # ------------------------------------------------------------------
+    # Persistence (repro.resilience checkpoint payload)
+    # ------------------------------------------------------------------
+
+    def checkpoint_state(self) -> tuple:
+        """Split the engine into a JSON state blob and counter arrays.
+
+        Returns ``(state, arrays)`` in the shape expected by
+        :meth:`repro.resilience.checkpoint.CheckpointManager.save`: the
+        shared template header plus per-relation scan progress in *state*,
+        and one CRC-protected counter array per relation in *arrays*.
+        """
+        state = {
+            "template": sketch_header(self._template),
+            "relations": [
+                {
+                    "name": s.name,
+                    "total_tuples": s.total_tuples,
+                    "scanned": s.scanned,
+                }
+                for s in self._relations.values()
+            ],
+        }
+        arrays = {
+            f"counters.{name}": s.sketch._state()
+            for name, s in self._relations.items()
+        }
+        return state, arrays
+
+    @classmethod
+    def from_checkpoint_state(cls, state: dict, arrays: dict) -> "OnlineStatisticsEngine":
+        """Rebuild an engine from a :meth:`checkpoint_state` snapshot.
+
+        Every relation's sketch is reconstructed from the shared template
+        header (so cross-relation inner products remain meaningful) and
+        its checkpointed counters, verified against the expected shape.
+        Raises :class:`~repro.errors.CheckpointError` on any mismatch.
+        """
+        header = state.get("template")
+        if not isinstance(header, dict):
+            raise CheckpointError("engine checkpoint has no template header")
+        relations = state.get("relations")
+        if not isinstance(relations, list):
+            raise CheckpointError("engine checkpoint has no relation list")
+        engine = object.__new__(cls)
+        engine._template = build_sketch(header)
+        if not isinstance(engine._template, FagmsSketch):
+            raise CheckpointError(
+                f"engine checkpoint template is a "
+                f"{type(engine._template).__name__}, expected an F-AGMS sketch"
+            )
+        expected = expected_state_shape(header)
+        engine._relations = {}
+        for raw in relations:
+            name = raw.get("name")
+            counters = arrays.get(f"counters.{name}")
+            if counters is None:
+                raise CheckpointError(
+                    f"engine checkpoint is missing counters for relation {name!r}"
+                )
+            if tuple(counters.shape) != expected:
+                raise CheckpointError(
+                    f"engine checkpoint counters for {name!r} have shape "
+                    f"{counters.shape}, expected {expected}"
+                )
+            sketch = build_sketch(header)
+            sketch._state()[...] = counters.astype(np.float64, copy=False)
+            scan = ScanState(
+                name=name,
+                total_tuples=int(raw["total_tuples"]),
+                sketch=sketch,
+                scanned=int(raw["scanned"]),
+            )
+            if not 0 <= scan.scanned <= scan.total_tuples:
+                raise CheckpointError(
+                    f"engine checkpoint scan progress for {name!r} is invalid: "
+                    f"{scan.scanned}/{scan.total_tuples}"
+                )
+            engine._relations[name] = scan
+        return engine
 
     # ------------------------------------------------------------------
 

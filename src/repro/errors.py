@@ -15,6 +15,11 @@ __all__ = [
     "EstimationError",
     "InsufficientDataError",
     "IncompatibleSketchError",
+    "SerializationError",
+    "CheckpointError",
+    "StreamIntegrityError",
+    "BadRecordError",
+    "RetryExhaustedError",
 ]
 
 
@@ -59,4 +64,49 @@ class IncompatibleSketchError(ReproError, ValueError):
     Sketches may only be merged or multiplied (for size-of-join estimation)
     when they share the same shape *and* the same random seeds, i.e. the same
     underlying hash/ξ families.
+    """
+
+
+class SerializationError(ConfigurationError):
+    """A persisted artifact (sketch file, checkpoint) is unreadable.
+
+    Raised for truncated archives, undecodable or incomplete headers, and
+    counter payloads whose shape/dtype disagree with the header — instead
+    of letting an opaque ``KeyError``/``zipfile.BadZipFile``/numpy error
+    escape.  Subclasses :class:`ConfigurationError` so existing callers
+    that guard loads with ``except ConfigurationError`` keep working.
+    """
+
+
+class CheckpointError(SerializationError):
+    """A checkpoint failed its integrity or schema validation.
+
+    A corrupted checkpoint must *never* be silently loaded; every CRC or
+    manifest mismatch surfaces as this error so recovery logic can fall
+    back to an older snapshot or fail loudly.
+    """
+
+
+class StreamIntegrityError(ReproError, ValueError):
+    """A delivered stream chunk violated its framing contract.
+
+    Raised when a chunk arrives truncated (payload shorter than its
+    declared count), fails its checksum, or skips ahead of the expected
+    sequence number (a lost chunk).  Duplicated chunks are *not* an error —
+    the runtime drops them idempotently.
+    """
+
+
+class BadRecordError(DomainError):
+    """A stream record was rejected by the configured bad-record policy.
+
+    Raised only under the ``"fail"`` policy; the ``"skip_and_count"`` and
+    ``"quarantine"`` policies count/divert bad records instead of raising.
+    """
+
+
+class RetryExhaustedError(ReproError, RuntimeError):
+    """A transient-failure retry loop ran out of attempts.
+
+    Carries the final underlying exception as ``__cause__``.
     """

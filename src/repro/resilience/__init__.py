@@ -1,0 +1,46 @@
+"""Fault-tolerant streaming runtime for the paper's sketching pipelines.
+
+This package hardens the reproduction for long-running deployments:
+
+* :mod:`~repro.resilience.checkpoint` — durable, atomic, CRC-verified
+  snapshots of full pipeline state;
+* :mod:`~repro.resilience.schedule` / :mod:`~repro.resilience.adaptive` —
+  piecewise-rate Bernoulli load shedding with unbiased estimates and
+  rate-aware confidence bounds (generalizing the paper's Props 13–14);
+* :mod:`~repro.resilience.governor` — a feedback controller that retunes
+  the shedding rate to a processing budget;
+* :mod:`~repro.resilience.hardening` — bad-record policies and retrying
+  stream readers at the I/O boundary;
+* :mod:`~repro.resilience.runtime` — :class:`StreamRuntime`, tying the
+  pieces together with envelope integrity checks and ``recover()``;
+* :mod:`~repro.resilience.chaos` — the deterministic fault-injection
+  harness exercising all of the above.
+"""
+
+from .adaptive import AdaptiveSheddingSketcher, averaged_estimator_count
+from .chaos import ChaosInjector, SimulatedCrash, run_until_complete
+from .checkpoint import CHECKPOINT_VERSION, Checkpoint, CheckpointManager
+from .governor import LoadGovernor
+from .hardening import InputHardener, retrying_read_stream
+from .runtime import ChunkEnvelope, StreamRuntime, envelope_stream, make_envelope
+from .schedule import RateSchedule, RateSegment
+
+__all__ = [
+    "AdaptiveSheddingSketcher",
+    "averaged_estimator_count",
+    "ChaosInjector",
+    "SimulatedCrash",
+    "run_until_complete",
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointManager",
+    "LoadGovernor",
+    "InputHardener",
+    "retrying_read_stream",
+    "ChunkEnvelope",
+    "StreamRuntime",
+    "envelope_stream",
+    "make_envelope",
+    "RateSchedule",
+    "RateSegment",
+]

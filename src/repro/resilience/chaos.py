@@ -1,0 +1,274 @@
+"""Deterministic fault injection for the resilience test harness.
+
+:class:`ChaosInjector` sits between an envelope stream and a
+:class:`~repro.resilience.runtime.StreamRuntime` and injects the fault
+classes the runtime claims to survive:
+
+* **crash** — raise :class:`SimulatedCrash` between two chunks (the
+  process "dies"; the harness recovers from the newest checkpoint);
+* **truncate** — deliver an envelope whose payload lost its tail while
+  the declared count/CRC still describe the full chunk (a torn read; the
+  runtime must raise :class:`~repro.errors.StreamIntegrityError`);
+* **duplicate** — deliver the same envelope twice (at-least-once
+  delivery; the runtime must apply it exactly once);
+* **corrupt** — flip bytes in the newest checkpoint file right before a
+  crash (disk corruption; recovery must detect it and fall back).
+
+All decisions come from one seeded generator and each fault fires at most
+once per chunk sequence, so a replayed stream after recovery re-delivers
+the previously faulted chunk *intact* — faults are transient, runs
+terminate, and the whole schedule is reproducible from the seed.
+:func:`run_until_complete` is the crash-recovery driver used by the tests
+and the CI chaos matrix.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Iterator, Optional
+
+from ..errors import CheckpointError, ConfigurationError, StreamIntegrityError
+from ..rng import SeedLike, as_generator
+from .checkpoint import CheckpointManager
+from .runtime import ChunkEnvelope, StreamRuntime
+
+__all__ = ["SimulatedCrash", "ChaosInjector", "run_until_complete"]
+
+
+class SimulatedCrash(RuntimeError):
+    """Injected process death.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: production
+    code must never catch it by accident while handling typed pipeline
+    errors.
+    """
+
+
+class ChaosInjector:
+    """Seeded, transient fault injector for envelope streams.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the fault schedule; the same seed produces the same faults
+        at the same chunk sequences, every run.
+    crash_rate, truncate_rate, duplicate_rate:
+        Per-chunk probability of each fault class (a chunk draws each
+        independently, at most one fault per chunk wins, in the order
+        crash → truncate → duplicate).
+    corrupt_rate:
+        Probability that a crash is preceded by byte-flipping the newest
+        checkpoint file (needs *checkpoint_dir*).
+    checkpoint_dir:
+        Where :meth:`corrupt_latest_checkpoint` finds snapshots.
+    max_faults:
+        Hard cap on total injected faults (safety net guaranteeing
+        progress even with rates close to 1).
+    """
+
+    __slots__ = (
+        "crash_rate",
+        "truncate_rate",
+        "duplicate_rate",
+        "corrupt_rate",
+        "checkpoint_dir",
+        "max_faults",
+        "faults",
+        "_rng",
+        "_decided",
+    )
+
+    def __init__(
+        self,
+        seed: SeedLike,
+        *,
+        crash_rate: float = 0.0,
+        truncate_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        checkpoint_dir=None,
+        max_faults: Optional[int] = None,
+    ) -> None:
+        for name, rate in (
+            ("crash_rate", crash_rate),
+            ("truncate_rate", truncate_rate),
+            ("duplicate_rate", duplicate_rate),
+            ("corrupt_rate", corrupt_rate),
+        ):
+            if not 0 <= rate <= 1:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
+        if corrupt_rate > 0 and checkpoint_dir is None:
+            raise ConfigurationError(
+                "corrupt_rate needs a checkpoint_dir to corrupt"
+            )
+        if max_faults is not None and max_faults < 0:
+            raise ConfigurationError(f"max_faults must be >= 0, got {max_faults}")
+        self.crash_rate = float(crash_rate)
+        self.truncate_rate = float(truncate_rate)
+        self.duplicate_rate = float(duplicate_rate)
+        self.corrupt_rate = float(corrupt_rate)
+        self.checkpoint_dir = checkpoint_dir
+        self.max_faults = max_faults
+        #: Tally of injected faults by kind.
+        self.faults: dict = {
+            "crash": 0,
+            "truncate": 0,
+            "duplicate": 0,
+            "corrupt": 0,
+        }
+        self._rng = as_generator(seed)
+        # sequence -> decided fault kind (or None); drawn once per chunk so
+        # the schedule is stable across post-recovery replays.
+        self._decided: dict = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_faults(self) -> int:
+        """Faults injected so far, across all kinds."""
+        return sum(self.faults.values())
+
+    def _decide(self, sequence: int) -> Optional[str]:
+        if sequence in self._decided:
+            # Already decided (and, if faulty, already injected): replays
+            # of this chunk pass through clean — faults are transient.
+            return None
+        draws = self._rng.random(4)
+        if draws[0] < self.crash_rate:
+            kind = "crash"
+        elif draws[1] < self.truncate_rate:
+            kind = "truncate"
+        elif draws[2] < self.duplicate_rate:
+            kind = "duplicate"
+        else:
+            kind = None
+        if kind == "crash" and draws[3] < self.corrupt_rate:
+            kind = "corrupt"
+        if kind is not None and (
+            self.max_faults is not None and self.total_faults >= self.max_faults
+        ):
+            kind = None
+        self._decided[sequence] = kind
+        return kind
+
+    def wrap(self, envelopes: Iterable[ChunkEnvelope]) -> Iterator[ChunkEnvelope]:
+        """Deliver *envelopes* with faults injected per the seeded schedule."""
+        for envelope in envelopes:
+            kind = self._decide(envelope.sequence)
+            if kind is None:
+                yield envelope
+                continue
+            self.faults[kind] += 1
+            if kind == "corrupt":
+                self.corrupt_latest_checkpoint()
+                raise SimulatedCrash(
+                    f"injected crash (with checkpoint corruption) before "
+                    f"chunk {envelope.sequence}"
+                )
+            if kind == "crash":
+                raise SimulatedCrash(
+                    f"injected crash before chunk {envelope.sequence}"
+                )
+            if kind == "truncate":
+                cut = max(0, envelope.count - 1 - int(self._rng.integers(0, 3)))
+                yield ChunkEnvelope(
+                    sequence=envelope.sequence,
+                    keys=envelope.keys[:cut],
+                    count=envelope.count,
+                    crc32=envelope.crc32,
+                )
+                continue
+            # duplicate: deliver intact, twice.
+            yield envelope
+            yield envelope
+
+    def corrupt_latest_checkpoint(self) -> Optional[str]:
+        """Flip bytes in the newest checkpoint file; returns its path.
+
+        Returns ``None`` when no checkpoint exists yet.  The flip hits the
+        middle of the file, which lands in the compressed payload or the
+        manifest and must be caught by the CRC checks on load.
+        """
+        if self.checkpoint_dir is None:
+            raise ConfigurationError("injector was built without a checkpoint_dir")
+        paths = CheckpointManager(self.checkpoint_dir).paths()
+        if not paths:
+            return None
+        target = paths[-1]
+        size = os.path.getsize(target)
+        with open(target, "r+b") as handle:
+            handle.seek(size // 2)
+            chunk = handle.read(8)
+            handle.seek(size // 2)
+            handle.write(bytes(byte ^ 0xFF for byte in chunk))
+        return str(target)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaosInjector(crash_rate={self.crash_rate}, "
+            f"truncate_rate={self.truncate_rate}, "
+            f"duplicate_rate={self.duplicate_rate}, "
+            f"corrupt_rate={self.corrupt_rate}, faults={self.faults})"
+        )
+
+
+def run_until_complete(
+    make_runtime: Callable[[], StreamRuntime],
+    make_stream: Callable[[], Iterable],
+    *,
+    checkpoint_dir=None,
+    injector: Optional[ChaosInjector] = None,
+    max_restarts: int = 100,
+) -> tuple:
+    """Drive a runtime over a faulty stream to completion, recovering as needed.
+
+    *make_runtime* builds a fresh runtime (used at cold start and when no
+    usable checkpoint survives); *make_stream* re-creates the full
+    envelope stream for every attempt (at-least-once redelivery from the
+    source).  A :class:`SimulatedCrash` abandons the runtime object and
+    recovers from the newest intact checkpoint in *checkpoint_dir*; a
+    :class:`~repro.errors.StreamIntegrityError` (torn chunk) keeps the
+    runtime and simply replays the stream, relying on duplicate-skipping.
+    Returns ``(runtime, restarts)``.
+    """
+    if max_restarts < 0:
+        raise ConfigurationError(f"max_restarts must be >= 0, got {max_restarts}")
+    runtime = make_runtime()
+    restarts = 0
+    while True:
+        stream = make_stream()
+        if injector is not None:
+            stream = injector.wrap(stream)
+        try:
+            runtime.run(stream)
+            return runtime, restarts
+        except StreamIntegrityError:
+            restarts += 1
+            if restarts > max_restarts:
+                raise
+            # Runtime state is intact (the torn chunk was never applied);
+            # replay the stream and let duplicate-skipping fast-forward.
+        except SimulatedCrash:
+            restarts += 1
+            if restarts > max_restarts:
+                raise
+            if checkpoint_dir is None:
+                runtime = make_runtime()
+                continue
+            try:
+                runtime = StreamRuntime.recover(
+                    checkpoint_dir,
+                    checkpoint_every=runtime.checkpoint_every,
+                    keep_checkpoints=(
+                        runtime.checkpoint_manager.keep
+                        if runtime.checkpoint_manager is not None
+                        else 2
+                    ),
+                    governor=runtime.governor,
+                    hardener=runtime.hardener,
+                    clock=runtime.clock,
+                )
+            except CheckpointError:
+                # Nothing usable on disk (all snapshots corrupt or none
+                # written yet): start over from scratch.
+                runtime = make_runtime()

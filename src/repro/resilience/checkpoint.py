@@ -1,0 +1,290 @@
+"""Durable checkpoints: atomic, CRC-verified snapshots of pipeline state.
+
+A checkpoint is a single ``.npz`` archive written atomically (temp file →
+``fsync`` → ``os.replace``) so a crash mid-write can never leave a
+half-visible snapshot.  The archive holds:
+
+* ``manifest`` — JSON bytes: format version, monotonically increasing
+  sequence number, the stream cursor (``position`` = next chunk to
+  process), an arbitrary JSON ``state`` blob (sketch header via
+  :func:`repro.sketches.serialization.sketch_header`, shedder/schedule/
+  governor state, …), and per-array metadata (shape, dtype, CRC32);
+* ``manifest_crc`` — CRC32 of the manifest bytes themselves;
+* one entry per payload array (sketch counters, …).
+
+Loading verifies the manifest CRC, the schema, and every array's shape,
+dtype, and CRC against the manifest before returning; any mismatch raises
+:class:`~repro.errors.CheckpointError` — a corrupted checkpoint is
+*detected*, never silently loaded.  :meth:`CheckpointManager.latest`
+walks snapshots newest-first, records corrupt ones in
+:attr:`CheckpointManager.corrupt_detected`, and falls back to the newest
+intact snapshot, so one bad file degrades recovery by a few chunks
+instead of killing it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zipfile
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..errors import CheckpointError, ConfigurationError
+
+__all__ = ["Checkpoint", "CheckpointManager", "CHECKPOINT_VERSION"]
+
+#: Version of the on-disk checkpoint format.
+CHECKPOINT_VERSION = 1
+
+_SUFFIX = ".ckpt"
+_PREFIX = "checkpoint-"
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One verified snapshot, as returned by the manager's load paths."""
+
+    sequence: int
+    position: int
+    state: dict
+    arrays: dict = field(default_factory=dict)
+    path: Optional[Path] = None
+
+
+class CheckpointManager:
+    """Writes, prunes, and recovers checkpoints in one directory.
+
+    Parameters
+    ----------
+    directory:
+        Where snapshots live (created if missing).  One manager — one
+        pipeline; sequence numbers continue across process restarts.
+    keep:
+        Newest snapshots to retain.  Keeping at least 2 means a snapshot
+        corrupted *after* being written (bit rot, torn disk) still leaves
+        a valid fallback.
+    """
+
+    __slots__ = ("directory", "keep", "corrupt_detected", "_next_sequence")
+
+    def __init__(self, directory, *, keep: int = 2) -> None:
+        if keep < 1:
+            raise ConfigurationError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = int(keep)
+        #: Paths whose validation failed during :meth:`latest` scans.
+        self.corrupt_detected: list = []
+        existing = self.paths()
+        self._next_sequence = (
+            _sequence_of(existing[-1]) + 1 if existing else 0
+        )
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def save(self, *, position: int, state: dict, arrays: dict) -> Path:
+        """Atomically persist one snapshot; returns its path.
+
+        *position* is the stream cursor (next chunk sequence number to
+        process); *state* must be JSON-serializable; *arrays* maps payload
+        names to numpy arrays (each CRC-protected individually).
+        """
+        if position < 0:
+            raise ConfigurationError(f"position must be >= 0, got {position}")
+        sequence = self._next_sequence
+        payload = {}
+        entries = {}
+        for name, array in arrays.items():
+            if name in ("manifest", "manifest_crc"):
+                raise ConfigurationError(f"array name {name!r} is reserved")
+            contiguous = np.ascontiguousarray(array)
+            payload[name] = {
+                "shape": list(contiguous.shape),
+                "dtype": contiguous.dtype.str,
+                "crc32": zlib.crc32(contiguous.tobytes()),
+            }
+            entries[name] = contiguous
+        manifest = {
+            "version": CHECKPOINT_VERSION,
+            "sequence": sequence,
+            "position": int(position),
+            "state": state,
+            "payload": payload,
+        }
+        manifest_bytes = json.dumps(manifest).encode("utf-8")
+        entries["manifest"] = np.frombuffer(manifest_bytes, dtype=np.uint8)
+        entries["manifest_crc"] = np.array(
+            [zlib.crc32(manifest_bytes)], dtype=np.int64
+        )
+        path = self.directory / f"{_PREFIX}{sequence:08d}{_SUFFIX}"
+        tmp = self.directory / f".{_PREFIX}{sequence:08d}.tmp"
+        with tmp.open("wb") as handle:
+            np.savez(handle, **entries)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        _fsync_directory(self.directory)
+        self._next_sequence = sequence + 1
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        for stale in self.paths()[: -self.keep]:
+            stale.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def paths(self) -> list:
+        """Snapshot paths in this directory, oldest first."""
+        return sorted(
+            p
+            for p in self.directory.glob(f"{_PREFIX}*{_SUFFIX}")
+            if _sequence_of(p) is not None
+        )
+
+    def load(self, path) -> Checkpoint:
+        """Load and fully verify one snapshot.
+
+        Raises :class:`~repro.errors.CheckpointError` on *any* problem —
+        unreadable archive, manifest CRC mismatch, schema violation, or a
+        payload array whose shape/dtype/CRC disagrees with the manifest.
+        """
+        path = Path(path)
+        try:
+            with np.load(path) as data:
+                names = set(data.files)
+                if "manifest" not in names or "manifest_crc" not in names:
+                    raise CheckpointError(
+                        f"{path} is not a checkpoint (missing manifest entries)"
+                    )
+                manifest_bytes = bytes(data["manifest"])
+                stored_crc = int(data["manifest_crc"][0])
+                raw_arrays = {
+                    name: data[name]
+                    for name in names - {"manifest", "manifest_crc"}
+                }
+        except (
+            OSError,
+            zipfile.BadZipFile,
+            ValueError,
+            EOFError,
+            KeyError,
+            # a flipped "version needed" field in the zip directory makes
+            # zipfile raise NotImplementedError instead of BadZipFile
+            NotImplementedError,
+        ) as exc:
+            if isinstance(exc, CheckpointError):
+                raise
+            raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+        if zlib.crc32(manifest_bytes) != stored_crc:
+            raise CheckpointError(f"checkpoint {path} manifest CRC mismatch")
+        try:
+            manifest = json.loads(manifest_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path} manifest is undecodable: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict):
+            raise CheckpointError(f"checkpoint {path} manifest is not an object")
+        if manifest.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {manifest.get('version')!r} in {path}"
+            )
+        for scalar in ("sequence", "position"):
+            value = manifest.get(scalar)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise CheckpointError(
+                    f"checkpoint {path} manifest field {scalar!r} is invalid: {value!r}"
+                )
+        state = manifest.get("state")
+        if not isinstance(state, dict):
+            raise CheckpointError(f"checkpoint {path} manifest has no state object")
+        payload = manifest.get("payload")
+        if not isinstance(payload, dict):
+            raise CheckpointError(f"checkpoint {path} manifest has no payload index")
+        if set(payload) != set(raw_arrays):
+            raise CheckpointError(
+                f"checkpoint {path} payload entries {sorted(raw_arrays)} do not "
+                f"match the manifest index {sorted(payload)}"
+            )
+        arrays = {}
+        for name, meta in payload.items():
+            array = raw_arrays[name]
+            if list(array.shape) != list(meta.get("shape", [])):
+                raise CheckpointError(
+                    f"checkpoint {path} array {name!r} shape {array.shape} does "
+                    f"not match the manifest's {meta.get('shape')}"
+                )
+            if array.dtype.str != meta.get("dtype"):
+                raise CheckpointError(
+                    f"checkpoint {path} array {name!r} dtype {array.dtype.str} "
+                    f"does not match the manifest's {meta.get('dtype')}"
+                )
+            if zlib.crc32(np.ascontiguousarray(array).tobytes()) != meta.get("crc32"):
+                raise CheckpointError(
+                    f"checkpoint {path} array {name!r} failed its CRC check"
+                )
+            arrays[name] = array
+        return Checkpoint(
+            sequence=manifest["sequence"],
+            position=manifest["position"],
+            state=state,
+            arrays=arrays,
+            path=path,
+        )
+
+    def latest(self, *, strict: bool = False) -> Optional[Checkpoint]:
+        """The newest snapshot that passes full verification.
+
+        Corrupt snapshots encountered on the way are recorded in
+        :attr:`corrupt_detected` (and skipped), so recovery falls back to
+        the newest intact one.  With ``strict=True`` the first corrupt
+        snapshot raises instead of being skipped.  Returns ``None`` when
+        no valid snapshot exists.
+        """
+        for path in reversed(self.paths()):
+            try:
+                return self.load(path)
+            except CheckpointError:
+                if strict:
+                    raise
+                if path not in self.corrupt_detected:
+                    self.corrupt_detected.append(path)
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckpointManager({str(self.directory)!r}, keep={self.keep}, "
+            f"snapshots={len(self.paths())})"
+        )
+
+
+def _sequence_of(path: Path) -> Optional[int]:
+    stem = path.name
+    if not (stem.startswith(_PREFIX) and stem.endswith(_SUFFIX)):
+        return None
+    digits = stem[len(_PREFIX) : -len(_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry so a rename survives power loss (POSIX)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds (e.g. Windows)
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

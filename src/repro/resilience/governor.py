@@ -1,0 +1,171 @@
+"""Feedback governor: retune the shedding rate to meet a processing budget.
+
+The paper's planner (:mod:`repro.core.planning`) picks one keep-probability
+up front from a profiled workload.  Production streams do not cooperate —
+arrival rate and per-tuple cost both drift — so this module closes the
+loop: after every chunk the governor compares the observed processing cost
+against a configured budget and proposes a new Bernoulli rate for the
+*next* chunk.  Rate changes flow into the
+:class:`~repro.resilience.adaptive.AdaptiveSheddingSketcher`, whose
+piecewise-rate correction keeps estimates unbiased and whose widened
+variance bound keeps the reported confidence intervals valid while the
+system degrades gracefully under overload.
+
+The control law is deliberately simple and deterministic (given its
+inputs): per-kept-tuple cost is tracked with an exponentially-weighted
+moving average, the proposed rate is the one that would make the *arrived*
+per-tuple cost meet the budget with some headroom, and a deadband plus a
+growth cap keep the rate from thrashing chunk to chunk.  All timing enters
+through the caller, so tests drive the governor with a synthetic cost
+model and real deployments pass wall-clock measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigurationError
+
+__all__ = ["LoadGovernor"]
+
+
+class LoadGovernor:
+    """Adaptive controller for the Bernoulli keep-probability.
+
+    Parameters
+    ----------
+    budget_per_tuple:
+        Seconds the pipeline may spend per *arriving* tuple — the
+        sustainable ingest cost.  A stream arriving at ``r`` tuples/second
+        is sustainable while the per-arrived-tuple processing cost stays
+        below ``1/r``.
+    p_min, p_max:
+        Clamp range for proposed rates.  ``p_min`` bounds how aggressively
+        the governor may shed (and therefore how wide the confidence
+        bounds can get).
+    headroom:
+        Fraction of the budget to actually target (default 0.9), leaving
+        slack for cost jitter.
+    smoothing:
+        EWMA weight of the newest per-kept-tuple cost observation.
+    growth_limit:
+        Maximum multiplicative rate *increase* per proposal (recovery
+        after a burst is gradual; decreases are uncapped so overload is
+        shed immediately).
+    deadband:
+        Minimum relative change worth acting on; smaller proposals are
+        suppressed to avoid segment churn.
+    """
+
+    __slots__ = (
+        "budget_per_tuple",
+        "p_min",
+        "p_max",
+        "headroom",
+        "smoothing",
+        "growth_limit",
+        "deadband",
+        "_cost",
+    )
+
+    def __init__(
+        self,
+        budget_per_tuple: float,
+        *,
+        p_min: float = 1e-4,
+        p_max: float = 1.0,
+        headroom: float = 0.9,
+        smoothing: float = 0.5,
+        growth_limit: float = 2.0,
+        deadband: float = 0.1,
+    ) -> None:
+        if budget_per_tuple <= 0:
+            raise ConfigurationError(
+                f"budget_per_tuple must be > 0, got {budget_per_tuple}"
+            )
+        if not 0 < p_min <= p_max <= 1:
+            raise ConfigurationError(
+                f"need 0 < p_min <= p_max <= 1, got p_min={p_min}, p_max={p_max}"
+            )
+        if not 0 < headroom <= 1:
+            raise ConfigurationError(f"headroom must be in (0, 1], got {headroom}")
+        if not 0 < smoothing <= 1:
+            raise ConfigurationError(f"smoothing must be in (0, 1], got {smoothing}")
+        if growth_limit < 1:
+            raise ConfigurationError(
+                f"growth_limit must be >= 1, got {growth_limit}"
+            )
+        if deadband < 0:
+            raise ConfigurationError(f"deadband must be >= 0, got {deadband}")
+        self.budget_per_tuple = float(budget_per_tuple)
+        self.p_min = float(p_min)
+        self.p_max = float(p_max)
+        self.headroom = float(headroom)
+        self.smoothing = float(smoothing)
+        self.growth_limit = float(growth_limit)
+        self.deadband = float(deadband)
+        self._cost: Optional[float] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cost_estimate(self) -> Optional[float]:
+        """Current EWMA estimate of the per-kept-tuple cost (seconds)."""
+        return self._cost
+
+    def observe(self, kept: int, elapsed: float) -> None:
+        """Fold one chunk's measured processing cost into the cost model.
+
+        Chunks with no kept tuples carry no per-tuple signal and are
+        skipped.
+        """
+        if elapsed < 0:
+            raise ConfigurationError(f"elapsed must be >= 0, got {elapsed}")
+        if kept < 1:
+            return
+        observed = elapsed / kept
+        if self._cost is None:
+            self._cost = observed
+        else:
+            self._cost += self.smoothing * (observed - self._cost)
+
+    def propose(self, current_p: float, kept: int, elapsed: float) -> Optional[float]:
+        """Observe one chunk and propose the next keep-probability.
+
+        Returns the new rate, or ``None`` when the current one should be
+        kept (no cost signal yet, or the change falls inside the
+        deadband).  The proposal targets ``headroom · budget`` per
+        *arriving* tuple: since per-arrived cost scales as ``p · c`` with
+        ``c`` the per-kept cost, the target rate is
+        ``headroom · budget / c``, clamped and growth-capped.
+        """
+        if not 0 < current_p <= 1:
+            raise ConfigurationError(
+                f"current_p must be in (0, 1], got {current_p}"
+            )
+        self.observe(kept, elapsed)
+        if self._cost is None or self._cost <= 0:
+            return None
+        target = self.headroom * self.budget_per_tuple / self._cost
+        target = min(target, current_p * self.growth_limit, self.p_max)
+        target = max(target, self.p_min)
+        if abs(target - current_p) <= self.deadband * current_p:
+            return None
+        return target
+
+    # ------------------------------------------------------------------
+
+    def state(self) -> dict:
+        """JSON-serializable controller state (the learned cost model)."""
+        return {"cost": self._cost}
+
+    def restore(self, state: dict) -> None:
+        """Restore the learned cost model from a :meth:`state` snapshot."""
+        cost = state.get("cost")
+        self._cost = None if cost is None else float(cost)
+
+    def __repr__(self) -> str:
+        return (
+            f"LoadGovernor(budget_per_tuple={self.budget_per_tuple:.3g}, "
+            f"cost_estimate={self._cost if self._cost is None else round(self._cost, 9)})"
+        )

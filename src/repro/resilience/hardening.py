@@ -1,0 +1,226 @@
+"""Input hardening at the stream boundary: bad records and flaky readers.
+
+Production streams contain garbage — NaNs from upstream parsers, keys
+outside the configured domain, whole chunks of the wrong dtype — and the
+paper's sketches rightly refuse such input
+(:class:`~repro.errors.DomainError`).  A long-running pipeline, though,
+needs a *policy*, not a crash:
+
+* ``"fail"`` — raise :class:`~repro.errors.BadRecordError` on the first
+  bad record (the strict default; identical to today's behaviour but with
+  a typed, actionable error);
+* ``"skip_and_count"`` — drop bad records, keep per-reason tallies;
+* ``"quarantine"`` — additionally divert each bad record to a side file
+  (one ``reason<TAB>value`` line per record) for offline inspection.
+
+:func:`retrying_read_stream` hardens the other direction — transient I/O
+failures while re-streaming a spilled relation — with bounded retries,
+exponential backoff, and resumption from the last successfully delivered
+tuple (via :func:`repro.streams.io.read_stream`'s ``start`` cursor).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Union
+
+import numpy as np
+
+from ..errors import BadRecordError, ConfigurationError, RetryExhaustedError
+from ..streams.io import read_stream
+
+__all__ = ["InputHardener", "retrying_read_stream"]
+
+_POLICIES = ("fail", "skip_and_count", "quarantine")
+
+#: Reasons a record can be rejected, in the order they are checked.
+_REASONS = ("wrong_dtype", "non_finite", "non_integer", "out_of_domain")
+
+
+class InputHardener:
+    """Configurable bad-record filter in front of a sketching pipeline.
+
+    Validates each chunk against the sketch domain ``[0, domain_size)``
+    and the integer-key contract, applying the configured policy to every
+    violation.  Clean chunks pass through as ``int64`` arrays ready for
+    :meth:`repro.sketches.base.Sketch.update`.
+    """
+
+    __slots__ = ("domain_size", "policy", "quarantine_path", "bad_by_reason")
+
+    def __init__(
+        self,
+        domain_size: int,
+        policy: str = "fail",
+        *,
+        quarantine_path: Union[str, Path, None] = None,
+    ) -> None:
+        if domain_size < 1:
+            raise ConfigurationError(f"domain_size must be >= 1, got {domain_size}")
+        if policy not in _POLICIES:
+            raise ConfigurationError(
+                f"unknown bad-record policy {policy!r}; expected one of {_POLICIES}"
+            )
+        if policy == "quarantine" and quarantine_path is None:
+            raise ConfigurationError(
+                "the quarantine policy needs a quarantine_path side file"
+            )
+        self.domain_size = int(domain_size)
+        self.policy = policy
+        self.quarantine_path = None if quarantine_path is None else Path(quarantine_path)
+        self.bad_by_reason: dict = {reason: 0 for reason in _REASONS}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def bad_records(self) -> int:
+        """Total records rejected so far, across all reasons."""
+        return sum(self.bad_by_reason.values())
+
+    def sanitize(self, chunk) -> np.ndarray:
+        """Validate one chunk, returning the surviving keys as ``int64``.
+
+        Order is preserved.  Under the ``"fail"`` policy the first bad
+        record raises :class:`~repro.errors.BadRecordError`; otherwise bad
+        records are counted (and, for ``"quarantine"``, appended to the
+        side file) and the clean remainder is returned.
+        """
+        values = np.asarray(chunk)
+        if values.ndim != 1:
+            raise ConfigurationError(f"chunks must be 1-D, got shape {values.shape}")
+        if values.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if values.dtype.kind in ("i", "u"):
+            keys = values.astype(np.int64, copy=False)
+            bad = self._domain_mask(keys)
+            reasons = np.where(bad, _REASONS.index("out_of_domain"), -1)
+            return self._apply(keys, values, bad, reasons)
+        if values.dtype.kind == "f":
+            return self._sanitize_floats(values)
+        # Anything else (strings, objects, bools): try a float view and
+        # re-validate; records that cannot even be parsed are wrong_dtype.
+        return self._sanitize_other(values)
+
+    # ------------------------------------------------------------------
+
+    def _domain_mask(self, keys: np.ndarray) -> np.ndarray:
+        return (keys < 0) | (keys >= self.domain_size)
+
+    def _sanitize_floats(self, values: np.ndarray) -> np.ndarray:
+        floats = values.astype(np.float64, copy=False)
+        bad = np.zeros(floats.shape, dtype=bool)
+        reasons = np.full(floats.shape, -1, dtype=np.int64)
+        return self._sanitize_floats_with_presets(floats, values, bad, reasons)
+
+    def _sanitize_other(self, values: np.ndarray) -> np.ndarray:
+        floats = np.empty(values.shape, dtype=np.float64)
+        bad = np.zeros(values.shape, dtype=bool)
+        reasons = np.full(values.shape, -1, dtype=np.int64)
+        for index, raw in enumerate(values.tolist()):
+            try:
+                floats[index] = float(raw)
+            except (TypeError, ValueError):
+                floats[index] = np.nan
+                bad[index] = True
+                reasons[index] = _REASONS.index("wrong_dtype")
+        return self._sanitize_floats_with_presets(floats, values, bad, reasons)
+
+    def _sanitize_floats_with_presets(
+        self,
+        floats: np.ndarray,
+        raw: np.ndarray,
+        bad: np.ndarray,
+        reasons: np.ndarray,
+    ) -> np.ndarray:
+        undecided = ~bad
+        non_finite = undecided & ~np.isfinite(floats)
+        bad |= non_finite
+        reasons[non_finite] = _REASONS.index("non_finite")
+        with np.errstate(invalid="ignore"):
+            fractional = np.zeros_like(floats)
+            np.mod(floats, 1.0, out=fractional, where=np.isfinite(floats))
+        non_integer = ~bad & (fractional > 0.0)
+        bad |= non_integer
+        reasons[non_integer] = _REASONS.index("non_integer")
+        out_of_domain = ~bad & ((floats < 0.0) | (floats >= float(self.domain_size)))
+        bad |= out_of_domain
+        reasons[out_of_domain] = _REASONS.index("out_of_domain")
+        keys = np.zeros(floats.shape, dtype=np.int64)
+        good = ~bad
+        keys[good] = floats[good].astype(np.int64)
+        return self._apply(keys, raw, bad, reasons)
+
+    def _apply(
+        self,
+        keys: np.ndarray,
+        raw: np.ndarray,
+        bad: np.ndarray,
+        reasons: np.ndarray,
+    ) -> np.ndarray:
+        if not bool(bad.any()):
+            return keys
+        bad_indices = np.flatnonzero(bad)
+        if self.policy == "fail":
+            index = int(bad_indices[0])
+            reason = _REASONS[int(reasons[index])]
+            raise BadRecordError(
+                f"bad stream record at chunk offset {index}: "
+                f"{raw[index]!r} ({reason})"
+            )
+        for index in bad_indices:
+            self.bad_by_reason[_REASONS[int(reasons[index])]] += 1
+        if self.policy == "quarantine":
+            with self.quarantine_path.open("a", encoding="utf-8") as handle:
+                for index in bad_indices:
+                    reason = _REASONS[int(reasons[index])]
+                    handle.write(f"{reason}\t{raw[index]!r}\n")
+        return keys[~bad]
+
+    def __repr__(self) -> str:
+        return (
+            f"InputHardener(domain_size={self.domain_size}, "
+            f"policy={self.policy!r}, bad_records={self.bad_records})"
+        )
+
+
+def retrying_read_stream(
+    path,
+    chunk_size: int = 65_536,
+    *,
+    retries: int = 3,
+    backoff: float = 0.05,
+    sleep: Callable[[float], None] = time.sleep,
+    start: int = 0,
+) -> Iterator[np.ndarray]:
+    """Iterate a stream file like :func:`repro.streams.io.read_stream`,
+    retrying transient I/O failures with exponential backoff.
+
+    After an ``OSError`` the file is reopened and iteration resumes from
+    the tuple after the last successfully delivered chunk (no chunk is
+    ever delivered twice, none is skipped).  *retries* consecutive
+    failures without progress raise
+    :class:`~repro.errors.RetryExhaustedError` with the final ``OSError``
+    as its cause.  *sleep* is injectable so tests run without waiting.
+    """
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if backoff < 0:
+        raise ConfigurationError(f"backoff must be >= 0, got {backoff}")
+    offset = int(start)
+    failures = 0
+    while True:
+        try:
+            for chunk in read_stream(path, chunk_size, start=offset):
+                yield chunk
+                offset += int(chunk.size)
+                failures = 0
+            return
+        except OSError as exc:
+            failures += 1
+            if failures > retries:
+                raise RetryExhaustedError(
+                    f"reading {path} failed {failures} consecutive times "
+                    f"at tuple offset {offset}"
+                ) from exc
+            sleep(backoff * 2 ** (failures - 1))

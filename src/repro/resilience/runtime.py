@@ -1,0 +1,342 @@
+"""Fault-tolerant streaming runtime: envelopes, checkpoints, recovery.
+
+:class:`StreamRuntime` wraps an
+:class:`~repro.resilience.adaptive.AdaptiveSheddingSketcher` with the full
+resilience stack:
+
+* **Chunk envelopes** — each chunk travels as a
+  :class:`ChunkEnvelope` carrying its sequence number, declared tuple
+  count, and CRC32.  Truncated or bit-flipped deliveries raise
+  :class:`~repro.errors.StreamIntegrityError`; re-deliveries of already
+  processed chunks are skipped (exactly-once application on top of
+  at-least-once delivery), which is what makes replay-based recovery
+  idempotent.
+* **Durable checkpoints** — every ``checkpoint_every`` chunks the full
+  pipeline state (sketch header + counters, shedder RNG/skip state, rate
+  schedule, governor cost model, stream cursor) is snapshotted through
+  :class:`~repro.resilience.checkpoint.CheckpointManager`.
+* **Recovery** — :meth:`StreamRuntime.recover` rebuilds the runtime from
+  the newest intact checkpoint; replaying the stream from the beginning
+  then yields counters *bit-identical* to an uninterrupted run, because
+  already-applied chunks are skipped by sequence number and the shedder's
+  RNG state resumes exactly where the snapshot left it.
+* **Optional governor and hardener** — rate retuning and bad-record
+  policies plug in per chunk; all timing flows through an injectable
+  clock so tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional
+
+import numpy as np
+
+from ..errors import CheckpointError, ConfigurationError, StreamIntegrityError
+from ..rng import SeedLike
+from ..sketches.base import Sketch
+from ..sketches.serialization import build_sketch, expected_state_shape, sketch_header
+from .adaptive import AdaptiveSheddingSketcher
+from .checkpoint import CheckpointManager
+from .governor import LoadGovernor
+from .hardening import InputHardener
+
+__all__ = ["ChunkEnvelope", "StreamRuntime", "envelope_stream", "make_envelope"]
+
+
+@dataclass(frozen=True)
+class ChunkEnvelope:
+    """One chunk of the stream with enough metadata to verify delivery."""
+
+    sequence: int
+    keys: np.ndarray
+    count: int
+    crc32: int
+
+
+def make_envelope(sequence: int, keys) -> ChunkEnvelope:
+    """Seal one chunk into a :class:`ChunkEnvelope` (count + CRC32)."""
+    if sequence < 0:
+        raise ConfigurationError(f"sequence must be >= 0, got {sequence}")
+    keys = np.asarray(keys)
+    return ChunkEnvelope(
+        sequence=int(sequence),
+        keys=keys,
+        count=int(keys.size),
+        crc32=zlib.crc32(np.ascontiguousarray(keys).tobytes()),
+    )
+
+
+def envelope_stream(chunks: Iterable, start: int = 0) -> Iterator[ChunkEnvelope]:
+    """Wrap raw chunks into sequentially numbered envelopes."""
+    sequence = int(start)
+    for chunk in chunks:
+        yield make_envelope(sequence, chunk)
+        sequence += 1
+
+
+class StreamRuntime:
+    """Crash-tolerant driver for one sketched stream.
+
+    Parameters
+    ----------
+    sketch:
+        The sketch to maintain (any type supported by
+        :mod:`repro.sketches.serialization`).
+    p, seed:
+        Initial keep-probability and shedder seed (forwarded to
+        :class:`~repro.resilience.adaptive.AdaptiveSheddingSketcher`).
+    checkpoint_dir:
+        Directory for durable snapshots; ``None`` disables checkpointing.
+    checkpoint_every:
+        Chunks between snapshots.
+    keep_checkpoints:
+        Snapshots retained on disk (see
+        :class:`~repro.resilience.checkpoint.CheckpointManager`).
+    governor:
+        Optional :class:`~repro.resilience.governor.LoadGovernor`; when
+        present, each chunk's measured cost feeds a rate proposal applied
+        before the next chunk.
+    hardener:
+        Optional :class:`~repro.resilience.hardening.InputHardener`
+        applied to every chunk's payload before shedding.
+    clock:
+        Zero-argument monotonic timer used to cost chunks (injectable for
+        deterministic tests; defaults to :func:`time.perf_counter`).
+    """
+
+    __slots__ = (
+        "sketcher",
+        "governor",
+        "hardener",
+        "clock",
+        "checkpoint_every",
+        "position",
+        "duplicates",
+        "checkpoints_written",
+        "_manager",
+    )
+
+    def __init__(
+        self,
+        sketch: Sketch,
+        *,
+        p: float = 1.0,
+        seed: SeedLike = None,
+        checkpoint_dir=None,
+        checkpoint_every: int = 16,
+        keep_checkpoints: int = 2,
+        governor: Optional[LoadGovernor] = None,
+        hardener: Optional[InputHardener] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self.sketcher = AdaptiveSheddingSketcher(sketch, p, seed)
+        self.governor = governor
+        self.hardener = hardener
+        self.clock = clock
+        self.checkpoint_every = int(checkpoint_every)
+        self.position = 0
+        self.duplicates = 0
+        self.checkpoints_written = 0
+        self._manager = (
+            None
+            if checkpoint_dir is None
+            else CheckpointManager(checkpoint_dir, keep=keep_checkpoints)
+        )
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    @property
+    def sketch(self) -> Sketch:
+        """The sketch being maintained."""
+        return self.sketcher.sketch
+
+    @property
+    def checkpoint_manager(self) -> Optional[CheckpointManager]:
+        """The manager persisting snapshots, or ``None`` when disabled."""
+        return self._manager
+
+    def process(self, envelope: ChunkEnvelope) -> int:
+        """Apply one envelope; returns the number of tuples sketched.
+
+        Chunks already applied (``sequence < position``) are counted as
+        duplicates and skipped.  A sequence *ahead* of the cursor means
+        chunks were lost in flight and raises
+        :class:`~repro.errors.StreamIntegrityError`, as does an envelope
+        whose payload fails its count or CRC check.
+        """
+        if envelope.sequence < self.position:
+            self.duplicates += 1
+            return 0
+        if envelope.sequence > self.position:
+            raise StreamIntegrityError(
+                f"stream gap: expected chunk {self.position}, "
+                f"received chunk {envelope.sequence}"
+            )
+        keys = np.asarray(envelope.keys)
+        if int(keys.size) != envelope.count:
+            raise StreamIntegrityError(
+                f"chunk {envelope.sequence} truncated: declared "
+                f"{envelope.count} tuples, received {keys.size}"
+            )
+        if zlib.crc32(np.ascontiguousarray(keys).tobytes()) != envelope.crc32:
+            raise StreamIntegrityError(
+                f"chunk {envelope.sequence} failed its CRC32 payload check"
+            )
+        if self.hardener is not None:
+            keys = self.hardener.sanitize(keys)
+        started = self.clock()
+        kept = self.sketcher.process(keys)
+        elapsed = self.clock() - started
+        if self.governor is not None:
+            proposal = self.governor.propose(self.sketcher.rate, kept, elapsed)
+            if proposal is not None:
+                self.sketcher.set_rate(proposal)
+        self.position += 1
+        if self._manager is not None and self.position % self.checkpoint_every == 0:
+            self.checkpoint()
+        return kept
+
+    def run(self, stream: Iterable) -> int:
+        """Drive the runtime over a stream; returns total tuples sketched.
+
+        *stream* may yield :class:`ChunkEnvelope` objects or raw key
+        chunks; raw chunks are sealed on the fly with sequence numbers
+        starting at 0, so re-running the same raw stream after a recovery
+        naturally skips the already-applied prefix.
+        """
+        kept_total = 0
+        raw_sequence = 0
+        for item in stream:
+            if isinstance(item, ChunkEnvelope):
+                envelope = item
+            else:
+                envelope = make_envelope(raw_sequence, item)
+            raw_sequence = envelope.sequence + 1
+            kept_total += self.process(envelope)
+        if self._manager is not None and self.position % self.checkpoint_every != 0:
+            self.checkpoint()
+        return kept_total
+
+    # ------------------------------------------------------------------
+    # Estimates (delegated)
+    # ------------------------------------------------------------------
+
+    def self_join_size(self) -> float:
+        """Unbiased full-stream self-join (second moment) estimate."""
+        return self.sketcher.self_join_size()
+
+    def self_join_interval(self, confidence: float = 0.95, *, method: str = "chebyshev"):
+        """Confidence interval for :meth:`self_join_size` (rate-aware)."""
+        return self.sketcher.self_join_interval(confidence, method=method)
+
+    def join_size(self, other: "StreamRuntime") -> float:
+        """Unbiased join-size estimate against another runtime's stream."""
+        return self.sketcher.join_size(other.sketcher)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / recover
+    # ------------------------------------------------------------------
+
+    def checkpoint(self):
+        """Write one durable snapshot now; returns its path.
+
+        Raises :class:`~repro.errors.ConfigurationError` when the runtime
+        was built without a checkpoint directory.
+        """
+        if self._manager is None:
+            raise ConfigurationError(
+                "this runtime has no checkpoint_dir; nothing to snapshot"
+            )
+        state = {
+            "sketch": sketch_header(self.sketch),
+            "sketcher": self.sketcher.state(),
+            "duplicates": self.duplicates,
+        }
+        if self.governor is not None:
+            state["governor"] = self.governor.state()
+        path = self._manager.save(
+            position=self.position,
+            state=state,
+            arrays={"counters": self.sketch._state()},
+        )
+        self.checkpoints_written += 1
+        return path
+
+    @classmethod
+    def recover(
+        cls,
+        checkpoint_dir,
+        *,
+        checkpoint_every: int = 16,
+        keep_checkpoints: int = 2,
+        governor: Optional[LoadGovernor] = None,
+        hardener: Optional[InputHardener] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        strict: bool = False,
+    ) -> "StreamRuntime":
+        """Rebuild a runtime from the newest intact snapshot on disk.
+
+        The sketch is reconstructed from its serialized header and the
+        checkpointed counters (verified against the expected shape), the
+        shedder resumes with its exact RNG and skip state, and the stream
+        cursor is restored — so replaying the stream from the start skips
+        the applied prefix and continues bit-identically.  Raises
+        :class:`~repro.errors.CheckpointError` when no usable snapshot
+        exists (or, with ``strict=True``, on the first corrupt one).
+        """
+        manager = CheckpointManager(checkpoint_dir, keep=keep_checkpoints)
+        snapshot = manager.latest(strict=strict)
+        if snapshot is None:
+            raise CheckpointError(
+                f"no usable checkpoint in {checkpoint_dir} "
+                f"({len(manager.corrupt_detected)} corrupt snapshot(s) detected)"
+            )
+        header = snapshot.state.get("sketch")
+        if not isinstance(header, dict):
+            raise CheckpointError(
+                f"checkpoint {snapshot.path} has no serialized sketch header"
+            )
+        counters = snapshot.arrays.get("counters")
+        if counters is None:
+            raise CheckpointError(
+                f"checkpoint {snapshot.path} has no counters payload"
+            )
+        sketch = build_sketch(header)
+        expected = expected_state_shape(header)
+        if tuple(counters.shape) != expected:
+            raise CheckpointError(
+                f"checkpoint {snapshot.path} counters shape {counters.shape} "
+                f"does not match the sketch's expected {expected}"
+            )
+        sketch._state()[...] = counters.astype(np.float64, copy=False)
+        runtime = object.__new__(cls)
+        runtime.sketcher = AdaptiveSheddingSketcher.restore(
+            sketch, snapshot.state["sketcher"]
+        )
+        runtime.governor = governor
+        if governor is not None and "governor" in snapshot.state:
+            governor.restore(snapshot.state["governor"])
+        runtime.hardener = hardener
+        runtime.clock = clock
+        runtime.checkpoint_every = int(checkpoint_every)
+        runtime.position = snapshot.position
+        runtime.duplicates = int(snapshot.state.get("duplicates", 0))
+        runtime.checkpoints_written = 0
+        runtime._manager = manager
+        return runtime
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamRuntime(position={self.position}, rate={self.sketcher.rate}, "
+            f"kept={self.sketcher.kept}, duplicates={self.duplicates}, "
+            f"checkpoints={self.checkpoints_written})"
+        )

@@ -1,0 +1,204 @@
+"""Piecewise-rate Bernoulli bookkeeping for adaptive load shedding.
+
+The paper's load-shedding analysis (Section VI-A, Props 13–14) assumes one
+fixed keep-probability ``p`` for the whole stream.  An *adaptive* shedder
+changes ``p`` between chunks, so the executed draw is a **piecewise-rate
+Bernoulli design**: the stream splits into segments, every tuple of
+segment ``s`` is kept independently with probability ``p_s``, and each
+kept tuple enters the sketch Horvitz–Thompson-weighted by ``1/p_s``.
+
+Writing ``X_i = Σ_{t ∈ i} Z_t / p_{s(t)}`` (the weighted sample frequency
+of key ``i``), each sketch counter then satisfies ``E[S] = Σ_i f_i ξ_i``
+— unbiased for the *full* stream with no trailing scale factor — and::
+
+    E[Σ_i X_i²] = F₂ + A,     A = Σ_s N_s (1 − p_s) / p_s
+
+where ``N_s`` counts the tuples that *arrived* during segment ``s`` (a
+deterministic, exactly-tracked quantity).  ``A`` generalizes Prop 14's
+additive term ``((1−p)/p²)·|F′|``: for a single segment ``E[|F′|] = N p``
+makes the two corrections equal in expectation, but the piecewise form is
+deterministic and composes across rate changes.  :class:`RateSchedule`
+tracks the segments and exposes the correction, plus a conservative
+variance bound (:meth:`RateSchedule.variance_bound`) that widens the
+Props 13–14 confidence bounds to cover every rate used — the math is
+derived in ``docs/THEORY.md`` (piecewise-rate section).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["RateSegment", "RateSchedule"]
+
+
+@dataclass
+class RateSegment:
+    """One maximal run of chunks processed at a single keep-probability."""
+
+    p: float
+    seen: int = 0
+    kept: int = 0
+
+    def correction(self) -> float:
+        """This segment's contribution ``N_s (1 − p_s)/p_s`` to ``A``."""
+        return self.seen * (1.0 - self.p) / self.p
+
+
+class RateSchedule:
+    """The executed piecewise-rate Bernoulli design of one shedding run.
+
+    Records, per segment, the keep-probability and the arrived/kept tuple
+    tallies; provides the unbiasing correction ``A`` and the widened
+    variance bound for the current mixture of rates.  The schedule is the
+    part of adaptive-shedding state that must survive a crash: it is fully
+    JSON-serializable via :meth:`to_state` / :meth:`from_state`.
+    """
+
+    __slots__ = ("_segments",)
+
+    def __init__(self, p: float) -> None:
+        _validate_rate(p)
+        self._segments: list[RateSegment] = [RateSegment(p=float(p))]
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    @property
+    def rate(self) -> float:
+        """The keep-probability currently in force."""
+        return self._segments[-1].p
+
+    def record(self, seen: int, kept: int) -> None:
+        """Account one processed chunk to the current segment."""
+        if seen < 0 or kept < 0 or kept > seen:
+            raise ConfigurationError(
+                f"invalid chunk tallies: seen={seen}, kept={kept}"
+            )
+        current = self._segments[-1]
+        current.seen += int(seen)
+        current.kept += int(kept)
+
+    def set_rate(self, p: float) -> None:
+        """Start a new segment at keep-probability *p* (chunk boundary).
+
+        An empty current segment (no tuples arrived yet) is re-rated in
+        place rather than left behind as a zero-length segment.
+        """
+        _validate_rate(p)
+        current = self._segments[-1]
+        if current.seen == 0:
+            current.p = float(p)
+        else:
+            self._segments.append(RateSegment(p=float(p)))
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def seen(self) -> int:
+        """Total tuples that arrived across all segments."""
+        return sum(segment.seen for segment in self._segments)
+
+    @property
+    def kept(self) -> int:
+        """Total tuples that survived shedding across all segments."""
+        return sum(segment.kept for segment in self._segments)
+
+    @property
+    def segments(self) -> tuple:
+        """The recorded segments (read-only view)."""
+        return tuple(self._segments)
+
+    def min_rate(self) -> float:
+        """Smallest keep-probability under which any arrived tuple fell.
+
+        With no tuples processed yet this is the current rate.
+        """
+        rates = [segment.p for segment in self._segments if segment.seen > 0]
+        if not rates:
+            return self.rate
+        return min(rates)
+
+    def correction(self) -> float:
+        """The additive self-join correction ``A = Σ_s N_s (1 − p_s)/p_s``.
+
+        ``second_moment() − A`` is unbiased for the full-stream ``F₂`` when
+        kept tuples were inserted with weight ``1/p_s`` (see the module
+        docstring).
+        """
+        return sum(segment.correction() for segment in self._segments)
+
+    def variance_bound(self, f2: float, n: int) -> float:
+        """Conservative variance of the piecewise-rate self-join estimator.
+
+        Evaluates the widened Props 13–14 decomposition derived in
+        ``docs/THEORY.md``: with ``p_m`` the smallest rate used and
+
+        * ``c₁ = (1−p_m)/p_m``   (per-tuple variance of the HT weight),
+        * ``c₂ = (1−p_m)/p_m²``  (≥ per-tuple |third central moment|),
+        * ``c₃ = (1−p_m)/p_m³``  (≥ per-tuple fourth cumulant),
+
+        the sampling part is bounded by ``4c₁F₂^{3/2} + (4c₂+2c₁²)F₂ +
+        c₃F₁`` (using the power-mean bound ``F₃ ≤ F₂^{3/2}``) and the
+        sketch-plus-interaction part by ``(2/n)[(F₂+A)² + sampling]``.
+        ``F₁`` and ``A`` are known exactly; *f2* is the caller's estimate
+        of the full-stream ``F₂`` (clamped at 0).  *n* is the number of
+        averaged basic estimators (buckets for F-AGMS, rows for AGMS).
+        """
+        if n < 1:
+            raise ConfigurationError(f"averaged estimator count must be >= 1, got {n}")
+        f2 = max(float(f2), 0.0)
+        f1 = float(self.seen)
+        p_min = self.min_rate()
+        c1 = (1.0 - p_min) / p_min
+        c2 = (1.0 - p_min) / p_min**2
+        c3 = (1.0 - p_min) / p_min**3
+        sampling = 4.0 * c1 * f2**1.5 + (4.0 * c2 + 2.0 * c1**2) * f2 + c3 * f1
+        sketch_and_interaction = (2.0 / n) * (
+            (f2 + self.correction()) ** 2 + sampling
+        )
+        return sampling + sketch_and_interaction
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serializable snapshot of the full schedule."""
+        return {
+            "segments": [
+                {"p": s.p, "seen": s.seen, "kept": s.kept} for s in self._segments
+            ]
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RateSchedule":
+        """Rebuild a schedule from a :meth:`to_state` snapshot."""
+        segments = state.get("segments")
+        if not segments:
+            raise ConfigurationError("rate-schedule state has no segments")
+        schedule = cls(segments[0]["p"])
+        schedule._segments = [
+            RateSegment(
+                p=float(raw["p"]), seen=int(raw["seen"]), kept=int(raw["kept"])
+            )
+            for raw in segments
+        ]
+        for segment in schedule._segments:
+            _validate_rate(segment.p)
+        return schedule
+
+    def __repr__(self) -> str:
+        return (
+            f"RateSchedule(rate={self.rate}, segments={len(self._segments)}, "
+            f"seen={self.seen}, kept={self.kept})"
+        )
+
+
+def _validate_rate(p: float) -> None:
+    if not 0 < p <= 1:
+        raise ConfigurationError(f"keep probability must be in (0, 1], got {p}")

@@ -9,28 +9,59 @@ point of sketch linearity in distributed settings (each site sketches its
 own partition, a coordinator merges).
 
 Format: a single ``.npz`` with a JSON-encoded header plus the counters.
+
+Loading validates everything before any state is constructed: the archive
+must open, the header must decode as JSON with the required fields of the
+right types, and the counter payload must match the shape/dtype the header
+implies.  Every violation raises :class:`~repro.errors.SerializationError`
+(a :class:`~repro.errors.ConfigurationError` subclass) instead of an opaque
+``KeyError``/``BadZipFile``/numpy broadcast error — truncated or tampered
+files fail loudly and typed.  The header-building and reconstruction
+halves are exposed as :func:`sketch_header` / :func:`build_sketch` so the
+checkpoint layer (:mod:`repro.resilience.checkpoint`) can embed sketches
+in its own durable manifests using the same format.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 from typing import Union
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import SerializationError
 from .agms import AgmsSketch
 from .base import Sketch
 from .countmin import CountMinSketch
 from .fagms import FagmsSketch
 
-__all__ = ["save_sketch", "load_sketch"]
+__all__ = [
+    "save_sketch",
+    "load_sketch",
+    "sketch_header",
+    "build_sketch",
+    "expected_state_shape",
+]
 
 _FORMAT_VERSION = 1
 
+#: Required header fields and the types their JSON values must carry.
+_REQUIRED_FIELDS = {
+    "version": int,
+    "type": str,
+    "rows": int,
+    "seed_entropy": list,
+}
 
-def _header(sketch: Sketch) -> dict:
+
+def sketch_header(sketch: Sketch) -> dict:
+    """JSON-serializable description of a sketch's families and shape.
+
+    Together with the counter array returned by ``sketch._state()`` this
+    fully determines the sketch; :func:`build_sketch` inverts it.
+    """
     header = {
         "version": _FORMAT_VERSION,
         "type": type(sketch).__name__,
@@ -49,7 +80,7 @@ def _header(sketch: Sketch) -> dict:
 
 def _encode_entropy(entropy) -> list:
     if entropy is None:
-        raise ConfigurationError("sketch has no stored seed entropy")
+        raise SerializationError("sketch has no stored seed entropy")
     if isinstance(entropy, int):
         return [entropy]
     return [int(e) for e in entropy]
@@ -61,13 +92,90 @@ def _decode_entropy(values: list) -> Union[int, tuple]:
     return tuple(values)
 
 
+def _require(header: dict, field: str, kind: type):
+    """Fetch a typed header field, raising a typed error when absent/wrong."""
+    if field not in header:
+        raise SerializationError(f"sketch header is missing field {field!r}")
+    value = header[field]
+    # bool is an int subclass; reject it for integer fields explicitly.
+    if not isinstance(value, kind) or (kind is int and isinstance(value, bool)):
+        raise SerializationError(
+            f"sketch header field {field!r} must be {kind.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def _validate_header(header: dict) -> None:
+    for field, kind in _REQUIRED_FIELDS.items():
+        _require(header, field, kind)
+    if header["version"] != _FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported sketch file version {header['version']!r}"
+        )
+    entropy = header["seed_entropy"]
+    if not entropy or not all(
+        isinstance(e, int) and not isinstance(e, bool) for e in entropy
+    ):
+        raise SerializationError("sketch header seed_entropy must be a list of ints")
+    if header["rows"] < 1:
+        raise SerializationError(f"sketch header rows must be >= 1, got {header['rows']}")
+
+
+def expected_state_shape(header: dict) -> tuple:
+    """The counter-array shape implied by a (validated) sketch header."""
+    sketch_type = _require(header, "type", str)
+    rows = _require(header, "rows", int)
+    if sketch_type == "AgmsSketch":
+        return (rows,)
+    if sketch_type in ("FagmsSketch", "CountMinSketch"):
+        return (rows, _require(header, "buckets", int))
+    raise SerializationError(f"unknown sketch type {sketch_type!r}")
+
+
+def build_sketch(header: dict) -> Sketch:
+    """Reconstruct a zeroed sketch (families only) from a header dict.
+
+    The header is fully validated; any structural problem raises
+    :class:`~repro.errors.SerializationError`.  Counters are left at zero —
+    the caller fills them after validating the payload against
+    :func:`expected_state_shape`.
+    """
+    _validate_header(header)
+    seed = np.random.SeedSequence(
+        _decode_entropy(header["seed_entropy"]),
+        spawn_key=tuple(header.get("spawn_key", ())),
+    )
+    sketch_type = header["type"]
+    if sketch_type == "AgmsSketch":
+        return AgmsSketch(
+            header["rows"],
+            seed,
+            sign_family=_require(header, "sign_family", str),
+            combine=_require(header, "combine", str),
+            groups=_require(header, "groups", int),
+        )
+    if sketch_type == "FagmsSketch":
+        return FagmsSketch(
+            _require(header, "buckets", int),
+            header["rows"],
+            seed,
+            sign_family=_require(header, "sign_family", str),
+            combine=_require(header, "combine", str),
+            groups=_require(header, "groups", int),
+        )
+    if sketch_type == "CountMinSketch":
+        return CountMinSketch(_require(header, "buckets", int), header["rows"], seed)
+    raise SerializationError(f"unknown sketch type {sketch_type!r}")
+
+
 def save_sketch(sketch: Sketch, path) -> None:
     """Persist *sketch* (families + counters) to an ``.npz`` file."""
     path = Path(path)
     np.savez(
         path,
         header=np.frombuffer(
-            json.dumps(_header(sketch)).encode("utf-8"), dtype=np.uint8
+            json.dumps(sketch_header(sketch)).encode("utf-8"), dtype=np.uint8
         ),
         counters=sketch._state(),
     )
@@ -78,41 +186,50 @@ def load_sketch(path) -> Sketch:
 
     The reconstructed sketch is byte-identical in state and *compatible*
     (same families) with the original and with any sketch built from the
-    same seed.
+    same seed.  Truncated, tampered, or otherwise malformed files raise
+    :class:`~repro.errors.SerializationError`.
     """
     path = Path(path)
-    with np.load(path) as data:
-        header = json.loads(bytes(data["header"]).decode("utf-8"))
-        counters = data["counters"]
-    if header.get("version") != _FORMAT_VERSION:
-        raise ConfigurationError(
-            f"unsupported sketch file version {header.get('version')!r}"
+    try:
+        with np.load(path) as data:
+            if "header" not in data or "counters" not in data:
+                raise SerializationError(
+                    f"{path} is not a sketch file (missing header/counters entries)"
+                )
+            raw_header = bytes(data["header"])
+            counters = data["counters"]
+    except (
+        OSError,
+        zipfile.BadZipFile,
+        ValueError,
+        EOFError,
+        KeyError,
+        # corrupt zip directory fields surface as NotImplementedError
+        NotImplementedError,
+    ) as exc:
+        if isinstance(exc, SerializationError):
+            raise
+        raise SerializationError(f"cannot read sketch file {path}: {exc}") from exc
+    try:
+        header = json.loads(raw_header.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(
+            f"sketch file {path} has an undecodable header: {exc}"
+        ) from exc
+    if not isinstance(header, dict):
+        raise SerializationError(f"sketch file {path} header is not a JSON object")
+    sketch = build_sketch(header)
+    state = sketch._state()
+    if tuple(counters.shape) != tuple(state.shape):
+        raise SerializationError(
+            f"sketch file {path} counter shape {tuple(counters.shape)} does not "
+            f"match the header's {tuple(state.shape)}"
         )
-    seed = np.random.SeedSequence(
-        _decode_entropy(header["seed_entropy"]),
-        spawn_key=tuple(header.get("spawn_key", ())),
-    )
-    sketch_type = header["type"]
-    if sketch_type == "AgmsSketch":
-        sketch = AgmsSketch(
-            header["rows"],
-            seed,
-            sign_family=header["sign_family"],
-            combine=header["combine"],
-            groups=header["groups"],
+    if not np.issubdtype(counters.dtype, np.number) or np.issubdtype(
+        counters.dtype, np.complexfloating
+    ):
+        raise SerializationError(
+            f"sketch file {path} counters have non-numeric dtype {counters.dtype}"
         )
-    elif sketch_type == "FagmsSketch":
-        sketch = FagmsSketch(
-            header["buckets"],
-            header["rows"],
-            seed,
-            sign_family=header["sign_family"],
-            combine=header["combine"],
-            groups=header["groups"],
-        )
-    elif sketch_type == "CountMinSketch":
-        sketch = CountMinSketch(header["buckets"], header["rows"], seed)
-    else:
-        raise ConfigurationError(f"unknown sketch type {sketch_type!r}")
-    sketch._state()[...] = counters
+    state[...] = counters
     return sketch

@@ -104,19 +104,25 @@ def stream_length(path: PathLike) -> int:
 
 
 def read_stream(
-    path: PathLike, chunk_size: int = 65_536
+    path: PathLike, chunk_size: int = 65_536, *, start: int = 0
 ) -> Iterator[np.ndarray]:
     """Iterate a stream file's keys in chunks of at most *chunk_size*.
 
     The first yielded object is preceded by header validation; use
     :func:`stream_domain_size` to learn the domain before consuming.
+
+    *start* skips the first *start* tuples (an ``O(1)`` seek) — the hook
+    that lets a recovered run resume a file-backed scan from its
+    checkpointed stream cursor instead of re-reading the prefix.
     """
     if chunk_size < 1:
         raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    if start < 0:
+        raise ConfigurationError(f"start must be >= 0, got {start}")
     path = Path(path)
     _read_header(path)
     with path.open("rb") as handle:
-        handle.seek(_HEADER.size)
+        handle.seek(_HEADER.size + 8 * start)
         while True:
             raw = handle.read(8 * chunk_size)
             if not raw:

@@ -1,0 +1,29 @@
+"""Shared fixtures for the resilience suite.
+
+``REPRO_CHAOS_SEEDS`` widens the chaos matrix: each seed drives one
+independently scheduled fault sequence through the crash-recovery tests
+(CI sets 3; the default of 2 keeps local runs quick).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+
+def pytest_generate_tests(metafunc):
+    """Parametrize ``chaos_seed`` over the configured seed matrix."""
+    if "chaos_seed" in metafunc.fixturenames:
+        count = int(os.environ.get("REPRO_CHAOS_SEEDS", "2"))
+        metafunc.parametrize("chaos_seed", range(count))
+
+
+@pytest.fixture
+def stream_chunks() -> list:
+    """A deterministic 30-chunk stream of skewed keys."""
+    rng = np.random.default_rng(0xFEED)
+    return [
+        rng.zipf(1.3, size=400).clip(0, 999).astype(np.int64) for _ in range(30)
+    ]

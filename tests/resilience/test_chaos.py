@@ -1,0 +1,120 @@
+"""Fault-injection invariants: every fault class ends in bit-identical
+recovery or a loud typed error — never silent corruption.
+
+The chaos matrix is seeded (``REPRO_CHAOS_SEEDS`` widens it in CI); for
+each seed an independent fault schedule of crashes, torn chunks,
+duplicated deliveries, and checkpoint corruption is driven through
+:func:`repro.resilience.chaos.run_until_complete`, and the surviving
+counters are compared bit for bit against a fault-free run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError, ConfigurationError
+from repro.resilience.chaos import ChaosInjector, SimulatedCrash, run_until_complete
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.runtime import StreamRuntime, envelope_stream
+from repro.sketches.fagms import FagmsSketch
+
+
+def _reference_state(chunks, *, p=1.0):
+    runtime = StreamRuntime(FagmsSketch(buckets=64, seed=21), p=p, seed=77)
+    runtime.run(list(chunks))
+    return runtime.sketch._state().copy(), runtime.sketcher.kept
+
+
+@pytest.mark.parametrize("p", [1.0, 0.4])
+def test_chaos_run_matches_fault_free_run(tmp_path, chaos_seed, p, stream_chunks):
+    expected_state, expected_kept = _reference_state(stream_chunks, p=p)
+    directory = tmp_path / f"chaos-{chaos_seed}"
+    injector = ChaosInjector(
+        1000 + chaos_seed,
+        crash_rate=0.08,
+        truncate_rate=0.06,
+        duplicate_rate=0.08,
+        corrupt_rate=0.5,
+        checkpoint_dir=directory,
+        max_faults=25,
+    )
+
+    def make_runtime():
+        return StreamRuntime(
+            FagmsSketch(buckets=64, seed=21),
+            p=p,
+            seed=77,
+            checkpoint_dir=directory,
+            checkpoint_every=5,
+        )
+
+    runtime, restarts = run_until_complete(
+        make_runtime,
+        lambda: envelope_stream(stream_chunks),
+        checkpoint_dir=directory,
+        injector=injector,
+    )
+    assert runtime.position == len(stream_chunks)
+    assert runtime.sketcher.kept == expected_kept
+    assert np.array_equal(runtime.sketch._state(), expected_state)
+    assert restarts == injector.faults["crash"] + injector.faults["corrupt"] + (
+        injector.faults["truncate"]
+    )
+
+
+def test_fault_schedule_is_deterministic(stream_chunks):
+    def schedule(seed):
+        injector = ChaosInjector(
+            seed, crash_rate=0.2, truncate_rate=0.2, duplicate_rate=0.2
+        )
+        for envelope in envelope_stream(stream_chunks):
+            injector._decide(envelope.sequence)
+        return dict(injector._decided)
+
+    assert schedule(5) == schedule(5)
+    assert schedule(5) != schedule(6)
+
+
+def test_faults_are_transient(stream_chunks):
+    injector = ChaosInjector(3, crash_rate=1.0, max_faults=1)
+    with pytest.raises(SimulatedCrash):
+        list(injector.wrap(envelope_stream(stream_chunks)))
+    redelivered = list(injector.wrap(envelope_stream(stream_chunks)))
+    assert len(redelivered) == len(stream_chunks)
+    assert injector.faults["crash"] == 1
+
+
+def test_corrupt_latest_checkpoint_is_detected(tmp_path):
+    manager = CheckpointManager(tmp_path, keep=3)
+    manager.save(position=1, state={"n": 1}, arrays={})
+    newest = manager.save(position=2, state={"n": 2}, arrays={})
+    injector = ChaosInjector(0, checkpoint_dir=tmp_path)
+    assert injector.corrupt_latest_checkpoint() == str(newest)
+    with pytest.raises(CheckpointError):
+        manager.load(newest)
+    survivor = manager.latest()
+    assert survivor is not None and survivor.state == {"n": 1}
+
+
+def test_simulated_crash_is_not_a_repro_error():
+    from repro.errors import ReproError
+
+    assert not issubclass(SimulatedCrash, ReproError)
+
+
+def test_injector_validates_rates():
+    with pytest.raises(ConfigurationError):
+        ChaosInjector(0, crash_rate=1.5)
+    with pytest.raises(ConfigurationError):
+        ChaosInjector(0, corrupt_rate=0.5)  # corruption needs a directory
+
+
+def test_run_until_complete_without_checkpoints_restarts_fresh(stream_chunks):
+    expected_state, _ = _reference_state(stream_chunks)
+    injector = ChaosInjector(9, crash_rate=0.15, max_faults=4)
+    runtime, restarts = run_until_complete(
+        lambda: StreamRuntime(FagmsSketch(buckets=64, seed=21), seed=77),
+        lambda: envelope_stream(stream_chunks),
+        injector=injector,
+    )
+    assert restarts == injector.faults["crash"]
+    assert np.array_equal(runtime.sketch._state(), expected_state)

@@ -1,0 +1,164 @@
+"""Durability contract of :mod:`repro.resilience.checkpoint`.
+
+Every test here enforces one clause of the format's promise: snapshots
+round-trip exactly, corruption is always *detected* (never silently
+loaded), retention keeps the fallback snapshot, and interrupted writes
+leave no visible half-checkpoint.
+"""
+
+import json
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError, ConfigurationError
+from repro.resilience.checkpoint import CheckpointManager
+
+
+def _arrays():
+    return {
+        "counters": np.arange(12, dtype=np.float64).reshape(3, 4),
+        "tallies": np.array([7, 9], dtype=np.int64),
+    }
+
+
+def test_round_trip_is_exact(tmp_path):
+    manager = CheckpointManager(tmp_path)
+    state = {"cursor": {"chunk": 5}, "rate": 0.25}
+    path = manager.save(position=5, state=state, arrays=_arrays())
+    loaded = manager.load(path)
+    assert loaded.position == 5
+    assert loaded.sequence == 0
+    assert loaded.state == state
+    for name, original in _arrays().items():
+        assert np.array_equal(loaded.arrays[name], original)
+        assert loaded.arrays[name].dtype == original.dtype
+
+
+def test_sequence_numbers_survive_restart(tmp_path):
+    CheckpointManager(tmp_path, keep=5).save(position=1, state={}, arrays={})
+    manager = CheckpointManager(tmp_path, keep=5)
+    second = manager.save(position=2, state={}, arrays={})
+    assert manager.load(second).sequence == 1
+
+
+def test_retention_keeps_newest(tmp_path):
+    manager = CheckpointManager(tmp_path, keep=2)
+    for position in range(5):
+        manager.save(position=position, state={"n": position}, arrays={})
+    paths = manager.paths()
+    assert len(paths) == 2
+    assert manager.load(paths[-1]).state == {"n": 4}
+    assert manager.load(paths[0]).state == {"n": 3}
+
+
+def test_no_temp_files_left_behind(tmp_path):
+    manager = CheckpointManager(tmp_path)
+    manager.save(position=0, state={}, arrays=_arrays())
+    leftovers = [p for p in tmp_path.iterdir() if not p.name.startswith("checkpoint-")]
+    assert leftovers == []
+
+
+def test_no_bit_flip_corrupts_silently(tmp_path):
+    """Exhaustive sweep: flipping ANY byte is detected or harmless.
+
+    Some zip/npy metadata bytes are ignored by the readers (local-header
+    duplicates of central-directory fields, npy header padding); a flip
+    there still loads — but must load the *original* content.  Every
+    other flip must raise :class:`CheckpointError`.  No byte position may
+    silently change what recovery sees.
+    """
+    manager = CheckpointManager(tmp_path)
+    path = manager.save(position=3, state={"x": 1}, arrays=_arrays())
+    blob = path.read_bytes()
+    detected = 0
+    for index in range(len(blob)):
+        flipped = bytearray(blob)
+        flipped[index] ^= 0xFF
+        path.write_bytes(bytes(flipped))
+        try:
+            loaded = manager.load(path)
+        except CheckpointError:
+            detected += 1
+            continue
+        assert loaded.position == 3 and loaded.state == {"x": 1}, (
+            f"silent corruption at byte {index}"
+        )
+        for name, original in _arrays().items():
+            assert np.array_equal(loaded.arrays[name], original), (
+                f"silent corruption at byte {index} in array {name!r}"
+            )
+    assert detected > len(blob) / 2  # the payload bytes all fire
+
+
+def test_truncated_file_is_detected(tmp_path):
+    manager = CheckpointManager(tmp_path)
+    path = manager.save(position=3, state={}, arrays=_arrays())
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(CheckpointError):
+        manager.load(path)
+
+
+def test_garbage_file_is_detected(tmp_path):
+    target = tmp_path / "checkpoint-00000000.ckpt"
+    target.write_bytes(b"not an archive at all")
+    with pytest.raises(CheckpointError):
+        CheckpointManager(tmp_path).load(target)
+
+
+def test_wrong_version_is_rejected(tmp_path):
+    manifest = json.dumps(
+        {"version": 999, "sequence": 0, "position": 0, "state": {}, "payload": {}}
+    ).encode()
+    target = tmp_path / "checkpoint-00000000.ckpt"
+    with target.open("wb") as handle:
+        np.savez(
+            handle,
+            manifest=np.frombuffer(manifest, dtype=np.uint8),
+            manifest_crc=np.array([zlib.crc32(manifest)], dtype=np.int64),
+        )
+    with pytest.raises(CheckpointError, match="version"):
+        CheckpointManager(tmp_path).load(target)
+
+
+def test_latest_falls_back_past_corruption(tmp_path):
+    manager = CheckpointManager(tmp_path, keep=3)
+    manager.save(position=1, state={"n": 1}, arrays={})
+    newest = manager.save(position=2, state={"n": 2}, arrays={})
+    blob = bytearray(newest.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    newest.write_bytes(bytes(blob))
+    recovered = manager.latest()
+    assert recovered is not None
+    assert recovered.state == {"n": 1}
+    assert manager.corrupt_detected == [newest]
+    with pytest.raises(CheckpointError):
+        manager.latest(strict=True)
+
+
+def test_latest_returns_none_when_empty(tmp_path):
+    assert CheckpointManager(tmp_path).latest() is None
+
+
+def test_reserved_array_names_rejected(tmp_path):
+    manager = CheckpointManager(tmp_path)
+    with pytest.raises(ConfigurationError):
+        manager.save(
+            position=0,
+            state={},
+            arrays={"manifest": np.zeros(1, dtype=np.float64)},
+        )
+
+
+def test_foreign_array_in_archive_is_rejected(tmp_path):
+    manager = CheckpointManager(tmp_path)
+    path = manager.save(position=0, state={}, arrays=_arrays())
+    with np.load(path) as data:
+        entries = {name: data[name] for name in data.files}
+    entries["smuggled"] = np.zeros(3, dtype=np.float64)
+    with path.open("wb") as handle:
+        np.savez(handle, **entries)
+    with pytest.raises(CheckpointError, match="smuggled"):
+        manager.load(path)

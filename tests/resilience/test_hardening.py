@@ -1,0 +1,159 @@
+"""Bad-record policies and retrying readers at the stream boundary."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    BadRecordError,
+    ConfigurationError,
+    RetryExhaustedError,
+)
+from repro.resilience.hardening import InputHardener, retrying_read_stream
+from repro.streams.io import read_stream, write_stream
+
+
+DIRTY = np.array([3.0, np.nan, 7.5, np.inf, -1.0, 12.0, 5000.0, 0.0])
+
+
+def test_fail_policy_raises_typed_error():
+    hardener = InputHardener(1000, policy="fail")
+    with pytest.raises(BadRecordError, match="non_finite"):
+        hardener.sanitize(DIRTY)
+
+
+def test_clean_integer_chunks_pass_through():
+    hardener = InputHardener(1000, policy="fail")
+    chunk = np.array([0, 5, 999], dtype=np.int32)
+    out = hardener.sanitize(chunk)
+    assert out.dtype == np.int64
+    assert out.tolist() == [0, 5, 999]
+    assert hardener.bad_records == 0
+
+
+def test_skip_and_count_keeps_clean_records_in_order():
+    hardener = InputHardener(1000, policy="skip_and_count")
+    out = hardener.sanitize(DIRTY)
+    assert out.tolist() == [3, 12, 0]
+    assert hardener.bad_by_reason == {
+        "wrong_dtype": 0,
+        "non_finite": 2,
+        "non_integer": 1,
+        "out_of_domain": 2,
+    }
+    assert hardener.bad_records == 5
+
+
+def test_wrong_dtype_records_are_parsed_or_counted():
+    hardener = InputHardener(1000, policy="skip_and_count")
+    out = hardener.sanitize(np.array(["17", "oops", "3.5", "900"], dtype=object))
+    assert out.tolist() == [17, 900]
+    assert hardener.bad_by_reason["wrong_dtype"] == 1
+    assert hardener.bad_by_reason["non_integer"] == 1
+
+
+def test_out_of_domain_integers_are_caught():
+    hardener = InputHardener(100, policy="skip_and_count")
+    out = hardener.sanitize(np.array([-5, 0, 99, 100, 7], dtype=np.int64))
+    assert out.tolist() == [0, 99, 7]
+    assert hardener.bad_by_reason["out_of_domain"] == 2
+
+
+def test_quarantine_writes_side_file(tmp_path):
+    side = tmp_path / "quarantine.tsv"
+    hardener = InputHardener(1000, policy="quarantine", quarantine_path=side)
+    hardener.sanitize(DIRTY)
+    lines = side.read_text().splitlines()
+    assert len(lines) == 5
+    reasons = [line.split("\t")[0] for line in lines]
+    assert reasons == [
+        "non_finite",
+        "non_integer",
+        "non_finite",
+        "out_of_domain",
+        "out_of_domain",
+    ]
+
+
+def test_policy_validation(tmp_path):
+    with pytest.raises(ConfigurationError):
+        InputHardener(1000, policy="explode")
+    with pytest.raises(ConfigurationError):
+        InputHardener(1000, policy="quarantine")  # no side file
+    with pytest.raises(ConfigurationError):
+        InputHardener(0)
+    hardener = InputHardener(10, policy="fail")
+    with pytest.raises(ConfigurationError):
+        hardener.sanitize(np.zeros((2, 2)))
+
+
+# ----------------------------------------------------------------------
+# Retrying reader
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def stream_file(tmp_path):
+    keys = np.arange(1000, dtype=np.int64) % 37
+    path = tmp_path / "keys.rprs"
+    write_stream(path, [keys], 37)
+    return path, keys
+
+
+def test_reader_without_faults_matches_plain_read(stream_file):
+    path, keys = stream_file
+    chunks = list(retrying_read_stream(path, 128))
+    plain = list(read_stream(path, 128))
+    assert len(chunks) == len(plain)
+    for a, b in zip(chunks, plain):
+        assert np.array_equal(a, b)
+
+
+def test_reader_resumes_after_transient_failures(stream_file, monkeypatch):
+    path, keys = stream_file
+    fail_at = {3, 5}  # chunk indices that die once each
+
+    real_read_stream = read_stream
+    delivered = {"count": 0}
+
+    def flaky(path_, chunk_size, *, start=0):
+        for chunk in real_read_stream(path_, chunk_size, start=start):
+            index = delivered["count"]
+            if index in fail_at:
+                fail_at.discard(index)
+                raise OSError("transient I/O hiccup")
+            delivered["count"] += 1
+            yield chunk
+
+    monkeypatch.setattr(
+        "repro.resilience.hardening.read_stream", flaky
+    )
+    naps = []
+    chunks = list(
+        retrying_read_stream(path, 128, retries=3, sleep=naps.append)
+    )
+    assert np.array_equal(np.concatenate(chunks), keys)
+    assert len(naps) == 2  # one backoff per transient failure
+    assert naps == [0.05, 0.05]  # counter resets after progress
+
+
+def test_reader_exhausts_retries(stream_file, monkeypatch):
+    path, _ = stream_file
+
+    def always_broken(path_, chunk_size, *, start=0):
+        raise OSError("disk on fire")
+        yield  # pragma: no cover
+
+    monkeypatch.setattr(
+        "repro.resilience.hardening.read_stream", always_broken
+    )
+    naps = []
+    with pytest.raises(RetryExhaustedError) as excinfo:
+        list(retrying_read_stream(path, 128, retries=2, sleep=naps.append))
+    assert isinstance(excinfo.value.__cause__, OSError)
+    assert naps == [0.05, 0.1]  # exponential backoff before giving up
+
+
+def test_reader_validates_parameters(stream_file):
+    path, _ = stream_file
+    with pytest.raises(ConfigurationError):
+        list(retrying_read_stream(path, retries=-1))

@@ -1,0 +1,123 @@
+"""End-to-end interrupted-run smoke test: SIGKILL a real process mid-scan.
+
+A child Python process runs the engine's lockstep scan with durable
+checkpoints and is killed — hard, ``SIGKILL``, no cleanup — partway
+through.  The parent then resumes the scan from disk and must end with
+statistics bit-identical to a never-interrupted run.  This is the one
+test where the "crash" is a real process death rather than a simulated
+exception, so it also exercises checkpoint durability across process
+boundaries.  CI runs it in the ``resilience`` job.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engine.scan import run_lockstep_scan
+from repro.engine.statistics import OnlineStatisticsEngine
+from repro.streams import zipf_relation
+
+FRACTIONS = (0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 1.0)
+
+
+def _relations():
+    return {
+        "r": zipf_relation(20_000, 2_000, skew=1.0, seed=31),
+        "s": zipf_relation(12_000, 2_000, skew=0.6, seed=32),
+    }
+
+
+CHILD_SCRIPT = textwrap.dedent(
+    """
+    import sys, time
+    from repro.engine.scan import run_lockstep_scan
+    from repro.engine.statistics import OnlineStatisticsEngine
+    from repro.streams import zipf_relation
+
+    checkpoint_dir = sys.argv[1]
+    relations = {{
+        "r": zipf_relation(20_000, 2_000, skew=1.0, seed=31),
+        "s": zipf_relation(12_000, 2_000, skew=0.6, seed=32),
+    }}
+    engine = OnlineStatisticsEngine(buckets=512, seed=9)
+    for snapshot in run_lockstep_scan(
+        engine, relations, checkpoints={fractions!r}, checkpoint_dir=checkpoint_dir
+    ):
+        print("FRACTION-DONE", flush=True)
+        time.sleep(0.25)  # give the parent a window to SIGKILL us
+    print("FINISHED", flush=True)
+    """
+).format(fractions=FRACTIONS)
+
+
+@pytest.mark.skipif(os.name != "posix", reason="needs POSIX signals")
+def test_killed_scan_resumes_bit_identically(tmp_path):
+    checkpoint_dir = tmp_path / "scan-ckpts"
+    src_root = Path(repro.__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src_root), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+
+    child = subprocess.Popen(
+        [sys.executable, "-c", CHILD_SCRIPT, str(checkpoint_dir)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    try:
+        # wait for two completed fractions, then kill without any cleanup
+        done = 0
+        deadline = time.monotonic() + 60
+        while done < 2:
+            line = child.stdout.readline()
+            if not line:
+                pytest.fail(
+                    f"child exited early: {child.stderr.read()}"
+                )
+            if "FRACTION-DONE" in line:
+                done += 1
+            assert time.monotonic() < deadline, "child made no progress"
+        child.send_signal(signal.SIGKILL)
+        child.wait(timeout=30)
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30)
+    assert child.returncode == -signal.SIGKILL
+
+    # resume from whatever the dead process left on disk
+    resumed_engine = OnlineStatisticsEngine(buckets=512, seed=9)
+    resumed = list(
+        run_lockstep_scan(
+            resumed_engine,
+            _relations(),
+            checkpoints=FRACTIONS,
+            checkpoint_dir=checkpoint_dir,
+            resume=True,
+        )
+    )
+    assert 1 <= len(resumed) < len(FRACTIONS)  # some fractions were done
+
+    # reference: the same scan, never interrupted
+    reference_engine = OnlineStatisticsEngine(buckets=512, seed=9)
+    reference = list(
+        run_lockstep_scan(reference_engine, _relations(), checkpoints=FRACTIONS)
+    )
+    assert resumed[-1].fractions == reference[-1].fractions
+    assert resumed[-1].self_join_sizes == reference[-1].self_join_sizes
+    assert resumed[-1].join_sizes == reference[-1].join_sizes
+    for name in _relations():
+        assert np.array_equal(
+            resumed_engine._relations[name].sketch._state(),
+            reference_engine._relations[name].sketch._state(),
+        )

@@ -37,6 +37,9 @@ def test_quickstart(capsys):
 def test_load_shedding_monitor(capsys):
     out = _run("load_shedding_network_monitor", capsys)
     assert "true F2" in out
+    assert "adaptive governor" in out
+    assert "BURST" in out  # the governor must actually hit the burst phase
+    assert "interval covers truth: True" in out
     assert "DDoS check" in out
     assert "ALERT" in out  # the injected attack must be detected
 

@@ -142,3 +142,45 @@ def test_shedding_estimator_unbiased():
     mean = np.mean(estimates)
     standard_error = np.std(estimates) / np.sqrt(len(estimates))
     assert abs(mean - truth) < 5 * standard_error
+
+
+class TestLoadShedderRetuning:
+    """set_p / state / restore: the resilience hooks on the shedder."""
+
+    def test_set_p_changes_rate_without_corrupting_counts(self):
+        shedder = LoadShedder(0.9, seed=7)
+        first = shedder.filter(np.arange(1000))
+        shedder.set_p(0.1)
+        second = shedder.filter(np.arange(1000))
+        assert shedder.seen == 2000
+        assert shedder.kept == first.size + second.size
+        assert 800 < first.size <= 1000
+        assert second.size < 300
+
+    def test_set_p_rejects_bad_rate_without_mutating(self):
+        shedder = LoadShedder(0.5, seed=7)
+        shedder.filter(np.arange(100))
+        before = shedder.state()
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ConfigurationError):
+                shedder.set_p(bad)
+        assert shedder.state() == before
+
+    def test_state_restore_round_trip_is_bit_identical(self):
+        shedder = LoadShedder(0.3, seed=11)
+        shedder.filter(np.arange(777))
+        clone = LoadShedder.restore(shedder.state())
+        for _ in range(5):
+            chunk = np.arange(500)
+            assert np.array_equal(shedder.filter(chunk), clone.filter(chunk))
+        assert shedder.seen == clone.seen
+        assert shedder.kept == clone.kept
+
+    def test_restore_survives_rate_changes(self):
+        shedder = LoadShedder(0.8, seed=13)
+        shedder.filter(np.arange(300))
+        shedder.set_p(0.2)
+        shedder.filter(np.arange(300))
+        clone = LoadShedder.restore(shedder.state())
+        chunk = np.arange(2000)
+        assert np.array_equal(shedder.filter(chunk), clone.filter(chunk))

@@ -107,3 +107,89 @@ def test_load_rejects_corrupt_header(tmp_path):
     )
     with pytest.raises(ConfigurationError):
         load_sketch(path)
+
+
+def test_load_raises_serialization_error_on_garbage_file(tmp_path):
+    from repro.errors import SerializationError
+
+    path = tmp_path / "garbage.npz"
+    path.write_bytes(b"this is not an npz archive")
+    with pytest.raises(SerializationError):
+        load_sketch(path)
+
+
+def test_load_raises_serialization_error_on_truncated_file(tmp_path):
+    from repro.errors import SerializationError
+
+    sketch = FagmsSketch(buckets=16, seed=3)
+    path = tmp_path / "s.npz"
+    save_sketch(sketch, path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 3])
+    with pytest.raises(SerializationError):
+        load_sketch(path)
+
+
+def test_load_rejects_counter_shape_mismatch(tmp_path):
+    import json
+
+    from repro.errors import SerializationError
+
+    sketch = FagmsSketch(buckets=16, rows=2, seed=3)
+    path = tmp_path / "s.npz"
+    save_sketch(sketch, path)
+    with np.load(path) as data:
+        header = bytes(data["header"])
+        counters = data["counters"]
+    np.savez(path, header=np.frombuffer(header, dtype=np.uint8),
+             counters=counters[:, :8])
+    with pytest.raises(SerializationError, match="shape"):
+        load_sketch(path)
+    json.loads(header.decode())  # header itself is still well-formed
+
+
+def test_load_rejects_missing_header_fields(tmp_path):
+    import json
+
+    from repro.errors import SerializationError
+
+    sketch = FagmsSketch(buckets=16, seed=3)
+    path = tmp_path / "s.npz"
+    save_sketch(sketch, path)
+    with np.load(path) as data:
+        header = json.loads(bytes(data["header"]).decode())
+        counters = data["counters"]
+    del header["rows"]
+    np.savez(
+        path,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        counters=counters,
+    )
+    with pytest.raises(SerializationError, match="rows"):
+        load_sketch(path)
+
+
+def test_load_rejects_complex_counters(tmp_path):
+    import json
+
+    from repro.errors import SerializationError
+
+    sketch = FagmsSketch(buckets=16, seed=3)
+    path = tmp_path / "s.npz"
+    save_sketch(sketch, path)
+    with np.load(path) as data:
+        header = bytes(data["header"])
+        counters = data["counters"]
+    np.savez(
+        path,
+        header=np.frombuffer(header, dtype=np.uint8),
+        counters=counters.astype(np.complex128),
+    )
+    with pytest.raises(SerializationError, match="dtype"):
+        load_sketch(path)
+
+
+def test_serialization_error_is_a_configuration_error():
+    from repro.errors import SerializationError
+
+    assert issubclass(SerializationError, ConfigurationError)
