@@ -1,0 +1,115 @@
+"""Parallel-engine scaling: end-to-end speedup of the sharded bulk scan.
+
+Measures wall-clock time for ``parallel_update`` of a large skewed stream
+into a bulk F-AGMS sketch at 1, 2, and 4 workers and writes the
+machine-readable ``benchmarks/results/BENCH_parallel.json`` baseline
+(records of ``{workers, shards, seconds, tuples_per_sec, speedup_vs_1,
+cpus}``), plus a human-readable table.
+
+The speedup gate asserts ≥ 1.6× at 4 workers over the single-worker run.
+Speedup is physically impossible without cores to run on, so the gate —
+*not* the measurement — is skipped on machines with fewer than 4 usable
+CPUs; the JSON baseline is written either way, recording the CPU count so
+a reader can interpret the numbers.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import format_table
+from repro.parallel import WorkerPool, available_cpus, parallel_update
+from repro.sketches import FagmsSketch
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+WORKER_STEPS = (1, 2, 4)
+TUPLES = 1_200_000
+BUCKETS = 4_096
+ROWS = 5
+REPS = 3
+
+
+def _keys() -> np.ndarray:
+    rng = np.random.default_rng(29)
+    return rng.zipf(1.1, size=TUPLES).clip(0, 2**31 - 2).astype(np.int64)
+
+
+def _time_run(keys, workers: int) -> float:
+    """Best-of-``REPS`` seconds for one sharded bulk scan at *workers*."""
+    best = float("inf")
+    with WorkerPool(workers) as pool:
+        # Warm the pool (process spawn + import cost must not be billed
+        # to the measured scan).
+        parallel_update(
+            FagmsSketch(BUCKETS, ROWS, seed=3), keys[:4_096], pool=pool
+        )
+        for _ in range(REPS):
+            sketch = FagmsSketch(BUCKETS, ROWS, seed=3)
+            start = time.perf_counter()
+            parallel_update(sketch, keys, shards=workers, pool=pool)
+            best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_parallel_scaling(save_result):
+    keys = _keys()
+    cpus = available_cpus()
+
+    records = []
+    for workers in WORKER_STEPS:
+        seconds = _time_run(keys, workers)
+        records.append(
+            {
+                "workers": workers,
+                "shards": workers,
+                "seconds": round(seconds, 4),
+                "tuples_per_sec": round(TUPLES / seconds),
+                "cpus": cpus,
+            }
+        )
+    base = records[0]["seconds"]
+    for record in records:
+        record["speedup_vs_1"] = round(base / record["seconds"], 3)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_parallel.json").write_text(
+        json.dumps(records, indent=2) + "\n"
+    )
+    save_result(
+        "parallel_scaling",
+        format_table(
+            ("workers", "seconds", "Mtuples/s", "speedup_vs_1"),
+            [
+                (
+                    r["workers"],
+                    r["seconds"],
+                    r["tuples_per_sec"] / 1e6,
+                    r["speedup_vs_1"],
+                )
+                for r in records
+            ],
+            title=f"Sharded bulk F-AGMS scan ({TUPLES:,} tuples, {cpus} CPUs)",
+        ),
+    )
+
+    # Sanity on any machine: sharding must not corrupt the result.
+    direct = FagmsSketch(BUCKETS, ROWS, seed=3)
+    direct.update(keys)
+    sharded = FagmsSketch(BUCKETS, ROWS, seed=3)
+    parallel_update(sharded, keys, shards=4)
+    assert np.array_equal(direct.counters, sharded.counters)
+
+    if cpus < 4:
+        pytest.skip(
+            f"speedup gate needs >= 4 usable CPUs, found {cpus}; "
+            "BENCH_parallel.json was still written"
+        )
+    four = next(r for r in records if r["workers"] == 4)
+    assert four["speedup_vs_1"] >= 1.6, (
+        f"4-worker sharded scan achieved only {four['speedup_vs_1']:.2f}x "
+        f"over 1 worker (need >= 1.6x)"
+    )

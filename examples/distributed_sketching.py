@@ -1,4 +1,4 @@
-"""Distributed sketching: sites sketch partitions, a coordinator merges.
+"""Distributed sketching on the real parallel engine (:mod:`repro.parallel`).
 
 Sketch linearity (``sketch(A ∪ B) = sketch(A) + sketch(B)`` under shared
 hash families) is what makes sketches deployable in distributed stream
@@ -6,13 +6,20 @@ processing: each site summarizes only its own partition and ships a few
 kilobytes to the coordinator.  Combined with per-site Bernoulli load
 shedding, each site also touches only a fraction of its tuples.
 
-The demo:
+The demo drives :func:`repro.parallel.run_sharded_sketch` end to end:
 
-1. partitions a stream across three sites,
-2. each site sheds 90% of its partition and sketches the rest, then
-   persists the sketch to disk (``save_sketch``),
-3. the coordinator loads and merges the site sketches and produces a
-   global F₂ estimate with the combined-estimator correction.
+1. the stream is hash-partitioned across three "sites" (shards) and
+   sketched by a real multiprocess :class:`~repro.parallel.WorkerPool`,
+   each site shedding 90% of its partition with an independently spawned
+   seed substream,
+2. each site's sketch is persisted to disk (``save_sketch``) and listed
+   in a shipping manifest, exactly as sites would ship summaries to a
+   coordinator,
+3. the coordinator loads the site files back, reduces them with the
+   deterministic :func:`~repro.parallel.merge_tree`, and corrects the
+   merged second moment with the aggregated per-site sample ledger,
+4. as a determinism check, an unshedded (``p = 1``) sharded scan is
+   verified bit-identical to a plain sequential scan.
 
 Run:  python examples/distributed_sketching.py
 """
@@ -24,71 +31,75 @@ import numpy as np
 
 from repro import (
     FagmsSketch,
-    SampleInfo,
+    WorkerPool,
     load_sketch,
+    merge_tree,
+    run_sharded_sketch,
     save_sketch,
     zipf_relation,
 )
-from repro.sampling.unbiasing import self_join_correction
-from repro.core import LoadShedder
+from repro.parallel import available_cpus
 
 SEED = 63
+SHED_SEED = 1_000
 SITES = 3
 KEEP_PROBABILITY = 0.1
 BUCKETS = 4_096
 
 
-def site_process(site_id, partition, directory) -> dict:
-    """One site: shed, sketch, persist; returns its shipping manifest."""
-    shedder = LoadShedder(KEEP_PROBABILITY, seed=1_000 + site_id)
-    # All sites construct their sketch from the SAME seed: shared families.
-    sketch = FagmsSketch(BUCKETS, seed=SEED)
-    for chunk in np.array_split(partition, 4):
-        sketch.update(shedder.filter(chunk))
-    path = directory / f"site{site_id}.npz"
-    save_sketch(sketch, path)
-    return {
-        "path": path,
-        "seen": shedder.seen,
-        "kept": shedder.kept,
-        "bytes": path.stat().st_size,
-    }
-
-
 def main() -> None:
     stream = zipf_relation(600_000, 50_000, skew=1.0, seed=SEED)
-    partitions = np.array_split(stream.keys, SITES)
     truth = stream.self_join_size()
     print(f"global stream: {len(stream):,} tuples across {SITES} sites; "
           f"true F2 = {truth:,}\n")
 
+    # All sites build their sketch from the SAME template header: shared
+    # hash families, so the coordinator can merge what they ship.
+    template = FagmsSketch(BUCKETS, seed=SEED)
+
+    with WorkerPool(min(SITES, available_cpus())) as pool:
+        result = run_sharded_sketch(
+            stream.keys,
+            template,
+            shards=SITES,
+            mode="hash",
+            p=KEEP_PROBABILITY,
+            seed=SHED_SEED,
+            pool=pool,
+        )
+
     with tempfile.TemporaryDirectory() as tmp:
         directory = Path(tmp)
-        manifests = [
-            site_process(site_id, partition, directory)
-            for site_id, partition in enumerate(partitions)
-        ]
-        for site_id, manifest in enumerate(manifests):
-            print(f"site {site_id}: saw {manifest['seen']:>7,}  "
-                  f"sketched {manifest['kept']:>6,}  "
-                  f"shipped {manifest['bytes'] / 1024:.1f} KiB")
+        # Each site persists its own sketch — the shipping manifest.
+        manifests = []
+        for site_id, shard in enumerate(result.shard_results):
+            path = directory / f"site{site_id}.npz"
+            save_sketch(result.shard_sketch(site_id), path)
+            manifests.append(
+                {
+                    "path": path,
+                    "seen": shard.seen,
+                    "kept": shard.kept,
+                    "bytes": path.stat().st_size,
+                }
+            )
+            print(f"site {site_id}: saw {shard.seen:>7,}  "
+                  f"sketched {shard.kept:>6,}  "
+                  f"shipped {manifests[-1]['bytes'] / 1024:.1f} KiB")
 
-        # Coordinator: merge the site sketches (linearity).
-        merged = load_sketch(manifests[0]["path"])
-        for manifest in manifests[1:]:
-            merged.merge(load_sketch(manifest["path"]))
+        # Coordinator: load the shipped files and reduce them in the same
+        # fixed order the engine uses.
+        merged = merge_tree([load_sketch(m["path"]) for m in manifests])
 
-        total_seen = sum(m["seen"] for m in manifests)
-        total_kept = sum(m["kept"] for m in manifests)
-        info = SampleInfo(
-            scheme="bernoulli",
-            population_size=total_seen,
-            sample_size=total_kept,
-            probability=KEEP_PROBABILITY,
-        )
-        correction = self_join_correction(info)
-        estimate = correction.apply(merged.second_moment(), total_kept)
+    # Kept tuples were inserted Horvitz–Thompson-weighted (1/p), so the
+    # merged counters estimate the full stream directly; subtract the
+    # additive correction A = N(1-p)/p from the aggregated site ledgers.
+    info = result.info()
+    correction = info.population_size * (1.0 - info.probability) / info.probability
+    estimate = merged.second_moment() - correction
 
+    total_seen = info.population_size
+    total_kept = info.sample_size
     error = abs(estimate - truth) / truth
     print(f"\ncoordinator estimate: {estimate:,.0f}")
     print(f"true value:           {truth:,}")
@@ -96,6 +107,14 @@ def main() -> None:
     print(f"data reduction:       {total_seen / total_kept:.0f}x fewer tuples "
           f"sketched, {len(stream) * 8 / (SITES * manifests[0]['bytes']):.0f}x "
           f"less data shipped than the raw stream")
+
+    # Determinism check: without shedding, the sharded multiprocess scan
+    # reproduces the sequential scan bit for bit (hash mode).
+    sequential = template.copy_empty()
+    sequential.update(stream.keys)
+    unshedded = run_sharded_sketch(stream.keys, template, shards=SITES, mode="hash")
+    identical = np.array_equal(sequential.counters, unshedded.sketch.counters)
+    print(f"\np=1 sharded scan bit-identical to sequential: {identical}")
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.core` — the paper's combined estimators and applications
 * :mod:`repro.engine` — online aggregation
 * :mod:`repro.resilience` — fault-tolerant streaming runtime
+* :mod:`repro.parallel` — sharded multiprocess sketching engine
 * :mod:`repro.experiments` — harness regenerating Figs 1–8
 """
 
@@ -57,10 +58,18 @@ from .errors import (
     EstimationError,
     IncompatibleSketchError,
     InsufficientDataError,
+    MergeError,
     ReproError,
     RetryExhaustedError,
     SerializationError,
     StreamIntegrityError,
+)
+from .parallel import (
+    ShardedScanResult,
+    WorkerPool,
+    merge_tree,
+    parallel_update,
+    run_sharded_sketch,
 )
 from .resilience import (
     AdaptiveSheddingSketcher,
@@ -120,6 +129,7 @@ __all__ = [
     "EstimationError",
     "InsufficientDataError",
     "IncompatibleSketchError",
+    "MergeError",
     "SerializationError",
     "CheckpointError",
     "StreamIntegrityError",
@@ -180,6 +190,12 @@ __all__ = [
     "StreamRuntime",
     "ChaosInjector",
     "SimulatedCrash",
+    # parallel
+    "WorkerPool",
+    "ShardedScanResult",
+    "run_sharded_sketch",
+    "parallel_update",
+    "merge_tree",
     # variance / bounds
     "ConfidenceInterval",
     "chebyshev_interval",

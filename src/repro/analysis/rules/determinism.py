@@ -6,6 +6,15 @@ from one seed threaded through ``repro.rng.as_generator``/``spawn``.  A
 module that calls ``np.random.default_rng()`` (or the legacy global numpy
 RNG, or the stdlib :mod:`random` module) creates an unauditable entropy
 source and silently breaks trial-for-trial reproducibility.
+
+The rule also bans *ambient entropy* — ``os.getpid``, ``os.urandom``,
+``time.time``, ``uuid.uuid4``, the :mod:`secrets` module — being mixed
+into seeds.  The classic multiprocessing bug is seeding each worker from
+its pid or the wall clock, which makes every run unrepeatable; worker
+RNGs must instead descend from ``SeedSequence.spawn`` substreams handed
+out by the coordinator (see :mod:`repro.parallel.worker`).  Monotonic
+*timers* (``time.perf_counter``/``time.monotonic``) stay legal — they
+measure cost, they never feed seeds.
 """
 
 from __future__ import annotations
@@ -51,6 +60,22 @@ _LEGACY_DRAWS = {
     "bytes",
 }
 
+#: Ambient entropy sources that must never feed seeds or shard identity.
+#: ``time.perf_counter``/``time.monotonic`` are deliberately absent —
+#: timing costs is fine, seeding from the clock is not.
+_ENTROPY_SOURCES = {
+    "os.getpid",
+    "os.urandom",
+    "time.time",
+    "time.time_ns",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.randbits",
+    "secrets.randbelow",
+}
+
 
 @register_rule
 class DeterminismRule(Rule):
@@ -94,6 +119,15 @@ class DeterminismRule(Rule):
                     node,
                     f"legacy global-state draw {name}(); draw from a "
                     "Generator obtained through repro.rng instead",
+                )
+            elif name in _ENTROPY_SOURCES:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"ambient entropy source {name}(); worker/shard RNGs "
+                    "must descend from coordinator-spawned SeedSequence "
+                    "substreams (repro.rng.spawn), never from pids, clocks, "
+                    "or OS randomness",
                 )
             elif name.startswith("random."):
                 yield self.finding(

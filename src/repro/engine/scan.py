@@ -45,12 +45,20 @@ def run_lockstep_scan(
     checkpoint_dir=None,
     keep_checkpoints: int = 2,
     resume: bool = False,
+    shards=None,
+    pool=None,
 ) -> Iterator[StatisticsSnapshot]:
     """Scan every relation to each checkpoint fraction, yielding snapshots.
 
     At checkpoint ``x`` every relation has had an ``x`` fraction of its
     tuples consumed (ripple-join-style lockstep).  Relations not yet
     registered with *engine* are registered with their exact cardinality.
+
+    *shards*/*pool* route every consumed slice through the sharded update
+    path of :mod:`repro.parallel` (``pool`` alone defaults the shard count
+    to the pool's worker count).  Hash partitioning keeps the counters —
+    and therefore every snapshot and checkpoint — bit-identical to the
+    sequential scan.
 
     *checkpoint_dir* enables durable snapshots (one after each yielded
     fraction).  With ``resume=True`` the scan restarts from the newest
@@ -114,7 +122,12 @@ def run_lockstep_scan(
         for name, relation in relations.items():
             target = min(len(relation), max(1, int(round(fraction * len(relation)))))
             if target > scanned[name]:
-                engine.consume(name, relation.keys[scanned[name] : target])
+                engine.consume(
+                    name,
+                    relation.keys[scanned[name] : target],
+                    shards=shards,
+                    pool=pool,
+                )
                 scanned[name] = target
         if manager is not None:
             state, arrays = engine.checkpoint_state()

@@ -140,12 +140,18 @@ class OnlineStatisticsEngine:
                 f"unknown relation {name!r}; registered: {self.relations}"
             ) from None
 
-    def consume(self, name: str, keys) -> None:
+    def consume(self, name: str, keys, *, shards=None, pool=None) -> None:
         """Feed the next chunk of *name*'s random-order scan.
 
         Updates run through the row-batched :mod:`repro.kernels` path,
         so chunked scanning costs one fused accumulation per chunk;
         empty chunks are accepted and skipped outright.
+
+        With *shards* and/or *pool* set, the chunk's hashing and
+        accumulation fan out over :func:`repro.parallel.parallel_update`
+        (hash-partitioned, bit-identical to the sequential path); a
+        :class:`~repro.parallel.pool.WorkerPool` passed here is reused
+        across calls rather than respawned per chunk.
         """
         state = self._state(name)
         keys = np.asarray(keys)
@@ -155,7 +161,12 @@ class OnlineStatisticsEngine:
                 f"({state.total_tuples})"
             )
         if keys.size:
-            state.sketch.update(keys)
+            if shards is None and pool is None:
+                state.sketch.update(keys)
+            else:
+                from ..parallel import parallel_update
+
+                parallel_update(state.sketch, keys, shards=shards, pool=pool)
             state.scanned += int(keys.size)
 
     def fraction_scanned(self, name: str) -> float:

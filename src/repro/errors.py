@@ -15,6 +15,7 @@ __all__ = [
     "EstimationError",
     "InsufficientDataError",
     "IncompatibleSketchError",
+    "MergeError",
     "SerializationError",
     "CheckpointError",
     "StreamIntegrityError",
@@ -64,6 +65,19 @@ class IncompatibleSketchError(ReproError, ValueError):
     Sketches may only be merged or multiplied (for size-of-join estimation)
     when they share the same shape *and* the same random seeds, i.e. the same
     underlying hash/ξ families.
+    """
+
+
+class MergeError(IncompatibleSketchError):
+    """Two sketches cannot be *merged* (added counter-wise).
+
+    Merging requires strictly more than joint estimation does: beyond the
+    type/shape/seed checks of :class:`IncompatibleSketchError`, the two
+    sketches must have been built from the *same* hash-family construction
+    (identical seed entropy, spawn key, and sign-family kind) — otherwise
+    the counter addition silently produces garbage that no later check can
+    detect.  Subclasses :class:`IncompatibleSketchError` so existing
+    callers that guard merges with the broader class keep working.
     """
 
 

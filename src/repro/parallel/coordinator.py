@@ -1,0 +1,318 @@
+"""The coordinator: shard, dispatch, retry, reduce, correct.
+
+:func:`run_sharded_sketch` is the top-level entry point of the parallel
+engine.  It partitions the key stream deterministically
+(:mod:`.partition`), spawns one independent seed substream per shard from
+the root seed (``SeedSequence.spawn`` — reproducible no matter which
+process executes which shard), dispatches :class:`~.worker.ShardTask`\\ s
+over a :class:`~.pool.WorkerPool`, retries failed shards (resuming from
+their per-shard checkpoints when checkpointing is on), reduces the
+per-shard sketches through the fixed-order :func:`~.merge.merge_tree`,
+and aggregates the per-shard :class:`~repro.sampling.base.SampleInfo`
+ledgers for the combined-estimator correction.
+
+Determinism contract (tested in ``tests/parallel/``):
+
+* **hash mode** — the merged sketch is *bit-identical* to a sequential
+  scan of the whole stream, for every sketch type and kernel backend,
+  because shards partition the key domain and integer counter deltas add
+  exactly in any association.
+* **range mode** — a key may straddle shards, so with shedding the merged
+  sketch is a different (equally valid) random realization: identical in
+  distribution to the sequential shedding scan, and identical run-to-run
+  for a fixed root seed and shard count.
+* The process boundary adds nothing: an inline pool (``workers=0``) and a
+  process pool produce bit-identical results for the same plan.
+
+:func:`parallel_update` is the lightweight sibling used by the engine
+layer: no shedding, no checkpoints — just fan a bulk ``update()`` out
+over shards and fold the partial counters back into an existing sketch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError, RetryExhaustedError
+from ..rng import SeedLike, as_seed_sequence
+from ..sampling.base import SampleInfo
+from ..sketches.base import Sketch
+from ..sketches.serialization import build_sketch, sketch_header
+from .merge import combine_shard_infos, merge_tree, sample_size_vector
+from .partition import ShardPlan, make_shard_plan
+from .pool import WorkerPool, available_cpus
+from .worker import (
+    PartialUpdateTask,
+    ShardResult,
+    ShardTask,
+    run_partial_update,
+    run_shard,
+)
+
+__all__ = ["ShardedScanResult", "run_sharded_sketch", "parallel_update"]
+
+
+@dataclass(frozen=True)
+class ShardedScanResult:
+    """Everything a sharded scan produced, reduced and ready to query."""
+
+    sketch: Sketch
+    shard_results: tuple
+    plan: ShardPlan
+    header: dict
+    retries: int
+
+    # ------------------------------------------------------------------
+    # Sampling ledger
+    # ------------------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """The shard mode the scan ran under (``"hash"`` or ``"range"``)."""
+        return self.plan.mode
+
+    @property
+    def p(self) -> float:
+        """The common Bernoulli keep-rate the shards ran at."""
+        return self.info().probability
+
+    def infos(self) -> list:
+        """Per-shard :class:`~repro.sampling.base.SampleInfo`, in shard order."""
+        return [result.info() for result in self.shard_results]
+
+    def info(self) -> SampleInfo:
+        """The whole-stream sampling ledger (per-shard ledgers aggregated)."""
+        return combine_shard_infos(self.infos())
+
+    def sample_sizes(self) -> np.ndarray:
+        """Per-shard realized sample sizes (variance accounting input)."""
+        return sample_size_vector(self.infos())
+
+    # ------------------------------------------------------------------
+    # Estimates
+    # ------------------------------------------------------------------
+
+    def self_join_size(self) -> float:
+        """Unbiased full-stream ``F₂`` estimate from the merged sketch.
+
+        Workers insert kept tuples Horvitz–Thompson-weighted, so the merged
+        counters estimate the *unsampled* stream directly; the additive
+        correction ``A = N·(1−p)/p`` (Prop 14's piecewise form, computed
+        from the aggregated ledger) removes the sampling-noise inflation
+        of the second moment.
+        """
+        info = self.info()
+        correction = info.population_size * (1.0 - info.probability) / info.probability
+        return self.sketch.second_moment() - correction
+
+    def join_size(self, other: "ShardedScanResult") -> float:
+        """Unbiased join-size estimate against another sharded scan.
+
+        HT-weighted counters need no trailing ``1/(pq)`` scale (Prop 13's
+        weighted form): the plain inner product is already unbiased.
+        """
+        return self.sketch.inner_product(other.sketch)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def shard_sketch(self, index: int) -> Sketch:
+        """Rebuild shard *index*'s individual sketch (families + counters)."""
+        result = self.shard_results[index]
+        sketch = build_sketch(self.header)
+        sketch._state()[...] = result.counters
+        return sketch
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedScanResult(shards={len(self.shard_results)}, "
+            f"mode={self.mode!r}, retries={self.retries}, "
+            f"sketch={self.sketch!r})"
+        )
+
+
+def _default_shards(shards: Optional[int], pool: Optional[WorkerPool]) -> int:
+    if shards is not None:
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        return int(shards)
+    if pool is not None and pool.workers > 0:
+        return pool.workers
+    return max(1, available_cpus())
+
+
+def _spawn_shard_seeds(seed: SeedLike, shards: int) -> list:
+    root = as_seed_sequence(seed)
+    return root.spawn(shards)
+
+
+def run_sharded_sketch(
+    keys,
+    template: Sketch,
+    *,
+    shards: Optional[int] = None,
+    mode: str = "hash",
+    p: float = 1.0,
+    seed: SeedLike = None,
+    pool: Optional[WorkerPool] = None,
+    chunk_size: int = 4096,
+    checkpoint_dir=None,
+    checkpoint_every: int = 16,
+    max_retries: int = 2,
+    injector=None,
+    _worker=run_shard,
+) -> ShardedScanResult:
+    """Sketch *keys* across shards and reduce to one corrected result.
+
+    Parameters
+    ----------
+    keys:
+        The full key stream (1-D integer array).
+    template:
+        A sketch defining the families/shape every shard must share.  The
+        template itself is *not* mutated; its header is shipped to the
+        workers and each shard builds a fresh zeroed copy.
+    shards:
+        Shard count; defaults to the pool's worker count (or the CPU
+        count for an inline/absent pool).
+    mode:
+        ``"hash"`` (bit-identical to sequential) or ``"range"``
+        (contiguous slices; equivalent in distribution under shedding).
+    p, seed:
+        Bernoulli keep-rate and the *root* seed; each shard sheds with an
+        independently spawned substream of it.
+    pool:
+        A :class:`~.pool.WorkerPool`; ``None`` runs shards inline.
+    checkpoint_dir, checkpoint_every:
+        When set, every shard checkpoints under
+        ``<checkpoint_dir>/shard-NNN`` and failed shards resume from
+        their newest snapshot instead of restarting.
+    max_retries:
+        Re-dispatch attempts per shard before giving up with
+        :class:`~repro.errors.RetryExhaustedError`.
+    injector:
+        Test-only :class:`~repro.resilience.chaos.ChaosInjector` threaded
+        into every shard run; requires an inline pool (the injector's
+        fault budget must be shared across retries).
+    """
+    shards = _default_shards(shards, pool)
+    plan = make_shard_plan(keys, shards, mode=mode)
+    header = sketch_header(template)
+    seeds = _spawn_shard_seeds(seed, plan.shards)
+    owns_pool = pool is None
+    if owns_pool:
+        pool = WorkerPool(0)
+    if injector is not None and not pool.inline:
+        raise ConfigurationError(
+            "a chaos injector shares mutable fault budgets with the "
+            "coordinator and therefore needs an inline pool (workers=0)"
+        )
+
+    def make_task(index: int, resume: bool) -> ShardTask:
+        child = seeds[index]
+        return ShardTask(
+            index=index,
+            keys=plan.parts[index],
+            header=header,
+            p=p,
+            seed_entropy=child.entropy,
+            seed_spawn_key=tuple(child.spawn_key),
+            chunk_size=chunk_size,
+            checkpoint_dir=None if checkpoint_dir is None else str(checkpoint_dir),
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+            # Process workers are backend-pinned by the pool initializer;
+            # inline runs use the coordinator's active backend as-is.
+            backend=None,
+        )
+
+    def dispatch(index: int, resume: bool):
+        task = make_task(index, resume)
+        if injector is not None:
+            return pool.submit(_worker, task, injector=injector)
+        return pool.submit(_worker, task)
+
+    try:
+        pending = {index: dispatch(index, False) for index in range(plan.shards)}
+        results: dict[int, ShardResult] = {}
+        attempts = {index: 0 for index in pending}
+        retries = 0
+        while pending:
+            still_pending = {}
+            for index, future in pending.items():
+                try:
+                    results[index] = future.result()
+                except Exception as exc:
+                    attempts[index] += 1
+                    if attempts[index] > max_retries:
+                        raise RetryExhaustedError(
+                            f"shard {index} failed {attempts[index]} time(s); "
+                            "giving up"
+                        ) from exc
+                    retries += 1
+                    # Resume from the shard's checkpoint when one can exist;
+                    # otherwise rerun the shard from scratch.
+                    still_pending[index] = dispatch(
+                        index, resume=checkpoint_dir is not None
+                    )
+            pending = still_pending
+    finally:
+        if owns_pool:
+            pool.close()
+
+    ordered = tuple(results[index] for index in range(plan.shards))
+    shard_sketches = []
+    for result in ordered:
+        sketch = build_sketch(header)
+        sketch._state()[...] = result.counters
+        shard_sketches.append(sketch)
+    merged = merge_tree(shard_sketches)
+    return ShardedScanResult(
+        sketch=merged,
+        shard_results=ordered,
+        plan=plan,
+        header=header,
+        retries=retries,
+    )
+
+
+def parallel_update(
+    sketch: Sketch,
+    keys,
+    *,
+    shards: Optional[int] = None,
+    pool: Optional[WorkerPool] = None,
+    mode: str = "hash",
+) -> Sketch:
+    """Bulk-update *sketch* with *keys* using sharded workers.
+
+    Equivalent to ``sketch.update(keys)`` — bit-identical for both shard
+    modes, since there is no shedding — but the hashing/accumulation work
+    fans out across the pool.  Returns *sketch* for chaining.
+    """
+    shards = _default_shards(shards, pool)
+    plan = make_shard_plan(keys, shards, mode=mode)
+    header = sketch_header(sketch)
+    owns_pool = pool is None
+    if owns_pool:
+        pool = WorkerPool(0)
+    try:
+        tasks = [
+            PartialUpdateTask(index=index, keys=part, header=header)
+            for index, part in enumerate(plan.parts)
+        ]
+        partials = pool.map(run_partial_update, tasks)
+    finally:
+        if owns_pool:
+            pool.close()
+    shard_sketches = []
+    for counters in partials:
+        shard = build_sketch(header)
+        shard._state()[...] = counters
+        shard_sketches.append(shard)
+    sketch.merge(merge_tree(shard_sketches))
+    return sketch

@@ -1,0 +1,94 @@
+"""Deterministic merge reduction over per-shard sketches.
+
+Sketches are linear, so ``sketch(A ∪ B) = sketch(A) + sketch(B)`` whenever
+both sides share the hash families — the coordinator only has to add the
+per-shard counter arrays.  :func:`merge_tree` does this as a **fixed-order
+balanced binary reduction**: shards are paired ``(0,1), (2,3), ...`` level
+by level until one sketch remains.  The order is a pure function of the
+shard count, never of arrival timing, so repeated runs reduce in exactly
+the same association.
+
+For the unweighted (``p = 1``) path the association doesn't even matter
+numerically: kernel backends accumulate integer-valued deltas exactly (see
+:mod:`repro.kernels`), so every counter is an exactly-represented integer
+and float64 addition over them is associative.  The fixed order is still
+worth having — it keeps the Horvitz–Thompson-weighted (``p < 1``) path
+reproducible run to run, where float rounding *does* depend on
+association.
+
+:func:`combine_shard_infos` and :func:`sample_size_vector` aggregate the
+per-shard sampling ledgers for the combined-estimator correction and for
+per-shard variance accounting (see
+:func:`repro.variance.sampling.sharded_bernoulli_self_join_variance`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..sampling.base import SampleInfo
+from ..sketches.base import Sketch
+
+__all__ = ["merge_tree", "combine_shard_infos", "sample_size_vector"]
+
+
+def merge_tree(sketches: Sequence[Sketch]) -> Sketch:
+    """Reduce compatible sketches into one, in a fixed balanced order.
+
+    The inputs are not mutated; the result is a fresh sketch.  Every pair
+    is validated through :meth:`~repro.sketches.base.Sketch.check_mergeable`,
+    so mixing incompatible shards raises
+    :class:`~repro.errors.MergeError` instead of corrupting counters.
+    """
+    if not sketches:
+        raise ConfigurationError("merge_tree needs at least one sketch")
+    level = [sketch.copy() for sketch in sketches]
+    while len(level) > 1:
+        next_level = []
+        for i in range(0, len(level) - 1, 2):
+            left, right = level[i], level[i + 1]
+            left.merge(right)
+            next_level.append(left)
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+    return level[0]
+
+
+def combine_shard_infos(infos: Sequence[SampleInfo]) -> SampleInfo:
+    """Aggregate per-shard Bernoulli ledgers into one whole-stream ledger.
+
+    All shards of one sharded scan run at a common rate ``p`` (the
+    coordinator hands every worker the same schedule), so the union of the
+    per-shard Bernoulli samples is itself a Bernoulli(p) sample of the
+    whole stream: population sizes and sample sizes simply add.  Shards
+    that report different rates cannot be summarized by a single
+    :class:`~repro.sampling.base.SampleInfo` and raise instead.
+    """
+    if not infos:
+        raise ConfigurationError("combine_shard_infos needs at least one shard")
+    schemes = {info.scheme for info in infos}
+    if schemes != {"bernoulli"}:
+        raise ConfigurationError(
+            f"combine_shard_infos only handles Bernoulli shards, got {sorted(schemes)}"
+        )
+    rates = {info.probability for info in infos}
+    if len(rates) > 1:
+        raise ConfigurationError(
+            f"shards ran at different keep-rates {sorted(rates)}; "
+            "a single combined SampleInfo would misstate the design"
+        )
+    return SampleInfo(
+        scheme="bernoulli",
+        population_size=sum(info.population_size for info in infos),
+        sample_size=sum(info.sample_size for info in infos),
+        probability=infos[0].probability,
+    )
+
+
+def sample_size_vector(infos: Sequence[SampleInfo]) -> np.ndarray:
+    """Per-shard realized sample sizes, in shard order (variance accounting)."""
+    return np.asarray([info.sample_size for info in infos], dtype=np.int64)

@@ -1,0 +1,125 @@
+"""Deterministic stream partitioning for the sharded sketching engine.
+
+Two shard modes, both pure functions of the key array (no RNG anywhere, so
+the shard assignment is identical across runs, processes, and machines):
+
+* **hash** — every occurrence of a key lands in the shard
+  ``splitmix64(key) mod shards``.  Shards partition the *domain*, so the
+  per-shard frequency vectors have disjoint supports; merged sketches are
+  bit-identical to a sequential scan (integer counter deltas add exactly
+  in any association), and per-shard estimator variances sum exactly to
+  the whole-stream value (see
+  :func:`repro.variance.sampling.sharded_bernoulli_self_join_variance`).
+* **range** — contiguous, near-equal slices of the arrival order
+  (``numpy.array_split``).  A key may span several shards; with per-shard
+  Bernoulli shedding the executed draw is still exactly one Bernoulli(p)
+  design over the full stream (tuple-level independence), so estimates
+  are equivalent in distribution to the sequential shedding scan.
+
+Within a shard the arrival order of the full stream is preserved (stable
+partitioning) — a prerequisite for the bit-identity guarantee, since the
+kernel backends accumulate per-bucket partial sums in stream order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, DomainError
+
+__all__ = ["ShardPlan", "shard_ids", "hash_partition", "range_partition", "make_shard_plan"]
+
+#: Shard modes accepted throughout :mod:`repro.parallel`.
+SHARD_MODES = ("hash", "range")
+
+# splitmix64 finalizer constants (Steele, Lea & Flood 2014) — a fixed,
+# seedless 64-bit mix so shard placement never depends on any RNG state.
+_C1 = np.uint64(0x9E3779B97F4A7C15)
+_C2 = np.uint64(0xBF58476D1CE4E5B9)
+_C3 = np.uint64(0x94D049BB133111EB)
+_S30 = np.uint64(30)
+_S27 = np.uint64(27)
+_S31 = np.uint64(31)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One executed partitioning: the mode and the per-shard key arrays."""
+
+    mode: str
+    parts: tuple
+
+    @property
+    def shards(self) -> int:
+        """Number of shards in the plan."""
+        return len(self.parts)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Tuples per shard, in shard order."""
+        return np.asarray([part.size for part in self.parts], dtype=np.int64)
+
+    def __repr__(self) -> str:
+        return f"ShardPlan(mode={self.mode!r}, counts={self.counts.tolist()})"
+
+
+def _validate_keys(keys) -> np.ndarray:
+    keys = np.asarray(keys)
+    if keys.ndim != 1:
+        raise DomainError(f"keys must be 1-D, got shape {keys.shape}")
+    if keys.size and not np.issubdtype(keys.dtype, np.integer):
+        raise DomainError("shard partitioning needs integer keys")
+    return keys.astype(np.int64, copy=False)
+
+
+def _mix64(values: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer over a uint64 view of *values*."""
+    z = values.astype(np.uint64) + _C1
+    z = (z ^ (z >> _S30)) * _C2
+    z = (z ^ (z >> _S27)) * _C3
+    return z ^ (z >> _S31)
+
+
+def shard_ids(keys, shards: int) -> np.ndarray:
+    """The hash-mode shard id of every key (``splitmix64(key) mod shards``)."""
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    keys = _validate_keys(keys)
+    if keys.size == 0:
+        return np.empty(0, dtype=np.int64)
+    return (_mix64(keys) % np.uint64(shards)).astype(np.int64)
+
+
+def hash_partition(keys, shards: int) -> list:
+    """Split *keys* into *shards* arrays by hashed key, order-preserving.
+
+    Every occurrence of a key goes to the same shard; within a shard the
+    original arrival order is preserved (stable partitioning).
+    """
+    keys = _validate_keys(keys)
+    ids = shard_ids(keys, shards)
+    if keys.size == 0:
+        return [np.empty(0, dtype=np.int64) for _ in range(shards)]
+    order = np.argsort(ids, kind="stable")
+    bounds = np.cumsum(np.bincount(ids, minlength=shards), dtype=np.int64)
+    return np.split(keys[order], bounds[:-1])
+
+
+def range_partition(keys, shards: int) -> list:
+    """Split *keys* into *shards* contiguous, near-equal arrival-order slices."""
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    keys = _validate_keys(keys)
+    return list(np.array_split(keys, shards))
+
+
+def make_shard_plan(keys, shards: int, *, mode: str = "hash") -> ShardPlan:
+    """Partition *keys* into a :class:`ShardPlan` using *mode*."""
+    if mode not in SHARD_MODES:
+        raise ConfigurationError(
+            f"unknown shard mode {mode!r}; expected one of {SHARD_MODES}"
+        )
+    parts = hash_partition(keys, shards) if mode == "hash" else range_partition(keys, shards)
+    return ShardPlan(mode=mode, parts=tuple(parts))

@@ -1,0 +1,175 @@
+"""Per-shard execution: the function that runs inside each pool worker.
+
+A shard travels to its worker as a :class:`ShardTask` — plain data only
+(key array, serialized sketch header, rate, and the *spawned* seed-sequence
+coordinates for this shard's shedder), so the task pickles cheaply and the
+worker reconstructs everything deterministically.  The worker drives a
+:class:`~repro.resilience.runtime.StreamRuntime` over the shard's chunks,
+inheriting the whole resilience stack for free:
+
+* each shard checkpoints through its own
+  :class:`~repro.resilience.checkpoint.CheckpointManager` under
+  ``<checkpoint_dir>/shard-NNN``;
+* a killed worker is re-run with ``resume=True`` and recovers from its
+  newest snapshot, replaying the shard from the start — already-applied
+  chunks are skipped by sequence number, so the resumed counters are
+  bit-identical to an uninterrupted shard run;
+* the chaos harness (:mod:`repro.resilience.chaos`) plugs straight in for
+  kill-a-worker tests.
+
+Results travel back as a :class:`ShardResult` — counters plus the shard's
+sample accounting (seen/kept/rate), which the coordinator aggregates into
+per-shard :class:`~repro.sampling.base.SampleInfo` records for the
+combined-estimator correction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..errors import CheckpointError, ConfigurationError
+from ..kernels import set_backend
+from ..resilience.chaos import ChaosInjector
+from ..resilience.runtime import StreamRuntime, envelope_stream
+from ..sampling.base import SampleInfo
+from ..sketches.serialization import build_sketch
+from ..streams.base import iter_chunks
+
+__all__ = ["ShardTask", "ShardResult", "run_shard", "PartialUpdateTask", "run_partial_update"]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs to sketch one shard, as plain data.
+
+    ``seed_entropy``/``seed_spawn_key`` are the coordinates of a child
+    :class:`numpy.random.SeedSequence` *already spawned by the
+    coordinator* — the worker reconstructs it verbatim, so every shard's
+    shedder draws from an independent, reproducible substream no matter
+    which process (or how many retries) executes it.
+    """
+
+    index: int
+    keys: np.ndarray
+    header: dict
+    p: float = 1.0
+    seed_entropy: Optional[int] = None
+    seed_spawn_key: tuple = ()
+    chunk_size: int = 4096
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 16
+    resume: bool = False
+    backend: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One shard's sketch state plus its sampling ledger."""
+
+    index: int
+    counters: np.ndarray
+    seen: int
+    kept: int
+    p: float
+
+    def info(self) -> SampleInfo:
+        """This shard's sample accounting as a :class:`SampleInfo`."""
+        return SampleInfo(
+            scheme="bernoulli",
+            population_size=self.seen,
+            sample_size=self.kept,
+            probability=self.p,
+        )
+
+
+def _shard_seed(task: ShardTask):
+    if task.seed_entropy is None:
+        return None
+    return np.random.SeedSequence(
+        task.seed_entropy, spawn_key=tuple(task.seed_spawn_key)
+    )
+
+
+def _shard_checkpoint_dir(task: ShardTask) -> Optional[Path]:
+    if task.checkpoint_dir is None:
+        return None
+    return Path(task.checkpoint_dir) / f"shard-{task.index:03d}"
+
+
+def _build_runtime(task: ShardTask) -> StreamRuntime:
+    directory = _shard_checkpoint_dir(task)
+    if task.resume:
+        if directory is None:
+            raise ConfigurationError(
+                "cannot resume a shard that was run without a checkpoint_dir"
+            )
+        try:
+            return StreamRuntime.recover(
+                directory, checkpoint_every=task.checkpoint_every
+            )
+        except CheckpointError:
+            # Killed before the first snapshot landed — start clean.
+            pass
+    return StreamRuntime(
+        build_sketch(task.header),
+        p=task.p,
+        seed=_shard_seed(task),
+        checkpoint_dir=directory,
+        checkpoint_every=task.checkpoint_every,
+    )
+
+
+def run_shard(task: ShardTask, *, injector: Optional[ChaosInjector] = None) -> ShardResult:
+    """Sketch one shard end to end; runs inside a pool worker.
+
+    With *injector* set (tests only), envelopes pass through the chaos
+    harness and a :class:`~repro.resilience.chaos.SimulatedCrash` may
+    escape mid-shard — exactly what a killed worker looks like to the
+    coordinator, which then resubmits the task with ``resume=True``.
+    """
+    if task.backend is not None:
+        set_backend(task.backend)
+    runtime = _build_runtime(task)
+    keys = np.asarray(task.keys, dtype=np.int64)
+    envelopes = envelope_stream(iter_chunks(keys, task.chunk_size))
+    if injector is not None:
+        envelopes = injector.wrap(envelopes)
+    runtime.run(envelopes)
+    return ShardResult(
+        index=task.index,
+        counters=np.array(runtime.sketch._state(), copy=True),
+        seen=runtime.sketcher.seen,
+        kept=runtime.sketcher.kept,
+        p=runtime.sketcher.rate,
+    )
+
+
+# ----------------------------------------------------------------------
+# Lightweight path for engine integration: no shedding, no checkpoints —
+# just "sketch these keys and hand back the counters".
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartialUpdateTask:
+    """A plain bulk-update of one shard into a fresh sketch."""
+
+    index: int
+    keys: np.ndarray
+    header: dict
+    backend: Optional[str] = None
+
+
+def run_partial_update(task: PartialUpdateTask) -> np.ndarray:
+    """Sketch one shard without shedding; returns the counter array."""
+    if task.backend is not None:
+        set_backend(task.backend)
+    sketch = build_sketch(task.header)
+    keys = np.asarray(task.keys, dtype=np.int64)
+    if keys.size:
+        sketch.update(keys)
+    return np.array(sketch._state(), copy=True)

@@ -176,6 +176,9 @@ class AgmsSketch(Sketch):
     def _state(self) -> np.ndarray:
         return self._counters
 
+    def _family_fingerprint(self) -> tuple:
+        return super()._family_fingerprint() + (self.sign_family,)
+
     def __repr__(self) -> str:
         return (
             f"AgmsSketch(rows={self.rows}, combine={self.combine!r}, "

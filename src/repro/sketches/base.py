@@ -32,7 +32,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..errors import DomainError, IncompatibleSketchError
+from ..errors import DomainError, IncompatibleSketchError, MergeError
 from ..frequency import FrequencyVector
 
 __all__ = ["Sketch", "join_size", "self_join_size"]
@@ -113,9 +113,59 @@ class Sketch(abc.ABC):
         self._state()[...] = 0
 
     def merge(self, other: "Sketch") -> None:
-        """Add *other* into this sketch in place (multiset union of streams)."""
-        self.check_compatible(other)
+        """Add *other* into this sketch in place (multiset union of streams).
+
+        Raises :class:`~repro.errors.MergeError` unless *other* passes the
+        full mergeability validation of :meth:`check_mergeable` — merging
+        sketches whose hash families differ would silently corrupt every
+        later estimate, so the check is strict.
+        """
+        self.check_mergeable(other)
         self._state()[...] += other._state()
+
+    def check_mergeable(self, other: "Sketch") -> None:
+        """Raise :class:`~repro.errors.MergeError` unless *other* can be merged.
+
+        Validates, in order: the concrete sketch type, the counter-array
+        shape, the derived seed id, and the full hash-family fingerprint
+        (root seed entropy, spawn key, and any family kind the subclass
+        declares via :meth:`_family_fingerprint`).  The fingerprint check
+        catches mismatches the cheap ``seed_id`` comparison cannot — e.g.
+        two sketches built from the same seed but with different sign
+        families occupy identical shapes yet hash keys differently.
+        """
+        if type(self) is not type(other):
+            raise MergeError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}"
+            )
+        if self._state().shape != other._state().shape:
+            raise MergeError(
+                f"sketch shapes differ: {self._state().shape} vs "
+                f"{other._state().shape}"
+            )
+        if self.seed_id != other.seed_id:
+            raise MergeError(
+                "sketches were built with different seeds (different random "
+                "families); merging them would produce garbage counters"
+            )
+        if self._family_fingerprint() != other._family_fingerprint():
+            raise MergeError(
+                "sketches share a seed id but not a hash-family construction "
+                f"({self._family_fingerprint()} vs {other._family_fingerprint()}); "
+                "merging them would produce garbage counters"
+            )
+
+    def _family_fingerprint(self) -> tuple:
+        """Hashable description of the random-family construction.
+
+        Subclasses extend this with whatever else determines their hash
+        families (e.g. the sign-family kind); two sketches are mergeable
+        only when their fingerprints compare equal.
+        """
+        entropy = getattr(self, "seed_entropy", None)
+        if isinstance(entropy, list):
+            entropy = tuple(entropy)
+        return (entropy, tuple(getattr(self, "seed_spawn_key", ())))
 
     def check_compatible(self, other: "Sketch") -> None:
         """Raise unless *other* shares this sketch's type, shape, and seeds."""

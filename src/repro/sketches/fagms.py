@@ -179,6 +179,9 @@ class FagmsSketch(Sketch):
     def _state(self) -> np.ndarray:
         return self._counters
 
+    def _family_fingerprint(self) -> tuple:
+        return super()._family_fingerprint() + (self.sign_family,)
+
     def __repr__(self) -> str:
         return (
             f"FagmsSketch(buckets={self.buckets}, rows={self.rows}, "

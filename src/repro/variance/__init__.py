@@ -44,6 +44,7 @@ from .generic import (
 from .sampling import (
     bernoulli_join_variance,
     bernoulli_self_join_variance,
+    sharded_bernoulli_self_join_variance,
     wor_join_variance,
     wr_join_variance,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "averaged_agms_self_join_variance",
     "bernoulli_join_variance",
     "bernoulli_self_join_variance",
+    "sharded_bernoulli_self_join_variance",
     "wr_join_variance",
     "wor_join_variance",
     "sampling_join_variance",

@@ -17,7 +17,7 @@ exact distribution moments.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Union
+from typing import Sequence, Union
 
 from ..frequency import FrequencyVector
 from ..sampling.coefficients import SamplingCoefficients
@@ -25,6 +25,7 @@ from ..sampling.coefficients import SamplingCoefficients
 __all__ = [
     "bernoulli_join_variance",
     "bernoulli_self_join_variance",
+    "sharded_bernoulli_self_join_variance",
     "wr_join_variance",
     "wor_join_variance",
 ]
@@ -62,6 +63,30 @@ def bernoulli_self_join_variance(f: FrequencyVector, p: NumberLike) -> Fraction:
         4 * p**2 * f.f3
         + 2 * p * (1 - 3 * p) * f.f2
         - p * (2 - 3 * p) * f.f1
+    )
+
+
+def sharded_bernoulli_self_join_variance(
+    shard_frequencies: Sequence[FrequencyVector], p: NumberLike
+) -> Fraction:
+    """Variance of the sharded Bernoulli self-join estimator (Eq. 7, summed).
+
+    The parallel engine's hash mode partitions the key *domain*: shard
+    frequency vectors have disjoint supports, and each shard sheds its
+    tuples with an independent Bernoulli(p) substream.  The combined
+    estimator is the sum of the per-shard unbiased estimators, so its
+    variance is the sum of the per-shard Eq. 7 variances — and because
+    Eq. 7 is *linear* in the power sums ``F₁``, ``F₂``, ``F₃``, which
+    themselves add across disjoint supports, that sum telescopes to
+    exactly :func:`bernoulli_self_join_variance` of the whole stream.
+    This function computes the per-shard sum directly; the telescoping
+    identity is enforced in ``tests/parallel/test_partition.py``.
+    """
+    if not shard_frequencies:
+        raise ValueError("sharded variance needs at least one shard")
+    return sum(
+        (bernoulli_self_join_variance(f, p) for f in shard_frequencies),
+        start=Fraction(0),
     )
 
 

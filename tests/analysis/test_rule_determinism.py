@@ -65,6 +65,46 @@ class TestRep001Triggers:
         )
         assert len(findings) == 2
 
+    def test_pid_seeding_is_flagged(self, run_rule):
+        # The classic multiprocessing bug: per-worker seeds from the pid.
+        findings = run_rule(
+            """
+            import os
+
+            def worker_seed():
+                return os.getpid()
+            """,
+            "REP001",
+        )
+        assert len(findings) == 1
+        assert "ambient entropy" in findings[0].message
+        assert "SeedSequence" in findings[0].message
+
+    def test_clock_and_uuid_seeding_are_flagged(self, run_rule):
+        findings = run_rule(
+            """
+            import time
+            import uuid
+
+            seed = int(time.time()) ^ uuid.uuid4().int
+            """,
+            "REP001",
+        )
+        assert len(findings) == 2
+
+    def test_os_urandom_and_secrets_are_flagged(self, run_rule):
+        findings = run_rule(
+            """
+            import os
+            import secrets
+
+            a = os.urandom(8)
+            b = secrets.randbits(64)
+            """,
+            "REP001",
+        )
+        assert len(findings) == 2
+
 
 class TestRep001Passes:
     def test_as_generator_threading_is_clean(self, run_rule):
@@ -106,6 +146,38 @@ class TestRep001Passes:
             """,
             "REP001",
             rel_path="src/repro/rng.py",
+        )
+        assert findings == []
+
+    def test_monotonic_timers_are_clean(self, run_rule):
+        # Costing chunks with perf_counter is legitimate; only wall-clock
+        # *entropy* is banned.
+        findings = run_rule(
+            """
+            import time
+
+            started = time.perf_counter()
+            elapsed = time.monotonic() - started
+            """,
+            "REP001",
+        )
+        assert findings == []
+
+    def test_spawned_seed_sequences_are_clean(self, run_rule):
+        # The sanctioned multiprocessing pattern: coordinator-spawned
+        # SeedSequence substreams reconstructed in the worker.
+        findings = run_rule(
+            """
+            import numpy as np
+            from repro.rng import as_seed_sequence
+
+            def shard_seeds(seed, shards):
+                return as_seed_sequence(seed).spawn(shards)
+
+            def rebuild(entropy, spawn_key):
+                return np.random.SeedSequence(entropy, spawn_key=spawn_key)
+            """,
+            "REP001",
         )
         assert findings == []
 

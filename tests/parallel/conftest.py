@@ -1,0 +1,40 @@
+"""Shared fixtures for the parallel-engine suite.
+
+``REPRO_PARALLEL_WORKERS`` sets the process-pool width used by the
+multiprocess tests (CI sets 2; the default of 2 also keeps local runs
+honest about crossing a real process boundary even on small machines).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel import WorkerPool
+
+
+def _worker_count() -> int:
+    return int(os.environ.get("REPRO_PARALLEL_WORKERS", "2"))
+
+
+@pytest.fixture(scope="module")
+def process_pool():
+    """One real multiprocess pool shared across a test module."""
+    with WorkerPool(_worker_count()) as pool:
+        yield pool
+
+
+@pytest.fixture
+def inline_pool():
+    """The synchronous in-process fallback pool."""
+    with WorkerPool(0) as pool:
+        yield pool
+
+
+@pytest.fixture
+def skewed_keys() -> np.ndarray:
+    """A deterministic mid-sized skewed key stream."""
+    rng = np.random.default_rng(0xBEEF)
+    return rng.zipf(1.2, size=40_000).clip(0, 4_999).astype(np.int64)

@@ -1,0 +1,155 @@
+"""Partitioner invariants: determinism, order preservation, completeness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DomainError
+from repro.frequency import FrequencyVector
+from repro.parallel import (
+    hash_partition,
+    make_shard_plan,
+    range_partition,
+    shard_ids,
+)
+from repro.variance import (
+    bernoulli_self_join_variance,
+    sharded_bernoulli_self_join_variance,
+)
+
+
+@pytest.fixture
+def keys() -> np.ndarray:
+    rng = np.random.default_rng(11)
+    return rng.integers(0, 300, size=5_000)
+
+
+# ----------------------------------------------------------------------
+# shard_ids / hash mode
+# ----------------------------------------------------------------------
+
+
+def test_shard_ids_deterministic(keys):
+    a = shard_ids(keys, 4)
+    b = shard_ids(keys.copy(), 4)
+    assert np.array_equal(a, b)
+
+
+def test_shard_ids_key_consistent(keys):
+    """Every occurrence of a key maps to the same shard."""
+    ids = shard_ids(keys, 4)
+    mapping = {}
+    for key, sid in zip(keys.tolist(), ids.tolist()):
+        assert mapping.setdefault(key, sid) == sid
+
+
+def test_shard_ids_range(keys):
+    ids = shard_ids(keys, 7)
+    assert ids.min() >= 0 and ids.max() < 7
+
+
+def test_shard_ids_spread():
+    """splitmix64 spreads even consecutive keys roughly evenly."""
+    counts = np.bincount(shard_ids(np.arange(40_000), 4), minlength=4)
+    assert counts.min() > 8_000
+
+
+def test_hash_partition_is_a_partition(keys):
+    parts = hash_partition(keys, 5)
+    assert sum(p.size for p in parts) == keys.size
+    rebuilt = np.sort(np.concatenate(parts))
+    assert np.array_equal(rebuilt, np.sort(keys))
+
+
+def test_hash_partition_disjoint_supports(keys):
+    parts = hash_partition(keys, 5)
+    supports = [set(np.unique(p).tolist()) for p in parts]
+    for i in range(len(supports)):
+        for j in range(i + 1, len(supports)):
+            assert not (supports[i] & supports[j])
+
+
+def test_hash_partition_preserves_order(keys):
+    """Within a shard, tuples appear in original arrival order."""
+    parts = hash_partition(keys, 3)
+    ids = shard_ids(keys, 3)
+    for sid, part in enumerate(parts):
+        assert np.array_equal(part, keys[ids == sid])
+
+
+def test_hash_partition_single_shard(keys):
+    (only,) = hash_partition(keys, 1)
+    assert np.array_equal(only, keys)
+
+
+def test_hash_partition_empty():
+    parts = hash_partition(np.empty(0, dtype=np.int64), 3)
+    assert len(parts) == 3 and all(p.size == 0 for p in parts)
+
+
+# ----------------------------------------------------------------------
+# range mode
+# ----------------------------------------------------------------------
+
+
+def test_range_partition_contiguous(keys):
+    parts = range_partition(keys, 4)
+    assert np.array_equal(np.concatenate(parts), keys)
+    sizes = [p.size for p in parts]
+    assert max(sizes) - min(sizes) <= 1
+
+
+# ----------------------------------------------------------------------
+# plans and validation
+# ----------------------------------------------------------------------
+
+
+def test_make_shard_plan_counts(keys):
+    plan = make_shard_plan(keys, 4, mode="hash")
+    assert plan.shards == 4
+    assert plan.counts.sum() == keys.size
+    assert plan.mode == "hash"
+
+
+def test_make_shard_plan_rejects_unknown_mode(keys):
+    with pytest.raises(ConfigurationError):
+        make_shard_plan(keys, 4, mode="roundrobin")
+
+
+def test_partition_rejects_bad_shards(keys):
+    with pytest.raises(ConfigurationError):
+        hash_partition(keys, 0)
+    with pytest.raises(ConfigurationError):
+        range_partition(keys, -1)
+
+
+def test_partition_rejects_float_keys():
+    with pytest.raises(DomainError):
+        hash_partition(np.array([1.5, 2.5]), 2)
+
+
+def test_partition_rejects_2d_keys():
+    with pytest.raises(DomainError):
+        range_partition(np.zeros((2, 2), dtype=np.int64), 2)
+
+
+# ----------------------------------------------------------------------
+# per-shard variance accounting telescopes (hash mode)
+# ----------------------------------------------------------------------
+
+
+def test_sharded_variance_telescopes_to_whole_stream(keys):
+    """Eq. 7 is linear in F1/F2/F3, so disjoint-shard variances sum exactly."""
+    whole = FrequencyVector(np.bincount(keys, minlength=300))
+    parts = hash_partition(keys, 4)
+    shard_fvs = [FrequencyVector(np.bincount(p, minlength=300)) for p in parts]
+    p = 0.2
+    assert sharded_bernoulli_self_join_variance(
+        shard_fvs, p
+    ) == bernoulli_self_join_variance(whole, p)
+
+
+def test_sharded_variance_needs_shards():
+    with pytest.raises(ValueError):
+        sharded_bernoulli_self_join_variance([], 0.5)

@@ -70,6 +70,7 @@ def test_distributed_sketching(capsys):
     out = _run("distributed_sketching", capsys)
     assert "coordinator estimate" in out
     assert "relative error" in out
+    assert "bit-identical to sequential: True" in out
 
 
 @pytest.mark.slow

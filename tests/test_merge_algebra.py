@@ -1,0 +1,201 @@
+"""Merge algebra: sketches form a commutative monoid under merge.
+
+Linearity is the algebraic foundation of both distributed sketching and
+the parallel engine, so it is tested as algebra: associativity,
+commutativity, and the empty-sketch identity, for every sketch type and
+every kernel backend — plus the hardened ``check_mergeable`` validation
+raising typed :class:`~repro.errors.MergeError` on every incompatibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import IncompatibleSketchError, MergeError
+from repro.kernels import available_backends, use_backend
+from repro.sketches.agms import AgmsSketch
+from repro.sketches.base import Sketch
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.fagms import FagmsSketch
+
+SEED = 404
+
+
+def _usable_backends() -> list:
+    usable = []
+    for name in available_backends():
+        try:
+            with use_backend(name):
+                pass
+        except Exception:
+            continue
+        usable.append(name)
+    return usable
+
+
+def _make(kind: str) -> Sketch:
+    if kind == "agms":
+        return AgmsSketch(16, seed=SEED)
+    if kind == "fagms":
+        return FagmsSketch(64, rows=3, seed=SEED)
+    return CountMinSketch(64, rows=3, seed=SEED)
+
+
+SKETCH_KINDS = ("agms", "fagms", "countmin")
+
+
+@pytest.fixture
+def streams() -> tuple:
+    rng = np.random.default_rng(0xA1)
+    return tuple(rng.integers(0, 500, size=3_000) for _ in range(3))
+
+
+def _sketch_of(kind: str, keys) -> Sketch:
+    sketch = _make(kind)
+    sketch.update(keys)
+    return sketch
+
+
+# ----------------------------------------------------------------------
+# Monoid laws, per sketch type x kernel backend
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", _usable_backends())
+@pytest.mark.parametrize("kind", SKETCH_KINDS)
+def test_merge_is_associative(streams, kind, backend):
+    with use_backend(backend):
+        a_keys, b_keys, c_keys = streams
+        left = _sketch_of(kind, a_keys)
+        left.merge(_sketch_of(kind, b_keys))
+        left.merge(_sketch_of(kind, c_keys))
+        bc = _sketch_of(kind, b_keys)
+        bc.merge(_sketch_of(kind, c_keys))
+        right = _sketch_of(kind, a_keys)
+        right.merge(bc)
+        assert np.array_equal(left._state(), right._state())
+
+
+@pytest.mark.parametrize("backend", _usable_backends())
+@pytest.mark.parametrize("kind", SKETCH_KINDS)
+def test_merge_is_commutative(streams, kind, backend):
+    with use_backend(backend):
+        a_keys, b_keys, _ = streams
+        ab = _sketch_of(kind, a_keys)
+        ab.merge(_sketch_of(kind, b_keys))
+        ba = _sketch_of(kind, b_keys)
+        ba.merge(_sketch_of(kind, a_keys))
+        assert np.array_equal(ab._state(), ba._state())
+
+
+@pytest.mark.parametrize("backend", _usable_backends())
+@pytest.mark.parametrize("kind", SKETCH_KINDS)
+def test_empty_sketch_is_identity(streams, kind, backend):
+    with use_backend(backend):
+        keys = streams[0]
+        merged = _sketch_of(kind, keys)
+        merged.merge(_make(kind))  # right identity
+        assert np.array_equal(merged._state(), _sketch_of(kind, keys)._state())
+        identity = _make(kind)  # left identity
+        identity.merge(_sketch_of(kind, keys))
+        assert np.array_equal(
+            identity._state(), _sketch_of(kind, keys)._state()
+        )
+
+
+@pytest.mark.parametrize("backend", _usable_backends())
+@pytest.mark.parametrize("kind", SKETCH_KINDS)
+def test_merged_sketch_equals_whole_stream_sketch(streams, kind, backend):
+    """sketch(A) + sketch(B) + sketch(C) == sketch(A ++ B ++ C), bitwise."""
+    with use_backend(backend):
+        merged = _make(kind)
+        for keys in streams:
+            merged.merge(_sketch_of(kind, keys))
+        whole = _sketch_of(kind, np.concatenate(streams))
+        assert np.array_equal(merged._state(), whole._state())
+
+
+@pytest.mark.parametrize("kind", SKETCH_KINDS)
+def test_merged_estimates_match_whole_stream(streams, kind):
+    """Estimates from merged and whole-stream sketches agree exactly."""
+    merged = _make(kind)
+    for keys in streams:
+        merged.merge(_sketch_of(kind, keys))
+    whole = _sketch_of(kind, np.concatenate(streams))
+    if kind == "countmin":
+        assert merged.point_estimate(7) == whole.point_estimate(7)
+    else:
+        assert merged.second_moment() == whole.second_moment()
+
+
+# ----------------------------------------------------------------------
+# Hardened validation: typed MergeError on every incompatibility
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", SKETCH_KINDS)
+def test_merge_rejects_different_type(kind):
+    sketch = _make(kind)
+    other = AgmsSketch(16, seed=SEED) if kind != "agms" else FagmsSketch(64, rows=3, seed=SEED)
+    with pytest.raises(MergeError):
+        sketch.merge(other)
+
+
+def test_merge_rejects_different_shape():
+    with pytest.raises(MergeError):
+        FagmsSketch(64, rows=3, seed=SEED).merge(FagmsSketch(32, rows=3, seed=SEED))
+    with pytest.raises(MergeError):
+        AgmsSketch(16, seed=SEED).merge(AgmsSketch(8, seed=SEED))
+    with pytest.raises(MergeError):
+        CountMinSketch(64, rows=3, seed=SEED).merge(CountMinSketch(64, rows=2, seed=SEED))
+
+
+@pytest.mark.parametrize("kind", SKETCH_KINDS)
+def test_merge_rejects_different_seed(kind):
+    sketch = _make(kind)
+    other = type(sketch)
+    if kind == "agms":
+        mismatched = AgmsSketch(16, seed=SEED + 1)
+    elif kind == "fagms":
+        mismatched = FagmsSketch(64, rows=3, seed=SEED + 1)
+    else:
+        mismatched = CountMinSketch(64, rows=3, seed=SEED + 1)
+    assert isinstance(mismatched, other)
+    with pytest.raises(MergeError):
+        sketch.merge(mismatched)
+
+
+@pytest.mark.parametrize("maker", [
+    lambda sf: AgmsSketch(16, seed=SEED, sign_family=sf),
+    lambda sf: FagmsSketch(64, rows=3, seed=SEED, sign_family=sf),
+])
+def test_merge_rejects_different_sign_family(maker):
+    """Same seed, same shape, different ξ construction: still rejected."""
+    with pytest.raises(MergeError):
+        maker("fourwise").merge(maker("eh3"))
+
+
+def test_merge_error_is_incompatible_sketch_error():
+    """Existing guards catching the broader class keep working."""
+    with pytest.raises(IncompatibleSketchError):
+        AgmsSketch(16, seed=1).merge(AgmsSketch(16, seed=2))
+
+
+@pytest.mark.parametrize("kind", SKETCH_KINDS)
+def test_failed_merge_leaves_counters_untouched(streams, kind):
+    sketch = _sketch_of(kind, streams[0])
+    before = sketch._state().copy()
+    with pytest.raises(MergeError):
+        sketch.merge(
+            FagmsSketch(16, rows=1, seed=SEED)
+            if kind != "fagms"
+            else AgmsSketch(4, seed=SEED)
+        )
+    assert np.array_equal(sketch._state(), before)
+
+
+def test_check_mergeable_passes_for_compatible(streams):
+    a = _sketch_of("fagms", streams[0])
+    b = _sketch_of("fagms", streams[1])
+    a.check_mergeable(b)  # no raise
