@@ -10,6 +10,7 @@ variable: ``small`` (default; seconds), ``default`` (minutes), or
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -18,6 +19,7 @@ import pytest
 from repro.experiments import ExperimentScale
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 _SCALES = {
     "small": ExperimentScale.small,
@@ -45,5 +47,23 @@ def save_result():
     def _save(name: str, text: str) -> None:
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
         print(f"\n{text}\n")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_bench():
+    """Persist a machine-readable ``BENCH_<name>.json`` baseline.
+
+    The canonical copy lives in ``benchmarks/results/``; a byte-identical
+    mirror is written to the repository root so baselines are visible
+    without digging (the convention ``docs/PERFORMANCE.md`` documents).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, records) -> None:
+        payload = json.dumps(records, indent=2) + "\n"
+        (RESULTS_DIR / f"BENCH_{name}.json").write_text(payload)
+        (REPO_ROOT / f"BENCH_{name}.json").write_text(payload)
 
     return _save

@@ -2,8 +2,9 @@
 
 Measures bulk-update throughput for each sketch through every available
 kernel backend and writes both a human-readable table and the
-machine-readable ``benchmarks/results/BENCH_kernels.json`` baseline
-(records of ``{sketch, batch, backend, tuples_per_sec}``) that
+machine-readable ``BENCH_kernels.json`` baseline — records of
+``{sketch, batch, backend, tuples_per_sec}``, written to
+``benchmarks/results/`` and mirrored at the repo root — that
 ``docs/PERFORMANCE.md`` explains how to read.
 
 The ``smoke`` test is the CI perf gate: tiny batches, asserting the
@@ -11,9 +12,7 @@ default numpy backend never regresses below 0.8× the legacy reference
 path.  The full matrix is for humans and the committed baseline.
 """
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -21,8 +20,6 @@ import pytest
 from repro.experiments.report import format_table
 from repro.kernels import native_available, use_backend
 from repro.sketches import AgmsSketch, CountMinSketch, FagmsSketch
-
-RESULTS_DIR = Path(__file__).parent / "results"
 
 SKETCHES = {
     "fagms": lambda seed: FagmsSketch(1024, 1, seed=seed),
@@ -49,7 +46,7 @@ def _throughput(factory, backend, batch, reps=5, seed=7):
     return batch / best
 
 
-def test_kernel_throughput_matrix(save_result):
+def test_kernel_throughput_matrix(save_result, save_bench):
     batch = 65_536
     records = []
     for sketch_name, factory in SKETCHES.items():
@@ -63,10 +60,7 @@ def test_kernel_throughput_matrix(save_result):
                 }
             )
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_kernels.json").write_text(
-        json.dumps(records, indent=2) + "\n"
-    )
+    save_bench("kernels", records)
 
     by_key = {(r["sketch"], r["backend"]): r["tuples_per_sec"] for r in records}
     rows = [

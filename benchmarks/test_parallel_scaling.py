@@ -2,9 +2,10 @@
 
 Measures wall-clock time for ``parallel_update`` of a large skewed stream
 into a bulk F-AGMS sketch at 1, 2, and 4 workers and writes the
-machine-readable ``benchmarks/results/BENCH_parallel.json`` baseline
-(records of ``{workers, shards, seconds, tuples_per_sec, speedup_vs_1,
-cpus}``), plus a human-readable table.
+machine-readable ``BENCH_parallel.json`` baseline — records of
+``{workers, shards, seconds, tuples_per_sec, speedup_vs_1, cpus}``,
+written to ``benchmarks/results/`` and mirrored at the repo root —
+plus a human-readable table.
 
 The speedup gate asserts ≥ 1.6× at 4 workers over the single-worker run.
 Speedup is physically impossible without cores to run on, so the gate —
@@ -13,9 +14,7 @@ CPUs; the JSON baseline is written either way, recording the CPU count so
 a reader can interpret the numbers.
 """
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -23,8 +22,6 @@ import pytest
 from repro.experiments.report import format_table
 from repro.parallel import WorkerPool, available_cpus, parallel_update
 from repro.sketches import FagmsSketch
-
-RESULTS_DIR = Path(__file__).parent / "results"
 
 WORKER_STEPS = (1, 2, 4)
 TUPLES = 1_200_000
@@ -55,7 +52,7 @@ def _time_run(keys, workers: int) -> float:
     return best
 
 
-def test_parallel_scaling(save_result):
+def test_parallel_scaling(save_result, save_bench):
     keys = _keys()
     cpus = available_cpus()
 
@@ -75,10 +72,7 @@ def test_parallel_scaling(save_result):
     for record in records:
         record["speedup_vs_1"] = round(base / record["seconds"], 3)
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_parallel.json").write_text(
-        json.dumps(records, indent=2) + "\n"
-    )
+    save_bench("parallel", records)
     save_result(
         "parallel_scaling",
         format_table(

@@ -29,6 +29,7 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.engine` — online aggregation
 * :mod:`repro.resilience` — fault-tolerant streaming runtime
 * :mod:`repro.parallel` — sharded multiprocess sketching engine
+* :mod:`repro.observability` — metrics, tracing, profiling, exporters
 * :mod:`repro.experiments` — harness regenerating Figs 1–8
 """
 
@@ -64,6 +65,7 @@ from .errors import (
     SerializationError,
     StreamIntegrityError,
 )
+from .observability import NULL_OBSERVER, Observer
 from .parallel import (
     ShardedScanResult,
     WorkerPool,
@@ -190,6 +192,9 @@ __all__ = [
     "StreamRuntime",
     "ChaosInjector",
     "SimulatedCrash",
+    # observability
+    "Observer",
+    "NULL_OBSERVER",
     # parallel
     "WorkerPool",
     "ShardedScanResult",

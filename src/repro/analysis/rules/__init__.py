@@ -11,6 +11,7 @@ from .determinism import DeterminismRule
 from .dtype_safety import DtypeSafetyRule
 from .estimator_contract import EstimatorContractRule
 from .float_equality import FloatEqualityRule
+from .naming import MetricNameRule
 
 __all__ = [
     "ApiConsistencyRule",
@@ -18,4 +19,5 @@ __all__ = [
     "DtypeSafetyRule",
     "EstimatorContractRule",
     "FloatEqualityRule",
+    "MetricNameRule",
 ]

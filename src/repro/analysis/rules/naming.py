@@ -1,0 +1,123 @@
+"""REP006 — observability names are static lowercase dotted literals.
+
+The observability layer aggregates metrics and spans across processes by
+*name*: the coordinator merges worker registries key-by-key, exporters
+sort by name, and dashboards/tests address series by exact string.  A
+name assembled at a call site (``obs.counter(f"rows.{relation}")``)
+explodes the keyspace, defeats cross-process aggregation (each shard
+invents its own series), and hides typos until export time.  Dynamic
+dimensions belong in **labels** (``obs.counter("engine.rows.consumed",
+relation=name)``), never in the name.
+
+The rule inspects every ``.counter(...)`` / ``.gauge(...)`` /
+``.histogram(...)`` / ``.span(...)`` attribute call and flags a name
+argument that is
+
+* an f-string (``JoinedStr``),
+* string concatenation or ``%`` formatting (``BinOp``),
+* a ``"...".format(...)`` call, or
+* a string literal that fails the canonical grammar
+  ``segment(.segment)+`` with ``segment = [a-z][a-z0-9_]*`` (the same
+  pattern :func:`repro.observability.validate_metric_name` enforces at
+  runtime — this rule catches it before the code runs).
+
+Non-literal names that are plain variables are allowed (the runtime
+check still guards them); tests are excluded by configuration because
+they exercise the validator with deliberately bad names.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from ..registry import FileContext, Finding, Rule, register_rule
+
+__all__ = ["MetricNameRule"]
+
+#: Instrument-factory attribute names whose first argument is a metric
+#: or span name.
+_INSTRUMENT_METHODS = frozenset({"counter", "gauge", "histogram", "span"})
+
+#: Mirror of ``repro.observability.metrics._NAME_PATTERN`` (kept literal
+#: here so the analysis package stays import-free of the code it lints).
+_NAME_PATTERN = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+
+def _name_argument(node: ast.Call) -> Optional[ast.expr]:
+    if node.args:
+        return node.args[0]
+    for keyword in node.keywords:
+        if keyword.arg == "name":
+            return keyword.value
+    return None
+
+
+def _dynamic_build(node: ast.expr) -> Optional[str]:
+    """How the expression assembles a string at runtime, or ``None``."""
+    if isinstance(node, ast.JoinedStr):
+        return "an f-string"
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Mod)):
+        for side in (node.left, node.right):
+            if isinstance(side, ast.Constant) and isinstance(side.value, str):
+                return "string concatenation/formatting"
+            if isinstance(side, ast.JoinedStr):
+                return "string concatenation/formatting"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "format"
+        and isinstance(node.func.value, ast.Constant)
+        and isinstance(node.func.value.value, str)
+    ):
+        return "str.format"
+    return None
+
+
+@register_rule
+class MetricNameRule(Rule):
+    """Flag dynamic or malformed metric/span names at instrument call sites."""
+
+    code = "REP006"
+    name = "metric-names"
+    description = (
+        "metric and span names must be static lowercase dotted literals; "
+        "put dynamic dimensions in labels, not the name"
+    )
+    default_include = ("src",)
+    default_exclude = ("tests",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in _INSTRUMENT_METHODS:
+                continue
+            argument = _name_argument(node)
+            if argument is None:
+                continue
+            how = _dynamic_build(argument)
+            if how is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{node.func.attr}() name built with {how}; names must "
+                    "be static literals — move the dynamic part into a "
+                    "label (e.g. counter(\"engine.rows.consumed\", "
+                    "relation=name))",
+                )
+                continue
+            if isinstance(argument, ast.Constant) and isinstance(
+                argument.value, str
+            ):
+                if not _NAME_PATTERN.match(argument.value):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{node.func.attr}() name {argument.value!r} is not "
+                        "a lowercase dotted name (segment(.segment)+ with "
+                        "segment = [a-z][a-z0-9_]*)",
+                    )

@@ -26,9 +26,10 @@ statistics bit-identical to an uninterrupted run.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, Sequence
+from typing import Iterator, Mapping, Optional, Sequence
 
 from ..errors import CheckpointError, ConfigurationError
+from ..observability.observer import Observer
 from ..resilience.checkpoint import CheckpointManager
 from ..streams.base import Relation
 from .online_aggregation import DEFAULT_CHECKPOINTS, _validate_checkpoints
@@ -47,6 +48,7 @@ def run_lockstep_scan(
     resume: bool = False,
     shards=None,
     pool=None,
+    observer: Optional[Observer] = None,
 ) -> Iterator[StatisticsSnapshot]:
     """Scan every relation to each checkpoint fraction, yielding snapshots.
 
@@ -68,11 +70,18 @@ def run_lockstep_scan(
     match), already-completed fractions are not re-yielded, and every
     relation's cardinality is validated against the snapshot.  When no
     usable snapshot exists the scan simply starts from the beginning.
+
+    *observer* receives ``scan.*`` spans (one ``scan.fraction`` per
+    yielded checkpoint, one ``scan.chunk`` per consumed slice, plus
+    checkpoint write/restore spans) and scan-progress metrics; it
+    defaults to the engine's own observer, so attaching one observer to
+    the engine instruments the whole scan.
     """
     if not relations:
         raise ConfigurationError("at least one relation is required")
     if resume and checkpoint_dir is None:
         raise ConfigurationError("resume=True needs a checkpoint_dir")
+    obs = engine.observer if observer is None else observer
     fractions = _validate_checkpoints(checkpoints)
     manager = (
         None
@@ -83,9 +92,11 @@ def run_lockstep_scan(
     if resume and manager is not None:
         snapshot = manager.latest()
         if snapshot is not None:
-            restored = OnlineStatisticsEngine.from_checkpoint_state(
-                snapshot.state, snapshot.arrays
-            )
+            with obs.span("scan.checkpoint.restore", position=snapshot.position):
+                restored = OnlineStatisticsEngine.from_checkpoint_state(
+                    snapshot.state, snapshot.arrays
+                )
+            obs.counter("scan.checkpoint.restores").inc()
             if set(restored.relations) != set(relations):
                 raise CheckpointError(
                     f"checkpointed scan covers relations "
@@ -119,17 +130,30 @@ def run_lockstep_scan(
     scanned = {name: engine._relations[name].scanned for name in relations}
     for index in range(completed, len(fractions)):
         fraction = fractions[index]
-        for name, relation in relations.items():
-            target = min(len(relation), max(1, int(round(fraction * len(relation)))))
-            if target > scanned[name]:
-                engine.consume(
-                    name,
-                    relation.keys[scanned[name] : target],
-                    shards=shards,
-                    pool=pool,
+        with obs.span("scan.fraction", index=index, fraction=fraction):
+            for name, relation in relations.items():
+                target = min(
+                    len(relation), max(1, int(round(fraction * len(relation))))
                 )
-                scanned[name] = target
-        if manager is not None:
-            state, arrays = engine.checkpoint_state()
-            manager.save(position=index + 1, state=state, arrays=arrays)
+                if target > scanned[name]:
+                    with obs.span(
+                        "scan.chunk", relation=name, rows=target - scanned[name]
+                    ):
+                        engine.consume(
+                            name,
+                            relation.keys[scanned[name] : target],
+                            shards=shards,
+                            pool=pool,
+                        )
+                    scanned[name] = target
+            if manager is not None:
+                started = obs.clock()
+                with obs.span("scan.checkpoint.write", position=index + 1):
+                    state, arrays = engine.checkpoint_state()
+                    manager.save(position=index + 1, state=state, arrays=arrays)
+                obs.histogram("scan.checkpoint.seconds").observe(
+                    obs.clock() - started
+                )
+                obs.counter("scan.checkpoint.writes").inc()
+            obs.counter("scan.fractions.completed").inc()
         yield engine.snapshot()

@@ -29,10 +29,12 @@ Usage::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from ..errors import CheckpointError, ConfigurationError, InsufficientDataError
+from ..observability.observer import Observer, as_observer
 from ..rng import SeedLike, as_seed_sequence
 from ..sampling.base import SampleInfo
 from ..sampling.unbiasing import join_scale, self_join_correction
@@ -90,6 +92,10 @@ class OnlineStatisticsEngine:
     seed:
         One seed for all sketches — required so cross-relation inner
         products are meaningful.
+    observer:
+        Optional :class:`~repro.observability.Observer` receiving the
+        engine's row/update counters and estimate gauges; defaults to
+        the near-free null observer.
     """
 
     def __init__(
@@ -97,11 +103,18 @@ class OnlineStatisticsEngine:
         buckets: int = 4096,
         rows: int = 1,
         seed: SeedLike = None,
+        observer: Optional[Observer] = None,
     ) -> None:
         self._template = FagmsSketch(
             buckets, rows, as_seed_sequence(seed)
         )
         self._relations: dict[str, ScanState] = {}
+        self._observer = as_observer(observer)
+
+    @property
+    def observer(self) -> Observer:
+        """The attached observer (the shared null observer when disabled)."""
+        return self._observer
 
     # ------------------------------------------------------------------
     # Registration and scanning
@@ -168,6 +181,10 @@ class OnlineStatisticsEngine:
 
                 parallel_update(state.sketch, keys, shards=shards, pool=pool)
             state.scanned += int(keys.size)
+            obs = self._observer
+            obs.counter("engine.rows.consumed", relation=name).inc(int(keys.size))
+            obs.counter("engine.chunks.consumed", relation=name).inc()
+            obs.gauge("engine.fraction_scanned", relation=name).set(state.fraction)
 
     def fraction_scanned(self, name: str) -> float:
         """Scanned fraction of a relation."""
@@ -211,10 +228,14 @@ class OnlineStatisticsEngine:
         join map.
         """
         fractions = {name: s.fraction for name, s in self._relations.items()}
+        self._observer.counter("engine.snapshots").inc()
         self_joins = {}
         for name, state in self._relations.items():
             if state.scanned >= 2:
                 self_joins[name] = self.self_join_size(name)
+                self._observer.gauge(
+                    "engine.self_join_estimate", relation=name
+                ).set(self_joins[name])
         joins = {}
         names = list(self._relations)
         for i, name_a in enumerate(names):
@@ -275,6 +296,7 @@ class OnlineStatisticsEngine:
         if not isinstance(relations, list):
             raise CheckpointError("engine checkpoint has no relation list")
         engine = object.__new__(cls)
+        engine._observer = as_observer(None)
         engine._template = build_sketch(header)
         if not isinstance(engine._template, FagmsSketch):
             raise CheckpointError(

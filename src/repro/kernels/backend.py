@@ -154,9 +154,19 @@ def available_backends() -> tuple:
     return tuple(sorted(_REGISTRY))
 
 
-def set_backend(name: str) -> KernelBackend:
-    """Activate the backend registered under *name* and return it."""
+def set_backend(name) -> KernelBackend:
+    """Activate a backend and return it.
+
+    *name* is either a registry key (the common case) or a
+    :class:`KernelBackend` *instance* — the latter activates the instance
+    directly without registering it, which is how transient wrappers like
+    :class:`repro.observability.profiling.ProfilingKernelBackend` splice
+    into the seam without polluting :func:`available_backends`.
+    """
     global _active
+    if isinstance(name, KernelBackend):
+        _active = name
+        return _active
     try:
         _active = _REGISTRY[name]
     except KeyError:
@@ -180,11 +190,16 @@ def backend_name() -> str:
 
 
 @contextmanager
-def use_backend(name: str) -> Iterator[KernelBackend]:
-    """Context manager activating *name*, restoring the previous backend after."""
+def use_backend(name) -> Iterator[KernelBackend]:
+    """Context manager activating *name*, restoring the previous backend after.
+
+    Like :func:`set_backend`, *name* may be a registry key or a
+    :class:`KernelBackend` instance.  The previously active backend
+    object is restored on exit even when it was never registered.
+    """
     previous = get_backend()
     backend = set_backend(name)
     try:
         yield backend
     finally:
-        set_backend(previous.name)
+        set_backend(previous)

@@ -1,0 +1,96 @@
+"""Metrics, tracing, and profiling spanning every layer of the system.
+
+The reproduction's runtime layers — the online-aggregation engine
+(:mod:`repro.engine`), the fault-tolerant streaming runtime
+(:mod:`repro.resilience`), the sharded multiprocess coordinator
+(:mod:`repro.parallel`), and the kernel seam (:mod:`repro.kernels`) —
+all accept an optional ``observer=`` handle defined here.  One
+:class:`Observer` per process bundles:
+
+1. **Metrics** (:mod:`.metrics`) — labeled counters, gauges, and
+   fixed-bucket histograms in a :class:`MetricsRegistry`, with a plain
+   picklable snapshot/merge protocol so per-shard worker registries
+   aggregate deterministically in shard order.
+2. **Tracing** (:mod:`.tracing`) — explicit ``span("scan.chunk")``
+   context managers with deterministic sequential span ids, an
+   injectable monotonic clock, and :class:`SpanContext` propagation
+   across process boundaries (shipped as plain data inside
+   :class:`~repro.parallel.worker.ShardTask`).
+3. **Profiling** (:mod:`.profiling`) — a transparent
+   :class:`ProfilingKernelBackend` decorator metering every kernel
+   primitive (timings, rows, bytes, throughput) without perturbing
+   bit-identity.
+4. **Quality** (:mod:`.quality`) — :class:`QualityMonitor` comparing
+   observed squared error against the Props 9–16 variance bounds, plus
+   shed-rate / governor duty-cycle gauges.
+5. **Exporters** (:mod:`.export`) — Prometheus text format, Chrome
+   ``trace_event`` JSON (one merged timeline across coordinator and
+   workers), and JSONL sinks.
+
+Everything is REP001-compliant: timestamps come from injectable
+monotonic clocks, ids are sequential — no wall time, pids, or uuids.
+The default :data:`NULL_OBSERVER` makes the disabled path near-free
+(gated by ``benchmarks/test_observability_overhead.py``).  See
+``docs/OBSERVABILITY.md`` for the metric catalog and span taxonomy.
+"""
+
+from .export import (
+    metrics_to_records,
+    spans_to_records,
+    to_chrome_trace,
+    to_prometheus,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullRegistry,
+    validate_metric_name,
+)
+from .observer import (
+    NULL_OBSERVER,
+    Observer,
+    ObserverSnapshot,
+    as_observer,
+    worker_observer,
+)
+from .profiling import ProfilingKernelBackend, profile_kernels
+from .quality import QualityBreach, QualityMonitor, observe_shedding
+from .tracing import NullTracer, Span, SpanContext, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_OBSERVER",
+    "NullRegistry",
+    "NullTracer",
+    "Observer",
+    "ObserverSnapshot",
+    "ProfilingKernelBackend",
+    "QualityBreach",
+    "QualityMonitor",
+    "Span",
+    "SpanContext",
+    "SpanRecord",
+    "Tracer",
+    "as_observer",
+    "metrics_to_records",
+    "observe_shedding",
+    "profile_kernels",
+    "spans_to_records",
+    "to_chrome_trace",
+    "to_prometheus",
+    "validate_metric_name",
+    "worker_observer",
+    "write_chrome_trace",
+    "write_jsonl",
+]

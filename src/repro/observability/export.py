@@ -1,0 +1,240 @@
+"""Exporters: Prometheus text format, Chrome ``trace_event`` JSON, JSONL.
+
+All exporters are pure functions over the plain-data snapshot types
+(:class:`~.metrics.MetricsSnapshot`, span record dicts), so they can run
+in any process at any time without touching live instruments.  Output
+ordering is fully deterministic (sorted names, label sets, and process
+labels) — two identical runs export byte-identical dumps, which lets
+tests compare them with plain string equality.
+
+Formats
+-------
+* :func:`to_prometheus` — the ``text/plain; version=0.0.4`` exposition
+  format: dotted metric names become underscore-joined (``runtime.tuples.seen``
+  → ``repro_runtime_tuples_seen_total``), counters gain ``_total``,
+  histograms expand to cumulative ``_bucket{le=...}`` series plus
+  ``_sum``/``_count``.
+* :func:`to_chrome_trace` — a ``{"traceEvents": [...]}`` object loadable
+  in ``chrome://tracing`` / Perfetto: one complete (``"ph": "X"``) event
+  per span, one process row per tracer (coordinator + every worker),
+  with ``process_name`` metadata events labeling the rows.
+* :func:`metrics_to_records` / :func:`spans_to_records` +
+  :func:`write_jsonl` — flat one-record-per-line JSON for log shippers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from .metrics import MetricsSnapshot
+from .observer import Observer, ObserverSnapshot
+from .tracing import SpanRecord
+
+__all__ = [
+    "metrics_to_records",
+    "spans_to_records",
+    "to_chrome_trace",
+    "to_prometheus",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+def _prom_name(name: str, namespace: str) -> str:
+    return f"{namespace}_{name.replace('.', '_')}" if namespace else name.replace(".", "_")
+
+
+def _prom_labels(labels: Sequence, extra: Sequence = ()) -> str:
+    items = [*labels, *extra]
+    if not items:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in items)
+    return "{" + body + "}"
+
+
+def _prom_number(value: Union[int, float]) -> str:
+    as_float = float(value)
+    if as_float.is_integer():
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def to_prometheus(
+    snapshot: Union[MetricsSnapshot, ObserverSnapshot, Observer],
+    namespace: str = "repro",
+) -> str:
+    """Render a metrics snapshot in the Prometheus text exposition format.
+
+    Accepts a live :class:`~.observer.Observer` (snapshotted on the fly),
+    an :class:`~.observer.ObserverSnapshot`, or a bare
+    :class:`~.metrics.MetricsSnapshot`.  Output is deterministically
+    sorted by metric name and label set.
+    """
+    metrics = _as_metrics(snapshot)
+    lines: list[str] = []
+    counters: dict = {}
+    for (name, labels), value in metrics.counters.items():
+        counters.setdefault(name, []).append((labels, value))
+    for name in sorted(counters):
+        prom = _prom_name(name, namespace) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        for labels, value in sorted(counters[name]):
+            lines.append(f"{prom}{_prom_labels(labels)} {_prom_number(value)}")
+    gauges: dict = {}
+    for (name, labels), value in metrics.gauges.items():
+        gauges.setdefault(name, []).append((labels, value))
+    for name in sorted(gauges):
+        prom = _prom_name(name, namespace)
+        lines.append(f"# TYPE {prom} gauge")
+        for labels, value in sorted(gauges[name]):
+            lines.append(f"{prom}{_prom_labels(labels)} {_prom_number(value)}")
+    histograms: dict = {}
+    for (name, labels), hist in metrics.histograms.items():
+        histograms.setdefault(name, []).append((labels, hist))
+    for name in sorted(histograms):
+        prom = _prom_name(name, namespace)
+        lines.append(f"# TYPE {prom} histogram")
+        for labels, hist in sorted(histograms[name], key=lambda item: item[0]):
+            cumulative = 0
+            for bound, count in zip(hist["bounds"], hist["counts"]):
+                cumulative += count
+                lines.append(
+                    f"{prom}_bucket"
+                    f"{_prom_labels(labels, [('le', _prom_number(bound))])} "
+                    f"{cumulative}"
+                )
+            cumulative += hist["counts"][-1]
+            lines.append(
+                f"{prom}_bucket{_prom_labels(labels, [('le', '+Inf')])} "
+                f"{cumulative}"
+            )
+            lines.append(
+                f"{prom}_sum{_prom_labels(labels)} {_prom_number(hist['total'])}"
+            )
+            lines.append(f"{prom}_count{_prom_labels(labels)} {hist['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _as_metrics(snapshot) -> MetricsSnapshot:
+    if isinstance(snapshot, Observer):
+        return snapshot.metrics.snapshot()
+    if isinstance(snapshot, ObserverSnapshot):
+        return snapshot.metrics
+    return snapshot
+
+
+def _as_span_dicts(spans) -> list:
+    if isinstance(spans, Observer):
+        spans = spans.tracer.export_spans()
+    elif isinstance(spans, ObserverSnapshot):
+        spans = spans.spans
+    out = []
+    for span in spans:
+        out.append(span.to_dict() if isinstance(span, SpanRecord) else dict(span))
+    return out
+
+
+def to_chrome_trace(
+    spans: Union[Observer, ObserverSnapshot, Iterable],
+) -> dict:
+    """Render spans as a Chrome ``trace_event`` JSON object.
+
+    Every distinct ``process`` label becomes one process row (pid), with
+    ``"main"`` pinned to pid 1 and the rest sorted; timestamps are the
+    spans' monotonic clock readings scaled to microseconds.  The result
+    serializes with :func:`json.dumps` as-is (see
+    :func:`write_chrome_trace`).
+    """
+    records = _as_span_dicts(spans)
+    processes = sorted({record["process"] for record in records})
+    if "main" in processes:
+        processes.remove("main")
+        processes.insert(0, "main")
+    pids = {process: index + 1 for index, process in enumerate(processes)}
+    events = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pids[process],
+            "tid": 0,
+            "args": {"name": process},
+        }
+        for process in processes
+    ]
+    for record in records:
+        args = dict(record.get("args", {}))
+        args["span_id"] = record["span_id"]
+        if record.get("parent_id") is not None:
+            args["parent_id"] = record["parent_id"]
+        events.append(
+            {
+                "ph": "X",
+                "name": record["name"],
+                "pid": pids[record["process"]],
+                "tid": 0,
+                "ts": record["start"] * 1e6,
+                "dur": (record["end"] - record["start"]) * 1e6,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path,
+    spans: Union[Observer, ObserverSnapshot, Iterable],
+) -> Path:
+    """Write :func:`to_chrome_trace` output to *path*; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(spans), indent=2) + "\n")
+    return path
+
+
+def metrics_to_records(
+    snapshot: Union[MetricsSnapshot, ObserverSnapshot, Observer],
+    namespace: str = "repro",
+) -> list:
+    """Flatten a metrics snapshot into JSONL-ready dict records."""
+    metrics = _as_metrics(snapshot)
+    records = []
+    for (name, labels), value in sorted(metrics.counters.items()):
+        records.append(
+            {"kind": "counter", "namespace": namespace, "name": name,
+             "labels": dict(labels), "value": value}
+        )
+    for (name, labels), value in sorted(metrics.gauges.items()):
+        records.append(
+            {"kind": "gauge", "namespace": namespace, "name": name,
+             "labels": dict(labels), "value": value}
+        )
+    for (name, labels), hist in sorted(metrics.histograms.items()):
+        records.append(
+            {"kind": "histogram", "namespace": namespace, "name": name,
+             "labels": dict(labels), "bounds": list(hist["bounds"]),
+             "counts": list(hist["counts"]), "sum": hist["total"],
+             "count": hist["count"]}
+        )
+    return records
+
+
+def spans_to_records(
+    spans: Union[Observer, ObserverSnapshot, Iterable],
+) -> list:
+    """Flatten spans into JSONL-ready dict records (one per span)."""
+    return [{"kind": "span", **record} for record in _as_span_dicts(spans)]
+
+
+def write_jsonl(path, records: Iterable, append: bool = False) -> Path:
+    """Write dict *records* one-JSON-object-per-line to *path*.
+
+    With ``append=True`` records are appended, which is how a long-running
+    process emits periodic metric dumps into one sink file.
+    """
+    path = Path(path)
+    mode = "a" if append else "w"
+    with path.open(mode) as sink:
+        for record in records:
+            sink.write(json.dumps(record, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,393 @@
+"""Labeled counters, gauges, and fixed-bucket histograms.
+
+The metrics core follows the same discipline as the rest of the library:
+
+* **Deterministic** — no ambient wall-clock or entropy.  Instruments hold
+  plain numbers; anything time-shaped enters through the caller (the
+  tracing layer owns the injectable clock).
+* **Process-safe by construction, not by locking** — each process (the
+  coordinator and every pool worker) owns a private
+  :class:`MetricsRegistry`; registries never share memory.  A worker
+  ships a :meth:`MetricsRegistry.snapshot` (plain picklable data) back
+  with its shard result and the coordinator folds the snapshots in shard
+  order through :meth:`MetricsSnapshot.merge` — the same fixed-order
+  reduction the sketch merge tree uses, so the aggregate is identical no
+  matter which process ran which shard.
+* **Near-zero when disabled** — :class:`NullRegistry` hands out shared
+  no-op instruments, so fully-instrumented call sites cost a method call
+  and nothing else (gated by ``benchmarks/test_observability_overhead.py``).
+
+Metric names are lowercase dotted paths (``runtime.tuples.seen``),
+validated here at registration and linted statically by REP006
+(:mod:`repro.analysis.rules.naming`): names must be literals at call
+sites, never f-string-assembled.  Dimensions that vary at runtime belong
+in **labels** (``relation="lineitem"``, ``backend="numpy"``), which
+become Prometheus labels on export.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullRegistry",
+    "validate_metric_name",
+]
+
+#: Lowercase dotted metric/span names: ``segment(.segment)+``.
+_NAME_PATTERN = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+#: Default histogram bucket upper bounds (seconds-flavoured, log-spaced).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+#: A label set frozen into a canonical, hashable, picklable key.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def validate_metric_name(name: str) -> str:
+    """Return *name* if it is a valid lowercase dotted metric/span name.
+
+    Raises :class:`~repro.errors.ConfigurationError` otherwise.  The same
+    convention is enforced statically by REP006, so a name that passes
+    the linter never fails here (and vice versa).
+    """
+    if not isinstance(name, str) or not _NAME_PATTERN.match(name):
+        raise ConfigurationError(
+            f"invalid metric/span name {name!r}; expected a lowercase "
+            "dotted path like 'runtime.tuples.seen'"
+        )
+    return name
+
+
+def _label_key(labels: dict) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (tuples seen, chunks accepted...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add *amount* (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counters only increase; got increment {amount}"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (current shed rate, duty cycle...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram (latencies, chunk costs).
+
+    ``buckets`` are the inclusive upper bounds of each bucket; an implicit
+    ``+inf`` bucket catches the overflow.  Bucket bounds are fixed at
+    construction so two histograms of the same metric always merge
+    exactly (bucket-wise addition), which is what keeps cross-process
+    aggregation deterministic.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "count")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ConfigurationError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram bounds must strictly increase, got {bounds}"
+            )
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot is +inf
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Record one observation."""
+        value = float(value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.count += 1
+
+
+class _NullCounter(Counter):
+    """Shared do-nothing counter handed out by :class:`NullRegistry`."""
+
+    __slots__ = ()
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Discard the increment."""
+
+
+class _NullGauge(Gauge):
+    """Shared do-nothing gauge handed out by :class:`NullRegistry`."""
+
+    __slots__ = ()
+
+    def set(self, value: Union[int, float]) -> None:
+        """Discard the value."""
+
+
+class _NullHistogram(Histogram):
+    """Shared do-nothing histogram handed out by :class:`NullRegistry`."""
+
+    __slots__ = ()
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Discard the observation."""
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A registry's state as plain picklable data.
+
+    Keys are ``(name, labels)`` pairs with labels in canonical sorted
+    order; values are plain numbers / lists, so snapshots cross process
+    boundaries (pickle) and serialize to JSON without special casing.
+    """
+
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Fold *other* into a new snapshot (``self`` is the left operand).
+
+        Counters and histogram buckets add; gauges are last-writer-wins
+        (*other* overrides), which is deterministic because callers merge
+        in fixed shard order.  Histograms with mismatched bucket bounds
+        raise — they are different metrics wearing the same name.
+        """
+        counters = dict(self.counters)
+        for key, value in other.counters.items():
+            counters[key] = counters.get(key, 0) + value
+        gauges = dict(self.gauges)
+        gauges.update(other.gauges)
+        histograms = {k: _copy_hist(v) for k, v in self.histograms.items()}
+        for key, hist in other.histograms.items():
+            mine = histograms.get(key)
+            if mine is None:
+                histograms[key] = _copy_hist(hist)
+                continue
+            if tuple(mine["bounds"]) != tuple(hist["bounds"]):
+                raise ConfigurationError(
+                    f"cannot merge histogram {key!r}: bucket bounds differ "
+                    f"({mine['bounds']} vs {hist['bounds']})"
+                )
+            mine["counts"] = [
+                a + b for a, b in zip(mine["counts"], hist["counts"])
+            ]
+            mine["total"] += hist["total"]
+            mine["count"] += hist["count"]
+        return MetricsSnapshot(
+            counters=counters, gauges=gauges, histograms=histograms
+        )
+
+    def counter_value(self, name: str, **labels) -> float:
+        """The merged value of one counter (0 when never incremented)."""
+        return self.counters.get((name, _label_key(labels)), 0)
+
+    def gauge_value(self, name: str, **labels) -> Optional[float]:
+        """The last value of one gauge, or ``None`` when never set."""
+        return self.gauges.get((name, _label_key(labels)))
+
+
+def _copy_hist(hist: dict) -> dict:
+    return {
+        "bounds": list(hist["bounds"]),
+        "counts": list(hist["counts"]),
+        "total": hist["total"],
+        "count": hist["count"],
+    }
+
+
+class MetricsRegistry:
+    """The process-local home of every instrument.
+
+    ``registry.counter("runtime.tuples.seen", relation="lineitem")``
+    returns the same :class:`Counter` object on every call with the same
+    name and labels, so hot call sites may cache the instrument once and
+    skip the lookup entirely.  Instrument kinds are exclusive per name: a
+    name registered as a counter cannot come back as a gauge.
+    """
+
+    #: Null registries report False so call sites can skip real work.
+    enabled: bool = True
+
+    __slots__ = ("_counters", "_gauges", "_histograms", "_kinds")
+
+    def __init__(self) -> None:
+        self._counters: dict = {}
+        self._gauges: dict = {}
+        self._histograms: dict = {}
+        self._kinds: dict = {}
+
+    # ------------------------------------------------------------------
+
+    def _check_kind(self, name: str, kind: str) -> None:
+        validate_metric_name(name)
+        registered = self._kinds.setdefault(name, kind)
+        if registered != kind:
+            raise ConfigurationError(
+                f"metric {name!r} is already registered as a {registered}, "
+                f"cannot reuse it as a {kind}"
+            )
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter registered under (*name*, *labels*), creating it once."""
+        self._check_kind(name, "counter")
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge registered under (*name*, *labels*), creating it once."""
+        self._check_kind(name, "gauge")
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels,
+    ) -> Histogram:
+        """The histogram registered under (*name*, *labels*), creating it once.
+
+        *buckets* only applies on first registration; later calls must
+        agree (or omit the argument) — silently returning a histogram
+        with different bounds would corrupt merges.
+        """
+        self._check_kind(name, "histogram")
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(buckets)
+        elif tuple(float(b) for b in buckets) != instrument.bounds:
+            raise ConfigurationError(
+                f"histogram {name!r} was registered with bounds "
+                f"{instrument.bounds}, got {tuple(buckets)}"
+            )
+        return instrument
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze the registry into plain picklable data."""
+        return MetricsSnapshot(
+            counters={k: c.value for k, c in self._counters.items()},
+            gauges={k: g.value for k, g in self._gauges.items()},
+            histograms={
+                k: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "total": h.total,
+                    "count": h.count,
+                }
+                for k, h in self._histograms.items()
+            },
+        )
+
+    def absorb(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a foreign snapshot (e.g. a worker's) into this registry.
+
+        Counter and histogram contributions add into the local
+        instruments; gauges overwrite.  Called once per shard in fixed
+        shard order by the coordinator, so aggregation is deterministic.
+        """
+        for (name, labels), value in snapshot.counters.items():
+            self.counter(name, **dict(labels)).value += value
+        for (name, labels), value in snapshot.gauges.items():
+            self.gauge(name, **dict(labels)).set(value)
+        for (name, labels), hist in snapshot.histograms.items():
+            mine = self.histogram(name, hist["bounds"], **dict(labels))
+            mine.counts = [a + b for a, b in zip(mine.counts, hist["counts"])]
+            mine.total += hist["total"]
+            mine.count += hist["count"]
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+        )
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: every lookup returns a shared no-op instrument.
+
+    Instrumented call sites stay branch-free — they call
+    ``observer.counter(...).inc()`` unconditionally and the null path
+    costs two cheap method calls.  Code that would do real work to
+    *compute* a metric should still branch on :attr:`enabled`.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The shared no-op counter."""
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The shared no-op gauge."""
+        return _NULL_GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels,
+    ) -> Histogram:
+        """The shared no-op histogram."""
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> MetricsSnapshot:
+        """An empty snapshot (the null registry records nothing)."""
+        return MetricsSnapshot()
+
+    def absorb(self, snapshot: MetricsSnapshot) -> None:
+        """Discard the snapshot."""

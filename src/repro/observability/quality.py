@@ -1,0 +1,174 @@
+"""Estimator-quality monitoring against the paper's variance bounds.
+
+The paper's central result is a closed-form variance decomposition for
+sketch-over-sample estimators (Props 9–16): for every estimate the system
+produces there is a *predicted* error scale.  That makes estimator
+quality itself a monitorable signal: when ground truth is available
+(synthetic experiment streams, TPC-H generators, shadow recomputation),
+the observed squared error should stay within a small multiple of the
+closed-form variance — drifting outside it means broken hash families, a
+miscounted sampling ledger, or a correction applied twice.
+
+:class:`QualityMonitor` tracks exactly that.  Each :meth:`~QualityMonitor.record`
+call feeds one ``(estimate, truth, variance_bound)`` triple; the monitor
+updates error gauges/counters on its observer and flags a **breach**
+whenever the squared error exceeds ``slack × variance_bound``.  The
+default ``slack = 9`` is the Chebyshev 3σ budget: a correct estimator
+breaches with probability at most 1/9 per observation, so a breach *rate*
+near or above that is a loud alarm (single breaches are expected noise).
+
+:func:`observe_shedding` publishes the load-shedding health gauges (shed
+rate, drop fraction, governor duty cycle) from any
+:class:`~repro.resilience.adaptive.AdaptiveSheddingSketcher`-shaped
+source; :class:`~repro.resilience.runtime.StreamRuntime` calls it per
+chunk when an observer is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from .observer import Observer
+
+__all__ = ["QualityBreach", "QualityMonitor", "observe_shedding"]
+
+
+@dataclass(frozen=True)
+class QualityBreach:
+    """One observation whose squared error exceeded its variance budget."""
+
+    metric: str
+    estimate: float
+    truth: float
+    squared_error: float
+    variance_bound: float
+    slack: float
+
+    @property
+    def ratio(self) -> float:
+        """Observed squared error over the raw variance bound."""
+        if self.variance_bound <= 0:
+            return float("inf")
+        return self.squared_error / self.variance_bound
+
+
+class QualityMonitor:
+    """Track observed estimator error against closed-form variance bounds.
+
+    Parameters
+    ----------
+    observer:
+        Destination for the quality gauges and counters.
+    slack:
+        Multiple of the variance bound the squared error may reach before
+        an observation counts as a breach (default 9.0 — Chebyshev 3σ).
+    """
+
+    __slots__ = ("observer", "slack", "breaches")
+
+    def __init__(self, observer: Observer, slack: float = 9.0) -> None:
+        if slack <= 0:
+            raise ConfigurationError(f"slack must be > 0, got {slack}")
+        self.observer = observer
+        self.slack = float(slack)
+        self.breaches: list[QualityBreach] = []
+
+    def record(
+        self,
+        metric: str,
+        estimate: float,
+        truth: float,
+        variance_bound: float,
+    ) -> Optional[QualityBreach]:
+        """Feed one estimate/truth pair with its predicted variance.
+
+        *metric* labels the estimator being judged (e.g.
+        ``"self_join.lineitem"``); it becomes a metric label, not a
+        metric name, so it may be assembled at runtime.  Returns the
+        :class:`QualityBreach` when the observation breached, else
+        ``None``.
+        """
+        if variance_bound < 0:
+            raise ConfigurationError(
+                f"variance_bound must be >= 0, got {variance_bound}"
+            )
+        estimate = float(estimate)
+        truth = float(truth)
+        variance_bound = float(variance_bound)
+        squared_error = (estimate - truth) ** 2
+        obs = self.observer
+        obs.counter("quality.observations", metric=metric).inc()
+        obs.gauge("quality.squared_error", metric=metric).set(squared_error)
+        obs.gauge("quality.variance_bound", metric=metric).set(variance_bound)
+        if variance_bound > 0:
+            obs.gauge("quality.error_ratio", metric=metric).set(
+                squared_error / variance_bound
+            )
+        if squared_error <= self.slack * variance_bound:
+            return None
+        breach = QualityBreach(
+            metric=metric,
+            estimate=estimate,
+            truth=truth,
+            squared_error=squared_error,
+            variance_bound=variance_bound,
+            slack=self.slack,
+        )
+        self.breaches.append(breach)
+        obs.counter("quality.breaches", metric=metric).inc()
+        return breach
+
+    def breach_rate(self, metric: str) -> float:
+        """Breaches over observations for one metric label (0 when unseen)."""
+        seen = self.observer.metrics.snapshot().counter_value(
+            "quality.observations", metric=metric
+        )
+        if seen == 0:
+            return 0.0
+        breached = self.observer.metrics.snapshot().counter_value(
+            "quality.breaches", metric=metric
+        )
+        return breached / seen
+
+    def __repr__(self) -> str:
+        return f"QualityMonitor(slack={self.slack}, breaches={len(self.breaches)})"
+
+
+def observe_shedding(
+    observer: Observer,
+    sketcher,
+    governor=None,
+    *,
+    arrived: int = 0,
+    elapsed: float = 0.0,
+) -> None:
+    """Publish the load-shedding health gauges for one processed chunk.
+
+    *sketcher* is anything with the
+    :class:`~repro.resilience.adaptive.AdaptiveSheddingSketcher` surface
+    (``rate``/``seen``/``kept``); *governor* anything with the
+    :class:`~repro.resilience.governor.LoadGovernor` surface
+    (``cost_estimate``/``budget_per_tuple``) — both duck-typed so this
+    module never imports :mod:`repro.resilience` (which imports this
+    package).  With a governor and the chunk's ``arrived``/``elapsed``
+    measurements, also publishes the governor's **duty cycle** — observed
+    per-arrived-tuple cost over the configured budget (1.0 = saturated,
+    >1.0 = overloaded and shedding harder).
+    """
+    observer.gauge("resilience.shed.rate").set(sketcher.rate)
+    seen = sketcher.seen
+    if seen > 0:
+        observer.gauge("resilience.shed.drop_fraction").set(
+            1.0 - sketcher.kept / seen
+        )
+    if governor is not None:
+        if governor.cost_estimate is not None:
+            observer.gauge("resilience.governor.cost_per_kept_tuple").set(
+                governor.cost_estimate
+            )
+        if arrived > 0 and elapsed >= 0:
+            observer.gauge("resilience.governor.duty_cycle").set(
+                (elapsed / arrived) / governor.budget_per_tuple
+            )

@@ -1,0 +1,274 @@
+"""Explicit spans with deterministic ids and cross-process propagation.
+
+The tracer is a stack machine: ``with tracer.span("scan.chunk"):`` opens
+a span whose parent is whatever span is currently open in this tracer,
+stamps begin/end from the injectable monotonic clock, and appends a plain
+:class:`SpanRecord` to the finished list on exit.  Nothing global, no
+wall time, no uuids — span ids are sequential per tracer, and identity
+across processes comes from the ``process`` label plus the propagated
+parent coordinates, mirroring how shard seeds travel as plain
+``SeedSequence`` coordinates in :mod:`repro.parallel.worker`.
+
+**Propagation.**  The coordinator opens a root span and ships
+``tracer.current_context()`` — a picklable ``(trace_id, span_id)``
+:class:`SpanContext` — inside each :class:`~repro.parallel.worker.ShardTask`.
+The worker builds its own tracer with ``parent=`` that context, so its
+spans nest under the coordinator's root when the coordinator later
+absorbs the worker's exported records.  Per-process clocks have
+different origins; that is fine for the Chrome ``trace_event`` export
+(each process renders on its own timeline) and irrelevant for
+determinism because tests inject fake clocks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Optional
+
+from ..errors import ConfigurationError
+from .metrics import validate_metric_name
+
+__all__ = [
+    "NullTracer",
+    "Span",
+    "SpanContext",
+    "SpanRecord",
+    "Tracer",
+]
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The picklable coordinates a child process nests its spans under."""
+
+    trace_id: int
+    span_id: int
+    process: str = "main"
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span as plain data (ready to pickle or export)."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    process: str
+    start: float
+    end: float
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed clock time between span entry and exit."""
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """JSON/pickle-friendly dict form (used by the JSONL exporter)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "process": self.process,
+            "start": self.start,
+            "end": self.end,
+            "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SpanRecord":
+        """Rebuild a record exported by :meth:`to_dict`."""
+        return cls(
+            name=raw["name"],
+            span_id=int(raw["span_id"]),
+            parent_id=None if raw.get("parent_id") is None else int(raw["parent_id"]),
+            process=str(raw.get("process", "main")),
+            start=float(raw["start"]),
+            end=float(raw["end"]),
+            args=dict(raw.get("args", {})),
+        )
+
+
+class Span:
+    """An open span; a context manager handed out by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: Optional[int], args: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        self._start = self._tracer.clock()
+        self._tracer._stack.append(self.span_id)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        end = self._tracer.clock()
+        stack = self._tracer._stack
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        self._tracer.finished.append(
+            SpanRecord(
+                name=self.name,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                process=self._tracer.process,
+                start=self._start,
+                end=end,
+                args=self.args,
+            )
+        )
+
+    def annotate(self, **args) -> None:
+        """Attach extra key/value arguments to the span before it closes."""
+        self.args.update(args)
+
+
+class _NullSpan:
+    """Reusable do-nothing span (the disabled tracing path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def annotate(self, **args) -> None:
+        """Discard the annotations."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Per-process span recorder with an injectable monotonic clock.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument monotonic timer (default
+        :func:`time.perf_counter`); injectable so tests see exact
+        deterministic timestamps.
+    process:
+        Label identifying this process's timeline (``"main"``,
+        ``"shard-003"``); becomes the Chrome-trace process row.
+    parent:
+        A :class:`SpanContext` propagated from the spawning process; the
+        first top-level span opened here nests under it.
+    trace_id:
+        Deterministic id shared by every tracer of one logical run.
+    """
+
+    #: Null tracers report False so call sites can skip real work.
+    enabled: bool = True
+
+    __slots__ = ("clock", "process", "trace_id", "finished", "_stack",
+                 "_parent", "_next_id")
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        *,
+        process: str = "main",
+        parent: Optional[SpanContext] = None,
+        trace_id: int = 0,
+    ) -> None:
+        if parent is not None and parent.trace_id != trace_id:
+            raise ConfigurationError(
+                f"parent context belongs to trace {parent.trace_id}, "
+                f"this tracer records trace {trace_id}"
+            )
+        self.clock = clock
+        self.process = str(process)
+        self.trace_id = int(trace_id)
+        self.finished: list[SpanRecord] = []
+        self._stack: list[int] = []
+        self._parent = parent
+        # Span ids only need to be unique within one process's tracer;
+        # cross-process uniqueness comes from the process label.
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **args) -> Span:
+        """Open a span named *name* (lowercase dotted) with optional args."""
+        validate_metric_name(name)
+        span_id = self._next_id
+        self._next_id += 1
+        if self._stack:
+            parent_id = self._stack[-1]
+        elif self._parent is not None:
+            parent_id = self._parent.span_id
+        else:
+            parent_id = None
+        return Span(self, name, span_id, parent_id, dict(args))
+
+    def current_context(self) -> SpanContext:
+        """The coordinates a child process should nest its spans under."""
+        if self._stack:
+            return SpanContext(
+                trace_id=self.trace_id,
+                span_id=self._stack[-1],
+                process=self.process,
+            )
+        if self._parent is not None:
+            return self._parent
+        raise ConfigurationError(
+            "no span is open; open one before capturing a context to ship"
+        )
+
+    # ------------------------------------------------------------------
+
+    def export_spans(self) -> list:
+        """Finished spans as plain dicts (picklable, JSONL-ready)."""
+        return [record.to_dict() for record in self.finished]
+
+    def absorb(self, spans: Iterable) -> None:
+        """Append foreign span records (dicts or :class:`SpanRecord`)."""
+        for raw in spans:
+            record = raw if isinstance(raw, SpanRecord) else SpanRecord.from_dict(raw)
+            self.finished.append(record)
+
+    def relabel(self, process: str) -> None:
+        """Rewrite the process label of every *finished* span (tests only)."""
+        self.finished = [
+            replace(record, process=process) for record in self.finished
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(process={self.process!r}, finished={len(self.finished)}, "
+            f"open={len(self._stack)})"
+        )
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: hands out one shared no-op span."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def span(self, name: str, **args) -> _NullSpan:  # type: ignore[override]
+        """The shared no-op span."""
+        return _NULL_SPAN
+
+    def current_context(self) -> SpanContext:
+        """A fixed root context (children of a null tracer stay null)."""
+        return SpanContext(trace_id=0, span_id=0, process=self.process)
+
+    def export_spans(self) -> list:
+        """Nothing was recorded."""
+        return []
+
+    def absorb(self, spans: Iterable) -> None:
+        """Discard the records."""

@@ -37,6 +37,11 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ConfigurationError, RetryExhaustedError
+from ..observability.observer import (
+    Observer,
+    ObserverSnapshot,
+    as_observer,
+)
 from ..rng import SeedLike, as_seed_sequence
 from ..sampling.base import SampleInfo
 from ..sketches.base import Sketch
@@ -164,6 +169,7 @@ def run_sharded_sketch(
     checkpoint_every: int = 16,
     max_retries: int = 2,
     injector=None,
+    observer: Optional[Observer] = None,
     _worker=run_shard,
 ) -> ShardedScanResult:
     """Sketch *keys* across shards and reduce to one corrected result.
@@ -198,79 +204,109 @@ def run_sharded_sketch(
         Test-only :class:`~repro.resilience.chaos.ChaosInjector` threaded
         into every shard run; requires an inline pool (the injector's
         fault budget must be shared across retries).
+    observer:
+        Optional :class:`~repro.observability.Observer`.  The coordinator
+        opens a ``parallel.scan`` root span, ships its context to every
+        worker (each builds a private shard observer), and absorbs the
+        workers' observations back in fixed shard order — so one observer
+        ends up with the merged metrics and the full multi-process trace.
     """
+    obs = as_observer(observer)
     shards = _default_shards(shards, pool)
-    plan = make_shard_plan(keys, shards, mode=mode)
-    header = sketch_header(template)
-    seeds = _spawn_shard_seeds(seed, plan.shards)
-    owns_pool = pool is None
-    if owns_pool:
-        pool = WorkerPool(0)
-    if injector is not None and not pool.inline:
-        raise ConfigurationError(
-            "a chaos injector shares mutable fault budgets with the "
-            "coordinator and therefore needs an inline pool (workers=0)"
-        )
-
-    def make_task(index: int, resume: bool) -> ShardTask:
-        child = seeds[index]
-        return ShardTask(
-            index=index,
-            keys=plan.parts[index],
-            header=header,
-            p=p,
-            seed_entropy=child.entropy,
-            seed_spawn_key=tuple(child.spawn_key),
-            chunk_size=chunk_size,
-            checkpoint_dir=None if checkpoint_dir is None else str(checkpoint_dir),
-            checkpoint_every=checkpoint_every,
-            resume=resume,
-            # Process workers are backend-pinned by the pool initializer;
-            # inline runs use the coordinator's active backend as-is.
-            backend=None,
-        )
-
-    def dispatch(index: int, resume: bool):
-        task = make_task(index, resume)
-        if injector is not None:
-            return pool.submit(_worker, task, injector=injector)
-        return pool.submit(_worker, task)
-
-    try:
-        pending = {index: dispatch(index, False) for index in range(plan.shards)}
-        results: dict[int, ShardResult] = {}
-        attempts = {index: 0 for index in pending}
-        retries = 0
-        while pending:
-            still_pending = {}
-            for index, future in pending.items():
-                try:
-                    results[index] = future.result()
-                except Exception as exc:
-                    attempts[index] += 1
-                    if attempts[index] > max_retries:
-                        raise RetryExhaustedError(
-                            f"shard {index} failed {attempts[index]} time(s); "
-                            "giving up"
-                        ) from exc
-                    retries += 1
-                    # Resume from the shard's checkpoint when one can exist;
-                    # otherwise rerun the shard from scratch.
-                    still_pending[index] = dispatch(
-                        index, resume=checkpoint_dir is not None
-                    )
-            pending = still_pending
-    finally:
+    with obs.span("parallel.scan", mode=mode, shards=shards):
+        with obs.span("parallel.partition"):
+            plan = make_shard_plan(keys, shards, mode=mode)
+        header = sketch_header(template)
+        seeds = _spawn_shard_seeds(seed, plan.shards)
+        trace_parent = ()
+        if obs.enabled:
+            context = obs.trace_context()
+            trace_parent = (
+                context.trace_id,
+                context.span_id,
+                context.process,
+            )
+        owns_pool = pool is None
         if owns_pool:
-            pool.close()
+            pool = WorkerPool(0)
+        if injector is not None and not pool.inline:
+            raise ConfigurationError(
+                "a chaos injector shares mutable fault budgets with the "
+                "coordinator and therefore needs an inline pool (workers=0)"
+            )
 
-    ordered = tuple(results[index] for index in range(plan.shards))
-    shard_sketches = []
-    for result in ordered:
-        sketch = build_sketch(header)
-        sketch._state()[...] = result.counters
-        shard_sketches.append(sketch)
-    merged = merge_tree(shard_sketches)
+        def make_task(index: int, resume: bool) -> ShardTask:
+            child = seeds[index]
+            return ShardTask(
+                index=index,
+                keys=plan.parts[index],
+                header=header,
+                p=p,
+                seed_entropy=child.entropy,
+                seed_spawn_key=tuple(child.spawn_key),
+                chunk_size=chunk_size,
+                checkpoint_dir=None if checkpoint_dir is None else str(checkpoint_dir),
+                checkpoint_every=checkpoint_every,
+                resume=resume,
+                # Process workers are backend-pinned by the pool initializer;
+                # inline runs use the coordinator's active backend as-is.
+                backend=None,
+                observe=obs.enabled,
+                trace_parent=trace_parent,
+            )
+
+        def dispatch(index: int, resume: bool):
+            task = make_task(index, resume)
+            if injector is not None:
+                return pool.submit(_worker, task, injector=injector)
+            return pool.submit(_worker, task)
+
+        try:
+            with obs.span("parallel.collect"):
+                pending = {
+                    index: dispatch(index, False) for index in range(plan.shards)
+                }
+                results: dict[int, ShardResult] = {}
+                attempts = {index: 0 for index in pending}
+                retries = 0
+                while pending:
+                    still_pending = {}
+                    for index, future in pending.items():
+                        try:
+                            results[index] = future.result()
+                        except Exception as exc:
+                            attempts[index] += 1
+                            if attempts[index] > max_retries:
+                                raise RetryExhaustedError(
+                                    f"shard {index} failed {attempts[index]} "
+                                    "time(s); giving up"
+                                ) from exc
+                            retries += 1
+                            obs.counter("parallel.shard.retries").inc()
+                            # Resume from the shard's checkpoint when one can
+                            # exist; otherwise rerun the shard from scratch.
+                            still_pending[index] = dispatch(
+                                index, resume=checkpoint_dir is not None
+                            )
+                    pending = still_pending
+        finally:
+            if owns_pool:
+                pool.close()
+
+        ordered = tuple(results[index] for index in range(plan.shards))
+        for result in ordered:
+            if result.metrics is not None:
+                obs.absorb(
+                    ObserverSnapshot(metrics=result.metrics, spans=result.spans)
+                )
+        obs.counter("parallel.shards.completed").inc(plan.shards)
+        with obs.span("parallel.merge", shards=plan.shards):
+            shard_sketches = []
+            for result in ordered:
+                sketch = build_sketch(header)
+                sketch._state()[...] = result.counters
+                shard_sketches.append(sketch)
+            merged = merge_tree(shard_sketches)
     return ShardedScanResult(
         sketch=merged,
         shard_results=ordered,

@@ -33,6 +33,8 @@ import numpy as np
 
 from ..errors import CheckpointError, ConfigurationError
 from ..kernels import set_backend
+from ..observability.metrics import MetricsSnapshot
+from ..observability.observer import Observer, as_observer, worker_observer
 from ..resilience.chaos import ChaosInjector
 from ..resilience.runtime import StreamRuntime, envelope_stream
 from ..sampling.base import SampleInfo
@@ -51,6 +53,13 @@ class ShardTask:
     coordinator* — the worker reconstructs it verbatim, so every shard's
     shedder draws from an independent, reproducible substream no matter
     which process (or how many retries) executes it.
+
+    ``observe``/``trace_parent`` follow the same pattern for
+    observability: when the coordinator carries a live observer it ships
+    ``observe=True`` plus its root span's context as the plain tuple
+    ``(trace_id, span_id, process)``; the worker builds a private
+    :func:`~repro.observability.worker_observer` from those coordinates
+    and ships its observations back inside the :class:`ShardResult`.
     """
 
     index: int
@@ -64,17 +73,26 @@ class ShardTask:
     checkpoint_every: int = 16
     resume: bool = False
     backend: Optional[str] = None
+    observe: bool = False
+    trace_parent: tuple = ()
 
 
 @dataclass(frozen=True)
 class ShardResult:
-    """One shard's sketch state plus its sampling ledger."""
+    """One shard's sketch state plus its sampling ledger.
+
+    ``metrics``/``spans`` carry the worker observer's frozen
+    observations when the task asked for them (``observe=True``); the
+    coordinator absorbs them in fixed shard order.
+    """
 
     index: int
     counters: np.ndarray
     seen: int
     kept: int
     p: float
+    metrics: Optional[MetricsSnapshot] = None
+    spans: tuple = ()
 
     def info(self) -> SampleInfo:
         """This shard's sample accounting as a :class:`SampleInfo`."""
@@ -100,7 +118,7 @@ def _shard_checkpoint_dir(task: ShardTask) -> Optional[Path]:
     return Path(task.checkpoint_dir) / f"shard-{task.index:03d}"
 
 
-def _build_runtime(task: ShardTask) -> StreamRuntime:
+def _build_runtime(task: ShardTask, observer: Optional[Observer]) -> StreamRuntime:
     directory = _shard_checkpoint_dir(task)
     if task.resume:
         if directory is None:
@@ -109,7 +127,9 @@ def _build_runtime(task: ShardTask) -> StreamRuntime:
             )
         try:
             return StreamRuntime.recover(
-                directory, checkpoint_every=task.checkpoint_every
+                directory,
+                checkpoint_every=task.checkpoint_every,
+                observer=observer,
             )
         except CheckpointError:
             # Killed before the first snapshot landed — start clean.
@@ -120,6 +140,7 @@ def _build_runtime(task: ShardTask) -> StreamRuntime:
         seed=_shard_seed(task),
         checkpoint_dir=directory,
         checkpoint_every=task.checkpoint_every,
+        observer=observer,
     )
 
 
@@ -133,18 +154,26 @@ def run_shard(task: ShardTask, *, injector: Optional[ChaosInjector] = None) -> S
     """
     if task.backend is not None:
         set_backend(task.backend)
-    runtime = _build_runtime(task)
+    observer = (
+        worker_observer(task.index, task.trace_parent) if task.observe else None
+    )
+    obs = as_observer(observer)
+    runtime = _build_runtime(task, observer)
     keys = np.asarray(task.keys, dtype=np.int64)
     envelopes = envelope_stream(iter_chunks(keys, task.chunk_size))
     if injector is not None:
         envelopes = injector.wrap(envelopes)
-    runtime.run(envelopes)
+    with obs.span("worker.shard", index=task.index, rows=int(keys.size)):
+        runtime.run(envelopes)
+    snapshot = obs.export() if observer is not None else None
     return ShardResult(
         index=task.index,
         counters=np.array(runtime.sketch._state(), copy=True),
         seen=runtime.sketcher.seen,
         kept=runtime.sketcher.kept,
         p=runtime.sketcher.rate,
+        metrics=None if snapshot is None else snapshot.metrics,
+        spans=() if snapshot is None else snapshot.spans,
     )
 
 

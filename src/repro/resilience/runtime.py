@@ -35,6 +35,8 @@ from typing import Callable, Iterable, Iterator, Optional
 import numpy as np
 
 from ..errors import CheckpointError, ConfigurationError, StreamIntegrityError
+from ..observability.observer import Observer, as_observer
+from ..observability.quality import observe_shedding
 from ..rng import SeedLike
 from ..sketches.base import Sketch
 from ..sketches.serialization import build_sketch, expected_state_shape, sketch_header
@@ -105,6 +107,11 @@ class StreamRuntime:
     clock:
         Zero-argument monotonic timer used to cost chunks (injectable for
         deterministic tests; defaults to :func:`time.perf_counter`).
+    observer:
+        Optional :class:`~repro.observability.Observer` receiving the
+        runtime's chunk/tuple counters, shed-rate and governor
+        duty-cycle gauges, latency histograms, and checkpoint spans;
+        defaults to the near-free null observer.
     """
 
     __slots__ = (
@@ -116,6 +123,7 @@ class StreamRuntime:
         "position",
         "duplicates",
         "checkpoints_written",
+        "observer",
         "_manager",
     )
 
@@ -131,6 +139,7 @@ class StreamRuntime:
         governor: Optional[LoadGovernor] = None,
         hardener: Optional[InputHardener] = None,
         clock: Callable[[], float] = time.perf_counter,
+        observer: Optional[Observer] = None,
     ) -> None:
         if checkpoint_every < 1:
             raise ConfigurationError(
@@ -140,6 +149,7 @@ class StreamRuntime:
         self.governor = governor
         self.hardener = hardener
         self.clock = clock
+        self.observer = as_observer(observer)
         self.checkpoint_every = int(checkpoint_every)
         self.position = 0
         self.duplicates = 0
@@ -173,33 +183,52 @@ class StreamRuntime:
         :class:`~repro.errors.StreamIntegrityError`, as does an envelope
         whose payload fails its count or CRC check.
         """
+        obs = self.observer
         if envelope.sequence < self.position:
             self.duplicates += 1
+            obs.counter("runtime.chunks.duplicate").inc()
             return 0
         if envelope.sequence > self.position:
+            obs.counter("runtime.chunks.rejected", reason="gap").inc()
             raise StreamIntegrityError(
                 f"stream gap: expected chunk {self.position}, "
                 f"received chunk {envelope.sequence}"
             )
         keys = np.asarray(envelope.keys)
         if int(keys.size) != envelope.count:
+            obs.counter("runtime.chunks.rejected", reason="truncated").inc()
             raise StreamIntegrityError(
                 f"chunk {envelope.sequence} truncated: declared "
                 f"{envelope.count} tuples, received {keys.size}"
             )
         if zlib.crc32(np.ascontiguousarray(keys).tobytes()) != envelope.crc32:
+            obs.counter("runtime.chunks.rejected", reason="crc").inc()
             raise StreamIntegrityError(
                 f"chunk {envelope.sequence} failed its CRC32 payload check"
             )
         if self.hardener is not None:
             keys = self.hardener.sanitize(keys)
-        started = self.clock()
-        kept = self.sketcher.process(keys)
-        elapsed = self.clock() - started
-        if self.governor is not None:
-            proposal = self.governor.propose(self.sketcher.rate, kept, elapsed)
-            if proposal is not None:
-                self.sketcher.set_rate(proposal)
+        with obs.span("runtime.chunk", sequence=envelope.sequence):
+            started = self.clock()
+            kept = self.sketcher.process(keys)
+            elapsed = self.clock() - started
+            if self.governor is not None:
+                proposal = self.governor.propose(self.sketcher.rate, kept, elapsed)
+                if proposal is not None:
+                    self.sketcher.set_rate(proposal)
+                    obs.counter("runtime.rate.retunes").inc()
+        obs.counter("runtime.chunks.accepted").inc()
+        obs.counter("runtime.tuples.seen").inc(int(keys.size))
+        obs.counter("runtime.tuples.sketched").inc(kept)
+        obs.histogram("runtime.chunk.seconds").observe(elapsed)
+        if obs.enabled:
+            observe_shedding(
+                obs,
+                self.sketcher,
+                self.governor,
+                arrived=int(keys.size),
+                elapsed=elapsed,
+            )
         self.position += 1
         if self._manager is not None and self.position % self.checkpoint_every == 0:
             self.checkpoint()
@@ -256,18 +285,25 @@ class StreamRuntime:
             raise ConfigurationError(
                 "this runtime has no checkpoint_dir; nothing to snapshot"
             )
-        state = {
-            "sketch": sketch_header(self.sketch),
-            "sketcher": self.sketcher.state(),
-            "duplicates": self.duplicates,
-        }
-        if self.governor is not None:
-            state["governor"] = self.governor.state()
-        path = self._manager.save(
-            position=self.position,
-            state=state,
-            arrays={"counters": self.sketch._state()},
+        obs = self.observer
+        started = self.clock()
+        with obs.span("runtime.checkpoint.write", position=self.position):
+            state = {
+                "sketch": sketch_header(self.sketch),
+                "sketcher": self.sketcher.state(),
+                "duplicates": self.duplicates,
+            }
+            if self.governor is not None:
+                state["governor"] = self.governor.state()
+            path = self._manager.save(
+                position=self.position,
+                state=state,
+                arrays={"counters": self.sketch._state()},
+            )
+        obs.histogram("runtime.checkpoint.seconds").observe(
+            self.clock() - started
         )
+        obs.counter("runtime.checkpoints.written").inc()
         self.checkpoints_written += 1
         return path
 
@@ -282,6 +318,7 @@ class StreamRuntime:
         hardener: Optional[InputHardener] = None,
         clock: Callable[[], float] = time.perf_counter,
         strict: bool = False,
+        observer: Optional[Observer] = None,
     ) -> "StreamRuntime":
         """Rebuild a runtime from the newest intact snapshot on disk.
 
@@ -292,46 +329,55 @@ class StreamRuntime:
         the applied prefix and continues bit-identically.  Raises
         :class:`~repro.errors.CheckpointError` when no usable snapshot
         exists (or, with ``strict=True``, on the first corrupt one).
+
+        *observer* is attached to the recovered runtime and receives a
+        ``runtime.checkpoint.restore`` span plus a
+        ``runtime.recoveries`` counter increment for the recovery itself.
         """
+        obs = as_observer(observer)
         manager = CheckpointManager(checkpoint_dir, keep=keep_checkpoints)
-        snapshot = manager.latest(strict=strict)
-        if snapshot is None:
-            raise CheckpointError(
-                f"no usable checkpoint in {checkpoint_dir} "
-                f"({len(manager.corrupt_detected)} corrupt snapshot(s) detected)"
+        with obs.span("runtime.checkpoint.restore") as restore_span:
+            snapshot = manager.latest(strict=strict)
+            if snapshot is None:
+                raise CheckpointError(
+                    f"no usable checkpoint in {checkpoint_dir} "
+                    f"({len(manager.corrupt_detected)} corrupt snapshot(s) detected)"
+                )
+            header = snapshot.state.get("sketch")
+            if not isinstance(header, dict):
+                raise CheckpointError(
+                    f"checkpoint {snapshot.path} has no serialized sketch header"
+                )
+            counters = snapshot.arrays.get("counters")
+            if counters is None:
+                raise CheckpointError(
+                    f"checkpoint {snapshot.path} has no counters payload"
+                )
+            sketch = build_sketch(header)
+            expected = expected_state_shape(header)
+            if tuple(counters.shape) != expected:
+                raise CheckpointError(
+                    f"checkpoint {snapshot.path} counters shape {counters.shape} "
+                    f"does not match the sketch's expected {expected}"
+                )
+            sketch._state()[...] = counters.astype(np.float64, copy=False)
+            runtime = object.__new__(cls)
+            runtime.sketcher = AdaptiveSheddingSketcher.restore(
+                sketch, snapshot.state["sketcher"]
             )
-        header = snapshot.state.get("sketch")
-        if not isinstance(header, dict):
-            raise CheckpointError(
-                f"checkpoint {snapshot.path} has no serialized sketch header"
-            )
-        counters = snapshot.arrays.get("counters")
-        if counters is None:
-            raise CheckpointError(
-                f"checkpoint {snapshot.path} has no counters payload"
-            )
-        sketch = build_sketch(header)
-        expected = expected_state_shape(header)
-        if tuple(counters.shape) != expected:
-            raise CheckpointError(
-                f"checkpoint {snapshot.path} counters shape {counters.shape} "
-                f"does not match the sketch's expected {expected}"
-            )
-        sketch._state()[...] = counters.astype(np.float64, copy=False)
-        runtime = object.__new__(cls)
-        runtime.sketcher = AdaptiveSheddingSketcher.restore(
-            sketch, snapshot.state["sketcher"]
-        )
-        runtime.governor = governor
-        if governor is not None and "governor" in snapshot.state:
-            governor.restore(snapshot.state["governor"])
-        runtime.hardener = hardener
-        runtime.clock = clock
-        runtime.checkpoint_every = int(checkpoint_every)
-        runtime.position = snapshot.position
-        runtime.duplicates = int(snapshot.state.get("duplicates", 0))
-        runtime.checkpoints_written = 0
-        runtime._manager = manager
+            runtime.governor = governor
+            if governor is not None and "governor" in snapshot.state:
+                governor.restore(snapshot.state["governor"])
+            runtime.hardener = hardener
+            runtime.clock = clock
+            runtime.checkpoint_every = int(checkpoint_every)
+            runtime.position = snapshot.position
+            runtime.duplicates = int(snapshot.state.get("duplicates", 0))
+            runtime.checkpoints_written = 0
+            runtime.observer = obs
+            runtime._manager = manager
+            restore_span.annotate(position=snapshot.position)
+        obs.counter("runtime.recoveries").inc()
         return runtime
 
     def __repr__(self) -> str:

@@ -1,0 +1,126 @@
+"""REP006 fixtures: metric/span names must be static dotted literals."""
+
+from __future__ import annotations
+
+
+class TestRep006Triggers:
+    def test_fstring_counter_name_is_flagged(self, run_rule):
+        findings = run_rule(
+            """
+            def instrument(obs, relation):
+                obs.counter(f"engine.rows.{relation}").inc()
+            """,
+            "REP006",
+        )
+        assert len(findings) == 1
+        assert "f-string" in findings[0].message
+
+    def test_concatenated_span_name_is_flagged(self, run_rule):
+        findings = run_rule(
+            """
+            def instrument(obs, stage):
+                with obs.span("scan." + stage):
+                    pass
+            """,
+            "REP006",
+        )
+        assert len(findings) == 1
+
+    def test_percent_formatted_gauge_name_is_flagged(self, run_rule):
+        findings = run_rule(
+            """
+            def instrument(obs, shard):
+                obs.gauge("shard.%d.rate" % shard).set(1.0)
+            """,
+            "REP006",
+        )
+        assert len(findings) == 1
+
+    def test_str_format_histogram_name_is_flagged(self, run_rule):
+        findings = run_rule(
+            """
+            def instrument(obs, op):
+                obs.histogram("kernels.{}.seconds".format(op)).observe(0.1)
+            """,
+            "REP006",
+        )
+        assert len(findings) == 1
+
+    def test_uppercase_literal_is_flagged(self, run_rule):
+        findings = run_rule(
+            """
+            def instrument(obs):
+                obs.counter("Engine.Rows").inc()
+            """,
+            "REP006",
+        )
+        assert len(findings) == 1
+        assert "lowercase dotted" in findings[0].message
+
+    def test_single_segment_literal_is_flagged(self, run_rule):
+        findings = run_rule(
+            """
+            def instrument(obs):
+                obs.counter("rows").inc()
+            """,
+            "REP006",
+        )
+        assert len(findings) == 1
+
+    def test_keyword_name_argument_is_inspected(self, run_rule):
+        findings = run_rule(
+            """
+            def instrument(obs, op):
+                obs.counter(name=f"kernels.{op}").inc()
+            """,
+            "REP006",
+        )
+        assert len(findings) == 1
+
+
+class TestRep006Passes:
+    def test_static_dotted_literal_with_labels_is_clean(self, run_rule):
+        findings = run_rule(
+            """
+            def instrument(obs, relation):
+                obs.counter("engine.rows.consumed", relation=relation).inc()
+                obs.gauge("engine.fraction_scanned", relation=relation).set(0.5)
+                obs.histogram("scan.checkpoint.seconds").observe(0.01)
+                with obs.span("scan.chunk", relation=relation):
+                    pass
+            """,
+            "REP006",
+        )
+        assert findings == []
+
+    def test_plain_variable_name_is_left_to_runtime_validation(self, run_rule):
+        findings = run_rule(
+            """
+            def instrument(obs, name):
+                obs.counter(name).inc()
+            """,
+            "REP006",
+        )
+        assert findings == []
+
+    def test_unrelated_methods_are_ignored(self, run_rule):
+        findings = run_rule(
+            """
+            def report(formatter, stage):
+                formatter.render(f"stage {stage}")
+                return "a" + "b"
+            """,
+            "REP006",
+        )
+        assert findings == []
+
+    def test_tests_are_exempt_by_default(self, run_rule):
+        findings = run_rule(
+            """
+            def test_validator_rejects_bad_names(obs):
+                obs.counter("NOT VALID")
+            """,
+            "REP006",
+            rel_path="tests/test_names.py",
+        )
+        assert findings == []

@@ -1,0 +1,47 @@
+"""Shared fixtures for the observability suite.
+
+``tick_clock`` is the injectable deterministic clock: every call returns
+the previous reading plus one, so span durations and histogram inputs are
+exact integers and the tests assert equality, not tolerance.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.observability import Observer
+from repro.parallel import WorkerPool
+
+
+class TickClock:
+    """A monotonic fake clock advancing by ``step`` per call."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+@pytest.fixture
+def tick_clock() -> TickClock:
+    """A fresh deterministic clock."""
+    return TickClock()
+
+
+@pytest.fixture
+def observer(tick_clock) -> Observer:
+    """An enabled observer driven by the deterministic clock."""
+    return Observer(tick_clock)
+
+
+@pytest.fixture(scope="module")
+def process_pool():
+    """One real multiprocess pool shared across a test module."""
+    workers = int(os.environ.get("REPRO_PARALLEL_WORKERS", "2"))
+    with WorkerPool(workers) as pool:
+        yield pool

@@ -1,0 +1,125 @@
+"""Exporters: Prometheus text, Chrome trace_event JSON, JSONL sinks."""
+
+from __future__ import annotations
+
+import json
+
+from repro.observability import (
+    Observer,
+    metrics_to_records,
+    spans_to_records,
+    to_chrome_trace,
+    to_prometheus,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _populated_observer(tick_clock) -> Observer:
+    obs = Observer(tick_clock)
+    obs.counter("runtime.tuples.seen").inc(100)
+    obs.counter("engine.rows.consumed", relation="orders").inc(3)
+    obs.counter("engine.rows.consumed", relation="lineitem").inc(7)
+    obs.gauge("resilience.shed.rate").set(0.5)
+    obs.histogram("runtime.chunk.seconds", (1.0, 2.0)).observe(1.5)
+    with obs.span("parallel.scan"):
+        pass
+    return obs
+
+
+class TestPrometheus:
+    def test_counters_gain_total_and_labels_render(self, tick_clock):
+        text = to_prometheus(_populated_observer(tick_clock))
+        assert "# TYPE repro_runtime_tuples_seen_total counter" in text
+        assert "repro_runtime_tuples_seen_total 100" in text
+        assert (
+            'repro_engine_rows_consumed_total{relation="lineitem"} 7' in text
+        )
+        assert 'repro_engine_rows_consumed_total{relation="orders"} 3' in text
+
+    def test_gauges_and_histograms_render(self, tick_clock):
+        text = to_prometheus(_populated_observer(tick_clock))
+        assert "# TYPE repro_resilience_shed_rate gauge" in text
+        assert "repro_resilience_shed_rate 0.5" in text
+        assert 'repro_runtime_chunk_seconds_bucket{le="1"} 0' in text
+        assert 'repro_runtime_chunk_seconds_bucket{le="2"} 1' in text
+        assert 'repro_runtime_chunk_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_runtime_chunk_seconds_sum 1.5" in text
+        assert "repro_runtime_chunk_seconds_count 1" in text
+
+    def test_output_is_deterministic_and_sorted(self, tick_clock):
+        first = to_prometheus(_populated_observer(tick_clock).export())
+        second = to_prometheus(_populated_observer(type(tick_clock)()).export())
+        assert first == second
+        lines = [line for line in first.splitlines() if "rows_consumed" in line]
+        # lineitem sorts before orders
+        assert "lineitem" in lines[1] and "orders" in lines[2]
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus(Observer().export()) == ""
+
+    def test_namespace_is_configurable(self, tick_clock):
+        text = to_prometheus(_populated_observer(tick_clock), namespace="")
+        assert "runtime_tuples_seen_total 100" in text
+        assert "repro_" not in text
+
+
+class TestChromeTrace:
+    def test_main_is_pid_one_and_processes_get_metadata(self, tick_clock):
+        obs = _populated_observer(tick_clock)
+        worker = Observer(tick_clock, process="shard-000")
+        with worker.span("worker.shard"):
+            pass
+        obs.absorb(worker.export())
+        trace = to_chrome_trace(obs)
+        meta = {
+            event["args"]["name"]: event["pid"]
+            for event in trace["traceEvents"]
+            if event["ph"] == "M"
+        }
+        assert meta["main"] == 1
+        assert meta["shard-000"] == 2
+
+    def test_complete_events_scale_to_microseconds(self, tick_clock):
+        obs = Observer(tick_clock)
+        with obs.span("scan.chunk"):
+            pass
+        (event,) = [
+            e for e in to_chrome_trace(obs)["traceEvents"] if e["ph"] == "X"
+        ]
+        assert event["name"] == "scan.chunk"
+        assert event["ts"] == 1e6
+        assert event["dur"] == 1e6
+        assert event["args"]["span_id"] == 1
+
+    def test_write_chrome_trace_emits_loadable_json(self, tick_clock, tmp_path):
+        obs = _populated_observer(tick_clock)
+        path = write_chrome_trace(tmp_path / "trace.json", obs)
+        loaded = json.loads(path.read_text())
+        assert loaded["traceEvents"]
+        assert loaded["displayTimeUnit"] == "ms"
+
+
+class TestJsonl:
+    def test_metric_and_span_records_round_trip(self, tick_clock, tmp_path):
+        obs = _populated_observer(tick_clock)
+        path = write_jsonl(
+            tmp_path / "dump.jsonl",
+            [*metrics_to_records(obs), *spans_to_records(obs)],
+        )
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = {record["kind"] for record in records}
+        assert kinds == {"counter", "gauge", "histogram", "span"}
+        counters = {
+            (record["name"], tuple(sorted(record["labels"].items())))
+            for record in records
+            if record["kind"] == "counter"
+        }
+        assert ("runtime.tuples.seen", ()) in counters
+
+    def test_append_mode_accumulates(self, tick_clock, tmp_path):
+        obs = _populated_observer(tick_clock)
+        path = tmp_path / "dump.jsonl"
+        write_jsonl(path, spans_to_records(obs))
+        write_jsonl(path, spans_to_records(obs), append=True)
+        assert len(path.read_text().splitlines()) == 2

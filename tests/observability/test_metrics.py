@@ -1,0 +1,164 @@
+"""Metrics core: instruments, name validation, snapshot/merge, null path."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullRegistry,
+    validate_metric_name,
+)
+
+
+class TestNameValidation:
+    def test_lowercase_dotted_names_pass(self):
+        for name in ("runtime.tuples.seen", "a.b", "engine.rows2.x_y"):
+            assert validate_metric_name(name) == name
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["rows", "Engine.rows", "engine.Rows", "engine..rows", ".rows",
+         "engine.rows.", "engine rows", "engine.2rows", "", 7],
+    )
+    def test_malformed_names_raise(self, bad):
+        with pytest.raises(ConfigurationError):
+            validate_metric_name(bad)
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("runtime.tuples.seen")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_gauge_keeps_the_last_value(self):
+        gauge = MetricsRegistry().gauge("resilience.shed.rate")
+        gauge.set(0.5)
+        gauge.set(0.25)
+        assert gauge.value == 0.25
+
+    def test_histogram_buckets_and_overflow(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("runtime.chunk.seconds", (1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 3.0, 100.0):
+            hist.observe(value)
+        assert hist.counts == [2, 0, 1, 1]  # <=1, <=2, <=4, +inf
+        assert hist.count == 4
+        assert hist.total == 104.5
+
+    def test_histogram_bounds_must_strictly_increase(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("a.b", (1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("a.c", ())
+
+    def test_same_name_and_labels_return_the_cached_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("engine.rows.consumed", relation="lineitem")
+        again = registry.counter("engine.rows.consumed", relation="lineitem")
+        other = registry.counter("engine.rows.consumed", relation="orders")
+        assert first is again
+        assert first is not other
+
+    def test_instrument_kinds_are_exclusive_per_name(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.rows.consumed")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("engine.rows.consumed")
+
+    def test_histogram_reregistration_with_other_bounds_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("runtime.chunk.seconds", (1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            registry.histogram("runtime.chunk.seconds", (1.0, 3.0))
+
+
+class TestSnapshotAndMerge:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("runtime.tuples.seen").inc(10)
+        registry.gauge("resilience.shed.rate").set(0.5)
+        registry.histogram("runtime.chunk.seconds", (1.0, 2.0)).observe(1.5)
+        return registry
+
+    def test_snapshot_is_plain_picklable_data(self):
+        snapshot = self._populated().snapshot()
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone.counter_value("runtime.tuples.seen") == 10
+        assert clone.gauge_value("resilience.shed.rate") == 0.5
+        assert clone.gauge_value("resilience.never.set") is None
+
+    def test_merge_adds_counters_and_histograms(self):
+        a = self._populated().snapshot()
+        b = self._populated().snapshot()
+        merged = a.merge(b)
+        assert merged.counter_value("runtime.tuples.seen") == 20
+        key = ("runtime.chunk.seconds", ())
+        assert merged.histograms[key]["counts"] == [0, 2, 0]
+        assert merged.histograms[key]["count"] == 2
+        # The operands are untouched.
+        assert a.counter_value("runtime.tuples.seen") == 10
+
+    def test_merge_gauges_are_last_writer_wins(self):
+        a = MetricsRegistry()
+        a.gauge("resilience.shed.rate").set(0.5)
+        b = MetricsRegistry()
+        b.gauge("resilience.shed.rate").set(0.125)
+        assert a.snapshot().merge(b.snapshot()).gauge_value(
+            "resilience.shed.rate"
+        ) == 0.125
+
+    def test_merge_rejects_mismatched_histogram_bounds(self):
+        a = MetricsRegistry()
+        a.histogram("runtime.chunk.seconds", (1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("runtime.chunk.seconds", (1.0, 4.0)).observe(0.5)
+        with pytest.raises(ConfigurationError):
+            a.snapshot().merge(b.snapshot())
+
+    def test_absorb_folds_a_snapshot_into_live_instruments(self):
+        registry = self._populated()
+        registry.absorb(self._populated().snapshot())
+        snapshot = registry.snapshot()
+        assert snapshot.counter_value("runtime.tuples.seen") == 20
+        key = ("runtime.chunk.seconds", ())
+        assert snapshot.histograms[key]["count"] == 2
+
+    def test_fixed_order_merge_is_deterministic(self):
+        shards = []
+        for amount in (1, 2, 3):
+            registry = MetricsRegistry()
+            registry.counter("runtime.tuples.seen").inc(amount)
+            shards.append(registry.snapshot())
+        merged = MetricsSnapshot()
+        for snapshot in shards:
+            merged = merged.merge(snapshot)
+        assert merged.counter_value("runtime.tuples.seen") == 6
+
+
+class TestNullRegistry:
+    def test_null_registry_is_disabled_and_shares_instruments(self):
+        null = NullRegistry()
+        assert null.enabled is False
+        assert null.counter("a.b") is null.counter("c.d")
+        assert null.gauge("a.b") is null.gauge("c.d")
+        assert null.histogram("a.b") is null.histogram("c.d")
+
+    def test_null_instruments_discard_everything(self):
+        null = NullRegistry()
+        null.counter("a.b").inc(5)
+        null.gauge("a.b").set(1.0)
+        null.histogram("c.d").observe(0.5)
+        snapshot = null.snapshot()
+        assert snapshot.counters == {}
+        assert snapshot.gauges == {}
+        assert snapshot.histograms == {}

@@ -1,0 +1,95 @@
+"""Quality monitoring: variance-bound breaches and shedding gauges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability import Observer, QualityMonitor, observe_shedding
+
+
+class TestQualityMonitor:
+    def test_within_bound_observations_do_not_breach(self, observer):
+        monitor = QualityMonitor(observer)
+        breach = monitor.record("self_join", estimate=10.0, truth=9.0,
+                                variance_bound=1.0)
+        assert breach is None
+        assert monitor.breaches == []
+        snapshot = observer.metrics.snapshot()
+        assert snapshot.counter_value("quality.observations",
+                                      metric="self_join") == 1
+        assert snapshot.counter_value("quality.breaches",
+                                      metric="self_join") == 0
+        assert snapshot.gauge_value("quality.squared_error",
+                                    metric="self_join") == 1.0
+        assert snapshot.gauge_value("quality.error_ratio",
+                                    metric="self_join") == 1.0
+
+    def test_exceeding_slack_times_bound_breaches(self, observer):
+        monitor = QualityMonitor(observer, slack=9.0)
+        breach = monitor.record("join", estimate=10.0, truth=0.0,
+                                variance_bound=1.0)
+        assert breach is not None
+        assert breach.squared_error == 100.0
+        assert breach.ratio == 100.0
+        assert monitor.breaches == [breach]
+        assert observer.metrics.snapshot().counter_value(
+            "quality.breaches", metric="join"
+        ) == 1
+
+    def test_zero_variance_bound_breaches_on_any_error(self, observer):
+        monitor = QualityMonitor(observer)
+        breach = monitor.record("join", estimate=1.0, truth=0.0,
+                                variance_bound=0.0)
+        assert breach is not None
+        assert breach.ratio == float("inf")
+
+    def test_breach_rate_tracks_the_chebyshev_budget(self, observer):
+        monitor = QualityMonitor(observer, slack=9.0)
+        for estimate in (1.0, 1.0, 1.0, 100.0):
+            monitor.record("join", estimate=estimate, truth=1.0,
+                           variance_bound=1.0)
+        assert monitor.breach_rate("join") == 0.25
+        assert monitor.breach_rate("never.seen") == 0.0
+
+    def test_invalid_parameters_raise(self, observer):
+        with pytest.raises(ConfigurationError):
+            QualityMonitor(observer, slack=0.0)
+        with pytest.raises(ConfigurationError):
+            QualityMonitor(observer).record("join", 1.0, 1.0,
+                                            variance_bound=-1.0)
+
+
+class _FakeSketcher:
+    rate = 0.5
+    seen = 100
+    kept = 40
+
+
+class _FakeGovernor:
+    cost_estimate = 2e-6
+    budget_per_tuple = 4e-6
+
+
+class TestObserveShedding:
+    def test_gauges_reflect_the_sketcher_ledger(self, observer):
+        observe_shedding(observer, _FakeSketcher())
+        snapshot = observer.metrics.snapshot()
+        assert snapshot.gauge_value("resilience.shed.rate") == 0.5
+        assert snapshot.gauge_value("resilience.shed.drop_fraction") == 0.6
+
+    def test_governor_duty_cycle_is_cost_over_budget(self, observer):
+        observe_shedding(
+            observer,
+            _FakeSketcher(),
+            _FakeGovernor(),
+            arrived=1000,
+            elapsed=2e-3,  # 2 µs per arrived tuple against a 4 µs budget
+        )
+        snapshot = observer.metrics.snapshot()
+        assert snapshot.gauge_value(
+            "resilience.governor.cost_per_kept_tuple"
+        ) == 2e-6
+        assert snapshot.gauge_value(
+            "resilience.governor.duty_cycle"
+        ) == pytest.approx(0.5)

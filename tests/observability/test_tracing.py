@@ -1,0 +1,116 @@
+"""Tracing: deterministic ids, nesting, propagation, export/absorb."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability import NullTracer, SpanContext, Tracer
+
+
+class TestSpans:
+    def test_span_records_clock_readings(self, tick_clock):
+        tracer = Tracer(tick_clock)
+        with tracer.span("scan.chunk", relation="lineitem"):
+            pass
+        (record,) = tracer.finished
+        assert record.name == "scan.chunk"
+        assert (record.start, record.end) == (1.0, 2.0)
+        assert record.duration == 1.0
+        assert record.args == {"relation": "lineitem"}
+        assert record.process == "main"
+
+    def test_span_ids_are_sequential_and_nested_parents_link(self, tick_clock):
+        tracer = Tracer(tick_clock)
+        with tracer.span("scan.fraction"):
+            with tracer.span("scan.chunk"):
+                pass
+            with tracer.span("scan.checkpoint.write"):
+                pass
+        by_name = {record.name: record for record in tracer.finished}
+        outer = by_name["scan.fraction"]
+        assert outer.span_id == 1
+        assert outer.parent_id is None
+        assert by_name["scan.chunk"].span_id == 2
+        assert by_name["scan.chunk"].parent_id == outer.span_id
+        assert by_name["scan.checkpoint.write"].span_id == 3
+        assert by_name["scan.checkpoint.write"].parent_id == outer.span_id
+
+    def test_annotate_attaches_args_before_close(self, tick_clock):
+        tracer = Tracer(tick_clock)
+        with tracer.span("runtime.checkpoint.restore") as span:
+            span.annotate(position=7)
+        assert tracer.finished[0].args == {"position": 7}
+
+    def test_span_closes_on_exception(self, tick_clock):
+        tracer = Tracer(tick_clock)
+        with pytest.raises(RuntimeError):
+            with tracer.span("runtime.chunk"):
+                raise RuntimeError("boom")
+        assert len(tracer.finished) == 1
+        assert tracer._stack == []
+
+    def test_invalid_span_name_raises(self, tick_clock):
+        with pytest.raises(ConfigurationError):
+            Tracer(tick_clock).span("NotValid")
+
+
+class TestPropagation:
+    def test_current_context_requires_an_open_span(self, tick_clock):
+        tracer = Tracer(tick_clock)
+        with pytest.raises(ConfigurationError):
+            tracer.current_context()
+        with tracer.span("parallel.scan"):
+            context = tracer.current_context()
+        assert context == SpanContext(trace_id=0, span_id=1, process="main")
+
+    def test_worker_tracer_nests_under_the_shipped_context(self, tick_clock):
+        coordinator = Tracer(tick_clock)
+        with coordinator.span("parallel.scan"):
+            context = coordinator.current_context()
+        worker = Tracer(tick_clock, process="shard-000", parent=context)
+        with worker.span("worker.shard"):
+            pass
+        (record,) = worker.finished
+        assert record.parent_id == context.span_id
+        assert record.process == "shard-000"
+
+    def test_parent_from_another_trace_is_rejected(self, tick_clock):
+        foreign = SpanContext(trace_id=9, span_id=1)
+        with pytest.raises(ConfigurationError):
+            Tracer(tick_clock, parent=foreign, trace_id=0)
+
+    def test_export_absorb_round_trip_preserves_records(self, tick_clock):
+        worker = Tracer(tick_clock, process="shard-001")
+        with worker.span("worker.shard", index=1):
+            pass
+        coordinator = Tracer(tick_clock)
+        coordinator.absorb(worker.export_spans())
+        (record,) = coordinator.finished
+        assert record.name == "worker.shard"
+        assert record.process == "shard-001"
+        assert record.args == {"index": 1}
+
+    def test_relabel_rewrites_finished_process_labels(self, tick_clock):
+        tracer = Tracer(tick_clock)
+        with tracer.span("worker.shard"):
+            pass
+        tracer.relabel("shard-004")
+        assert tracer.finished[0].process == "shard-004"
+
+
+class TestNullTracer:
+    def test_null_tracer_records_nothing(self):
+        null = NullTracer()
+        assert null.enabled is False
+        with null.span("scan.chunk") as span:
+            span.annotate(ignored=True)
+        assert null.export_spans() == []
+
+    def test_null_tracer_hands_out_one_shared_span(self):
+        null = NullTracer()
+        assert null.span("a.b") is null.span("c.d")
+
+    def test_null_tracer_context_is_fixed(self):
+        context = NullTracer().current_context()
+        assert (context.trace_id, context.span_id) == (0, 0)
