@@ -1,66 +1,106 @@
 """Repo-specific static analysis: the invariants the runtime never checks.
 
-This package is a self-contained AST-based checker for the reproduction's
-correctness invariants (see ``docs/STATIC_ANALYSIS.md``):
+This package is a self-contained checker for the reproduction's
+correctness invariants (see ``docs/STATIC_ANALYSIS.md``).  It runs in
+two passes: per-file AST rules, then whole-program rules over a
+project-wide symbol table and call graph
+(:mod:`repro.analysis.graph` / :mod:`repro.analysis.resolve`):
 
-========  =================  ====================================================
-Code      Name               Invariant
-========  =================  ====================================================
-REP001    determinism        randomness flows through :mod:`repro.rng` only
-REP002    dtype-safety       power sums/accumulators promote to int64/float64
-REP003    api-consistency    ``__all__`` is real; public defs documented
-REP004    float-equality     no bare ``==``/``!=`` on float expressions
-REP005    estimator-contract sketches implement the full interface and call
-                             ``check_compatible`` before cross-sketch estimates
-========  =================  ====================================================
+========  ====================  ================================================
+Code      Name                  Invariant
+========  ====================  ================================================
+REP001    determinism           randomness flows through :mod:`repro.rng` only
+REP002    dtype-safety          power sums/accumulators promote to int64/float64
+REP003    api-consistency       ``__all__`` is real; public defs documented
+REP004    float-equality        no bare ``==``/``!=`` on float expressions
+REP005    estimator-contract    sketches implement the full interface and call
+                                ``check_compatible`` before cross-sketch
+                                estimates
+REP006    metric-names          metric/span names are static dotted literals
+REP007    pickle-safety         only picklable plain data crosses process seams
+REP008    kernel-seam           sketch updates route through the kernels backend
+REP009    observer-propagation  ``observer=`` forwards through every call chain
+REP010    checkpoint-schema     checkpoint save/restore key sets stay symmetric
+========  ====================  ================================================
 
 Run it with ``python -m repro.analysis [paths]`` (or the installed
 ``repro-analysis`` script); the tier-1 test suite also executes it over
-``src`` and ``tests`` so a violation fails CI.
+``src`` and ``tests`` so a violation fails CI.  ``--jobs N`` parallelizes
+the per-file pass, ``--cache-dir`` enables the content-hash incremental
+cache, and ``-f sarif`` emits a SARIF 2.1.0 report for code scanning.
 """
 
 from __future__ import annotations
 
+from .cache import AnalysisCache, ruleset_fingerprint
 from .config import AnalysisConfig, RuleConfig, load_config, path_matches
 from .engine import (
     AnalysisResult,
     analyze_file,
     analyze_paths,
     analyze_source,
+    analyze_sources,
     discover_files,
+    effective_suppressions,
     parse_suppressions,
 )
+from .graph import ModuleInfo, module_name_for, summarize_module
 from .registry import (
     RULE_REGISTRY,
     FileContext,
     Finding,
+    ProjectContext,
+    ProjectRule,
     Rule,
     Severity,
     all_rules,
+    file_rules,
     get_rule,
+    project_rules,
 )
-from .reporters import REPORT_SCHEMA_VERSION, render_json, render_text
+from .reporters import (
+    REPORT_SCHEMA_VERSION,
+    SARIF_VERSION,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from .resolve import ProjectGraph
 from . import rules as _rules  # noqa: F401  — registers the REP rules
 
 __all__ = [
+    "AnalysisCache",
     "AnalysisConfig",
     "AnalysisResult",
     "FileContext",
     "Finding",
+    "ModuleInfo",
+    "ProjectContext",
+    "ProjectGraph",
+    "ProjectRule",
     "REPORT_SCHEMA_VERSION",
     "RULE_REGISTRY",
     "Rule",
     "RuleConfig",
+    "SARIF_VERSION",
     "Severity",
     "all_rules",
     "analyze_file",
     "analyze_paths",
     "analyze_source",
+    "analyze_sources",
     "discover_files",
+    "effective_suppressions",
+    "file_rules",
     "get_rule",
     "load_config",
+    "module_name_for",
     "parse_suppressions",
     "path_matches",
+    "project_rules",
     "render_json",
+    "render_sarif",
     "render_text",
+    "ruleset_fingerprint",
+    "summarize_module",
 ]

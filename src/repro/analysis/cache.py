@@ -1,0 +1,236 @@
+"""Content-hash incremental cache for the analyzer.
+
+Re-running the checker over an unchanged tree should cost file hashing,
+not re-analysis.  The cache keys every entry on **content**, never on
+mtimes:
+
+* a *per-file* entry stores one file's post-suppression per-file-rule
+  findings, keyed by the SHA-256 of its source bytes;
+* a *project* entry stores the whole-program (``ProjectRule``) findings,
+  keyed by the tree hash — the SHA-256 over every analyzed file's
+  ``(rel_path, sha)`` pair — because a project finding in one file can be
+  caused by an edit in another, so any changed file invalidates them all;
+* the entire cache is scoped by a **fingerprint** combining the cache
+  schema version, every registered rule's ``(code, version, class)``,
+  the resolved configuration, and the selected rule set.  Editing a
+  rule, bumping its ``version``, changing ``pyproject.toml``, or running
+  with a different ``--select``/``--ignore`` set starts from an empty
+  cache instead of serving stale findings.
+
+The on-disk form is one JSON index per cache directory, written
+atomically (temp file + ``os.replace``).  A missing, unreadable, or
+mismatched index is treated as empty — the cache can only ever trade
+speed, never correctness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .registry import Finding, all_rules
+
+__all__ = [
+    "AnalysisCache",
+    "CACHE_SCHEMA_VERSION",
+    "file_sha",
+    "ruleset_fingerprint",
+    "tree_sha",
+]
+
+#: Bumped whenever the cache layout (or the meaning of an entry) changes.
+CACHE_SCHEMA_VERSION = 1
+
+_INDEX_NAME = "repro-analysis-cache.json"
+
+
+def file_sha(source: str) -> str:
+    """Content hash of one source file (the per-file cache key)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def tree_sha(shas: dict) -> str:
+    """Content hash of the whole tree (the project-entry cache key)."""
+    digest = hashlib.sha256()
+    for rel_path in sorted(shas):
+        digest.update(f"{rel_path}\x00{shas[rel_path]}\x01".encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _config_token(config) -> str:
+    rules = {
+        code: {
+            "enabled": rc.enabled,
+            "severity": rc.severity.value if rc.severity else None,
+            "include": list(rc.include),
+            "exclude": list(rc.exclude),
+            "options": {k: repr(v) for k, v in sorted(rc.options.items())},
+        }
+        for code, rc in sorted(config.rules.items())
+    }
+    return json.dumps(
+        {
+            "paths": list(config.paths),
+            "exclude": list(config.exclude),
+            "rules": rules,
+        },
+        sort_keys=True,
+    )
+
+
+def ruleset_fingerprint(config, selected: Optional[Iterable] = None) -> str:
+    """The cache scope: schema + rules + config + selection, hashed."""
+    rules = [
+        (rule.code, rule.version, f"{type(rule).__module__}.{type(rule).__name__}")
+        for rule in all_rules()
+    ]
+    token = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "rules": rules,
+            "config": _config_token(config),
+            "selected": sorted(selected) if selected is not None else "*",
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass
+class _Entry:
+    """One cached result: findings plus the suppression count."""
+
+    findings: list
+    suppressed: int
+
+
+class AnalysisCache:
+    """The per-directory incremental cache (see module docstring)."""
+
+    def __init__(self, directory, fingerprint: str) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+        self.hits = 0
+        self.misses = 0
+        self._files: dict = {}
+        self._project: dict = {}
+        self._dirty = False
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Loading / saving
+    # ------------------------------------------------------------------
+
+    @property
+    def index_path(self) -> Path:
+        """Where the JSON index lives inside the cache directory."""
+        return self.directory / _INDEX_NAME
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.index_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            return
+        if payload.get("fingerprint") != self.fingerprint:
+            return
+        files = payload.get("files")
+        if isinstance(files, dict):
+            self._files = files
+        project = payload.get("project")
+        if isinstance(project, dict):
+            self._project = project
+
+    def save(self) -> None:
+        """Atomically persist the index (no-op when nothing changed)."""
+        if not self._dirty:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "schema": CACHE_SCHEMA_VERSION,
+                "fingerprint": self.fingerprint,
+                "files": self._files,
+                "project": self._project,
+            },
+            sort_keys=True,
+        )
+        tmp = self.index_path.with_suffix(".tmp")
+        tmp.write_text(payload, encoding="utf-8")
+        os.replace(tmp, self.index_path)
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Per-file entries
+    # ------------------------------------------------------------------
+
+    def get_file(self, rel_path: str, sha: str) -> Optional[_Entry]:
+        """The cached per-file result, or ``None`` on any mismatch."""
+        entry = self._files.get(rel_path)
+        if not isinstance(entry, dict) or entry.get("sha") != sha:
+            self.misses += 1
+            return None
+        try:
+            findings = [
+                Finding.from_dict(f) for f in entry.get("findings", [])
+            ]
+            suppressed = int(entry.get("suppressed", 0))
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return _Entry(findings=findings, suppressed=suppressed)
+
+    def put_file(
+        self, rel_path: str, sha: str, findings, suppressed: int
+    ) -> None:
+        """Record one file's per-file-rule outcome."""
+        self._files[rel_path] = {
+            "sha": sha,
+            "findings": [f.to_dict() for f in findings],
+            "suppressed": int(suppressed),
+        }
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Project entry
+    # ------------------------------------------------------------------
+
+    def get_project(self, tree_key: str) -> Optional[_Entry]:
+        """The cached whole-program result, or ``None`` on any mismatch."""
+        if self._project.get("tree") != tree_key:
+            self.misses += 1
+            return None
+        try:
+            findings = [
+                Finding.from_dict(f)
+                for f in self._project.get("findings", [])
+            ]
+            suppressed = int(self._project.get("suppressed", 0))
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return _Entry(findings=findings, suppressed=suppressed)
+
+    def put_project(self, tree_key: str, findings, suppressed: int) -> None:
+        """Record the whole-program pass outcome for this tree hash."""
+        self._project = {
+            "tree": tree_key,
+            "findings": [f.to_dict() for f in findings],
+            "suppressed": int(suppressed),
+        }
+        self._dirty = True
+
+    def __repr__(self) -> str:
+        return (
+            f"AnalysisCache({str(self.directory)!r}, files={len(self._files)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -13,7 +13,7 @@ from typing import Optional, Sequence
 from .config import load_config
 from .engine import analyze_paths
 from .registry import RULE_REGISTRY, all_rules
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 
 __all__ = ["main", "build_parser"]
 
@@ -23,9 +23,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-analysis",
         description=(
-            "Repo-specific AST invariant checker: determinism (REP001), "
-            "dtype safety (REP002), API consistency (REP003), float "
-            "equality (REP004), estimator contract (REP005)."
+            "Repo-specific invariant checker: per-file AST rules "
+            "(REP001–REP006) plus whole-program rules over the project "
+            "call graph — pickle-safety across process seams (REP007), "
+            "kernel-seam bypass (REP008), observer propagation (REP009), "
+            "checkpoint schema symmetry (REP010).  See --list-rules."
         ),
     )
     parser.add_argument(
@@ -42,7 +44,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "-f",
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -50,6 +52,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--select",
         default=None,
         help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule codes to skip (applied after --select)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the per-file pass over N worker processes (default: serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-hash incremental cache directory; unchanged files "
+        "and unchanged trees skip re-analysis (default: no cache)",
     )
     parser.add_argument(
         "--list-rules",
@@ -84,13 +105,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     select = None
     if args.select:
         select = {code.strip().upper() for code in args.select.split(",")}
-        unknown = select - set(RULE_REGISTRY)
+    ignore = None
+    if args.ignore:
+        ignore = {code.strip().upper() for code in args.ignore.split(",")}
+    for label, codes in (("--select", select), ("--ignore", ignore)):
+        if not codes:
+            continue
+        unknown = codes - set(RULE_REGISTRY)
         # Rules register on config load; pre-load so the check is accurate.
         if unknown:
             load_config(Path(args.root))
-            unknown = select - set(RULE_REGISTRY)
+            unknown = codes - set(RULE_REGISTRY)
         if unknown:
-            parser.error(f"unknown rule code(s): {sorted(unknown)}")
+            parser.error(f"unknown {label} rule code(s): {sorted(unknown)}")
+
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be a positive integer")
 
     root = Path(args.root)
     if not root.is_dir():
@@ -105,9 +135,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not path.exists():
             parser.error(f"path {raw!r} does not exist under root {args.root!r}")
 
-    result = analyze_paths(paths=args.paths or None, root=root, select=select)
+    result = analyze_paths(
+        paths=args.paths or None,
+        root=root,
+        select=select,
+        ignore=ignore,
+        jobs=args.jobs,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+    )
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result, verbose=args.verbose))
     return result.exit_code

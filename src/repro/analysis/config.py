@@ -73,7 +73,13 @@ class AnalysisConfig:
     """Resolved checker configuration."""
 
     paths: tuple[str, ...] = ("src", "tests")
-    exclude: tuple[str, ...] = ("build", "dist", ".git", "__pycache__")
+    exclude: tuple[str, ...] = (
+        "build",
+        "dist",
+        ".git",
+        "__pycache__",
+        "tests/analysis/fixtures",
+    )
     rules: dict = dataclasses.field(default_factory=dict)
 
     def rule_config(self, code: str) -> RuleConfig:
@@ -136,7 +142,16 @@ def load_config(root: Path) -> AnalysisConfig:
     config = AnalysisConfig(
         paths=tuple(table.get("paths", ("src", "tests"))),
         exclude=tuple(
-            table.get("exclude", ("build", "dist", ".git", "__pycache__"))
+            table.get(
+                "exclude",
+                (
+                    "build",
+                    "dist",
+                    ".git",
+                    "__pycache__",
+                    "tests/analysis/fixtures",
+                ),
+            )
         ),
     )
     for code, rule in RULE_REGISTRY.items():

@@ -1,4 +1,17 @@
-"""Analysis driver: file discovery, suppressions, and rule dispatch.
+"""Analysis driver: discovery, suppressions, two-pass rule dispatch.
+
+The engine runs in two passes:
+
+1. **Per-file** — every file is parsed and the per-file :class:`Rule`
+   objects run on it in isolation.  This pass is embarrassingly parallel
+   (``jobs=N`` fans it out over a process pool) and cacheable per file
+   (content hash; see :mod:`repro.analysis.cache`).
+2. **Whole-program** — the parsed modules are summarized
+   (:func:`repro.analysis.graph.summarize_module`) and stitched into a
+   :class:`repro.analysis.resolve.ProjectGraph`; the
+   :class:`ProjectRule` objects then run once over the whole tree.  This
+   pass is cached on the tree hash, because a cross-module finding in
+   one file can be caused by an edit in another.
 
 Suppression syntax
 ------------------
@@ -10,31 +23,71 @@ Append a comment to the offending line::
 
 ``# repro: noqa`` with no argument suppresses every rule on that line; the
 parenthesized form suppresses only the listed codes.  Suppressions are
-per-line (matched against the finding's reported line).
+per-line (matched against the finding's reported line) — with one
+widening: a suppression on *any* physical line of a multi-line **simple**
+statement (a call spanning several lines, a long assignment, …) covers
+the whole statement, because rules report such findings at the
+statement's first line while the comment naturally lands on the last.
+Compound statements (``def``, ``if``, ``for``, …) are *not* widened, so
+a trailing comment inside a function body never suppresses the whole
+body.
 """
 
 from __future__ import annotations
 
+import ast
 import dataclasses
 import re
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Iterable, Optional
 
+from .cache import AnalysisCache, file_sha, ruleset_fingerprint, tree_sha
 from .config import AnalysisConfig, load_config
-from .registry import FileContext, Finding, Severity, all_rules
+from .graph import summarize_module
+from .registry import (
+    FileContext,
+    Finding,
+    ProjectContext,
+    Severity,
+    all_rules,
+    file_rules,
+    project_rules,
+)
+from .resolve import ProjectGraph
 
 __all__ = [
     "AnalysisResult",
     "analyze_source",
+    "analyze_sources",
     "analyze_file",
     "analyze_paths",
     "discover_files",
     "parse_suppressions",
+    "effective_suppressions",
 ]
 
 _NOQA_PATTERN = re.compile(
     r"#\s*repro:\s*noqa(?:\s*\(\s*(?P<codes>[A-Z0-9,\s]*?)\s*\))?",
     re.IGNORECASE,
+)
+
+#: Statement types whose multi-line spans a trailing noqa comment covers.
+#: Deliberately only *simple* statements — widening a compound statement
+#: (FunctionDef, If, For, …) would let one comment mute its entire body.
+_SIMPLE_STATEMENTS = (
+    ast.Expr,
+    ast.Assign,
+    ast.AugAssign,
+    ast.AnnAssign,
+    ast.Return,
+    ast.Raise,
+    ast.Assert,
+    ast.Delete,
+    ast.Import,
+    ast.ImportFrom,
+    ast.Global,
+    ast.Nonlocal,
 )
 
 
@@ -45,6 +98,8 @@ class AnalysisResult:
     findings: list
     files_checked: int
     suppressed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def errors(self) -> list:
@@ -74,6 +129,46 @@ def parse_suppressions(source: str) -> dict:
     return suppressions
 
 
+def effective_suppressions(
+    source: str, tree: Optional[ast.Module] = None
+) -> dict:
+    """Per-line suppressions, widened across multi-line simple statements.
+
+    A rule reports a finding for ``pool.submit(\\n  bad,\\n)`` at the
+    statement's *first* line, but the natural place for the comment is the
+    *last*.  For every multi-line simple statement, suppressions found on
+    any of its physical lines are merged and applied to all of them.
+    """
+    base = parse_suppressions(source)
+    if tree is None:
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            return base
+    expanded = {line: set(codes) for line, codes in base.items()}
+    for node in ast.walk(tree):
+        if not isinstance(node, _SIMPLE_STATEMENTS):
+            continue
+        end = getattr(node, "end_lineno", None) or node.lineno
+        if end <= node.lineno:
+            continue
+        span = range(node.lineno, end + 1)
+        hits = [base[line] for line in span if line in base]
+        if not hits:
+            continue
+        blanket = any(not codes for codes in hits)
+        merged: set = set().union(*hits)
+        for line in span:
+            existing = expanded.get(line)
+            if blanket or (existing is not None and not existing):
+                expanded[line] = set()
+            elif existing is None:
+                expanded[line] = set(merged)
+            else:
+                expanded[line] = existing | merged
+    return expanded
+
+
 def _is_suppressed(finding: Finding, suppressions: dict) -> bool:
     codes = suppressions.get(finding.line)
     if codes is None:
@@ -81,45 +176,115 @@ def _is_suppressed(finding: Finding, suppressions: dict) -> bool:
     return not codes or finding.code in codes
 
 
-def analyze_source(
+def _selected_codes(
+    select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]
+) -> Optional[set]:
+    """The final code set, or ``None`` for "every registered rule"."""
+    if select is None and ignore is None:
+        return None
+    codes = (
+        set(select)
+        if select is not None
+        else {rule.code for rule in all_rules()}
+    )
+    if ignore:
+        codes -= set(ignore)
+    return codes
+
+
+def _effective_rule_config(rule, config: AnalysisConfig):
+    """Rule config with include/exclude falling back to rule defaults."""
+    rule_config = config.rule_config(rule.code)
+    include = rule_config.include or rule.default_include
+    exclude = rule_config.exclude or rule.default_exclude
+    return rule_config, dataclasses.replace(
+        rule_config, include=include, exclude=exclude
+    )
+
+
+def _run_file_rules(
+    base_ctx: FileContext,
+    suppressions: dict,
+    config: AnalysisConfig,
+    selected: Optional[set],
+):
+    """Pass 1 over one parsed file: per-file rules only."""
+    findings: list[Finding] = []
+    suppressed = 0
+    for rule in file_rules():
+        if selected is not None and rule.code not in selected:
+            continue
+        rule_config, effective = _effective_rule_config(rule, config)
+        if not effective.applies_to(base_ctx.rel_path):
+            continue
+        ctx = dataclasses.replace(base_ctx, options=rule_config.options)
+        severity = config.severity_for(rule.code)
+        for finding in rule.check(ctx):
+            finding = dataclasses.replace(finding, severity=severity)
+            if _is_suppressed(finding, suppressions):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed
+
+
+def _run_project_rules(
+    contexts: dict,
+    suppressions_by_file: dict,
+    config: AnalysisConfig,
+    selected: Optional[set],
+):
+    """Pass 2 over the whole tree: build the graph, run project rules."""
+    active = []
+    for rule in project_rules():
+        if selected is not None and rule.code not in selected:
+            continue
+        rule_config, effective = _effective_rule_config(rule, config)
+        targets = tuple(
+            sorted(rel for rel in contexts if effective.applies_to(rel))
+        )
+        if targets:
+            active.append((rule, rule_config, targets))
+    if not active:
+        return [], 0
+    infos = [
+        summarize_module(contexts[rel].tree, rel) for rel in sorted(contexts)
+    ]
+    graph = ProjectGraph.build(infos)
+    findings: list[Finding] = []
+    suppressed = 0
+    for rule, rule_config, targets in active:
+        project = ProjectContext(
+            files=contexts,
+            graph=graph,
+            target_files=targets,
+            options=rule_config.options,
+        )
+        severity = config.severity_for(rule.code)
+        for finding in rule.check_project(project):
+            finding = dataclasses.replace(finding, severity=severity)
+            file_suppressions = suppressions_by_file.get(finding.path, {})
+            if _is_suppressed(finding, file_suppressions):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed
+
+
+def _per_file(
     source: str,
     rel_path: str,
-    config: Optional[AnalysisConfig] = None,
-    select: Optional[Iterable[str]] = None,
-) -> AnalysisResult:
-    """Analyze one in-memory source file (the unit tests' entry point)."""
-    config = config or AnalysisConfig()
-    selected = set(select) if select is not None else None
+    config: AnalysisConfig,
+    selected: Optional[set],
+):
+    """Parse one file and run pass 1 on it.
+
+    Returns ``(findings, suppressed, ctx, suppressions)`` where ``ctx``
+    is ``None`` when the file does not parse (the findings then carry the
+    ``REP000`` syntax-error marker).
+    """
     try:
-        base_ctx = FileContext.from_source(source, rel_path)
-        suppressions = parse_suppressions(source)
-        findings: list[Finding] = []
-        suppressed = 0
-        for rule in all_rules():
-            if selected is not None and rule.code not in selected:
-                continue
-            rule_config = config.rule_config(rule.code)
-            # Fall back to rule defaults when the config carries no paths
-            # (e.g. a bare AnalysisConfig built in tests).
-            include = rule_config.include or rule.default_include
-            exclude = rule_config.exclude or rule.default_exclude
-            effective = dataclasses.replace(
-                rule_config, include=include, exclude=exclude
-            )
-            if not effective.applies_to(rel_path):
-                continue
-            ctx = dataclasses.replace(base_ctx, options=rule_config.options)
-            severity = config.severity_for(rule.code)
-            for finding in rule.check(ctx):
-                finding = dataclasses.replace(finding, severity=severity)
-                if _is_suppressed(finding, suppressions):
-                    suppressed += 1
-                else:
-                    findings.append(finding)
-        findings.sort()
-        return AnalysisResult(
-            findings=findings, files_checked=1, suppressed=suppressed
-        )
+        ctx = FileContext.from_source(source, rel_path)
     except SyntaxError as exc:
         finding = Finding(
             path=rel_path,
@@ -129,7 +294,94 @@ def analyze_source(
             message=f"file does not parse: {exc.msg}",
             severity=Severity.ERROR,
         )
-        return AnalysisResult(findings=[finding], files_checked=1)
+        return [finding], 0, None, {}
+    suppressions = effective_suppressions(source, ctx.tree)
+    findings, suppressed = _run_file_rules(ctx, suppressions, config, selected)
+    return findings, suppressed, ctx, suppressions
+
+
+def _analyze_file_worker(args):
+    """Process-pool entry point for pass 1 (top-level, plain-data args).
+
+    Receives ``(source, rel_path, config, selected_or_None)`` and returns
+    ``(rel_path, finding_dicts, suppressed)`` — everything picklable, so
+    the analyzer passes its own REP007 check.
+    """
+    source, rel_path, config, selected = args
+    # Rules register on import; a fresh worker interpreter needs them.
+    from . import rules as _rules  # noqa: F401  (import for side effect)
+
+    selected_set = set(selected) if selected is not None else None
+    findings, suppressed, _, _ = _per_file(
+        source, rel_path, config, selected_set
+    )
+    return rel_path, [f.to_dict() for f in findings], suppressed
+
+
+def analyze_source(
+    source: str,
+    rel_path: str,
+    config: Optional[AnalysisConfig] = None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> AnalysisResult:
+    """Analyze one in-memory source file (the unit tests' entry point).
+
+    Project rules run too, over a single-file project — so cross-module
+    rules can be exercised on self-contained snippets.
+    """
+    config = config or AnalysisConfig()
+    selected = _selected_codes(select, ignore)
+    findings, suppressed, ctx, suppressions = _per_file(
+        source, rel_path, config, selected
+    )
+    if ctx is not None:
+        project_findings, project_suppressed = _run_project_rules(
+            {rel_path: ctx}, {rel_path: suppressions}, config, selected
+        )
+        findings.extend(project_findings)
+        suppressed += project_suppressed
+    findings.sort()
+    return AnalysisResult(
+        findings=findings, files_checked=1, suppressed=suppressed
+    )
+
+
+def analyze_sources(
+    sources: dict,
+    config: Optional[AnalysisConfig] = None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> AnalysisResult:
+    """Analyze a dict of ``rel_path -> source`` as one in-memory project.
+
+    The cross-module test entry point: both passes run, with the project
+    graph spanning every parseable file in *sources*.
+    """
+    config = config or AnalysisConfig()
+    selected = _selected_codes(select, ignore)
+    findings: list[Finding] = []
+    suppressed = 0
+    contexts: dict = {}
+    suppressions_by_file: dict = {}
+    for rel_path in sorted(sources):
+        file_findings, file_suppressed, ctx, suppressions = _per_file(
+            sources[rel_path], rel_path, config, selected
+        )
+        findings.extend(file_findings)
+        suppressed += file_suppressed
+        if ctx is not None:
+            contexts[rel_path] = ctx
+            suppressions_by_file[rel_path] = suppressions
+    project_findings, project_suppressed = _run_project_rules(
+        contexts, suppressions_by_file, config, selected
+    )
+    findings.extend(project_findings)
+    suppressed += project_suppressed
+    findings.sort()
+    return AnalysisResult(
+        findings=findings, files_checked=len(sources), suppressed=suppressed
+    )
 
 
 def analyze_file(
@@ -176,22 +428,110 @@ def analyze_paths(
     root: Optional[Path] = None,
     config: Optional[AnalysisConfig] = None,
     select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Path] = None,
 ) -> AnalysisResult:
-    """Analyze a tree: the library entry point behind the CLI and tests."""
+    """Analyze a tree: the library entry point behind the CLI and tests.
+
+    ``jobs > 1`` fans pass 1 out over a process pool; pass 2 always runs
+    in the coordinator (it needs the whole graph).  ``cache_dir`` enables
+    the content-hash incremental cache for both passes.
+    """
     root = Path(root) if root is not None else Path.cwd()
     if config is None:
         config = load_config(root)
+    else:
+        # Rules register on import; an explicit config skips load_config.
+        from . import rules as _rules  # noqa: F401  (import for side effect)
+    selected = _selected_codes(select, ignore)
     targets = [Path(p) for p in paths] if paths else list(config.paths)
     files = discover_files(targets, root, config.exclude)
-    findings: list[Finding] = []
-    files_checked = 0
-    suppressed = 0
+    resolved_root = root.resolve()
+    order: list[str] = []
+    sources: dict = {}
     for path in files:
-        result = analyze_file(path, root, config=config, select=select)
-        findings.extend(result.findings)
-        files_checked += result.files_checked
-        suppressed += result.suppressed
+        rel = path.resolve().relative_to(resolved_root).as_posix()
+        order.append(rel)
+        sources[rel] = path.read_text(encoding="utf-8")
+    shas = {rel: file_sha(sources[rel]) for rel in order}
+
+    cache = None
+    if cache_dir is not None:
+        cache = AnalysisCache(cache_dir, ruleset_fingerprint(config, selected))
+
+    findings: list[Finding] = []
+    suppressed = 0
+    parsed: dict = {}  # rel_path -> (ctx_or_None, suppressions)
+    pending: list[str] = []
+    for rel in order:
+        entry = cache.get_file(rel, shas[rel]) if cache else None
+        if entry is not None:
+            findings.extend(entry.findings)
+            suppressed += entry.suppressed
+        else:
+            pending.append(rel)
+
+    if pending and jobs is not None and jobs > 1:
+        selected_arg = tuple(sorted(selected)) if selected is not None else None
+        worker_args = [
+            (sources[rel], rel, config, selected_arg) for rel in pending
+        ]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for rel, finding_dicts, file_suppressed in pool.map(
+                _analyze_file_worker, worker_args
+            ):
+                file_findings = [Finding.from_dict(f) for f in finding_dicts]
+                findings.extend(file_findings)
+                suppressed += file_suppressed
+                if cache:
+                    cache.put_file(rel, shas[rel], file_findings, file_suppressed)
+    else:
+        for rel in pending:
+            file_findings, file_suppressed, ctx, suppressions = _per_file(
+                sources[rel], rel, config, selected
+            )
+            findings.extend(file_findings)
+            suppressed += file_suppressed
+            parsed[rel] = (ctx, suppressions)
+            if cache:
+                cache.put_file(rel, shas[rel], file_findings, file_suppressed)
+
+    tree_key = tree_sha(shas)
+    entry = cache.get_project(tree_key) if cache else None
+    if entry is not None:
+        findings.extend(entry.findings)
+        suppressed += entry.suppressed
+    else:
+        contexts: dict = {}
+        suppressions_by_file: dict = {}
+        for rel in order:
+            if rel in parsed:
+                ctx, suppressions = parsed[rel]
+            else:
+                try:
+                    ctx = FileContext.from_source(sources[rel], rel)
+                    suppressions = effective_suppressions(sources[rel], ctx.tree)
+                except SyntaxError:
+                    ctx, suppressions = None, {}
+            if ctx is not None:
+                contexts[rel] = ctx
+                suppressions_by_file[rel] = suppressions
+        project_findings, project_suppressed = _run_project_rules(
+            contexts, suppressions_by_file, config, selected
+        )
+        findings.extend(project_findings)
+        suppressed += project_suppressed
+        if cache:
+            cache.put_project(tree_key, project_findings, project_suppressed)
+
+    if cache:
+        cache.save()
     findings.sort()
     return AnalysisResult(
-        findings=findings, files_checked=files_checked, suppressed=suppressed
+        findings=findings,
+        files_checked=len(order),
+        suppressed=suppressed,
+        cache_hits=cache.hits if cache else 0,
+        cache_misses=cache.misses if cache else 0,
     )

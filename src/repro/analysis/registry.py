@@ -1,10 +1,19 @@
 """Rule registry, findings, and severities for the invariant checker.
 
-The checker is organized as a flat registry of :class:`Rule` objects, each
-owning one ``REPnnn`` code.  A rule receives a fully-parsed
-:class:`FileContext` and yields :class:`Finding` objects; the engine owns
-file discovery, suppression comments, and severity/exit-code policy, so
-rules stay small and testable in isolation.
+The checker is organized as a flat registry of rule objects, each owning
+one ``REPnnn`` code, in two shapes:
+
+* :class:`Rule` — per-file.  Receives a fully-parsed
+  :class:`FileContext` and yields :class:`Finding` objects.
+* :class:`ProjectRule` — whole-program.  Runs once per analysis over a
+  :class:`ProjectContext` carrying every file's context plus the
+  project-wide symbol table / call graph
+  (:class:`repro.analysis.resolve.ProjectGraph`), so it can check
+  *cross-module* invariants (pickle-safety across process seams,
+  observer propagation through call chains, …).
+
+The engine owns file discovery, suppression comments, caching, and
+severity/exit-code policy, so rules stay small and testable in isolation.
 """
 
 from __future__ import annotations
@@ -18,10 +27,14 @@ __all__ = [
     "Severity",
     "Finding",
     "FileContext",
+    "ProjectContext",
     "Rule",
+    "ProjectRule",
     "RULE_REGISTRY",
     "register_rule",
     "all_rules",
+    "file_rules",
+    "project_rules",
     "get_rule",
 ]
 
@@ -62,6 +75,18 @@ class Finding:
             "severity": self.severity.value,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output (cache/workers)."""
+        return cls(
+            path=payload["path"],
+            line=int(payload["line"]),
+            column=int(payload["column"]),
+            code=payload["code"],
+            message=payload["message"],
+            severity=Severity(payload["severity"]),
+        )
+
 
 @dataclasses.dataclass
 class FileContext:
@@ -92,6 +117,27 @@ class FileContext:
         )
 
 
+@dataclasses.dataclass
+class ProjectContext:
+    """Everything a :class:`ProjectRule` may inspect about the tree.
+
+    ``files`` maps every analyzed relative path to its parsed
+    :class:`FileContext`; ``graph`` is the project-wide symbol table and
+    call graph; ``target_files`` is the sorted subset of ``files`` the
+    rule's include/exclude configuration selects (rules should *report*
+    only inside it, but may consult any file or graph node to decide).
+    """
+
+    files: dict
+    graph: "object"
+    target_files: tuple = ()
+    options: dict = dataclasses.field(default_factory=dict)
+
+    def context(self, rel_path: str) -> Optional[FileContext]:
+        """The parsed context of one file, or ``None`` if not analyzed."""
+        return self.files.get(rel_path)
+
+
 class Rule:
     """Base class for one invariant check.
 
@@ -99,12 +145,17 @@ class Rule:
     ``default_include``/``default_exclude`` are pattern lists (see
     :func:`repro.analysis.config.path_matches`) restricting which files the
     rule runs on; both can be overridden from ``pyproject.toml``.
+    ``version`` participates in the incremental cache key — bump it
+    whenever the rule's behaviour changes, or stale cached findings will
+    survive a re-run.
     """
 
     code: str = "REP000"
     name: str = "unnamed"
     description: str = ""
     default_severity: Severity = Severity.ERROR
+    #: Cache-key component; bump on any behavioural change.
+    version: int = 1
     #: Patterns the rule is restricted to (empty = every analyzed file).
     default_include: tuple[str, ...] = ()
     #: Patterns the rule never runs on.
@@ -131,6 +182,42 @@ class Rule:
             severity=severity or self.default_severity,
         )
 
+    def finding_at(
+        self,
+        path: str,
+        line: int,
+        column: int,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        """Build a finding at an explicit location (for graph-derived hits)."""
+        return Finding(
+            path=path,
+            line=line,
+            column=column,
+            code=self.code,
+            message=message,
+            severity=severity or self.default_severity,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for one *whole-program* invariant check.
+
+    Subclasses implement :meth:`check_project` instead of :meth:`check`;
+    the engine runs them once per analysis (pass 2), after the project
+    graph is built, and applies suppressions/severities exactly as for
+    per-file rules.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Project rules run via :meth:`check_project`, never per file."""
+        return iter(())
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        """Yield findings for the whole tree.  Subclasses must override."""
+        raise NotImplementedError
+
 
 #: Global code -> rule-instance registry, populated at import time by the
 #: modules under :mod:`repro.analysis.rules`.
@@ -149,6 +236,16 @@ def register_rule(cls: Callable[[], Rule]):
 def all_rules() -> list[Rule]:
     """Every registered rule, sorted by code."""
     return [RULE_REGISTRY[code] for code in sorted(RULE_REGISTRY)]
+
+
+def file_rules() -> list[Rule]:
+    """Registered per-file rules, sorted by code."""
+    return [r for r in all_rules() if not isinstance(r, ProjectRule)]
+
+
+def project_rules() -> list[Rule]:
+    """Registered whole-program rules, sorted by code."""
+    return [r for r in all_rules() if isinstance(r, ProjectRule)]
 
 
 def get_rule(code: str) -> Rule:

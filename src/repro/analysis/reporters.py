@@ -1,8 +1,10 @@
-"""Text and JSON renderings of an :class:`AnalysisResult`.
+"""Text, JSON, and SARIF renderings of an :class:`AnalysisResult`.
 
 The JSON form is *stable*: findings sorted by (path, line, column, code),
 keys emitted in a fixed order, counts included — so CI diffs and the
-reporter tests can compare output byte-for-byte.
+reporter tests can compare output byte-for-byte.  The SARIF form targets
+the 2.1.0 schema GitHub code scanning ingests, so CI can upload the
+report and findings annotate PR diffs in place.
 """
 
 from __future__ import annotations
@@ -10,9 +12,15 @@ from __future__ import annotations
 import json
 
 from .engine import AnalysisResult
-from .registry import Severity
+from .registry import Severity, all_rules
 
-__all__ = ["render_text", "render_json", "REPORT_SCHEMA_VERSION"]
+__all__ = [
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "REPORT_SCHEMA_VERSION",
+    "SARIF_VERSION",
+]
 
 #: Bumped whenever the JSON layout changes shape.
 REPORT_SCHEMA_VERSION = 1
@@ -52,5 +60,72 @@ def render_json(result: AnalysisResult) -> str:
             ),
         },
         "findings": [finding.to_dict() for finding in sorted(result.findings)],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+#: The SARIF schema version the report declares.
+SARIF_VERSION = "2.1.0"
+
+_SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_sarif(result: AnalysisResult) -> str:
+    """SARIF 2.1.0 report for GitHub code scanning upload.
+
+    One run, one driver; the full rule catalogue is embedded so every
+    ``ruleId`` in the results resolves, and locations use 1-based
+    columns as the spec requires (findings carry 0-based columns).
+    """
+    rules = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {
+                "level": rule.default_severity.value
+            },
+        }
+        for rule in all_rules()
+    ]
+    results = [
+        {
+            "ruleId": finding.code,
+            "level": finding.severity.value,
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.column + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in sorted(result.findings)
+    ]
+    payload = {
+        "$schema": _SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,415 @@
+"""Pass 2 substrate: the project-wide symbol table and call graph.
+
+:class:`ProjectGraph` stitches the per-module summaries of
+:mod:`repro.analysis.graph` into one queryable structure.  Project rules
+ask it the interprocedural questions the per-file rules cannot answer:
+
+* :meth:`ProjectGraph.lookup` — resolve a canonical dotted name to the
+  :class:`~.graph.FunctionInfo` / :class:`~.graph.ClassInfo` that defines
+  it, following package re-exports (``from .backend import get_backend``
+  in ``kernels/__init__.py`` makes ``repro.kernels.get_backend`` resolve
+  to ``repro.kernels.backend.get_backend``).
+* :meth:`ProjectGraph.resolve_call` — resolve one recorded
+  :class:`~.graph.CallSite` to its target, including ``self.``/``cls.``
+  method calls (walking project base classes) and constructor calls
+  (synthesizing the implicit ``__init__`` of a dataclass from its
+  fields).
+* :meth:`ProjectGraph.callers_of` — the reverse call graph.
+* :meth:`ProjectGraph.reaches` — transitive reachability over project
+  functions ("does ``FagmsSketch.update`` ever reach
+  ``repro.kernels.backend.get_backend``?").
+* :meth:`ProjectGraph.unpicklable_annotation` — whether a type
+  annotation provably names something that cannot cross a process
+  boundary (locks, callables, generators, open files), recursing through
+  project dataclass fields.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Union
+
+from .graph import CallSite, ClassInfo, FunctionInfo, ModuleInfo
+
+__all__ = ["ProjectGraph", "Symbol", "UNPICKLABLE_TYPES"]
+
+#: A resolved project definition.
+Symbol = Union[FunctionInfo, ClassInfo]
+
+#: Canonical type names that provably cannot cross a process boundary,
+#: mapped to the human phrase the findings use.
+UNPICKLABLE_TYPES = {
+    "threading.Lock": "a threading lock",
+    "threading.RLock": "a threading lock",
+    "threading.Condition": "a threading condition",
+    "threading.Semaphore": "a threading semaphore",
+    "threading.BoundedSemaphore": "a threading semaphore",
+    "threading.Event": "a threading event",
+    "threading.Barrier": "a threading barrier",
+    "_thread.lock": "a thread lock",
+    "_thread.LockType": "a thread lock",
+    "multiprocessing.Lock": "a multiprocessing lock",
+    "multiprocessing.RLock": "a multiprocessing lock",
+    "typing.Callable": "a callable",
+    "collections.abc.Callable": "a callable",
+    "typing.Generator": "a generator",
+    "collections.abc.Generator": "a generator",
+    "typing.Iterator": "an iterator",
+    "collections.abc.Iterator": "an iterator",
+    "typing.IO": "an open file handle",
+    "typing.TextIO": "an open file handle",
+    "typing.BinaryIO": "an open file handle",
+    "io.IOBase": "an open file handle",
+    "io.RawIOBase": "an open file handle",
+    "io.TextIOBase": "an open file handle",
+    "io.TextIOWrapper": "an open file handle",
+    "io.BufferedReader": "an open file handle",
+    "io.BufferedWriter": "an open file handle",
+    "socket.socket": "a socket",
+}
+
+#: Typing containers whose *arguments* decide pickle-safety.
+_TRANSPARENT_GENERICS = {
+    "typing.Optional",
+    "typing.Union",
+    "typing.Final",
+    "typing.ClassVar",
+    "typing.Annotated",
+    "typing.List",
+    "typing.Tuple",
+    "typing.Dict",
+    "typing.Set",
+    "typing.FrozenSet",
+    "typing.Sequence",
+    "typing.Mapping",
+    "collections.abc.Sequence",
+    "collections.abc.Mapping",
+    "tuple",
+    "list",
+    "dict",
+    "set",
+    "frozenset",
+}
+
+
+class ProjectGraph:
+    """Symbol table + call graph over every analyzed module."""
+
+    def __init__(self, modules: dict) -> None:
+        #: Dotted module name -> :class:`~.graph.ModuleInfo`.
+        self.modules = dict(modules)
+        self._by_rel_path = {
+            info.rel_path: info for info in self.modules.values()
+        }
+        self._callers: Optional[dict] = None
+
+    @classmethod
+    def build(cls, infos) -> "ProjectGraph":
+        """Build a graph from an iterable of :class:`~.graph.ModuleInfo`."""
+        return cls({info.name: info for info in infos})
+
+    # ------------------------------------------------------------------
+    # Symbol resolution
+    # ------------------------------------------------------------------
+
+    def module(self, name: str) -> Optional[ModuleInfo]:
+        """The module summary registered under dotted *name*, if any."""
+        return self.modules.get(name)
+
+    def module_for_path(self, rel_path: str) -> Optional[ModuleInfo]:
+        """The module summary for a ``/``-separated relative path."""
+        return self._by_rel_path.get(rel_path)
+
+    def canonical_in(self, module: ModuleInfo, dotted: str) -> str:
+        """Canonicalize a dotted name as written inside *module*.
+
+        Resolves through the module's import aliases first, then through
+        its own top-level definitions (a class naming a same-module base
+        or field type without any import).
+        """
+        head, _, rest = dotted.partition(".")
+        if head in module.imports:
+            base = module.imports[head]
+        elif head in module.classes or head in module.functions:
+            base = f"{module.name}.{head}"
+        else:
+            base = head
+        return f"{base}.{rest}" if rest else base
+
+    def resolve_in_module(
+        self, module_name: str, dotted: str
+    ) -> Optional[Symbol]:
+        """:meth:`lookup`, retrying *dotted* as local to *module_name*."""
+        symbol = self.lookup(dotted)
+        if symbol is not None:
+            return symbol
+        return self.lookup(f"{module_name}.{dotted}")
+
+    def lookup(self, canonical: str, _seen=None) -> Optional[Symbol]:
+        """Resolve a canonical dotted name to its project definition.
+
+        Follows package re-exports through ``__init__`` import tables
+        (cycle-guarded), so both ``repro.kernels.get_backend`` and
+        ``repro.kernels.backend.get_backend`` resolve to the same
+        :class:`~.graph.FunctionInfo`.  Returns ``None`` for names
+        defined outside the analyzed tree.
+        """
+        if _seen is None:
+            _seen = set()
+        if canonical in _seen:
+            return None
+        _seen.add(canonical)
+        parts = canonical.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            module_name = ".".join(parts[:split])
+            info = self.modules.get(module_name)
+            if info is None:
+                continue
+            remainder = ".".join(parts[split:])
+            symbol = info.functions.get(remainder)
+            if symbol is not None:
+                return symbol
+            klass = info.classes.get(remainder)
+            if klass is not None:
+                return klass
+            head = parts[split]
+            target = info.imports.get(head)
+            if target is not None:
+                rest = ".".join(parts[split + 1 :])
+                rejoined = f"{target}.{rest}" if rest else target
+                return self.lookup(rejoined, _seen)
+            return None
+        return None
+
+    def lookup_function(self, canonical: str) -> Optional[FunctionInfo]:
+        """:meth:`lookup` restricted to functions."""
+        symbol = self.lookup(canonical)
+        return symbol if isinstance(symbol, FunctionInfo) else None
+
+    def lookup_class(self, canonical: str) -> Optional[ClassInfo]:
+        """:meth:`lookup` restricted to classes."""
+        symbol = self.lookup(canonical)
+        return symbol if isinstance(symbol, ClassInfo) else None
+
+    def method(self, klass: ClassInfo, name: str) -> Optional[FunctionInfo]:
+        """Resolve a method on *klass*, walking project base classes."""
+        seen = set()
+        queue = [klass]
+        while queue:
+            current = queue.pop(0)
+            if current.canonical in seen:
+                continue
+            seen.add(current.canonical)
+            owner_module = self.modules.get(current.module)
+            if owner_module is not None:
+                found = owner_module.functions.get(f"{current.name}.{name}")
+                if found is not None:
+                    return found
+            for base in current.bases:
+                base_symbol = self.resolve_in_module(current.module, base)
+                if isinstance(base_symbol, ClassInfo):
+                    queue.append(base_symbol)
+        return None
+
+    def constructor(self, klass: ClassInfo) -> Optional[FunctionInfo]:
+        """The class's ``__init__`` — synthesized for plain dataclasses."""
+        init = self.method(klass, "__init__")
+        if init is not None:
+            return init
+        if klass.is_dataclass:
+            return FunctionInfo(
+                module=klass.module,
+                qualname=f"{klass.name}.__init__",
+                name="__init__",
+                lineno=klass.lineno,
+                col=klass.col,
+                positional=("self",)
+                + tuple(name for name, _ in klass.fields),
+                owner_class=klass.name,
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # Call graph
+    # ------------------------------------------------------------------
+
+    def resolve_call(self, site: CallSite) -> Optional[Symbol]:
+        """The project definition a call site targets, if resolvable."""
+        head, _, rest = site.callee.partition(".")
+        if head in ("self", "cls"):
+            if not rest or "." in rest or not site.caller:
+                return None
+            class_name = site.caller.split(".", 1)[0]
+            module = self.modules.get(site.module)
+            if module is None:
+                return None
+            klass = module.classes.get(class_name)
+            if klass is None:
+                return None
+            return self.method(klass, rest)
+        return self.resolve_in_module(site.module, site.callee)
+
+    def _caller_index(self) -> dict:
+        if self._callers is None:
+            index: dict = {}
+            for info in self.modules.values():
+                for site in info.calls:
+                    resolved = self.resolve_call(site)
+                    if resolved is not None:
+                        index.setdefault(resolved.canonical, []).append(site)
+            self._callers = {
+                canonical: tuple(sites)
+                for canonical, sites in index.items()
+            }
+        return self._callers
+
+    def callers_of(self, canonical: str) -> tuple:
+        """Every recorded call site resolving to *canonical*."""
+        return self._caller_index().get(canonical, ())
+
+    def calls_from(self, module_name: str, qualname: str) -> tuple:
+        """Call sites inside one function (nested defs included)."""
+        info = self.modules.get(module_name)
+        if info is None:
+            return ()
+        prefix = qualname + "."
+        return tuple(
+            site
+            for site in info.calls
+            if site.caller == qualname or site.caller.startswith(prefix)
+        )
+
+    def reaches(
+        self, start: FunctionInfo, target: str, max_depth: int = 8
+    ) -> bool:
+        """Whether *start* transitively calls canonical name *target*.
+
+        Edges follow calls resolvable to project functions (including
+        ``self.`` method calls); *target* matches either a call site's
+        canonicalized text or a resolved definition's canonical name, so
+        re-exported spellings count.
+        """
+        visited = set()
+        frontier = [start]
+        for _ in range(max_depth):
+            if not frontier:
+                return False
+            next_frontier = []
+            for fn in frontier:
+                if fn.canonical in visited:
+                    continue
+                visited.add(fn.canonical)
+                for site in self.calls_from(fn.module, fn.qualname):
+                    if site.callee == target:
+                        return True
+                    resolved = self.resolve_call(site)
+                    if resolved is None:
+                        continue
+                    if resolved.canonical == target:
+                        return True
+                    if (
+                        isinstance(resolved, FunctionInfo)
+                        and resolved.canonical not in visited
+                    ):
+                        next_frontier.append(resolved)
+            frontier = next_frontier
+        return False
+
+    # ------------------------------------------------------------------
+    # Pickle safety
+    # ------------------------------------------------------------------
+
+    def unpicklable_annotation(
+        self, module: ModuleInfo, annotation: str, _depth: int = 0
+    ) -> Optional[str]:
+        """Why *annotation* provably cannot cross a process boundary.
+
+        Returns a human phrase (``"a threading lock"``) when the
+        annotation names a type from :data:`UNPICKLABLE_TYPES` — directly,
+        inside ``Optional``/``Union``/container generics, or transitively
+        through the fields of a project dataclass — and ``None`` when
+        pickle-safety cannot be disproven (unknown types are *not*
+        flagged; the rule only reports certain violations).
+        """
+        if _depth > 6:
+            return None
+        try:
+            node = ast.parse(annotation, mode="eval").body
+        except SyntaxError:
+            return None
+        return self._unpicklable_expr(module, node, _depth)
+
+    def _unpicklable_expr(
+        self, module: ModuleInfo, node: ast.expr, depth: int
+    ) -> Optional[str]:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, str):
+                return self.unpicklable_annotation(
+                    module, node.value, depth + 1
+                )
+            return None
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            return self._unpicklable_expr(
+                module, node.left, depth
+            ) or self._unpicklable_expr(module, node.right, depth)
+        if isinstance(node, ast.Subscript):
+            base = self._annotation_canonical(module, node.value)
+            if base is None:
+                return None
+            if base in UNPICKLABLE_TYPES:
+                return UNPICKLABLE_TYPES[base]
+            if base in _TRANSPARENT_GENERICS:
+                inner = node.slice
+                elements = (
+                    inner.elts if isinstance(inner, ast.Tuple) else [inner]
+                )
+                for element in elements:
+                    reason = self._unpicklable_expr(module, element, depth)
+                    if reason is not None:
+                        return reason
+                return None
+            return self._named_type_reason(module, base, depth)
+        canonical = self._annotation_canonical(module, node)
+        if canonical is None:
+            return None
+        if canonical in UNPICKLABLE_TYPES:
+            return UNPICKLABLE_TYPES[canonical]
+        return self._named_type_reason(module, canonical, depth)
+
+    def _annotation_canonical(
+        self, module: ModuleInfo, node: ast.expr
+    ) -> Optional[str]:
+        parts: list = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        return self.canonical_in(module, ".".join(reversed(parts)))
+
+    def _named_type_reason(
+        self, module: ModuleInfo, canonical: str, depth: int
+    ) -> Optional[str]:
+        klass = self.lookup_class(canonical)
+        if klass is None or not klass.is_dataclass:
+            return None
+        owner = self.modules.get(klass.module)
+        if owner is None:
+            return None
+        for field_name, annotation in klass.fields:
+            reason = self.unpicklable_annotation(
+                owner, annotation, depth + 1
+            )
+            if reason is not None:
+                return (
+                    f"{reason} (field {field_name!r} of dataclass "
+                    f"{klass.name})"
+                )
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"ProjectGraph(modules={len(self.modules)}, "
+            f"functions={sum(len(m.functions) for m in self.modules.values())})"
+        )

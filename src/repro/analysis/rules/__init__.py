@@ -7,17 +7,25 @@ Importing this package registers every rule with
 from __future__ import annotations
 
 from .api_consistency import ApiConsistencyRule
+from .checkpoint_schema import CheckpointSchemaRule
 from .determinism import DeterminismRule
 from .dtype_safety import DtypeSafetyRule
 from .estimator_contract import EstimatorContractRule
 from .float_equality import FloatEqualityRule
+from .kernel_seam import KernelSeamRule
 from .naming import MetricNameRule
+from .observer_propagation import ObserverPropagationRule
+from .pickle_safety import PickleSafetyRule
 
 __all__ = [
     "ApiConsistencyRule",
+    "CheckpointSchemaRule",
     "DeterminismRule",
     "DtypeSafetyRule",
     "EstimatorContractRule",
     "FloatEqualityRule",
+    "KernelSeamRule",
     "MetricNameRule",
+    "ObserverPropagationRule",
+    "PickleSafetyRule",
 ]

@@ -13,6 +13,8 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Optional
 
+from ..astutils import ImportTable, qualified_name
+
 __all__ = [
     "ImportTable",
     "qualified_name",
@@ -21,56 +23,6 @@ __all__ = [
     "string_list_literal",
     "has_docstring",
 ]
-
-
-class ImportTable:
-    """Maps local names to the canonical dotted paths they were bound to."""
-
-    def __init__(self, tree: ast.Module) -> None:
-        self.aliases: dict[str, str] = {}
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    local = alias.asname or alias.name.split(".")[0]
-                    # ``import a.b.c`` binds ``a`` to package ``a`` unless
-                    # aliased, in which case the alias means the full path.
-                    target = alias.name if alias.asname else local
-                    self.aliases[local] = target
-            elif isinstance(node, ast.ImportFrom):
-                if node.level:  # relative imports resolve within repro itself
-                    module = "." * node.level + (node.module or "")
-                else:
-                    module = node.module or ""
-                for alias in node.names:
-                    if alias.name == "*":
-                        continue
-                    local = alias.asname or alias.name
-                    self.aliases[local] = f"{module}.{alias.name}"
-
-    def resolve(self, dotted: str) -> str:
-        """Canonicalize a source-level dotted name via the import aliases."""
-        head, _, rest = dotted.partition(".")
-        base = self.aliases.get(head, head)
-        return f"{base}.{rest}" if rest else base
-
-
-def qualified_name(
-    node: ast.AST, imports: Optional[ImportTable] = None
-) -> Optional[str]:
-    """Dotted name of a ``Name``/``Attribute`` chain, else ``None``.
-
-    With *imports*, the head segment is canonicalized through the file's
-    import aliases.
-    """
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    parts.append(node.id)
-    dotted = ".".join(reversed(parts))
-    return imports.resolve(dotted) if imports else dotted
 
 
 def walk_with_parents(tree: ast.AST) -> Iterator[tuple[ast.AST, ast.AST]]:

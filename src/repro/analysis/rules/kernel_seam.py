@@ -1,0 +1,180 @@
+"""REP008 — sketch updates must route through the kernels backend seam.
+
+PR 2 made every sketch update path go through
+:func:`repro.kernels.get_backend`, so the reference, numpy, and native
+backends stay bit-identical and the Monte-Carlo validation of the
+paper's propositions holds on all of them.  A hand-rolled per-element
+update inside ``src/repro/sketches/`` — a ``for`` loop poking
+``self._counters[idx] += w``, or a direct ``numpy.add.at`` on sketch
+state — silently forks the arithmetic from the backends and is exactly
+the kind of drift the seam exists to prevent.
+
+The rule flags, inside its target files (``src/repro/sketches`` by
+default):
+
+* any ``numpy.add.at(...)`` call — that *is* the reference backend's
+  scatter-add, and outside :mod:`repro.kernels` it is always a bypass;
+* an assignment or augmented assignment to a ``self.<attr>[...]``
+  subscript inside a ``for``/``while`` loop, **unless** the enclosing
+  function transitively reaches the backend seam (resolved over the
+  project call graph via :meth:`~repro.analysis.resolve.ProjectGraph.reaches`)
+  — a method that routes through ``get_backend()`` may still do
+  per-element *setup* work around the kernel call.
+
+The seam targets default to ``repro.kernels.get_backend`` (and its
+re-export source) and can be overridden via the ``seam`` option in
+``[tool.repro.analysis.rep008]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..registry import Finding, ProjectContext, ProjectRule, register_rule
+from .common import qualified_name
+
+__all__ = ["KernelSeamRule"]
+
+#: Canonical names whose reachability marks a function as seam-routed.
+_SEAM_TARGETS = (
+    "repro.kernels.get_backend",
+    "repro.kernels.backend.get_backend",
+)
+
+
+def _subscript_self_target(node: ast.expr) -> Optional[str]:
+    """``self.<attr>`` when *node* is a ``self.<attr>[...]`` store."""
+    if not isinstance(node, ast.Subscript):
+        return None
+    base = node.value
+    if (
+        isinstance(base, ast.Attribute)
+        and isinstance(base.value, ast.Name)
+        and base.value.id == "self"
+    ):
+        return f"self.{base.attr}"
+    return None
+
+
+@register_rule
+class KernelSeamRule(ProjectRule):
+    """Flag per-element sketch updates that bypass the kernels backend."""
+
+    code = "REP008"
+    name = "kernel-seam"
+    description = (
+        "sketch update paths must route through repro.kernels.get_backend(); "
+        "per-element loops and direct numpy.add.at calls fork the arithmetic "
+        "from the backends"
+    )
+    default_include = ("src/repro/sketches",)
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        seam_targets = tuple(
+            project.options.get("seam", ())
+        ) or _SEAM_TARGETS
+        for rel_path in project.target_files:
+            ctx = project.context(rel_path)
+            module = graph.module_for_path(rel_path)
+            if ctx is None or module is None:
+                continue
+            yield from self._check_module(
+                rel_path, ctx.tree, module, graph, seam_targets
+            )
+
+    def _check_module(
+        self, rel_path, tree, module, graph, seam_targets
+    ) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                dotted = qualified_name(node.func)
+                if dotted is not None:
+                    canonical = graph.canonical_in(module, dotted)
+                    if canonical == "numpy.add.at":
+                        yield self.finding_at(
+                            rel_path,
+                            node.lineno,
+                            node.col_offset,
+                            "direct numpy.add.at on sketch state bypasses the "
+                            "kernels backend seam — use "
+                            "get_backend().scatter_add() so all backends stay "
+                            "bit-identical",
+                        )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(
+                    rel_path, node, module, graph, seam_targets
+                )
+
+    def _check_function(
+        self, rel_path, func_node, module, graph, seam_targets
+    ) -> Iterator[Finding]:
+        stores = list(self._loop_state_stores(func_node))
+        if not stores:
+            return
+        fn_info = self._function_info(module, func_node)
+        if fn_info is not None and any(
+            graph.reaches(fn_info, target) for target in seam_targets
+        ):
+            return
+        for store_node, target in stores:
+            yield self.finding_at(
+                rel_path,
+                store_node.lineno,
+                store_node.col_offset,
+                f"per-element update to {target} inside a loop bypasses the "
+                "kernels backend seam — route the update through "
+                "repro.kernels.get_backend() so all backends stay "
+                "bit-identical",
+            )
+
+    @staticmethod
+    def _function_info(module, func_node):
+        """The graph summary matching *func_node* (by name and line)."""
+        for fn in module.functions.values():
+            if fn.name == func_node.name and fn.lineno == func_node.lineno:
+                return fn
+        return None
+
+    @staticmethod
+    def _own_body_walk(node):
+        """Walk a subtree without descending into nested function defs.
+
+        Keeps each store attributed to exactly one function — the nested
+        def is visited separately as its own function.
+        """
+        stack = list(ast.iter_child_nodes(node))
+        while stack:
+            child = stack.pop()
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            yield child
+            stack.extend(ast.iter_child_nodes(child))
+
+    @classmethod
+    def _loop_state_stores(cls, func_node):
+        """``(node, "self.attr")`` pairs for subscript stores in loops.
+
+        Deduplicated by node identity so a store inside nested loops is
+        reported once.
+        """
+        seen: set = set()
+        for node in cls._own_body_walk(func_node):
+            if not isinstance(node, (ast.For, ast.While)):
+                continue
+            for inner in cls._own_body_walk(node):
+                if id(inner) in seen:
+                    continue
+                seen.add(id(inner))
+                if isinstance(inner, ast.AugAssign):
+                    target = _subscript_self_target(inner.target)
+                    if target is not None:
+                        yield inner, target
+                elif isinstance(inner, ast.Assign):
+                    for assign_target in inner.targets:
+                        target = _subscript_self_target(assign_target)
+                        if target is not None:
+                            yield inner, target

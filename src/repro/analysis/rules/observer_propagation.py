@@ -1,0 +1,100 @@
+"""REP009 — ``observer=`` must propagate through every call chain.
+
+The observability layer (PR 5) threads a single ``Observer`` through
+every seam: engine → runtime → shards → merge.  The failure mode is
+silent — a function that *accepts* ``observer=`` but calls an
+observer-accepting callee without forwarding it doesn't crash, it just
+drops that subtree's spans and metrics on the floor, and the trace
+quietly loses a branch.
+
+This is the call-graph rule: for every project function with an
+``observer`` parameter, every call site inside it is resolved through
+:class:`~repro.analysis.resolve.ProjectGraph` (module functions,
+``self.`` methods via the class hierarchy, and class constructors —
+including synthesized dataclass ``__init__``).  If the resolved callee
+accepts ``observer`` and the call passes it neither by keyword nor
+positionally (nor via ``**kwargs``), the call is flagged.
+
+Only *provable* drops are reported: calls whose callee cannot be
+resolved inside the project, or that spread ``*args``, pass.  A callee
+that genuinely must not observe can be suppressed with a justified
+``# repro: noqa(REP009)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..graph import ClassInfo, FunctionInfo
+from ..registry import Finding, ProjectContext, ProjectRule, register_rule
+
+__all__ = ["ObserverPropagationRule"]
+
+_PARAM = "observer"
+
+
+@register_rule
+class ObserverPropagationRule(ProjectRule):
+    """Flag observer-accepting callees invoked without the observer."""
+
+    code = "REP009"
+    name = "observer-propagation"
+    description = (
+        "a function accepting observer= that calls an observer-accepting "
+        "callee without forwarding it silently drops the callee's spans "
+        "and metrics"
+    )
+    default_include = ("src",)
+    default_exclude = ("tests",)
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        for rel_path in project.target_files:
+            module = graph.module_for_path(rel_path)
+            if module is None:
+                continue
+            for fn in module.functions.values():
+                if not fn.accepts(_PARAM):
+                    continue
+                for site in graph.calls_from(module.name, fn.qualname):
+                    dropped = self._dropped_callee(graph, site)
+                    if dropped is None:
+                        continue
+                    yield self.finding_at(
+                        rel_path,
+                        site.lineno,
+                        site.col,
+                        f"'{fn.qualname}' accepts {_PARAM}= but calls "
+                        f"'{dropped}' (which accepts {_PARAM}=) without "
+                        "forwarding it — the callee's spans and metrics "
+                        f"will be lost; pass {_PARAM}={_PARAM} through",
+                    )
+
+    @staticmethod
+    def _dropped_callee(graph, site) -> Optional[str]:
+        """Display name of the callee dropping the observer, or ``None``."""
+        if _PARAM in site.keywords or site.has_star_kwargs:
+            return None
+        target = graph.resolve_call(site)
+        callee: Optional[FunctionInfo] = None
+        bound = False
+        display = site.callee
+        if isinstance(target, FunctionInfo):
+            callee = target
+            # ``self.method(...)`` / ``cls.method(...)`` bind the first
+            # positional implicitly; ``Class.method(...)`` does not.
+            bound = site.callee.split(".", 1)[0] in ("self", "cls")
+        elif isinstance(target, ClassInfo):
+            callee = graph.constructor(target)
+            bound = True  # ``self`` is implicit in a constructor call
+            display = target.name
+        if callee is None or not callee.accepts(_PARAM):
+            return None
+        index = callee.positional_index(_PARAM)
+        if index is not None:
+            effective = site.nargs + (1 if bound else 0)
+            if effective > index:
+                return None  # covered positionally
+            if site.has_star_args:
+                return None  # cannot prove the spread misses it
+        return display

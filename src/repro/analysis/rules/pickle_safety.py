@@ -1,0 +1,294 @@
+"""REP007 — only picklable plain data may cross a process seam.
+
+The parallel engine's whole correctness story (PR 4) rests on shard
+tasks being *plain data*: a :class:`repro.parallel.worker.ShardTask`
+travels to its worker process by pickle, so anything unpicklable in it —
+a lambda, a closure, a lock, an open file, a live generator — either
+crashes the pool at dispatch time or (worse, with fork) smuggles shared
+mutable state across the boundary and silently breaks determinism.
+
+This is a whole-program rule because "is this picklable" is not a local
+question: the argument at the seam may be a name bound three statements
+earlier, a function defined in another module (fine if module-level, a
+closure if nested), or an instance of a dataclass whose *fields* —
+declared in yet another file — contain a ``Callable``.  The rule
+resolves all of that through the project graph and flags only **provable**
+violations; unknown expressions pass (runtime pickling still guards
+them).
+
+A *process seam* is
+
+* a ``.submit(...)`` / ``.map(...)`` / ``.apply_async(...)`` (and
+  friends) call on a receiver bound to a process-pool type
+  (``concurrent.futures.ProcessPoolExecutor``, ``multiprocessing``
+  pools, :class:`repro.parallel.pool.WorkerPool`), or
+* a constructor call of a seam task type (``ShardTask``,
+  ``PartialUpdateTask``) — whose declared fields are additionally
+  checked for transitively unpicklable annotations.
+
+Both lists can be extended per-project via the rule's ``pool_types`` /
+``seam_types`` options in ``[tool.repro.analysis.rep007]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..registry import Finding, ProjectContext, ProjectRule, register_rule
+from .common import qualified_name
+
+__all__ = ["PickleSafetyRule"]
+
+#: Process-pool receivers whose dispatch methods are process seams.
+_POOL_TYPES = frozenset(
+    {
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.process.ProcessPoolExecutor",
+        "multiprocessing.Pool",
+        "multiprocessing.pool.Pool",
+        "repro.parallel.pool.WorkerPool",
+        "repro.parallel.WorkerPool",
+    }
+)
+
+#: Dispatch methods that pickle their arguments into another process.
+_SEAM_METHODS = frozenset(
+    {"submit", "map", "apply_async", "starmap", "imap", "imap_unordered"}
+)
+
+#: Task types whose construction *is* the seam (they travel by pickle).
+_SEAM_TYPES = frozenset(
+    {
+        "repro.parallel.worker.ShardTask",
+        "repro.parallel.worker.PartialUpdateTask",
+        "repro.parallel.ShardTask",
+        "repro.parallel.PartialUpdateTask",
+    }
+)
+
+#: Constructors whose *result* provably cannot be pickled.
+_UNPICKLABLE_FACTORIES = {
+    "threading.Lock": "a threading lock",
+    "threading.RLock": "a threading lock",
+    "threading.Condition": "a threading condition",
+    "threading.Semaphore": "a threading semaphore",
+    "threading.Event": "a threading event",
+    "multiprocessing.Lock": "a multiprocessing lock",
+    "multiprocessing.RLock": "a multiprocessing lock",
+    "open": "an open file handle",
+    "io.open": "an open file handle",
+    "socket.socket": "a socket",
+}
+
+
+@register_rule
+class PickleSafetyRule(ProjectRule):
+    """Flag provably unpicklable objects reaching a process seam."""
+
+    code = "REP007"
+    name = "pickle-safety"
+    description = (
+        "objects crossing a process seam (pool submit/map, shard task "
+        "construction) must be picklable plain data — no lambdas, "
+        "closures, locks, open files, or generators"
+    )
+    default_include = ("src",)
+    default_exclude = ("tests",)
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        pool_types = _POOL_TYPES | set(project.options.get("pool_types", ()))
+        seam_types = _SEAM_TYPES | set(project.options.get("seam_types", ()))
+        for rel_path in project.target_files:
+            ctx = project.context(rel_path)
+            module = graph.module_for_path(rel_path)
+            if ctx is None or module is None:
+                continue
+            checker = _FileSeams(
+                self, rel_path, ctx.tree, module, graph, pool_types, seam_types
+            )
+            yield from checker.run()
+
+
+class _FileSeams:
+    """Per-file seam scan against one module's graph summary."""
+
+    def __init__(self, rule, rel_path, tree, module, graph, pool_types, seam_types):
+        self.rule = rule
+        self.rel_path = rel_path
+        self.tree = tree
+        self.module = module
+        self.graph = graph
+        self.pool_types = pool_types
+        self.seam_types = seam_types
+        #: Names provably bound to unpicklable values (flat per file —
+        #: the rule only needs "some binding of this name is poisoned").
+        self.poisoned: dict = {}
+        #: Names bound to process-pool instances.
+        self.pools: set = set()
+        #: Names of functions defined inside other functions (closures).
+        self.nested_defs = {
+            fn.name
+            for fn in module.functions.values()
+            if fn.parent_function is not None
+        }
+
+    # -- binding collection --------------------------------------------
+
+    def _call_canonical(self, node: ast.Call) -> Optional[str]:
+        dotted = qualified_name(node.func)
+        if dotted is None:
+            return None
+        return self.graph.canonical_in(self.module, dotted)
+
+    def _constructed_reason(self, node: ast.Call) -> Optional[str]:
+        """Why constructing *node*'s result is unpicklable, if provable."""
+        canonical = self._call_canonical(node)
+        if canonical is None:
+            return None
+        if canonical in _UNPICKLABLE_FACTORIES:
+            return _UNPICKLABLE_FACTORIES[canonical]
+        klass = self.graph.lookup_class(canonical)
+        if klass is not None:
+            owner = self.graph.module(klass.module)
+            if owner is not None:
+                for field_name, annotation in klass.fields:
+                    reason = self.graph.unpicklable_annotation(owner, annotation)
+                    if reason is not None:
+                        return (
+                            f"an instance of {klass.name} whose field "
+                            f"{field_name!r} holds {reason}"
+                        )
+        return None
+
+    def _collect_bindings(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                reason = self._value_reason(node.value)
+                if reason is not None:
+                    self.poisoned[target.id] = reason
+                elif isinstance(node.value, ast.Call):
+                    canonical = self._call_canonical(node.value)
+                    if canonical in self.pool_types:
+                        self.pools.add(target.id)
+            elif isinstance(node, ast.withitem):
+                var = node.optional_vars
+                if not isinstance(var, ast.Name):
+                    continue
+                if isinstance(node.context_expr, ast.Call):
+                    canonical = self._call_canonical(node.context_expr)
+                    if canonical in ("open", "io.open"):
+                        self.poisoned[var.id] = "an open file handle"
+                    elif canonical in self.pool_types:
+                        self.pools.add(var.id)
+
+    # -- argument classification ---------------------------------------
+
+    def _value_reason(self, node: ast.expr) -> Optional[str]:
+        """Why this expression's value is unpicklable, or ``None``."""
+        if isinstance(node, ast.Lambda):
+            return "a lambda"
+        if isinstance(node, ast.GeneratorExp):
+            return "a generator expression"
+        if isinstance(node, ast.Call):
+            return self._constructed_reason(node)
+        if isinstance(node, ast.Name):
+            if node.id in self.poisoned:
+                return self.poisoned[node.id]
+            if node.id in self.nested_defs:
+                return "a closure (function defined inside another function)"
+            canonical = self.graph.canonical_in(self.module, node.id)
+            fn = self.graph.lookup_function(canonical)
+            if fn is not None:
+                if fn.parent_function is not None:
+                    return (
+                        "a closure (function defined inside another function)"
+                    )
+                if fn.is_generator:
+                    return "a generator function"
+        return None
+
+    # -- seam detection ------------------------------------------------
+
+    def _is_pool_dispatch(self, node: ast.Call) -> bool:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _SEAM_METHODS:
+            return False
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            if receiver.id in self.pools:
+                return True
+            canonical = self.graph.canonical_in(self.module, receiver.id)
+            return canonical in self.pool_types
+        if isinstance(receiver, ast.Call):
+            return self._call_canonical(receiver) in self.pool_types
+        return False
+
+    def _seam_type_call(self, node: ast.Call) -> Optional[str]:
+        canonical = self._call_canonical(node)
+        if canonical is None:
+            return None
+        if canonical in self.seam_types:
+            return canonical
+        symbol = self.graph.lookup_class(canonical)
+        if symbol is not None and symbol.canonical in self.seam_types:
+            return symbol.canonical
+        return None
+
+    # -- main pass -----------------------------------------------------
+
+    def run(self) -> Iterator[Finding]:
+        self._collect_bindings()
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if self._is_pool_dispatch(node):
+                seam = f"{node.func.attr}() process dispatch"
+                yield from self._check_arguments(node, seam)
+                continue
+            seam_type = self._seam_type_call(node)
+            if seam_type is not None:
+                short = seam_type.rsplit(".", 1)[-1]
+                yield from self._check_arguments(node, f"{short}(...) task")
+                yield from self._check_seam_fields(node, seam_type, short)
+
+    def _check_arguments(self, node: ast.Call, seam: str) -> Iterator[Finding]:
+        arguments = [(None, a) for a in node.args if not isinstance(a, ast.Starred)]
+        arguments += [(kw.arg, kw.value) for kw in node.keywords]
+        for label, value in arguments:
+            reason = self._value_reason(value)
+            if reason is None:
+                continue
+            where = f"argument {label!r}" if label else "argument"
+            yield self.rule.finding_at(
+                self.rel_path,
+                getattr(value, "lineno", node.lineno),
+                getattr(value, "col_offset", node.col_offset),
+                f"{where} to {seam} is {reason}, which cannot cross a "
+                "process boundary — ship picklable plain data instead",
+            )
+
+    def _check_seam_fields(
+        self, node: ast.Call, seam_type: str, short: str
+    ) -> Iterator[Finding]:
+        klass = self.graph.lookup_class(seam_type)
+        if klass is None:
+            return
+        owner = self.graph.module(klass.module)
+        if owner is None:
+            return
+        for field_name, annotation in klass.fields:
+            reason = self.graph.unpicklable_annotation(owner, annotation)
+            if reason is not None:
+                yield self.rule.finding_at(
+                    self.rel_path,
+                    node.lineno,
+                    node.col_offset,
+                    f"seam task {short} declares field {field_name!r} as "
+                    f"{reason}, which cannot cross a process boundary — "
+                    "seam task fields must be picklable plain types",
+                )

@@ -1,0 +1,15 @@
+"""Seed fixture: observer forwarded through the whole chain (REP009 clean)."""
+
+from .observers import Runtime, consume
+
+
+def run(data, observer=None):
+    """Forwards observer= to every observer-accepting callee."""
+    runtime = Runtime(data, observer=observer)
+    del runtime
+    return consume(data, observer=observer)
+
+
+def run_positional(data, observer=None):
+    """Positional forwarding counts too."""
+    return consume(data, observer)

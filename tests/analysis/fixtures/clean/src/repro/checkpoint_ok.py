@@ -1,0 +1,19 @@
+"""Seed fixture: symmetric checkpoint save/restore schema (REP010 clean)."""
+
+
+class SymmetricRuntime:
+    """Every written key is read back; every read key is written."""
+
+    def __init__(self):
+        self.seen = 0
+        self.kept = 0
+
+    def checkpoint_state(self):
+        return {"seen": self.seen, "kept": self.kept}
+
+    @classmethod
+    def from_checkpoint_state(cls, payload):
+        runtime = cls()
+        runtime.seen = payload["seen"]
+        runtime.kept = payload.get("kept", 0)
+        return runtime

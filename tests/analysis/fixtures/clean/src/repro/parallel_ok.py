@@ -1,0 +1,29 @@
+"""Seed fixture: only picklable plain data crosses the seams (REP007 clean)."""
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.parallel.worker import ShardTask
+
+
+@dataclass(frozen=True)
+class PlainTask:
+    """Plain-data task: every field pickles."""
+
+    index: int
+    label: Optional[str] = None
+
+
+def shard_len(part):
+    """Module-level worker function — picklable by qualified name."""
+    return len(part)
+
+
+def dispatch(keys):
+    """Ships module-level functions and plain data only."""
+    with ProcessPoolExecutor(2) as pool:
+        pool.submit(shard_len, keys)
+        pool.map(shard_len, [keys])
+        pool.submit(max, PlainTask(index=0, label="a"))
+    return ShardTask(index=0, keys=keys, header={}, p=1.0)

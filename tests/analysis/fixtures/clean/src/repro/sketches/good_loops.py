@@ -1,0 +1,19 @@
+"""Seed fixture: updates routed through the kernels seam (REP008 clean)."""
+
+from repro.kernels import get_backend
+
+
+class SeamSketch:
+    """All counter arithmetic goes through the backend seam."""
+
+    def update(self, indices, weights):
+        """Chunked dispatch: the loop never touches counters directly."""
+        for start in range(0, len(indices), 4096):
+            chunk = indices[start : start + 4096]
+            get_backend().scatter_add(self._counters, chunk, weights)
+
+    def rebuild(self, rows):
+        """Setup writes are fine in a function that routes through the seam."""
+        for row in rows:
+            self._seeds[row] = row * 2
+        get_backend().scatter_add(self._counters, rows, self._seeds)

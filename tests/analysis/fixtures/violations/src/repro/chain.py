@@ -1,0 +1,10 @@
+"""Seed fixture: an observer-dropping call chain (REP009)."""
+
+from .observers import Runtime, consume
+
+
+def run(data, observer=None):
+    """Accepts observer= but forwards it to neither callee: both spans lost."""
+    runtime = Runtime(data)
+    del runtime
+    return consume(data)

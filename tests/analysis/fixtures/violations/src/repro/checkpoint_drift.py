@@ -1,0 +1,20 @@
+"""Seed fixture: drifted checkpoint save/restore schema (REP010)."""
+
+
+class DriftingRuntime:
+    """Writes a key nobody reads; reads a key nobody writes."""
+
+    def __init__(self):
+        self.seen = 0
+        self.kept = 0
+
+    def checkpoint_state(self):
+        return {"seen": self.seen, "kept": self.kept, "orphan": 1}
+
+    @classmethod
+    def from_checkpoint_state(cls, payload):
+        runtime = cls()
+        runtime.seen = payload["seen"]
+        runtime.kept = payload["kept"]
+        runtime.phantom = payload["phantom"]
+        return runtime

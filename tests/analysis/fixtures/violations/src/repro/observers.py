@@ -1,0 +1,14 @@
+"""Seed fixture: observer-accepting callees (REP009 support module)."""
+
+
+def consume(stream, observer=None):
+    """An observer-accepting stream consumer."""
+    return list(stream)
+
+
+class Runtime:
+    """An observer-accepting runtime."""
+
+    def __init__(self, sketch, observer=None):
+        self.sketch = sketch
+        self.observer = observer

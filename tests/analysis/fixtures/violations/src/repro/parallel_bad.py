@@ -1,0 +1,37 @@
+"""Seed fixture: unpicklable objects reaching process seams (REP007)."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.parallel.worker import ShardTask
+
+
+@dataclass(frozen=True)
+class CallbackTask:
+    """A task type poisoned by a callable field."""
+
+    index: int
+    transform: Callable
+
+
+def produce():
+    """A generator — its frames cannot be pickled."""
+    yield 1
+
+
+def dispatch(keys):
+    """Every seam crossing below ships something unpicklable."""
+    lock = threading.Lock()
+
+    def shard_fn(part):
+        return len(part)
+
+    with ProcessPoolExecutor(2) as pool:
+        pool.submit(lambda part: part.sum(), keys)
+        pool.submit(shard_fn, keys)
+        pool.submit(max, lock)
+        pool.map(produce, [keys])
+        pool.submit(max, CallbackTask(index=0, transform=len))
+    return ShardTask(index=0, keys=keys, header={}, p=lambda: 1.0)

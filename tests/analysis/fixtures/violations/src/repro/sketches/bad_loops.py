@@ -1,0 +1,19 @@
+"""Seed fixture: per-element updates bypassing the kernels seam (REP008)."""
+
+import numpy as np
+
+
+class LoopSketch:
+    """Updates its counters by hand instead of through get_backend()."""
+
+    def __init__(self, depth, width):
+        self._counters = np.zeros((depth, width), dtype=np.int64)
+
+    def update(self, rows, cols, weight):
+        """Per-element loop over sketch state: forks from the backends."""
+        for row, col in zip(rows, cols):
+            self._counters[row, col] += weight
+
+    def update_bulk(self, indices, weights):
+        """numpy.add.at *is* the reference backend — a bypass out here."""
+        np.add.at(self._counters, indices, weights)

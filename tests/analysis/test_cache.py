@@ -1,0 +1,150 @@
+"""Incremental cache: content-hash keys, fingerprint scoping, corruption."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import AnalysisConfig, analyze_paths
+from repro.analysis.cache import (
+    AnalysisCache,
+    file_sha,
+    ruleset_fingerprint,
+    tree_sha,
+)
+
+CLEAN = "def documented():\n    \"\"\"Fine.\"\"\"\n    return 1\n"
+BAD_SEED = "import numpy\nseed = 42\nnumpy.random.seed(seed)\n"
+
+
+def _write_tree(root: Path) -> None:
+    pkg = root / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "clean.py").write_text(CLEAN)
+    (pkg / "seeded.py").write_text(BAD_SEED)
+
+
+def _run(root: Path, cache_dir: Path, **kwargs):
+    return analyze_paths(
+        ["src"],
+        root=root,
+        config=AnalysisConfig(),
+        cache_dir=cache_dir,
+        **kwargs,
+    )
+
+
+class TestHashes:
+    def test_file_sha_is_content_keyed(self):
+        assert file_sha("a = 1\n") == file_sha("a = 1\n")
+        assert file_sha("a = 1\n") != file_sha("a = 2\n")
+
+    def test_tree_sha_order_independent(self):
+        a = tree_sha({"x.py": "s1", "y.py": "s2"})
+        b = tree_sha({"y.py": "s2", "x.py": "s1"})
+        assert a == b
+        assert a != tree_sha({"x.py": "s1", "y.py": "OTHER"})
+
+    def test_fingerprint_varies_with_selection(self):
+        config = AnalysisConfig()
+        assert ruleset_fingerprint(config, None) != ruleset_fingerprint(
+            config, {"REP001"}
+        )
+
+    def test_fingerprint_varies_with_config(self):
+        from repro.analysis.config import RuleConfig
+
+        base = AnalysisConfig()
+        tweaked = AnalysisConfig(
+            rules={"REP001": RuleConfig(options={"custom": True})}
+        )
+        assert ruleset_fingerprint(base, None) != ruleset_fingerprint(
+            tweaked, None
+        )
+
+
+class TestWarmRuns:
+    def test_warm_run_reproduces_findings(self, tmp_path):
+        _write_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+
+        cold = _run(tmp_path, cache_dir)
+        warm = _run(tmp_path, cache_dir)
+
+        assert cold.cache_misses > 0 and cold.cache_hits == 0
+        # Warm hits cover every file plus the project-pass entry.
+        assert warm.cache_hits == warm.files_checked + 1
+        assert warm.cache_misses == 0
+        key = lambda f: (f.path, f.line, f.code)  # noqa: E731
+        assert sorted(map(key, warm.findings)) == sorted(
+            map(key, cold.findings)
+        )
+        assert warm.suppressed == cold.suppressed
+
+    def test_content_change_invalidates_one_file(self, tmp_path):
+        _write_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        _run(tmp_path, cache_dir)
+
+        target = tmp_path / "src" / "repro" / "seeded.py"
+        target.write_text(CLEAN)
+        warm = _run(tmp_path, cache_dir)
+
+        # The edited file misses, and so does the project-pass entry
+        # (its key is the tree hash); the untouched file still hits.
+        assert warm.cache_misses == 2
+        assert warm.cache_hits == warm.files_checked - 1
+        assert not [f for f in warm.findings if f.path.endswith("seeded.py")]
+
+    def test_selection_change_misses_everything(self, tmp_path):
+        # A different rule selection is a different fingerprint, so the
+        # previous run's entries must not be reused.
+        _write_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        _run(tmp_path, cache_dir)
+
+        narrowed = _run(tmp_path, cache_dir, select={"REP001"})
+        assert narrowed.cache_hits == 0
+
+
+class TestRobustness:
+    def _index_path(self, cache_dir: Path) -> Path:
+        files = list(cache_dir.glob("*.json"))
+        assert len(files) == 1
+        return files[0]
+
+    def test_corrupt_index_is_ignored(self, tmp_path):
+        _write_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        _run(tmp_path, cache_dir)
+
+        self._index_path(cache_dir).write_text("{not json")
+        warm = _run(tmp_path, cache_dir)
+        assert warm.cache_hits == 0 and warm.exit_code in (0, 1)
+
+    def test_schema_mismatch_is_ignored(self, tmp_path):
+        _write_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        _run(tmp_path, cache_dir)
+
+        index = self._index_path(cache_dir)
+        payload = json.loads(index.read_text())
+        payload["schema"] = -1
+        index.write_text(json.dumps(payload))
+        warm = _run(tmp_path, cache_dir)
+        assert warm.cache_hits == 0
+
+    def test_cache_object_roundtrip(self, tmp_path):
+        fingerprint = ruleset_fingerprint(AnalysisConfig(), None)
+        cache = AnalysisCache(tmp_path / "c", fingerprint)
+        cache.put_file("src/x.py", "sha1", [], 0)
+        cache.save()
+
+        reopened = AnalysisCache(tmp_path / "c", fingerprint)
+        entry = reopened.get_file("src/x.py", "sha1")
+        assert entry is not None
+        assert entry.findings == [] and entry.suppressed == 0
+        assert reopened.get_file("src/x.py", "sha2") is None
+
+        other = AnalysisCache(tmp_path / "c", "other-fingerprint")
+        assert other.get_file("src/x.py", "sha1") is None

@@ -68,13 +68,134 @@ class TestMain:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+        for code in (
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+            "REP006",
+            "REP007",
+            "REP008",
+            "REP009",
+            "REP010",
+        ):
             assert code in out
 
     def test_syntax_error_reported_as_rep000(self, tmp_path, capsys):
         _write(tmp_path, "src/repro/broken.py", "def broken(:\n")
         assert main(["--root", str(tmp_path), "src"]) == 1
         assert "REP000" in capsys.readouterr().out
+
+
+class TestSelectionFlags:
+    def test_ignore_skips_a_firing_rule(self, bad_tree, capsys):
+        assert main(["--root", str(bad_tree), "--ignore", "REP001", "src"]) == 0
+        capsys.readouterr()
+
+    def test_ignore_wins_over_select(self, bad_tree, capsys):
+        assert (
+            main(
+                [
+                    "--root",
+                    str(bad_tree),
+                    "--select",
+                    "REP001",
+                    "--ignore",
+                    "REP001",
+                    "src",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+    def test_unknown_ignore_code_is_usage_error(self, bad_tree, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--root", str(bad_tree), "--ignore", "REP999", "src"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_toml_disablement_survives_select(self, bad_tree, capsys):
+        # ``enabled = false`` in pyproject.toml switches the rule off at
+        # the config layer; ``--select`` narrows but cannot re-enable.
+        _write(
+            bad_tree,
+            "pyproject.toml",
+            "[tool.repro.analysis.rep001]\nenabled = false\n",
+        )
+        assert main(["--root", str(bad_tree), "--select", "REP001", "src"]) == 0
+        capsys.readouterr()
+
+    def test_cli_select_narrows_toml_enabled_set(self, bad_tree, capsys):
+        # Config leaves every rule on; --select REP004 must still skip
+        # the REP001 offender.
+        _write(bad_tree, "pyproject.toml", "[tool.repro.analysis]\n")
+        assert main(["--root", str(bad_tree), "--select", "REP004", "src"]) == 0
+        capsys.readouterr()
+
+
+class TestSarifFormat:
+    def test_sarif_output_parses(self, bad_tree, capsys):
+        assert main(["--root", str(bad_tree), "-f", "sarif", "src"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        results = payload["runs"][0]["results"]
+        assert results and results[0]["ruleId"] == "REP001"
+
+
+class TestJobsFlag:
+    def test_parallel_run_matches_serial(self, bad_tree, capsys):
+        assert main(["--root", str(bad_tree), "-f", "json", "src"]) == 1
+        serial = json.loads(capsys.readouterr().out)
+        assert (
+            main(["--root", str(bad_tree), "-f", "json", "--jobs", "2", "src"])
+            == 1
+        )
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel["findings"] == serial["findings"]
+
+    def test_zero_jobs_is_usage_error(self, bad_tree, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--root", str(bad_tree), "--jobs", "0", "src"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+
+class TestCacheDirFlag:
+    def test_warm_run_reproduces_exit_and_findings(self, bad_tree, capsys):
+        cache_dir = bad_tree / ".analysis-cache"
+        argv = [
+            "--root",
+            str(bad_tree),
+            "--cache-dir",
+            str(cache_dir),
+            "-f",
+            "json",
+            "src",
+        ]
+        assert main(argv) == 1
+        cold = json.loads(capsys.readouterr().out)
+        assert list(cache_dir.glob("*.json")), "cache index not written"
+        assert main(argv) == 1
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["findings"] == cold["findings"]
+
+
+class TestNoTomlParser:
+    def test_py310_without_tomllib_uses_defaults(self, bad_tree, capsys, monkeypatch):
+        # Python 3.10 has neither ``tomllib`` nor (necessarily) ``tomli``;
+        # config loading must fall back to in-code defaults, not crash.
+        monkeypatch.setitem(sys.modules, "tomllib", None)
+        monkeypatch.setitem(sys.modules, "tomli", None)
+        _write(
+            bad_tree,
+            "pyproject.toml",
+            "[tool.repro.analysis.rep001]\nenabled = false\n",
+        )
+        # The TOML disablement is unreadable, so the rule stays on.
+        assert main(["--root", str(bad_tree), "src"]) == 1
+        assert "REP001" in capsys.readouterr().out
 
 
 class TestModuleInvocation:

@@ -1,0 +1,35 @@
+"""docs/STATIC_ANALYSIS.md must track the registered rule catalogue.
+
+A rule that ships without documentation is invisible to the people it
+polices; a documented code that no longer exists sends readers hunting
+for behavior the checker does not have.  Both directions are drift.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.analysis import RULE_REGISTRY
+
+DOCS = Path(__file__).resolve().parents[2] / "docs" / "STATIC_ANALYSIS.md"
+
+
+def test_docs_exist():
+    assert DOCS.is_file(), "docs/STATIC_ANALYSIS.md is missing"
+
+
+def test_every_registered_code_is_documented():
+    text = DOCS.read_text(encoding="utf-8")
+    missing = sorted(code for code in RULE_REGISTRY if code not in text)
+    assert not missing, f"rules missing from docs: {missing}"
+
+
+def test_no_phantom_codes_in_docs():
+    text = DOCS.read_text(encoding="utf-8")
+    # Fenced code blocks may use placeholder codes in examples.
+    prose = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    documented = set(re.findall(r"\bREP\d{3}\b", prose))
+    known = set(RULE_REGISTRY) | {"REP000"}  # REP000 is the parse-error code
+    phantom = sorted(documented - known)
+    assert not phantom, f"docs mention unregistered codes: {phantom}"

@@ -1,0 +1,98 @@
+"""The seeded fixture trees: each whole-program rule firing and passing.
+
+The acceptance contract for the cross-module rules: the ``violations``
+tree under ``tests/analysis/fixtures/`` triggers every one of
+REP007–REP010 (including an observer-dropping call chain and an
+unpicklable object reaching a process seam), the ``clean`` twin stays
+silent, and the real-tree configuration excludes both.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze_paths, load_config
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+NEW_CODES = {"REP007", "REP008", "REP009", "REP010"}
+
+
+def _analyze(tree: str, select=NEW_CODES):
+    return analyze_paths(
+        ["src"], root=FIXTURES / tree, config=AnalysisConfig(), select=select
+    )
+
+
+@pytest.fixture(scope="module")
+def violations():
+    return _analyze("violations")
+
+
+class TestViolationsTree:
+    def test_every_new_rule_fires(self, violations):
+        assert {f.code for f in violations.findings} == NEW_CODES
+
+    def test_unpicklable_objects_reach_the_seam(self, violations):
+        messages = [
+            f.message
+            for f in violations.findings
+            if f.code == "REP007" and f.path == "src/repro/parallel_bad.py"
+        ]
+        reasons = " | ".join(messages)
+        assert "a lambda" in reasons
+        assert "a closure" in reasons
+        assert "a threading lock" in reasons
+        assert "a generator function" in reasons
+        # The interprocedural case: a dataclass whose *field* annotation
+        # (another module's business) poisons the instance at the seam.
+        assert "CallbackTask" in reasons and "a callable" in reasons
+
+    def test_seam_task_constructor_is_a_seam(self, violations):
+        assert any(
+            f.code == "REP007" and "ShardTask" in f.message
+            for f in violations.findings
+        )
+
+    def test_kernel_seam_bypasses(self, violations):
+        rep008 = [f for f in violations.findings if f.code == "REP008"]
+        assert {f.path for f in rep008} == {"src/repro/sketches/bad_loops.py"}
+        joined = " | ".join(f.message for f in rep008)
+        assert "per-element update to self._counters" in joined
+        assert "numpy.add.at" in joined
+
+    def test_observer_dropping_chain(self, violations):
+        rep009 = [f for f in violations.findings if f.code == "REP009"]
+        assert {f.path for f in rep009} == {"src/repro/chain.py"}
+        joined = " | ".join(f.message for f in rep009)
+        # Both the constructor and the cross-module function drop it.
+        assert "'Runtime'" in joined
+        assert "consume" in joined
+
+    def test_checkpoint_schema_drift_both_directions(self, violations):
+        rep010 = [f for f in violations.findings if f.code == "REP010"]
+        joined = " | ".join(f.message for f in rep010)
+        assert "'orphan'" in joined and "silently lost" in joined
+        assert "'phantom'" in joined and "never" in joined
+
+
+class TestCleanTree:
+    def test_clean_twin_is_silent(self):
+        result = _analyze("clean")
+        assert result.findings == []
+
+    def test_clean_twin_under_all_project_rules(self):
+        # No select filter: every registered project rule must pass.
+        result = _analyze("clean", select=None)
+        assert [f for f in result.findings if f.code in NEW_CODES] == []
+
+
+class TestRealTreeExclusion:
+    def test_fixture_trees_are_excluded_from_real_runs(self):
+        repo_root = Path(__file__).resolve().parents[2]
+        config = load_config(repo_root)
+        assert "tests/analysis/fixtures" in config.exclude
+
+    def test_default_config_excludes_fixtures_without_toml(self):
+        assert "tests/analysis/fixtures" in AnalysisConfig().exclude

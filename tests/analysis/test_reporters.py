@@ -6,8 +6,11 @@ import json
 
 from repro.analysis import (
     REPORT_SCHEMA_VERSION,
+    SARIF_VERSION,
+    all_rules,
     analyze_source,
     render_json,
+    render_sarif,
     render_text,
 )
 
@@ -65,3 +68,40 @@ class TestJsonReporter:
         payload = json.loads(render_json(_result()))
         locations = [(f["path"], f["line"], f["column"]) for f in payload["findings"]]
         assert locations == sorted(locations)
+
+
+class TestSarifReporter:
+    def test_top_level_shape(self):
+        payload = json.loads(render_sarif(_result()))
+        assert payload["version"] == SARIF_VERSION == "2.1.0"
+        assert "sarif-schema-2.1.0" in payload["$schema"]
+        assert len(payload["runs"]) == 1
+        driver = payload["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-analysis"
+
+    def test_driver_catalogue_covers_every_rule(self):
+        payload = json.loads(render_sarif(_result()))
+        driver = payload["runs"][0]["tool"]["driver"]
+        listed = {rule["id"] for rule in driver["rules"]}
+        assert listed == {rule.code for rule in all_rules()}
+
+    def test_results_reference_rules_and_locations(self):
+        payload = json.loads(render_sarif(_result()))
+        results = payload["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["REP001", "REP001"]
+        first = results[0]["locations"][0]["physicalLocation"]
+        assert first["artifactLocation"]["uri"] == "src/repro/snippet.py"
+        region = first["region"]
+        assert region["startLine"] == 2
+        # SARIF columns are 1-based; our findings are 0-based.
+        assert region["startColumn"] >= 1
+
+    def test_output_is_byte_stable(self):
+        assert render_sarif(_result()) == render_sarif(_result())
+
+    def test_clean_result_has_empty_results(self):
+        result = analyze_source(
+            "import numpy as np\n", "src/repro/snippet.py", select={"REP001"}
+        )
+        payload = json.loads(render_sarif(result))
+        assert payload["runs"][0]["results"] == []

@@ -1,0 +1,132 @@
+"""REP010 — checkpoint save/restore key sets must stay symmetric."""
+
+from __future__ import annotations
+
+
+class TestDriftFires:
+    def test_written_never_read(self, run_rule):
+        findings = run_rule(
+            """
+            class Runtime:
+                def checkpoint_state(self):
+                    return {"seen": 1, "orphan": 2}
+
+                @classmethod
+                def from_checkpoint_state(cls, payload):
+                    return cls(payload["seen"])
+            """,
+            "REP010",
+        )
+        assert len(findings) == 1
+        assert "'orphan'" in findings[0].message
+
+    def test_read_never_written(self, run_rule):
+        findings = run_rule(
+            """
+            class Runtime:
+                def checkpoint_state(self):
+                    return {"seen": 1}
+
+                @classmethod
+                def from_checkpoint_state(cls, payload):
+                    return cls(payload["seen"], payload["phantom"])
+            """,
+            "REP010",
+        )
+        assert len(findings) == 1
+        assert "'phantom'" in findings[0].message
+
+    def test_subscript_store_counts_as_write(self, run_rule):
+        findings = run_rule(
+            """
+            class Manager:
+                def save(self, payload):
+                    payload["extra"] = 1
+                    payload["kept"] = 2
+                    return payload
+
+                def load(self, payload):
+                    return payload["kept"]
+            """,
+            "REP010",
+        )
+        assert len(findings) == 1
+        assert "'extra'" in findings[0].message
+
+
+class TestSymmetryPasses:
+    def test_symmetric_schema(self, run_rule):
+        findings = run_rule(
+            """
+            class Runtime:
+                def checkpoint_state(self):
+                    return {"seen": 1, "kept": 2}
+
+                @classmethod
+                def from_checkpoint_state(cls, payload):
+                    return cls(payload["seen"], payload.get("kept", 0))
+            """,
+            "REP010",
+        )
+        assert findings == []
+
+    def test_membership_and_pop_count_as_reads(self, run_rule):
+        findings = run_rule(
+            """
+            class Runtime:
+                def checkpoint_state(self):
+                    return {"seen": 1, "legacy": 2}
+
+                @classmethod
+                def from_checkpoint_state(cls, payload):
+                    if "legacy" in payload:
+                        payload.pop("legacy")
+                    return cls(payload["seen"])
+            """,
+            "REP010",
+        )
+        assert findings == []
+
+    def test_save_only_class_skipped(self, run_rule):
+        findings = run_rule(
+            """
+            class Exporter:
+                def snapshot(self):
+                    return {"rows": 1}
+            """,
+            "REP010",
+        )
+        assert findings == []
+
+    def test_dynamic_schema_skipped(self, run_rule):
+        # No literal keys on the save side: nothing provable.
+        findings = run_rule(
+            """
+            class Runtime:
+                def checkpoint_state(self):
+                    return dict(self._fields)
+
+                @classmethod
+                def from_checkpoint_state(cls, payload):
+                    return cls(payload["seen"])
+            """,
+            "REP010",
+        )
+        assert findings == []
+
+    def test_from_prefixed_method_is_restore_side(self, run_rule):
+        # ``from_checkpoint_state`` contains save-side tokens too; the
+        # restore classification must win.
+        findings = run_rule(
+            """
+            class Runtime:
+                def checkpoint_state(self):
+                    return {"seen": 1}
+
+                @classmethod
+                def from_checkpoint_state(cls, payload):
+                    return cls(payload["seen"])
+            """,
+            "REP010",
+        )
+        assert findings == []

@@ -1,0 +1,165 @@
+"""REP009 — observer= must propagate through every call chain."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_sources
+
+CALLEE = """
+def consume(stream, observer=None):
+    return list(stream)
+"""
+
+
+class TestDropsFire:
+    def test_keyword_drop_same_module(self, run_rule):
+        findings = run_rule(
+            CALLEE
+            + """
+def run(data, observer=None):
+    return consume(data)
+""",
+            "REP009",
+        )
+        assert len(findings) == 1
+        assert "consume" in findings[0].message
+        assert "observer=" in findings[0].message
+
+    def test_constructor_drop(self, run_rule):
+        findings = run_rule(
+            """
+class Runtime:
+    def __init__(self, sketch, observer=None):
+        self.observer = observer
+
+def run(sketch, observer=None):
+    return Runtime(sketch)
+""",
+            "REP009",
+        )
+        assert len(findings) == 1
+        assert "Runtime" in findings[0].message
+
+    def test_dataclass_constructor_drop(self, run_rule):
+        # The dataclass has no explicit __init__; the graph synthesizes
+        # one from the fields.
+        findings = run_rule(
+            """
+from dataclasses import dataclass
+
+@dataclass
+class Pipeline:
+    name: str
+    observer: object = None
+
+def run(observer=None):
+    return Pipeline("scan")
+""",
+            "REP009",
+        )
+        assert len(findings) == 1
+
+    def test_self_method_drop(self, run_rule):
+        findings = run_rule(
+            """
+class Engine:
+    def _inner(self, data, observer=None):
+        return data
+
+    def run(self, data, observer=None):
+        return self._inner(data)
+""",
+            "REP009",
+        )
+        assert len(findings) == 1
+
+    def test_cross_module_drop(self):
+        result = analyze_sources(
+            {
+                "src/repro/sink.py": textwrap.dedent(CALLEE),
+                "src/repro/driver.py": textwrap.dedent(
+                    """
+                    from .sink import consume
+
+                    def run(data, observer=None):
+                        return consume(data)
+                    """
+                ),
+            },
+            select={"REP009"},
+        )
+        assert len(result.findings) == 1
+        assert result.findings[0].path == "src/repro/driver.py"
+
+
+class TestForwardingPasses:
+    def test_keyword_forwarding(self, run_rule):
+        findings = run_rule(
+            CALLEE
+            + """
+def run(data, observer=None):
+    return consume(data, observer=observer)
+""",
+            "REP009",
+        )
+        assert findings == []
+
+    def test_positional_forwarding(self, run_rule):
+        findings = run_rule(
+            CALLEE
+            + """
+def run(data, observer=None):
+    return consume(data, observer)
+""",
+            "REP009",
+        )
+        assert findings == []
+
+    def test_kwargs_spread_passes(self, run_rule):
+        findings = run_rule(
+            CALLEE
+            + """
+def run(data, **kwargs):
+    return consume(data, **kwargs)
+""",
+            "REP009",
+        )
+        # ``run`` has no observer param at all; nothing to propagate.
+        assert findings == []
+
+    def test_caller_without_observer_not_flagged(self, run_rule):
+        findings = run_rule(
+            CALLEE
+            + """
+def run(data):
+    return consume(data)
+""",
+            "REP009",
+        )
+        assert findings == []
+
+    def test_callee_without_observer_not_flagged(self, run_rule):
+        findings = run_rule(
+            """
+def helper(data):
+    return data
+
+def run(data, observer=None):
+    return helper(data)
+""",
+            "REP009",
+        )
+        assert findings == []
+
+    def test_unresolvable_callee_not_flagged(self, run_rule):
+        findings = run_rule(
+            """
+from somewhere_else import mystery
+
+def run(data, observer=None):
+    return mystery(data)
+""",
+            "REP009",
+        )
+        assert findings == []

@@ -1,0 +1,233 @@
+"""REP007 — pickle-safety across process seams."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_sources
+
+POOL_PREAMBLE = """
+from concurrent.futures import ProcessPoolExecutor
+
+def work(x):
+    return x
+"""
+
+
+class TestSeamDetection:
+    def test_lambda_to_submit(self, run_rule):
+        findings = run_rule(
+            POOL_PREAMBLE
+            + """
+def go(keys):
+    with ProcessPoolExecutor(2) as pool:
+        pool.submit(lambda k: k, keys)
+""",
+            "REP007",
+        )
+        assert len(findings) == 1
+        assert "a lambda" in findings[0].message
+
+    def test_worker_pool_receiver(self, run_rule):
+        findings = run_rule(
+            """
+from repro.parallel.pool import WorkerPool
+
+def go(keys):
+    pool = WorkerPool(2)
+    pool.map(lambda k: k, keys)
+""",
+            "REP007",
+        )
+        assert len(findings) == 1
+
+    def test_lock_binding_flows_to_seam(self, run_rule):
+        findings = run_rule(
+            POOL_PREAMBLE
+            + """
+import threading
+
+def go(keys):
+    lock = threading.Lock()
+    with ProcessPoolExecutor(2) as pool:
+        pool.submit(work, lock)
+""",
+            "REP007",
+        )
+        assert len(findings) == 1
+        assert "threading lock" in findings[0].message
+
+    def test_open_file_handle_from_with(self, run_rule):
+        findings = run_rule(
+            POOL_PREAMBLE
+            + """
+def go(keys):
+    with open("data.bin") as handle:
+        with ProcessPoolExecutor(2) as pool:
+            pool.submit(work, handle)
+""",
+            "REP007",
+        )
+        assert len(findings) == 1
+        assert "open file handle" in findings[0].message
+
+    def test_nested_function_is_a_closure(self, run_rule):
+        findings = run_rule(
+            POOL_PREAMBLE
+            + """
+def go(keys):
+    def shard_fn(part):
+        return part
+    with ProcessPoolExecutor(2) as pool:
+        pool.submit(shard_fn, keys)
+""",
+            "REP007",
+        )
+        assert len(findings) == 1
+        assert "closure" in findings[0].message
+
+    def test_generator_function_flagged(self, run_rule):
+        findings = run_rule(
+            POOL_PREAMBLE
+            + """
+def produce():
+    yield 1
+
+def go(keys):
+    with ProcessPoolExecutor(2) as pool:
+        pool.map(produce, [keys])
+""",
+            "REP007",
+        )
+        assert len(findings) == 1
+        assert "generator function" in findings[0].message
+
+
+class TestPlainDataPasses:
+    def test_module_function_and_plain_args_pass(self, run_rule):
+        findings = run_rule(
+            POOL_PREAMBLE
+            + """
+def go(keys):
+    with ProcessPoolExecutor(2) as pool:
+        pool.submit(work, keys, 3, "label")
+""",
+            "REP007",
+        )
+        assert findings == []
+
+    def test_unknown_expressions_are_not_flagged(self, run_rule):
+        # The rule only reports *provable* violations.
+        findings = run_rule(
+            POOL_PREAMBLE
+            + """
+def go(tasks):
+    with ProcessPoolExecutor(2) as pool:
+        for task in tasks:
+            pool.submit(work, task)
+""",
+            "REP007",
+        )
+        assert findings == []
+
+    def test_non_pool_submit_ignored(self, run_rule):
+        findings = run_rule(
+            """
+def go(queue):
+    queue.submit(lambda: 1)
+""",
+            "REP007",
+        )
+        assert findings == []
+
+
+class TestCrossModule:
+    def test_dataclass_field_poisons_instance_across_modules(self):
+        result = analyze_sources(
+            {
+                "src/repro/tasks.py": textwrap.dedent(
+                    """
+                    from dataclasses import dataclass
+                    from typing import Callable
+
+                    @dataclass
+                    class Step:
+                        fn: Callable
+                    """
+                ),
+                "src/repro/driver.py": textwrap.dedent(
+                    """
+                    from concurrent.futures import ProcessPoolExecutor
+                    from .tasks import Step
+
+                    def go(keys):
+                        step = Step(fn=len)
+                        with ProcessPoolExecutor(2) as pool:
+                            pool.submit(max, step)
+                    """
+                ),
+            },
+            select={"REP007"},
+        )
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.path == "src/repro/driver.py"
+        assert "Step" in finding.message and "a callable" in finding.message
+
+    def test_plain_dataclass_instance_passes(self):
+        result = analyze_sources(
+            {
+                "src/repro/tasks.py": textwrap.dedent(
+                    """
+                    from dataclasses import dataclass
+
+                    @dataclass
+                    class Step:
+                        index: int
+                        name: str
+                    """
+                ),
+                "src/repro/driver.py": textwrap.dedent(
+                    """
+                    from concurrent.futures import ProcessPoolExecutor
+                    from .tasks import Step
+
+                    def go(keys):
+                        with ProcessPoolExecutor(2) as pool:
+                            pool.submit(max, Step(index=0, name="a"))
+                    """
+                ),
+            },
+            select={"REP007"},
+        )
+        assert result.findings == []
+
+    def test_seam_task_field_annotations_checked(self):
+        # Declaring an unpicklable field *on the seam task type itself*
+        # is flagged at every construction site.
+        result = analyze_sources(
+            {
+                "src/repro/parallel/worker.py": textwrap.dedent(
+                    """
+                    from dataclasses import dataclass
+                    from typing import Callable
+
+                    @dataclass(frozen=True)
+                    class ShardTask:
+                        index: int
+                        reduce: Callable
+                    """
+                ),
+                "src/repro/parallel/coordinator.py": textwrap.dedent(
+                    """
+                    from .worker import ShardTask
+
+                    def make(index):
+                        return ShardTask(index=index, reduce=sum)
+                    """
+                ),
+            },
+            select={"REP007"},
+        )
+        assert len(result.findings) == 1
+        assert "'reduce'" in result.findings[0].message

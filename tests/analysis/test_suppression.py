@@ -66,3 +66,72 @@ class TestSuppressionBehavior:
             select={"REP001"},
         )
         assert len(result.findings) == 1
+
+
+class TestMultiLineStatements:
+    """A noqa anywhere on a multi-line statement covers the whole span.
+
+    Findings anchor to the *first* physical line of a statement, but the
+    natural place to write the comment is the *last* line (after the
+    closing paren).  Both must work.
+    """
+
+    MULTILINE = """
+        rng = np.random.default_rng(
+            3,
+        ){comment}
+        """
+
+    def test_noqa_on_last_line_suppresses(self):
+        result = _analyze(
+            self.MULTILINE.format(comment="  # repro: noqa(REP001)"),
+            select={"REP001"},
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_noqa_on_first_line_still_suppresses(self):
+        result = _analyze(
+            "rng = np.random.default_rng(  # repro: noqa(REP001)\n    3,\n)",
+            select={"REP001"},
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_blanket_noqa_on_last_line_suppresses(self):
+        result = _analyze(
+            self.MULTILINE.format(comment="  # repro: noqa"),
+            select={"REP001"},
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_wrong_code_on_last_line_does_not_suppress(self):
+        result = _analyze(
+            self.MULTILINE.format(comment="  # repro: noqa(REP004)"),
+            select={"REP001"},
+        )
+        assert len(result.findings) == 1
+
+    def test_compound_statements_are_not_widened(self):
+        # A noqa on a ``for`` header must not blanket the loop body.
+        result = _analyze(
+            """
+            for i in (  # repro: noqa(REP001)
+                1,
+            ):
+                rng = np.random.default_rng(i)
+            """,
+            select={"REP001"},
+        )
+        assert len(result.findings) == 1
+
+    def test_adjacent_statement_unaffected(self):
+        # The widened span stops at the statement boundary.
+        result = _analyze(
+            self.MULTILINE.format(comment="  # repro: noqa(REP001)")
+            + BAD_LINE,
+            select={"REP001"},
+        )
+        assert len(result.findings) == 1
+        assert result.suppressed == 1
