@@ -22,7 +22,10 @@ default):
   per-element *setup* work around the kernel call.
 
 The seam targets default to ``repro.kernels.get_backend`` (and its
-re-export source) and can be overridden via the ``seam`` option in
+re-export source) plus the fused multi-sketch entry point
+``repro.kernels.fused_update`` — a function that routes its updates
+through a fused plan is just as seam-compliant as one that calls
+``get_backend()`` directly.  Override via the ``seam`` option in
 ``[tool.repro.analysis.rep008]``.
 """
 
@@ -40,6 +43,8 @@ __all__ = ["KernelSeamRule"]
 _SEAM_TARGETS = (
     "repro.kernels.get_backend",
     "repro.kernels.backend.get_backend",
+    "repro.kernels.fused_update",
+    "repro.kernels.fused.fused_update",
 )
 
 

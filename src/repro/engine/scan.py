@@ -48,6 +48,7 @@ def run_lockstep_scan(
     resume: bool = False,
     shards=None,
     pool=None,
+    shared_memory=None,
     observer: Optional[Observer] = None,
 ) -> Iterator[StatisticsSnapshot]:
     """Scan every relation to each checkpoint fraction, yielding snapshots.
@@ -58,9 +59,11 @@ def run_lockstep_scan(
 
     *shards*/*pool* route every consumed slice through the sharded update
     path of :mod:`repro.parallel` (``pool`` alone defaults the shard count
-    to the pool's worker count).  Hash partitioning keeps the counters —
-    and therefore every snapshot and checkpoint — bit-identical to the
-    sequential scan.
+    to the pool's worker count).  Integer counter deltas add exactly, so
+    the counters — and therefore every snapshot and checkpoint — stay
+    bit-identical to the sequential scan.  *shared_memory* forwards to
+    :func:`~repro.parallel.parallel_update`: process pools default to
+    moving keys and counters through shared-memory segments.
 
     *checkpoint_dir* enables durable snapshots (one after each yielded
     fraction).  With ``resume=True`` the scan restarts from the newest
@@ -144,6 +147,7 @@ def run_lockstep_scan(
                             relation.keys[scanned[name] : target],
                             shards=shards,
                             pool=pool,
+                            shared_memory=shared_memory,
                         )
                     scanned[name] = target
             if manager is not None:

@@ -153,7 +153,9 @@ class OnlineStatisticsEngine:
                 f"unknown relation {name!r}; registered: {self.relations}"
             ) from None
 
-    def consume(self, name: str, keys, *, shards=None, pool=None) -> None:
+    def consume(
+        self, name: str, keys, *, shards=None, pool=None, shared_memory=None
+    ) -> None:
         """Feed the next chunk of *name*'s random-order scan.
 
         Updates run through the row-batched :mod:`repro.kernels` path,
@@ -162,9 +164,12 @@ class OnlineStatisticsEngine:
 
         With *shards* and/or *pool* set, the chunk's hashing and
         accumulation fan out over :func:`repro.parallel.parallel_update`
-        (hash-partitioned, bit-identical to the sequential path); a
+        (chunked work-stealing, bit-identical to the sequential path); a
         :class:`~repro.parallel.pool.WorkerPool` passed here is reused
-        across calls rather than respawned per chunk.
+        across calls rather than respawned per chunk.  *shared_memory*
+        forwards to :func:`~repro.parallel.parallel_update` — by default
+        process pools move keys and counters through shared-memory
+        segments instead of the pickle pipe.
         """
         state = self._state(name)
         keys = np.asarray(keys)
@@ -179,7 +184,13 @@ class OnlineStatisticsEngine:
             else:
                 from ..parallel import parallel_update
 
-                parallel_update(state.sketch, keys, shards=shards, pool=pool)
+                parallel_update(
+                    state.sketch,
+                    keys,
+                    shards=shards,
+                    pool=pool,
+                    shared_memory=shared_memory,
+                )
             state.scanned += int(keys.size)
             obs = self._observer
             obs.counter("engine.rows.consumed", relation=name).inc(int(keys.size))

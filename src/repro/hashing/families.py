@@ -93,22 +93,26 @@ def _horner_all(coefficients: np.ndarray, x: np.ndarray) -> np.ndarray:
     return acc
 
 
-def _bucket_all(coefficients: np.ndarray, x: np.ndarray, buckets: int) -> np.ndarray:
-    """Vectorized bucket reduction of every row's hash: ``(rows, n) int64``.
+def _bucket_reduce(values: np.ndarray, buckets: int) -> np.ndarray:
+    """``mod buckets`` over canonical hash values, mutating in place.
 
-    On top of :func:`_horner_all`, the ``mod buckets`` step avoids the
-    slow unsigned 64-bit division — an in-place mask plus a free
-    ``view(int64)`` reinterpretation when ``buckets`` is a power of two
-    (residues are < 2³¹ so the bit pattern is unchanged), 32-bit
+    Avoids the slow unsigned 64-bit division — an in-place mask plus a
+    free ``view(int64)`` reinterpretation when ``buckets`` is a power of
+    two (residues are < 2³¹ so the bit pattern is unchanged), 32-bit
     division otherwise (hash values and bucket counts both fit in int32
-    by construction).
+    by construction).  Shared by :func:`_bucket_all` and the numpy
+    backend's fused update so the two stay bit-identical.
     """
-    values = _horner_all(coefficients, x)
     if buckets & (buckets - 1) == 0:
         values &= np.uint64(buckets - 1)
         return values.view(np.int64)
     reduced = values.astype(np.int32) % np.int32(buckets)
     return reduced.astype(np.int64)
+
+
+def _bucket_all(coefficients: np.ndarray, x: np.ndarray, buckets: int) -> np.ndarray:
+    """Vectorized bucket reduction of every row's hash: ``(rows, n) int64``."""
+    return _bucket_reduce(_horner_all(coefficients, x), buckets)
 
 
 def _poly_rows_reference(coefficients: np.ndarray, x: np.ndarray) -> np.ndarray:

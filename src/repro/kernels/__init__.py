@@ -32,6 +32,12 @@ the ``REPRO_KERNEL_BACKEND`` environment variable; further backends
 register themselves with :func:`register_backend` and slot in without
 touching any sketch or hashing code.
 
+On top of the per-sketch primitives the seam carries a *fused
+multi-sketch* entry point (:mod:`~repro.kernels.fused`): one pass over a
+key chunk updates several sketches at once, sharing key validation and
+letting each backend batch the hash evaluations — see
+:func:`fused_update` / :func:`make_fused_plan`.
+
 Every backend must leave counters **bit-identical** to the reference
 path for integer-valued deltas (the unweighted and frequency-vector
 workloads): hash values are canonical residues mod ``2³¹ − 1`` in every
@@ -52,21 +58,35 @@ from .backend import (
     set_backend,
     use_backend,
 )
-from .native import NativeKernelBackend, native_available
+from .fused import FusedEntry, FusedPlan, fused_update, make_fused_plan
+from .native import (
+    NativeKernelBackend,
+    native_available,
+    native_openmp,
+    native_threads,
+    set_native_threads,
+)
 from .numpy_backend import NumpyKernelBackend
 from .reference import ReferenceKernelBackend
 
 __all__ = [
     "BACKEND_ENV_VAR",
+    "FusedEntry",
+    "FusedPlan",
     "KernelBackend",
     "NativeKernelBackend",
     "NumpyKernelBackend",
     "ReferenceKernelBackend",
     "available_backends",
     "backend_name",
+    "fused_update",
     "get_backend",
+    "make_fused_plan",
     "native_available",
+    "native_openmp",
+    "native_threads",
     "register_backend",
     "set_backend",
+    "set_native_threads",
     "use_backend",
 ]

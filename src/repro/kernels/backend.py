@@ -139,6 +139,33 @@ class KernelBackend(abc.ABC):
 
         return _parity_signs(_horner_all(coefficients, keys))
 
+    # ------------------------------------------------------------------
+    # Fused multi-sketch stage (see :mod:`repro.kernels.fused`).
+    # ------------------------------------------------------------------
+
+    #: Backends that can stream ``int32``/``uint32`` keys without a
+    #: Python-side widening copy set this to True (the native backend).
+    fused_accepts_int32: bool = False
+
+    def fused_update(self, plan, keys: np.ndarray, weights=None) -> None:
+        """Update every sketch in *plan* with one prepared key batch.
+
+        *keys* arrive validated (range-checked against the plan's key
+        bound) and — unless :attr:`fused_accepts_int32` — widened to the
+        canonical ``uint64`` the hash families use; *weights* is a
+        ``(n,)`` float64 array or ``None``.  The base implementation
+        replays each entry through the separate-path primitives
+        (``bucket_indices`` / ``parity_signs`` / the scatter and sign
+        reductions), so any backend is bit-identical to per-sketch
+        ``update()`` calls by construction; subclasses override to share
+        work across entries.
+        """
+        if keys.dtype != np.uint64:
+            # Hash-key API dtype, not an accumulator.
+            keys = keys.astype(np.uint64)  # repro: noqa(REP002)
+        for entry in plan.entries:
+            entry.replay(self, keys, weights)
+
 
 _REGISTRY: dict = {}
 _active: Optional[KernelBackend] = None

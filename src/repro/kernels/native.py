@@ -8,6 +8,26 @@ single loop per primitive: hash, reduce, and emit in registers, touching
 each key once.  On a single core that is worth another ~3× over the
 vectorized numpy path for F-AGMS updates.
 
+On top of the per-primitive kernels this backend implements the fused
+multi-sketch entry point (:mod:`repro.kernels.fused`) entirely in C:
+per sketch, one loop computes bucket index and ±1 sign for a key while
+it sits in a register and scatters immediately — the ``(rows, n)``
+index/sign matrices that the separate path materializes (and re-reads)
+through numpy never exist.  The unweighted AGMS row sums reduce in
+registers too, eliminating the numpy int8→float64 reduction that made
+AGMS the per-sketch straggler.  Fused kernels also accept ``int32`` /
+``uint32`` keys directly (widened block-wise in L1), halving key
+traffic for narrow domains.
+
+Threading: every row loop (hashing, scatter, fused) carries an OpenMP
+``parallel for`` over rows.  Rows write disjoint output slices and each
+row's accumulation stays in stream order, so results are **bit-identical
+for any thread count** — threading is purely a throughput knob, default
+1 (set via :func:`set_native_threads` or ``REPRO_NATIVE_THREADS``).
+The build tries ``-fopenmp`` and falls back to a single-threaded compile
+when the toolchain lacks it, mirroring the no-compiler fallback below:
+:func:`native_openmp` reports what the loaded library supports.
+
 The library is built lazily, at most once per process, from the C source
 embedded below: the source is written to a private temporary directory
 and compiled with the system C compiler (``$CC`` or ``cc``) into a
@@ -28,7 +48,8 @@ element in stream order — the same order as the reference backend's
 
 Only the polynomial (fourwise/bucket) hashing primitives are compiled;
 EH3 and tabulation sign families keep their vectorized numpy paths,
-which this backend inherits from :class:`NumpyKernelBackend`.
+which this backend inherits from :class:`NumpyKernelBackend` (the fused
+path falls back to the replayed primitives for such entries).
 """
 
 from __future__ import annotations
@@ -37,7 +58,7 @@ import ctypes
 import os
 import subprocess
 import tempfile
-from ctypes import POINTER, c_double, c_int8, c_int64, c_uint64
+from ctypes import POINTER, c_double, c_int8, c_int64, c_uint64, c_void_p
 from pathlib import Path
 from typing import Optional
 
@@ -47,12 +68,47 @@ from ..errors import ConfigurationError
 from .backend import register_backend
 from .numpy_backend import NumpyKernelBackend
 
-__all__ = ["NativeKernelBackend", "native_available", "native_build_error"]
+__all__ = [
+    "NativeKernelBackend",
+    "native_available",
+    "native_build_error",
+    "native_openmp",
+    "native_threads",
+    "set_native_threads",
+]
+
+#: Worker threads for the native row loops (default 1; results are
+#: bit-identical for any value — see :func:`set_native_threads`).
+THREADS_ENV_VAR = "REPRO_NATIVE_THREADS"
 
 _C_SOURCE = r"""
 #include <stdint.h>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #define P31 2147483647ULL /* the Mersenne prime 2^31 - 1 */
+
+/* Worker-thread count for the row loops.  Rows write disjoint output
+ * slices and each row's accumulation keeps stream order, so any value
+ * here produces bit-identical results; 1 (the default) skips the
+ * OpenMP runtime entirely via the if() clauses below. */
+static int64_t repro_threads = 1;
+
+void repro_set_threads(int64_t threads) {
+    repro_threads = threads < 1 ? 1 : threads;
+}
+
+int64_t repro_get_threads(void) { return repro_threads; }
+
+int64_t repro_openmp_compiled(void) {
+#ifdef _OPENMP
+    return 1;
+#else
+    return 0;
+#endif
+}
 
 /* One lazy fold: congruent mod P31 (2^31 = 1 mod P31), shrinks the value. */
 static inline uint64_t fold31(uint64_t v) {
@@ -120,35 +176,55 @@ static void poly_block(const uint64_t *c, int64_t k, const uint64_t *keys,
     }
 }
 
-void repro_poly_mod_p(const uint64_t *coeffs, int64_t rows, int64_t k,
-                      const uint64_t *keys, int64_t n, uint64_t *out) {
-    int64_t r;
-    for (r = 0; r < rows; r++) {
-        poly_block(coeffs + r * k, k, keys, n, out + r * n);
-    }
-}
-
 /* Hash values land in an L1-resident scratch block, the cheap post-op
  * (mask / modulus / parity) streams out of it. */
 #define BLOCK 2048
 
+/* Fused entry points take keys as 8-byte canonical uint64 or, on the
+ * int32 fast path, 4-byte non-negative values widened block-wise here
+ * (the block stays in L1, so the widening is free relative to DRAM). */
+static inline const uint64_t *load_keys(const void *keys, int64_t kwidth,
+                                        int64_t start, int64_t m,
+                                        uint64_t *buf) {
+    if (kwidth == 8) {
+        return (const uint64_t *)keys + start;
+    }
+    {
+        const uint32_t *narrow = (const uint32_t *)keys + start;
+        int64_t i;
+        for (i = 0; i < m; i++) buf[i] = (uint64_t)narrow[i];
+    }
+    return buf;
+}
+
+void repro_poly_mod_p(const uint64_t *coeffs, int64_t rows, int64_t k,
+                      const uint64_t *keys, int64_t n, uint64_t *out) {
+#pragma omp parallel for schedule(static) num_threads((int)repro_threads) \
+    if (repro_threads > 1)
+    for (int64_t r = 0; r < rows; r++) {
+        poly_block(coeffs + r * k, k, keys, n, out + r * n);
+    }
+}
+
 void repro_bucket_indices(const uint64_t *coeffs, int64_t rows, int64_t k,
                           const uint64_t *keys, int64_t n, int64_t buckets,
                           int64_t *out) {
-    uint64_t buf[BLOCK];
     uint64_t b = (uint64_t)buckets;
-    int64_t r, i, start;
     int pow2 = (b & (b - 1)) == 0;
     uint64_t mask = b - 1;
     /* Lemire's exact mul-shift modulus: for 32-bit h and b,
      * h % b == (uint64)(((__uint128_t)(h * M) * b) >> 64)
      * with M = 2^64 / b rounded up.  Both operands are < 2^31. */
     uint64_t M = UINT64_MAX / b + 1;
-    for (r = 0; r < rows; r++) {
+#pragma omp parallel for schedule(static) num_threads((int)repro_threads) \
+    if (repro_threads > 1)
+    for (int64_t r = 0; r < rows; r++) {
         const uint64_t *c = coeffs + r * k;
         int64_t *o = out + r * n;
-        for (start = 0; start < n; start += BLOCK) {
+        uint64_t buf[BLOCK];
+        for (int64_t start = 0; start < n; start += BLOCK) {
             int64_t m = n - start < BLOCK ? n - start : BLOCK;
+            int64_t i;
             poly_block(c, k, keys + start, m, buf);
             if (pow2) {
                 for (i = 0; i < m; i++) o[start + i] = (int64_t)(buf[i] & mask);
@@ -165,15 +241,16 @@ void repro_bucket_indices(const uint64_t *coeffs, int64_t rows, int64_t k,
 
 void repro_parity_signs(const uint64_t *coeffs, int64_t rows, int64_t k,
                         const uint64_t *keys, int64_t n, int8_t *out) {
-    uint64_t buf[BLOCK];
-    int64_t r, i, start;
-    for (r = 0; r < rows; r++) {
+#pragma omp parallel for schedule(static) num_threads((int)repro_threads) \
+    if (repro_threads > 1)
+    for (int64_t r = 0; r < rows; r++) {
         const uint64_t *c = coeffs + r * k;
         int8_t *o = out + r * n;
-        for (start = 0; start < n; start += BLOCK) {
+        uint64_t buf[BLOCK];
+        for (int64_t start = 0; start < n; start += BLOCK) {
             int64_t m = n - start < BLOCK ? n - start : BLOCK;
             poly_block(c, k, keys + start, m, buf);
-            for (i = 0; i < m; i++) {
+            for (int64_t i = 0; i < m; i++) {
                 o[start + i] = (int8_t)(((buf[i] & 1) << 1) - 1);
             }
         }
@@ -182,10 +259,12 @@ void repro_parity_signs(const uint64_t *coeffs, int64_t rows, int64_t k,
 
 void repro_scatter(double *counters, int64_t rows, int64_t buckets,
                    const int64_t *indices, int64_t n, const double *weights) {
-    int64_t r, i;
-    for (r = 0; r < rows; r++) {
+#pragma omp parallel for schedule(static) num_threads((int)repro_threads) \
+    if (repro_threads > 1)
+    for (int64_t r = 0; r < rows; r++) {
         double *c = counters + r * buckets;
         const int64_t *idx = indices + r * n;
+        int64_t i;
         if (weights) {
             for (i = 0; i < n; i++) c[idx[i]] += weights[i];
         } else {
@@ -197,15 +276,134 @@ void repro_scatter(double *counters, int64_t rows, int64_t buckets,
 void repro_signed_scatter(double *counters, int64_t rows, int64_t buckets,
                           const int64_t *indices, const int8_t *signs,
                           int64_t n, const double *weights) {
-    int64_t r, i;
-    for (r = 0; r < rows; r++) {
+#pragma omp parallel for schedule(static) num_threads((int)repro_threads) \
+    if (repro_threads > 1)
+    for (int64_t r = 0; r < rows; r++) {
         double *c = counters + r * buckets;
         const int64_t *idx = indices + r * n;
         const int8_t *s = signs + r * n;
+        int64_t i;
         if (weights) {
             for (i = 0; i < n; i++) c[idx[i]] += (double)s[i] * weights[i];
         } else {
             for (i = 0; i < n; i++) c[idx[i]] += (double)s[i];
+        }
+    }
+}
+
+/* ------------------------------------------------------------------
+ * Fused multi-sketch kernels: hash and accumulate per key while it is
+ * in a register — no (rows, n) index/sign matrices are materialized.
+ * Each matches the separate path bit for bit: same horner31_k2/_k4
+ * residues, same pow2/Lemire bucket reduction, same per-row stream
+ * order of the scatter accumulation.
+ * ------------------------------------------------------------------ */
+
+/* Unweighted AGMS: per row, sum(+/-1 signs) == 2 * #odd - n, counted in
+ * registers.  The int64 count is exact, so adding it to the float64
+ * counter matches the separate sign_sum path bit for bit. */
+void repro_fused_agms(const uint64_t *coeffs, int64_t rows, const void *keys,
+                      int64_t kwidth, int64_t n, int64_t *rowsums) {
+#pragma omp parallel for schedule(static) num_threads((int)repro_threads) \
+    if (repro_threads > 1)
+    for (int64_t r = 0; r < rows; r++) {
+        const uint64_t *c = coeffs + 4 * r;
+        uint64_t kbuf[BLOCK];
+        int64_t odd = 0;
+        for (int64_t start = 0; start < n; start += BLOCK) {
+            int64_t m = n - start < BLOCK ? n - start : BLOCK;
+            const uint64_t *kb = load_keys(keys, kwidth, start, m, kbuf);
+            for (int64_t i = 0; i < m; i++) {
+                odd += (int64_t)(horner31_k4(c, kb[i]) & 1);
+            }
+        }
+        rowsums[r] = 2 * odd - n;
+    }
+}
+
+/* F-AGMS: bucket index (k=2) and sign (k=4) per key in one pass, then a
+ * stream-order scatter over the L1-resident block. */
+void repro_fused_signed(const uint64_t *bcoeffs, const uint64_t *scoeffs,
+                        int64_t rows, const void *keys, int64_t kwidth,
+                        int64_t n, int64_t buckets, double *counters,
+                        const double *weights) {
+    uint64_t b = (uint64_t)buckets;
+    int pow2 = (b & (b - 1)) == 0;
+    uint64_t mask = b - 1;
+    uint64_t M = UINT64_MAX / b + 1;
+#pragma omp parallel for schedule(static) num_threads((int)repro_threads) \
+    if (repro_threads > 1)
+    for (int64_t r = 0; r < rows; r++) {
+        const uint64_t *bc = bcoeffs + 2 * r;
+        const uint64_t *sc = scoeffs + 4 * r;
+        double *c = counters + r * buckets;
+        uint64_t kbuf[BLOCK];
+        int64_t idx[BLOCK];
+        int8_t sg[BLOCK];
+        for (int64_t start = 0; start < n; start += BLOCK) {
+            int64_t m = n - start < BLOCK ? n - start : BLOCK;
+            const uint64_t *kb = load_keys(keys, kwidth, start, m, kbuf);
+            int64_t i;
+            if (pow2) {
+                for (i = 0; i < m; i++) {
+                    uint64_t x = kb[i];
+                    idx[i] = (int64_t)(horner31_k2(bc, x) & mask);
+                    sg[i] = (int8_t)(((horner31_k4(sc, x) & 1) << 1) - 1);
+                }
+            } else {
+                for (i = 0; i < m; i++) {
+                    uint64_t x = kb[i];
+                    uint64_t low = horner31_k2(bc, x) * M;
+                    idx[i] = (int64_t)((uint64_t)(((__uint128_t)low * b) >> 64));
+                    sg[i] = (int8_t)(((horner31_k4(sc, x) & 1) << 1) - 1);
+                }
+            }
+            if (weights) {
+                const double *w = weights + start;
+                for (i = 0; i < m; i++) c[idx[i]] += (double)sg[i] * w[i];
+            } else {
+                for (i = 0; i < m; i++) c[idx[i]] += (double)sg[i];
+            }
+        }
+    }
+}
+
+/* Count-Min: like the signed kernel without the sign hash. */
+void repro_fused_unsigned(const uint64_t *bcoeffs, int64_t rows,
+                          const void *keys, int64_t kwidth, int64_t n,
+                          int64_t buckets, double *counters,
+                          const double *weights) {
+    uint64_t b = (uint64_t)buckets;
+    int pow2 = (b & (b - 1)) == 0;
+    uint64_t mask = b - 1;
+    uint64_t M = UINT64_MAX / b + 1;
+#pragma omp parallel for schedule(static) num_threads((int)repro_threads) \
+    if (repro_threads > 1)
+    for (int64_t r = 0; r < rows; r++) {
+        const uint64_t *bc = bcoeffs + 2 * r;
+        double *c = counters + r * buckets;
+        uint64_t kbuf[BLOCK];
+        int64_t idx[BLOCK];
+        for (int64_t start = 0; start < n; start += BLOCK) {
+            int64_t m = n - start < BLOCK ? n - start : BLOCK;
+            const uint64_t *kb = load_keys(keys, kwidth, start, m, kbuf);
+            int64_t i;
+            if (pow2) {
+                for (i = 0; i < m; i++) {
+                    idx[i] = (int64_t)(horner31_k2(bc, kb[i]) & mask);
+                }
+            } else {
+                for (i = 0; i < m; i++) {
+                    uint64_t low = horner31_k2(bc, kb[i]) * M;
+                    idx[i] = (int64_t)((uint64_t)(((__uint128_t)low * b) >> 64));
+                }
+            }
+            if (weights) {
+                const double *w = weights + start;
+                for (i = 0; i < m; i++) c[idx[i]] += w[i];
+            } else {
+                for (i = 0; i < m; i++) c[idx[i]] += 1.0;
+            }
         }
     }
 }
@@ -236,6 +434,24 @@ def _declare(lib: ctypes.CDLL) -> None:
         _F64P, c_int64, c_int64, _I64P, _I8P, c_int64, _F64P,
     ]
     lib.repro_signed_scatter.restype = None
+    lib.repro_fused_agms.argtypes = [
+        _U64P, c_int64, c_void_p, c_int64, c_int64, _I64P,
+    ]
+    lib.repro_fused_agms.restype = None
+    lib.repro_fused_signed.argtypes = [
+        _U64P, _U64P, c_int64, c_void_p, c_int64, c_int64, c_int64, _F64P, _F64P,
+    ]
+    lib.repro_fused_signed.restype = None
+    lib.repro_fused_unsigned.argtypes = [
+        _U64P, c_int64, c_void_p, c_int64, c_int64, c_int64, _F64P, _F64P,
+    ]
+    lib.repro_fused_unsigned.restype = None
+    lib.repro_set_threads.argtypes = [c_int64]
+    lib.repro_set_threads.restype = None
+    lib.repro_get_threads.argtypes = []
+    lib.repro_get_threads.restype = c_int64
+    lib.repro_openmp_compiled.argtypes = []
+    lib.repro_openmp_compiled.restype = c_int64
 
 
 def _build() -> ctypes.CDLL:
@@ -247,17 +463,34 @@ def _build() -> ctypes.CDLL:
     compiler = os.environ.get("CC", "cc")
     base = [compiler, "-O3", "-fPIC", "-shared", "-o", str(shared), str(source)]
     # -march=native lets the compiler vectorize the straight-line Horner
-    # loops (8-wide 64-bit multiplies with AVX-512DQ); retry portably if
-    # the local toolchain rejects it.
-    proc = subprocess.run(base[:1] + ["-march=native"] + base[1:],
-                          capture_output=True, text=True)
-    if proc.returncode != 0:
-        proc = subprocess.run(base, capture_output=True, text=True)
-    if proc.returncode != 0:
+    # loops (8-wide 64-bit multiplies with AVX-512DQ); -fopenmp enables
+    # the threaded row loops.  Drop each in turn when the local toolchain
+    # rejects it — the single-threaded portable compile is the floor.
+    proc = None
+    for extra in (
+        ["-march=native", "-fopenmp"],
+        ["-march=native"],
+        ["-fopenmp"],
+        [],
+    ):
+        proc = subprocess.run(
+            base[:1] + extra + base[1:], capture_output=True, text=True
+        )
+        if proc.returncode == 0:
+            break
+    if proc is None or proc.returncode != 0:
         detail = proc.stderr.strip() or proc.stdout.strip() or "no diagnostics"
         raise OSError(f"{' '.join(base)} failed: {detail}")
     lib = ctypes.CDLL(str(shared))
     _declare(lib)
+    raw = os.environ.get(THREADS_ENV_VAR)
+    if raw:
+        try:
+            lib.repro_set_threads(int(raw))
+        except ValueError:
+            raise OSError(
+                f"{THREADS_ENV_VAR}={raw!r} is not an integer"
+            ) from None
     return lib
 
 
@@ -294,6 +527,36 @@ def native_build_error() -> Optional[str]:
     return None
 
 
+def native_openmp() -> bool:
+    """Whether the loaded library was compiled with OpenMP support."""
+    return bool(_library().repro_openmp_compiled())
+
+
+def set_native_threads(threads: int) -> int:
+    """Set the worker-thread count for the native row loops.
+
+    Returns the *effective* count: libraries compiled without OpenMP
+    (toolchain lacks ``-fopenmp``) always run single-threaded, so the
+    call is accepted but reports 1.  Any value is bit-identity-safe —
+    rows write disjoint slices in stream order — so this is purely a
+    throughput knob.  The default is 1; ``REPRO_NATIVE_THREADS`` seeds
+    it at first library load.
+    """
+    if threads < 1:
+        raise ConfigurationError(f"threads must be >= 1, got {threads}")
+    lib = _library()
+    lib.repro_set_threads(threads)
+    return native_threads()
+
+
+def native_threads() -> int:
+    """The effective native thread count (1 without OpenMP support)."""
+    lib = _library()
+    if not lib.repro_openmp_compiled():
+        return 1
+    return int(lib.repro_get_threads())
+
+
 def _u64(array: np.ndarray):
     return array.ctypes.data_as(_U64P)
 
@@ -308,7 +571,7 @@ def _counter_pointer(counters: np.ndarray):
 
 
 class NativeKernelBackend(NumpyKernelBackend):
-    """Compiled single-pass hashing and scatter primitives.
+    """Compiled single-pass hashing, scatter, and fused-update primitives.
 
     Inherits the numpy implementations for everything it does not
     accelerate (gather, AGMS sign reductions, EH3/tabulation families).
@@ -319,6 +582,10 @@ class NativeKernelBackend(NumpyKernelBackend):
     """
 
     name = "native"
+
+    #: Fused kernels widen int32/uint32 keys block-wise in C (see
+    #: :func:`repro.kernels.fused.fused_update`).
+    fused_accepts_int32 = True
 
     # REP002 note: the uint64/int8 buffers below are hash values and ±1
     # signs, never accumulators — counters stay float64 throughout.
@@ -420,6 +687,89 @@ class NativeKernelBackend(NumpyKernelBackend):
             if weights is None
             else np.ascontiguousarray(weights).ctypes.data_as(_F64P),
         )
+
+    def fused_update(self, plan, keys: np.ndarray, weights=None) -> None:
+        """Per-sketch single-pass C kernels over one prepared key batch.
+
+        Polynomial-family entries run fully in C (no intermediate
+        index/sign matrices); EH3-signed entries and the weighted AGMS
+        reduction fall back to the replayed separate-path primitives
+        (C hashing + the numpy sign reductions), keeping every entry
+        bit-identical to its per-sketch ``update()``.
+        """
+        lib = _library()
+        n = keys.size
+        kwidth = keys.dtype.itemsize
+        if kwidth not in (4, 8):
+            keys = keys.astype(np.uint64)
+            kwidth = 8
+        key_pointer = keys.ctypes.data_as(c_void_p)
+        weight_pointer = (
+            None
+            if weights is None
+            else np.ascontiguousarray(weights).ctypes.data_as(_F64P)
+        )
+        wide: Optional[np.ndarray] = None
+
+        def keys64() -> np.ndarray:
+            # Canonical uint64 view for the numpy-path fallbacks, built
+            # at most once per call.
+            nonlocal wide
+            if wide is None:
+                if keys.dtype == np.uint64:
+                    wide = keys
+                elif keys.dtype == np.int64:
+                    wide = keys.view(np.uint64)
+                else:
+                    wide = keys.astype(np.uint64)
+            return wide
+
+        for entry in plan.entries:
+            poly_signs = (
+                entry.sign_kind == "poly"
+                and entry.sign_coefficients is not None
+                and entry.sign_coefficients.shape[1] == 4
+            )
+            if entry.kind == "agms":
+                if poly_signs and weights is None:
+                    rowsums = np.empty(entry.rows, dtype=np.int64)
+                    lib.repro_fused_agms(
+                        _u64(np.ascontiguousarray(entry.sign_coefficients)),
+                        entry.rows,
+                        key_pointer,
+                        kwidth,
+                        n,
+                        rowsums.ctypes.data_as(_I64P),
+                    )
+                    entry.counters += rowsums.astype(np.float64)
+                else:
+                    entry.replay(self, keys64(), weights)
+            elif entry.kind == "fagms":
+                if poly_signs:
+                    lib.repro_fused_signed(
+                        _u64(np.ascontiguousarray(entry.bucket_coefficients)),
+                        _u64(np.ascontiguousarray(entry.sign_coefficients)),
+                        entry.rows,
+                        key_pointer,
+                        kwidth,
+                        n,
+                        entry.buckets,
+                        _counter_pointer(entry.counters),
+                        weight_pointer,
+                    )
+                else:
+                    entry.replay(self, keys64(), weights)
+            else:
+                lib.repro_fused_unsigned(
+                    _u64(np.ascontiguousarray(entry.bucket_coefficients)),
+                    entry.rows,
+                    key_pointer,
+                    kwidth,
+                    n,
+                    entry.buckets,
+                    _counter_pointer(entry.counters),
+                    weight_pointer,
+                )
 
 
 register_backend(NativeKernelBackend())

@@ -149,6 +149,37 @@ class ProfilingKernelBackend(KernelBackend):
         return result
 
     # ------------------------------------------------------------------
+    # Fused multi-sketch entry point
+    # ------------------------------------------------------------------
+
+    @property
+    def fused_accepts_int32(self) -> bool:
+        """Mirror the wrapped backend's key-dtype capability.
+
+        :func:`repro.kernels.fused.fused_update` consults this flag on
+        the *active* backend; the profiler must forward the inner
+        backend's answer or profiling would silently widen the keys and
+        change what the wrapped backend executes.
+        """
+        return getattr(self.inner, "fused_accepts_int32", False)
+
+    def fused_update(self, plan, keys, weights=None) -> None:
+        """Delegate the whole fused batch, metering it as one seam call.
+
+        ``kernels.rows`` counts the tuple-slots the fused pass covers —
+        ``Σ entry.rows × n`` over the plan — so throughput numbers stay
+        comparable with the separate path, where the same stream would
+        cross the seam once per sketch.
+        """
+        started = self.clock()
+        self.inner.fused_update(plan, keys, weights)
+        elapsed = self.clock() - started
+        n = int(np.asarray(keys).size)
+        slots = sum(entry.rows for entry in plan.entries) * n
+        _, nbytes = self._traffic(keys, weights)
+        self._record("fused_update", slots, nbytes, elapsed, True)
+
+    # ------------------------------------------------------------------
     # Hashing primitives
     # ------------------------------------------------------------------
 

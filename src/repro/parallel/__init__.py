@@ -11,22 +11,34 @@ engine:
 2. :mod:`.pool` runs a fixed-size ``multiprocessing`` worker pool (with an
    inline ``workers=0`` fallback) whose workers pin the coordinator's
    kernel backend.
-3. :mod:`.worker` executes one shard per task on the resilient
+3. :mod:`.shm` moves shard keys and counters through named
+   ``multiprocessing.shared_memory`` segments (:class:`~.shm.SharedBlock`)
+   instead of the pickle pipe whenever a process boundary is crossed.
+4. :mod:`.worker` executes one shard per task on the resilient
    :class:`~repro.resilience.runtime.StreamRuntime` — per-shard Bernoulli
    shedding with independently spawned seed substreams, per-shard
-   checkpoints, resume-on-retry.
-4. :mod:`.merge` reduces the per-shard sketches in a fixed-order balanced
-   merge tree and aggregates the per-shard sampling ledgers.
-5. :mod:`.coordinator` ties it together behind
+   checkpoints, resume-on-retry — writing counters straight into the
+   shard's shared slot.
+5. :mod:`.merge` reduces the per-shard sketches in a fixed-order balanced
+   merge tree (:func:`~.merge.merge_tree`, or its bit-identical
+   array-level twin :func:`~.merge.reduce_counter_tree` over shared
+   counter slots) and aggregates the per-shard sampling ledgers.
+6. :mod:`.coordinator` ties it together behind
    :func:`~.coordinator.run_sharded_sketch` (full engine) and
-   :func:`~.coordinator.parallel_update` (plain fan-out bulk update).
+   :func:`~.coordinator.parallel_update` (chunked work-stealing bulk
+   update).
 
 See ``docs/PARALLEL.md`` for the sharding model, the determinism
 guarantees, and the failure semantics.
 """
 
 from .coordinator import ShardedScanResult, parallel_update, run_sharded_sketch
-from .merge import combine_shard_infos, merge_tree, sample_size_vector
+from .merge import (
+    combine_shard_infos,
+    merge_tree,
+    reduce_counter_tree,
+    sample_size_vector,
+)
 from .partition import (
     ShardPlan,
     hash_partition,
@@ -35,6 +47,7 @@ from .partition import (
     shard_ids,
 )
 from .pool import WorkerPool, available_cpus
+from .shm import SharedBlock
 from .worker import PartialUpdateTask, ShardResult, ShardTask, run_partial_update, run_shard
 
 __all__ = [
@@ -43,6 +56,7 @@ __all__ = [
     "ShardResult",
     "ShardTask",
     "ShardedScanResult",
+    "SharedBlock",
     "WorkerPool",
     "available_cpus",
     "combine_shard_infos",
@@ -51,6 +65,7 @@ __all__ = [
     "merge_tree",
     "parallel_update",
     "range_partition",
+    "reduce_counter_tree",
     "run_partial_update",
     "run_shard",
     "run_sharded_sketch",

@@ -24,14 +24,28 @@ Determinism contract (tested in ``tests/parallel/``):
 * The process boundary adds nothing: an inline pool (``workers=0``) and a
   process pool produce bit-identical results for the same plan.
 
+Transport: when the pool is process-backed (or ``shared_memory=True``
+forces it), shard keys and counters move through
+:class:`~.shm.SharedBlock` segments instead of the multiprocessing pipe —
+one shared key block the workers slice, one ``(shards,) + state_shape``
+counter block whose slots the workers' sketches write *in place*.  Tasks
+and results then carry only descriptors and scalars; the coordinator
+backfills :attr:`~.worker.ShardResult.counters` from the block, reduces
+the slots with :func:`~.merge.reduce_counter_tree` (bit-identical to
+:func:`~.merge.merge_tree` by construction), and destroys both segments
+in a ``finally`` so crashes and exhausted retries never leak ``/dev/shm``
+entries.
+
 :func:`parallel_update` is the lightweight sibling used by the engine
-layer: no shedding, no checkpoints — just fan a bulk ``update()`` out
-over shards and fold the partial counters back into an existing sketch.
+layer: no shedding, no checkpoints — the key stream is cut into more
+chunks than workers and the pool's task queue hands them to whichever
+worker frees up first (work-stealing, no static shard assignment), each
+chunk accumulating into its own shared counter slot.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 import numpy as np
@@ -46,9 +60,10 @@ from ..rng import SeedLike, as_seed_sequence
 from ..sampling.base import SampleInfo
 from ..sketches.base import Sketch
 from ..sketches.serialization import build_sketch, sketch_header
-from .merge import combine_shard_infos, merge_tree, sample_size_vector
-from .partition import ShardPlan, make_shard_plan
+from .merge import combine_shard_infos, reduce_counter_tree, sample_size_vector
+from .partition import SHARD_MODES, ShardPlan, make_shard_plan
 from .pool import WorkerPool, available_cpus
+from .shm import SharedBlock
 from .worker import (
     PartialUpdateTask,
     ShardResult,
@@ -155,6 +170,34 @@ def _spawn_shard_seeds(seed: SeedLike, shards: int) -> list:
     return root.spawn(shards)
 
 
+def _use_shared_memory(shared_memory: Optional[bool], pool: WorkerPool) -> bool:
+    """Resolve the ``shared_memory`` tri-state against the pool's nature.
+
+    ``None`` (the default) enables shared-memory transport exactly when
+    results would otherwise be pickled across a process boundary; inline
+    pools keep plain in-process arrays unless a caller forces the segment
+    path (tests exercise the lifecycle that way).
+    """
+    if shared_memory is None:
+        return not pool.inline
+    return bool(shared_memory)
+
+
+def _shared_key_block(parts) -> tuple:
+    """One int64 key segment holding every shard's slice, plus the ranges."""
+    total = int(sum(part.size for part in parts))
+    block = SharedBlock.create((total,), np.int64)
+    view = block.array
+    ranges = []
+    offset = 0
+    for part in parts:
+        stop = offset + int(part.size)
+        view[offset:stop] = part
+        ranges.append((offset, stop))
+        offset = stop
+    return block, ranges
+
+
 def run_sharded_sketch(
     keys,
     template: Sketch,
@@ -170,6 +213,7 @@ def run_sharded_sketch(
     max_retries: int = 2,
     injector=None,
     observer: Optional[Observer] = None,
+    shared_memory: Optional[bool] = None,
     _worker=run_shard,
 ) -> ShardedScanResult:
     """Sketch *keys* across shards and reduce to one corrected result.
@@ -210,6 +254,12 @@ def run_sharded_sketch(
         worker (each builds a private shard observer), and absorbs the
         workers' observations back in fixed shard order — so one observer
         ends up with the merged metrics and the full multi-process trace.
+    shared_memory:
+        ``None`` (default) moves keys and counters through
+        :class:`~.shm.SharedBlock` segments whenever the pool crosses a
+        process boundary; ``True``/``False`` force the transport either
+        way.  The choice never changes a single counter bit — only how
+        the bytes travel.
     """
     obs = as_observer(observer)
     shards = _default_shards(shards, pool)
@@ -234,12 +284,15 @@ def run_sharded_sketch(
                 "a chaos injector shares mutable fault budgets with the "
                 "coordinator and therefore needs an inline pool (workers=0)"
             )
+        use_shm = _use_shared_memory(shared_memory, pool)
+        key_block = counter_block = None
+        key_ranges = []
 
         def make_task(index: int, resume: bool) -> ShardTask:
             child = seeds[index]
             return ShardTask(
                 index=index,
-                keys=plan.parts[index],
+                keys=None if use_shm else plan.parts[index],
                 header=header,
                 p=p,
                 seed_entropy=child.entropy,
@@ -253,6 +306,11 @@ def run_sharded_sketch(
                 backend=None,
                 observe=obs.enabled,
                 trace_parent=trace_parent,
+                shm_keys=() if key_block is None else key_block.descriptor,
+                keys_range=key_ranges[index] if use_shm else (),
+                shm_counters=(
+                    () if counter_block is None else counter_block.descriptor
+                ),
             )
 
         def dispatch(index: int, resume: bool):
@@ -262,6 +320,17 @@ def run_sharded_sketch(
             return pool.submit(_worker, task)
 
         try:
+            if use_shm:
+                with obs.span("parallel.shm.setup", shards=plan.shards):
+                    key_block, key_ranges = _shared_key_block(plan.parts)
+                    state_shape = template._state().shape
+                    counter_block = SharedBlock.create(
+                        (plan.shards,) + state_shape, np.float64
+                    )
+                obs.counter("parallel.shm.segments").inc(2)
+                obs.counter("parallel.shm.bytes").inc(
+                    key_block.nbytes + counter_block.nbytes
+                )
             with obs.span("parallel.collect"):
                 pending = {
                     index: dispatch(index, False) for index in range(plan.shards)
@@ -289,24 +358,34 @@ def run_sharded_sketch(
                                 index, resume=checkpoint_dir is not None
                             )
                     pending = still_pending
+            ordered = tuple(results[index] for index in range(plan.shards))
+            if use_shm:
+                # Counters never crossed the pipe: backfill each result's
+                # array from its slot before the segments go away.
+                slots = counter_block.array
+                ordered = tuple(
+                    replace(result, counters=np.array(slots[index], copy=True))
+                    for index, result in enumerate(ordered)
+                )
+            for result in ordered:
+                if result.metrics is not None:
+                    obs.absorb(
+                        ObserverSnapshot(metrics=result.metrics, spans=result.spans)
+                    )
+            obs.counter("parallel.shards.completed").inc(plan.shards)
+            with obs.span("parallel.merge", shards=plan.shards):
+                merged = build_sketch(header)
+                merged._state()[...] = reduce_counter_tree(
+                    counter_block.array
+                    if use_shm
+                    else np.stack([result.counters for result in ordered])
+                )
         finally:
             if owns_pool:
                 pool.close()
-
-        ordered = tuple(results[index] for index in range(plan.shards))
-        for result in ordered:
-            if result.metrics is not None:
-                obs.absorb(
-                    ObserverSnapshot(metrics=result.metrics, spans=result.spans)
-                )
-        obs.counter("parallel.shards.completed").inc(plan.shards)
-        with obs.span("parallel.merge", shards=plan.shards):
-            shard_sketches = []
-            for result in ordered:
-                sketch = build_sketch(header)
-                sketch._state()[...] = result.counters
-                shard_sketches.append(sketch)
-            merged = merge_tree(shard_sketches)
+            for block in (key_block, counter_block):
+                if block is not None:
+                    block.destroy()
     return ShardedScanResult(
         sketch=merged,
         shard_results=ordered,
@@ -316,6 +395,29 @@ def run_sharded_sketch(
     )
 
 
+#: Smallest chunk the auto-chunker will cut — below this the per-task
+#: dispatch overhead outweighs any load-balancing gain.
+_MIN_AUTO_CHUNK = 16_384
+
+#: Auto-chunk target: this many tasks per worker keeps the pool's queue
+#: deep enough that a straggler chunk never idles the other workers.
+_CHUNKS_PER_WORKER = 4
+
+
+def _chunk_ranges(
+    n: int, shards: int, workers: int, chunk_size: Optional[int]
+) -> list:
+    """Contiguous ``(start, stop)`` task ranges over an ``n``-key stream."""
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        step = int(chunk_size)
+    else:
+        target = max(shards, _CHUNKS_PER_WORKER * workers, 1)
+        step = max(_MIN_AUTO_CHUNK, -(-n // target))
+    return [(start, min(start + step, n)) for start in range(0, n, step)]
+
+
 def parallel_update(
     sketch: Sketch,
     keys,
@@ -323,32 +425,85 @@ def parallel_update(
     shards: Optional[int] = None,
     pool: Optional[WorkerPool] = None,
     mode: str = "hash",
+    shared_memory: Optional[bool] = None,
+    chunk_size: Optional[int] = None,
 ) -> Sketch:
-    """Bulk-update *sketch* with *keys* using sharded workers.
+    """Bulk-update *sketch* with *keys*, fanned out over the pool.
 
-    Equivalent to ``sketch.update(keys)`` — bit-identical for both shard
-    modes, since there is no shedding — but the hashing/accumulation work
-    fans out across the pool.  Returns *sketch* for chaining.
+    Equivalent — bit-for-bit — to ``sketch.update(keys)``: with no
+    shedding every counter delta is an exactly-represented integer sum,
+    so any split of the stream adds back to identical floats.  The stream
+    is therefore cut into contiguous chunks (more chunks than workers;
+    the pool's task queue hands them to whichever worker frees up first —
+    dynamic work-stealing, no static shard assignment), each chunk
+    accumulates into its own slot of a shared counter block, and the
+    slots reduce in the fixed :func:`~.merge.reduce_counter_tree` order.
+
+    *mode* is validated for API compatibility with
+    :func:`run_sharded_sketch` but no longer selects a partitioner: both
+    documented modes were already bit-identical here, and contiguous
+    chunks make the shared key block a single copy of the input (hash
+    partitioning would pay an extra argsort for nothing).  *chunk_size*
+    overrides the auto-chunker (which targets a few chunks per worker,
+    never below 16 Ki keys).  Returns *sketch* for chaining.
     """
+    if mode not in SHARD_MODES:
+        raise ConfigurationError(
+            f"unknown shard mode {mode!r}; expected one of {SHARD_MODES}"
+        )
     shards = _default_shards(shards, pool)
-    plan = make_shard_plan(keys, shards, mode=mode)
+    keys = np.asarray(keys)
+    if keys.ndim != 1:
+        raise ConfigurationError(f"keys must be 1-D, got shape {keys.shape}")
+    if keys.size and not np.issubdtype(keys.dtype, np.integer):
+        raise ConfigurationError("parallel_update needs integer keys")
+    keys = keys.astype(np.int64, copy=False)
+    if keys.size == 0:
+        return sketch
     header = sketch_header(sketch)
+    state_shape = sketch._state().shape
     owns_pool = pool is None
     if owns_pool:
         pool = WorkerPool(0)
+    use_shm = _use_shared_memory(shared_memory, pool)
+    key_block = counter_block = None
     try:
-        tasks = [
-            PartialUpdateTask(index=index, keys=part, header=header)
-            for index, part in enumerate(plan.parts)
-        ]
-        partials = pool.map(run_partial_update, tasks)
+        ranges = _chunk_ranges(int(keys.size), shards, pool.workers, chunk_size)
+        if use_shm:
+            key_block = SharedBlock.create((int(keys.size),), np.int64)
+            key_block.array[...] = keys
+            counter_block = SharedBlock.create(
+                (len(ranges),) + state_shape, np.float64
+            )
+            tasks = [
+                PartialUpdateTask(
+                    index=index,
+                    keys=None,
+                    header=header,
+                    shm_keys=key_block.descriptor,
+                    keys_range=key_range,
+                    shm_counters=counter_block.descriptor,
+                )
+                for index, key_range in enumerate(ranges)
+            ]
+            for future in [pool.submit(run_partial_update, t) for t in tasks]:
+                future.result()
+            reduced = reduce_counter_tree(counter_block.array)
+        else:
+            tasks = [
+                PartialUpdateTask(
+                    index=index, keys=keys[start:stop], header=header
+                )
+                for index, (start, stop) in enumerate(ranges)
+            ]
+            reduced = reduce_counter_tree(
+                np.stack(pool.map(run_partial_update, tasks))
+            )
+        sketch._state()[...] += reduced
     finally:
         if owns_pool:
             pool.close()
-    shard_sketches = []
-    for counters in partials:
-        shard = build_sketch(header)
-        shard._state()[...] = counters
-        shard_sketches.append(shard)
-    sketch.merge(merge_tree(shard_sketches))
+        for block in (key_block, counter_block):
+            if block is not None:
+                block.destroy()
     return sketch

@@ -16,6 +16,12 @@ worth having — it keeps the Horvitz–Thompson-weighted (``p < 1``) path
 reproducible run to run, where float rounding *does* depend on
 association.
 
+:func:`reduce_counter_tree` is the array-level twin of
+:func:`merge_tree`: it reduces a stacked ``(shards, ...)`` block of raw
+counter arrays in the **same pairing at every level**, so the two produce
+bit-identical floats.  The coordinator uses it to fold shared-memory
+counter slots without materializing one sketch object per shard.
+
 :func:`combine_shard_infos` and :func:`sample_size_vector` aggregate the
 per-shard sampling ledgers for the combined-estimator correction and for
 per-shard variance accounting (see
@@ -32,7 +38,12 @@ from ..errors import ConfigurationError
 from ..sampling.base import SampleInfo
 from ..sketches.base import Sketch
 
-__all__ = ["merge_tree", "combine_shard_infos", "sample_size_vector"]
+__all__ = [
+    "merge_tree",
+    "reduce_counter_tree",
+    "combine_shard_infos",
+    "sample_size_vector",
+]
 
 
 def merge_tree(sketches: Sequence[Sketch]) -> Sketch:
@@ -56,6 +67,32 @@ def merge_tree(sketches: Sequence[Sketch]) -> Sketch:
             next_level.append(level[-1])
         level = next_level
     return level[0]
+
+
+def reduce_counter_tree(stack) -> np.ndarray:
+    """Sum a ``(shards, ...)`` counter stack in :func:`merge_tree`'s order.
+
+    Level by level, slot ``i`` absorbs slot ``i+1`` for even ``i`` and an
+    odd trailing slot is carried to the end of the next level — exactly
+    the association :func:`merge_tree` executes through
+    :meth:`~repro.sketches.base.Sketch.merge`, so the result is
+    bit-identical to merging the corresponding sketches (which matters
+    for the float-rounded Horvitz–Thompson-weighted path; the integer
+    path is associative anyway).  The input is never mutated; each level
+    runs as one vectorized pairwise add.
+    """
+    stack = np.asarray(stack)
+    if stack.ndim < 1 or stack.shape[0] == 0:
+        raise ConfigurationError("reduce_counter_tree needs at least one slot")
+    work = np.array(stack, copy=True)
+    count = work.shape[0]
+    while count > 1:
+        pairs = count // 2
+        work[:pairs] = work[0 : 2 * pairs : 2] + work[1 : 2 * pairs : 2]
+        if count % 2:
+            work[pairs] = work[2 * pairs]
+        count = pairs + count % 2
+    return work[0]
 
 
 def combine_shard_infos(infos: Sequence[SampleInfo]) -> SampleInfo:

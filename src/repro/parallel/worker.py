@@ -21,6 +21,19 @@ Results travel back as a :class:`ShardResult` — counters plus the shard's
 sample accounting (seen/kept/rate), which the coordinator aggregates into
 per-shard :class:`~repro.sampling.base.SampleInfo` records for the
 combined-estimator correction.
+
+Shared-memory transport
+-----------------------
+When the coordinator allocates :class:`~.shm.SharedBlock` segments, tasks
+carry only plain descriptors: ``shm_keys``/``keys_range`` locate the
+shard's slice of one shared key block, and ``shm_counters`` names a
+``(shards,) + state_shape`` counter block in which slot ``index`` is this
+shard's output.  The worker attaches both, points its sketch's counter
+storage *directly at the slot* (:meth:`~repro.sketches.base.Sketch._bind_state`),
+sketches in place, and returns a :class:`ShardResult` with
+``counters=None`` — neither the keys nor the counters ever pass through
+the multiprocessing pipe.  Retried shards re-bind the slot, overwriting
+whatever a crashed attempt left there, so resume stays bit-identical.
 """
 
 from __future__ import annotations
@@ -40,6 +53,7 @@ from ..resilience.runtime import StreamRuntime, envelope_stream
 from ..sampling.base import SampleInfo
 from ..sketches.serialization import build_sketch
 from ..streams.base import iter_chunks
+from .shm import SharedBlock
 
 __all__ = ["ShardTask", "ShardResult", "run_shard", "PartialUpdateTask", "run_partial_update"]
 
@@ -60,10 +74,15 @@ class ShardTask:
     ``(trace_id, span_id, process)``; the worker builds a private
     :func:`~repro.observability.worker_observer` from those coordinates
     and ships its observations back inside the :class:`ShardResult`.
+
+    With shared-memory transport ``keys`` is ``None`` and
+    ``shm_keys``/``keys_range``/``shm_counters`` are the plain
+    :attr:`~.shm.SharedBlock.descriptor` tuples locating the shard's
+    input slice and output counter slot (slot number = ``index``).
     """
 
     index: int
-    keys: np.ndarray
+    keys: Optional[np.ndarray]
     header: dict
     p: float = 1.0
     seed_entropy: Optional[int] = None
@@ -75,6 +94,9 @@ class ShardTask:
     backend: Optional[str] = None
     observe: bool = False
     trace_parent: tuple = ()
+    shm_keys: tuple = ()
+    keys_range: tuple = ()
+    shm_counters: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -84,10 +106,14 @@ class ShardResult:
     ``metrics``/``spans`` carry the worker observer's frozen
     observations when the task asked for them (``observe=True``); the
     coordinator absorbs them in fixed shard order.
+
+    ``counters`` is ``None`` while the counters still live in a shared
+    counter block — the coordinator backfills the field from the block
+    before exposing results.
     """
 
     index: int
-    counters: np.ndarray
+    counters: Optional[np.ndarray]
     seen: int
     kept: int
     p: float
@@ -158,23 +184,49 @@ def run_shard(task: ShardTask, *, injector: Optional[ChaosInjector] = None) -> S
         worker_observer(task.index, task.trace_parent) if task.observe else None
     )
     obs = as_observer(observer)
-    runtime = _build_runtime(task, observer)
-    keys = np.asarray(task.keys, dtype=np.int64)
-    envelopes = envelope_stream(iter_chunks(keys, task.chunk_size))
-    if injector is not None:
-        envelopes = injector.wrap(envelopes)
-    with obs.span("worker.shard", index=task.index, rows=int(keys.size)):
-        runtime.run(envelopes)
-    snapshot = obs.export() if observer is not None else None
-    return ShardResult(
-        index=task.index,
-        counters=np.array(runtime.sketch._state(), copy=True),
-        seen=runtime.sketcher.seen,
-        kept=runtime.sketcher.kept,
-        p=runtime.sketcher.rate,
-        metrics=None if snapshot is None else snapshot.metrics,
-        spans=() if snapshot is None else snapshot.spans,
-    )
+    key_block = counter_block = None
+    try:
+        if task.shm_keys:
+            key_block = SharedBlock.attach(task.shm_keys)
+            start, stop = task.keys_range
+            keys = key_block.array[start:stop]
+        else:
+            keys = np.asarray(task.keys, dtype=np.int64)
+        runtime = _build_runtime(task, observer)
+        in_place = bool(task.shm_counters)
+        if in_place:
+            counter_block = SharedBlock.attach(task.shm_counters)
+            # Point the sketch's storage at this shard's slot: updates land
+            # in the transport buffer directly, and a resumed sketch copies
+            # its recovered counters over whatever a crashed attempt left.
+            runtime.sketch._bind_state(counter_block.array[task.index])
+        envelopes = envelope_stream(iter_chunks(keys, task.chunk_size))
+        if injector is not None:
+            envelopes = injector.wrap(envelopes)
+        with obs.span("worker.shard", index=task.index, rows=int(keys.size)):
+            runtime.run(envelopes)
+        if in_place:
+            counters = None
+            state = runtime.sketch._state()
+            runtime.sketch._adopt_state(np.empty(state.shape, state.dtype))
+        else:
+            counters = np.array(runtime.sketch._state(), copy=True)
+        snapshot = obs.export() if observer is not None else None
+        return ShardResult(
+            index=task.index,
+            counters=counters,
+            seen=runtime.sketcher.seen,
+            kept=runtime.sketcher.kept,
+            p=runtime.sketcher.rate,
+            metrics=None if snapshot is None else snapshot.metrics,
+            spans=() if snapshot is None else snapshot.spans,
+        )
+    finally:
+        # Drop every view into the segments before unmapping them.
+        keys = envelopes = state = None  # noqa: F841
+        for block in (key_block, counter_block):
+            if block is not None:
+                block.close()
 
 
 # ----------------------------------------------------------------------
@@ -185,20 +237,56 @@ def run_shard(task: ShardTask, *, injector: Optional[ChaosInjector] = None) -> S
 
 @dataclass(frozen=True)
 class PartialUpdateTask:
-    """A plain bulk-update of one shard into a fresh sketch."""
+    """A plain bulk-update of one key range into a fresh sketch.
+
+    With shared-memory transport ``keys`` is ``None``;
+    ``shm_keys``/``keys_range`` locate the input slice of the shared key
+    block and ``shm_counters`` names the counter block whose slot
+    ``index`` receives this task's output.
+    """
 
     index: int
-    keys: np.ndarray
+    keys: Optional[np.ndarray]
     header: dict
     backend: Optional[str] = None
+    shm_keys: tuple = ()
+    keys_range: tuple = ()
+    shm_counters: tuple = ()
 
 
-def run_partial_update(task: PartialUpdateTask) -> np.ndarray:
-    """Sketch one shard without shedding; returns the counter array."""
+def run_partial_update(task: PartialUpdateTask) -> Optional[np.ndarray]:
+    """Sketch one key range without shedding.
+
+    Returns the counter array — or ``None`` with shared-memory transport,
+    where the counters were written straight into the task's slot of the
+    shared counter block.
+    """
     if task.backend is not None:
         set_backend(task.backend)
     sketch = build_sketch(task.header)
-    keys = np.asarray(task.keys, dtype=np.int64)
-    if keys.size:
-        sketch.update(keys)
-    return np.array(sketch._state(), copy=True)
+    key_block = counter_block = None
+    try:
+        if task.shm_keys:
+            key_block = SharedBlock.attach(task.shm_keys)
+            start, stop = task.keys_range
+            keys = key_block.array[start:stop]
+        else:
+            keys = np.asarray(task.keys, dtype=np.int64)
+        in_place = bool(task.shm_counters)
+        if in_place:
+            counter_block = SharedBlock.attach(task.shm_counters)
+            # _bind_state (not _adopt_state): copying the fresh sketch's
+            # zeros in also re-zeroes a slot a resubmitted task inherits.
+            sketch._bind_state(counter_block.array[task.index])
+        if keys.size:
+            sketch.update(keys)
+        if not in_place:
+            return np.array(sketch._state(), copy=True)
+        state = sketch._state()
+        sketch._adopt_state(np.empty(state.shape, state.dtype))
+        return None
+    finally:
+        keys = state = None  # noqa: F841 - drop shm views before unmapping
+        for block in (key_block, counter_block):
+            if block is not None:
+                block.close()

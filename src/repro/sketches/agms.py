@@ -176,6 +176,30 @@ class AgmsSketch(Sketch):
     def _state(self) -> np.ndarray:
         return self._counters
 
+    def _fused_descriptor(self):
+        """This sketch's entry for :func:`repro.kernels.fused.fused_update`."""
+        from ..kernels.fused import FusedEntry
+
+        if self.sign_family == "fourwise":
+            return FusedEntry(
+                kind="agms",
+                counters=self._counters,
+                rows=self.rows,
+                sign_kind="poly",
+                sign_coefficients=self._signs._family.coefficients,
+                sign_family=self._signs,
+                scratch=self._scratch,
+            )
+        return FusedEntry(
+            kind="agms",
+            counters=self._counters,
+            rows=self.rows,
+            sign_kind="eh3",
+            sign_family=self._signs,
+            scratch=self._scratch,
+            key_bound=min(2**31 - 1, 2**self._signs.bits),
+        )
+
     def _family_fingerprint(self) -> tuple:
         return super()._family_fingerprint() + (self.sign_family,)
 

@@ -102,6 +102,33 @@ class Sketch(abc.ABC):
     def _state(self) -> np.ndarray:
         """The counter array (mutable reference, internal)."""
 
+    def _adopt_state(self, array: np.ndarray) -> None:
+        """Take *array* as the counter storage, discarding current counters.
+
+        The sharded scan workers hand each sketch a zero-initialized view
+        into a shared-memory segment so updates land directly in the
+        transport buffer — no result pickling.  *array* must match the
+        current state's shape and dtype and be C-contiguous (the native
+        backend scatters through raw pointers).  Any
+        :class:`~repro.kernels.fused.FusedPlan` built before the swap
+        still references the old storage and must be rebuilt.
+        """
+        state = self._state()
+        if array.shape != state.shape or array.dtype != state.dtype:
+            raise DomainError(
+                f"adopted state must be {state.shape} {state.dtype}, got "
+                f"{array.shape} {array.dtype}"
+            )
+        if not array.flags.c_contiguous:
+            raise DomainError("adopted state must be C-contiguous")
+        self._counters = array
+
+    def _bind_state(self, array: np.ndarray) -> None:
+        """Move the current counters into *array* and adopt it as storage."""
+        values = self._state().copy()
+        self._adopt_state(array)
+        self._state()[...] = values
+
     def copy(self) -> "Sketch":
         """Deep copy (same families, duplicated counters)."""
         clone = self.copy_empty()

@@ -114,6 +114,18 @@ class CountMinSketch(Sketch):
     def _state(self) -> np.ndarray:
         return self._counters
 
+    def _fused_descriptor(self):
+        """This sketch's entry for :func:`repro.kernels.fused.fused_update`."""
+        from ..kernels.fused import FusedEntry
+
+        return FusedEntry(
+            kind="countmin",
+            counters=self._counters,
+            rows=self.rows,
+            buckets=self.buckets,
+            bucket_coefficients=self._bucket_hash._family.coefficients,
+        )
+
     def __repr__(self) -> str:
         return (
             f"CountMinSketch(buckets={self.buckets}, rows={self.rows}, "

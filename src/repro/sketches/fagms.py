@@ -179,6 +179,25 @@ class FagmsSketch(Sketch):
     def _state(self) -> np.ndarray:
         return self._counters
 
+    def _fused_descriptor(self):
+        """This sketch's entry for :func:`repro.kernels.fused.fused_update`."""
+        from ..kernels.fused import FusedEntry
+
+        poly = self.sign_family == "fourwise"
+        return FusedEntry(
+            kind="fagms",
+            counters=self._counters,
+            rows=self.rows,
+            buckets=self.buckets,
+            bucket_coefficients=self._bucket_hash._family.coefficients,
+            sign_kind="poly" if poly else "eh3",
+            sign_coefficients=self._signs._family.coefficients if poly else None,
+            sign_family=self._signs,
+            key_bound=(
+                2**31 - 1 if poly else min(2**31 - 1, 2**self._signs.bits)
+            ),
+        )
+
     def _family_fingerprint(self) -> tuple:
         return super()._family_fingerprint() + (self.sign_family,)
 
