@@ -7,6 +7,7 @@ Importing this package registers every rule with
 from __future__ import annotations
 
 from .api_consistency import ApiConsistencyRule
+from .backoff_discipline import BackoffDisciplineRule
 from .checkpoint_schema import CheckpointSchemaRule
 from .determinism import DeterminismRule
 from .dtype_safety import DtypeSafetyRule
@@ -19,6 +20,7 @@ from .pickle_safety import PickleSafetyRule
 
 __all__ = [
     "ApiConsistencyRule",
+    "BackoffDisciplineRule",
     "CheckpointSchemaRule",
     "DeterminismRule",
     "DtypeSafetyRule",

@@ -21,6 +21,7 @@ __all__ = [
     "StreamIntegrityError",
     "BadRecordError",
     "RetryExhaustedError",
+    "DeadlineExceededError",
 ]
 
 
@@ -123,4 +124,17 @@ class RetryExhaustedError(ReproError, RuntimeError):
     """A transient-failure retry loop ran out of attempts.
 
     Carries the final underlying exception as ``__cause__``.
+    """
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A supervised shard made no progress within its deadline.
+
+    Raised by the coordinator's :class:`~repro.resilience.distributed.
+    ShardSupervisor` when a worker's heartbeat stalls (hang) or, absent a
+    heartbeat channel, when the dispatch exceeds its wall-clock budget.
+    A deadline failure consumes a retry attempt like any other shard
+    failure; with retries exhausted it becomes the ``__cause__`` of the
+    final :class:`RetryExhaustedError` (or of the shard's recorded
+    :class:`~repro.resilience.distributed.ShardFailure` in degraded mode).
     """

@@ -32,7 +32,12 @@ See ``docs/PARALLEL.md`` for the sharding model, the determinism
 guarantees, and the failure semantics.
 """
 
-from .coordinator import ShardedScanResult, parallel_update, run_sharded_sketch
+from .coordinator import (
+    DegradedScanResult,
+    ShardedScanResult,
+    parallel_update,
+    run_sharded_sketch,
+)
 from .merge import (
     combine_shard_infos,
     merge_tree,
@@ -51,6 +56,7 @@ from .shm import SharedBlock
 from .worker import PartialUpdateTask, ShardResult, ShardTask, run_partial_update, run_shard
 
 __all__ = [
+    "DegradedScanResult",
     "PartialUpdateTask",
     "ShardPlan",
     "ShardResult",

@@ -46,20 +46,27 @@ chunk accumulating into its own shared counter slot.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import partial
 from typing import Optional
 
 import numpy as np
 
-from ..errors import ConfigurationError, RetryExhaustedError
+from ..errors import ConfigurationError, EstimationError
 from ..observability.observer import (
     Observer,
     ObserverSnapshot,
     as_observer,
 )
+from ..resilience.distributed import BackoffPolicy, ShardSupervisor
+from ..resilience.distributed import (
+    widened_join_variance,
+    widened_self_join_variance,
+)
 from ..rng import SeedLike, as_seed_sequence
 from ..sampling.base import SampleInfo
 from ..sketches.base import Sketch
 from ..sketches.serialization import build_sketch, sketch_header
+from ..variance.bounds import ConfidenceInterval, chebyshev_interval, clt_interval
 from .merge import combine_shard_infos, reduce_counter_tree, sample_size_vector
 from .partition import SHARD_MODES, ShardPlan, make_shard_plan
 from .pool import WorkerPool, available_cpus
@@ -72,7 +79,24 @@ from .worker import (
     run_shard,
 )
 
-__all__ = ["ShardedScanResult", "run_sharded_sketch", "parallel_update"]
+__all__ = [
+    "ShardedScanResult",
+    "DegradedScanResult",
+    "run_sharded_sketch",
+    "parallel_update",
+]
+
+
+def _pick_interval(
+    estimate: float, variance: float, confidence: float, method: str
+) -> ConfidenceInterval:
+    if method == "chebyshev":
+        return chebyshev_interval(estimate, variance, confidence=confidence)
+    if method == "clt":
+        return clt_interval(estimate, variance, confidence=confidence)
+    raise ConfigurationError(
+        f'interval method must be "chebyshev" or "clt", got {method!r}'
+    )
 
 
 @dataclass(frozen=True)
@@ -84,6 +108,7 @@ class ShardedScanResult:
     plan: ShardPlan
     header: dict
     retries: int
+    hedges: int = 0
 
     # ------------------------------------------------------------------
     # Sampling ledger
@@ -133,18 +158,41 @@ class ShardedScanResult:
 
         HT-weighted counters need no trailing ``1/(pq)`` scale (Prop 13's
         weighted form): the plain inner product is already unbiased.
+        Joining against a :class:`DegradedScanResult` delegates to its
+        shard-aware estimator (the correction is symmetric).
         """
+        if isinstance(other, DegradedScanResult):
+            return other.join_size(self)
         return self.sketch.inner_product(other.sketch)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
+    def surviving_shards(self) -> tuple:
+        """Shard indices that produced a result, ascending."""
+        return tuple(result.index for result in self.shard_results)
+
+    def _result_for(self, index: int) -> ShardResult:
+        for result in self.shard_results:
+            if result.index == index:
+                return result
+        raise ConfigurationError(
+            f"shard {index} has no result (lost or out of range)"
+        )
+
     def shard_sketch(self, index: int) -> Sketch:
         """Rebuild shard *index*'s individual sketch (families + counters)."""
-        result = self.shard_results[index]
+        result = self._result_for(index)
         sketch = build_sketch(self.header)
         sketch._state()[...] = result.counters
+        return sketch
+
+    def _partial_merge(self, indices) -> Sketch:
+        """Merged sketch over a subset of shards, in fixed reduce order."""
+        stack = np.stack([self._result_for(i).counters for i in indices])
+        sketch = build_sketch(self.header)
+        sketch._state()[...] = reduce_counter_tree(stack)
         return sketch
 
     def __repr__(self) -> str:
@@ -152,6 +200,149 @@ class ShardedScanResult:
             f"ShardedScanResult(shards={len(self.shard_results)}, "
             f"mode={self.mode!r}, retries={self.retries}, "
             f"sketch={self.sketch!r})"
+        )
+
+
+@dataclass(frozen=True)
+class DegradedScanResult(ShardedScanResult):
+    """A sharded scan that lost shards but degraded instead of failing.
+
+    Returned by :func:`run_sharded_sketch` under ``degradation="degrade"``
+    when at least one shard exhausted its retries.  ``shard_results``
+    holds only the *survivors* (each :class:`~.worker.ShardResult` keeps
+    its original shard ``index``); ``lost_shards``/``failures`` record
+    what was given up and why.
+
+    The estimators exploit the paper's own sampling math: under hash
+    partitioning the surviving shards observe a Bernoulli
+    ``q = survived_fraction`` sample of the *key space*, so the survivor
+    estimate scaled by ``1/q`` stays unbiased and the price is a
+    quantified variance increase — exposed through
+    :meth:`self_join_interval` / :meth:`join_interval`, whose widened
+    bounds come from
+    :func:`repro.resilience.distributed.widened_self_join_variance`.
+    """
+
+    lost_shards: tuple = ()
+    failures: tuple = ()
+
+    @property
+    def lost_fraction(self) -> float:
+        """Fraction of the key space on shards that were given up."""
+        return len(self.lost_shards) / self.plan.shards
+
+    @property
+    def survived_fraction(self) -> float:
+        """Key-survival probability ``q`` of the degraded run."""
+        return 1.0 - self.lost_fraction
+
+    # ------------------------------------------------------------------
+    # Estimates (scaled to the full stream)
+    # ------------------------------------------------------------------
+
+    def population_estimate(self) -> float:
+        """Estimated full-stream tuple count (survivor count over ``q``)."""
+        return self.info().population_size / self.survived_fraction
+
+    def self_join_size(self) -> float:
+        """Unbiased full-stream ``F₂`` estimate despite the lost shards."""
+        return super().self_join_size() / self.survived_fraction
+
+    def self_join_interval(
+        self,
+        confidence: float = 0.95,
+        *,
+        method: str = "chebyshev",
+        extra_variance: float = 0.0,
+    ) -> ConfidenceInterval:
+        """Confidence interval honestly widened for the lost key space.
+
+        The variance bound adds the key-loss term ``(1-q)/q·F₄`` and the
+        ``1/q``-scaled shedding variance (both via conservative plug-ins;
+        see :func:`~repro.resilience.distributed.widened_self_join_variance`).
+        *extra_variance* lets callers add their sketch's own estimator
+        variance (e.g. ``averaged_agms_self_join_variance``) on top.
+        """
+        estimate = self.self_join_size()
+        variance = widened_self_join_variance(
+            estimate,
+            survived_fraction=self.survived_fraction,
+            probability=self.p,
+            population=self.population_estimate(),
+        )
+        return _pick_interval(
+            estimate, variance + float(extra_variance), confidence, method
+        )
+
+    def _common_survivors(self, other: "ShardedScanResult") -> tuple:
+        if self.plan.shards != other.plan.shards:
+            raise ConfigurationError(
+                f"cannot join scans with different shard counts "
+                f"({self.plan.shards} vs {other.plan.shards})"
+            )
+        if self.mode != "hash" or other.mode != "hash":
+            raise ConfigurationError(
+                "degraded joins need hash-partitioned scans on both sides "
+                "(key-space alignment is what makes the correction valid)"
+            )
+        common = sorted(
+            set(self.surviving_shards()) & set(other.surviving_shards())
+        )
+        if not common:
+            raise EstimationError(
+                "no shard survived on both sides; nothing to estimate from"
+            )
+        return tuple(common)
+
+    def join_size(self, other: "ShardedScanResult") -> float:
+        """Unbiased join-size estimate from the commonly surviving shards.
+
+        Both sides are re-merged over the shards *both* runs still have
+        (a lost shard on either side removes that key-space slice from
+        the product), and the inner product is scaled by the common
+        survival fraction.
+        """
+        common = self._common_survivors(other)
+        q = len(common) / self.plan.shards
+        left = self._partial_merge(common)
+        right = other._partial_merge(common)
+        return left.inner_product(right) / q
+
+    def join_interval(
+        self,
+        other: "ShardedScanResult",
+        confidence: float = 0.95,
+        *,
+        method: str = "chebyshev",
+        extra_variance: float = 0.0,
+    ) -> ConfidenceInterval:
+        """Widened confidence interval for :meth:`join_size`."""
+        common = self._common_survivors(other)
+        q = len(common) / self.plan.shards
+        estimate = self.join_size(other)
+        population_f = sum(
+            self._result_for(i).info().population_size for i in common
+        ) / q
+        population_g = sum(
+            other._result_for(i).info().population_size for i in common
+        ) / q
+        variance = widened_join_variance(
+            estimate,
+            survived_fraction=q,
+            probability_f=self.p,
+            probability_g=other.p,
+            population_f=population_f,
+            population_g=population_g,
+        )
+        return _pick_interval(
+            estimate, variance + float(extra_variance), confidence, method
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DegradedScanResult(survivors={len(self.shard_results)}/"
+            f"{self.plan.shards}, lost={self.lost_shards}, "
+            f"retries={self.retries}, sketch={self.sketch!r})"
         )
 
 
@@ -198,6 +389,21 @@ def _shared_key_block(parts) -> tuple:
     return block, ranges
 
 
+def _read_heartbeat(beats: np.ndarray, slot: int) -> int:
+    return int(beats[slot])
+
+
+class _DispatchHandle:
+    """What the coordinator's dispatcher hands the supervisor per attempt."""
+
+    __slots__ = ("future", "progress", "slot")
+
+    def __init__(self, future, progress, slot) -> None:
+        self.future = future
+        self.progress = progress
+        self.slot = slot
+
+
 def run_sharded_sketch(
     keys,
     template: Sketch,
@@ -214,6 +420,12 @@ def run_sharded_sketch(
     injector=None,
     observer: Optional[Observer] = None,
     shared_memory: Optional[bool] = None,
+    deadline: Optional[float] = None,
+    hedge_after: Optional[float] = None,
+    max_hedges: int = 1,
+    degradation: str = "fail",
+    backoff: Optional[BackoffPolicy] = None,
+    poll_interval: float = 0.005,
     _worker=run_shard,
 ) -> ShardedScanResult:
     """Sketch *keys* across shards and reduce to one corrected result.
@@ -260,9 +472,40 @@ def run_sharded_sketch(
         process boundary; ``True``/``False`` force the transport either
         way.  The choice never changes a single counter bit — only how
         the bytes travel.
+    deadline:
+        Seconds a dispatch may go without progress (heartbeat ticks over
+        a process pool, wall clock otherwise) before the supervisor
+        abandons it as hung and retries; consumes a retry attempt.
+    hedge_after, max_hedges:
+        Straggler hedging: after *hedge_after* seconds without a result
+        the supervisor launches a duplicate dispatch (up to *max_hedges*
+        per shard); first result wins, the loser is cancelled.  Shard
+        work is deterministic, so hedging can never change a bit.
+    degradation:
+        ``"fail"`` (default) raises
+        :class:`~repro.errors.RetryExhaustedError` when a shard exhausts
+        its retries; ``"degrade"`` (hash mode only) records the loss and
+        returns a :class:`DegradedScanResult` built from the surviving
+        shards, with estimates corrected for the lost key fraction.
+    backoff:
+        A shared :class:`~repro.resilience.distributed.BackoffPolicy`
+        spacing retries (per-shard schedules spawned from its seed).
+        ``None`` retries immediately, as the engine always has.
+    poll_interval:
+        Supervisor polling cadence while deadlines/hedges are armed.
     """
     obs = as_observer(observer)
     shards = _default_shards(shards, pool)
+    if degradation not in ("fail", "degrade"):
+        raise ConfigurationError(
+            f'degradation must be "fail" or "degrade", got {degradation!r}'
+        )
+    if degradation == "degrade" and mode != "hash":
+        raise ConfigurationError(
+            'degradation="degrade" needs mode="hash": only hash '
+            "partitioning makes a lost shard a Bernoulli sample of the "
+            "key space (range shards are a biased slice)"
+        )
     with obs.span("parallel.scan", mode=mode, shards=shards):
         with obs.span("parallel.partition"):
             plan = make_shard_plan(keys, shards, mode=mode)
@@ -285,10 +528,20 @@ def run_sharded_sketch(
                 "coordinator and therefore needs an inline pool (workers=0)"
             )
         use_shm = _use_shared_memory(shared_memory, pool)
-        key_block = counter_block = None
+        supervised = deadline is not None or hedge_after is not None
+        key_block = counter_block = heartbeat_block = None
         key_ranges = []
+        # Exclusive dispatches (hedges; retries after a deadline
+        # abandonment) may race a predecessor that is still writing, so
+        # they bind spare counter slots past the per-shard ones.  A spare
+        # slot is never reused within a run; when they run out the
+        # dispatch falls back to piping its counters.
+        spare_slots: list = []
+        heartbeat_slots: list = []
 
-        def make_task(index: int, resume: bool) -> ShardTask:
+        def make_task(
+            index: int, attempt: int, resume: bool, slot, heartbeat_slot: int
+        ) -> ShardTask:
             child = seeds[index]
             return ShardTask(
                 index=index,
@@ -309,89 +562,128 @@ def run_sharded_sketch(
                 shm_keys=() if key_block is None else key_block.descriptor,
                 keys_range=key_ranges[index] if use_shm else (),
                 shm_counters=(
-                    () if counter_block is None else counter_block.descriptor
+                    () if counter_block is None or slot is None
+                    else counter_block.descriptor
                 ),
+                attempt=attempt,
+                shm_slot=-1 if slot is None else int(slot),
+                shm_heartbeat=(
+                    () if heartbeat_block is None or heartbeat_slot < 0
+                    else heartbeat_block.descriptor
+                ),
+                heartbeat_slot=heartbeat_slot,
             )
 
-        def dispatch(index: int, resume: bool):
-            task = make_task(index, resume)
+        def dispatch(
+            index: int, attempt: int, resume: bool, exclusive: bool
+        ) -> _DispatchHandle:
+            slot = None
+            if use_shm:
+                if not exclusive:
+                    slot = index
+                elif spare_slots:
+                    slot = spare_slots.pop(0)
+            heartbeat_slot = heartbeat_slots.pop(0) if heartbeat_slots else -1
+            task = make_task(index, attempt, resume, slot, heartbeat_slot)
             if injector is not None:
-                return pool.submit(_worker, task, injector=injector)
-            return pool.submit(_worker, task)
+                future = pool.submit(_worker, task, injector=injector)
+            else:
+                future = pool.submit(_worker, task)
+            progress = None
+            if heartbeat_block is not None and heartbeat_slot >= 0:
+                progress = partial(
+                    _read_heartbeat, heartbeat_block.array, heartbeat_slot
+                )
+            return _DispatchHandle(future, progress, slot)
 
         try:
             if use_shm:
+                spares = (
+                    min(8, plan.shards * (max_hedges + max_retries))
+                    if supervised
+                    else 0
+                )
                 with obs.span("parallel.shm.setup", shards=plan.shards):
                     key_block, key_ranges = _shared_key_block(plan.parts)
                     state_shape = template._state().shape
                     counter_block = SharedBlock.create(
-                        (plan.shards,) + state_shape, np.float64
+                        (plan.shards + spares,) + state_shape, np.float64
                     )
-                obs.counter("parallel.shm.segments").inc(2)
+                spare_slots = list(range(plan.shards, plan.shards + spares))
+                segments = [key_block, counter_block]
+                if supervised and not pool.inline:
+                    capacity = plan.shards * (1 + max_retries + max_hedges)
+                    heartbeat_block = SharedBlock.create((capacity,), np.int64)
+                    heartbeat_slots = list(range(capacity))
+                    segments.append(heartbeat_block)
+                obs.counter("parallel.shm.segments").inc(len(segments))
                 obs.counter("parallel.shm.bytes").inc(
-                    key_block.nbytes + counter_block.nbytes
+                    sum(segment.nbytes for segment in segments)
                 )
+            supervisor = ShardSupervisor(
+                plan.shards,
+                max_retries=max_retries,
+                deadline=deadline,
+                hedge_after=hedge_after,
+                max_hedges=max_hedges,
+                degradation=degradation,
+                backoff=backoff,
+                resume_retries=checkpoint_dir is not None,
+                poll_interval=poll_interval,
+                observer=obs,
+            )
             with obs.span("parallel.collect"):
-                pending = {
-                    index: dispatch(index, False) for index in range(plan.shards)
-                }
-                results: dict[int, ShardResult] = {}
-                attempts = {index: 0 for index in pending}
-                retries = 0
-                while pending:
-                    still_pending = {}
-                    for index, future in pending.items():
-                        try:
-                            results[index] = future.result()
-                        except Exception as exc:
-                            attempts[index] += 1
-                            if attempts[index] > max_retries:
-                                raise RetryExhaustedError(
-                                    f"shard {index} failed {attempts[index]} "
-                                    "time(s); giving up"
-                                ) from exc
-                            retries += 1
-                            obs.counter("parallel.shard.retries").inc()
-                            # Resume from the shard's checkpoint when one can
-                            # exist; otherwise rerun the shard from scratch.
-                            still_pending[index] = dispatch(
-                                index, resume=checkpoint_dir is not None
-                            )
-                    pending = still_pending
-            ordered = tuple(results[index] for index in range(plan.shards))
-            if use_shm:
-                # Counters never crossed the pipe: backfill each result's
-                # array from its slot before the segments go away.
-                slots = counter_block.array
-                ordered = tuple(
-                    replace(result, counters=np.array(slots[index], copy=True))
-                    for index, result in enumerate(ordered)
-                )
+                outcome = supervisor.run(dispatch)
+            results: dict[int, ShardResult] = {}
+            for index, handle in outcome.winners.items():
+                result = handle.future.result()
+                if use_shm and handle.slot is not None:
+                    # Counters never crossed the pipe: backfill from the
+                    # winning slot before the segments go away.
+                    result = replace(
+                        result,
+                        counters=np.array(
+                            counter_block.array[handle.slot], copy=True
+                        ),
+                    )
+                results[index] = result
+            ordered = tuple(results[index] for index in sorted(results))
             for result in ordered:
                 if result.metrics is not None:
                     obs.absorb(
                         ObserverSnapshot(metrics=result.metrics, spans=result.spans)
                     )
-            obs.counter("parallel.shards.completed").inc(plan.shards)
-            with obs.span("parallel.merge", shards=plan.shards):
+            obs.counter("parallel.shards.completed").inc(len(ordered))
+            with obs.span("parallel.merge", shards=len(ordered)):
                 merged = build_sketch(header)
                 merged._state()[...] = reduce_counter_tree(
-                    counter_block.array
-                    if use_shm
-                    else np.stack([result.counters for result in ordered])
+                    np.stack([result.counters for result in ordered])
                 )
         finally:
             if owns_pool:
                 pool.close()
-            for block in (key_block, counter_block):
+            for block in (key_block, counter_block, heartbeat_block):
                 if block is not None:
                     block.destroy()
+    if outcome.lost:
+        lost = tuple(sorted(outcome.lost))
+        return DegradedScanResult(
+            sketch=merged,
+            shard_results=ordered,
+            plan=plan,
+            header=header,
+            retries=outcome.retries,
+            hedges=outcome.hedges,
+            lost_shards=lost,
+            failures=tuple(outcome.lost[index] for index in lost),
+        )
     return ShardedScanResult(
         sketch=merged,
         shard_results=ordered,
         plan=plan,
         header=header,
-        retries=retries,
+        retries=outcome.retries,
+        hedges=outcome.hedges,
     )
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Optional
 
 from ..errors import ConfigurationError
@@ -67,6 +68,12 @@ class _InlineFuture:
             raise self._error
         return self._value
 
+    def done(self) -> bool:
+        return True  # computed eagerly at submit time
+
+    def cancel(self) -> bool:
+        return False  # already ran; mirrors Future semantics
+
 
 class WorkerPool:
     """A fixed-size pool of sketching workers.
@@ -82,7 +89,7 @@ class WorkerPool:
         coordinator's currently active backend.
     """
 
-    __slots__ = ("_workers", "_backend", "_executor")
+    __slots__ = ("_workers", "_backend", "_executor", "_revivals")
 
     def __init__(self, workers: Optional[int] = None, *, backend: Optional[str] = None):
         if workers is None:
@@ -92,13 +99,17 @@ class WorkerPool:
         self._workers = int(workers)
         self._backend = backend_name() if backend is None else backend
         self._executor = None
+        self._revivals = 0
         if self._workers > 0:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self._workers,
-                mp_context=_pick_context(),
-                initializer=_initialize_worker,
-                initargs=(self._backend,),
-            )
+            self._executor = self._make_executor()
+
+    def _make_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self._workers,
+            mp_context=_pick_context(),
+            initializer=_initialize_worker,
+            initargs=(self._backend,),
+        )
 
     # ------------------------------------------------------------------
 
@@ -117,11 +128,30 @@ class WorkerPool:
         """True when tasks run synchronously in the calling process."""
         return self._executor is None
 
+    @property
+    def revivals(self) -> int:
+        """Times a crashed (``BrokenProcessPool``) executor was replaced."""
+        return self._revivals
+
     def submit(self, fn: Callable, *args, **kwargs):
-        """Schedule ``fn(*args, **kwargs)``; returns a Future-like handle."""
+        """Schedule ``fn(*args, **kwargs)``; returns a Future-like handle.
+
+        A SIGKILLed worker breaks a ``ProcessPoolExecutor`` permanently:
+        every pending future fails with ``BrokenProcessPool`` and so does
+        every later ``submit``.  The failed futures are the supervisor's
+        problem (they consume retry attempts like any other shard
+        failure); the poisoned executor is ours — it is replaced with a
+        fresh one so the retry has somewhere to run.
+        """
         if self._executor is None:
             return _InlineFuture(fn, args, kwargs)
-        return self._executor.submit(fn, *args, **kwargs)
+        try:
+            return self._executor.submit(fn, *args, **kwargs)
+        except BrokenProcessPool:
+            self._executor.shutdown(wait=False)
+            self._executor = self._make_executor()
+            self._revivals += 1
+            return self._executor.submit(fn, *args, **kwargs)
 
     def map(self, fn: Callable, items: Iterable) -> list:
         """Apply *fn* to every item, preserving input order in the result."""

@@ -66,7 +66,7 @@ class SharedBlock:
     :attr:`descriptor`, a plain ``(name, shape, dtype)`` tuple.
     """
 
-    __slots__ = ("_segment", "_shape", "_dtype", "_owner", "_closed")
+    __slots__ = ("_segment", "_shape", "_dtype", "_owner", "_closed", "_unlinked")
 
     def __init__(self, segment, shape, dtype, owner: bool) -> None:
         self._segment = segment
@@ -74,6 +74,7 @@ class SharedBlock:
         self._dtype = np.dtype(dtype)
         self._owner = owner
         self._closed = False
+        self._unlinked = False
 
     # ------------------------------------------------------------------
 
@@ -140,17 +141,33 @@ class SharedBlock:
             pass
 
     def unlink(self) -> None:
-        """Remove the segment's backing name (owner side); idempotent."""
+        """Remove the segment's backing name (owner side); idempotent.
+
+        Teardown runs in ``finally`` blocks, usually while the original
+        failure is propagating — so a second ``unlink`` (crashed
+        coordinator re-running cleanup, resource tracker got there
+        first, the name already gone from ``/dev/shm``) must be a no-op,
+        never a fresh ``FileNotFoundError`` that masks the real error.
+        """
+        if self._unlinked:
+            return
+        self._unlinked = True
         try:
             self._segment.unlink()
-        except FileNotFoundError:  # pragma: no cover - already removed
+        except FileNotFoundError:  # already removed out from under us
             pass
 
     def destroy(self) -> None:
-        """Owner teardown: close the mapping and unlink the name."""
-        self.close()
-        if self._owner:
-            self.unlink()
+        """Owner teardown: close the mapping and unlink the name.
+
+        Idempotent, and the unlink (the part that can actually leak a
+        ``/dev/shm`` name) runs even if closing the local mapping fails.
+        """
+        try:
+            self.close()
+        finally:
+            if self._owner:
+                self.unlink()
 
     def __enter__(self) -> "SharedBlock":
         return self

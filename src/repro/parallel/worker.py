@@ -78,7 +78,19 @@ class ShardTask:
     With shared-memory transport ``keys`` is ``None`` and
     ``shm_keys``/``keys_range``/``shm_counters`` are the plain
     :attr:`~.shm.SharedBlock.descriptor` tuples locating the shard's
-    input slice and output counter slot (slot number = ``index``).
+    input slice and output counter slot.  ``shm_slot`` overrides the
+    output slot for *exclusive* dispatches (hedges, retries after a
+    deadline abandonment) whose predecessor may still be writing slot
+    ``index``; ``-1`` means "use ``index``".
+
+    ``attempt`` is the supervisor's per-shard dispatch ordinal (0 for
+    the first launch, unique across retries and hedges).  The shard's
+    *work* never depends on it — results stay bit-identical across
+    attempts — but the chaos harness keys fault plans on it.
+
+    ``shm_heartbeat``/``heartbeat_slot`` name one int64 slot of a shared
+    heartbeat block this dispatch increments per delivered envelope; the
+    supervisor reads it to tell a hung worker from a slow one.
     """
 
     index: int
@@ -97,6 +109,10 @@ class ShardTask:
     shm_keys: tuple = ()
     keys_range: tuple = ()
     shm_counters: tuple = ()
+    attempt: int = 0
+    shm_slot: int = -1
+    shm_heartbeat: tuple = ()
+    heartbeat_slot: int = -1
 
 
 @dataclass(frozen=True)
@@ -170,6 +186,15 @@ def _build_runtime(task: ShardTask, observer: Optional[Observer]) -> StreamRunti
     )
 
 
+def _heartbeat_stream(envelopes, beats: np.ndarray, slot: int):
+    """Tick the dispatch's heartbeat slot once per delivered envelope."""
+    delivered = 0
+    for envelope in envelopes:
+        delivered += 1
+        beats[slot] = delivered
+        yield envelope
+
+
 def run_shard(task: ShardTask, *, injector: Optional[ChaosInjector] = None) -> ShardResult:
     """Sketch one shard end to end; runs inside a pool worker.
 
@@ -184,7 +209,7 @@ def run_shard(task: ShardTask, *, injector: Optional[ChaosInjector] = None) -> S
         worker_observer(task.index, task.trace_parent) if task.observe else None
     )
     obs = as_observer(observer)
-    key_block = counter_block = None
+    key_block = counter_block = heartbeat_block = None
     try:
         if task.shm_keys:
             key_block = SharedBlock.attach(task.shm_keys)
@@ -194,15 +219,22 @@ def run_shard(task: ShardTask, *, injector: Optional[ChaosInjector] = None) -> S
             keys = np.asarray(task.keys, dtype=np.int64)
         runtime = _build_runtime(task, observer)
         in_place = bool(task.shm_counters)
+        slot = task.shm_slot if task.shm_slot >= 0 else task.index
         if in_place:
             counter_block = SharedBlock.attach(task.shm_counters)
-            # Point the sketch's storage at this shard's slot: updates land
-            # in the transport buffer directly, and a resumed sketch copies
-            # its recovered counters over whatever a crashed attempt left.
-            runtime.sketch._bind_state(counter_block.array[task.index])
+            # Point the sketch's storage at this dispatch's slot: updates
+            # land in the transport buffer directly, and a resumed sketch
+            # copies its recovered counters over whatever a crashed
+            # attempt left there.
+            runtime.sketch._bind_state(counter_block.array[slot])
         envelopes = envelope_stream(iter_chunks(keys, task.chunk_size))
         if injector is not None:
             envelopes = injector.wrap(envelopes)
+        if task.shm_heartbeat and task.heartbeat_slot >= 0:
+            heartbeat_block = SharedBlock.attach(task.shm_heartbeat)
+            envelopes = _heartbeat_stream(
+                envelopes, heartbeat_block.array, task.heartbeat_slot
+            )
         with obs.span("worker.shard", index=task.index, rows=int(keys.size)):
             runtime.run(envelopes)
         if in_place:
@@ -224,7 +256,7 @@ def run_shard(task: ShardTask, *, injector: Optional[ChaosInjector] = None) -> S
     finally:
         # Drop every view into the segments before unmapping them.
         keys = envelopes = state = None  # noqa: F841
-        for block in (key_block, counter_block):
+        for block in (key_block, counter_block, heartbeat_block):
             if block is not None:
                 block.close()
 

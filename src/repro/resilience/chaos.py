@@ -25,6 +25,9 @@ and the CI chaos matrix.
 from __future__ import annotations
 
 import os
+import signal
+import time
+from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional
 
 from ..errors import CheckpointError, ConfigurationError, StreamIntegrityError
@@ -32,7 +35,16 @@ from ..rng import SeedLike, as_generator
 from .checkpoint import CheckpointManager
 from .runtime import ChunkEnvelope, StreamRuntime
 
-__all__ = ["SimulatedCrash", "ChaosInjector", "run_until_complete"]
+__all__ = [
+    "SimulatedCrash",
+    "ResultDropped",
+    "ChaosInjector",
+    "run_until_complete",
+    "WorkerFault",
+    "ParallelChaosPlan",
+    "make_parallel_chaos_plan",
+    "ChaosShardWorker",
+]
 
 
 class SimulatedCrash(RuntimeError):
@@ -42,6 +54,11 @@ class SimulatedCrash(RuntimeError):
     code must never catch it by accident while handling typed pipeline
     errors.
     """
+
+
+class ResultDropped(SimulatedCrash):
+    """Injected transport loss: the shard's work finished but its result
+    never reached the coordinator (a dropped pipe message)."""
 
 
 class ChaosInjector:
@@ -272,3 +289,170 @@ def run_until_complete(
                 # Nothing usable on disk (all snapshots corrupt or none
                 # written yet): start over from scratch.
                 runtime = make_runtime()
+
+
+# ----------------------------------------------------------------------
+# Process-pool fault injection for the sharded engine
+# ----------------------------------------------------------------------
+
+#: Fault classes a pool worker can suffer, in the order the sharded
+#: engine's recovery paths are documented in ``docs/ROBUSTNESS.md``.
+WORKER_FAULT_KINDS = ("kill", "hang", "slow", "drop", "corrupt_slot")
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One injected fault for a specific ``(shard, attempt)`` dispatch.
+
+    * ``kill`` — the worker dies to ``SIGKILL`` mid-dispatch (breaks the
+      whole ``ProcessPoolExecutor``; the pool revives and the supervisor
+      retries every poisoned shard);
+    * ``hang`` — the worker stalls for *duration* seconds before
+      crashing (an eventual OOM-kill); with a deadline armed the
+      supervisor abandons it as soon as its heartbeat goes quiet;
+    * ``slow`` — the worker sleeps *duration* seconds, then completes
+      normally (a straggler; hedged dispatch races it);
+    * ``drop`` — the shard's work completes (counters written) but the
+      result raises :class:`ResultDropped` instead of returning (lost
+      transport message; the retry re-binds the same slot);
+    * ``corrupt_slot`` — the worker scribbles NaN over its shared
+      counter slot and crashes (torn write; the retry overwrites it).
+    """
+
+    kind: str
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKER_FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown worker fault kind {self.kind!r}; "
+                f"expected one of {WORKER_FAULT_KINDS}"
+            )
+        if self.duration < 0:
+            raise ConfigurationError(
+                f"fault duration must be >= 0, got {self.duration}"
+            )
+
+
+@dataclass(frozen=True)
+class ParallelChaosPlan:
+    """A seeded, picklable fault schedule keyed by ``(shard, attempt)``.
+
+    Attempts are the supervisor's per-shard dispatch ordinals, so a
+    retried (or hedged) dispatch sees a *fresh* key — faults are
+    transient exactly like :class:`ChaosInjector`'s, and a plan whose
+    faults all target early attempts provably lets every shard finish
+    within the retry allowance.
+    """
+
+    faults: tuple = ()
+
+    def fault_for(self, shard: int, attempt: int) -> Optional[WorkerFault]:
+        """The fault (if any) scheduled for this dispatch."""
+        for (fault_shard, fault_attempt), fault in self.faults:
+            if fault_shard == shard and fault_attempt == attempt:
+                return fault
+        return None
+
+    @property
+    def total_faults(self) -> int:
+        return len(self.faults)
+
+
+def make_parallel_chaos_plan(
+    seed: SeedLike,
+    shards: int,
+    *,
+    kinds: tuple = ("kill", "hang", "slow", "drop"),
+    rate: float = 0.35,
+    attempts: int = 1,
+    duration: float = 0.05,
+    max_faults: Optional[int] = None,
+) -> ParallelChaosPlan:
+    """Draw a reproducible fault schedule for a sharded run.
+
+    Each of the first *attempts* dispatch ordinals of each shard draws an
+    independent Bernoulli(*rate*) fault whose kind is picked uniformly
+    from *kinds*.  The same seed always yields the same plan.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    if not 0 <= rate <= 1:
+        raise ConfigurationError(f"rate must be in [0, 1], got {rate}")
+    if attempts < 0:
+        raise ConfigurationError(f"attempts must be >= 0, got {attempts}")
+    if not kinds:
+        raise ConfigurationError("kinds must name at least one fault class")
+    for kind in kinds:
+        if kind not in WORKER_FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown worker fault kind {kind!r}; "
+                f"expected one of {WORKER_FAULT_KINDS}"
+            )
+    rng = as_generator(seed)
+    faults = []
+    for shard in range(shards):
+        for attempt in range(attempts):
+            if float(rng.random()) < rate:
+                kind = kinds[int(rng.integers(0, len(kinds)))]
+                faults.append(((shard, attempt), WorkerFault(kind, duration)))
+    if max_faults is not None:
+        faults = faults[: max(0, int(max_faults))]
+    return ParallelChaosPlan(faults=tuple(faults))
+
+
+class ChaosShardWorker:
+    """A picklable shard worker that executes a :class:`ParallelChaosPlan`.
+
+    Passed to ``run_sharded_sketch(..., _worker=ChaosShardWorker(plan))``;
+    each dispatch looks up its ``(shard, attempt)`` fault and misbehaves
+    accordingly before/instead of delegating to the real
+    :func:`~repro.parallel.worker.run_shard` (imported lazily — the
+    parallel package imports this module).
+
+    ``kill`` faults raise ``SIGKILL`` in the *calling process* — only
+    schedule them when the worker runs in a real pool process, never
+    inline.
+    """
+
+    __slots__ = ("plan",)
+
+    def __init__(self, plan: ParallelChaosPlan) -> None:
+        self.plan = plan
+
+    def __call__(self, task, **kwargs):
+        from ..parallel.shm import SharedBlock
+        from ..parallel.worker import run_shard
+
+        fault = self.plan.fault_for(task.index, task.attempt)
+        if fault is None:
+            return run_shard(task, **kwargs)
+        if fault.kind == "kill":
+            signal.raise_signal(signal.SIGKILL)
+        if fault.kind == "hang":
+            time.sleep(fault.duration)
+            raise SimulatedCrash(
+                f"shard {task.index} attempt {task.attempt} hung for "
+                f"{fault.duration:.6g}s and was culled"
+            )
+        if fault.kind == "slow":
+            time.sleep(fault.duration)
+            return run_shard(task, **kwargs)
+        if fault.kind == "drop":
+            run_shard(task, **kwargs)
+            raise ResultDropped(
+                f"shard {task.index} attempt {task.attempt} finished but "
+                "its result was dropped in transit"
+            )
+        # corrupt_slot: scribble over this dispatch's output slot, then die.
+        if task.shm_counters:
+            slot = task.shm_slot if task.shm_slot >= 0 else task.index
+            block = SharedBlock.attach(task.shm_counters)
+            try:
+                block.array[slot] = float("nan")
+            finally:
+                block.close()
+        raise SimulatedCrash(
+            f"shard {task.index} attempt {task.attempt} tore its counter "
+            "slot and crashed"
+        )

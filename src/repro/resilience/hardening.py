@@ -29,6 +29,7 @@ import numpy as np
 
 from ..errors import BadRecordError, ConfigurationError, RetryExhaustedError
 from ..streams.io import read_stream
+from .distributed import BackoffPolicy
 
 __all__ = ["InputHardener", "retrying_read_stream"]
 
@@ -189,7 +190,7 @@ def retrying_read_stream(
     chunk_size: int = 65_536,
     *,
     retries: int = 3,
-    backoff: float = 0.05,
+    backoff: Union[float, BackoffPolicy] = 0.05,
     sleep: Callable[[float], None] = time.sleep,
     start: int = 0,
 ) -> Iterator[np.ndarray]:
@@ -202,19 +203,37 @@ def retrying_read_stream(
     failures without progress raise
     :class:`~repro.errors.RetryExhaustedError` with the final ``OSError``
     as its cause.  *sleep* is injectable so tests run without waiting.
+
+    Delays come from a :class:`~repro.resilience.distributed.BackoffPolicy`
+    — pass one to share the engine-wide policy (cap, budget, seeded
+    jitter; budget exhaustion raises like a final failure), or keep the
+    legacy float form, which maps to the uncapped jitter-free policy
+    ``BackoffPolicy(base=backoff, factor=2, cap=inf)`` and therefore
+    sleeps the exact ``backoff * 2**(failures-1)`` schedule this reader
+    has always used.  Progress (any delivered chunk) resets both the
+    failure count and the backoff schedule.
     """
     if retries < 0:
         raise ConfigurationError(f"retries must be >= 0, got {retries}")
-    if backoff < 0:
-        raise ConfigurationError(f"backoff must be >= 0, got {backoff}")
+    if isinstance(backoff, BackoffPolicy):
+        policy = backoff
+    else:
+        if backoff < 0:
+            raise ConfigurationError(f"backoff must be >= 0, got {backoff}")
+        policy = BackoffPolicy(
+            base=float(backoff), factor=2.0, cap=float("inf"), jitter=0.0
+        )
     offset = int(start)
     failures = 0
+    schedule = policy.schedule()
     while True:
         try:
             for chunk in read_stream(path, chunk_size, start=offset):
                 yield chunk
                 offset += int(chunk.size)
-                failures = 0
+                if failures:
+                    failures = 0
+                    schedule = policy.schedule()
             return
         except OSError as exc:
             failures += 1
@@ -223,4 +242,11 @@ def retrying_read_stream(
                     f"reading {path} failed {failures} consecutive times "
                     f"at tuple offset {offset}"
                 ) from exc
-            sleep(backoff * 2 ** (failures - 1))
+            delay = schedule.next_delay()
+            if delay is None:
+                raise RetryExhaustedError(
+                    f"reading {path} exhausted its backoff budget "
+                    f"({policy.budget:.6g}s) after {failures} failure(s) "
+                    f"at tuple offset {offset}"
+                ) from exc
+            sleep(delay)

@@ -44,6 +44,8 @@ from .generic import (
 from .sampling import (
     bernoulli_join_variance,
     bernoulli_self_join_variance,
+    degraded_bernoulli_join_variance,
+    degraded_bernoulli_self_join_variance,
     sharded_bernoulli_self_join_variance,
     wor_join_variance,
     wr_join_variance,
@@ -68,6 +70,8 @@ __all__ = [
     "averaged_agms_self_join_variance",
     "bernoulli_join_variance",
     "bernoulli_self_join_variance",
+    "degraded_bernoulli_join_variance",
+    "degraded_bernoulli_self_join_variance",
     "sharded_bernoulli_self_join_variance",
     "wr_join_variance",
     "wor_join_variance",

@@ -26,6 +26,8 @@ __all__ = [
     "bernoulli_join_variance",
     "bernoulli_self_join_variance",
     "sharded_bernoulli_self_join_variance",
+    "degraded_bernoulli_self_join_variance",
+    "degraded_bernoulli_join_variance",
     "wr_join_variance",
     "wor_join_variance",
 ]
@@ -88,6 +90,59 @@ def sharded_bernoulli_self_join_variance(
         (bernoulli_self_join_variance(f, p) for f in shard_frequencies),
         start=Fraction(0),
     )
+
+
+def degraded_bernoulli_self_join_variance(
+    f: FrequencyVector, q: NumberLike, p: NumberLike = 1
+) -> Fraction:
+    """Variance of the degraded (shard-loss) Bernoulli self-join estimator.
+
+    Models the parallel engine's graceful degradation: hash partitioning
+    assigns each key to one shard, so losing shards Bernoulli-samples the
+    *key space* with survival probability ``q``; each surviving key's
+    tuples are additionally Bernoulli(p)-thinned by load shedding.  The
+    estimator is ``X = Y/q`` with ``Y`` the Eq. 7 unbiased estimator of
+    the survivor sub-stream.  Conditioning on the key-survival indicators
+    ``b`` (law of total variance, with Eq. 7 linear in the power sums):
+
+    ``Var[X] = (1-q)/q · F₄ + V_p(f)/q``
+
+    where ``V_p`` is :func:`bernoulli_self_join_variance`.  At ``q = 1``
+    this reduces to Eq. 7 exactly; at ``p = 1`` only the key-loss term
+    ``(1-q)/q·F₄`` remains.  Exact under independent per-key survival —
+    the fixed-shard-count mechanism is validated against it by Monte
+    Carlo in ``tests/test_variance_degraded.py``.
+    """
+    q = Fraction(q)
+    if not 0 < q <= 1:
+        raise ValueError(f"survival probability q must be in (0, 1], got {q}")
+    return (1 - q) / q * f.f4 + bernoulli_self_join_variance(f, p) / q
+
+
+def degraded_bernoulli_join_variance(
+    f: FrequencyVector,
+    g: FrequencyVector,
+    q: NumberLike,
+    p: NumberLike = 1,
+    p2: NumberLike = 1,
+) -> Fraction:
+    """Variance of the degraded Bernoulli join-size estimator.
+
+    Both relations were hash-partitioned by the *same* key mapping, so a
+    lost shard removes the same key slice from both sides: one shared
+    survival indicator per key, survival probability ``q`` = common
+    surviving fraction.  With per-side shedding rates ``p``/``p2``:
+
+    ``Var[X] = (1-q)/q · Σᵢ(fᵢgᵢ)² + V_{p,p2}(f,g)/q``
+
+    where ``V`` is :func:`bernoulli_join_variance` (Eq. 6).  Reduces to
+    Eq. 6 at ``q = 1``.
+    """
+    q = Fraction(q)
+    if not 0 < q <= 1:
+        raise ValueError(f"survival probability q must be in (0, 1], got {q}")
+    key_loss = (1 - q) / q * f.cross_power_sum(g, 2, 2)
+    return key_loss + bernoulli_join_variance(f, g, p, p2) / q
 
 
 def wr_join_variance(

@@ -1,0 +1,38 @@
+"""REP011 fixture twin: the same retry shapes written correctly."""
+
+import time
+
+from repro.resilience.distributed import BackoffPolicy
+
+
+def fetch_with_policy(read, policy: BackoffPolicy):
+    schedule = policy.schedule()
+    failures = 0
+    while True:
+        try:
+            return read()
+        except OSError:
+            failures += 1
+            delay = schedule.next_delay()
+            if delay is None:
+                raise
+            time.sleep(delay)  # bound variable, budgeted by the policy
+
+
+def bounded_poll(read, retries: int, sleep=time.sleep):
+    failures = 0
+    while True:
+        try:
+            value = read()
+            if value is not None:
+                return value
+        except OSError:
+            failures += 1
+            if failures > retries:
+                raise
+        sleep(compute_delay(failures))
+
+
+def compute_delay(failures: int) -> float:
+    # Zero literals are not delays; the real schedule is injected.
+    return float(failures * 0)

@@ -1,0 +1,35 @@
+"""REP011 fixture: ad-hoc retry loops the backoff-discipline rule flags."""
+
+import time
+
+
+def fetch_with_hardcoded_backoff(read):
+    failures = 0
+    while failures < 5:
+        try:
+            return read()
+        except OSError:
+            failures += 1
+            time.sleep(0.1 * 2**failures)  # literal sleep in a retry loop
+
+
+def poll_forever(read):
+    # Unbounded: no handler can raise or break, so a persistent fault
+    # spins this loop forever.
+    while True:
+        try:
+            value = read()
+            if value is not None:
+                return value
+        except OSError:
+            time.sleep(1)  # also a literal sleep
+
+
+def drain_with_inner_sleep(chunks, push):
+    for chunk in chunks:
+        try:
+            push(chunk)
+        except OSError:
+            from time import sleep as pause
+
+            pause(0.25)  # aliased import still resolves to time.sleep

@@ -1,0 +1,201 @@
+"""REP011 — retry delays through BackoffPolicy, no unbounded retries."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import AnalysisConfig, analyze_paths
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _fixture_findings(tree: str):
+    result = analyze_paths(
+        ["src"], root=FIXTURES / tree, config=AnalysisConfig(), select={"REP011"}
+    )
+    return result.findings
+
+
+class TestLiteralSleeps:
+    def test_literal_sleep_in_while_retry_loop_fires(self, run_rule):
+        findings = run_rule(
+            """
+            import time
+
+            def fetch(read, retries):
+                failures = 0
+                while failures < retries:
+                    try:
+                        return read()
+                    except OSError:
+                        failures += 1
+                        time.sleep(0.05 * 2**failures)
+            """,
+            "REP011",
+        )
+        assert len(findings) == 1
+        assert "literal sleep" in findings[0].message
+        assert "BackoffPolicy" in findings[0].message
+
+    def test_aliased_from_import_resolves(self, run_rule):
+        findings = run_rule(
+            """
+            from time import sleep as pause
+
+            def drain(chunks, push):
+                for chunk in chunks:
+                    try:
+                        push(chunk)
+                    except OSError:
+                        pause(0.25)
+            """,
+            "REP011",
+        )
+        assert len(findings) == 1
+
+    def test_bound_variable_delay_passes(self, run_rule):
+        findings = run_rule(
+            """
+            import time
+
+            def fetch(read, schedule):
+                while True:
+                    try:
+                        return read()
+                    except OSError:
+                        delay = schedule.next_delay()
+                        if delay is None:
+                            raise
+                        time.sleep(delay)
+            """,
+            "REP011",
+        )
+        assert findings == []
+
+    def test_sleep_outside_retry_loop_passes(self, run_rule):
+        # No try/except in the loop: not a retry loop, pacing is fine.
+        findings = run_rule(
+            """
+            import time
+
+            def pace(chunks, push):
+                for chunk in chunks:
+                    push(chunk)
+                    time.sleep(0.01)
+            """,
+            "REP011",
+        )
+        assert findings == []
+
+    def test_zero_literal_is_not_a_delay(self, run_rule):
+        findings = run_rule(
+            """
+            import time
+
+            def fetch(read):
+                while True:
+                    try:
+                        return read()
+                    except OSError:
+                        raise
+                    time.sleep(0)
+            """,
+            "REP011",
+        )
+        assert findings == []
+
+
+class TestUnboundedRetries:
+    def test_while_true_without_exhaustion_path_fires(self, run_rule):
+        findings = run_rule(
+            """
+            def poll(read, log):
+                while True:
+                    try:
+                        value = read()
+                        if value is not None:
+                            return value
+                    except OSError as exc:
+                        log(exc)
+            """,
+            "REP011",
+        )
+        assert len(findings) == 1
+        assert "unbounded" in findings[0].message
+
+    def test_handler_raise_on_exhaustion_passes(self, run_rule):
+        findings = run_rule(
+            """
+            def poll(read, retries):
+                failures = 0
+                while True:
+                    try:
+                        return read()
+                    except OSError:
+                        failures += 1
+                        if failures > retries:
+                            raise
+            """,
+            "REP011",
+        )
+        assert findings == []
+
+    def test_handler_break_passes(self, run_rule):
+        findings = run_rule(
+            """
+            def poll(read):
+                while True:
+                    try:
+                        return read()
+                    except OSError:
+                        break
+            """,
+            "REP011",
+        )
+        assert findings == []
+
+    def test_bounded_while_is_not_unbounded(self, run_rule):
+        # ``while failures < n`` terminates by its own test even though
+        # the handler only counts.
+        findings = run_rule(
+            """
+            def poll(read, n):
+                failures = 0
+                while failures < n:
+                    try:
+                        return read()
+                    except OSError:
+                        failures += 1
+            """,
+            "REP011",
+        )
+        assert findings == []
+
+
+class TestFixtureTrees:
+    def test_violations_tree_fires_both_heuristics(self):
+        findings = _fixture_findings("violations")
+        assert {f.path for f in findings} == {"src/repro/retry_bad.py"}
+        messages = [f.message for f in findings]
+        assert sum("literal sleep" in m for m in messages) >= 2
+        assert sum("unbounded" in m for m in messages) == 1
+
+    def test_clean_tree_is_silent(self):
+        assert _fixture_findings("clean") == []
+
+    def test_tests_are_exempt_by_configuration(self, run_rule):
+        findings = run_rule(
+            """
+            import time
+
+            def test_retry():
+                while True:
+                    try:
+                        return 1
+                    except OSError:
+                        time.sleep(0.01)
+            """,
+            "REP011",
+            rel_path="tests/test_snippet.py",
+        )
+        assert findings == []

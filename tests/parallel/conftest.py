@@ -3,6 +3,8 @@
 ``REPRO_PARALLEL_WORKERS`` sets the process-pool width used by the
 multiprocess tests (CI sets 2; the default of 2 also keeps local runs
 honest about crossing a real process boundary even on small machines).
+``REPRO_CHAOS_SEEDS`` widens the parallel chaos matrix exactly like the
+resilience suite's (CI sets 3; the default of 2 keeps local runs quick).
 """
 
 from __future__ import annotations
@@ -17,6 +19,13 @@ from repro.parallel import WorkerPool
 
 def _worker_count() -> int:
     return int(os.environ.get("REPRO_PARALLEL_WORKERS", "2"))
+
+
+def pytest_generate_tests(metafunc):
+    """Parametrize ``chaos_seed`` over the configured seed matrix."""
+    if "chaos_seed" in metafunc.fixturenames:
+        count = int(os.environ.get("REPRO_CHAOS_SEEDS", "2"))
+        metafunc.parametrize("chaos_seed", range(count))
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,324 @@
+"""Chaos matrix for the supervised sharded engine.
+
+The contract: whatever the fault schedule does to individual dispatches
+— SIGKILLed workers (which break the whole ``ProcessPoolExecutor``),
+hangs culled by deadline, stragglers raced by hedges, dropped results,
+torn counter slots — a run that completes is **bit-identical** to the
+sequential scan, leaves zero ``/dev/shm`` segments behind, and a run
+that degrades returns honestly widened intervals that cover the truth.
+
+Faults are scheduled by seeded :class:`ParallelChaosPlan`s keyed on
+``(shard, attempt)``; ``REPRO_CHAOS_SEEDS`` widens the matrix in CI.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, RetryExhaustedError
+from repro.observability import Observer
+from repro.parallel import DegradedScanResult, WorkerPool, run_sharded_sketch
+from repro.resilience.chaos import (
+    ChaosShardWorker,
+    ParallelChaosPlan,
+    WorkerFault,
+    make_parallel_chaos_plan,
+)
+from repro.resilience.distributed import BackoffPolicy
+from repro.sketches.fagms import FagmsSketch
+
+
+def _shm_entries() -> list:
+    try:
+        return sorted(os.listdir("/dev/shm"))
+    except (FileNotFoundError, NotADirectoryError):
+        return []
+
+
+@pytest.fixture
+def shm_ledger():
+    """Snapshot ``/dev/shm`` and assert it is unchanged after the test."""
+    before = _shm_entries()
+    yield
+    leaked = set(_shm_entries()) - set(before)
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+def _template() -> FagmsSketch:
+    return FagmsSketch(64, rows=3, seed=17)
+
+
+def _sequential_state(keys) -> np.ndarray:
+    sketch = _template()
+    sketch.update(keys)
+    return sketch._state()
+
+
+def _always_fail(shard: int, attempts: int = 8) -> tuple:
+    """Faults exhausting every retry of *shard* (inline-safe: no kill)."""
+    return tuple(
+        ((shard, attempt), WorkerFault("hang", 0.0)) for attempt in range(attempts)
+    )
+
+
+# ----------------------------------------------------------------------
+# Complete runs are bit-identical to the sequential scan
+# ----------------------------------------------------------------------
+
+
+class TestChaosMatrix:
+    @pytest.mark.parametrize("shards", [3, 5])
+    def test_seeded_chaos_is_bit_identical_over_processes(
+        self, shm_ledger, process_pool, skewed_keys, chaos_seed, shards
+    ):
+        plan = make_parallel_chaos_plan(
+            1000 + chaos_seed,
+            shards,
+            kinds=("kill", "slow", "drop", "corrupt_slot"),
+            rate=0.5,
+            duration=0.02,
+        )
+        result = run_sharded_sketch(
+            skewed_keys,
+            _template(),
+            shards=shards,
+            pool=process_pool,
+            max_retries=4,
+            backoff=BackoffPolicy(base=0.01, cap=0.05, seed=chaos_seed),
+            _worker=ChaosShardWorker(plan),
+        )
+        assert np.array_equal(result.sketch._state(), _sequential_state(skewed_keys))
+        assert result.retries >= plan.total_faults
+        assert result.surviving_shards() == tuple(range(shards))
+
+    def test_seeded_chaos_is_bit_identical_inline(
+        self, shm_ledger, skewed_keys, chaos_seed
+    ):
+        # The inline matrix adds hang faults (no SIGKILL in-process) and
+        # forces the shared-memory transport so slot rebinding is hit.
+        plan = make_parallel_chaos_plan(
+            2000 + chaos_seed,
+            4,
+            kinds=("hang", "slow", "drop", "corrupt_slot"),
+            rate=0.6,
+            duration=0.0,
+        )
+        result = run_sharded_sketch(
+            skewed_keys,
+            _template(),
+            shards=4,
+            shared_memory=True,
+            max_retries=4,
+            _worker=ChaosShardWorker(plan),
+        )
+        assert np.array_equal(result.sketch._state(), _sequential_state(skewed_keys))
+
+    def test_sigkill_revives_the_pool(self, shm_ledger, skewed_keys):
+        plan = ParallelChaosPlan(faults=(((1, 0), WorkerFault("kill")),))
+        with WorkerPool(2) as pool:
+            result = run_sharded_sketch(
+                skewed_keys,
+                _template(),
+                shards=3,
+                pool=pool,
+                max_retries=3,
+                _worker=ChaosShardWorker(plan),
+            )
+            assert pool.revivals >= 1
+        assert np.array_equal(result.sketch._state(), _sequential_state(skewed_keys))
+
+    def test_hang_is_culled_by_deadline(self, shm_ledger, process_pool, skewed_keys):
+        # The hang sleeps far longer than the test budget; only the
+        # no-progress deadline gets the shard retried in time.
+        plan = ParallelChaosPlan(faults=(((0, 0), WorkerFault("hang", 30.0)),))
+        result = run_sharded_sketch(
+            skewed_keys,
+            _template(),
+            shards=3,
+            pool=process_pool,
+            max_retries=2,
+            deadline=0.4,
+            poll_interval=0.02,
+            _worker=ChaosShardWorker(plan),
+        )
+        assert np.array_equal(result.sketch._state(), _sequential_state(skewed_keys))
+        assert result.retries >= 1
+
+    def test_hedge_races_the_straggler_without_changing_bits(
+        self, shm_ledger, process_pool, skewed_keys
+    ):
+        plan = ParallelChaosPlan(faults=(((1, 0), WorkerFault("slow", 15.0)),))
+        result = run_sharded_sketch(
+            skewed_keys,
+            _template(),
+            shards=3,
+            pool=process_pool,
+            hedge_after=0.3,
+            poll_interval=0.02,
+            _worker=ChaosShardWorker(plan),
+        )
+        assert np.array_equal(result.sketch._state(), _sequential_state(skewed_keys))
+        # The slow shard is hedged; on a narrow pool, queue-delayed
+        # innocent shards may legitimately pick up a hedge of their own.
+        assert result.hedges >= 1
+        assert result.retries == 0
+
+
+# ----------------------------------------------------------------------
+# Degraded runs: survivors scaled, intervals honestly widened
+# ----------------------------------------------------------------------
+
+
+class TestDegradedRuns:
+    def test_lost_shard_degrades_instead_of_failing(self, shm_ledger, skewed_keys):
+        plan = ParallelChaosPlan(faults=_always_fail(1))
+        result = run_sharded_sketch(
+            skewed_keys,
+            _template(),
+            shards=4,
+            max_retries=1,
+            degradation="degrade",
+            _worker=ChaosShardWorker(plan),
+        )
+        assert isinstance(result, DegradedScanResult)
+        assert result.lost_shards == (1,)
+        assert result.surviving_shards() == (0, 2, 3)
+        assert result.survived_fraction == pytest.approx(0.75)
+        assert result.failures[0].shard == 1
+        # Survivor counters exclude the lost slice, so the raw sketch
+        # moment underestimates; the 1/q scaling must push it back up.
+        assert result.self_join_size() > result.sketch.second_moment() * 0.99
+
+    def test_degraded_interval_covers_truth_at_nominal_rate(self):
+        """Monte Carlo over streams: coverage >= the nominal confidence."""
+        confidence, trials, covered = 0.9, 25, 0
+        plan = ParallelChaosPlan(faults=_always_fail(2))
+        for trial in range(trials):
+            rng = np.random.default_rng(7000 + trial)
+            keys = rng.integers(0, 2_000, size=6_000).astype(np.int64)
+            true_f2 = float((np.bincount(keys) ** 2).sum())
+            result = run_sharded_sketch(
+                keys,
+                FagmsSketch(1024, rows=7, seed=5),
+                shards=4,
+                max_retries=0,
+                degradation="degrade",
+                _worker=ChaosShardWorker(plan),
+            )
+            interval = result.self_join_interval(confidence)
+            covered += interval.contains(true_f2)
+        assert covered / trials >= confidence
+
+    def test_degraded_join_uses_common_survivors(self, shm_ledger):
+        rng = np.random.default_rng(99)
+        keys_f = rng.integers(0, 1_000, size=8_000).astype(np.int64)
+        keys_g = rng.integers(0, 1_000, size=8_000).astype(np.int64)
+        template = FagmsSketch(2048, rows=7, seed=21)
+        lost_f = run_sharded_sketch(
+            keys_f,
+            template,
+            shards=4,
+            max_retries=0,
+            degradation="degrade",
+            _worker=ChaosShardWorker(ParallelChaosPlan(faults=_always_fail(0))),
+        )
+        lost_g = run_sharded_sketch(
+            keys_g,
+            template,
+            shards=4,
+            max_retries=0,
+            degradation="degrade",
+            _worker=ChaosShardWorker(ParallelChaosPlan(faults=_always_fail(3))),
+        )
+        assert isinstance(lost_f, DegradedScanResult)
+        common = set(lost_f.surviving_shards()) & set(lost_g.surviving_shards())
+        assert common == {1, 2}
+        true_join = float(
+            (np.bincount(keys_f, minlength=1_000) * np.bincount(keys_g, minlength=1_000)).sum()
+        )
+        estimate = lost_f.join_size(lost_g)
+        interval = lost_f.join_interval(lost_g, 0.9)
+        assert interval.contains(true_join)
+        assert interval.contains(estimate)
+        # Symmetric delegation: a complete result joined against a
+        # degraded one routes through the degraded estimator.
+        assert lost_g.join_size(lost_f) == pytest.approx(estimate, rel=1e-9)
+
+    def test_losing_every_shard_still_raises(self, shm_ledger, skewed_keys):
+        faults = _always_fail(0) + _always_fail(1)
+        with pytest.raises(RetryExhaustedError, match="nothing to degrade to"):
+            run_sharded_sketch(
+                skewed_keys,
+                _template(),
+                shards=2,
+                max_retries=1,
+                degradation="degrade",
+                _worker=ChaosShardWorker(ParallelChaosPlan(faults=faults)),
+            )
+
+    def test_degrade_requires_hash_partitioning(self, skewed_keys):
+        with pytest.raises(ConfigurationError, match="hash"):
+            run_sharded_sketch(
+                skewed_keys,
+                _template(),
+                shards=2,
+                mode="range",
+                degradation="degrade",
+            )
+
+    def test_degradation_knob_is_validated(self, skewed_keys):
+        with pytest.raises(ConfigurationError, match="degradation"):
+            run_sharded_sketch(
+                skewed_keys, _template(), shards=2, degradation="panic"
+            )
+
+
+# ----------------------------------------------------------------------
+# Observability: the supervisor's metrics and spans thread through
+# ----------------------------------------------------------------------
+
+
+class TestObservability:
+    def test_retry_and_degraded_metrics(self, shm_ledger, skewed_keys):
+        obs = Observer()
+        faults = (((0, 0), WorkerFault("drop")),) + _always_fail(2)
+        result = run_sharded_sketch(
+            skewed_keys,
+            _template(),
+            shards=3,
+            max_retries=1,
+            degradation="degrade",
+            shared_memory=True,
+            backoff=BackoffPolicy(base=0.001, jitter=0.5, seed=3),
+            observer=obs,
+            _worker=ChaosShardWorker(ParallelChaosPlan(faults=faults)),
+        )
+        assert isinstance(result, DegradedScanResult)
+        snapshot = obs.metrics.snapshot()
+        assert snapshot.counter_value("parallel.shard.retries") >= 2
+        assert snapshot.counter_value("parallel.shard.degraded") == 1
+        assert snapshot.counter_value("parallel.backoff.wait_seconds") > 0
+        assert snapshot.counter_value("parallel.shm.segments") >= 1
+        span_names = {record.name for record in obs.tracer.finished}
+        assert "parallel.supervise" in span_names
+        assert "parallel.scan" in span_names
+
+    def test_hedge_metric_over_processes(self, shm_ledger, process_pool, skewed_keys):
+        obs = Observer()
+        plan = ParallelChaosPlan(faults=(((2, 0), WorkerFault("slow", 15.0)),))
+        run_sharded_sketch(
+            skewed_keys,
+            _template(),
+            shards=3,
+            pool=process_pool,
+            hedge_after=0.3,
+            poll_interval=0.02,
+            observer=obs,
+            _worker=ChaosShardWorker(plan),
+        )
+        snapshot = obs.metrics.snapshot()
+        assert snapshot.counter_value("parallel.shard.hedges") >= 1
+        assert snapshot.counter_value("parallel.shards.completed") == 3

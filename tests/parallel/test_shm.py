@@ -277,3 +277,45 @@ def test_chaos_retries_with_shared_slots_stay_bit_identical(
     )
     assert survived.retries > 0
     assert np.array_equal(baseline.sketch._state(), survived.sketch._state())
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="no tmpfs segment directory"
+)
+def test_destroy_survives_external_unlink(shm_ledger):
+    """An externally removed segment must not mask the caller's error path.
+
+    ``destroy()`` runs in coordinator ``finally`` blocks; if an operator
+    (or the OS) already removed the ``/dev/shm`` entry, the resulting
+    ``FileNotFoundError`` would shadow whatever exception was actually
+    unwinding.  It is swallowed instead.
+    """
+    block = SharedBlock.create((4,), np.float64)
+    name = block.descriptor[0]
+    os.unlink(f"/dev/shm/{name}")
+    block.destroy()  # must not raise
+    with pytest.raises(ConfigurationError):
+        block.array
+
+
+def test_triple_destroy_and_interleaved_close(shm_ledger):
+    block = SharedBlock.create((4,), np.int64)
+    block.close()
+    block.destroy()
+    block.destroy()
+    block.destroy()
+    block.close()
+
+
+def test_attached_view_destroy_never_unlinks(shm_ledger):
+    """Only the owner unlinks; a view's destroy() is just a close()."""
+    owner = SharedBlock.create((4,), np.float64)
+    try:
+        view = SharedBlock.attach(owner.descriptor)
+        view.destroy()
+        view.destroy()
+        # The segment must still exist for the owner.
+        again = SharedBlock.attach(owner.descriptor)
+        again.close()
+    finally:
+        owner.destroy()

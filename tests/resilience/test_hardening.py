@@ -8,6 +8,7 @@ from repro.errors import (
     ConfigurationError,
     RetryExhaustedError,
 )
+from repro.resilience.distributed import BackoffPolicy
 from repro.resilience.hardening import InputHardener, retrying_read_stream
 from repro.streams.io import read_stream, write_stream
 
@@ -157,3 +158,94 @@ def test_reader_validates_parameters(stream_file):
     path, _ = stream_file
     with pytest.raises(ConfigurationError):
         list(retrying_read_stream(path, retries=-1))
+
+
+# ----------------------------------------------------------------------
+# Retrying reader on the shared BackoffPolicy
+# ----------------------------------------------------------------------
+
+
+def _always_broken(path_, chunk_size, *, start=0):
+    raise OSError("disk on fire")
+    yield  # pragma: no cover
+
+
+def test_reader_pins_the_seeded_jittered_schedule(stream_file, monkeypatch):
+    """Regression pin: the exact delays for one fixed policy seed.
+
+    If these numbers move, either the policy's delay formula or the rng
+    stream changed — both are reproducibility breaks, not refactors.
+    """
+    path, _ = stream_file
+    monkeypatch.setattr(
+        "repro.resilience.hardening.read_stream", _always_broken
+    )
+    policy = BackoffPolicy(base=0.05, factor=2.0, cap=5.0, jitter=0.5, seed=123)
+    naps = []
+    with pytest.raises(RetryExhaustedError):
+        list(
+            retrying_read_stream(
+                path, 128, retries=4, backoff=policy, sleep=naps.append
+            )
+        )
+    assert naps == pytest.approx(
+        [0.032941203419, 0.09730894906, 0.177964012723, 0.36312563786]
+    )
+    # Deterministic: the same policy replays the same schedule.
+    again = []
+    with pytest.raises(RetryExhaustedError):
+        list(
+            retrying_read_stream(
+                path, 128, retries=4, backoff=policy, sleep=again.append
+            )
+        )
+    assert again == naps
+
+
+def test_legacy_float_backoff_matches_policy_form(stream_file, monkeypatch):
+    """``backoff=0.05`` and the equivalent policy sleep identically."""
+    path, _ = stream_file
+    monkeypatch.setattr(
+        "repro.resilience.hardening.read_stream", _always_broken
+    )
+
+    def naps_for(backoff):
+        naps = []
+        with pytest.raises(RetryExhaustedError):
+            list(
+                retrying_read_stream(
+                    path, 128, retries=3, backoff=backoff, sleep=naps.append
+                )
+            )
+        return naps
+
+    legacy = naps_for(0.05)
+    policy = naps_for(
+        BackoffPolicy(base=0.05, factor=2.0, cap=float("inf"), jitter=0.0)
+    )
+    assert legacy == policy == [0.05, 0.1, 0.2]
+
+
+def test_reader_backoff_budget_exhausts_into_typed_error(
+    stream_file, monkeypatch
+):
+    path, _ = stream_file
+    monkeypatch.setattr(
+        "repro.resilience.hardening.read_stream", _always_broken
+    )
+    policy = BackoffPolicy(base=0.1, factor=2.0, jitter=0.0, budget=0.25)
+    naps = []
+    with pytest.raises(RetryExhaustedError, match="backoff budget") as excinfo:
+        list(
+            retrying_read_stream(
+                path, 128, retries=10, backoff=policy, sleep=naps.append
+            )
+        )
+    assert isinstance(excinfo.value.__cause__, OSError)
+    assert naps == [0.1]  # 0.2 more would burst the 0.25s budget
+
+
+def test_reader_rejects_negative_float_backoff(stream_file):
+    path, _ = stream_file
+    with pytest.raises(ConfigurationError):
+        list(retrying_read_stream(path, backoff=-0.5))

@@ -1,0 +1,183 @@
+"""Degraded (shard-loss) variance closed forms, validated by Monte Carlo.
+
+The degraded estimators model losing hash shards as Bernoulli-sampling
+the *key space* with survival probability ``q`` (each key lives on
+exactly one shard), optionally composed with per-tuple Bernoulli(p) load
+shedding.  These tests check the exact
+:func:`~repro.variance.sampling.degraded_bernoulli_self_join_variance` /
+:func:`~repro.variance.sampling.degraded_bernoulli_join_variance` closed
+forms against brute-force simulation, their ``q = 1`` reduction to the
+paper's Eqs. 6–7, and the conservativeness of the runtime plug-in bounds
+(:func:`~repro.resilience.distributed.widened_self_join_variance`) the
+coordinator actually ships in degraded confidence intervals.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.frequency import FrequencyVector
+from repro.resilience.distributed import (
+    widened_join_variance,
+    widened_self_join_variance,
+)
+from repro.variance.bounds import chebyshev_interval
+from repro.variance.sampling import (
+    bernoulli_join_variance,
+    bernoulli_self_join_variance,
+    degraded_bernoulli_join_variance,
+    degraded_bernoulli_self_join_variance,
+)
+
+TRIALS = 60_000
+
+
+def _mc_self_join(f: FrequencyVector, q: float, p: float, seed: int) -> np.ndarray:
+    """Monte Carlo replicates of the degraded self-join estimator."""
+    rng = np.random.default_rng(seed)
+    counts = f.counts.astype(np.int64)
+    alive = rng.random((TRIALS, counts.size)) < q
+    if p < 1.0:
+        thinned = rng.binomial(counts, p, size=(TRIALS, counts.size))
+        estimator = (
+            thinned.astype(np.float64) ** 2 / p**2
+            - (1.0 - p) / p**2 * thinned
+        )
+    else:
+        estimator = counts.astype(np.float64) ** 2
+    return (estimator * alive).sum(axis=1) / q
+
+
+def _mc_join(
+    f: FrequencyVector,
+    g: FrequencyVector,
+    q: float,
+    p: float,
+    p2: float,
+    seed: int,
+) -> np.ndarray:
+    """Monte Carlo replicates of the degraded join estimator (shared keys)."""
+    rng = np.random.default_rng(seed)
+    cf = f.counts.astype(np.int64)
+    cg = g.counts.astype(np.int64)
+    alive = rng.random((TRIALS, cf.size)) < q
+    tf = rng.binomial(cf, p, size=(TRIALS, cf.size)) if p < 1.0 else cf
+    tg = rng.binomial(cg, p2, size=(TRIALS, cg.size)) if p2 < 1.0 else cg
+    products = tf.astype(np.float64) * tg / (p * p2)
+    return (products * alive).sum(axis=1) / q
+
+
+class TestSelfJoinClosedForm:
+    @pytest.mark.parametrize("q", [0.25, 0.5, 0.75])
+    def test_pure_key_loss_matches_monte_carlo(self, small_f, q):
+        replicates = _mc_self_join(small_f, q, 1.0, seed=101)
+        assert replicates.mean() == pytest.approx(small_f.f2, rel=0.05)
+        exact = float(degraded_bernoulli_self_join_variance(small_f, q))
+        assert replicates.var() == pytest.approx(exact, rel=0.10)
+
+    @pytest.mark.parametrize("q,p", [(0.5, 0.5), (0.75, 0.3), (0.25, 0.8)])
+    def test_composed_with_shedding_matches_monte_carlo(self, small_f, q, p):
+        replicates = _mc_self_join(small_f, q, p, seed=202)
+        assert replicates.mean() == pytest.approx(small_f.f2, rel=0.05)
+        exact = float(degraded_bernoulli_self_join_variance(small_f, q, p))
+        assert replicates.var() == pytest.approx(exact, rel=0.10)
+
+    def test_q_one_reduces_to_eq7(self, small_f):
+        for p in (0.3, 0.5, 1.0):
+            assert degraded_bernoulli_self_join_variance(
+                small_f, 1, p
+            ) == bernoulli_self_join_variance(small_f, p)
+
+    def test_p_one_is_pure_key_loss_term(self, small_f):
+        q = Fraction(1, 3)
+        expected = (1 - q) / q * small_f.f4
+        assert degraded_bernoulli_self_join_variance(small_f, q) == expected
+
+    def test_variance_grows_as_survival_shrinks(self, small_f):
+        values = [
+            degraded_bernoulli_self_join_variance(small_f, q, Fraction(1, 2))
+            for q in (1, Fraction(3, 4), Fraction(1, 2), Fraction(1, 4))
+        ]
+        assert values == sorted(values)
+
+    @pytest.mark.parametrize("q", [0, -1, 2])
+    def test_rejects_bad_survival(self, small_f, q):
+        with pytest.raises(ValueError):
+            degraded_bernoulli_self_join_variance(small_f, q)
+
+
+class TestJoinClosedForm:
+    @pytest.mark.parametrize("q", [0.5, 0.75])
+    def test_pure_key_loss_matches_monte_carlo(self, small_f, small_g, q):
+        replicates = _mc_join(small_f, small_g, q, 1.0, 1.0, seed=303)
+        true = small_f.join_size(small_g)
+        assert replicates.mean() == pytest.approx(true, rel=0.05)
+        exact = float(degraded_bernoulli_join_variance(small_f, small_g, q))
+        assert replicates.var() == pytest.approx(exact, rel=0.10)
+
+    def test_composed_with_two_sided_shedding(self, small_f, small_g):
+        q, p, p2 = 0.5, 0.6, 0.7
+        replicates = _mc_join(small_f, small_g, q, p, p2, seed=404)
+        true = small_f.join_size(small_g)
+        assert replicates.mean() == pytest.approx(true, rel=0.05)
+        exact = float(
+            degraded_bernoulli_join_variance(small_f, small_g, q, p, p2)
+        )
+        assert replicates.var() == pytest.approx(exact, rel=0.10)
+
+    def test_q_one_reduces_to_eq6(self, small_f, small_g):
+        assert degraded_bernoulli_join_variance(
+            small_f, small_g, 1, Fraction(1, 2), Fraction(1, 3)
+        ) == bernoulli_join_variance(
+            small_f, small_g, Fraction(1, 2), Fraction(1, 3)
+        )
+
+    @pytest.mark.parametrize("q", [0, -1, 2])
+    def test_rejects_bad_survival(self, small_f, small_g, q):
+        with pytest.raises(ValueError):
+            degraded_bernoulli_join_variance(small_f, small_g, q)
+
+
+class TestWidenedBoundsAreConservative:
+    """The runtime plug-ins must dominate the exact variance."""
+
+    @pytest.mark.parametrize("q,p", [(0.5, 1.0), (0.75, 0.5), (0.25, 0.3)])
+    def test_self_join_plug_in_dominates_exact(self, small_f, q, p):
+        exact = float(degraded_bernoulli_self_join_variance(small_f, q, p))
+        bound = widened_self_join_variance(
+            float(small_f.f2),
+            survived_fraction=q,
+            probability=p,
+            population=float(small_f.f1),
+        )
+        assert bound >= exact
+
+    @pytest.mark.parametrize("q,p,p2", [(0.5, 1.0, 1.0), (0.5, 0.6, 0.7)])
+    def test_join_plug_in_dominates_exact(self, small_f, small_g, q, p, p2):
+        exact = float(
+            degraded_bernoulli_join_variance(small_f, small_g, q, p, p2)
+        )
+        bound = widened_join_variance(
+            float(small_f.join_size(small_g)),
+            survived_fraction=q,
+            probability_f=p,
+            probability_g=p2,
+            population_f=float(small_f.f1),
+            population_g=float(small_g.f1),
+        )
+        assert bound >= exact
+
+    def test_chebyshev_coverage_at_least_nominal(self, small_f):
+        """Intervals from the exact variance over-cover (Chebyshev slack)."""
+        q, confidence = 0.5, 0.90
+        replicates = _mc_self_join(small_f, q, 1.0, seed=505)
+        variance = float(degraded_bernoulli_self_join_variance(small_f, q))
+        covered = 0
+        sample = replicates[:4_000]
+        for estimate in sample:
+            interval = chebyshev_interval(float(estimate), variance, confidence)
+            covered += interval.contains(float(small_f.f2))
+        assert covered / len(sample) >= confidence
