@@ -7,6 +7,7 @@ Importing this package registers every rule with
 from __future__ import annotations
 
 from .api_consistency import ApiConsistencyRule
+from .async_blocking import AsyncBlockingRule
 from .backoff_discipline import BackoffDisciplineRule
 from .checkpoint_schema import CheckpointSchemaRule
 from .determinism import DeterminismRule
@@ -20,6 +21,7 @@ from .pickle_safety import PickleSafetyRule
 
 __all__ = [
     "ApiConsistencyRule",
+    "AsyncBlockingRule",
     "BackoffDisciplineRule",
     "CheckpointSchemaRule",
     "DeterminismRule",

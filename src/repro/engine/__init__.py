@@ -19,14 +19,25 @@ from .online_aggregation import (
     ProgressivePoint,
 )
 from .scan import run_lockstep_scan
-from .statistics import OnlineStatisticsEngine, ScanState, StatisticsSnapshot
+from .snapshot import (
+    EngineSnapshot,
+    RelationSnapshot,
+    StatisticsSnapshot,
+    join_interval_between,
+    join_size_between,
+)
+from .statistics import OnlineStatisticsEngine, ScanState
 
 __all__ = [
     "ProgressivePoint",
     "OnlineSelfJoinAggregator",
     "OnlineJoinAggregator",
     "OnlineStatisticsEngine",
+    "EngineSnapshot",
+    "RelationSnapshot",
     "ScanState",
     "StatisticsSnapshot",
+    "join_interval_between",
+    "join_size_between",
     "run_lockstep_scan",
 ]

@@ -33,7 +33,8 @@ from ..observability.observer import Observer
 from ..resilience.checkpoint import CheckpointManager
 from ..streams.base import Relation
 from .online_aggregation import DEFAULT_CHECKPOINTS, _validate_checkpoints
-from .statistics import OnlineStatisticsEngine, StatisticsSnapshot
+from .snapshot import EngineSnapshot
+from .statistics import OnlineStatisticsEngine
 
 __all__ = ["run_lockstep_scan"]
 
@@ -50,7 +51,7 @@ def run_lockstep_scan(
     pool=None,
     shared_memory=None,
     observer: Optional[Observer] = None,
-) -> Iterator[StatisticsSnapshot]:
+) -> Iterator[EngineSnapshot]:
     """Scan every relation to each checkpoint fraction, yielding snapshots.
 
     At checkpoint ``x`` every relation has had an ``x`` fraction of its
@@ -106,15 +107,15 @@ def run_lockstep_scan(
                     f"{sorted(restored.relations)}, caller supplied "
                     f"{sorted(relations)}"
                 )
+            restored_view = restored.snapshot()
             for name, relation in relations.items():
-                recorded = restored._relations[name].total_tuples
+                recorded = restored_view.relation(name).total_tuples
                 if recorded != len(relation):
                     raise CheckpointError(
                         f"relation {name!r} has {len(relation)} tuples but the "
                         f"checkpoint recorded {recorded}"
                     )
-            engine._template = restored._template
-            engine._relations = restored._relations
+            engine.adopt(restored)
             completed = snapshot.position
             if completed > len(fractions):
                 raise CheckpointError(
@@ -130,7 +131,7 @@ def run_lockstep_scan(
                     f"relation {name!r} was already partially scanned; "
                     "run_lockstep_scan needs a fresh engine registration"
                 )
-    scanned = {name: engine._relations[name].scanned for name in relations}
+    scanned = {name: engine.scanned_tuples(name) for name in relations}
     for index in range(completed, len(fractions)):
         fraction = fractions[index]
         with obs.span("scan.fraction", index=index, fraction=fraction):

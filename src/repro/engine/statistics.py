@@ -40,18 +40,26 @@ from ..sampling.base import SampleInfo
 from ..sampling.unbiasing import join_scale, self_join_correction
 from ..sketches.fagms import FagmsSketch
 from ..sketches.serialization import build_sketch, expected_state_shape, sketch_header
+from .snapshot import EngineSnapshot, RelationSnapshot, StatisticsSnapshot
 
 __all__ = ["OnlineStatisticsEngine", "ScanState", "StatisticsSnapshot"]
 
 
 @dataclass
 class ScanState:
-    """Progress of one registered relation's scan."""
+    """Progress of one registered relation's scan.
+
+    ``mutations`` counts the chunks consumed into this relation — the
+    copy-on-write key for snapshot publication: a published frozen
+    counter array is reused verbatim while the mutation count it was
+    taken at still matches.
+    """
 
     name: str
     total_tuples: int
     sketch: FagmsSketch
     scanned: int = 0
+    mutations: int = 0
 
     @property
     def fraction(self) -> float:
@@ -65,21 +73,6 @@ class ScanState:
             population_size=self.total_tuples,
             sample_size=self.scanned,
         )
-
-
-@dataclass(frozen=True)
-class StatisticsSnapshot:
-    """All statistics available at one moment of the scan."""
-
-    fractions: dict
-    self_join_sizes: dict
-    join_sizes: dict
-
-    def __repr__(self) -> str:
-        scanned = ", ".join(
-            f"{name}={fraction:.0%}" for name, fraction in self.fractions.items()
-        )
-        return f"StatisticsSnapshot({scanned})"
 
 
 class OnlineStatisticsEngine:
@@ -110,6 +103,12 @@ class OnlineStatisticsEngine:
         )
         self._relations: dict[str, ScanState] = {}
         self._observer = as_observer(observer)
+        # Snapshot-publication state: the engine's total mutation count
+        # (the generation stamped onto published snapshots) and the
+        # copy-on-write cache of frozen counter arrays, keyed per
+        # relation by the mutation count each was taken at.
+        self._generation = 0
+        self._published: dict[str, tuple[int, np.ndarray]] = {}
 
     @property
     def observer(self) -> Observer:
@@ -192,6 +191,8 @@ class OnlineStatisticsEngine:
                     shared_memory=shared_memory,
                 )
             state.scanned += int(keys.size)
+            state.mutations += 1
+            self._generation += 1
             obs = self._observer
             obs.counter("engine.rows.consumed", relation=name).inc(int(keys.size))
             obs.counter("engine.chunks.consumed", relation=name).inc()
@@ -200,6 +201,15 @@ class OnlineStatisticsEngine:
     def fraction_scanned(self, name: str) -> float:
         """Scanned fraction of a relation."""
         return self._state(name).fraction
+
+    def scanned_tuples(self, name: str) -> int:
+        """Number of tuples consumed from a relation so far."""
+        return self._state(name).scanned
+
+    @property
+    def generation(self) -> int:
+        """Total chunks consumed across all relations (monotone)."""
+        return self._generation
 
     # ------------------------------------------------------------------
     # Statistics
@@ -231,36 +241,55 @@ class OnlineStatisticsEngine:
         raw = state_a.sketch.inner_product(state_b.sketch)
         return float(join_scale(state_a.info(), state_b.info())) * raw
 
-    def snapshot(self) -> StatisticsSnapshot:
-        """Every currently-computable statistic.
+    def _publish(self) -> EngineSnapshot:
+        """Build an immutable snapshot of the current scan state.
 
-        Relations with fewer than 2 scanned tuples are omitted from the
-        self-join map; pairs with an unscanned member are omitted from the
-        join map.
+        Copy-on-write: a relation whose mutation count is unchanged
+        since the last publication reuses the previously frozen counter
+        array by reference; only mutated relations pay an array copy.
+        No observer side effects — :meth:`snapshot` adds those.
         """
-        fractions = {name: s.fraction for name, s in self._relations.items()}
-        self._observer.counter("engine.snapshots").inc()
-        self_joins = {}
+        relations = {}
         for name, state in self._relations.items():
-            if state.scanned >= 2:
-                self_joins[name] = self.self_join_size(name)
+            cached = self._published.get(name)
+            if cached is not None and cached[0] == state.mutations:
+                counters = cached[1]
+            else:
+                counters = state.sketch.counters_snapshot()
+                self._published[name] = (state.mutations, counters)
+            relations[name] = RelationSnapshot(
+                name=name,
+                total_tuples=state.total_tuples,
+                scanned=state.scanned,
+                counters=counters,
+            )
+        return EngineSnapshot(
+            generation=self._generation,
+            template_header=sketch_header(self._template),
+            relations=relations,
+            template_sketch=self._template,
+        )
+
+    def snapshot(self) -> EngineSnapshot:
+        """Publish an immutable, generation-tagged view of the scan.
+
+        The returned :class:`~repro.engine.snapshot.EngineSnapshot`
+        answers every estimate lazily from frozen counters (and exposes
+        the classic ``fractions`` / ``self_join_sizes`` / ``join_sizes``
+        maps with the original omission rules), so it is safe to hand to
+        concurrent readers while :meth:`consume` keeps mutating the scan.
+        """
+        snap = self._publish()
+        self._observer.counter("engine.snapshots").inc()
+        if self._observer.enabled:
+            # Preserve the eager gauge semantics of the pre-snapshot API:
+            # a monitored engine publishes its current self-join estimates
+            # at every snapshot.  (The unmonitored path stays lazy.)
+            for name, estimate in snap.self_join_sizes.items():
                 self._observer.gauge(
                     "engine.self_join_estimate", relation=name
-                ).set(self_joins[name])
-        joins = {}
-        names = list(self._relations)
-        for i, name_a in enumerate(names):
-            for name_b in names[i + 1 :]:
-                if (
-                    self._relations[name_a].scanned
-                    and self._relations[name_b].scanned
-                ):
-                    joins[(name_a, name_b)] = self.join_size(name_a, name_b)
-        return StatisticsSnapshot(
-            fractions=fractions,
-            self_join_sizes=self_joins,
-            join_sizes=joins,
-        )
+                ).set(estimate)
+        return snap
 
     # ------------------------------------------------------------------
     # Persistence (repro.resilience checkpoint payload)
@@ -273,23 +302,13 @@ class OnlineStatisticsEngine:
         :meth:`repro.resilience.checkpoint.CheckpointManager.save`: the
         shared template header plus per-relation scan progress in *state*,
         and one CRC-protected counter array per relation in *arrays*.
+        The payload is derived from a published snapshot (same frozen
+        arrays the serving layer reads), so checkpointing and serving
+        share one publication path; bytes are pinned against the
+        pre-snapshot implementation by
+        ``tests/serving/test_checkpoint_digest.py``.
         """
-        state = {
-            "template": sketch_header(self._template),
-            "relations": [
-                {
-                    "name": s.name,
-                    "total_tuples": s.total_tuples,
-                    "scanned": s.scanned,
-                }
-                for s in self._relations.values()
-            ],
-        }
-        arrays = {
-            f"counters.{name}": s.sketch._state()
-            for name, s in self._relations.items()
-        }
-        return state, arrays
+        return self._publish().checkpoint_payload()
 
     @classmethod
     def from_checkpoint_state(cls, state: dict, arrays: dict) -> "OnlineStatisticsEngine":
@@ -308,6 +327,8 @@ class OnlineStatisticsEngine:
             raise CheckpointError("engine checkpoint has no relation list")
         engine = object.__new__(cls)
         engine._observer = as_observer(None)
+        engine._generation = 0
+        engine._published = {}
         engine._template = build_sketch(header)
         if not isinstance(engine._template, FagmsSketch):
             raise CheckpointError(
@@ -329,7 +350,7 @@ class OnlineStatisticsEngine:
                     f"{counters.shape}, expected {expected}"
                 )
             sketch = build_sketch(header)
-            sketch._state()[...] = counters.astype(np.float64, copy=False)
+            sketch.load_counters(counters)
             scan = ScanState(
                 name=name,
                 total_tuples=int(raw["total_tuples"]),
@@ -343,6 +364,20 @@ class OnlineStatisticsEngine:
                 )
             engine._relations[name] = scan
         return engine
+
+    def adopt(self, restored: "OnlineStatisticsEngine") -> None:
+        """Take over *restored*'s scan state (checkpoint resume seam).
+
+        Used by :func:`repro.engine.scan.run_lockstep_scan` to swap a
+        freshly-restored engine's state into the engine the caller holds
+        a reference to, without reaching into either engine's internals.
+        The publication cache is reset so the next snapshot re-freezes
+        every relation; the observer attachment is kept.
+        """
+        self._template = restored._template
+        self._relations = restored._relations
+        self._generation = restored._generation
+        self._published = {}
 
     # ------------------------------------------------------------------
 

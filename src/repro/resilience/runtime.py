@@ -298,7 +298,7 @@ class StreamRuntime:
             path = self._manager.save(
                 position=self.position,
                 state=state,
-                arrays={"counters": self.sketch._state()},
+                arrays={"counters": self.sketch.counters_snapshot()},
             )
         obs.histogram("runtime.checkpoint.seconds").observe(
             self.clock() - started
@@ -360,7 +360,7 @@ class StreamRuntime:
                     f"checkpoint {snapshot.path} counters shape {counters.shape} "
                     f"does not match the sketch's expected {expected}"
                 )
-            sketch._state()[...] = counters.astype(np.float64, copy=False)
+            sketch.load_counters(counters)
             runtime = object.__new__(cls)
             runtime.sketcher = AdaptiveSheddingSketcher.restore(
                 sketch, snapshot.state["sketcher"]

@@ -1,0 +1,51 @@
+"""Concurrent multi-tenant sketch query serving (ROADMAP item 1).
+
+The paper's estimators become a *service*: ingestion keeps consuming
+stream chunks while any number of clients query the latest published
+snapshot — point frequencies, self-joins, joins, and set expressions
+over named streams (per "A Framework for Estimating Stream Expression
+Cardinalities", arXiv 1510.01455) — each answer carrying the paper's
+variance-derived confidence interval plus snapshot generation and
+staleness metadata.
+
+Layers (bottom up):
+
+* :mod:`~repro.serving.expressions` — row-level set-expression
+  estimators (union / intersection / distinct union) composed from
+  snapshot sketch views, with conservative composed variance bounds;
+* :mod:`~repro.serving.registry` — :class:`SketchRegistry`, named
+  streams as (ingest engine, latest snapshot) pairs with atomic
+  snapshot rotation; ingestion runs on threads, queries never block it;
+* :mod:`~repro.serving.admission` — per-tenant token-bucket quotas and
+  :class:`~repro.resilience.governor.LoadGovernor`-driven overload
+  shedding with ``Retry-After`` hints;
+* :mod:`~repro.serving.http` — a stdlib-``asyncio`` HTTP/JSON front end
+  (:func:`serve_in_thread` runs it on a background thread).
+
+Everything threads ``observer=`` for ``serving.*`` metrics and spans;
+see ``docs/SERVING.md`` for the architecture tour.
+"""
+
+from .admission import AdmissionController, AdmissionDecision, TenantPolicy
+from .expressions import (
+    EXPRESSION_OPS,
+    ExpressionEstimate,
+    evaluate_expression,
+)
+from .registry import QueryResult, RotationPolicy, SketchRegistry, StreamMeta
+from .http import ServerHandle, serve_in_thread
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "EXPRESSION_OPS",
+    "ExpressionEstimate",
+    "QueryResult",
+    "RotationPolicy",
+    "ServerHandle",
+    "SketchRegistry",
+    "StreamMeta",
+    "TenantPolicy",
+    "evaluate_expression",
+    "serve_in_thread",
+]

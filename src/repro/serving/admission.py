@@ -1,0 +1,182 @@
+"""Per-tenant admission control for the serving layer.
+
+Two gates, applied in order:
+
+1. **Quota** — each tenant owns a token bucket (``qps`` refill, ``burst``
+   capacity).  A query with no token is shed with a ``Retry-After`` hint
+   of exactly when the next token arrives.  Deterministic given the
+   injected clock, so tests drive it with a fake timer.
+2. **Overload** — a shared :class:`~repro.resilience.governor.LoadGovernor`
+   watches the measured per-query cost against a latency budget, exactly
+   as the ingest path uses it against a per-tuple budget.  When the
+   governor proposes a keep-probability below 1, admitted queries are
+   *thinned deterministically*: query ``k`` of the overload episode is
+   admitted iff ``admitted + 1 ≤ p·arrived`` — the same no-RNG thinning a
+   Bernoulli(``p``) filter achieves in expectation, but reproducible.
+
+Shedding is visible to the observer (``serving.admission`` counters with
+``tenant=``/``reason=`` labels) and to the client (HTTP 429 plus
+``Retry-After`` seconds, served by :mod:`repro.serving.http`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import ConfigurationError
+from ..observability.observer import Observer, as_observer
+from ..resilience.governor import LoadGovernor
+
+__all__ = ["AdmissionController", "AdmissionDecision", "TenantPolicy"]
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Quota of one tenant: sustained ``qps`` with ``burst`` headroom."""
+
+    qps: float
+    burst: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.qps <= 0:
+            raise ConfigurationError(f"qps must be > 0, got {self.qps}")
+        if self.burst < 1:
+            raise ConfigurationError(f"burst must be >= 1, got {self.burst}")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check.
+
+    ``reason`` is ``"ok"`` for admitted queries, ``"quota"`` for a
+    per-tenant token-bucket shed, ``"overload"`` for a governor shed;
+    ``retry_after`` is the seconds the client should wait (0 when
+    admitted).
+    """
+
+    admitted: bool
+    retry_after: float = 0.0
+    reason: str = "ok"
+
+
+class _TokenBucket:
+    """Classic token bucket with an injectable monotonic clock."""
+
+    __slots__ = ("qps", "burst", "tokens", "stamp")
+
+    def __init__(self, policy: TenantPolicy, now: float) -> None:
+        self.qps = policy.qps
+        self.burst = policy.burst
+        self.tokens = policy.burst
+        self.stamp = now
+
+    def take(self, now: float) -> float:
+        """Consume one token; returns 0, or seconds until one exists."""
+        self.tokens = min(self.burst, self.tokens + (now - self.stamp) * self.qps)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.qps
+
+
+class AdmissionController:
+    """Quota + overload gate shared by every serving endpoint.
+
+    Parameters
+    ----------
+    policies:
+        Per-tenant :class:`TenantPolicy` map.  ``default_policy`` covers
+        tenants not listed; with neither, unknown tenants are admitted
+        freely (quota gate off for them).
+    governor:
+        Optional :class:`~repro.resilience.governor.LoadGovernor` whose
+        budget is interpreted as seconds per query.  Feed it measured
+        query latencies via :meth:`observe`; when it proposes shedding,
+        admitted traffic is thinned deterministically.
+    clock:
+        Injectable monotonic timer (quota refill and ``Retry-After``
+        arithmetic run on it).
+    observer:
+        Receives ``serving.admission`` counters labelled by tenant and
+        reason.
+    """
+
+    def __init__(
+        self,
+        policies: Optional[dict] = None,
+        *,
+        default_policy: Optional[TenantPolicy] = None,
+        governor: Optional[LoadGovernor] = None,
+        clock: Callable[[], float] = time.monotonic,
+        observer: Optional[Observer] = None,
+    ) -> None:
+        self._policies = dict(policies or {})
+        self._default = default_policy
+        self._governor = governor
+        self._clock = clock
+        self._observer = as_observer(observer)
+        self._lock = threading.Lock()
+        self._buckets: dict[str, _TokenBucket] = {}
+        self._keep_probability = 1.0
+        self._arrived = 0
+        self._admitted = 0
+
+    @property
+    def keep_probability(self) -> float:
+        """Current overload keep-probability (1.0 when healthy)."""
+        return self._keep_probability
+
+    def _bucket(self, tenant: str, now: float) -> Optional[_TokenBucket]:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            policy = self._policies.get(tenant, self._default)
+            if policy is None:
+                return None
+            bucket = self._buckets[tenant] = _TokenBucket(policy, now)
+        return bucket
+
+    def admit(self, tenant: str) -> AdmissionDecision:
+        """Decide one query; thread-safe."""
+        with self._lock:
+            now = self._clock()
+            bucket = self._bucket(tenant, now)
+            if bucket is not None:
+                wait = bucket.take(now)
+                if wait > 0.0:
+                    decision = AdmissionDecision(False, wait, "quota")
+                    self._count(tenant, decision.reason)
+                    return decision
+            p = self._keep_probability
+            self._arrived += 1
+            if p < 1.0 and self._admitted + 1 > p * self._arrived:
+                retry = (1.0 - p) / (p * bucket.qps) if bucket else 1.0 - p
+                decision = AdmissionDecision(False, retry, "overload")
+                self._count(tenant, decision.reason)
+                return decision
+            self._admitted += 1
+            self._count(tenant, "ok")
+            return AdmissionDecision(True)
+
+    def observe(self, elapsed: float) -> None:
+        """Fold one served query's latency into the overload model."""
+        if self._governor is None:
+            return
+        with self._lock:
+            proposed = self._governor.propose(self._keep_probability, 1, elapsed)
+            if proposed is not None:
+                self._keep_probability = proposed
+                # Fresh thinning episode at the new rate.
+                self._arrived = 0
+                self._admitted = 0
+                self._observer.gauge("serving.admission.keep_probability").set(
+                    proposed
+                )
+
+    def _count(self, tenant: str, reason: str) -> None:
+        self._observer.counter(
+            "serving.admission", tenant=tenant, reason=reason
+        ).inc()

@@ -1,0 +1,222 @@
+"""Set-expression estimators over named stream snapshots.
+
+"A Framework for Estimating Stream Expression Cardinalities"
+(arXiv 1510.01455) shows that sketch summaries of individual streams
+compose over set expressions.  Our sketches are linear, so the bag-union
+of streams is exactly the sum of their sketches (the monoid merge), and
+every expression below reduces to second moments and inner products of
+the per-stream sketch views a snapshot already holds:
+
+``union`` (bag semantics, any number of streams)
+    ``F₂(A ⊎ B ⊎ …) = Σᵢ F₂(i) + 2 Σ_{i<j} J(i, j)`` — expanding the
+    square of the summed frequency vectors.
+
+``intersection`` (join mass, two streams)
+    ``⟨f, g⟩ = Σ_v f(v)·g(v)`` — the join size; for indicator (0/1)
+    streams this is exactly ``|A ∩ B|``.
+
+``set_union`` (distinct semantics, two streams)
+    ``|A ∪ B| = F₂(A) + F₂(B) − ⟨f, g⟩`` for indicator streams, by
+    inclusion–exclusion (``F₂ = cardinality`` when frequencies are 0/1).
+
+Composition happens **per sketch row** with the WOR unbiasing applied
+per term *before* rows are combined (the corrections are affine with
+positive scale, so they commute with the median within each term; doing
+it row-level keeps the estimator identical to sketching the merged
+stream directly — tested against a literal monoid merge in
+``tests/serving/test_expressions.py``).
+
+Variance bounds compose by Cauchy–Schwarz: for any dependence structure,
+``Var(Σ Xᵢ) ≤ (Σ σᵢ)²``, so each term contributes the square root of its
+prefix variance bound (scaled by its coefficient) and the sum of
+standard deviations is squared.  Conservative, never anti-conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..sampling.unbiasing import join_scale, self_join_correction
+from ..sketches._combine import combine_estimates
+from ..variance.runtime import prefix_join_variance, prefix_self_join_variance
+
+__all__ = ["EXPRESSION_OPS", "ExpressionEstimate", "evaluate_expression"]
+
+#: Supported expression operators and their arity constraints.
+EXPRESSION_OPS = {
+    "union": (2, None),
+    "intersection": (2, 2),
+    "set_union": (2, 2),
+}
+
+
+@dataclass(frozen=True)
+class ExpressionEstimate:
+    """Result of a set-expression evaluation over stream snapshots."""
+
+    op: str
+    estimate: float
+    variance_bound: float
+
+
+def _corrected_rows_f2(snapshot, name: str) -> np.ndarray:
+    """Per-row unbiased ``F₂`` estimates for one stream's frozen prefix."""
+    relation = snapshot.relation(name)
+    correction = self_join_correction(relation.info())
+    rows = snapshot.sketch_view(name).row_second_moments()
+    return (
+        float(correction.scale) * rows
+        - float(correction.random_coefficient) * relation.scanned
+        - float(correction.constant)
+    )
+
+
+def _corrected_rows_join(snap_a, name_a: str, snap_b, name_b: str) -> np.ndarray:
+    """Per-row unbiased join estimates between two frozen prefixes."""
+    scale = float(
+        join_scale(snap_a.relation(name_a).info(), snap_b.relation(name_b).info())
+    )
+    rows = snap_a.sketch_view(name_a).row_inner_products(
+        snap_b.sketch_view(name_b)
+    )
+    return scale * rows
+
+
+def _term_sigma_f2(snapshot, name: str) -> float:
+    relation = snapshot.relation(name)
+    estimate = float(
+        combine_estimates(
+            _corrected_rows_f2(snapshot, name),
+            snapshot.template_header.get("combine", "median"),
+            snapshot.template_header.get("groups", 1),
+        )
+    )
+    variance = prefix_self_join_variance(
+        estimate,
+        scanned=relation.scanned,
+        total=relation.total_tuples,
+        averaged=snapshot.averaged_estimators,
+    )
+    return variance**0.5
+
+
+def _term_sigma_join(snap_a, name_a: str, snap_b, name_b: str) -> float:
+    rel_a = snap_a.relation(name_a)
+    rel_b = snap_b.relation(name_b)
+    estimate = float(
+        combine_estimates(
+            _corrected_rows_join(snap_a, name_a, snap_b, name_b),
+            snap_a.template_header.get("combine", "median"),
+            snap_a.template_header.get("groups", 1),
+        )
+    )
+    f2_a = float(
+        combine_estimates(
+            _corrected_rows_f2(snap_a, name_a),
+            snap_a.template_header.get("combine", "median"),
+            snap_a.template_header.get("groups", 1),
+        )
+    )
+    f2_b = float(
+        combine_estimates(
+            _corrected_rows_f2(snap_b, name_b),
+            snap_b.template_header.get("combine", "median"),
+            snap_b.template_header.get("groups", 1),
+        )
+    )
+    variance = prefix_join_variance(
+        estimate,
+        f2_a,
+        f2_b,
+        scanned_f=rel_a.scanned,
+        total_f=rel_a.total_tuples,
+        scanned_g=rel_b.scanned,
+        total_g=rel_b.total_tuples,
+        averaged=min(snap_a.averaged_estimators, snap_b.averaged_estimators),
+    )
+    return variance**0.5
+
+
+def _check_streams(op: str, streams) -> list:
+    streams = list(streams)
+    if op not in EXPRESSION_OPS:
+        raise ConfigurationError(
+            f"unknown expression op {op!r}; supported: {sorted(EXPRESSION_OPS)}"
+        )
+    low, high = EXPRESSION_OPS[op]
+    if len(streams) < low or (high is not None and len(streams) > high):
+        span = f"exactly {low}" if high == low else f"at least {low}"
+        raise ConfigurationError(
+            f"op {op!r} takes {span} streams, got {len(streams)}"
+        )
+    names = [name for _, name in streams]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(
+            f"expression streams must be distinct, got {names}"
+        )
+    for snapshot, name in streams:
+        if snapshot.relation(name).scanned < 2:
+            raise ConfigurationError(
+                f"stream {name!r} needs at least 2 scanned tuples for an "
+                "expression estimate"
+            )
+    return streams
+
+
+def evaluate_expression(op: str, streams) -> ExpressionEstimate:
+    """Evaluate a set expression over ``(snapshot, relation_name)`` pairs.
+
+    *streams* is a sequence of pairs — each an
+    :class:`~repro.engine.snapshot.EngineSnapshot` and the name of the
+    relation inside it (a :class:`~repro.serving.registry.SketchRegistry`
+    stream's snapshot holds one relation named after the stream).  All
+    snapshots must come from engines sharing one seed, so their sketch
+    views are mutually compatible; incompatible views raise.
+
+    Returns the estimate with a conservative composed variance bound —
+    see the module docstring for the estimator algebra.
+    """
+    streams = _check_streams(op, streams)
+    header = streams[0][0].template_header
+    combine = header.get("combine", "median")
+    groups = header.get("groups", 1)
+
+    if op == "intersection":
+        (snap_a, name_a), (snap_b, name_b) = streams
+        rows = _corrected_rows_join(snap_a, name_a, snap_b, name_b)
+        estimate = float(combine_estimates(rows, combine, groups))
+        sigma = _term_sigma_join(snap_a, name_a, snap_b, name_b)
+        return ExpressionEstimate(op, estimate, sigma * sigma)
+
+    if op == "set_union":
+        (snap_a, name_a), (snap_b, name_b) = streams
+        rows = (
+            _corrected_rows_f2(snap_a, name_a)
+            + _corrected_rows_f2(snap_b, name_b)
+            - _corrected_rows_join(snap_a, name_a, snap_b, name_b)
+        )
+        estimate = float(combine_estimates(rows, combine, groups))
+        sigma = (
+            _term_sigma_f2(snap_a, name_a)
+            + _term_sigma_f2(snap_b, name_b)
+            + _term_sigma_join(snap_a, name_a, snap_b, name_b)
+        )
+        return ExpressionEstimate(op, estimate, sigma * sigma)
+
+    # union (bag semantics): F2 of the monoid-merged stream.
+    rows = np.zeros(
+        streams[0][0].sketch_view(streams[0][1]).rows, dtype=np.float64
+    )
+    sigma = 0.0
+    for snapshot, name in streams:
+        rows += _corrected_rows_f2(snapshot, name)
+        sigma += _term_sigma_f2(snapshot, name)
+    for i, (snap_a, name_a) in enumerate(streams):
+        for snap_b, name_b in streams[i + 1 :]:
+            rows += 2.0 * _corrected_rows_join(snap_a, name_a, snap_b, name_b)
+            sigma += 2.0 * _term_sigma_join(snap_a, name_a, snap_b, name_b)
+    estimate = float(combine_estimates(rows, combine, groups))
+    return ExpressionEstimate(op, estimate, sigma * sigma)

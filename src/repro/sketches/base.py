@@ -129,6 +129,33 @@ class Sketch(abc.ABC):
         self._adopt_state(array)
         self._state()[...] = values
 
+    def counters_snapshot(self) -> np.ndarray:
+        """A frozen copy of the counter state.
+
+        The returned array is read-only (``writeable = False``) and
+        detached from the sketch's live storage, so it can be published
+        to concurrent readers — or handed to a checkpoint writer — and
+        stays valid no matter how the sketch is updated afterwards.
+        """
+        frozen = self._state().copy()
+        frozen.flags.writeable = False
+        return frozen
+
+    def load_counters(self, array: np.ndarray) -> None:
+        """Overwrite the counter state from *array* (shape-validated).
+
+        The public inverse of :meth:`counters_snapshot`: restores a
+        sketch from externally-held counters (e.g. a checkpoint) without
+        reaching into ``_state()``.  *array* is copied in, so the caller's
+        buffer — writable or not — is never aliased.
+        """
+        state = self._state()
+        if tuple(array.shape) != tuple(state.shape):
+            raise DomainError(
+                f"loaded counters must have shape {state.shape}, got {array.shape}"
+            )
+        state[...] = np.asarray(array).astype(state.dtype, copy=False)
+
     def copy(self) -> "Sketch":
         """Deep copy (same families, duplicated counters)."""
         clone = self.copy_empty()

@@ -1,0 +1,31 @@
+"""REP012 clean twin: coroutines that yield instead of blocking."""
+
+import asyncio
+
+
+async def handle_request(reader, writer):
+    await asyncio.sleep(0.05)  # awaited: the loop keeps serving
+    payload = await reader.read(1024)
+    writer.write(payload)
+    await writer.drain()
+
+
+async def run_migration(log):
+    # Blocking work shipped to an executor, not run on the loop.
+    loop = asyncio.get_running_loop()
+    code = await loop.run_in_executor(None, _migrate_blocking)
+    log(code)
+
+
+def _migrate_blocking():
+    # Synchronous helper: blocking here is fine — it runs on a thread.
+    import subprocess
+
+    return subprocess.run(["migrate", "--all"]).returncode
+
+
+async def fetch_upstream(open_connection, host):
+    reader, writer = await open_connection(host, 443)
+    writer.write(b"GET / HTTP/1.1\r\n\r\n")
+    await writer.drain()
+    return await reader.read(-1)

@@ -1,0 +1,21 @@
+"""REP012 fixture: coroutines that block the event loop."""
+
+import subprocess
+import time
+
+
+async def handle_request(reader, writer):
+    time.sleep(0.05)  # blocks every connection on the loop
+    payload = open("payload.json").read()  # sync file IO in a coroutine
+    writer.write(payload.encode())
+
+
+async def run_migration(log):
+    result = subprocess.run(["migrate", "--all"], capture_output=True)
+    log(result.returncode)
+
+
+async def fetch_upstream(url):
+    from urllib.request import urlopen
+
+    return urlopen(url).read()  # sync socket IO stalls the loop

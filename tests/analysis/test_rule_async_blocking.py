@@ -1,0 +1,184 @@
+"""REP012 — no blocking calls inside ``async def`` bodies."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import AnalysisConfig, analyze_paths
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _fixture_findings(tree: str):
+    result = analyze_paths(
+        ["src"], root=FIXTURES / tree, config=AnalysisConfig(), select={"REP012"}
+    )
+    return result.findings
+
+
+class TestBlockingCalls:
+    def test_time_sleep_in_coroutine_fires(self, run_rule):
+        findings = run_rule(
+            """
+            import time
+
+            async def handler(writer):
+                time.sleep(0.1)
+                writer.write(b"done")
+            """,
+            "REP012",
+        )
+        assert len(findings) == 1
+        assert "time.sleep" in findings[0].message
+        assert "handler" in findings[0].message
+
+    def test_subprocess_run_fires(self, run_rule):
+        findings = run_rule(
+            """
+            import subprocess
+
+            async def deploy(log):
+                result = subprocess.run(["deploy"])
+                log(result.returncode)
+            """,
+            "REP012",
+        )
+        assert len(findings) == 1
+        assert "subprocess.run" in findings[0].message
+
+    def test_builtin_open_fires(self, run_rule):
+        findings = run_rule(
+            """
+            async def read_config():
+                with open("config.json") as fh:
+                    return fh.read()
+            """,
+            "REP012",
+        )
+        assert len(findings) == 1
+        assert "open" in findings[0].message
+
+    def test_aliased_from_import_resolves(self, run_rule):
+        findings = run_rule(
+            """
+            from time import sleep as pause
+
+            async def wait_a_bit():
+                pause(0.5)
+            """,
+            "REP012",
+        )
+        assert len(findings) == 1
+
+    def test_urlopen_fires(self, run_rule):
+        findings = run_rule(
+            """
+            import urllib.request
+
+            async def fetch(url):
+                return urllib.request.urlopen(url).read()
+            """,
+            "REP012",
+        )
+        assert len(findings) == 1
+
+
+class TestAllowedPatterns:
+    def test_awaited_asyncio_sleep_passes(self, run_rule):
+        findings = run_rule(
+            """
+            import asyncio
+
+            async def pace():
+                await asyncio.sleep(0.1)
+            """,
+            "REP012",
+        )
+        assert findings == []
+
+    def test_blocking_in_sync_function_passes(self, run_rule):
+        findings = run_rule(
+            """
+            import time
+
+            def warm_up():
+                time.sleep(1.0)
+            """,
+            "REP012",
+        )
+        assert findings == []
+
+    def test_nested_sync_def_is_excluded(self, run_rule):
+        # A synchronous helper defined inside the coroutine runs on an
+        # executor/thread; its blocking calls are not the loop's problem.
+        findings = run_rule(
+            """
+            import asyncio
+            import time
+
+            async def migrate():
+                def blocking_step():
+                    time.sleep(2.0)
+                    return 0
+
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(None, blocking_step)
+            """,
+            "REP012",
+        )
+        assert findings == []
+
+    def test_nested_coroutine_attributed_to_itself(self, run_rule):
+        # The inner coroutine's violation is reported (once), naming it.
+        findings = run_rule(
+            """
+            import time
+
+            async def outer():
+                async def inner():
+                    time.sleep(0.2)
+
+                await inner()
+            """,
+            "REP012",
+        )
+        assert len(findings) == 1
+        assert "inner" in findings[0].message
+
+    def test_await_of_library_call_passes(self, run_rule):
+        findings = run_rule(
+            """
+            async def roundtrip(open_connection):
+                reader, writer = await open_connection("host", 443)
+                writer.write(b"ping")
+                await writer.drain()
+                return await reader.read(-1)
+            """,
+            "REP012",
+        )
+        assert findings == []
+
+
+class TestFixtureTrees:
+    def test_violation_tree_findings(self):
+        findings = _fixture_findings("violations")
+        assert len(findings) == 4
+        assert all(f.code == "REP012" for f in findings)
+        files = {Path(f.path).name for f in findings}
+        assert files == {"serving_bad.py"}
+
+    def test_clean_tree_is_quiet(self):
+        assert _fixture_findings("clean") == []
+
+
+class TestRealServingPackage:
+    def test_serving_source_is_clean(self):
+        # The rule exists because of repro.serving; the package must pass.
+        repo_root = Path(__file__).resolve().parents[2]
+        result = analyze_paths(
+            ["src/repro/serving"],
+            root=repo_root,
+            config=AnalysisConfig(),
+            select={"REP012"},
+        )
+        assert result.findings == []

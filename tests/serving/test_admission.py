@@ -1,0 +1,147 @@
+"""Admission control: tenant quotas, overload thinning, observability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability import Observer
+from repro.resilience.governor import LoadGovernor
+from repro.serving import AdmissionController, TenantPolicy
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTenantPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TenantPolicy(qps=0.0)
+        with pytest.raises(ConfigurationError):
+            TenantPolicy(qps=1.0, burst=0.5)
+
+
+class TestQuotaGate:
+    def test_burst_then_shed_with_retry_after(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            {"acme": TenantPolicy(qps=2.0, burst=2.0)}, clock=clock
+        )
+        assert controller.admit("acme").admitted
+        assert controller.admit("acme").admitted
+        shed = controller.admit("acme")
+        assert not shed.admitted
+        assert shed.reason == "quota"
+        # Bucket empty: the next token arrives in 1/qps seconds.
+        assert shed.retry_after == pytest.approx(0.5)
+
+    def test_tokens_refill_with_the_clock(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            {"acme": TenantPolicy(qps=2.0)}, clock=clock
+        )
+        assert controller.admit("acme").admitted
+        assert not controller.admit("acme").admitted
+        clock.advance(0.5)  # one token refilled
+        assert controller.admit("acme").admitted
+
+    def test_quotas_are_per_tenant(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            {"a": TenantPolicy(qps=1.0), "b": TenantPolicy(qps=1.0)},
+            clock=clock,
+        )
+        assert controller.admit("a").admitted
+        assert not controller.admit("a").admitted
+        assert controller.admit("b").admitted  # b's bucket is untouched
+
+    def test_default_policy_covers_unlisted_tenants(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            default_policy=TenantPolicy(qps=1.0), clock=clock
+        )
+        assert controller.admit("anyone").admitted
+        assert not controller.admit("anyone").admitted
+
+    def test_no_policy_admits_freely(self):
+        controller = AdmissionController(clock=FakeClock())
+        assert all(controller.admit("guest").admitted for _ in range(100))
+
+
+class TestOverloadGate:
+    @staticmethod
+    def overloaded_controller(clock):
+        # Budget of 1ms/query against observed 100ms latencies: the
+        # governor proposes a keep-probability well below 1.
+        controller = AdmissionController(
+            governor=LoadGovernor(1e-3, deadband=0.0),
+            clock=clock,
+        )
+        for _ in range(5):
+            controller.admit("t")
+            controller.observe(0.1)
+        return controller
+
+    def test_latency_overload_triggers_thinning(self):
+        controller = self.overloaded_controller(FakeClock())
+        p = controller.keep_probability
+        assert p < 1.0
+        decisions = [controller.admit("t") for _ in range(200)]
+        admitted = sum(d.admitted for d in decisions)
+        # Deterministic thinning tracks p within one query.
+        assert admitted == pytest.approx(200 * p, abs=1.0)
+        shed = next(d for d in decisions if not d.admitted)
+        assert shed.reason == "overload"
+        assert shed.retry_after > 0
+
+    def test_thinning_is_deterministic(self):
+        a = self.overloaded_controller(FakeClock())
+        b = self.overloaded_controller(FakeClock())
+        pattern_a = [a.admit("t").admitted for _ in range(50)]
+        pattern_b = [b.admit("t").admitted for _ in range(50)]
+        assert pattern_a == pattern_b
+
+    def test_recovery_restores_admission(self):
+        controller = self.overloaded_controller(FakeClock())
+        assert controller.keep_probability < 1.0
+        # Cheap queries let the governor walk the rate back up.
+        for _ in range(200):
+            controller.observe(1e-5)
+            controller.admit("t")
+        assert controller.keep_probability == 1.0
+
+    def test_observe_without_governor_is_a_noop(self):
+        controller = AdmissionController(clock=FakeClock())
+        controller.observe(10.0)
+        assert controller.keep_probability == 1.0
+        assert controller.admit("t").admitted
+
+
+class TestObservability:
+    def test_decisions_are_counted_by_tenant_and_reason(self):
+        clock = FakeClock()
+        observer = Observer(clock=clock)
+        controller = AdmissionController(
+            {"acme": TenantPolicy(qps=1.0)}, clock=clock, observer=observer
+        )
+        controller.admit("acme")
+        controller.admit("acme")
+        metrics = observer.metrics.snapshot()
+        assert (
+            metrics.counter_value("serving.admission", tenant="acme", reason="ok")
+            == 1
+        )
+        assert (
+            metrics.counter_value(
+                "serving.admission", tenant="acme", reason="quota"
+            )
+            == 1
+        )

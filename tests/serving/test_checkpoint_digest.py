@@ -1,0 +1,91 @@
+"""Checkpoint byte-stability across the snapshot refactor.
+
+The engine/runtime seam moved checkpoint assembly behind the published
+``EngineSnapshot`` path.  These digests were pinned against the
+pre-refactor implementation; if either changes, serialized state on disk
+is no longer byte-compatible and recovery of old checkpoints breaks.
+Do not update the constants to make the test pass — fix the payload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+
+from repro.engine import OnlineStatisticsEngine
+from repro.resilience.checkpoint import CheckpointManager
+from repro.resilience.governor import LoadGovernor
+from repro.resilience.runtime import StreamRuntime, envelope_stream
+from repro.sketches import FagmsSketch
+
+ENGINE_DIGEST = "2975e0069ca1963cedb9af3efe0c4b973f2cd7fba2758ae746c4214522bb13fe"
+RUNTIME_DIGEST = "3bc7dc672883c5ad645d2d8161bcc31dbd083959c6d1d8fdb200cb8ea4074252"
+
+
+def _digest(position: int, state: dict, arrays: dict) -> str:
+    """Canonical content hash of a checkpoint payload.
+
+    Hashes the JSON state plus each array's name/shape/dtype/bytes —
+    NOT the ``.npz`` file itself, whose zip timestamps are not
+    deterministic.
+    """
+    h = hashlib.sha256()
+    h.update(
+        json.dumps({"position": position, "state": state}, sort_keys=True).encode()
+    )
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        h.update(name.encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.dtype.str.encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def test_engine_checkpoint_state_digest_is_pinned():
+    engine = OnlineStatisticsEngine(buckets=512, rows=3, seed=1234)
+    engine.register("lineitem", 4000)
+    engine.register("orders", 1000)
+    rng = np.random.default_rng(9)
+    engine.consume("lineitem", rng.integers(0, 500, size=1500))
+    engine.consume("orders", rng.integers(0, 200, size=400))
+    state, arrays = engine.checkpoint_state()
+    assert _digest(0, state, arrays) == ENGINE_DIGEST
+
+
+def test_engine_checkpoint_digest_stable_across_snapshots():
+    # Taking query snapshots in between must not perturb the payload.
+    engine = OnlineStatisticsEngine(buckets=512, rows=3, seed=1234)
+    engine.register("lineitem", 4000)
+    engine.register("orders", 1000)
+    rng = np.random.default_rng(9)
+    engine.consume("lineitem", rng.integers(0, 500, size=1500))
+    snap = engine.snapshot()
+    snap.statistics()
+    engine.consume("orders", rng.integers(0, 200, size=400))
+    engine.snapshot().self_join_size("lineitem")
+    state, arrays = engine.checkpoint_state()
+    assert _digest(0, state, arrays) == ENGINE_DIGEST
+
+
+def test_stream_runtime_checkpoint_digest_is_pinned(tmp_path):
+    runtime = StreamRuntime(
+        FagmsSketch(256, 2, seed=77),
+        p=0.5,
+        seed=11,
+        governor=LoadGovernor(1e-3),
+        checkpoint_dir=tmp_path,
+        checkpoint_every=4,
+        clock=lambda: 0.0,
+    )
+    chunks = np.array_split(
+        np.random.default_rng(21).integers(0, 300, size=800), 8
+    )
+    runtime.run(envelope_stream(chunks))
+    latest = CheckpointManager(tmp_path).latest()
+    assert latest is not None
+    assert (
+        _digest(latest.position, latest.state, latest.arrays) == RUNTIME_DIGEST
+    )

@@ -1,0 +1,169 @@
+"""Set-expression estimators vs. merged-offline sketches and ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import OnlineStatisticsEngine
+from repro.errors import ConfigurationError
+from repro.serving.expressions import (
+    EXPRESSION_OPS,
+    evaluate_expression,
+)
+from repro.sketches import FagmsSketch
+
+
+def engines_for(streams, *, buckets=512, rows=5, seed=99):
+    """One engine per named stream, all sharing one seed."""
+    pairs = []
+    for name, keys, total in streams:
+        engine = OnlineStatisticsEngine(buckets=buckets, rows=rows, seed=seed)
+        engine.register(name, total)
+        engine.consume(name, keys)
+        pairs.append((engine.snapshot(), name))
+    return pairs
+
+
+class TestUnionAgainstMonoidMerge:
+    """At a full scan, the row-level composition must be *identical* to
+    sketching the concatenated stream directly — the sketches are linear,
+    so the bag union is literally the summed sketch."""
+
+    def test_two_stream_union_equals_merged_sketch(self):
+        rng = np.random.default_rng(31)
+        a = rng.integers(0, 400, size=3000)
+        b = rng.integers(200, 600, size=2500)
+        pairs = engines_for([("a", a, a.size), ("b", b, b.size)])
+        union = evaluate_expression("union", pairs)
+
+        merged = FagmsSketch(512, 5, seed=99)
+        merged.update(np.concatenate([a, b]))
+        # Shared seed => shared hash families => direct comparison is valid.
+        assert union.estimate == pytest.approx(
+            merged.second_moment(), rel=1e-9
+        )
+
+    def test_three_stream_union_equals_merged_sketch(self):
+        rng = np.random.default_rng(32)
+        chunks = [rng.integers(0, 300, size=n) for n in (1200, 900, 1500)]
+        pairs = engines_for(
+            [(f"s{i}", keys, keys.size) for i, keys in enumerate(chunks)]
+        )
+        union = evaluate_expression("union", pairs)
+        merged = FagmsSketch(512, 5, seed=99)
+        merged.update(np.concatenate(chunks))
+        assert union.estimate == pytest.approx(
+            merged.second_moment(), rel=1e-9
+        )
+
+    def test_single_row_union_equals_merged_sketch(self):
+        # rows=1 exercises the degenerate combine (no median to hide in).
+        rng = np.random.default_rng(33)
+        a = rng.integers(0, 200, size=1000)
+        b = rng.integers(100, 300, size=800)
+        pairs = engines_for([("a", a, a.size), ("b", b, b.size)], rows=1)
+        union = evaluate_expression("union", pairs)
+        merged = FagmsSketch(512, 1, seed=99)
+        merged.update(np.concatenate([a, b]))
+        assert union.estimate == pytest.approx(
+            merged.second_moment(), rel=1e-9
+        )
+
+
+class TestSetAlgebraOnIndicatorStreams:
+    """Indicator (0/1 frequency) streams make the set semantics exact:
+    intersection is |A ∩ B|, set_union is |A ∪ B|."""
+
+    @staticmethod
+    def indicator_pairs():
+        a = np.arange(0, 600)  # {0..599}
+        b = np.arange(400, 900)  # {400..899}; overlap = 200, union = 900
+        return engines_for(
+            [("a", a, a.size), ("b", b, b.size)], buckets=1024, rows=7
+        )
+
+    def test_intersection_estimates_overlap(self):
+        result = evaluate_expression("intersection", self.indicator_pairs())
+        assert result.estimate == pytest.approx(200.0, rel=0.2)
+        assert result.variance_bound > 0
+
+    def test_set_union_estimates_distinct_count(self):
+        result = evaluate_expression("set_union", self.indicator_pairs())
+        assert result.estimate == pytest.approx(900.0, rel=0.2)
+
+    def test_inclusion_exclusion_consistency(self):
+        # set_union + intersection == F2(A) + F2(B).  The identity is
+        # row-level; with one row the combine is trivial, so it must
+        # hold exactly for the final estimates too.
+        a = np.arange(0, 600)
+        b = np.arange(400, 900)
+        pairs = engines_for(
+            [("a", a, a.size), ("b", b, b.size)], buckets=1024, rows=1
+        )
+        union = evaluate_expression("set_union", pairs).estimate
+        inter = evaluate_expression("intersection", pairs).estimate
+        f2_sum = sum(snap.self_join_size(name) for snap, name in pairs)
+        assert union + inter == pytest.approx(f2_sum, rel=1e-9)
+
+
+class TestPartialScanComposition:
+    def test_expression_uses_unbiased_prefix_terms(self):
+        # Half-scanned streams: each term is WOR-corrected, so the union
+        # should still land near the full-data truth.
+        rng = np.random.default_rng(40)
+        a = rng.integers(0, 400, size=4000)
+        b = rng.integers(200, 600, size=4000)
+        truth = float((np.bincount(np.concatenate([a, b])) ** 2).sum())
+        pairs = []
+        for name, keys in (("a", a), ("b", b)):
+            engine = OnlineStatisticsEngine(buckets=2048, rows=7, seed=3)
+            engine.register(name, keys.size)
+            engine.consume(name, keys[: keys.size // 2])
+            pairs.append((engine.snapshot(), name))
+        result = evaluate_expression("union", pairs)
+        assert result.estimate == pytest.approx(truth, rel=0.25)
+        # Sampling at alpha=0.5 must widen the bound vs. the full scan.
+        full = evaluate_expression(
+            "union", engines_for([("a", a, a.size), ("b", b, b.size)])
+        )
+        assert result.variance_bound > full.variance_bound
+
+
+class TestValidation:
+    def test_unknown_op_raises(self):
+        pairs = engines_for([("a", np.arange(10), 10), ("b", np.arange(10), 10)])
+        with pytest.raises(ConfigurationError):
+            evaluate_expression("xor", pairs)
+
+    def test_arity_is_enforced(self):
+        pairs = engines_for(
+            [(name, np.arange(10), 10) for name in ("a", "b", "c")]
+        )
+        with pytest.raises(ConfigurationError):
+            evaluate_expression("intersection", pairs)
+        with pytest.raises(ConfigurationError):
+            evaluate_expression("union", pairs[:1])
+
+    def test_duplicate_streams_raise(self):
+        pairs = engines_for([("a", np.arange(10), 10)])
+        with pytest.raises(ConfigurationError):
+            evaluate_expression("union", [pairs[0], pairs[0]])
+
+    def test_short_prefix_raises(self):
+        engine = OnlineStatisticsEngine(buckets=64, seed=1)
+        engine.register("a", 10)
+        engine.consume("a", np.array([1]))
+        other = OnlineStatisticsEngine(buckets=64, seed=1)
+        other.register("b", 10)
+        other.consume("b", np.arange(5))
+        with pytest.raises(ConfigurationError):
+            evaluate_expression(
+                "union", [(engine.snapshot(), "a"), (other.snapshot(), "b")]
+            )
+
+    def test_op_table_is_consistent(self):
+        assert set(EXPRESSION_OPS) == {"union", "intersection", "set_union"}
+        for low, high in EXPRESSION_OPS.values():
+            assert low >= 2
+            assert high is None or high >= low

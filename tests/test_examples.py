@@ -77,3 +77,13 @@ def test_distributed_sketching(capsys):
 def test_traffic_drift_monitor(capsys):
     out = _run("traffic_drift_monitor", capsys)
     assert "DRIFT" in out
+
+
+@pytest.mark.slow
+def test_serving_demo(capsys):
+    out = _run("serving_demo", capsys)
+    assert "estimates while the scan is in flight" in out
+    assert "95% CI" in out
+    assert "scanned 100%" in out
+    assert "shed with 429" in out
+    assert "analyst: still served" in out
