@@ -1,0 +1,140 @@
+"""Dataplane overhead baseline: pipeline vs bare StreamRuntime scan.
+
+Writes ``BENCH_dataplane.json``: tuples/second for (a) the bare
+hand-rolled ingest loop (``StreamRuntime.process`` over
+``envelope_stream``, the pre-dataplane idiom), (b) the synchronous
+``Pipeline`` over the same runtime, (c) the threaded pipeline with a
+bounded queue, and (d) a fuller shed -> sketch operator chain.  The gate:
+the synchronous pipeline must sustain at least ``MIN_RELATIVE`` (0.85x)
+of the bare scan's throughput — composability must not tax the hot loop.
+
+Both contenders process identical chunks with identical seeds, so the
+comparison is pure dispatch overhead (the sketch work is shared).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.dataplane import (
+    IterableSource,
+    Pipeline,
+    RuntimeSink,
+    ShedOperator,
+    SketchUpdateOperator,
+)
+from repro.experiments.report import format_table
+from repro.resilience import StreamRuntime, envelope_stream
+from repro.sketches.fagms import FagmsSketch
+
+CHUNKS = 200
+CHUNK_SIZE = 4_096
+DOMAIN = 10_000
+REPS = 5
+MIN_RELATIVE = 0.85
+
+
+def _chunks() -> list:
+    rng = np.random.default_rng(171)
+    return [
+        rng.integers(0, DOMAIN, CHUNK_SIZE, dtype=np.int64)
+        for _ in range(CHUNKS)
+    ]
+
+
+def _runtime() -> StreamRuntime:
+    return StreamRuntime(FagmsSketch(1024, rows=5, seed=172), p=1.0, seed=173)
+
+
+def _best(fn, chunks) -> float:
+    """Best-of-REPS wall-clock seconds for one full scan."""
+    best = float("inf")
+    for _ in range(REPS):
+        started = time.perf_counter()
+        fn(chunks)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _bare_scan(chunks) -> None:
+    runtime = _runtime()
+    for envelope in envelope_stream(chunks):
+        runtime.process(envelope)
+
+
+def _sync_pipeline(chunks) -> None:
+    runtime = _runtime()
+    Pipeline(
+        IterableSource(chunks), sinks=[RuntimeSink(runtime)], queue_depth=0
+    ).run()
+
+
+def _threaded_pipeline(chunks) -> None:
+    runtime = _runtime()
+    Pipeline(
+        IterableSource(chunks), sinks=[RuntimeSink(runtime)], queue_depth=8
+    ).run()
+
+
+def _operator_chain(chunks) -> None:
+    sketch = FagmsSketch(1024, rows=5, seed=172)
+    Pipeline(
+        IterableSource(chunks),
+        ShedOperator(1.0, seed=173),
+        SketchUpdateOperator(sketch),
+        queue_depth=0,
+    ).run()
+
+
+def test_dataplane_throughput(save_result, save_bench):
+    chunks = _chunks()
+    tuples = CHUNKS * CHUNK_SIZE
+    _bare_scan(chunks)  # warm the kernels and allocators once
+
+    scenarios = (
+        ("bare_runtime_scan", _bare_scan),
+        ("pipeline_sync", _sync_pipeline),
+        ("pipeline_threaded", _threaded_pipeline),
+        ("pipeline_shed_sketch", _operator_chain),
+    )
+    seconds = {name: _best(fn, chunks) for name, fn in scenarios}
+    base = seconds["bare_runtime_scan"]
+
+    records = []
+    for name, _ in scenarios:
+        records.append(
+            {
+                "scenario": name,
+                "tuples": tuples,
+                "chunk_size": CHUNK_SIZE,
+                "seconds": round(seconds[name], 4),
+                "tuples_per_second": round(tuples / seconds[name]),
+                "relative_throughput": round(base / seconds[name], 4),
+            }
+        )
+    save_bench("dataplane", records)
+    save_result(
+        "dataplane",
+        format_table(
+            ["scenario", "seconds", "tuples/s", "vs bare"],
+            [
+                [
+                    r["scenario"],
+                    r["seconds"],
+                    r["tuples_per_second"],
+                    r["relative_throughput"],
+                ]
+                for r in records
+            ],
+            title="Dataplane: pipeline throughput vs bare StreamRuntime scan",
+        ),
+    )
+
+    # The gate: composability must cost < 15% on the synchronous path.
+    relative = base / seconds["pipeline_sync"]
+    assert relative >= MIN_RELATIVE, (
+        f"sync pipeline sustained only {relative:.3f}x of the bare scan "
+        f"(gate: {MIN_RELATIVE}x)"
+    )

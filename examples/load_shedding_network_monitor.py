@@ -16,6 +16,11 @@ budget mid-stream — and prints, chunk window by chunk window, how the
 governor sheds into the burst, how the 95% interval widens, and how both
 recover afterwards.
 
+Every scan here runs on the composable dataplane
+(:mod:`repro.dataplane`): sketchers terminate pipelines as sinks, the
+governor is wired into the pipeline, and the burst's simulated cost is
+driven through the shared injectable clock.
+
 Run:  python examples/load_shedding_network_monitor.py
 """
 
@@ -30,6 +35,14 @@ from repro import (
     SheddingSketcher,
     zipf_relation,
 )
+from repro.dataplane import (
+    CallbackSink,
+    IterableSource,
+    MicroBatchSource,
+    Pipeline,
+    SketcherSink,
+)
+from repro.resilience import ManualClock
 
 SEED = 7
 STREAM_TUPLES = 1_000_000
@@ -57,9 +70,13 @@ def fixed_rate_sweep(stream, truth) -> None:
         sketcher = SheddingSketcher(
             FagmsSketch(4_096, seed=SEED + 1), p=rate, seed=SEED + 2
         )
+        pipeline = Pipeline(
+            IterableSource(stream.chunks(CHUNK)),
+            sinks=[SketcherSink(sketcher)],
+            queue_depth=0,
+        )
         start = time.perf_counter()
-        for chunk in stream.chunks(CHUNK):
-            sketcher.process(chunk)
+        pipeline.run()
         elapsed = time.perf_counter() - start
         estimate = sketcher.self_join_size()
         error = abs(estimate - truth) / truth
@@ -68,7 +85,13 @@ def fixed_rate_sweep(stream, truth) -> None:
 
 
 def adaptive_burst_demo(stream, truth) -> None:
-    """Drive the governor through a simulated 6x processing-cost burst."""
+    """Drive the governor through a simulated 6x processing-cost burst.
+
+    The control loop is a governed dataplane pipeline: the sketcher is
+    the sink the governor retunes, and the burst's synthetic per-tuple
+    cost is injected by advancing a :class:`ManualClock` from a trailing
+    callback sink — the pipeline then "measures" exactly that cost.
+    """
     sketcher = AdaptiveSheddingSketcher(
         FagmsSketch(4_096, seed=SEED + 5), 1.0, seed=SEED + 6
     )
@@ -82,23 +105,32 @@ def adaptive_burst_demo(stream, truth) -> None:
     print(f"{'chunk':>6}  {'phase':>6}  {'rate':>7}  {'kept':>7}  "
           f"{'estimate':>14}  {'95% interval half-width':>24}")
     report_every = max(1, len(chunks) // 12)
-    for index, chunk in enumerate(chunks):
+    clock = ManualClock()
+    sketch_sink = SketcherSink(sketcher)
+
+    def tick(envelope) -> None:
         # Simulated per-kept-tuple cost: the "burst" models a colocated
         # job stealing cycles, so sketching the same tuple costs 6x.
+        index = envelope.sequence
         cost_per_kept = 6 * BUDGET_PER_TUPLE if index in burst else (
             BUDGET_PER_TUPLE / 3
         )
-        kept = sketcher.process(chunk)
-        elapsed = kept * cost_per_kept
-        proposal = governor.propose(sketcher.rate, kept, elapsed)
-        if proposal is not None:
-            sketcher.set_rate(proposal)
+        kept = sketch_sink.last_kept
+        clock.advance(kept * cost_per_kept)
         if index % report_every == 0 or index == len(chunks) - 1:
             interval = sketcher.self_join_interval(0.95)
             phase = "BURST" if index in burst else "calm"
             print(f"{index:>6}  {phase:>6}  {sketcher.rate:>7.3f}  {kept:>7,}  "
                   f"{sketcher.self_join_size():>14,.0f}  "
                   f"{interval.half_width:>24,.0f}")
+
+    Pipeline(
+        IterableSource(chunks),
+        sinks=[sketch_sink, CallbackSink(tick)],
+        governor=governor,
+        clock=clock,
+        queue_depth=0,
+    ).run()
     final = sketcher.self_join_interval(0.95)
     error = abs(sketcher.self_join_size() - truth) / truth
     print(f"final estimate after burst: rel.error {error:.2%}, "
@@ -116,11 +148,17 @@ def ddos_check(stream) -> None:
         stream.keys,
     )
     attacked = SheddingSketcher(FagmsSketch(4_096, seed=SEED + 4), p=0.01, seed=SEED)
-    for start_index in range(0, STREAM_TUPLES, CHUNK):
-        attacked.process(attack_keys[start_index : start_index + CHUNK])
+    Pipeline(
+        MicroBatchSource([attack_keys], CHUNK),
+        sinks=[SketcherSink(attacked)],
+        queue_depth=0,
+    ).run()
     baseline = SheddingSketcher(FagmsSketch(4_096, seed=SEED + 4), p=0.01, seed=SEED)
-    for chunk in stream.chunks(CHUNK):
-        baseline.process(chunk)
+    Pipeline(
+        IterableSource(stream.chunks(CHUNK)),
+        sinks=[SketcherSink(baseline)],
+        queue_depth=0,
+    ).run()
     ratio = attacked.self_join_size() / baseline.self_join_size()
     print(f"\nDDoS check at 1% shedding: F2(attacked)/F2(normal) = {ratio:.1f}x"
           f"  ->  {'ALERT' if ratio > 2 else 'ok'}")

@@ -12,16 +12,23 @@ This is the paper's online-aggregation story (estimates of provable
 quality at any point of the scan) lifted into a multi-tenant service:
 ingestion never blocks on queries, queries never see a torn update.
 
+Ingestion runs as dataplane pipelines — a paced
+:class:`~repro.dataplane.IterableSource` feeding a
+:class:`~repro.dataplane.RegistrySink` over a bounded queue, with a
+final snapshot rotation on flush — instead of hand-rolled scan threads.
+
 Run:  python examples/serving_demo.py
 """
 
 import json
+import threading
 import time
 import urllib.error
 import urllib.request
 
 import numpy as np
 
+from repro.dataplane import IterableSource, Pipeline, RegistrySink
 from repro.serving import (
     AdmissionController,
     RotationPolicy,
@@ -77,13 +84,25 @@ def main() -> None:
             time.sleep(0.005)  # slow the scan so mid-flight queries land
             yield chunk
 
+    def ingest_pipeline(name, chunks) -> threading.Thread:
+        pipeline = Pipeline(
+            IterableSource(paced(chunks)),
+            sinks=[RegistrySink(registry, name)],
+            queue_depth=4,
+        )
+        thread = threading.Thread(
+            target=pipeline.run, name=f"ingest-{name}", daemon=True
+        )
+        thread.start()
+        return thread
+
     with serve_in_thread(registry, admission=admission) as handle:
         print(f"query service on {handle.url}, scanning "
               f"{LINEITEM_TUPLES:,} lineitem + {ORDERS_TUPLES:,} orders tuples")
-        registry.start_ingest(
-            "lineitem", paced(np.array_split(lineitem, CHUNKS))
-        )
-        registry.start_ingest("orders", paced(np.array_split(orders, CHUNKS)))
+        scans = [
+            ingest_pipeline("lineitem", np.array_split(lineitem, CHUNKS)),
+            ingest_pipeline("orders", np.array_split(orders, CHUNKS)),
+        ]
 
         print("\nestimates while the scan is in flight:")
         for _ in range(3):
@@ -93,7 +112,8 @@ def main() -> None:
             )
             show("self-join(lineitem)", answer)
 
-        registry.wait_ingest()
+        for scan in scans:
+            scan.join()
         print("\nestimates at the end of the scan:")
         show(
             "self-join(lineitem)",

@@ -11,6 +11,12 @@ The scenario: stable traffic for several windows, then a key-distribution
 shift (e.g. a cache-busting deployment or a scanning attack).  The drift
 metric drops sharply at the shifted window while staying near 1 elsewhere.
 
+The scan runs on the composable dataplane: a
+:class:`~repro.dataplane.MicroBatchSource` re-chunks the raw traffic
+array into fixed micro-batches (the window sketcher's results are
+chunking-invariant — the shedder's skip-ahead state carries across
+batch boundaries) and a callback sink feeds the window monitor.
+
 Run:  python examples/traffic_drift_monitor.py
 """
 
@@ -18,6 +24,7 @@ import numpy as np
 
 from repro import zipf_relation
 from repro.core.windows import TumblingWindowSketcher, window_join_size
+from repro.dataplane import CallbackSink, MicroBatchSource, Pipeline
 
 SEED = 71
 WINDOW = 50_000
@@ -50,20 +57,28 @@ def main() -> None:
           f"(sketching only {SHED_P:.0%} of each)\n")
     print(f"{'window':>6}  {'F2 estimate':>14}  {'similarity to prev':>18}")
 
-    previous = None
-    for chunk in np.array_split(traffic, 24):
-        for summary in monitor.process(chunk):
+    windows: list = []  # closed windows so far; [-1] is the previous one
+
+    def watch(envelope) -> None:
+        for summary in monitor.process(np.asarray(envelope.keys)):
             f2 = summary.self_join_size()
-            if previous is None:
+            if not windows:
                 similarity_text = "-"
             else:
+                previous = windows[-1]
                 similarity = window_join_size(previous, summary) / np.sqrt(
                     max(previous.self_join_size(), 1.0) * max(f2, 1.0)
                 )
                 flag = "  << DRIFT" if similarity < 0.5 else ""
                 similarity_text = f"{similarity:.3f}{flag}"
             print(f"{summary.index:>6}  {f2:>14,.0f}  {similarity_text:>18}")
-            previous = summary
+            windows.append(summary)
+
+    Pipeline(
+        MicroBatchSource([traffic], WINDOW // 8),
+        sinks=[CallbackSink(watch)],
+        queue_depth=4,
+    ).run()
 
     print("\nWindow 4 is the injected key-space shift: its similarity to "
           "window 3 collapses, and window 5's similarity to window 4 is "

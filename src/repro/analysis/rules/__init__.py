@@ -14,6 +14,7 @@ from .determinism import DeterminismRule
 from .dtype_safety import DtypeSafetyRule
 from .estimator_contract import EstimatorContractRule
 from .float_equality import FloatEqualityRule
+from .ingest_discipline import IngestDisciplineRule
 from .kernel_seam import KernelSeamRule
 from .naming import MetricNameRule
 from .observer_propagation import ObserverPropagationRule
@@ -28,6 +29,7 @@ __all__ = [
     "DtypeSafetyRule",
     "EstimatorContractRule",
     "FloatEqualityRule",
+    "IngestDisciplineRule",
     "KernelSeamRule",
     "MetricNameRule",
     "ObserverPropagationRule",

@@ -1,0 +1,89 @@
+"""Composable dataplane: sources → operators → sinks with backpressure.
+
+One scan loop for every workload (ROADMAP item 5).  Build a
+:class:`Pipeline` from pluggable stages instead of hand-rolling ingest::
+
+    from repro.dataplane import FileSource, Pipeline, ShedOperator, SketcherSink
+
+    pipeline = Pipeline(
+        FileSource("stream.rprs", chunk_size=8192),
+        ShedOperator(p=0.25, seed=7),
+        sinks=[SketcherSink(sketcher)],
+        governor=LoadGovernor(2e-6),
+        observer=observer,
+    )
+    result = pipeline.run()
+
+Every stage rides the library's existing seams — sealed
+:class:`~repro.resilience.runtime.ChunkEnvelope` cursors (exactly-once),
+:class:`~repro.resilience.chaos.ChaosInjector` fault points at the
+delivery boundary, ``observer=`` spans/metrics under ``dataplane.*`` —
+and a file-backed pipeline is bit-identical to the equivalent
+:func:`~repro.engine.scan.run_lockstep_scan`.  See ``docs/DATAPLANE.md``.
+"""
+
+from .operators import (
+    EngineOperator,
+    FilterOperator,
+    KeyPartitionOperator,
+    MapOperator,
+    Operator,
+    ShedOperator,
+    SketchUpdateOperator,
+    TeeOperator,
+)
+from .pipeline import Branch, Pipeline, PipelineResult
+from .queue import CLOSED, BoundedQueue, QueueAborted
+from .sinks import (
+    CallbackSink,
+    CheckpointSink,
+    CollectSink,
+    ObserverExportSink,
+    RegistrySink,
+    RuntimeSink,
+    Sink,
+    SketcherSink,
+    flush_all,
+)
+from .sources import (
+    FileSource,
+    IterableSource,
+    MicroBatchSource,
+    SocketSource,
+    Source,
+    UnionSource,
+    send_frames,
+)
+
+__all__ = [
+    "Branch",
+    "Pipeline",
+    "PipelineResult",
+    "BoundedQueue",
+    "CLOSED",
+    "QueueAborted",
+    "Operator",
+    "EngineOperator",
+    "FilterOperator",
+    "KeyPartitionOperator",
+    "MapOperator",
+    "ShedOperator",
+    "SketchUpdateOperator",
+    "TeeOperator",
+    "Sink",
+    "CallbackSink",
+    "CheckpointSink",
+    "CollectSink",
+    "ObserverExportSink",
+    "RegistrySink",
+    "RuntimeSink",
+    "SketcherSink",
+    "flush_all",
+    "Source",
+    "FileSource",
+    "IterableSource",
+    "MicroBatchSource",
+    "SocketSource",
+    "UnionSource",
+    "send_frames",
+]

@@ -1,0 +1,175 @@
+"""Bounded hand-off queue: the dataplane's backpressure primitive.
+
+A :class:`BoundedQueue` sits between a pipeline's producer thread (the
+source) and its consumer loop (operators + sinks).  The bound is the
+whole point: when the consumer falls behind, :meth:`BoundedQueue.put`
+blocks the producer instead of buffering without limit, so a slow sink
+propagates backpressure all the way to the source and memory stays
+``O(capacity)`` regardless of stream length.
+
+Wait times on both sides are folded into
+:class:`~repro.resilience.clock.Ewma` trackers through an injectable
+:data:`~repro.resilience.clock.Clock`, giving the
+:class:`~repro.resilience.governor.LoadGovernor` (and the operator) a
+congestion signal without any ambient timing of its own.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..resilience.clock import DEFAULT_CLOCK, Clock, Ewma
+
+__all__ = ["CLOSED", "BoundedQueue", "QueueAborted"]
+
+
+class QueueAborted(RuntimeError):
+    """Raised to a blocked producer when the consumer side tears down.
+
+    Deliberately not a :class:`~repro.errors.ReproError`: it is internal
+    flow control (the consumer already holds the real failure) and must
+    never be caught as a typed pipeline error.
+    """
+
+
+class _Closed:
+    """Sentinel type for :data:`CLOSED` (singleton, falsy repr aid)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<queue closed>"
+
+
+#: Returned by :meth:`BoundedQueue.get` once the queue is closed and drained.
+CLOSED = _Closed()
+
+
+class BoundedQueue:
+    """A blocking FIFO with a hard capacity and wait-time accounting.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum items buffered; ``put`` blocks at this depth.
+    clock:
+        Shared monotonic timer for wait accounting (injectable for
+        deterministic tests).
+    smoothing:
+        EWMA weight for the put/get wait trackers.
+    """
+
+    __slots__ = (
+        "capacity",
+        "clock",
+        "put_wait",
+        "get_wait",
+        "high_watermark",
+        "_items",
+        "_lock",
+        "_not_full",
+        "_not_empty",
+        "_closed",
+        "_aborted",
+    )
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        clock: Clock = DEFAULT_CLOCK,
+        smoothing: float = 0.5,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.clock = clock
+        #: EWMA of seconds producers spent blocked in :meth:`put`.
+        self.put_wait = Ewma(smoothing)
+        #: EWMA of seconds the consumer spent blocked in :meth:`get`.
+        self.get_wait = Ewma(smoothing)
+        #: Deepest the queue ever got (bounded by *capacity* by design).
+        self.high_watermark = 0
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self._aborted = False
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        """Items currently buffered."""
+        return len(self._items)
+
+    def put(self, item) -> None:
+        """Append *item*, blocking while the queue is at capacity.
+
+        Raises :class:`QueueAborted` if the consumer tore the queue down
+        (the producer should simply exit), and
+        :class:`~repro.errors.ConfigurationError` on a closed queue
+        (a programming error, not flow control).
+        """
+        started = self.clock()
+        with self._not_full:
+            while len(self._items) >= self.capacity and not self._aborted:
+                self._not_full.wait()
+            if self._aborted:
+                raise QueueAborted("queue torn down by the consumer")
+            if self._closed:
+                raise ConfigurationError("put() on a closed queue")
+            self._items.append(item)
+            depth = len(self._items)
+            if depth > self.high_watermark:
+                self.high_watermark = depth
+            self._not_empty.notify()
+        self.put_wait.update(self.clock() - started)
+
+    def get(self):
+        """Pop the oldest item, blocking while empty.
+
+        Returns :data:`CLOSED` once the queue is closed *and* drained.
+        """
+        started = self.clock()
+        with self._not_empty:
+            while not self._items and not (self._closed or self._aborted):
+                self._not_empty.wait()
+            if not self._items:
+                return CLOSED
+            item = self._items.popleft()
+            self._not_full.notify()
+        self.get_wait.update(self.clock() - started)
+        return item
+
+    def close(self) -> None:
+        """Producer-side end-of-stream: no more puts; getters drain then
+        receive :data:`CLOSED`."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def abort(self) -> None:
+        """Consumer-side teardown: wake and fail any blocked producer.
+
+        Buffered items are dropped; subsequent :meth:`get` calls return
+        :data:`CLOSED` immediately.
+        """
+        with self._lock:
+            self._aborted = True
+            self._items.clear()
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundedQueue(capacity={self.capacity}, depth={self.depth}, "
+            f"high_watermark={self.high_watermark}, closed={self._closed})"
+        )

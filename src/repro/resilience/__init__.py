@@ -22,6 +22,7 @@ This package hardens the reproduction for long-running deployments:
 """
 
 from .adaptive import AdaptiveSheddingSketcher, averaged_estimator_count
+from .clock import DEFAULT_CLOCK, Clock, Ewma, ManualClock
 from .chaos import (
     ChaosInjector,
     ChaosShardWorker,
@@ -44,12 +45,22 @@ from .distributed import (
 )
 from .governor import LoadGovernor
 from .hardening import InputHardener, retrying_read_stream
-from .runtime import ChunkEnvelope, StreamRuntime, envelope_stream, make_envelope
+from .runtime import (
+    ChunkEnvelope,
+    StreamRuntime,
+    envelope_stream,
+    make_envelope,
+    verify_payload,
+)
 from .schedule import RateSchedule, RateSegment
 
 __all__ = [
     "AdaptiveSheddingSketcher",
     "averaged_estimator_count",
+    "Clock",
+    "DEFAULT_CLOCK",
+    "Ewma",
+    "ManualClock",
     "BackoffPolicy",
     "BackoffSchedule",
     "ChaosInjector",
@@ -75,6 +86,7 @@ __all__ = [
     "StreamRuntime",
     "envelope_stream",
     "make_envelope",
+    "verify_payload",
     "RateSchedule",
     "RateSegment",
 ]

@@ -1,0 +1,120 @@
+"""Shared injectable-clock protocol and the EWMA it feeds.
+
+Every timed component of the resilience stack — the
+:class:`~repro.resilience.governor.LoadGovernor` cost model, the
+:class:`~repro.resilience.runtime.StreamRuntime` chunk timer, and the
+dataplane's queue-wait tracking — used to carry its own
+``clock: Callable[[], float] = time.perf_counter`` plumbing.  This module
+is the one definition they all share now:
+
+* :data:`Clock` — the protocol: any zero-argument callable returning
+  monotonically non-decreasing seconds;
+* :data:`DEFAULT_CLOCK` — the production clock
+  (:func:`time.perf_counter`);
+* :class:`ManualClock` — a deterministic test clock advanced explicitly;
+* :class:`Ewma` — the exponentially-weighted moving average both the
+  governor's per-tuple cost model and the dataplane's queue-wait
+  tracker are built on (one smoothing semantic, one serialized form).
+
+Nothing here reads wall-clock time by itself: time only enters through
+whichever :data:`Clock` the caller injects, which is what keeps every
+timed test in the repository deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = ["Clock", "DEFAULT_CLOCK", "Ewma", "ManualClock"]
+
+#: The clock protocol: a zero-argument callable returning seconds from a
+#: monotonic origin.  Injectable everywhere a component measures time.
+Clock = Callable[[], float]
+
+#: The production clock shared by every timed component.
+DEFAULT_CLOCK: Clock = time.perf_counter
+
+
+class ManualClock:
+    """A :data:`Clock` that only moves when the test advances it.
+
+    Usage::
+
+        clock = ManualClock()
+        governor = LoadGovernor(1e-6, clock=clock)
+        clock.advance(0.25)   # exactly 250 ms pass, deterministically
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        """The current reading (seconds)."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward; returns the new reading."""
+        if seconds < 0:
+            raise ConfigurationError(
+                f"a monotonic clock cannot go backwards; got advance({seconds})"
+            )
+        self._now += float(seconds)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"ManualClock(now={self._now})"
+
+
+class Ewma:
+    """Exponentially-weighted moving average with a fixed smoothing weight.
+
+    ``value`` is ``None`` until the first observation (no made-up priors);
+    afterwards each :meth:`update` folds the newest observation in with
+    weight *smoothing*.  The same class backs the governor's per-tuple
+    cost model and the dataplane's queue-wait tracking, so both share one
+    smoothing semantic and one ``state()``/``restore()`` form.
+    """
+
+    __slots__ = ("smoothing", "_value")
+
+    def __init__(self, smoothing: float = 0.5, value: Optional[float] = None) -> None:
+        if not 0 < smoothing <= 1:
+            raise ConfigurationError(
+                f"smoothing must be in (0, 1], got {smoothing}"
+            )
+        self.smoothing = float(smoothing)
+        self._value: Optional[float] = None if value is None else float(value)
+
+    @property
+    def value(self) -> Optional[float]:
+        """The current average (``None`` before any observation)."""
+        return self._value
+
+    def update(self, observed: float) -> float:
+        """Fold one observation in; returns the new average."""
+        if self._value is None:
+            self._value = float(observed)
+        else:
+            self._value += self.smoothing * (float(observed) - self._value)
+        return self._value
+
+    def reset(self) -> None:
+        """Forget every observation (back to the no-prior state)."""
+        self._value = None
+
+    def state(self) -> dict:
+        """JSON-serializable snapshot (the average; smoothing is config)."""
+        return {"value": self._value}
+
+    def restore(self, state: dict) -> None:
+        """Restore the average from a :meth:`state` snapshot."""
+        value = state.get("value")
+        self._value = None if value is None else float(value)
+
+    def __repr__(self) -> str:
+        return f"Ewma(smoothing={self.smoothing}, value={self._value})"

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..errors import ConfigurationError
+from .clock import DEFAULT_CLOCK, Clock, Ewma
 
 __all__ = ["LoadGovernor"]
 
@@ -55,6 +56,11 @@ class LoadGovernor:
     deadband:
         Minimum relative change worth acting on; smaller proposals are
         suppressed to avoid segment churn.
+    clock:
+        Shared :data:`~repro.resilience.clock.Clock` for callers that
+        time chunks through the governor (:meth:`measure`); injectable
+        for deterministic tests, defaults to the library-wide
+        :data:`~repro.resilience.clock.DEFAULT_CLOCK`.
     """
 
     __slots__ = (
@@ -62,9 +68,9 @@ class LoadGovernor:
         "p_min",
         "p_max",
         "headroom",
-        "smoothing",
         "growth_limit",
         "deadband",
+        "clock",
         "_cost",
     )
 
@@ -78,6 +84,7 @@ class LoadGovernor:
         smoothing: float = 0.5,
         growth_limit: float = 2.0,
         deadband: float = 0.1,
+        clock: Clock = DEFAULT_CLOCK,
     ) -> None:
         if budget_per_tuple <= 0:
             raise ConfigurationError(
@@ -101,17 +108,22 @@ class LoadGovernor:
         self.p_min = float(p_min)
         self.p_max = float(p_max)
         self.headroom = float(headroom)
-        self.smoothing = float(smoothing)
         self.growth_limit = float(growth_limit)
         self.deadband = float(deadband)
-        self._cost: Optional[float] = None
+        self.clock = clock
+        self._cost = Ewma(smoothing)
 
     # ------------------------------------------------------------------
 
     @property
+    def smoothing(self) -> float:
+        """EWMA weight of the newest per-kept-tuple cost observation."""
+        return self._cost.smoothing
+
+    @property
     def cost_estimate(self) -> Optional[float]:
         """Current EWMA estimate of the per-kept-tuple cost (seconds)."""
-        return self._cost
+        return self._cost.value
 
     def observe(self, kept: int, elapsed: float) -> None:
         """Fold one chunk's measured processing cost into the cost model.
@@ -123,11 +135,7 @@ class LoadGovernor:
             raise ConfigurationError(f"elapsed must be >= 0, got {elapsed}")
         if kept < 1:
             return
-        observed = elapsed / kept
-        if self._cost is None:
-            self._cost = observed
-        else:
-            self._cost += self.smoothing * (observed - self._cost)
+        self._cost.update(elapsed / kept)
 
     def propose(self, current_p: float, kept: int, elapsed: float) -> Optional[float]:
         """Observe one chunk and propose the next keep-probability.
@@ -144,9 +152,10 @@ class LoadGovernor:
                 f"current_p must be in (0, 1], got {current_p}"
             )
         self.observe(kept, elapsed)
-        if self._cost is None or self._cost <= 0:
+        cost = self._cost.value
+        if cost is None or cost <= 0:
             return None
-        target = self.headroom * self.budget_per_tuple / self._cost
+        target = self.headroom * self.budget_per_tuple / cost
         target = min(target, current_p * self.growth_limit, self.p_max)
         target = max(target, self.p_min)
         if abs(target - current_p) <= self.deadband * current_p:
@@ -157,15 +166,15 @@ class LoadGovernor:
 
     def state(self) -> dict:
         """JSON-serializable controller state (the learned cost model)."""
-        return {"cost": self._cost}
+        return {"cost": self._cost.value}
 
     def restore(self, state: dict) -> None:
         """Restore the learned cost model from a :meth:`state` snapshot."""
-        cost = state.get("cost")
-        self._cost = None if cost is None else float(cost)
+        self._cost.restore({"value": state.get("cost")})
 
     def __repr__(self) -> str:
+        cost = self._cost.value
         return (
             f"LoadGovernor(budget_per_tuple={self.budget_per_tuple:.3g}, "
-            f"cost_estimate={self._cost if self._cost is None else round(self._cost, 9)})"
+            f"cost_estimate={cost if cost is None else round(cost, 9)})"
         )

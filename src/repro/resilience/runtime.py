@@ -27,7 +27,6 @@ resilience stack:
 
 from __future__ import annotations
 
-import time
 import zlib
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional
@@ -42,10 +41,17 @@ from ..sketches.base import Sketch
 from ..sketches.serialization import build_sketch, expected_state_shape, sketch_header
 from .adaptive import AdaptiveSheddingSketcher
 from .checkpoint import CheckpointManager
+from .clock import DEFAULT_CLOCK, Clock
 from .governor import LoadGovernor
 from .hardening import InputHardener
 
-__all__ = ["ChunkEnvelope", "StreamRuntime", "envelope_stream", "make_envelope"]
+__all__ = [
+    "ChunkEnvelope",
+    "StreamRuntime",
+    "envelope_stream",
+    "make_envelope",
+    "verify_payload",
+]
 
 
 @dataclass(frozen=True)
@@ -77,6 +83,36 @@ def envelope_stream(chunks: Iterable, start: int = 0) -> Iterator[ChunkEnvelope]
     for chunk in chunks:
         yield make_envelope(sequence, chunk)
         sequence += 1
+
+
+def verify_payload(
+    envelope: ChunkEnvelope,
+    on_reject: Optional[Callable[[str], None]] = None,
+) -> np.ndarray:
+    """Check an envelope's payload against its declared count and CRC32.
+
+    Returns the verified keys array.  A truncated or bit-flipped payload
+    raises :class:`~repro.errors.StreamIntegrityError`; *on_reject*, when
+    given, is called first with the rejection reason (``"truncated"`` or
+    ``"crc"``) so callers can account the failure under their own metric
+    names.  Shared by :meth:`StreamRuntime.process` and the dataplane's
+    head-of-pipeline cursor.
+    """
+    keys = np.asarray(envelope.keys)
+    if int(keys.size) != envelope.count:
+        if on_reject is not None:
+            on_reject("truncated")
+        raise StreamIntegrityError(
+            f"chunk {envelope.sequence} truncated: declared "
+            f"{envelope.count} tuples, received {keys.size}"
+        )
+    if zlib.crc32(np.ascontiguousarray(keys).tobytes()) != envelope.crc32:
+        if on_reject is not None:
+            on_reject("crc")
+        raise StreamIntegrityError(
+            f"chunk {envelope.sequence} failed its CRC32 payload check"
+        )
+    return keys
 
 
 class StreamRuntime:
@@ -138,7 +174,7 @@ class StreamRuntime:
         keep_checkpoints: int = 2,
         governor: Optional[LoadGovernor] = None,
         hardener: Optional[InputHardener] = None,
-        clock: Callable[[], float] = time.perf_counter,
+        clock: Clock = DEFAULT_CLOCK,
         observer: Optional[Observer] = None,
     ) -> None:
         if checkpoint_every < 1:
@@ -194,18 +230,10 @@ class StreamRuntime:
                 f"stream gap: expected chunk {self.position}, "
                 f"received chunk {envelope.sequence}"
             )
-        keys = np.asarray(envelope.keys)
-        if int(keys.size) != envelope.count:
-            obs.counter("runtime.chunks.rejected", reason="truncated").inc()
-            raise StreamIntegrityError(
-                f"chunk {envelope.sequence} truncated: declared "
-                f"{envelope.count} tuples, received {keys.size}"
-            )
-        if zlib.crc32(np.ascontiguousarray(keys).tobytes()) != envelope.crc32:
-            obs.counter("runtime.chunks.rejected", reason="crc").inc()
-            raise StreamIntegrityError(
-                f"chunk {envelope.sequence} failed its CRC32 payload check"
-            )
+        keys = verify_payload(
+            envelope,
+            lambda reason: obs.counter("runtime.chunks.rejected", reason=reason).inc(),
+        )
         if self.hardener is not None:
             keys = self.hardener.sanitize(keys)
         with obs.span("runtime.chunk", sequence=envelope.sequence):
@@ -241,19 +269,22 @@ class StreamRuntime:
         chunks; raw chunks are sealed on the fly with sequence numbers
         starting at 0, so re-running the same raw stream after a recovery
         naturally skips the already-applied prefix.
+
+        Since the dataplane landed this is a one-stage
+        :class:`~repro.dataplane.Pipeline` (synchronous mode: no queue,
+        no threads) delivering into the runtime's own cursor — the same
+        loop every composed pipeline uses.
         """
-        kept_total = 0
-        raw_sequence = 0
-        for item in stream:
-            if isinstance(item, ChunkEnvelope):
-                envelope = item
-            else:
-                envelope = make_envelope(raw_sequence, item)
-            raw_sequence = envelope.sequence + 1
-            kept_total += self.process(envelope)
+        # Local import: repro.dataplane builds on this module.
+        from ..dataplane import IterableSource, Pipeline, RuntimeSink
+
+        sink = RuntimeSink(self)
+        Pipeline(
+            IterableSource(stream), sinks=[sink], queue_depth=0, clock=self.clock
+        ).run()
         if self._manager is not None and self.position % self.checkpoint_every != 0:
             self.checkpoint()
-        return kept_total
+        return sink.kept
 
     # ------------------------------------------------------------------
     # Estimates (delegated)
@@ -316,7 +347,7 @@ class StreamRuntime:
         keep_checkpoints: int = 2,
         governor: Optional[LoadGovernor] = None,
         hardener: Optional[InputHardener] = None,
-        clock: Callable[[], float] = time.perf_counter,
+        clock: Clock = DEFAULT_CLOCK,
         strict: bool = False,
         observer: Optional[Observer] = None,
     ) -> "StreamRuntime":

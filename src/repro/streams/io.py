@@ -7,6 +7,9 @@ need:
 * :func:`write_stream` — append key chunks to a binary stream file;
 * :func:`read_stream` — iterate a stream file in bounded-memory chunks
   (the shape every consumer in this library accepts);
+* :func:`iter_chunks` — the reusable chunker behind :func:`read_stream`,
+  with an explicit cursor (``start``/``limit``) so dataplane sources can
+  resume or re-chunk a file without re-reading from offset 0;
 * :func:`stream_to_relation` — materialize a (small enough) stream file.
 
 Format: a tiny fixed header (magic, version, domain size) followed by raw
@@ -25,7 +28,13 @@ import numpy as np
 from ..errors import ConfigurationError, DomainError
 from .base import Relation
 
-__all__ = ["write_stream", "read_stream", "stream_to_relation", "stream_length"]
+__all__ = [
+    "write_stream",
+    "read_stream",
+    "iter_chunks",
+    "stream_to_relation",
+    "stream_length",
+]
 
 _MAGIC = b"RPRS"
 _VERSION = 1
@@ -103,6 +112,51 @@ def stream_length(path: PathLike) -> int:
     return payload // 8
 
 
+def _validate_chunk_size(chunk_size: int) -> None:
+    """Reject non-positive chunk sizes with an explicit error."""
+    if chunk_size <= 0:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+
+
+def iter_chunks(
+    path: PathLike,
+    chunk_size: int = 65_536,
+    *,
+    start: int = 0,
+    limit: Optional[int] = None,
+) -> Iterator[np.ndarray]:
+    """Iterate a window of a stream file's keys in bounded-memory chunks.
+
+    The reusable chunker behind :func:`read_stream`: *start* skips the
+    first *start* tuples with an ``O(1)`` seek (no re-read of the prefix)
+    and *limit*, when given, caps the total tuples yielded — together
+    they let a source re-chunk any slice of a file, e.g. to resume a
+    recovered scan from its checkpointed cursor or to fan a file out to
+    range-partitioned readers.
+    """
+    _validate_chunk_size(chunk_size)
+    if start < 0:
+        raise ConfigurationError(f"start must be >= 0, got {start}")
+    if limit is not None and limit < 0:
+        raise ConfigurationError(f"limit must be >= 0, got {limit}")
+    path = Path(path)
+    _read_header(path)
+    remaining = limit
+    with path.open("rb") as handle:
+        handle.seek(_HEADER.size + 8 * start)
+        while remaining is None or remaining > 0:
+            request = chunk_size if remaining is None else min(chunk_size, remaining)
+            raw = handle.read(8 * request)
+            if not raw:
+                return
+            if len(raw) % 8:
+                raise ConfigurationError(f"{path} has a truncated key section")
+            keys = np.frombuffer(raw, dtype="<i8").astype(np.int64)
+            if remaining is not None:
+                remaining -= keys.size
+            yield keys
+
+
 def read_stream(
     path: PathLike, chunk_size: int = 65_536, *, start: int = 0
 ) -> Iterator[np.ndarray]:
@@ -114,22 +168,10 @@ def read_stream(
     *start* skips the first *start* tuples (an ``O(1)`` seek) — the hook
     that lets a recovered run resume a file-backed scan from its
     checkpointed stream cursor instead of re-reading the prefix.
+    Delegates to :func:`iter_chunks`, which additionally supports a
+    ``limit``.
     """
-    if chunk_size < 1:
-        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
-    if start < 0:
-        raise ConfigurationError(f"start must be >= 0, got {start}")
-    path = Path(path)
-    _read_header(path)
-    with path.open("rb") as handle:
-        handle.seek(_HEADER.size + 8 * start)
-        while True:
-            raw = handle.read(8 * chunk_size)
-            if not raw:
-                return
-            if len(raw) % 8:
-                raise ConfigurationError(f"{path} has a truncated key section")
-            yield np.frombuffer(raw, dtype="<i8").astype(np.int64)
+    return iter_chunks(path, chunk_size, start=start)
 
 
 def stream_domain_size(path: PathLike) -> int:

@@ -1,0 +1,26 @@
+"""REP013 fixture twin: the same shapes written on the dataplane."""
+
+import queue
+
+from repro.dataplane import FileSource, Pipeline, SketcherSink
+from repro.streams.io import read_stream
+
+
+def build_handoff():
+    # Bounded: backpressure reaches the producer at depth 8.
+    return queue.Queue(maxsize=8)
+
+
+def scan_file(path, sketcher):
+    # The sanctioned loop: a composed pipeline, not a hand-rolled scan.
+    pipeline = Pipeline(
+        FileSource(path, 4096), sinks=[SketcherSink(sketcher)]
+    )
+    return pipeline.run()
+
+
+def reseal_chunks(path):
+    # Iterating a source to *transform* it is fine; only terminating the
+    # stream in a consumer is the dataplane's job.
+    for chunk in read_stream(path, 4096):
+        yield chunk.copy()

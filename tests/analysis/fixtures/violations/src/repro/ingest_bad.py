@@ -1,0 +1,29 @@
+"""REP013 fixture: unbounded buffering and hand-rolled ingest loops."""
+
+import queue
+
+from repro.streams.io import read_stream
+
+
+def build_handoff():
+    # Unbounded: the default maxsize=0 buffers the whole stream.
+    return queue.Queue()
+
+
+def build_explicit_zero():
+    return queue.Queue(maxsize=0)  # still unbounded
+
+
+def build_simple():
+    return queue.SimpleQueue()  # can never be bounded
+
+
+def scan_file_by_hand(path, sketcher):
+    # A Pipeline written by hand: source straight into a consumer.
+    for chunk in read_stream(path, 4096):
+        sketcher.process(chunk)
+
+
+def scan_relation_by_hand(relation, engine):
+    for chunk in relation.chunks(8192):
+        engine.consume("flows", chunk)

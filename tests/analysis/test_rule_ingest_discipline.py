@@ -1,0 +1,190 @@
+"""REP013 — bounded buffering, ingest through the dataplane."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import AnalysisConfig, analyze_paths
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _fixture_findings(tree: str):
+    result = analyze_paths(
+        ["src"], root=FIXTURES / tree, config=AnalysisConfig(), select={"REP013"}
+    )
+    return result.findings
+
+
+class TestUnboundedQueues:
+    def test_default_queue_fires(self, run_rule):
+        findings = run_rule(
+            """
+            import queue
+
+            def handoff():
+                return queue.Queue()
+            """,
+            "REP013",
+        )
+        assert len(findings) == 1
+        assert "unbounded queue.Queue()" in findings[0].message
+        assert "BoundedQueue" in findings[0].message
+
+    def test_explicit_zero_maxsize_fires(self, run_rule):
+        findings = run_rule(
+            """
+            from queue import Queue
+
+            def handoff():
+                return Queue(maxsize=0)
+            """,
+            "REP013",
+        )
+        assert len(findings) == 1
+
+    def test_negative_positional_maxsize_fires(self, run_rule):
+        findings = run_rule(
+            """
+            import queue
+
+            def handoff():
+                return queue.Queue(-1)
+            """,
+            "REP013",
+        )
+        assert len(findings) == 1
+
+    def test_simple_queue_always_fires(self, run_rule):
+        findings = run_rule(
+            """
+            import queue
+
+            def handoff():
+                return queue.SimpleQueue()
+            """,
+            "REP013",
+        )
+        assert len(findings) == 1
+        assert "never be bounded" in findings[0].message
+
+    def test_positive_maxsize_passes(self, run_rule):
+        findings = run_rule(
+            """
+            import queue
+
+            def handoff(depth: int):
+                return [queue.Queue(maxsize=8), queue.Queue(depth)]
+            """,
+            "REP013",
+        )
+        assert findings == []
+
+    def test_unrelated_queue_name_passes(self, run_rule):
+        # A local class named Queue is not the stdlib's.
+        findings = run_rule(
+            """
+            class Queue:
+                pass
+
+            def handoff():
+                return Queue()
+            """,
+            "REP013",
+        )
+        assert findings == []
+
+
+class TestHandRolledIngestLoops:
+    def test_read_stream_into_process_fires(self, run_rule):
+        findings = run_rule(
+            """
+            from repro.streams.io import read_stream
+
+            def scan(path, sketcher):
+                for chunk in read_stream(path, 4096):
+                    sketcher.process(chunk)
+            """,
+            "REP013",
+        )
+        assert len(findings) == 1
+        assert "hand-rolled ingest loop" in findings[0].message
+        assert "Pipeline" in findings[0].message
+
+    def test_relation_chunks_into_consume_fires(self, run_rule):
+        findings = run_rule(
+            """
+            def scan(relation, engine):
+                for chunk in relation.chunks(8192):
+                    engine.consume("flows", chunk)
+            """,
+            "REP013",
+        )
+        assert len(findings) == 1
+
+    def test_envelope_stream_into_update_fires(self, run_rule):
+        findings = run_rule(
+            """
+            from repro.resilience import envelope_stream
+
+            def scan(chunks, sketch):
+                for envelope in envelope_stream(chunks):
+                    sketch.update(envelope.keys)
+            """,
+            "REP013",
+        )
+        assert len(findings) == 1
+
+    def test_transforming_loop_passes(self, run_rule):
+        # Forwarding/resealing a source is not ingest termination.
+        findings = run_rule(
+            """
+            from repro.streams.io import read_stream
+
+            def reseal(path):
+                for chunk in read_stream(path, 4096):
+                    yield chunk.copy()
+            """,
+            "REP013",
+        )
+        assert findings == []
+
+    def test_plain_iterable_loop_passes(self, run_rule):
+        # Only direct chunk-source iteration fires; a bound name does not
+        # (the source may already be a pipeline's output).
+        findings = run_rule(
+            """
+            def scan(chunks, sketcher):
+                for chunk in chunks:
+                    sketcher.process(chunk)
+            """,
+            "REP013",
+        )
+        assert findings == []
+
+    def test_dataplane_package_is_exempt(self, run_rule):
+        findings = run_rule(
+            """
+            from repro.streams.io import read_stream
+
+            def drive(path, sink):
+                for chunk in read_stream(path, 4096):
+                    sink.process(chunk)
+            """,
+            "REP013",
+            rel_path="src/repro/dataplane/pipeline.py",
+        )
+        assert findings == []
+
+
+class TestFixtureTrees:
+    def test_violation_tree_fires_for_every_shape(self):
+        findings = _fixture_findings("violations")
+        messages = [f.message for f in findings]
+        assert len([m for m in messages if "unbounded queue.Queue()" in m]) == 2
+        assert len([m for m in messages if "never be bounded" in m]) == 1
+        assert len([m for m in messages if "hand-rolled ingest loop" in m]) == 2
+        assert all(f.code == "REP013" for f in findings)
+
+    def test_clean_tree_is_clean(self):
+        assert _fixture_findings("clean") == []

@@ -1,0 +1,28 @@
+"""Shared fixtures for the dataplane suite.
+
+``REPRO_CHAOS_SEEDS`` widens the seeded-chaos pipeline matrix exactly as
+it does for the resilience suite (CI sets 3; 2 keeps local runs quick).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+
+def pytest_generate_tests(metafunc):
+    """Parametrize ``chaos_seed`` over the configured seed matrix."""
+    if "chaos_seed" in metafunc.fixturenames:
+        count = int(os.environ.get("REPRO_CHAOS_SEEDS", "2"))
+        metafunc.parametrize("chaos_seed", range(count))
+
+
+@pytest.fixture
+def stream_chunks() -> list:
+    """A deterministic 20-chunk stream of skewed keys."""
+    rng = np.random.default_rng(0xDA7A)
+    return [
+        rng.zipf(1.3, size=300).clip(0, 999).astype(np.int64) for _ in range(20)
+    ]

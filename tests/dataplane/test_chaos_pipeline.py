@@ -1,0 +1,103 @@
+"""Seeded chaos through a pipeline: replay converges bit-identically.
+
+The injector's faults are transient (each sequence draws its fault once);
+re-running the SAME :class:`Pipeline` object replays the source, the head
+cursor skips the already-applied prefix as duplicates, and the re-delivered
+chunk arrives clean.  The surviving sketch must match a fault-free run
+bit for bit — including through a shed stage, whose RNG must never see a
+replayed chunk twice.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataplane import (
+    IterableSource,
+    Pipeline,
+    ShedOperator,
+    SketchUpdateOperator,
+)
+from repro.errors import StreamIntegrityError
+from repro.resilience.chaos import ChaosInjector, SimulatedCrash
+from repro.sketches import FagmsSketch
+
+MAX_ATTEMPTS = 100
+
+
+def _clean_counters(stream_chunks, *, p):
+    sketch = FagmsSketch(buckets=64, rows=3, seed=161)
+    Pipeline(
+        IterableSource(stream_chunks),
+        ShedOperator(p, seed=162),
+        SketchUpdateOperator(sketch),
+        queue_depth=0,
+    ).run()
+    return sketch.counters
+
+
+def _run_until_complete(pipeline, expected_chunks):
+    attempts = 0
+    while True:
+        attempts += 1
+        assert attempts <= MAX_ATTEMPTS, "chaos replay did not converge"
+        try:
+            pipeline.run()
+        except (StreamIntegrityError, SimulatedCrash):
+            continue
+        if pipeline.position >= expected_chunks:
+            return attempts
+
+
+@pytest.mark.parametrize("p", [1.0, 0.4])
+@pytest.mark.parametrize("queue_depth", [0, 4])
+def test_chaos_pipeline_matches_fault_free_run(
+    chaos_seed, p, queue_depth, stream_chunks
+):
+    expected = _clean_counters(stream_chunks, p=p)
+    injector = ChaosInjector(
+        2000 + chaos_seed,
+        crash_rate=0.08,
+        truncate_rate=0.08,
+        duplicate_rate=0.10,
+        max_faults=25,
+    )
+    sketch = FagmsSketch(buckets=64, rows=3, seed=161)
+    pipeline = Pipeline(
+        IterableSource(stream_chunks),
+        ShedOperator(p, seed=162),
+        SketchUpdateOperator(sketch),
+        chaos=injector,
+        queue_depth=queue_depth,
+    )
+    attempts = _run_until_complete(pipeline, len(stream_chunks))
+    assert pipeline.position == len(stream_chunks)
+    assert np.array_equal(sketch.counters, expected)
+    if queue_depth == 0:
+        # Synchronously, faults manifest in consumption order: each crash
+        # or torn chunk forces exactly one replay, while benign duplicate
+        # faults are absorbed in-stream by the head cursor.  (Threaded,
+        # the producer's read-ahead can decide faults on envelopes a
+        # teardown then drops, so only convergence is exact.)
+        disruptive = injector.faults["crash"] + injector.faults["truncate"]
+        assert attempts == disruptive + 1
+        if injector.faults["duplicate"]:
+            assert pipeline.duplicates >= injector.faults["duplicate"]
+
+
+def test_duplicate_faults_never_touch_the_shedder(stream_chunks):
+    # A duplicate-only schedule completes in one run() and still matches
+    # the fault-free counters: replayed chunks are skipped at the head,
+    # upstream of the shed stage's RNG.
+    expected = _clean_counters(stream_chunks, p=0.5)
+    injector = ChaosInjector(7, duplicate_rate=0.5)
+    sketch = FagmsSketch(buckets=64, rows=3, seed=161)
+    result = Pipeline(
+        IterableSource(stream_chunks),
+        ShedOperator(0.5, seed=162),
+        SketchUpdateOperator(sketch),
+        chaos=injector,
+        queue_depth=0,
+    ).run()
+    assert injector.faults["duplicate"] > 0
+    assert result.duplicates == injector.faults["duplicate"]
+    assert np.array_equal(sketch.counters, expected)

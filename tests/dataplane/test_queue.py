@@ -1,0 +1,105 @@
+"""BoundedQueue: the backpressure primitive in isolation."""
+
+import threading
+
+import pytest
+
+from repro.dataplane import BoundedQueue, CLOSED, QueueAborted
+from repro.errors import ConfigurationError
+from repro.resilience import ManualClock
+
+
+def test_rejects_nonpositive_capacity():
+    with pytest.raises(ConfigurationError):
+        BoundedQueue(0)
+    with pytest.raises(ConfigurationError):
+        BoundedQueue(-3)
+
+
+def test_fifo_order():
+    queue = BoundedQueue(8)
+    for value in range(5):
+        queue.put(value)
+    assert [queue.get() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+
+def test_get_returns_closed_after_drain():
+    queue = BoundedQueue(4)
+    queue.put("only")
+    queue.close()
+    assert queue.get() == "only"
+    assert queue.get() is CLOSED
+    assert queue.get() is CLOSED  # stays closed
+
+
+def test_put_on_closed_queue_is_a_programming_error():
+    queue = BoundedQueue(4)
+    queue.close()
+    with pytest.raises(ConfigurationError):
+        queue.put(1)
+
+
+def test_put_blocks_at_capacity_until_consumer_drains():
+    queue = BoundedQueue(2)
+    queue.put(0)
+    queue.put(1)
+    entered = threading.Event()
+
+    def overfill():
+        entered.set()
+        queue.put(2)  # blocks until a get() frees a slot
+
+    producer = threading.Thread(target=overfill, daemon=True)
+    producer.start()
+    assert entered.wait(timeout=5.0)
+    # The producer is parked on the full queue; depth never exceeds
+    # capacity from the consumer's point of view.
+    assert queue.depth == 2
+    assert queue.get() == 0
+    producer.join(timeout=5.0)
+    assert not producer.is_alive()
+    assert [queue.get(), queue.get()] == [1, 2]
+    assert queue.high_watermark == 2
+
+
+def test_abort_wakes_blocked_producer():
+    queue = BoundedQueue(1)
+    queue.put("stuck")
+    outcome = []
+
+    def overfill():
+        try:
+            queue.put("never")
+        except QueueAborted:
+            outcome.append("aborted")
+
+    producer = threading.Thread(target=overfill, daemon=True)
+    producer.start()
+    queue.abort()
+    producer.join(timeout=5.0)
+    assert outcome == ["aborted"]
+    # Buffered items are dropped; the consumer sees immediate CLOSED.
+    assert queue.get() is CLOSED
+
+
+def test_high_watermark_is_bounded_by_capacity():
+    queue = BoundedQueue(3)
+    for value in range(3):
+        queue.put(value)
+    for _ in range(3):
+        queue.get()
+    for value in range(2):
+        queue.put(value)
+    assert queue.high_watermark == 3
+    assert queue.high_watermark <= queue.capacity
+
+
+def test_wait_ewmas_track_the_injected_clock():
+    clock = ManualClock()
+    queue = BoundedQueue(4, clock=clock)
+    queue.put("a")
+    queue.get()
+    # Nothing blocked and the manual clock never advanced: both waits
+    # observed exactly zero seconds.
+    assert queue.put_wait.value == 0.0
+    assert queue.get_wait.value == 0.0
